@@ -1,0 +1,19 @@
+"""Fig. 6(a): order-to-vehicle ratio per timeslot for each city."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import figures
+
+
+def test_fig6a_order_vehicle_ratio(benchmark, record_figure):
+    result = run_once(benchmark, figures.fig6a_order_vehicle_ratio, scale=0.3)
+    record_figure(result, "fig6a_order_vehicle_ratio.txt")
+    series = result.data["series"]
+    for city, ratios in series.items():
+        assert len(ratios) == 24
+        # Lunch and dinner peaks dominate the early morning, as in the paper.
+        assert max(ratios[12:15]) > ratios[4]
+        assert max(ratios[19:23]) > ratios[9]
+    # The ratio is highest in City B (paper: Fig. 6(a), observation 2).
+    assert max(series["CityB"]) >= max(series["CityC"])
+    assert max(series["CityB"]) >= max(series["CityA"])
+    print(result.text)

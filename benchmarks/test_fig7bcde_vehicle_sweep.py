@@ -1,0 +1,31 @@
+"""Fig. 7(b)-(e): effect of fleet size on XDT, O/Km, WT and rejections."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import figures
+from repro.experiments.runner import ExperimentSetting
+from repro.workload.city import CITY_B
+
+FRACTIONS = (0.2, 0.4, 0.6, 0.8, 1.0)
+
+
+def test_fig7bcde_vehicle_sweep(benchmark, record_figure):
+    setting = ExperimentSetting(profile=CITY_B, scale=0.1, start_hour=12, end_hour=14)
+    result = run_once(benchmark, figures.fig7bcde_vehicle_sweep, setting,
+                      fractions=FRACTIONS)
+    record_figure(result, "fig7bcde_vehicle_sweep.txt")
+    series = result.data["series"]
+    xdt = series["xdt_hours"]
+    rejections = series["rejection_pct"]
+    # More vehicles means lower extra delivery time: the full fleet must beat
+    # the smallest fleets, and the marginal benefit flattens (Fig. 7(b)).
+    assert xdt[-1] < max(xdt[:2])
+    assert xdt[-1] <= min(xdt) * 2.0
+    # Rejections appear only at severely reduced fleets and vanish with the
+    # full fleet (Fig. 7(e)).
+    assert rejections[0] >= rejections[-1]
+    assert rejections[-1] <= 1.0
+    # Waiting time grows as vehicles become abundant (more idle time at
+    # restaurants), Fig. 7(d) in the region beyond 40%.
+    waiting = series["waiting_hours"]
+    assert waiting[-1] >= waiting[1] * 0.8
+    print(result.text)

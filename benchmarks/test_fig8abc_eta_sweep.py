@@ -1,0 +1,21 @@
+"""Fig. 8(a)-(c): sensitivity to the batching quality threshold η."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import figures
+from repro.experiments.runner import ExperimentSetting
+from repro.workload.city import CITY_B
+
+ETAS = (30.0, 60.0, 90.0, 120.0, 150.0)
+
+
+def test_fig8abc_eta_sweep(benchmark, record_figure):
+    setting = ExperimentSetting(profile=CITY_B, scale=0.12, start_hour=12, end_hour=13)
+    result = run_once(benchmark, figures.fig8abc_eta_sweep, setting, etas=ETAS)
+    record_figure(result, "fig8abc_eta_sweep.txt")
+    series = result.data["series"]
+    # Paper shape: raising eta batches more aggressively, which increases XDT
+    # (Thm. 2) while improving operational efficiency (higher O/Km, lower WT).
+    assert series["xdt_hours"][-1] >= series["xdt_hours"][0] * 0.9
+    assert series["orders_per_km"][-1] >= series["orders_per_km"][0] * 0.95
+    assert series["waiting_hours"][-1] <= series["waiting_hours"][0] * 1.15
+    print(result.text)

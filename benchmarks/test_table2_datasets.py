@@ -1,0 +1,17 @@
+"""Table II: dataset summary of the four synthetic city analogues."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import figures
+
+
+def test_table2_dataset_summary(benchmark, record_figure):
+    result = run_once(benchmark, figures.table2_dataset_summary, scale=0.2)
+    record_figure(result, "table2_datasets.txt")
+    data = result.data
+    # Table II relationships: City B has the most orders and vehicles, City C
+    # the most restaurants, GrubHub the longest preparation times.
+    assert data["CityB"].num_orders > data["CityC"].num_orders > data["CityA"].num_orders
+    assert data["CityB"].num_vehicles > data["CityC"].num_vehicles
+    assert data["CityC"].num_restaurants > data["CityB"].num_restaurants
+    assert data["GrubHub"].avg_prep_minutes > data["CityC"].avg_prep_minutes
+    print(result.text)

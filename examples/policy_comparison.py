@@ -1,0 +1,63 @@
+"""Compare FoodMatch against the Greedy, vanilla KM and Reyes baselines.
+
+Reproduces the headline comparison of the paper (Figs. 6(b)-(e)) on a single
+scaled-down City B peak period: the same workload is replayed under each
+assignment policy and the quality / efficiency metrics are printed side by
+side.
+
+Run with::
+
+    python examples/policy_comparison.py
+"""
+
+from __future__ import annotations
+
+from repro.experiments.reporting import format_metric_comparison
+from repro.experiments.runner import ExperimentSetting, PolicySpec, run_policy_comparison
+from repro.workload.city import CITY_B
+
+METRICS = ("xdt_hours_per_day", "orders_per_km", "waiting_hours_per_day",
+           "rejection_rate", "mean_decision_seconds")
+
+
+def main() -> None:
+    # Peak-load setting: lunch window with a constrained fleet, the regime in
+    # which the paper's evaluation cities operate (order/vehicle ratio > 1).
+    setting = ExperimentSetting(
+        profile=CITY_B,
+        scale=0.1,
+        start_hour=12,
+        end_hour=14,
+        vehicle_fraction=0.4,
+        seed=0,
+    )
+    specs = [
+        PolicySpec.of("foodmatch"),
+        PolicySpec.of("greedy"),
+        PolicySpec.of("km"),
+        PolicySpec.of("reyes"),
+    ]
+    print("Running four policies on the same City B peak-hour workload ...")
+    results = run_policy_comparison(setting, specs)
+
+    summaries = {name: result.summary() for name, result in results.items()}
+    print()
+    print(format_metric_comparison(summaries, METRICS,
+                                   title="Policy comparison (City B, lunch peak)"))
+    print()
+    foodmatch = results["foodmatch"]
+    greedy = results["greedy"]
+    if greedy.xdt_hours_per_day() > 0:
+        gain = 100.0 * (greedy.xdt_hours_per_day() - foodmatch.xdt_hours_per_day()) \
+            / greedy.xdt_hours_per_day()
+        if gain >= 0:
+            print(f"FoodMatch reduces extra delivery time by {gain:.1f}% vs Greedy on "
+                  f"this workload (the paper reports ~30% on the full-size cities).")
+        else:
+            print(f"On this particular seed Greedy's XDT is {-gain:.1f}% lower; under "
+                  f"peak scarcity and averaged over days FoodMatch wins by ~20-30%, "
+                  f"see benchmarks/test_fig6cde_vs_greedy.py and EXPERIMENTS.md.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Setuptools shim so the package installs in offline environments.
+
+The canonical build configuration lives in pyproject.toml; this file only
+exists so that ``python setup.py develop`` / legacy editable installs work on
+machines without the ``wheel`` package or network access.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,167 @@
+"""Command-line interface for the FoodMatch reproduction.
+
+Three subcommands cover the common workflows without writing any Python:
+
+``python -m repro simulate``
+    Run one policy on one city profile and print (optionally save) the
+    evaluation metrics.
+``python -m repro compare``
+    Run several policies on the same workload and print a comparison table.
+``python -m repro figure``
+    Regenerate one of the paper's tables/figures by name and print its data.
+
+Examples::
+
+    python -m repro simulate --city CityA --policy foodmatch --scale 0.3 \
+        --start-hour 12 --end-hour 13
+    python -m repro compare --city CityB --policies foodmatch greedy km \
+        --scale 0.1 --vehicle-fraction 0.4
+    python -m repro figure --name fig8abc_eta_sweep
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.experiments import figures
+from repro.experiments.reporting import format_metric_comparison
+from repro.experiments.runner import (
+    ExperimentSetting,
+    PolicySpec,
+    available_policies,
+    run_policy_comparison,
+    run_setting,
+)
+from repro.workload.city import CITY_PROFILES
+
+_FIGURE_FUNCTIONS = {
+    "table2": figures.table2_dataset_summary,
+    "fig4a_percentile_ranks": figures.fig4a_percentile_ranks,
+    "fig6a_order_vehicle_ratio": figures.fig6a_order_vehicle_ratio,
+    "fig6b_vs_reyes": figures.fig6b_vs_reyes,
+    "fig6cde_vs_greedy": figures.fig6cde_vs_greedy,
+    "fig6fgh_scalability": figures.fig6fgh_scalability,
+    "fig6h_single_window_scaling": figures.fig6h_single_window_scaling,
+    "fig6ijk_improvement_by_slot": figures.fig6ijk_improvement_by_slot,
+    "fig7a_ablation": figures.fig7a_ablation,
+    "fig7bcde_vehicle_sweep": figures.fig7bcde_vehicle_sweep,
+    "fig8abc_eta_sweep": figures.fig8abc_eta_sweep,
+    "fig8defg_delta_sweep": figures.fig8defg_delta_sweep,
+    "fig8hijk_k_sweep": figures.fig8hijk_k_sweep,
+    "fig9_gamma_sweep": figures.fig9_gamma_sweep,
+}
+
+_COMPARE_METRICS = ("xdt_hours_per_day", "orders_per_km", "waiting_hours_per_day",
+                    "rejection_rate", "mean_decision_seconds", "overflow_pct")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="FoodMatch reproduction: simulate food-delivery assignment policies.")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    def add_setting_arguments(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--city", choices=sorted(CITY_PROFILES), default="CityA",
+                         help="city profile to simulate (default: CityA)")
+        sub.add_argument("--scale", type=float, default=0.2,
+                         help="workload scale factor (default: 0.2)")
+        sub.add_argument("--start-hour", type=int, default=12,
+                         help="first simulated hour (default: 12)")
+        sub.add_argument("--end-hour", type=int, default=13,
+                         help="end of the simulated horizon (default: 13)")
+        sub.add_argument("--delta", type=float, default=None,
+                         help="accumulation window in seconds (default: city profile)")
+        sub.add_argument("--vehicle-fraction", type=float, default=1.0,
+                         help="fraction of the fleet made available (default: 1.0)")
+        sub.add_argument("--seed", type=int, default=0, help="workload seed (default: 0)")
+
+    simulate = subparsers.add_parser("simulate", help="run one policy on one city")
+    add_setting_arguments(simulate)
+    simulate.add_argument("--policy", choices=available_policies(), default="foodmatch")
+    simulate.add_argument("--save-json", default=None, metavar="PATH",
+                          help="write the full result (summary + per-order records) as JSON")
+    simulate.add_argument("--save-csv", default=None, metavar="PATH",
+                          help="write the per-order records as CSV")
+
+    compare = subparsers.add_parser("compare", help="run several policies on one workload")
+    add_setting_arguments(compare)
+    compare.add_argument("--policies", nargs="+", choices=available_policies(),
+                         default=["foodmatch", "greedy", "km"])
+
+    figure = subparsers.add_parser("figure", help="regenerate one table/figure of the paper")
+    figure.add_argument("--name", choices=sorted(_FIGURE_FUNCTIONS), required=True)
+    figure.add_argument("--list", action="store_true", help="list available figures and exit")
+
+    return parser
+
+
+def _setting_from_args(args: argparse.Namespace) -> ExperimentSetting:
+    return ExperimentSetting(
+        profile=CITY_PROFILES[args.city],
+        scale=args.scale,
+        start_hour=args.start_hour,
+        end_hour=args.end_hour,
+        delta=args.delta,
+        vehicle_fraction=args.vehicle_fraction,
+        seed=args.seed,
+    )
+
+
+def _command_simulate(args: argparse.Namespace) -> int:
+    setting = _setting_from_args(args)
+    result = run_setting(setting, PolicySpec.of(args.policy))
+    print(f"{args.policy} on {args.city} "
+          f"({args.start_hour}:00-{args.end_hour}:00, scale {args.scale})")
+    for key, value in result.summary().items():
+        print(f"  {key:<26} {value:.4f}")
+    if args.save_json:
+        from repro.workload.io import save_result_json
+
+        save_result_json(result, args.save_json)
+        print(f"wrote JSON result to {args.save_json}")
+    if args.save_csv:
+        from repro.workload.io import save_result_csv
+
+        save_result_csv(result, args.save_csv)
+        print(f"wrote per-order CSV to {args.save_csv}")
+    return 0
+
+
+def _command_compare(args: argparse.Namespace) -> int:
+    setting = _setting_from_args(args)
+    specs = [PolicySpec.of(name) for name in args.policies]
+    results = run_policy_comparison(setting, specs)
+    summaries = {name: result.summary() for name, result in results.items()}
+    print(format_metric_comparison(
+        summaries, _COMPARE_METRICS,
+        title=f"Policy comparison on {args.city} "
+              f"({args.start_hour}:00-{args.end_hour}:00, scale {args.scale})"))
+    return 0
+
+
+def _command_figure(args: argparse.Namespace) -> int:
+    result = _FIGURE_FUNCTIONS[args.name]()
+    print(f"[{result.figure_id}] {result.description}")
+    print(result.text)
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "simulate":
+        return _command_simulate(args)
+    if args.command == "compare":
+        return _command_compare(args)
+    if args.command == "figure":
+        return _command_figure(args)
+    parser.error(f"unknown command {args.command!r}")
+    return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via python -m repro
+    sys.exit(main())

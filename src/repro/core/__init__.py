@@ -1,0 +1,48 @@
+"""The paper's primary contribution: FoodMatch and the baselines it is compared with.
+
+Contents
+--------
+* :mod:`repro.core.matching` — minimum-weight perfect matching on bipartite
+  graphs via the Kuhn–Munkres (Hungarian) algorithm, implemented from
+  scratch and cross-checked against SciPy in the tests.
+* :mod:`repro.core.batching` — Alg. 1: batching by iterative clustering of
+  the order graph with the monotone AvgCost stopping rule (Thm. 2).
+* :mod:`repro.core.angular` — the angular-distance-blended edge weight of
+  Eq. 8 used to anticipate vehicle movement.
+* :mod:`repro.core.foodgraph` — FoodGraph construction, both the full
+  quadratic version and the sparsified best-first-search version (Alg. 2).
+* :mod:`repro.core.policy` — the assignment-policy interface shared by the
+  simulator and all algorithms.
+* :mod:`repro.core.foodmatch` — the full FOODMATCH pipeline with optimisation
+  toggles (batching & reshuffling, best-first search, angular distance).
+* :mod:`repro.core.greedy`, :mod:`repro.core.km_baseline`,
+  :mod:`repro.core.reyes` — the three baselines of the evaluation.
+"""
+
+from repro.core.matching import minimum_weight_matching, hungarian
+from repro.core.batching import BatchingConfig, cluster_orders
+from repro.core.angular import vehicle_sensitive_weight
+from repro.core.foodgraph import FoodGraph, build_full_foodgraph, build_sparsified_foodgraph
+from repro.core.policy import Assignment, AssignmentPolicy
+from repro.core.foodmatch import FoodMatchConfig, FoodMatchPolicy
+from repro.core.greedy import GreedyPolicy
+from repro.core.km_baseline import KMPolicy
+from repro.core.reyes import ReyesPolicy
+
+__all__ = [
+    "minimum_weight_matching",
+    "hungarian",
+    "BatchingConfig",
+    "cluster_orders",
+    "vehicle_sensitive_weight",
+    "FoodGraph",
+    "build_full_foodgraph",
+    "build_sparsified_foodgraph",
+    "Assignment",
+    "AssignmentPolicy",
+    "FoodMatchConfig",
+    "FoodMatchPolicy",
+    "GreedyPolicy",
+    "KMPolicy",
+    "ReyesPolicy",
+]

@@ -1,0 +1,195 @@
+"""FoodGraph construction: the bipartite batch/vehicle assignment graph (Sec. IV-A, IV-C).
+
+The FoodGraph has the order batches on one side, the available vehicles on
+the other, and edge weights equal to the marginal cost of assigning a batch
+to a vehicle (Eq. 7), with the rejection penalty Ω standing in for forbidden
+or prohibitively distant pairs.  Two constructions are provided:
+
+* :func:`build_full_foodgraph` — the quadratic construction that computes the
+  true marginal cost of every batch-vehicle pair; this is what the vanilla KM
+  baseline uses.
+* :func:`build_sparsified_foodgraph` — Alg. 2: a best-first search from each
+  vehicle over the road network adds true-cost edges only to the ``k``
+  closest batch start nodes; everything else is implicitly Ω.  The search
+  order can use either plain travel time or the angular-distance blend of
+  Eq. 8.
+
+:func:`solve_matching` runs Kuhn–Munkres on the resulting graph and drops
+matches that only exist through Ω edges (those orders stay unassigned and
+roll into the next accumulation window).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.angular import travel_time_weight, vehicle_sensitive_weight
+from repro.core.matching import minimum_weight_matching
+from repro.network.shortest_path import BestFirstExplorer
+from repro.orders.batch import Batch
+from repro.orders.costs import CostModel
+from repro.orders.route_plan import RoutePlan
+from repro.orders.vehicle import Vehicle
+
+INFINITY = math.inf
+
+#: Default rejection penalty Ω: 7200 seconds (2 hours), as in Sec. V-B.
+DEFAULT_OMEGA = 7200.0
+
+#: Default bound on the vehicle-to-first-pickup travel time: 45 minutes, the
+#: delivery-time guarantee used by Swiggy (Sec. V-B).
+DEFAULT_MAX_FIRST_MILE = 2700.0
+
+
+@dataclass
+class FoodGraph:
+    """A (possibly sparsified) bipartite assignment graph.
+
+    Edges are stored sparsely: a missing ``(batch_idx, vehicle_idx)`` entry
+    means the pair's weight is Ω and no route plan is attached.
+    """
+
+    batches: List[Batch]
+    vehicles: List[Vehicle]
+    omega: float = DEFAULT_OMEGA
+    edges: Dict[Tuple[int, int], Tuple[float, RoutePlan]] = field(default_factory=dict)
+    #: number of true marginal-cost evaluations performed (efficiency metric)
+    cost_evaluations: int = 0
+    #: number of road-network nodes expanded by best-first search
+    nodes_expanded: int = 0
+
+    def weight(self, batch_idx: int, vehicle_idx: int) -> float:
+        """Edge weight, Ω when the pair has no explicit edge."""
+        edge = self.edges.get((batch_idx, vehicle_idx))
+        return edge[0] if edge is not None else self.omega
+
+    def plan(self, batch_idx: int, vehicle_idx: int) -> Optional[RoutePlan]:
+        edge = self.edges.get((batch_idx, vehicle_idx))
+        return edge[1] if edge is not None else None
+
+    def cost_matrix(self) -> List[List[float]]:
+        """Dense batch-by-vehicle cost matrix for the matching solver."""
+        return [[self.weight(b, v) for v in range(len(self.vehicles))]
+                for b in range(len(self.batches))]
+
+    @property
+    def edge_count(self) -> int:
+        return len(self.edges)
+
+    def vehicle_degree(self, vehicle_idx: int) -> int:
+        """Number of finite-weight edges incident to a vehicle."""
+        return sum(1 for (b, v) in self.edges if v == vehicle_idx)
+
+
+def _pair_weight(batch: Batch, vehicle: Vehicle, cost_model: CostModel, now: float,
+                 omega: float, max_first_mile: float) -> Tuple[float, Optional[RoutePlan]]:
+    """Marginal cost of a batch-vehicle pair, clamped to Ω where required."""
+    first_mile = cost_model.oracle.distance(vehicle.node, batch.first_pickup_node, now)
+    if first_mile > max_first_mile:
+        return omega, None
+    weight, plan = cost_model.marginal_cost(batch.orders, vehicle, now)
+    if plan is None or weight == INFINITY:
+        return omega, None
+    return min(weight, omega), plan
+
+
+def build_full_foodgraph(batches: Sequence[Batch], vehicles: Sequence[Vehicle],
+                         cost_model: CostModel, now: float,
+                         omega: float = DEFAULT_OMEGA,
+                         max_first_mile: float = DEFAULT_MAX_FIRST_MILE) -> FoodGraph:
+    """Quadratic FoodGraph construction: every batch-vehicle pair is evaluated."""
+    graph = FoodGraph(list(batches), list(vehicles), omega=omega)
+    for b_idx, batch in enumerate(graph.batches):
+        for v_idx, vehicle in enumerate(graph.vehicles):
+            weight, plan = _pair_weight(batch, vehicle, cost_model, now, omega, max_first_mile)
+            graph.cost_evaluations += 1
+            if plan is not None and weight < omega:
+                graph.edges[(b_idx, v_idx)] = (weight, plan)
+    return graph
+
+
+def build_sparsified_foodgraph(batches: Sequence[Batch], vehicles: Sequence[Vehicle],
+                               cost_model: CostModel, now: float, k: int,
+                               omega: float = DEFAULT_OMEGA,
+                               max_first_mile: float = DEFAULT_MAX_FIRST_MILE,
+                               use_angular: bool = False,
+                               gamma: float = 0.5,
+                               max_expansions: Optional[int] = None) -> FoodGraph:
+    """Sparsified FoodGraph construction via best-first search (Alg. 2).
+
+    For every vehicle a best-first search expands road-network nodes in
+    ascending blended-weight order; whenever an expanded node is the first
+    pick-up node of one or more batches, true-cost edges to those batches are
+    added.  The search stops once the vehicle has ``k`` incident edges (or
+    the network is exhausted / ``max_expansions`` nodes were expanded).
+
+    ``use_angular`` switches the exploration order from plain travel time to
+    the vehicle-sensitive weight of Eq. 8 with the given ``gamma``.
+    """
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    graph = FoodGraph(list(batches), list(vehicles), omega=omega)
+    network = cost_model.oracle.network
+
+    # Index batches by the node at which their route plan starts (V_Pi).
+    start_index: Dict[int, List[int]] = {}
+    for b_idx, batch in enumerate(graph.batches):
+        start_index.setdefault(batch.first_pickup_node, []).append(b_idx)
+
+    expansion_cap = max_expansions if max_expansions is not None else network.num_nodes
+
+    for v_idx, vehicle in enumerate(graph.vehicles):
+        if use_angular:
+            weight_fn = vehicle_sensitive_weight(network, vehicle, now, gamma)
+        else:
+            weight_fn = travel_time_weight(network, now)
+        explorer = BestFirstExplorer(network, vehicle.node, weight=weight_fn, t=now)
+        degree = 0
+        expanded = 0
+        for node, _ in explorer:
+            expanded += 1
+            for b_idx in start_index.get(node, ()):
+                batch = graph.batches[b_idx]
+                weight, plan = _pair_weight(batch, vehicle, cost_model, now,
+                                            omega, max_first_mile)
+                graph.cost_evaluations += 1
+                if plan is not None and weight < omega:
+                    graph.edges[(b_idx, v_idx)] = (weight, plan)
+                    degree += 1
+            if degree >= k or expanded >= expansion_cap:
+                break
+        graph.nodes_expanded += expanded
+    return graph
+
+
+def solve_matching(graph: FoodGraph) -> List[Tuple[int, int, RoutePlan, float]]:
+    """Minimum-weight matching on a FoodGraph.
+
+    Returns a list of ``(batch_idx, vehicle_idx, route_plan, weight)`` for
+    every matched pair whose weight is strictly below Ω — pairs matched only
+    through the rejection penalty are treated as "leave unassigned".
+    """
+    if not graph.batches or not graph.vehicles:
+        return []
+    matrix = graph.cost_matrix()
+    pairs = minimum_weight_matching(matrix)
+    assignments: List[Tuple[int, int, RoutePlan, float]] = []
+    for b_idx, v_idx in pairs:
+        plan = graph.plan(b_idx, v_idx)
+        weight = graph.weight(b_idx, v_idx)
+        if plan is None or weight >= graph.omega:
+            continue
+        assignments.append((b_idx, v_idx, plan, weight))
+    return assignments
+
+
+__all__ = [
+    "FoodGraph",
+    "build_full_foodgraph",
+    "build_sparsified_foodgraph",
+    "solve_matching",
+    "DEFAULT_OMEGA",
+    "DEFAULT_MAX_FIRST_MILE",
+]

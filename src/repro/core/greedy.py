@@ -1,0 +1,124 @@
+"""The Greedy baseline (Sec. III of the paper).
+
+Greedy repeatedly picks the unassigned order / vehicle pair with the minimum
+marginal cost and commits it, until no feasible pair remains.  It is locally
+optimal per decision but, as the paper's Example 5 shows, can be globally
+suboptimal — and its cost recomputation per committed pair makes it the
+slowest strategy in the scalability experiments (Fig. 6(f)-(h)).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.foodgraph import DEFAULT_MAX_FIRST_MILE, DEFAULT_OMEGA
+from repro.core.policy import Assignment, AssignmentPolicy
+from repro.orders.costs import CostModel
+from repro.orders.order import Order
+from repro.orders.route_plan import RoutePlan
+from repro.orders.vehicle import Vehicle
+
+INFINITY = math.inf
+
+
+class GreedyPolicy(AssignmentPolicy):
+    """Iterative minimum-marginal-cost assignment.
+
+    Parameters
+    ----------
+    cost_model:
+        Shared cost model providing marginal costs.
+    omega:
+        Rejection penalty Ω; pairs whose marginal cost reaches Ω are treated
+        as infeasible.
+    max_first_mile:
+        Upper bound on the vehicle-to-restaurant travel time (the 45-minute
+        delivery guarantee); beyond it a pair is infeasible.
+    """
+
+    name = "greedy"
+    reshuffle = False
+
+    def __init__(self, cost_model: CostModel, omega: float = DEFAULT_OMEGA,
+                 max_first_mile: float = DEFAULT_MAX_FIRST_MILE) -> None:
+        self._cost_model = cost_model
+        self._omega = omega
+        self._max_first_mile = max_first_mile
+
+    def assign(self, orders: Sequence[Order], vehicles: Sequence[Vehicle],
+               now: float) -> List[Assignment]:
+        pool: Dict[int, Order] = {order.order_id: order for order in orders}
+        candidates = self.eligible_vehicles(vehicles, now)
+        if not pool or not candidates:
+            return []
+
+        # Tentative orders committed to each vehicle within this window.  The
+        # vehicles themselves are not mutated; marginal costs are evaluated
+        # against (existing assignment ∪ tentative set).
+        tentative: Dict[int, List[Order]] = {v.vehicle_id: [] for v in candidates}
+        plans: Dict[int, RoutePlan] = {}
+        vehicle_by_id: Dict[int, Vehicle] = {v.vehicle_id: v for v in candidates}
+
+        # Marginal costs only change for the vehicle chosen in the previous
+        # round, so the first round evaluates all pairs and later rounds only
+        # refresh that vehicle's column (the recomputation scheme of Sec. III).
+        pair_cost: Dict[Tuple[int, int], Tuple[float, Optional[RoutePlan]]] = {}
+        for order in pool.values():
+            for vehicle in candidates:
+                pair_cost[(order.order_id, vehicle.vehicle_id)] = self._pair_cost(
+                    order, vehicle, tentative[vehicle.vehicle_id], now)
+
+        while pool:
+            best: Optional[Tuple[float, int, int, RoutePlan]] = None
+            for order in pool.values():
+                for vehicle in candidates:
+                    cost, plan = pair_cost[(order.order_id, vehicle.vehicle_id)]
+                    if plan is None:
+                        continue
+                    key = (cost, order.order_id, vehicle.vehicle_id)
+                    if best is None or key < (best[0], best[1], best[2]):
+                        best = (cost, order.order_id, vehicle.vehicle_id, plan)
+            if best is None:
+                break
+            _, order_id, vehicle_id, plan = best
+            tentative[vehicle_id].append(pool.pop(order_id))
+            plans[vehicle_id] = plan
+            chosen = vehicle_by_id[vehicle_id]
+            for order in pool.values():
+                pair_cost[(order.order_id, vehicle_id)] = self._pair_cost(
+                    order, chosen, tentative[vehicle_id], now)
+
+        assignments: List[Assignment] = []
+        for vehicle_id, added in tentative.items():
+            if not added:
+                continue
+            assignments.append(Assignment(
+                vehicle=vehicle_by_id[vehicle_id],
+                orders=tuple(added),
+                plan=plans[vehicle_id],
+                weight=plans[vehicle_id].cost,
+            ))
+        return assignments
+
+    # ------------------------------------------------------------------ #
+    def _pair_cost(self, order: Order, vehicle: Vehicle, already_added: List[Order],
+                   now: float) -> Tuple[float, Optional[RoutePlan]]:
+        """Marginal cost of adding ``order`` on top of the tentative set."""
+        prospective = already_added + [order]
+        if not vehicle.can_accept(prospective):
+            return INFINITY, None
+        first_mile = self._cost_model.oracle.distance(vehicle.node, order.restaurant_node, now)
+        if first_mile > self._max_first_mile:
+            return INFINITY, None
+        plan_with = self._cost_model.plan_for_vehicle(vehicle, prospective, now)
+        if plan_with.cost == INFINITY:
+            return INFINITY, None
+        plan_without = self._cost_model.plan_for_vehicle(vehicle, already_added, now)
+        marginal = plan_with.cost - plan_without.cost
+        if marginal >= self._omega:
+            return INFINITY, None
+        return marginal, plan_with
+
+
+__all__ = ["GreedyPolicy"]

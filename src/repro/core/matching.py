@@ -1,0 +1,151 @@
+"""Minimum-weight bipartite matching via the Kuhn–Munkres algorithm.
+
+FoodMatch solves the order-to-vehicle assignment of every accumulation window
+as a minimum-weight perfect matching on the FoodGraph (Sec. IV-A).  This
+module implements the Hungarian algorithm with potentials (the rectangular
+extension of Bourgeois & Lassalle the paper cites) from scratch:
+
+* :func:`hungarian` — the low-level solver on a dense cost matrix with
+  ``rows <= cols``; O(rows^2 * cols).
+* :func:`minimum_weight_matching` — the user-facing wrapper: accepts any
+  rectangular matrix (lists or numpy), treats ``inf`` entries as forbidden,
+  and returns the matched ``(row, col)`` pairs.
+
+Correctness is cross-checked against ``scipy.optimize.linear_sum_assignment``
+in the test suite, including on random matrices via hypothesis.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+INFINITY = math.inf
+
+# Forbidden (infinite-cost) entries are replaced by this finite sentinel so
+# the potentials stay finite; it must dominate any realistic edge weight but
+# stay far from float overflow when summed across a matching.
+_FORBIDDEN_COST = 1e15
+
+
+def hungarian(cost: Sequence[Sequence[float]]) -> List[int]:
+    """Solve the assignment problem for a dense matrix with ``rows <= cols``.
+
+    Returns ``assignment`` where ``assignment[row] = col``.  Every row is
+    assigned (the matching is perfect on the smaller side), which mirrors the
+    constraint ``sum x_{o,v} = min(|U1|, |U2|)`` of the paper's formulation.
+    """
+    n = len(cost)
+    if n == 0:
+        return []
+    m = len(cost[0])
+    if n > m:
+        raise ValueError("hungarian() requires rows <= cols; transpose first")
+
+    # Potentials and matching arrays use 1-based indexing, the classical
+    # formulation of the algorithm.
+    u = [0.0] * (n + 1)
+    v = [0.0] * (m + 1)
+    match = [0] * (m + 1)   # match[col] = row currently assigned to col
+    way = [0] * (m + 1)
+
+    for row in range(1, n + 1):
+        match[0] = row
+        col0 = 0
+        minv = [INFINITY] * (m + 1)
+        used = [False] * (m + 1)
+        while True:
+            used[col0] = True
+            row0 = match[col0]
+            delta = INFINITY
+            col1 = -1
+            for col in range(1, m + 1):
+                if used[col]:
+                    continue
+                cur = cost[row0 - 1][col - 1] - u[row0] - v[col]
+                if cur < minv[col]:
+                    minv[col] = cur
+                    way[col] = col0
+                if minv[col] < delta:
+                    delta = minv[col]
+                    col1 = col
+            for col in range(m + 1):
+                if used[col]:
+                    u[match[col]] += delta
+                    v[col] -= delta
+                else:
+                    minv[col] -= delta
+            col0 = col1
+            if match[col0] == 0:
+                break
+        while col0:
+            col1 = way[col0]
+            match[col0] = match[col1]
+            col0 = col1
+
+    assignment = [-1] * n
+    for col in range(1, m + 1):
+        if match[col] > 0:
+            assignment[match[col] - 1] = col - 1
+    return assignment
+
+
+def minimum_weight_matching(cost: Sequence[Sequence[float]],
+                            forbid_infinite: bool = True) -> List[Tuple[int, int]]:
+    """Minimum-weight matching of a rectangular cost matrix.
+
+    Parameters
+    ----------
+    cost:
+        A ``rows x cols`` matrix (nested sequences or a numpy array).  Entries
+        of ``math.inf`` mark forbidden pairs.
+    forbid_infinite:
+        When true (default), pairs whose cost is infinite are removed from the
+        returned matching even if the solver had to use them to complete a
+        perfect matching on the smaller side.
+
+    Returns
+    -------
+    list of ``(row, col)`` pairs, at most ``min(rows, cols)`` of them.
+    """
+    rows = len(cost)
+    if rows == 0:
+        return []
+    cols = len(cost[0])
+    if cols == 0:
+        return []
+    if any(len(row) != cols for row in cost):
+        raise ValueError("cost matrix must be rectangular")
+
+    def clean(value: float) -> float:
+        if value == INFINITY:
+            return _FORBIDDEN_COST
+        if value != value:  # NaN guard
+            raise ValueError("cost matrix contains NaN")
+        return float(value)
+
+    transposed = rows > cols
+    if transposed:
+        matrix = [[clean(cost[r][c]) for r in range(rows)] for c in range(cols)]
+    else:
+        matrix = [[clean(cost[r][c]) for c in range(cols)] for r in range(rows)]
+
+    assignment = hungarian(matrix)
+    pairs: List[Tuple[int, int]] = []
+    for small_idx, large_idx in enumerate(assignment):
+        if large_idx < 0:
+            continue
+        row, col = (large_idx, small_idx) if transposed else (small_idx, large_idx)
+        if forbid_infinite and cost[row][col] == INFINITY:
+            continue
+        pairs.append((row, col))
+    return pairs
+
+
+def matching_cost(cost: Sequence[Sequence[float]],
+                  pairs: Sequence[Tuple[int, int]]) -> float:
+    """Total weight of a matching (helper for tests and diagnostics)."""
+    return sum(cost[r][c] for r, c in pairs)
+
+
+__all__ = ["hungarian", "minimum_weight_matching", "matching_cost"]

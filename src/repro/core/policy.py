@@ -1,0 +1,74 @@
+"""The assignment-policy interface shared by the simulator and all algorithms.
+
+A policy is invoked once per accumulation window with the unassigned orders
+``O(l)``, the available vehicles ``V(l)`` and the current timestamp; it
+returns a list of :class:`Assignment` objects, each pairing one vehicle with
+a batch of orders and the route plan that will serve them.  Policies never
+mutate vehicles — the simulator applies the returned assignments — which
+keeps them independently testable.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.orders.order import Order
+from repro.orders.route_plan import RoutePlan
+from repro.orders.vehicle import Vehicle
+
+
+@dataclass(frozen=True)
+class Assignment:
+    """One window-level assignment decision: a batch of orders for a vehicle."""
+
+    vehicle: Vehicle
+    orders: Tuple[Order, ...]
+    plan: RoutePlan
+    weight: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.orders:
+            raise ValueError("an assignment must contain at least one order")
+
+
+class AssignmentPolicy(abc.ABC):
+    """Base class of every order-to-vehicle assignment strategy.
+
+    Attributes
+    ----------
+    name:
+        Short identifier used in experiment reports.
+    reshuffle:
+        Whether the simulator should release assigned-but-not-picked-up
+        orders back into the unassigned pool before calling the policy
+        (Sec. IV-D2).  Only FoodMatch variants enable this.
+    """
+
+    name: str = "policy"
+    reshuffle: bool = False
+
+    @abc.abstractmethod
+    def assign(self, orders: Sequence[Order], vehicles: Sequence[Vehicle],
+               now: float) -> List[Assignment]:
+        """Assign the window's orders to vehicles.
+
+        Implementations must respect the capacity constraints of Def. 4 and
+        must not assign the same order twice or overload a vehicle.  Orders
+        left out of the returned assignments remain unassigned and roll over
+        into the next accumulation window.
+        """
+
+    @staticmethod
+    def eligible_vehicles(vehicles: Sequence[Vehicle], now: float) -> List[Vehicle]:
+        """Vehicles that are on duty and have residual order capacity."""
+        return [vehicle for vehicle in vehicles
+                if vehicle.is_on_duty(now) and vehicle.order_count < vehicle.max_orders]
+
+    def describe(self) -> str:
+        """Human-readable one-line description (experiment reports)."""
+        return self.name
+
+
+__all__ = ["Assignment", "AssignmentPolicy"]

@@ -1,0 +1,59 @@
+"""Experiment harness reproducing the paper's evaluation (Sec. V).
+
+The harness has three layers:
+
+* :mod:`repro.experiments.runner` — build a scenario, a policy and a
+  simulator from names and parameters, and run them (with multi-seed
+  averaging standing in for the paper's 6-fold cross-validation).
+* :mod:`repro.experiments.sweeps` — parameter sweeps (vehicle count, η, Δ,
+  k, γ) over any policy.
+* :mod:`repro.experiments.figures` — one function per table/figure of the
+  paper, each returning the data series the paper plots and a formatted
+  text rendition.
+
+Every benchmark under ``benchmarks/`` is a thin wrapper around one of the
+figure functions; ``EXPERIMENTS.md`` records the measured shapes next to the
+paper's reported ones.
+"""
+
+from repro.experiments.runner import (
+    ExperimentSetting,
+    PolicySpec,
+    available_policies,
+    build_policy,
+    run_setting,
+    run_policy_comparison,
+)
+from repro.experiments.sweeps import (
+    sweep_delta,
+    sweep_eta,
+    sweep_gamma,
+    sweep_k,
+    sweep_vehicles,
+)
+from repro.experiments.crossval import (
+    CrossValidationReport,
+    compare_policies_cv,
+    cross_validate,
+    improvement_with_spread,
+)
+from repro.experiments import figures
+
+__all__ = [
+    "CrossValidationReport",
+    "cross_validate",
+    "compare_policies_cv",
+    "improvement_with_spread",
+    "ExperimentSetting",
+    "PolicySpec",
+    "available_policies",
+    "build_policy",
+    "run_setting",
+    "run_policy_comparison",
+    "sweep_delta",
+    "sweep_eta",
+    "sweep_gamma",
+    "sweep_k",
+    "sweep_vehicles",
+    "figures",
+]

@@ -1,0 +1,61 @@
+"""Plain-text rendering of experiment results (tables and series).
+
+The paper presents its evaluation as figures; this reproduction prints the
+underlying series as fixed-width text tables so that the benchmark harness
+output can be compared side by side with the paper (see ``EXPERIMENTS.md``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                 title: str = "") -> str:
+    """Render a fixed-width table from headers and rows."""
+    columns = len(headers)
+    widths = [len(str(h)) for h in headers]
+    text_rows: List[List[str]] = []
+    for row in rows:
+        cells = []
+        for idx in range(columns):
+            value = row[idx] if idx < len(row) else ""
+            cell = f"{value:.4f}" if isinstance(value, float) else str(value)
+            cells.append(cell)
+            widths[idx] = max(widths[idx], len(cell))
+        text_rows.append(cells)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(str(h).ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * widths[i] for i in range(columns)))
+    for cells in text_rows:
+        lines.append("  ".join(cells[i].ljust(widths[i]) for i in range(columns)))
+    return "\n".join(lines)
+
+
+def format_series(series: Mapping[str, Sequence[float]], x_label: str,
+                  x_values: Sequence[object], title: str = "") -> str:
+    """Render named series sharing one x-axis as a table (one row per x)."""
+    headers = [x_label] + list(series.keys())
+    rows = []
+    for idx, x in enumerate(x_values):
+        row = [x]
+        for name in series:
+            values = series[name]
+            row.append(values[idx] if idx < len(values) else float("nan"))
+        rows.append(row)
+    return format_table(headers, rows, title=title)
+
+
+def format_metric_comparison(results: Mapping[str, Mapping[str, float]],
+                             metrics: Sequence[str], title: str = "") -> str:
+    """Render a policies-by-metrics comparison table."""
+    headers = ["policy"] + list(metrics)
+    rows = []
+    for name, summary in results.items():
+        rows.append([name] + [summary.get(metric, float("nan")) for metric in metrics])
+    return format_table(headers, rows, title=title)
+
+
+__all__ = ["format_table", "format_series", "format_metric_comparison"]

@@ -1,0 +1,207 @@
+"""Build and run experiment settings: scenario + policy + simulator.
+
+The runner translates an :class:`ExperimentSetting` — city profile, scale,
+simulated hours, accumulation window, fleet fraction — plus a
+:class:`PolicySpec` into a finished
+:class:`~repro.sim.metrics.SimulationResult`.  Scenario construction and the
+distance oracle are cached per setting so that comparing several policies on
+the same workload (the typical experiment) pays the setup cost once.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.foodmatch import FoodMatchConfig, FoodMatchPolicy
+from repro.core.greedy import GreedyPolicy
+from repro.core.km_baseline import KMPolicy
+from repro.core.policy import AssignmentPolicy
+from repro.core.reyes import ReyesPolicy
+from repro.network.distance_oracle import DistanceOracle
+from repro.network.graph import SECONDS_PER_HOUR
+from repro.orders.costs import CostModel
+from repro.sim.engine import SimulationConfig, simulate
+from repro.sim.metrics import SimulationResult
+from repro.workload.city import CITY_PROFILES, CityProfile
+from repro.workload.generator import Scenario, generate_scenario
+
+
+@dataclass(frozen=True)
+class PolicySpec:
+    """A named policy plus its constructor keyword arguments."""
+
+    name: str
+    options: Tuple[Tuple[str, object], ...] = ()
+
+    @classmethod
+    def of(cls, name: str, **options) -> "PolicySpec":
+        return cls(name, tuple(sorted(options.items())))
+
+    def options_dict(self) -> Dict[str, object]:
+        return dict(self.options)
+
+
+@dataclass(frozen=True)
+class ExperimentSetting:
+    """Everything needed to materialise one simulated day.
+
+    Attributes
+    ----------
+    profile:
+        City profile (or its name, resolved against ``CITY_PROFILES``).
+    scale:
+        Workload scale factor applied to the profile (orders, vehicles,
+        restaurants).  Benchmarks use small scales so the full harness runs
+        in minutes.
+    start_hour, end_hour:
+        Simulated portion of the day.  The defaults cover the lunch peak,
+        which is where the paper's per-slot figures show the interesting
+        behaviour.
+    delta:
+        Accumulation window Δ in seconds; ``None`` uses the profile default.
+    vehicle_fraction:
+        Fraction of the (scaled) fleet made available (Fig. 7 sweeps this).
+    seed:
+        Workload seed; experiments average over several seeds.
+    """
+
+    profile: CityProfile
+    scale: float = 0.25
+    start_hour: int = 12
+    end_hour: int = 14
+    delta: Optional[float] = None
+    vehicle_fraction: float = 1.0
+    seed: int = 0
+
+    def resolved_delta(self) -> float:
+        return self.delta if self.delta is not None else self.profile.accumulation_window
+
+    def with_seed(self, seed: int) -> "ExperimentSetting":
+        return replace(self, seed=seed)
+
+
+def available_policies() -> List[str]:
+    """Names accepted by :func:`build_policy`."""
+    return ["foodmatch", "greedy", "km", "reyes",
+            "foodmatch-br", "foodmatch-br-bfs", "foodmatch-br-bfs-a"]
+
+
+def build_policy(name: str, cost_model: CostModel, **options) -> AssignmentPolicy:
+    """Instantiate a policy by name.
+
+    The three ``foodmatch-*`` variants correspond to the ablation layers of
+    Fig. 7(a): batching & reshuffling only, plus best-first search, plus
+    angular distance (which equals full FoodMatch).
+    """
+    key = name.lower()
+    if key == "greedy":
+        return GreedyPolicy(cost_model, **options)
+    if key == "km":
+        return KMPolicy(cost_model, **options)
+    if key == "reyes":
+        return ReyesPolicy(cost_model, **options)
+    if key == "foodmatch":
+        return FoodMatchPolicy(cost_model, FoodMatchConfig(**options))
+    if key == "foodmatch-br":
+        config = FoodMatchConfig(use_bfs=False, use_angular=False, **options)
+        return FoodMatchPolicy(cost_model, config)
+    if key == "foodmatch-br-bfs":
+        config = FoodMatchConfig(use_angular=False, **options)
+        return FoodMatchPolicy(cost_model, config)
+    if key == "foodmatch-br-bfs-a":
+        return FoodMatchPolicy(cost_model, FoodMatchConfig(**options))
+    raise ValueError(f"unknown policy {name!r}; known: {available_policies()}")
+
+
+# --------------------------------------------------------------------------- #
+# scenario / oracle caching
+# --------------------------------------------------------------------------- #
+_SCENARIO_CACHE: Dict[Tuple, Tuple[Scenario, DistanceOracle]] = {}
+
+
+def _setting_key(setting: ExperimentSetting) -> Tuple:
+    return (setting.profile.name, round(setting.scale, 6), setting.start_hour,
+            setting.end_hour, round(setting.vehicle_fraction, 6), setting.seed)
+
+
+def materialize(setting: ExperimentSetting) -> Tuple[Scenario, DistanceOracle]:
+    """Build (or fetch from cache) the scenario and distance oracle of a setting."""
+    key = _setting_key(setting)
+    cached = _SCENARIO_CACHE.get(key)
+    if cached is not None:
+        return cached
+    profile = setting.profile.scaled(setting.scale)
+    if setting.vehicle_fraction != 1.0:
+        reduced = max(1, round(profile.num_vehicles * setting.vehicle_fraction))
+        profile = profile.with_vehicles(reduced)
+    scenario = generate_scenario(profile, seed=setting.seed,
+                                 start_hour=setting.start_hour,
+                                 end_hour=setting.end_hour)
+    oracle = DistanceOracle(scenario.network)
+    _SCENARIO_CACHE[key] = (scenario, oracle)
+    return scenario, oracle
+
+
+def clear_cache() -> None:
+    """Drop all cached scenarios (used by tests that tune cache behaviour)."""
+    _SCENARIO_CACHE.clear()
+
+
+# --------------------------------------------------------------------------- #
+# running
+# --------------------------------------------------------------------------- #
+def run_setting(setting: ExperimentSetting, policy_spec: PolicySpec,
+                ) -> SimulationResult:
+    """Run one policy on one materialised setting and return its result."""
+    scenario, oracle = materialize(setting)
+    cost_model = CostModel(oracle)
+    policy = build_policy(policy_spec.name, cost_model, **policy_spec.options_dict())
+    config = SimulationConfig(
+        delta=setting.resolved_delta(),
+        start=setting.start_hour * SECONDS_PER_HOUR,
+        end=setting.end_hour * SECONDS_PER_HOUR,
+    )
+    return simulate(scenario, policy, cost_model, config)
+
+
+def run_averaged(setting: ExperimentSetting, policy_spec: PolicySpec,
+                 seeds: Sequence[int]) -> List[SimulationResult]:
+    """Run a policy over several workload seeds (cross-validation analogue)."""
+    return [run_setting(setting.with_seed(seed), policy_spec) for seed in seeds]
+
+
+def run_policy_comparison(setting: ExperimentSetting,
+                          policy_specs: Sequence[PolicySpec],
+                          ) -> Dict[str, SimulationResult]:
+    """Run several policies on the *same* workload and return results by name."""
+    results: Dict[str, SimulationResult] = {}
+    for spec in policy_specs:
+        results[spec.name] = run_setting(setting, spec)
+    return results
+
+
+def improvement_percent(baseline: float, candidate: float, higher_is_better: bool = False,
+                        ) -> float:
+    """Relative improvement of ``candidate`` over ``baseline`` (Eq. 9)."""
+    if baseline == 0:
+        return 0.0
+    if higher_is_better:
+        return 100.0 * (candidate - baseline) / baseline
+    return 100.0 * (baseline - candidate) / baseline
+
+
+__all__ = [
+    "PolicySpec",
+    "ExperimentSetting",
+    "available_policies",
+    "build_policy",
+    "materialize",
+    "clear_cache",
+    "run_setting",
+    "run_averaged",
+    "run_policy_comparison",
+    "improvement_percent",
+]

@@ -1,0 +1,132 @@
+"""Parameter sweeps used by the sensitivity figures (Figs. 7-9).
+
+Every sweep runs the same workload under a series of parameter values and
+collects the metrics the corresponding figure plots.  The return value is a
+:class:`SweepResult`, a small container mapping parameter values to metric
+dictionaries; the figure functions and benchmarks format these into the
+paper's series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.runner import (
+    ExperimentSetting,
+    PolicySpec,
+    run_setting,
+)
+from repro.sim.metrics import SimulationResult
+
+
+@dataclass
+class SweepResult:
+    """Metrics collected for each value of a swept parameter."""
+
+    parameter: str
+    values: List[float] = field(default_factory=list)
+    metrics: Dict[float, Dict[str, float]] = field(default_factory=dict)
+    results: Dict[float, SimulationResult] = field(default_factory=dict)
+
+    def record(self, value: float, result: SimulationResult) -> None:
+        self.values.append(value)
+        self.metrics[value] = result.summary()
+        self.results[value] = result
+
+    def series(self, metric: str) -> List[float]:
+        """The metric values in sweep order (one per parameter value)."""
+        return [self.metrics[value][metric] for value in self.values]
+
+    def as_table(self, metric_names: Sequence[str]) -> str:
+        """Format selected metrics as a fixed-width text table."""
+        header = f"{self.parameter:>12} " + " ".join(f"{m:>22}" for m in metric_names)
+        lines = [header]
+        for value in self.values:
+            row = f"{value:>12.3f} " + " ".join(
+                f"{self.metrics[value][m]:>22.4f}" for m in metric_names)
+            lines.append(row)
+        return "\n".join(lines)
+
+
+def sweep_vehicles(setting: ExperimentSetting, policy: PolicySpec,
+                   fractions: Sequence[float] = (0.2, 0.4, 0.6, 0.8, 1.0),
+                   ) -> SweepResult:
+    """Vary the available fleet fraction (Fig. 7(b)-(e))."""
+    sweep = SweepResult(parameter="vehicle_fraction")
+    for fraction in fractions:
+        varied = replace(setting, vehicle_fraction=fraction)
+        sweep.record(fraction, run_setting(varied, policy))
+    return sweep
+
+
+def sweep_eta(setting: ExperimentSetting, etas: Sequence[float] = (30.0, 60.0, 90.0, 120.0, 150.0),
+              base_options: Optional[Dict[str, object]] = None) -> SweepResult:
+    """Vary the batching quality threshold η (Fig. 8(a)-(c))."""
+    sweep = SweepResult(parameter="eta")
+    base = dict(base_options or {})
+    for eta in etas:
+        spec = PolicySpec.of("foodmatch", eta=eta, **base)
+        sweep.record(eta, run_setting(setting, spec))
+    return sweep
+
+
+def sweep_delta(setting: ExperimentSetting, policy: PolicySpec,
+                deltas: Sequence[float] = (60.0, 120.0, 180.0, 240.0)) -> SweepResult:
+    """Vary the accumulation window Δ (Fig. 8(d)-(g))."""
+    sweep = SweepResult(parameter="delta")
+    for delta in deltas:
+        varied = replace(setting, delta=delta)
+        sweep.record(delta, run_setting(varied, policy))
+    return sweep
+
+
+def sweep_k(setting: ExperimentSetting, ks: Sequence[int] = (2, 4, 8, 16, 32),
+            base_options: Optional[Dict[str, object]] = None) -> SweepResult:
+    """Vary the per-vehicle FoodGraph degree bound k (Fig. 8(h)-(k)).
+
+    The paper sweeps k in [50, 300] on city-scale instances; the scaled-down
+    workloads here use proportionally smaller values.
+    """
+    sweep = SweepResult(parameter="k")
+    base = dict(base_options or {})
+    for k in ks:
+        spec = PolicySpec.of("foodmatch", k=int(k), **base)
+        sweep.record(float(k), run_setting(setting, spec))
+    return sweep
+
+
+def sweep_gamma(setting: ExperimentSetting, gammas: Sequence[float] = (0.1, 0.3, 0.5, 0.7, 0.9),
+                base_options: Optional[Dict[str, object]] = None) -> SweepResult:
+    """Vary the angular-distance weighting γ (Fig. 9(a)-(c))."""
+    sweep = SweepResult(parameter="gamma")
+    base = dict(base_options or {})
+    for gamma in gammas:
+        spec = PolicySpec.of("foodmatch", gamma=gamma, **base)
+        sweep.record(gamma, run_setting(setting, spec))
+    return sweep
+
+
+def sweep_gamma_rejections(setting: ExperimentSetting,
+                           gammas: Sequence[float] = (0.1, 0.5, 0.9),
+                           fractions: Sequence[float] = (0.1, 0.2, 0.3),
+                           base_options: Optional[Dict[str, object]] = None,
+                           ) -> Dict[float, SweepResult]:
+    """Rejection rate vs fleet size for several γ values (Fig. 9(d))."""
+    results: Dict[float, SweepResult] = {}
+    base = dict(base_options or {})
+    for gamma in gammas:
+        spec = PolicySpec.of("foodmatch", gamma=gamma, **base)
+        results[gamma] = sweep_vehicles(setting, spec, fractions)
+    return results
+
+
+__all__ = [
+    "SweepResult",
+    "sweep_vehicles",
+    "sweep_eta",
+    "sweep_delta",
+    "sweep_k",
+    "sweep_gamma",
+    "sweep_gamma_rejections",
+]

@@ -1,0 +1,57 @@
+"""Road network substrate for the FoodMatch reproduction.
+
+This package provides everything the assignment algorithms need from the
+"dynamic road network" layer of the paper:
+
+* :class:`~repro.network.graph.RoadNetwork` — a directed graph with
+  time-slot-dependent edge traversal times (``beta(e, t)`` in the paper).
+* Shortest path machinery (Dijkstra, bidirectional Dijkstra, best-first
+  exploration) in :mod:`repro.network.shortest_path`.
+* A hub-labeling distance index in :mod:`repro.network.hub_labeling`,
+  standing in for the hierarchical hub labels the paper uses.
+* Geometric helpers (haversine, bearing, angular distance) in
+  :mod:`repro.network.geometry`.
+* Synthetic city network generators in :mod:`repro.network.generators`,
+  which replace the proprietary OpenStreetMap extracts used by the paper.
+"""
+
+from repro.network.geometry import (
+    angular_distance,
+    bearing,
+    euclidean_distance,
+    haversine_distance,
+)
+from repro.network.graph import RoadNetwork, TimeProfile
+from repro.network.shortest_path import (
+    BestFirstExplorer,
+    dijkstra,
+    dijkstra_all,
+    shortest_path_length,
+    shortest_path_nodes,
+)
+from repro.network.hub_labeling import HubLabelIndex
+from repro.network.distance_oracle import DistanceOracle
+from repro.network.generators import (
+    grid_city,
+    radial_city,
+    random_geometric_city,
+)
+
+__all__ = [
+    "RoadNetwork",
+    "TimeProfile",
+    "DistanceOracle",
+    "HubLabelIndex",
+    "BestFirstExplorer",
+    "dijkstra",
+    "dijkstra_all",
+    "shortest_path_length",
+    "shortest_path_nodes",
+    "haversine_distance",
+    "euclidean_distance",
+    "bearing",
+    "angular_distance",
+    "grid_city",
+    "radial_city",
+    "random_geometric_city",
+]

@@ -1,0 +1,231 @@
+"""Synthetic road-network generators.
+
+The paper evaluates on OpenStreetMap extracts of three Indian cities (39k to
+183k nodes) that ship with the proprietary Swiggy dataset.  The reproduction
+replaces them with parametric generators that preserve the properties the
+algorithms actually exploit:
+
+* a planar, sparse, strongly connected street topology with node coordinates
+  (needed for bearings and angular distance),
+* traversal times proportional to street length with localised congestion,
+* time-of-day dependence through the network-wide :class:`TimeProfile`.
+
+Three families are provided:
+
+``grid_city``
+    A Manhattan-style grid with optional diagonal avenues, the default for
+    tests and experiments because distances are easy to reason about.
+``radial_city``
+    Concentric ring roads joined by radial arterials, resembling many Indian
+    metro layouts.
+``random_geometric_city``
+    A random geometric graph over uniformly placed intersections, giving an
+    irregular suburban street pattern.
+
+Every generator returns a strongly connected :class:`RoadNetwork` embedded in
+a small latitude/longitude box around a configurable city centre.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Optional, Tuple
+
+from repro.network.geometry import haversine_distance
+from repro.network.graph import RoadNetwork, TimeProfile
+
+# Degrees of latitude per kilometre (approximately constant).
+_LAT_DEG_PER_KM = 1.0 / 110.574
+
+
+def _lon_deg_per_km(lat: float) -> float:
+    return 1.0 / (111.320 * math.cos(math.radians(lat)))
+
+
+def _travel_time_seconds(length_km: float, speed_kmph: float) -> float:
+    return 3600.0 * length_km / speed_kmph
+
+
+def grid_city(rows: int = 15, cols: int = 15, block_km: float = 0.4,
+              speed_kmph: float = 22.0, diagonal_fraction: float = 0.08,
+              congested_fraction: float = 0.1, congestion_factor: float = 1.6,
+              center: Tuple[float, float] = (12.97, 77.59),
+              profile: Optional[TimeProfile] = None,
+              seed: int = 7) -> RoadNetwork:
+    """Generate a Manhattan-style grid road network.
+
+    Parameters
+    ----------
+    rows, cols:
+        Number of intersections along each axis (``rows * cols`` nodes).
+    block_km:
+        Length of one block in kilometres.
+    speed_kmph:
+        Free-flow speed used to convert block length into traversal seconds.
+    diagonal_fraction:
+        Fraction of grid cells that additionally receive a diagonal shortcut,
+        giving the network slightly irregular quickest paths.
+    congested_fraction:
+        Fraction of streets that receive a per-edge congestion multiplier of
+        ``congestion_factor`` to model locally slow roads.
+    center:
+        ``(lat, lon)`` of the grid centre; defaults to Bengaluru, the
+        archetypal Swiggy metro.
+    """
+    if rows < 2 or cols < 2:
+        raise ValueError("grid_city requires at least a 2x2 grid")
+    rng = random.Random(seed)
+    profile = profile or TimeProfile.urban_peaks()
+    network = RoadNetwork(profile)
+    lat0, lon0 = center
+    dlat = block_km * _LAT_DEG_PER_KM
+    dlon = block_km * _lon_deg_per_km(lat0)
+
+    def node_id(r: int, c: int) -> int:
+        return r * cols + c
+
+    for r in range(rows):
+        for c in range(cols):
+            lat = lat0 + (r - rows / 2.0) * dlat
+            lon = lon0 + (c - cols / 2.0) * dlon
+            network.add_node(node_id(r, c), lat, lon)
+
+    base_tt = _travel_time_seconds(block_km, speed_kmph)
+    diag_tt = _travel_time_seconds(block_km * math.sqrt(2.0), speed_kmph)
+    for r in range(rows):
+        for c in range(cols):
+            u = node_id(r, c)
+            if c + 1 < cols:
+                mult = congestion_factor if rng.random() < congested_fraction else 1.0
+                network.add_road(u, node_id(r, c + 1), base_tt, mult)
+            if r + 1 < rows:
+                mult = congestion_factor if rng.random() < congested_fraction else 1.0
+                network.add_road(u, node_id(r + 1, c), base_tt, mult)
+            if r + 1 < rows and c + 1 < cols and rng.random() < diagonal_fraction:
+                network.add_road(u, node_id(r + 1, c + 1), diag_tt)
+    return network
+
+
+def radial_city(rings: int = 6, spokes: int = 12, ring_spacing_km: float = 0.7,
+                speed_kmph: float = 24.0,
+                center: Tuple[float, float] = (28.61, 77.21),
+                profile: Optional[TimeProfile] = None,
+                seed: int = 11) -> RoadNetwork:
+    """Generate a radial-ring road network (centre node, rings and spokes).
+
+    Node 0 is the city centre.  Ring ``i`` (1-based) contains ``spokes``
+    nodes; consecutive nodes on a ring are joined by ring roads, and nodes
+    with the same angular index on adjacent rings are joined by radial roads.
+    """
+    if rings < 1 or spokes < 3:
+        raise ValueError("radial_city requires rings >= 1 and spokes >= 3")
+    rng = random.Random(seed)
+    profile = profile or TimeProfile.urban_peaks()
+    network = RoadNetwork(profile)
+    lat0, lon0 = center
+    network.add_node(0, lat0, lon0)
+
+    def node_id(ring: int, spoke: int) -> int:
+        return 1 + (ring - 1) * spokes + spoke
+
+    for ring in range(1, rings + 1):
+        radius_km = ring * ring_spacing_km
+        for spoke in range(spokes):
+            angle = 2.0 * math.pi * spoke / spokes
+            lat = lat0 + radius_km * math.cos(angle) * _LAT_DEG_PER_KM
+            lon = lon0 + radius_km * math.sin(angle) * _lon_deg_per_km(lat0)
+            network.add_node(node_id(ring, spoke), lat, lon)
+
+    for ring in range(1, rings + 1):
+        radius_km = ring * ring_spacing_km
+        arc_km = 2.0 * math.pi * radius_km / spokes
+        arc_tt = _travel_time_seconds(arc_km, speed_kmph)
+        for spoke in range(spokes):
+            u = node_id(ring, spoke)
+            v = node_id(ring, (spoke + 1) % spokes)
+            network.add_road(u, v, arc_tt * rng.uniform(0.9, 1.2))
+        radial_tt = _travel_time_seconds(ring_spacing_km, speed_kmph)
+        for spoke in range(spokes):
+            u = node_id(ring, spoke)
+            if ring == 1:
+                network.add_road(0, u, radial_tt * rng.uniform(0.9, 1.2))
+            else:
+                network.add_road(node_id(ring - 1, spoke), u, radial_tt * rng.uniform(0.9, 1.2))
+    return network
+
+
+def random_geometric_city(num_nodes: int = 250, area_km: float = 8.0,
+                          connection_radius_km: float = 1.1,
+                          speed_kmph: float = 20.0,
+                          center: Tuple[float, float] = (19.08, 72.88),
+                          profile: Optional[TimeProfile] = None,
+                          seed: int = 13) -> RoadNetwork:
+    """Generate an irregular street network as a random geometric graph.
+
+    Intersections are placed uniformly at random in a square of side
+    ``area_km`` kilometres and joined when within ``connection_radius_km``.
+    Any disconnected components are stitched to the giant component with a
+    road to the nearest already-connected node so the result is strongly
+    connected.
+    """
+    if num_nodes < 2:
+        raise ValueError("random_geometric_city requires at least two nodes")
+    rng = random.Random(seed)
+    profile = profile or TimeProfile.urban_peaks()
+    network = RoadNetwork(profile)
+    lat0, lon0 = center
+    positions = {}
+    for node in range(num_nodes):
+        x_km = rng.uniform(-area_km / 2.0, area_km / 2.0)
+        y_km = rng.uniform(-area_km / 2.0, area_km / 2.0)
+        lat = lat0 + y_km * _LAT_DEG_PER_KM
+        lon = lon0 + x_km * _lon_deg_per_km(lat0)
+        network.add_node(node, lat, lon)
+        positions[node] = (lat, lon)
+
+    for u in range(num_nodes):
+        for v in range(u + 1, num_nodes):
+            dist_km = haversine_distance(positions[u], positions[v])
+            if dist_km <= connection_radius_km:
+                network.add_road(u, v, _travel_time_seconds(max(dist_km, 0.05), speed_kmph))
+
+    _stitch_components(network, positions, speed_kmph)
+    return network
+
+
+def _stitch_components(network: RoadNetwork, positions, speed_kmph: float) -> None:
+    """Connect stray components to the largest one with nearest-node roads."""
+    nodes = network.nodes
+    if not nodes:
+        return
+    remaining = set(nodes)
+    components = []
+    while remaining:
+        start = next(iter(remaining))
+        seen = {start}
+        stack = [start]
+        while stack:
+            node = stack.pop()
+            for nbr, _ in network.neighbors(node):
+                if nbr not in seen:
+                    seen.add(nbr)
+                    stack.append(nbr)
+        components.append(seen)
+        remaining -= seen
+    components.sort(key=len, reverse=True)
+    giant = set(components[0])
+    for component in components[1:]:
+        best = None
+        for u in component:
+            for v in giant:
+                dist_km = haversine_distance(positions[u], positions[v])
+                if best is None or dist_km < best[0]:
+                    best = (dist_km, u, v)
+        if best is not None:
+            dist_km, u, v = best
+            network.add_road(u, v, _travel_time_seconds(max(dist_km, 0.05), speed_kmph))
+        giant |= component
+
+
+__all__ = ["grid_city", "radial_city", "random_geometric_city"]

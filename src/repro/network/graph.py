@@ -1,0 +1,256 @@
+"""Time-dependent road network (Def. 1 of the paper).
+
+The paper models the road network as a weighted directed graph whose edge
+weight ``beta(e, t)`` is the time needed to traverse road segment ``e`` at
+time-of-day ``t``.  In the original system the per-edge, per-hour weights are
+estimated from the GPS pings of the delivery fleet; here an edge stores a
+*base* traversal time (free-flow travel time in seconds) and the network owns
+a :class:`TimeProfile` of hourly congestion multipliers, so that::
+
+    beta(e, t) = base_time(e) * profile.multiplier(t)
+
+This captures the structure the algorithms depend on — traversal times that
+vary by time slot and peak at lunch/dinner — without requiring proprietary
+GPS traces.  A per-edge multiplier override is supported for tests and for
+modelling localised congestion.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.network.geometry import Coordinate, euclidean_distance
+
+SECONDS_PER_HOUR = 3600
+SECONDS_PER_DAY = 24 * SECONDS_PER_HOUR
+
+
+def time_slot(t: float) -> int:
+    """Map a timestamp (seconds since midnight) to its 1-hour slot index.
+
+    Slot 0 covers 00:00-00:59, slot 1 covers 01:00-01:59 and so on, matching
+    the 24 time slots used by the paper for edge weights, preparation times
+    and the per-slot figures.
+    Times outside a single day wrap around (the simulator may run slightly
+    past midnight).
+    """
+    return int(t // SECONDS_PER_HOUR) % 24
+
+
+@dataclass(frozen=True)
+class TimeProfile:
+    """Hourly congestion multipliers applied on top of base edge weights.
+
+    ``multipliers[h]`` scales every base traversal time during hour ``h``.
+    A value of ``1.0`` means free-flow; values above one model congestion.
+    """
+
+    multipliers: Tuple[float, ...] = field(default_factory=lambda: (1.0,) * 24)
+
+    def __post_init__(self) -> None:
+        if len(self.multipliers) != 24:
+            raise ValueError("TimeProfile requires exactly 24 hourly multipliers")
+        if any(m <= 0 for m in self.multipliers):
+            raise ValueError("TimeProfile multipliers must be strictly positive")
+
+    def multiplier(self, t: float) -> float:
+        """Return the congestion multiplier in effect at timestamp ``t``."""
+        return self.multipliers[time_slot(t)]
+
+    @classmethod
+    def flat(cls, value: float = 1.0) -> "TimeProfile":
+        """A profile with the same multiplier in every hour."""
+        return cls(tuple(value for _ in range(24)))
+
+    @classmethod
+    def urban_peaks(cls, base: float = 1.0, lunch: float = 1.35, dinner: float = 1.45,
+                    night: float = 0.85) -> "TimeProfile":
+        """A stylised urban profile with lunch (12-14h) and dinner (19-22h) peaks.
+
+        The shape mirrors the congestion implied by Fig. 6(a): traversal times
+        are worst exactly when order volumes peak.
+        """
+        values = []
+        for hour in range(24):
+            if 12 <= hour <= 14:
+                values.append(base * lunch)
+            elif 19 <= hour <= 22:
+                values.append(base * dinner)
+            elif hour <= 5:
+                values.append(base * night)
+            else:
+                values.append(base)
+        return cls(tuple(values))
+
+
+class RoadNetwork:
+    """A directed road network with time-dependent traversal times.
+
+    Nodes are arbitrary hashable identifiers (the generators use integers)
+    with an associated ``(lat, lon)`` coordinate.  Edges are directed; the
+    convenience method :meth:`add_road` adds both directions at once, which
+    is how the synthetic generators build two-way streets.
+    """
+
+    def __init__(self, profile: Optional[TimeProfile] = None) -> None:
+        self._coords: Dict[int, Coordinate] = {}
+        self._adj: Dict[int, Dict[int, float]] = {}
+        self._radj: Dict[int, Dict[int, float]] = {}
+        self._edge_multiplier: Dict[Tuple[int, int], float] = {}
+        self._num_edges = 0
+        self.profile = profile if profile is not None else TimeProfile.flat()
+        self._max_base_time = 0.0
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    def add_node(self, node: int, lat: float, lon: float) -> None:
+        """Add (or re-position) a node with the given coordinate."""
+        self._coords[node] = (lat, lon)
+        self._adj.setdefault(node, {})
+        self._radj.setdefault(node, {})
+
+    def add_edge(self, u: int, v: int, base_time: float,
+                 multiplier: float = 1.0) -> None:
+        """Add a directed edge from ``u`` to ``v``.
+
+        ``base_time`` is the free-flow traversal time in seconds;
+        ``multiplier`` is an optional per-edge factor layered on top of the
+        network-wide :class:`TimeProfile` (used to model locally congested
+        streets).  Both endpoints must already exist.
+        """
+        if u not in self._coords or v not in self._coords:
+            raise KeyError("both endpoints must be added before the edge")
+        if base_time <= 0:
+            raise ValueError("edge traversal time must be strictly positive")
+        if v not in self._adj[u]:
+            self._num_edges += 1
+        self._adj[u][v] = base_time
+        self._radj[v][u] = base_time
+        if multiplier != 1.0:
+            self._edge_multiplier[(u, v)] = multiplier
+        else:
+            self._edge_multiplier.pop((u, v), None)
+        effective = base_time * multiplier
+        if effective > self._max_base_time:
+            self._max_base_time = effective
+
+    def add_road(self, u: int, v: int, base_time: float,
+                 multiplier: float = 1.0) -> None:
+        """Add a two-way road (edges in both directions with equal weight)."""
+        self.add_edge(u, v, base_time, multiplier)
+        self.add_edge(v, u, base_time, multiplier)
+
+    # ------------------------------------------------------------------ #
+    # inspection
+    # ------------------------------------------------------------------ #
+    @property
+    def nodes(self) -> List[int]:
+        """All node identifiers."""
+        return list(self._coords)
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._coords)
+
+    @property
+    def num_edges(self) -> int:
+        return self._num_edges
+
+    def __contains__(self, node: int) -> bool:
+        return node in self._coords
+
+    def __len__(self) -> int:
+        return len(self._coords)
+
+    def coord(self, node: int) -> Coordinate:
+        """Return the ``(lat, lon)`` coordinate of ``node``."""
+        return self._coords[node]
+
+    def has_edge(self, u: int, v: int) -> bool:
+        return u in self._adj and v in self._adj[u]
+
+    def base_time(self, u: int, v: int) -> float:
+        """Free-flow traversal time of the edge ``(u, v)`` in seconds."""
+        return self._adj[u][v]
+
+    def edge_time(self, u: int, v: int, t: float = 0.0) -> float:
+        """``beta((u, v), t)``: traversal time of the edge at timestamp ``t``."""
+        base = self._adj[u][v]
+        mult = self._edge_multiplier.get((u, v), 1.0)
+        return base * mult * self.profile.multiplier(t)
+
+    def max_edge_time(self, t: float = 0.0) -> float:
+        """Largest ``beta(e, t)`` over all edges, used to normalise Eq. 8."""
+        if self._num_edges == 0:
+            return 1.0
+        return self._max_base_time * self.profile.multiplier(t)
+
+    def neighbors(self, u: int) -> Iterator[Tuple[int, float]]:
+        """Iterate ``(neighbor, base_time)`` pairs of out-edges of ``u``."""
+        return iter(self._adj.get(u, {}).items())
+
+    def predecessors(self, u: int) -> Iterator[Tuple[int, float]]:
+        """Iterate ``(predecessor, base_time)`` pairs of in-edges of ``u``."""
+        return iter(self._radj.get(u, {}).items())
+
+    def out_degree(self, u: int) -> int:
+        return len(self._adj.get(u, {}))
+
+    def edges(self) -> Iterator[Tuple[int, int, float]]:
+        """Iterate all edges as ``(u, v, base_time)``."""
+        for u, nbrs in self._adj.items():
+            for v, w in nbrs.items():
+                yield u, v, w
+
+    def nearest_node(self, coord: Coordinate,
+                     candidates: Optional[Iterable[int]] = None) -> int:
+        """Return the node whose coordinate is closest to ``coord``.
+
+        The paper snaps vehicle GPS positions to the nearest road-network
+        node; the simulator uses this to place vehicles and to map-match
+        synthetic restaurant/customer locations.
+        """
+        if not self._coords:
+            raise ValueError("network has no nodes")
+        pool = candidates if candidates is not None else self._coords.keys()
+        return min(pool, key=lambda n: euclidean_distance(self._coords[n], coord))
+
+    def to_networkx(self):
+        """Export to a :class:`networkx.DiGraph` (base weights only)."""
+        import networkx as nx
+
+        graph = nx.DiGraph()
+        for node, (lat, lon) in self._coords.items():
+            graph.add_node(node, lat=lat, lon=lon)
+        for u, v, w in self.edges():
+            graph.add_edge(u, v, weight=w)
+        return graph
+
+    def is_strongly_connected(self) -> bool:
+        """Check strong connectivity (every node can reach every other node)."""
+        if not self._coords:
+            return True
+        start = next(iter(self._coords))
+        return (len(self._reachable(start, self._adj)) == self.num_nodes
+                and len(self._reachable(start, self._radj)) == self.num_nodes)
+
+    @staticmethod
+    def _reachable(start: int, adjacency: Dict[int, Dict[int, float]]) -> set:
+        seen = {start}
+        stack = [start]
+        while stack:
+            node = stack.pop()
+            for nbr in adjacency.get(node, {}):
+                if nbr not in seen:
+                    seen.add(nbr)
+                    stack.append(nbr)
+        return seen
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RoadNetwork(nodes={self.num_nodes}, edges={self.num_edges})"
+
+
+__all__ = ["RoadNetwork", "TimeProfile", "time_slot", "SECONDS_PER_HOUR", "SECONDS_PER_DAY"]

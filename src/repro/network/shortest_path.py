@@ -1,0 +1,221 @@
+"""Shortest-path primitives on the time-dependent road network.
+
+The paper needs three flavours of search:
+
+* point-to-point quickest path queries ``SP(u, v, t)`` (used everywhere —
+  route plans, marginal costs, first/last mile),
+* full single-source searches (used to build the hub-label index and the
+  workload statistics), and
+* *best-first exploration* from a vehicle's location that yields road-network
+  nodes in ascending (possibly angular-distance-blended) cost order, which is
+  the engine behind the sparsified FoodGraph construction (Alg. 2).
+
+All searches treat the traversal time of an edge as fixed for the duration of
+one query at the query timestamp ``t`` (the same simplification the paper
+makes inside an accumulation window).
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+from repro.network.graph import RoadNetwork
+
+INFINITY = math.inf
+
+WeightFunction = Callable[[int, int], float]
+
+
+def _edge_weight_fn(network: RoadNetwork, t: float) -> WeightFunction:
+    """Return a closure giving ``beta((u, v), t)`` for the query timestamp."""
+    return lambda u, v: network.edge_time(u, v, t)
+
+
+def dijkstra(network: RoadNetwork, source: int, target: int, t: float = 0.0,
+             weight: Optional[WeightFunction] = None) -> float:
+    """Quickest-path length ``SP(source, target, t)`` in seconds.
+
+    Returns ``math.inf`` when ``target`` is unreachable.  A custom ``weight``
+    function may be supplied (used by tests and by the angular-distance
+    machinery); it defaults to the network's time-dependent edge weight.
+    """
+    if source == target:
+        return 0.0
+    weight = weight or _edge_weight_fn(network, t)
+    dist: Dict[int, float] = {source: 0.0}
+    heap: List[Tuple[float, int]] = [(0.0, source)]
+    visited: set = set()
+    while heap:
+        d, node = heapq.heappop(heap)
+        if node in visited:
+            continue
+        if node == target:
+            return d
+        visited.add(node)
+        for nbr, _ in network.neighbors(node):
+            if nbr in visited:
+                continue
+            nd = d + weight(node, nbr)
+            if nd < dist.get(nbr, INFINITY):
+                dist[nbr] = nd
+                heapq.heappush(heap, (nd, nbr))
+    return INFINITY
+
+
+def dijkstra_all(network: RoadNetwork, source: int, t: float = 0.0,
+                 weight: Optional[WeightFunction] = None,
+                 cutoff: Optional[float] = None) -> Dict[int, float]:
+    """Single-source quickest-path lengths from ``source`` to every node.
+
+    ``cutoff`` stops the search once the frontier distance exceeds it, which
+    keeps workload statistics and index construction cheap on large networks.
+    """
+    weight = weight or _edge_weight_fn(network, t)
+    dist: Dict[int, float] = {source: 0.0}
+    final: Dict[int, float] = {}
+    heap: List[Tuple[float, int]] = [(0.0, source)]
+    while heap:
+        d, node = heapq.heappop(heap)
+        if node in final:
+            continue
+        if cutoff is not None and d > cutoff:
+            break
+        final[node] = d
+        for nbr, _ in network.neighbors(node):
+            if nbr in final:
+                continue
+            nd = d + weight(node, nbr)
+            if nd < dist.get(nbr, INFINITY):
+                dist[nbr] = nd
+                heapq.heappush(heap, (nd, nbr))
+    return final
+
+
+def dijkstra_all_reverse(network: RoadNetwork, target: int, t: float = 0.0,
+                         cutoff: Optional[float] = None) -> Dict[int, float]:
+    """Quickest-path lengths from every node *to* ``target`` (reverse search)."""
+    dist: Dict[int, float] = {target: 0.0}
+    final: Dict[int, float] = {}
+    heap: List[Tuple[float, int]] = [(0.0, target)]
+    while heap:
+        d, node = heapq.heappop(heap)
+        if node in final:
+            continue
+        if cutoff is not None and d > cutoff:
+            break
+        final[node] = d
+        for pred, _ in network.predecessors(node):
+            if pred in final:
+                continue
+            nd = d + network.edge_time(pred, node, t)
+            if nd < dist.get(pred, INFINITY):
+                dist[pred] = nd
+                heapq.heappush(heap, (nd, pred))
+    return final
+
+
+def shortest_path_nodes(network: RoadNetwork, source: int, target: int,
+                        t: float = 0.0) -> List[int]:
+    """Return the node sequence of a quickest path from ``source`` to ``target``.
+
+    Raises :class:`ValueError` when no path exists.  The simulator uses the
+    expanded node sequence to move vehicles edge by edge so that their
+    positions (and hence bearings) stay consistent with the road network.
+    """
+    if source == target:
+        return [source]
+    weight = _edge_weight_fn(network, t)
+    dist: Dict[int, float] = {source: 0.0}
+    parent: Dict[int, int] = {}
+    heap: List[Tuple[float, int]] = [(0.0, source)]
+    visited: set = set()
+    while heap:
+        d, node = heapq.heappop(heap)
+        if node in visited:
+            continue
+        visited.add(node)
+        if node == target:
+            break
+        for nbr, _ in network.neighbors(node):
+            if nbr in visited:
+                continue
+            nd = d + weight(node, nbr)
+            if nd < dist.get(nbr, INFINITY):
+                dist[nbr] = nd
+                parent[nbr] = node
+                heapq.heappush(heap, (nd, nbr))
+    if target not in visited:
+        raise ValueError(f"no path from {source} to {target}")
+    path = [target]
+    while path[-1] != source:
+        path.append(parent[path[-1]])
+    path.reverse()
+    return path
+
+
+def shortest_path_length(network: RoadNetwork, source: int, target: int,
+                         t: float = 0.0) -> float:
+    """Alias of :func:`dijkstra` with the paper's ``SP(u, v, t)`` semantics."""
+    return dijkstra(network, source, target, t)
+
+
+class BestFirstExplorer:
+    """Incremental best-first search from a single source node.
+
+    Alg. 2 of the paper expands road-network nodes around each vehicle in
+    ascending order of (blended) cost, stopping as soon as the vehicle has
+    acquired ``k`` candidate batches.  This class exposes that expansion as a
+    lazy iterator: each call to :meth:`__next__` pops the next node in cost
+    order, so the FoodGraph builder can stop early without wasting work.
+
+    ``weight`` may be any non-negative edge weight function; FoodMatch passes
+    the vehicle-sensitive weight ``alpha(v, e, t)`` of Eq. 8, while the plain
+    sparsifier passes ``beta(e, t)``.
+    """
+
+    def __init__(self, network: RoadNetwork, source: int,
+                 weight: Optional[WeightFunction] = None, t: float = 0.0) -> None:
+        self._network = network
+        self._weight = weight or _edge_weight_fn(network, t)
+        self._dist: Dict[int, float] = {source: 0.0}
+        self._heap: List[Tuple[float, int]] = [(0.0, source)]
+        self._visited: set = set()
+
+    def __iter__(self) -> Iterator[Tuple[int, float]]:
+        return self
+
+    def __next__(self) -> Tuple[int, float]:
+        """Return the next ``(node, cost)`` pair in ascending cost order."""
+        while self._heap:
+            d, node = heapq.heappop(self._heap)
+            if node in self._visited:
+                continue
+            self._visited.add(node)
+            for nbr, _ in self._network.neighbors(node):
+                if nbr in self._visited:
+                    continue
+                nd = d + self._weight(node, nbr)
+                if nd < self._dist.get(nbr, INFINITY):
+                    self._dist[nbr] = nd
+                    heapq.heappush(self._heap, (nd, nbr))
+            return node, d
+        raise StopIteration
+
+    @property
+    def visited_count(self) -> int:
+        """Number of nodes settled so far (an efficiency statistic)."""
+        return len(self._visited)
+
+
+__all__ = [
+    "dijkstra",
+    "dijkstra_all",
+    "dijkstra_all_reverse",
+    "shortest_path_nodes",
+    "shortest_path_length",
+    "BestFirstExplorer",
+    "WeightFunction",
+    "INFINITY",
+]

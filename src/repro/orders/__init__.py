@@ -1,0 +1,46 @@
+"""Domain model for the food delivery problem.
+
+This package contains the entities of Problem 1 in the paper and the cost
+machinery built on top of them:
+
+* :class:`~repro.orders.order.Order` — Def. 2 (restaurant, customer, request
+  time, item count, preparation time).
+* :class:`~repro.orders.vehicle.Vehicle` — a delivery vehicle with its
+  assigned orders, picked-up set and current route plan.
+* :class:`~repro.orders.route_plan.RoutePlan` and
+  :func:`~repro.orders.route_plan.best_route_plan` — Def. 3, the quickest
+  permutation of pick-up/drop-off stops.
+* :class:`~repro.orders.batch.Batch` — a group of orders delivered together
+  (a node of the order graph of Sec. IV-B).
+* :mod:`repro.orders.costs` — EDT / SDT / XDT (Defs. 5-7), ``Cost`` (Eq. 4)
+  and marginal cost (Def. 9 and Eq. 7).
+"""
+
+from repro.orders.order import Order
+from repro.orders.vehicle import Vehicle, VehicleState
+from repro.orders.route_plan import (
+    RoutePlan,
+    RouteStop,
+    best_route_plan,
+    enumerate_route_plans,
+    insertion_route_plan,
+)
+from repro.orders.batch import Batch
+from repro.orders.costs import (
+    CostModel,
+    shortest_delivery_time,
+)
+
+__all__ = [
+    "Order",
+    "Vehicle",
+    "VehicleState",
+    "RouteStop",
+    "RoutePlan",
+    "best_route_plan",
+    "enumerate_route_plans",
+    "insertion_route_plan",
+    "Batch",
+    "CostModel",
+    "shortest_delivery_time",
+]

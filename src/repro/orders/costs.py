@@ -1,0 +1,187 @@
+"""Cost model: EDT, SDT, XDT, batch costs and marginal costs.
+
+This module turns the paper's cost definitions into one reusable object,
+:class:`CostModel`, that every assignment policy shares:
+
+* ``SDT(o) = o^p + SP(o^r, o^c, o^t)`` (Def. 6), memoised per order;
+* ``EDT(o, v)`` / ``XDT(o, v)`` for a single order-vehicle pair (Defs. 5, 7);
+* ``Cost(v, O)`` — the total XDT of a vehicle's quickest route plan (Eq. 4);
+* ``mCost(pi, v)`` — the marginal cost of adding a batch to a vehicle
+  (Def. 9 generalised to batches, Eq. 7);
+* batch construction and batch-merge costs (Eq. 5) used by Alg. 1.
+
+All travel times come from a :class:`~repro.network.DistanceOracle`, so the
+choice of shortest-path backend is orthogonal to the cost definitions.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.network.distance_oracle import DistanceOracle
+from repro.orders.batch import Batch
+from repro.orders.order import Order
+from repro.orders.route_plan import RoutePlan, best_route_plan, insertion_route_plan
+from repro.orders.vehicle import Vehicle
+
+INFINITY = math.inf
+
+#: Above this many stops the exhaustive permutation search is replaced by the
+#: cheapest-insertion heuristic when the planner is set to ``"auto"``.
+_AUTO_EXHAUSTIVE_STOP_LIMIT = 8
+
+
+def shortest_delivery_time(order: Order, oracle: DistanceOracle) -> float:
+    """``SDT(o)``: preparation time plus direct restaurant-to-customer time."""
+    direct = oracle.distance(order.restaurant_node, order.customer_node, order.placed_at)
+    return order.prep_time + direct
+
+
+class CostModel:
+    """Shared cost computations over a distance oracle.
+
+    The model memoises per-order shortest delivery times and exposes every
+    cost the policies need.  It is deliberately stateless with respect to the
+    assignment process itself — policies and the simulator own all mutable
+    state.
+    """
+
+    def __init__(self, oracle: DistanceOracle, planner: str = "auto") -> None:
+        """Create a cost model over a distance oracle.
+
+        ``planner`` selects how quickest route plans are computed:
+        ``"exhaustive"`` enumerates every valid stop permutation (the paper's
+        approach, exact for MAXO <= 3), ``"insertion"`` uses the cheapest-
+        insertion heuristic (supports large batches, near-optimal for small
+        ones), and ``"auto"`` (default) is exhaustive up to 8 stops and
+        insertion beyond.
+        """
+        if planner not in {"auto", "exhaustive", "insertion"}:
+            raise ValueError(f"unknown planner {planner!r}")
+        self._oracle = oracle
+        self._planner = planner
+        self._sdt_cache: Dict[int, float] = {}
+
+    @property
+    def oracle(self) -> DistanceOracle:
+        return self._oracle
+
+    @property
+    def planner(self) -> str:
+        return self._planner
+
+    def _plan(self, new_orders: Sequence[Order], start_node: int, start_time: float,
+              onboard_orders: Sequence[Order] = ()) -> RoutePlan:
+        """Compute a quickest route plan with the configured planner."""
+        stop_count = 2 * len(new_orders) + len(onboard_orders)
+        if self._planner == "insertion" or (
+                self._planner == "auto" and stop_count > _AUTO_EXHAUSTIVE_STOP_LIMIT):
+            return insertion_route_plan(new_orders, start_node, start_time,
+                                        self._oracle.distance, self.sdt,
+                                        onboard_orders=onboard_orders)
+        return best_route_plan(new_orders, start_node, start_time,
+                               self._oracle.distance, self.sdt,
+                               onboard_orders=onboard_orders)
+
+    # ------------------------------------------------------------------ #
+    # basic quantities
+    # ------------------------------------------------------------------ #
+    def sdt(self, order: Order) -> float:
+        """Memoised shortest delivery time of an order (Def. 6)."""
+        cached = self._sdt_cache.get(order.order_id)
+        if cached is None:
+            cached = shortest_delivery_time(order, self._oracle)
+            self._sdt_cache[order.order_id] = cached
+        return cached
+
+    def first_mile(self, order: Order, vehicle_node: int, now: float) -> float:
+        """Direct travel time from a vehicle's location to the restaurant."""
+        return self._oracle.distance(vehicle_node, order.restaurant_node, now)
+
+    def last_mile(self, order: Order, now: float) -> float:
+        """Direct travel time from the restaurant to the customer."""
+        return self._oracle.distance(order.restaurant_node, order.customer_node, now)
+
+    def expected_delivery_time(self, order: Order, vehicle_node: int, now: float) -> float:
+        """``EDT(o, v)`` for a vehicle serving only this order (Eq. 2).
+
+        The assignment-time term is the time the order has already waited
+        when the decision is made (``now - o^t``).
+        """
+        first = self.first_mile(order, vehicle_node, now)
+        last = self.last_mile(order, now)
+        waited = order.waiting_since(now)
+        return max(waited + first, order.prep_time) + last
+
+    def extra_delivery_time(self, order: Order, vehicle_node: int, now: float) -> float:
+        """``XDT(o, v) = EDT(o, v) - SDT(o)`` (Def. 7), clamped at zero."""
+        return max(0.0, self.expected_delivery_time(order, vehicle_node, now) - self.sdt(order))
+
+    # ------------------------------------------------------------------ #
+    # route plans and vehicle costs
+    # ------------------------------------------------------------------ #
+    def plan_for_vehicle(self, vehicle: Vehicle, new_orders: Sequence[Order],
+                         now: float) -> RoutePlan:
+        """Quickest route plan for a vehicle after adding ``new_orders``.
+
+        Orders already on board only need drop-offs; pending (assigned but
+        not picked-up) orders and the new orders need both stops.
+        """
+        pending = vehicle.pending_orders()
+        return self._plan(list(pending) + list(new_orders), vehicle.node, now,
+                          onboard_orders=vehicle.onboard_orders())
+
+    def vehicle_cost(self, vehicle: Vehicle, extra_orders: Sequence[Order],
+                     now: float) -> float:
+        """``Cost(v, O_v^t ∪ extra_orders)`` (Eq. 4)."""
+        return self.plan_for_vehicle(vehicle, extra_orders, now).cost
+
+    def marginal_cost(self, orders: Sequence[Order], vehicle: Vehicle, now: float,
+                      ) -> Tuple[float, Optional[RoutePlan]]:
+        """``mCost(pi, v)`` (Eq. 7) and the route plan realising it.
+
+        Returns ``(inf, None)`` when the capacity constraints of Def. 4 are
+        violated or when some location is unreachable from the vehicle.
+        """
+        if not vehicle.can_accept(orders):
+            return INFINITY, None
+        plan_with = self.plan_for_vehicle(vehicle, orders, now)
+        if plan_with.cost == INFINITY:
+            return INFINITY, None
+        cost_without = self.plan_for_vehicle(vehicle, (), now).cost
+        return plan_with.cost - cost_without, plan_with
+
+    # ------------------------------------------------------------------ #
+    # batches
+    # ------------------------------------------------------------------ #
+    def make_batch(self, orders: Sequence[Order], now: float) -> Batch:
+        """Build a batch with the quickest internal route plan (Sec. IV-B1).
+
+        The paper evaluates a batch with a virtual vehicle whose initial
+        location is the first stop of the batch's optimal route plan; we
+        realise this by trying each member restaurant as the virtual start
+        and keeping the cheapest resulting plan.
+        """
+        ordered = tuple(sorted(orders, key=lambda o: o.order_id))
+        best_plan: Optional[RoutePlan] = None
+        for start in {order.restaurant_node for order in ordered}:
+            plan = self._plan(list(ordered), start, now)
+            if best_plan is None or (plan.cost, plan.evaluation.finish_time) < (
+                    best_plan.cost, best_plan.evaluation.finish_time):
+                best_plan = plan
+        assert best_plan is not None
+        return Batch(ordered, best_plan)
+
+    def merge_cost(self, left: Batch, right: Batch, now: float) -> Tuple[float, Batch]:
+        """Edge weight ``w_ij`` of the order graph (Eq. 5) and the merged batch.
+
+        ``w_ij = Cost(v_ij, pi_i ∪ pi_j) - Cost(v_i, pi_i) - Cost(v_j, pi_j)``.
+        Theorem 2 guarantees the value is non-negative.
+        """
+        merged = self.make_batch(list(left.orders) + list(right.orders), now)
+        weight = merged.cost - (left.cost + right.cost)
+        return max(0.0, weight), merged
+
+
+__all__ = ["CostModel", "shortest_delivery_time"]

@@ -1,0 +1,68 @@
+"""The food order entity (Def. 2 of the paper)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass(frozen=True, order=True)
+class Order:
+    """A single food order ``o = <o^r, o^c, o^t, o^i, o^p>``.
+
+    Attributes
+    ----------
+    order_id:
+        Unique identifier of the order within a simulation day.
+    restaurant_node:
+        Road-network node of the restaurant (pick-up location, ``o^r``).
+    customer_node:
+        Road-network node of the customer (drop-off location, ``o^c``).
+    placed_at:
+        Request timestamp ``o^t`` in seconds since midnight.
+    items:
+        Number of items ``o^i`` counted against the vehicle's MAXI capacity.
+    prep_time:
+        Expected food preparation time ``o^p`` in seconds.  The food is ready
+        at ``placed_at + prep_time``; a vehicle arriving earlier waits.
+    restaurant_id:
+        Identifier of the restaurant the order was placed with.  Several
+        restaurants may share a road-network node; the Reyes baseline batches
+        only orders from the same restaurant, so the identity matters.
+    """
+
+    order_id: int = field(compare=True)
+    restaurant_node: int = field(compare=False)
+    customer_node: int = field(compare=False)
+    placed_at: float = field(compare=False)
+    items: int = field(compare=False, default=1)
+    prep_time: float = field(compare=False, default=600.0)
+    restaurant_id: Optional[int] = field(compare=False, default=None)
+
+    def __post_init__(self) -> None:
+        if self.items < 1:
+            raise ValueError("an order must contain at least one item")
+        if self.prep_time < 0:
+            raise ValueError("preparation time cannot be negative")
+        if self.placed_at < 0:
+            raise ValueError("order placement time cannot be negative")
+
+    @property
+    def ready_at(self) -> float:
+        """Timestamp at which the food is ready for pick-up."""
+        return self.placed_at + self.prep_time
+
+    def waiting_since(self, now: float) -> float:
+        """How long the order has been waiting for assignment at time ``now``.
+
+        This is the ``time(A(o))`` term of Eq. 2: the elapsed time between
+        the order being placed and the assignment decision under evaluation.
+        """
+        return max(0.0, now - self.placed_at)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Order(id={self.order_id}, r={self.restaurant_node}, "
+                f"c={self.customer_node}, t={self.placed_at:.0f})")
+
+
+__all__ = ["Order"]

@@ -1,0 +1,163 @@
+"""The delivery vehicle entity and its mutable state."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.orders.order import Order
+from repro.orders.route_plan import RoutePlan, RouteStop
+
+
+class VehicleState(Enum):
+    """Coarse activity state of a vehicle, used by metrics and the simulator."""
+
+    IDLE = "idle"
+    EN_ROUTE = "en_route"
+    WAITING = "waiting"
+    OFF_DUTY = "off_duty"
+
+
+@dataclass
+class Vehicle:
+    """A delivery vehicle (rider) with its assignment and movement state.
+
+    Attributes
+    ----------
+    vehicle_id:
+        Unique identifier of the vehicle.
+    node:
+        Current road-network node (vehicle positions are snapped to nodes, as
+        in the paper).
+    shift_start, shift_end:
+        Availability window in seconds since midnight.  Outside this window
+        the vehicle does not appear in ``V(l)``.
+    max_orders:
+        ``MAXO`` — the maximum number of orders carried simultaneously.
+    max_items:
+        ``MAXI`` — the maximum total item count carried simultaneously.
+    """
+
+    vehicle_id: int
+    node: int
+    shift_start: float = 0.0
+    shift_end: float = 86400.0
+    max_orders: int = 3
+    max_items: int = 10
+    assigned: Dict[int, Order] = field(default_factory=dict)
+    picked_up: Set[int] = field(default_factory=set)
+    route: Optional[RoutePlan] = None
+    # Remaining stops of the current route plan; the simulator pops stops as
+    # they are completed so the plan itself stays immutable.
+    stop_queue: List[RouteStop] = field(default_factory=list)
+    state: VehicleState = VehicleState.IDLE
+    distance_travelled_km: float = 0.0
+    # Per-leg occupancy bookkeeping for the orders-per-kilometre metric:
+    # km_by_load[k] is the distance travelled while carrying exactly k orders.
+    km_by_load: Dict[int, float] = field(default_factory=dict)
+    waiting_seconds: float = 0.0
+
+    # ------------------------------------------------------------------ #
+    # capacity and availability
+    # ------------------------------------------------------------------ #
+    @property
+    def order_count(self) -> int:
+        """Number of orders currently assigned (picked up or not)."""
+        return len(self.assigned)
+
+    @property
+    def onboard_count(self) -> int:
+        """Number of orders physically on the vehicle."""
+        return len(self.picked_up)
+
+    @property
+    def item_load(self) -> int:
+        """Total items across all assigned orders."""
+        return sum(order.items for order in self.assigned.values())
+
+    def is_on_duty(self, now: float) -> bool:
+        """Whether the vehicle is within its availability window at ``now``."""
+        return self.shift_start <= now < self.shift_end
+
+    def can_accept(self, orders: Sequence[Order]) -> bool:
+        """Check the capacity constraints of Def. 4 for a candidate batch."""
+        if self.order_count + len(orders) > self.max_orders:
+            return False
+        extra_items = sum(order.items for order in orders)
+        return self.item_load + extra_items <= self.max_items
+
+    # ------------------------------------------------------------------ #
+    # assignment bookkeeping
+    # ------------------------------------------------------------------ #
+    def assign(self, orders: Sequence[Order], route: RoutePlan) -> None:
+        """Assign a batch of orders together with the route plan serving them."""
+        for order in orders:
+            self.assigned[order.order_id] = order
+        self.set_route(route)
+        self.state = VehicleState.EN_ROUTE
+
+    def set_route(self, route: Optional[RoutePlan]) -> None:
+        """Replace the current route plan (and its remaining-stop queue)."""
+        self.route = route
+        self.stop_queue = list(route.stops) if route is not None else []
+
+    def unassign_pending(self) -> List[Order]:
+        """Release all orders not yet picked up (used by reshuffling).
+
+        The released orders re-enter the unassigned pool of the next
+        accumulation window; orders already on board stay with the vehicle.
+        Returns the released orders.
+        """
+        released = [order for oid, order in self.assigned.items()
+                    if oid not in self.picked_up]
+        for order in released:
+            del self.assigned[order.order_id]
+        return released
+
+    def onboard_orders(self) -> List[Order]:
+        """Orders already picked up and awaiting drop-off."""
+        return [self.assigned[oid] for oid in self.picked_up if oid in self.assigned]
+
+    def pending_orders(self) -> List[Order]:
+        """Orders assigned to the vehicle but not yet picked up."""
+        return [order for oid, order in self.assigned.items() if oid not in self.picked_up]
+
+    def mark_picked_up(self, order_id: int) -> None:
+        if order_id not in self.assigned:
+            raise KeyError(f"order {order_id} is not assigned to vehicle {self.vehicle_id}")
+        self.picked_up.add(order_id)
+
+    def mark_delivered(self, order_id: int) -> None:
+        self.assigned.pop(order_id, None)
+        self.picked_up.discard(order_id)
+        if not self.assigned:
+            self.route = None
+            self.stop_queue = []
+            self.state = VehicleState.IDLE
+
+    def record_leg(self, km: float) -> None:
+        """Record a driven leg for the distance / orders-per-km metrics."""
+        load = self.onboard_count
+        self.distance_travelled_km += km
+        self.km_by_load[load] = self.km_by_load.get(load, 0.0) + km
+
+    @property
+    def next_destination(self) -> Optional[int]:
+        """Next stop node of the current route plan (``dest`` of Eq. 8).
+
+        ``None`` when the vehicle is idle, in which case the angular distance
+        term is defined to be zero.
+        """
+        if self.stop_queue:
+            return self.stop_queue[0].node
+        if self.route is None or self.route.is_empty:
+            return None
+        return self.route.stops[0].node
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Vehicle(id={self.vehicle_id}, node={self.node}, "
+                f"orders={sorted(self.assigned)}, onboard={sorted(self.picked_up)})")
+
+
+__all__ = ["Vehicle", "VehicleState"]

@@ -1,0 +1,284 @@
+"""The accumulation-window simulation engine (Fig. 5 operational loop).
+
+The :class:`Simulator` replays a :class:`~repro.workload.generator.Scenario`
+under an :class:`~repro.core.policy.AssignmentPolicy`.  Time advances in
+accumulation windows of length Δ.  At the end of every window the engine:
+
+1. advances every vehicle along its route plan up to the window boundary
+   (edges are traversed atomically; a vehicle finishes the edge it is on),
+2. rejects orders that have waited unassigned for longer than the rejection
+   timeout (30 minutes by default),
+3. optionally *reshuffles*: releases orders that are assigned but not yet
+   picked up back into the unassigned pool (FoodMatch only),
+4. invokes the policy on the pool and the on-duty vehicles, measuring its
+   wall-clock decision time (this is what the overflow figures report),
+5. applies the returned assignments.
+
+After the last window the simulation runs the remaining route plans to
+completion so that every assigned order is either delivered or accounted for.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.policy import Assignment, AssignmentPolicy
+from repro.network.geometry import haversine_distance
+from repro.orders.costs import CostModel
+from repro.orders.order import Order
+from repro.orders.vehicle import Vehicle, VehicleState
+from repro.sim.metrics import OrderOutcome, SimulationResult, WindowRecord
+from repro.workload.generator import Scenario
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Operational constraints of the simulated delivery service (Sec. V-B)."""
+
+    delta: float = 180.0
+    start: float = 0.0
+    end: float = 86400.0
+    rejection_timeout: float = 1800.0
+    omega: float = 7200.0
+    #: extra simulated time after the last window to flush in-flight orders
+    drain_seconds: float = 3600.0
+    #: whether the policy's measured decision time delays the window clock
+    charge_decision_time: bool = False
+
+    def __post_init__(self) -> None:
+        if self.delta <= 0:
+            raise ValueError("delta must be positive")
+        if self.end <= self.start:
+            raise ValueError("simulation end must come after start")
+
+
+class Simulator:
+    """Replays one scenario under one policy and collects metrics."""
+
+    def __init__(self, scenario: Scenario, policy: AssignmentPolicy,
+                 cost_model: CostModel, config: Optional[SimulationConfig] = None) -> None:
+        self.scenario = scenario
+        self.policy = policy
+        self.cost_model = cost_model
+        self.config = config or SimulationConfig()
+        self.vehicles = scenario.fresh_vehicles()
+        self._vehicle_clock: Dict[int, float] = {
+            v.vehicle_id: max(self.config.start, v.shift_start) for v in self.vehicles}
+        self._outcomes: Dict[int, OrderOutcome] = {}
+        self._windows: List[WindowRecord] = []
+        self._pool: Dict[int, Order] = {}
+        self._order_iter = iter(sorted(
+            (o for o in scenario.orders
+             if self.config.start <= o.placed_at < self.config.end),
+            key=lambda o: (o.placed_at, o.order_id)))
+        self._next_order: Optional[Order] = next(self._order_iter, None)
+
+    # ------------------------------------------------------------------ #
+    # public entry point
+    # ------------------------------------------------------------------ #
+    def run(self) -> SimulationResult:
+        """Run the whole simulation and return the collected metrics."""
+        cfg = self.config
+        window_start = cfg.start
+        while window_start < cfg.end:
+            window_end = min(window_start + cfg.delta, cfg.end)
+            self._advance_all_vehicles(window_end)
+            self._ingest_orders(window_end)
+            self._reject_stale_orders(window_end)
+            if self.policy.reshuffle:
+                self._release_unpicked_orders(window_end)
+            self._run_window(window_start, window_end)
+            window_start = window_end
+        self._drain(cfg.end + cfg.drain_seconds)
+        self._reject_stale_orders(cfg.end + cfg.drain_seconds, final=True)
+        return SimulationResult(
+            policy_name=self.policy.name,
+            city_name=self.scenario.name,
+            delta=cfg.delta,
+            outcomes=self._outcomes,
+            windows=self._windows,
+            vehicles=self.vehicles,
+            omega=cfg.omega,
+            simulated_seconds=cfg.end - cfg.start,
+        )
+
+    # ------------------------------------------------------------------ #
+    # window mechanics
+    # ------------------------------------------------------------------ #
+    def _ingest_orders(self, until: float) -> None:
+        """Move orders placed before ``until`` from the stream into the pool."""
+        while self._next_order is not None and self._next_order.placed_at < until:
+            order = self._next_order
+            self._pool[order.order_id] = order
+            self._outcomes[order.order_id] = OrderOutcome(
+                order=order, sdt=self.cost_model.sdt(order))
+            self._next_order = next(self._order_iter, None)
+
+    def _reject_stale_orders(self, now: float, final: bool = False) -> None:
+        """Reject pool orders that have waited longer than the timeout.
+
+        At the end of the simulation (``final=True``) every still-unassigned
+        or undelivered-and-unpicked order is rejected so the objective
+        accounts for it.
+        """
+        timeout = self.config.rejection_timeout
+        stale = []
+        for oid, order in self._pool.items():
+            outcome = self._outcomes[oid]
+            if final:
+                stale.append(oid)
+            elif not outcome.ever_assigned and (now - order.placed_at) > timeout:
+                # Only never-assigned orders are rejected by the 30-minute
+                # rule; a reshuffled order was serviceable when released.
+                stale.append(oid)
+        for oid in stale:
+            del self._pool[oid]
+            self._outcomes[oid].rejected = True
+
+    def _release_unpicked_orders(self, now: float) -> None:
+        """Reshuffling (Sec. IV-D2): un-assign orders not yet picked up."""
+        for vehicle in self.vehicles:
+            if not vehicle.pending_orders():
+                continue
+            released = vehicle.unassign_pending()
+            if not released:
+                continue
+            for order in released:
+                self._pool[order.order_id] = order
+                outcome = self._outcomes[order.order_id]
+                outcome.reassignments += 1
+                outcome.assigned_at = None
+                outcome.vehicle_id = None
+            # The vehicle keeps only its onboard orders; recompute its plan.
+            clock = self._vehicle_clock[vehicle.vehicle_id]
+            plan = self.cost_model.plan_for_vehicle(vehicle, (), max(now, clock))
+            vehicle.set_route(plan if not plan.is_empty else None)
+            if not vehicle.assigned:
+                vehicle.state = VehicleState.IDLE
+
+    def _run_window(self, window_start: float, window_end: float) -> None:
+        """Invoke the policy on the current pool and apply its assignments."""
+        pool_orders = sorted(self._pool.values(), key=lambda o: (o.placed_at, o.order_id))
+        on_duty = [v for v in self.vehicles if v.is_on_duty(window_end)]
+        decision_start = time.perf_counter()
+        assignments = self.policy.assign(pool_orders, on_duty, window_end)
+        decision_seconds = time.perf_counter() - decision_start
+        # Optionally charge the measured computation time into the simulated
+        # clock: assignments made in this window only take effect that much
+        # later, which is how slow policies hurt delivery times in the paper
+        # (the time(A(o)) term of Eq. 2).
+        effective_time = window_end
+        if self.config.charge_decision_time:
+            effective_time = window_end + decision_seconds
+        assigned_count = self._apply_assignments(assignments, effective_time)
+        self._windows.append(WindowRecord(
+            start=window_start,
+            end=window_end,
+            num_orders=len(pool_orders),
+            num_vehicles=len(on_duty),
+            num_assigned_orders=assigned_count,
+            decision_seconds=decision_seconds,
+        ))
+
+    def _apply_assignments(self, assignments: Sequence[Assignment], now: float) -> int:
+        """Commit policy decisions to vehicles and the order pool."""
+        assigned = 0
+        for assignment in assignments:
+            vehicle = assignment.vehicle
+            fresh = [order for order in assignment.orders if order.order_id in self._pool]
+            if not fresh:
+                continue
+            if not vehicle.can_accept(fresh):
+                # Defensive: a buggy policy overloading a vehicle is ignored
+                # rather than corrupting the simulation.
+                continue
+            vehicle.assign(fresh, assignment.plan)
+            # A vehicle cannot act on an assignment before the assignment
+            # exists; when decision time is charged, `now` lies past the
+            # window boundary and the vehicle's clock is pushed accordingly.
+            clock = self._vehicle_clock[vehicle.vehicle_id]
+            self._vehicle_clock[vehicle.vehicle_id] = max(clock, now)
+            for order in fresh:
+                del self._pool[order.order_id]
+                outcome = self._outcomes[order.order_id]
+                outcome.assigned_at = now
+                outcome.vehicle_id = vehicle.vehicle_id
+                outcome.ever_assigned = True
+                assigned += 1
+        return assigned
+
+    # ------------------------------------------------------------------ #
+    # vehicle movement
+    # ------------------------------------------------------------------ #
+    def _advance_all_vehicles(self, until: float) -> None:
+        for vehicle in self.vehicles:
+            self._advance_vehicle(vehicle, until)
+
+    def _advance_vehicle(self, vehicle: Vehicle, until: float) -> None:
+        """Move one vehicle along its remaining stops up to time ``until``.
+
+        Edges are traversed atomically: an edge whose traversal starts before
+        ``until`` is completed even if it finishes slightly after, which keeps
+        vehicles on nodes without losing residual window time.
+        """
+        clock = self._vehicle_clock[vehicle.vehicle_id]
+        network = self.cost_model.oracle.network
+        while vehicle.stop_queue and clock < until:
+            stop = vehicle.stop_queue[0]
+            if vehicle.node != stop.node:
+                path = self.cost_model.oracle.path(vehicle.node, stop.node, clock)
+                for u, v in zip(path, path[1:]):
+                    if clock >= until:
+                        break
+                    travel = network.edge_time(u, v, clock)
+                    km = haversine_distance(network.coord(u), network.coord(v))
+                    vehicle.record_leg(km)
+                    clock += travel
+                    vehicle.node = v
+                if vehicle.node != stop.node:
+                    break
+            # The vehicle is at the stop's node: process the stop.
+            order = stop.order
+            if stop.is_pickup:
+                if order.order_id not in vehicle.assigned:
+                    # The order was reshuffled away; drop the stale stop.
+                    vehicle.stop_queue.pop(0)
+                    continue
+                ready = order.ready_at
+                if clock < ready:
+                    wait = ready - clock
+                    vehicle.waiting_seconds += wait
+                    outcome = self._outcomes.get(order.order_id)
+                    if outcome is not None:
+                        outcome.wait_seconds += wait
+                    clock = ready
+                vehicle.mark_picked_up(order.order_id)
+                outcome = self._outcomes.get(order.order_id)
+                if outcome is not None:
+                    outcome.picked_up_at = clock
+            else:
+                if order.order_id in vehicle.assigned:
+                    outcome = self._outcomes.get(order.order_id)
+                    if outcome is not None:
+                        outcome.delivered_at = clock
+                    vehicle.mark_delivered(order.order_id)
+            if vehicle.stop_queue:
+                vehicle.stop_queue.pop(0)
+        if not vehicle.stop_queue and clock < until:
+            clock = until
+        self._vehicle_clock[vehicle.vehicle_id] = clock
+
+    def _drain(self, deadline: float) -> None:
+        """Let vehicles finish their remaining route plans after the last window."""
+        self._advance_all_vehicles(deadline)
+
+
+def simulate(scenario: Scenario, policy: AssignmentPolicy, cost_model: CostModel,
+             config: Optional[SimulationConfig] = None) -> SimulationResult:
+    """Convenience wrapper: build a :class:`Simulator` and run it."""
+    return Simulator(scenario, policy, cost_model, config).run()
+
+
+__all__ = ["SimulationConfig", "Simulator", "simulate"]

@@ -1,0 +1,264 @@
+"""Per-order / per-window records and the evaluation metrics built on them.
+
+The metrics match Sec. V-B of the paper:
+
+* **XDT** — extra delivery time, the objective of Problem 1, reported in
+  hours per simulated day;
+* **O/Km** — orders delivered per kilometre driven,
+  ``sum_k k * D_k / sum_k D_k`` where ``D_k`` is the distance driven while
+  carrying exactly ``k`` orders;
+* **WT** — total vehicle waiting time at restaurants, in hours per day;
+* **rejection rate** — fraction of orders rejected after waiting 30 minutes
+  unassigned;
+* **overflown windows** — fraction of accumulation windows whose assignment
+  computation took longer than Δ (the real-time feasibility criterion).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.network.graph import SECONDS_PER_HOUR, time_slot
+from repro.orders.order import Order
+from repro.orders.vehicle import Vehicle
+
+
+@dataclass
+class OrderOutcome:
+    """Everything that happened to one order during the simulation."""
+
+    order: Order
+    sdt: float
+    assigned_at: Optional[float] = None
+    picked_up_at: Optional[float] = None
+    delivered_at: Optional[float] = None
+    rejected: bool = False
+    vehicle_id: Optional[int] = None
+    reassignments: int = 0
+    #: seconds the serving vehicle waited at the restaurant for this order
+    wait_seconds: float = 0.0
+    #: whether the order was ever assigned to a vehicle (reshuffling may
+    #: release it again, but a once-assigned order is considered serviceable
+    #: and is not subject to the 30-minute rejection rule)
+    ever_assigned: bool = False
+
+    @property
+    def delivered(self) -> bool:
+        return self.delivered_at is not None
+
+    @property
+    def delivery_duration(self) -> Optional[float]:
+        """Seconds between order placement and drop-off."""
+        if self.delivered_at is None:
+            return None
+        return self.delivered_at - self.order.placed_at
+
+    @property
+    def xdt(self) -> Optional[float]:
+        """Extra delivery time (Def. 7) of a delivered order, else ``None``."""
+        duration = self.delivery_duration
+        if duration is None:
+            return None
+        return max(0.0, duration - self.sdt)
+
+
+@dataclass
+class WindowRecord:
+    """One accumulation window's bookkeeping."""
+
+    start: float
+    end: float
+    num_orders: int
+    num_vehicles: int
+    num_assigned_orders: int
+    decision_seconds: float
+
+    @property
+    def slot(self) -> int:
+        """The 1-hour timeslot this window falls into."""
+        return time_slot(self.start)
+
+    @property
+    def overflown(self) -> bool:
+        """Whether the assignment computation exceeded the window length."""
+        return self.decision_seconds > (self.end - self.start)
+
+    def overflown_within(self, budget: float) -> bool:
+        """Whether the assignment computation exceeded an explicit budget.
+
+        Scaled-down workloads cannot meaningfully overflow the paper's
+        3-minute budget, so the scalability experiments compare policies
+        against a proportionally reduced real-time budget instead.
+        """
+        return self.decision_seconds > budget
+
+
+@dataclass
+class SimulationResult:
+    """Aggregated outcome of one simulated day under one policy."""
+
+    policy_name: str
+    city_name: str
+    delta: float
+    outcomes: Dict[int, OrderOutcome] = field(default_factory=dict)
+    windows: List[WindowRecord] = field(default_factory=list)
+    vehicles: List[Vehicle] = field(default_factory=list)
+    omega: float = 7200.0
+    simulated_seconds: float = 86400.0
+
+    # ------------------------------------------------------------------ #
+    # order-level metrics
+    # ------------------------------------------------------------------ #
+    @property
+    def num_orders(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def delivered_orders(self) -> List[OrderOutcome]:
+        return [o for o in self.outcomes.values() if o.delivered]
+
+    @property
+    def rejected_orders(self) -> List[OrderOutcome]:
+        return [o for o in self.outcomes.values() if o.rejected]
+
+    @property
+    def rejection_rate(self) -> float:
+        """Fraction of orders rejected (Fig. 7(e), Fig. 9(d))."""
+        if not self.outcomes:
+            return 0.0
+        return len(self.rejected_orders) / len(self.outcomes)
+
+    def total_xdt_seconds(self, include_rejection_penalty: bool = False) -> float:
+        """Total extra delivery time across delivered orders, in seconds.
+
+        With ``include_rejection_penalty`` the objective of Problem 1 is
+        returned instead (each rejection contributes Ω).
+        """
+        total = sum(o.xdt or 0.0 for o in self.delivered_orders)
+        if include_rejection_penalty:
+            total += self.omega * len(self.rejected_orders)
+        return total
+
+    def xdt_hours_per_day(self, include_rejection_penalty: bool = False) -> float:
+        """XDT scaled to hours per 24-hour day (the unit of Figs. 6-9)."""
+        seconds = self.total_xdt_seconds(include_rejection_penalty)
+        if self.simulated_seconds <= 0:
+            return 0.0
+        scale = 86400.0 / self.simulated_seconds
+        return seconds * scale / 3600.0
+
+    def mean_xdt_seconds(self) -> float:
+        delivered = self.delivered_orders
+        if not delivered:
+            return 0.0
+        return sum(o.xdt or 0.0 for o in delivered) / len(delivered)
+
+    def mean_delivery_minutes(self) -> float:
+        delivered = self.delivered_orders
+        if not delivered:
+            return 0.0
+        return sum(o.delivery_duration or 0.0 for o in delivered) / len(delivered) / 60.0
+
+    # ------------------------------------------------------------------ #
+    # vehicle-level metrics
+    # ------------------------------------------------------------------ #
+    def orders_per_km(self) -> float:
+        """Average orders carried per kilometre driven (Sec. V-B, O/Km)."""
+        total_km = 0.0
+        weighted = 0.0
+        for vehicle in self.vehicles:
+            for load, km in vehicle.km_by_load.items():
+                total_km += km
+                weighted += load * km
+        if total_km <= 0:
+            return 0.0
+        return weighted / total_km
+
+    def total_distance_km(self) -> float:
+        return sum(vehicle.distance_travelled_km for vehicle in self.vehicles)
+
+    def waiting_hours_per_day(self) -> float:
+        """Total vehicle waiting time at restaurants, scaled to hours/day."""
+        seconds = sum(vehicle.waiting_seconds for vehicle in self.vehicles)
+        if self.simulated_seconds <= 0:
+            return 0.0
+        scale = 86400.0 / self.simulated_seconds
+        return seconds * scale / 3600.0
+
+    # ------------------------------------------------------------------ #
+    # window-level metrics (scalability)
+    # ------------------------------------------------------------------ #
+    def overflow_percentage(self, slots: Optional[Iterable[int]] = None,
+                            budget: Optional[float] = None) -> float:
+        """Percentage of accumulation windows whose decision time exceeded Δ.
+
+        ``slots`` restricts the computation to specific 1-hour timeslots
+        (the peak-slot variant of Fig. 6(g)).  ``budget`` replaces Δ as the
+        real-time budget; the scaled-down scalability experiments use a
+        proportionally reduced budget since a laptop-sized workload can never
+        overflow the paper's 3-minute window in absolute terms.
+        """
+        windows = self.windows
+        if slots is not None:
+            wanted = set(slots)
+            windows = [w for w in windows if w.slot in wanted]
+        if not windows:
+            return 0.0
+        if budget is None:
+            overflown = sum(1 for w in windows if w.overflown)
+        else:
+            overflown = sum(1 for w in windows if w.overflown_within(budget))
+        return 100.0 * overflown / len(windows)
+
+    def mean_decision_seconds(self) -> float:
+        if not self.windows:
+            return 0.0
+        return sum(w.decision_seconds for w in self.windows) / len(self.windows)
+
+    def total_decision_seconds(self) -> float:
+        return sum(w.decision_seconds for w in self.windows)
+
+    # ------------------------------------------------------------------ #
+    # per-timeslot breakdowns (Figs. 6(i)-(k))
+    # ------------------------------------------------------------------ #
+    def xdt_by_slot(self) -> Dict[int, float]:
+        """Total XDT (seconds) of delivered orders grouped by placement slot."""
+        result: Dict[int, float] = {}
+        for outcome in self.delivered_orders:
+            slot = time_slot(outcome.order.placed_at)
+            result[slot] = result.get(slot, 0.0) + (outcome.xdt or 0.0)
+        return result
+
+    def waiting_by_slot(self) -> Dict[int, float]:
+        """Vehicle waiting time (seconds) attributed to the pickup's slot."""
+        result: Dict[int, float] = {}
+        for outcome in self.delivered_orders:
+            if outcome.picked_up_at is None:
+                continue
+            slot = time_slot(outcome.picked_up_at)
+            result[slot] = result.get(slot, 0.0) + outcome.wait_seconds
+        return result
+
+    # ------------------------------------------------------------------ #
+    def summary(self) -> Dict[str, float]:
+        """Flat metric dictionary used by the experiment reports."""
+        return {
+            "orders": float(self.num_orders),
+            "delivered": float(len(self.delivered_orders)),
+            "rejected": float(len(self.rejected_orders)),
+            "rejection_rate": self.rejection_rate,
+            "xdt_hours_per_day": self.xdt_hours_per_day(),
+            "objective_hours_per_day": self.xdt_hours_per_day(include_rejection_penalty=True),
+            "mean_xdt_seconds": self.mean_xdt_seconds(),
+            "mean_delivery_minutes": self.mean_delivery_minutes(),
+            "orders_per_km": self.orders_per_km(),
+            "waiting_hours_per_day": self.waiting_hours_per_day(),
+            "overflow_pct": self.overflow_percentage(),
+            "mean_decision_seconds": self.mean_decision_seconds(),
+            "total_distance_km": self.total_distance_km(),
+        }
+
+
+__all__ = ["OrderOutcome", "WindowRecord", "SimulationResult"]

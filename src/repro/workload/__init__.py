@@ -1,0 +1,55 @@
+"""Synthetic workload generation.
+
+The paper evaluates on proprietary Swiggy order histories from three Indian
+cities plus the public GrubHub instances of Reyes et al.  This package
+replaces them with parametric generators that preserve the statistical
+structure the evaluation depends on:
+
+* per-city scale (restaurants, vehicles, orders per day — Table II),
+* a time-of-day order intensity with lunch and dinner peaks and the
+  per-city order-to-vehicle ratios of Fig. 6(a),
+* restaurants clustered in commercial hot spots, customers spread around
+  them within a delivery radius,
+* per-restaurant, per-hour Gaussian food-preparation times.
+
+Everything is seeded and deterministic.
+"""
+
+from repro.workload.city import CityProfile, CITY_A, CITY_B, CITY_C, GRUBHUB, CITY_PROFILES
+from repro.workload.generator import (
+    Restaurant,
+    Scenario,
+    generate_scenario,
+    generate_orders,
+    generate_restaurants,
+    generate_vehicles,
+)
+from repro.workload.dataset import DatasetSummary, summarize_scenario, order_vehicle_ratio_by_slot
+from repro.workload.io import (
+    load_scenario,
+    save_result_csv,
+    save_result_json,
+    save_scenario,
+)
+
+__all__ = [
+    "load_scenario",
+    "save_scenario",
+    "save_result_json",
+    "save_result_csv",
+    "CityProfile",
+    "CITY_A",
+    "CITY_B",
+    "CITY_C",
+    "GRUBHUB",
+    "CITY_PROFILES",
+    "Restaurant",
+    "Scenario",
+    "generate_scenario",
+    "generate_orders",
+    "generate_restaurants",
+    "generate_vehicles",
+    "DatasetSummary",
+    "summarize_scenario",
+    "order_vehicle_ratio_by_slot",
+]

@@ -1,0 +1,74 @@
+"""Dataset summary statistics (Table II and Fig. 6(a) analogues)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.network.graph import SECONDS_PER_HOUR
+from repro.workload.generator import Scenario
+
+
+@dataclass(frozen=True)
+class DatasetSummary:
+    """One row of the Table II analogue for a generated scenario."""
+
+    city: str
+    num_restaurants: int
+    num_vehicles: int
+    num_orders: int
+    avg_prep_minutes: float
+    num_nodes: int
+    num_edges: int
+
+    def as_row(self) -> str:
+        """Format the summary as a fixed-width table row."""
+        return (f"{self.city:<10} {self.num_restaurants:>8} {self.num_vehicles:>10} "
+                f"{self.num_orders:>9} {self.avg_prep_minutes:>12.2f} "
+                f"{self.num_nodes:>8} {self.num_edges:>8}")
+
+    @staticmethod
+    def header() -> str:
+        return (f"{'City':<10} {'#Rest.':>8} {'#Vehicles':>10} {'#Orders':>9} "
+                f"{'Prep(min)':>12} {'#Nodes':>8} {'#Edges':>8}")
+
+
+def summarize_scenario(scenario: Scenario) -> DatasetSummary:
+    """Compute the Table II row for a materialised scenario."""
+    orders = scenario.orders
+    avg_prep = (sum(o.prep_time for o in orders) / len(orders) / 60.0) if orders else 0.0
+    return DatasetSummary(
+        city=scenario.name,
+        num_restaurants=len(scenario.restaurants),
+        num_vehicles=len(scenario.vehicles),
+        num_orders=len(orders),
+        avg_prep_minutes=avg_prep,
+        num_nodes=scenario.network.num_nodes,
+        num_edges=scenario.network.num_edges,
+    )
+
+
+def order_vehicle_ratio_by_slot(scenario: Scenario) -> List[float]:
+    """Order-to-vehicle ratio per 1-hour slot (the series plotted in Fig. 6(a)).
+
+    The denominator is the number of vehicles on duty during the slot; the
+    numerator is the number of orders placed in it.
+    """
+    ratios: List[float] = []
+    for hour in range(24):
+        start = hour * SECONDS_PER_HOUR
+        end = start + SECONDS_PER_HOUR
+        orders = len(scenario.orders_between(start, end))
+        vehicles = sum(1 for v in scenario.vehicles
+                       if v.shift_start < end and v.shift_end > start)
+        ratios.append(orders / vehicles if vehicles else float(orders))
+    return ratios
+
+
+def peak_slots(scenario: Scenario, top: int = 6) -> List[int]:
+    """The ``top`` busiest 1-hour slots (lunch/dinner under the default profile)."""
+    ratios = order_vehicle_ratio_by_slot(scenario)
+    return sorted(range(24), key=lambda h: ratios[h], reverse=True)[:top]
+
+
+__all__ = ["DatasetSummary", "summarize_scenario", "order_vehicle_ratio_by_slot", "peak_slots"]

@@ -1,0 +1,249 @@
+"""Order-stream, restaurant and fleet generators.
+
+These functions turn a :class:`~repro.workload.city.CityProfile` into a fully
+materialised :class:`Scenario`: a road network, a set of restaurants with
+per-hour preparation-time models, a day-long stream of orders and a vehicle
+fleet.  The generators reproduce the structural properties the paper's
+evaluation exercises:
+
+* restaurants cluster in a small number of commercial hot spots;
+* order volume per hour follows the two-peak intensity of Fig. 6(a), with
+  restaurant popularity following a Zipf-like distribution;
+* customers are drawn from nodes within a bounded travel time of their
+  restaurant (the app only shows nearby restaurants);
+* preparation times are Gaussian per restaurant and hour slot;
+* vehicles start at random nodes and work shifts that cover the whole day,
+  so that fleet availability per slot tracks the profile's vehicle count.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.network.distance_oracle import DistanceOracle
+from repro.network.graph import RoadNetwork, SECONDS_PER_HOUR
+from repro.network.shortest_path import dijkstra_all
+from repro.orders.order import Order
+from repro.orders.vehicle import Vehicle
+from repro.workload.city import CityProfile
+
+
+@dataclass(frozen=True)
+class Restaurant:
+    """A restaurant with its node and per-hour preparation-time model."""
+
+    restaurant_id: int
+    node: int
+    popularity: float
+    prep_mean_by_hour: Tuple[float, ...]
+    prep_std: float
+
+    def sample_prep_time(self, hour: int, rng: random.Random) -> float:
+        """Draw a preparation time (seconds) for an order placed in ``hour``."""
+        mean = self.prep_mean_by_hour[hour % 24]
+        value = rng.gauss(mean, self.prep_std)
+        return max(60.0, value)
+
+
+@dataclass
+class Scenario:
+    """A fully materialised workload: network, restaurants, orders, fleet."""
+
+    profile: CityProfile
+    network: RoadNetwork
+    restaurants: List[Restaurant]
+    orders: List[Order]
+    vehicles: List[Vehicle]
+    seed: int
+
+    @property
+    def name(self) -> str:
+        return self.profile.name
+
+    def orders_between(self, start: float, end: float) -> List[Order]:
+        """Orders placed in the half-open interval ``[start, end)``."""
+        return [order for order in self.orders if start <= order.placed_at < end]
+
+    def fresh_vehicles(self) -> List[Vehicle]:
+        """Return an unused copy of the fleet (vehicles are mutable)."""
+        return [Vehicle(vehicle_id=v.vehicle_id, node=v.node, shift_start=v.shift_start,
+                        shift_end=v.shift_end, max_orders=v.max_orders, max_items=v.max_items)
+                for v in self.vehicles]
+
+
+def generate_restaurants(network: RoadNetwork, profile: CityProfile,
+                         rng: random.Random) -> List[Restaurant]:
+    """Place restaurants in spatial hot spots with Zipf-like popularity."""
+    nodes = network.nodes
+    hotspot_centers = rng.sample(nodes, min(profile.restaurant_hotspots, len(nodes)))
+    restaurants: List[Restaurant] = []
+    prep_mean_base = profile.mean_prep_minutes * 60.0
+    for idx in range(profile.num_restaurants):
+        center = hotspot_centers[idx % len(hotspot_centers)]
+        node = _node_near(network, center, rng)
+        popularity = 1.0 / (1.0 + idx) ** 0.7
+        # Preparation times are slower during the peaks (kitchens are busy),
+        # matching the per-slot Gaussian model of Sec. V-A.
+        prep_by_hour = tuple(
+            prep_mean_base * (1.25 if hour in (12, 13, 14, 19, 20, 21, 22) else 1.0)
+            * rng.uniform(0.85, 1.15)
+            for hour in range(24)
+        )
+        restaurants.append(Restaurant(
+            restaurant_id=idx,
+            node=node,
+            popularity=popularity,
+            prep_mean_by_hour=prep_by_hour,
+            prep_std=profile.prep_std_minutes * 60.0,
+        ))
+    return restaurants
+
+
+def _node_near(network: RoadNetwork, center: int, rng: random.Random,
+               hops: int = 3) -> int:
+    """Pick a node within a few hops of ``center`` (restaurant hot-spotting)."""
+    frontier = {center}
+    for _ in range(hops):
+        expansion = set()
+        for node in frontier:
+            expansion.update(nbr for nbr, _ in network.neighbors(node))
+        frontier |= expansion
+    return rng.choice(sorted(frontier))
+
+
+def generate_orders(network: RoadNetwork, restaurants: Sequence[Restaurant],
+                    profile: CityProfile, rng: random.Random,
+                    start_hour: int = 0, end_hour: int = 24) -> List[Order]:
+    """Generate a day's order stream following the profile's hourly weights.
+
+    The expected number of orders per hour is ``orders_per_day`` split
+    proportionally to ``hourly_weights`` (restricted to the requested hour
+    range); the realised count per hour is Poisson-like via independent
+    Bernoulli thinning of a slightly inflated candidate count, keeping the
+    generator dependency-free and deterministic under the seed.
+    """
+    weights = profile.hourly_weights
+    hours = list(range(start_hour, end_hour))
+    # Normalise against the whole day so that restricting the hour range
+    # truncates the stream instead of compressing a day's volume into it.
+    total_weight = sum(weights)
+    if total_weight <= 0 or not hours:
+        return []
+    reachable_cache: Dict[int, List[int]] = {}
+    orders: List[Order] = []
+    order_id = 0
+    popularity_total = sum(r.popularity for r in restaurants)
+    for hour in hours:
+        expected = profile.orders_per_day * weights[hour] / total_weight
+        count = _sample_count(expected, rng)
+        for _ in range(count):
+            restaurant = _pick_restaurant(restaurants, popularity_total, rng)
+            placed_at = hour * SECONDS_PER_HOUR + rng.uniform(0.0, SECONDS_PER_HOUR)
+            customer = _pick_customer(network, restaurant.node,
+                                      profile.delivery_radius_seconds,
+                                      reachable_cache, rng)
+            prep = restaurant.sample_prep_time(hour, rng)
+            items = 1 + min(4, int(rng.expovariate(1.2)))
+            orders.append(Order(
+                order_id=order_id,
+                restaurant_node=restaurant.node,
+                customer_node=customer,
+                placed_at=placed_at,
+                items=items,
+                prep_time=prep,
+                restaurant_id=restaurant.restaurant_id,
+            ))
+            order_id += 1
+    orders.sort(key=lambda o: (o.placed_at, o.order_id))
+    return orders
+
+
+def _sample_count(expected: float, rng: random.Random) -> int:
+    """Sample an integer with the given mean (Poisson via exponential gaps)."""
+    if expected <= 0:
+        return 0
+    count = 0
+    total = rng.expovariate(1.0)
+    while total < expected:
+        count += 1
+        total += rng.expovariate(1.0)
+    return count
+
+
+def _pick_restaurant(restaurants: Sequence[Restaurant], popularity_total: float,
+                     rng: random.Random) -> Restaurant:
+    target = rng.uniform(0.0, popularity_total)
+    acc = 0.0
+    for restaurant in restaurants:
+        acc += restaurant.popularity
+        if acc >= target:
+            return restaurant
+    return restaurants[-1]
+
+
+def _pick_customer(network: RoadNetwork, restaurant_node: int, radius_seconds: float,
+                   cache: Dict[int, List[int]], rng: random.Random) -> int:
+    """Pick a customer node within ``radius_seconds`` travel of the restaurant."""
+    candidates = cache.get(restaurant_node)
+    if candidates is None:
+        reachable = dijkstra_all(network, restaurant_node, t=0.0, cutoff=radius_seconds)
+        candidates = [node for node, dist in reachable.items()
+                      if node != restaurant_node and dist > 0.0]
+        if not candidates:
+            candidates = [node for node in network.nodes if node != restaurant_node]
+        cache[restaurant_node] = candidates
+    return rng.choice(candidates)
+
+
+def generate_vehicles(network: RoadNetwork, profile: CityProfile,
+                      rng: random.Random) -> List[Vehicle]:
+    """Create the vehicle fleet, spread over the network with all-day shifts.
+
+    The paper sets a vehicle's initial position to its first GPS ping of the
+    test day; here the initial node is uniform over the network.  Shifts span
+    the whole day with small random staggering so the per-slot availability
+    is essentially constant, as assumed by the order/vehicle-ratio figure.
+    """
+    nodes = network.nodes
+    vehicles: List[Vehicle] = []
+    for idx in range(profile.num_vehicles):
+        node = rng.choice(nodes)
+        shift_start = rng.uniform(0.0, 1.0) * SECONDS_PER_HOUR * 0.5
+        vehicles.append(Vehicle(
+            vehicle_id=idx,
+            node=node,
+            shift_start=shift_start,
+            shift_end=86400.0,
+        ))
+    return vehicles
+
+
+def generate_scenario(profile: CityProfile, seed: int = 0,
+                      start_hour: int = 0, end_hour: int = 24) -> Scenario:
+    """Materialise a complete scenario for a city profile.
+
+    ``start_hour`` / ``end_hour`` restrict the generated order stream (the
+    experiments frequently simulate only the lunch window to keep runtimes
+    reasonable); the fleet and restaurants are always generated in full.
+    """
+    rng = random.Random(seed)
+    network = profile.network_factory()
+    restaurants = generate_restaurants(network, profile, rng)
+    orders = generate_orders(network, restaurants, profile, rng,
+                             start_hour=start_hour, end_hour=end_hour)
+    vehicles = generate_vehicles(network, profile, rng)
+    return Scenario(profile=profile, network=network, restaurants=restaurants,
+                    orders=orders, vehicles=vehicles, seed=seed)
+
+
+__all__ = [
+    "Restaurant",
+    "Scenario",
+    "generate_restaurants",
+    "generate_orders",
+    "generate_vehicles",
+    "generate_scenario",
+]

@@ -1,0 +1,225 @@
+"""Serialisation of workloads and simulation results.
+
+The paper releases its (anonymised) order history as static files so that
+experiments can be repeated; this module plays the same role for the
+synthetic workloads: a generated :class:`~repro.workload.generator.Scenario`
+can be written to a single JSON document (road network, restaurants, orders,
+fleet) and read back bit-for-bit, and a
+:class:`~repro.sim.metrics.SimulationResult` can be exported as JSON (summary
+plus per-order records) or CSV (per-order records only) for external
+analysis.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import pathlib
+from typing import Dict, List, Union
+
+from repro.network.graph import RoadNetwork, TimeProfile
+from repro.orders.order import Order
+from repro.orders.vehicle import Vehicle
+from repro.sim.metrics import SimulationResult
+from repro.workload.city import CITY_PROFILES, CityProfile
+from repro.workload.generator import Restaurant, Scenario
+
+PathLike = Union[str, pathlib.Path]
+
+_FORMAT_VERSION = 1
+
+
+# --------------------------------------------------------------------------- #
+# scenario serialisation
+# --------------------------------------------------------------------------- #
+def scenario_to_dict(scenario: Scenario) -> Dict:
+    """Convert a scenario into a JSON-serialisable dictionary."""
+    network = scenario.network
+    return {
+        "format_version": _FORMAT_VERSION,
+        "profile_name": scenario.profile.name,
+        "seed": scenario.seed,
+        "network": {
+            "profile_multipliers": list(network.profile.multipliers),
+            "nodes": [[node, *network.coord(node)] for node in network.nodes],
+            "edges": [[u, v, w] for u, v, w in network.edges()],
+        },
+        "restaurants": [
+            {
+                "restaurant_id": r.restaurant_id,
+                "node": r.node,
+                "popularity": r.popularity,
+                "prep_mean_by_hour": list(r.prep_mean_by_hour),
+                "prep_std": r.prep_std,
+            }
+            for r in scenario.restaurants
+        ],
+        "orders": [
+            {
+                "order_id": o.order_id,
+                "restaurant_node": o.restaurant_node,
+                "customer_node": o.customer_node,
+                "placed_at": o.placed_at,
+                "items": o.items,
+                "prep_time": o.prep_time,
+                "restaurant_id": o.restaurant_id,
+            }
+            for o in scenario.orders
+        ],
+        "vehicles": [
+            {
+                "vehicle_id": v.vehicle_id,
+                "node": v.node,
+                "shift_start": v.shift_start,
+                "shift_end": v.shift_end,
+                "max_orders": v.max_orders,
+                "max_items": v.max_items,
+            }
+            for v in scenario.vehicles
+        ],
+    }
+
+
+def scenario_from_dict(payload: Dict) -> Scenario:
+    """Rebuild a scenario from :func:`scenario_to_dict` output.
+
+    The city profile is looked up by name in the built-in registry; unknown
+    names fall back to a minimal placeholder profile (the profile is only
+    metadata once the scenario is materialised).
+    """
+    version = payload.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(f"unsupported scenario format version: {version!r}")
+    network_data = payload["network"]
+    network = RoadNetwork(TimeProfile(tuple(network_data["profile_multipliers"])))
+    for node, lat, lon in network_data["nodes"]:
+        network.add_node(int(node), float(lat), float(lon))
+    for u, v, w in network_data["edges"]:
+        network.add_edge(int(u), int(v), float(w))
+
+    restaurants = [
+        Restaurant(
+            restaurant_id=int(r["restaurant_id"]),
+            node=int(r["node"]),
+            popularity=float(r["popularity"]),
+            prep_mean_by_hour=tuple(float(x) for x in r["prep_mean_by_hour"]),
+            prep_std=float(r["prep_std"]),
+        )
+        for r in payload["restaurants"]
+    ]
+    orders = [
+        Order(
+            order_id=int(o["order_id"]),
+            restaurant_node=int(o["restaurant_node"]),
+            customer_node=int(o["customer_node"]),
+            placed_at=float(o["placed_at"]),
+            items=int(o["items"]),
+            prep_time=float(o["prep_time"]),
+            restaurant_id=None if o["restaurant_id"] is None else int(o["restaurant_id"]),
+        )
+        for o in payload["orders"]
+    ]
+    vehicles = [
+        Vehicle(
+            vehicle_id=int(v["vehicle_id"]),
+            node=int(v["node"]),
+            shift_start=float(v["shift_start"]),
+            shift_end=float(v["shift_end"]),
+            max_orders=int(v["max_orders"]),
+            max_items=int(v["max_items"]),
+        )
+        for v in payload["vehicles"]
+    ]
+
+    profile_name = payload["profile_name"]
+    profile = CITY_PROFILES.get(profile_name)
+    if profile is None:
+        profile = CityProfile(name=profile_name, network_factory=lambda: network,
+                              num_restaurants=len(restaurants),
+                              num_vehicles=len(vehicles),
+                              orders_per_day=len(orders),
+                              mean_prep_minutes=10.0)
+    return Scenario(profile=profile, network=network, restaurants=restaurants,
+                    orders=orders, vehicles=vehicles, seed=int(payload["seed"]))
+
+
+def save_scenario(scenario: Scenario, path: PathLike) -> None:
+    """Write a scenario to a JSON file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(scenario_to_dict(scenario), handle)
+
+
+def load_scenario(path: PathLike) -> Scenario:
+    """Read a scenario previously written with :func:`save_scenario`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return scenario_from_dict(json.load(handle))
+
+
+# --------------------------------------------------------------------------- #
+# result serialisation
+# --------------------------------------------------------------------------- #
+def result_to_dict(result: SimulationResult) -> Dict:
+    """Convert a simulation result into a JSON-serialisable dictionary."""
+    return {
+        "format_version": _FORMAT_VERSION,
+        "policy": result.policy_name,
+        "city": result.city_name,
+        "delta": result.delta,
+        "simulated_seconds": result.simulated_seconds,
+        "summary": result.summary(),
+        "orders": [
+            {
+                "order_id": outcome.order.order_id,
+                "placed_at": outcome.order.placed_at,
+                "sdt": outcome.sdt,
+                "assigned_at": outcome.assigned_at,
+                "picked_up_at": outcome.picked_up_at,
+                "delivered_at": outcome.delivered_at,
+                "rejected": outcome.rejected,
+                "vehicle_id": outcome.vehicle_id,
+                "reassignments": outcome.reassignments,
+                "xdt": outcome.xdt,
+            }
+            for outcome in result.outcomes.values()
+        ],
+        "windows": [
+            {
+                "start": window.start,
+                "end": window.end,
+                "num_orders": window.num_orders,
+                "num_vehicles": window.num_vehicles,
+                "num_assigned_orders": window.num_assigned_orders,
+                "decision_seconds": window.decision_seconds,
+            }
+            for window in result.windows
+        ],
+    }
+
+
+def save_result_json(result: SimulationResult, path: PathLike) -> None:
+    """Write a simulation result (summary + per-order records) as JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(result_to_dict(result), handle)
+
+
+def save_result_csv(result: SimulationResult, path: PathLike) -> None:
+    """Write the per-order records of a simulation result as CSV."""
+    fields = ["order_id", "placed_at", "sdt", "assigned_at", "picked_up_at",
+              "delivered_at", "rejected", "vehicle_id", "reassignments", "xdt"]
+    rows: List[Dict] = result_to_dict(result)["orders"]
+    with open(path, "w", encoding="utf-8", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=fields)
+        writer.writeheader()
+        for row in rows:
+            writer.writerow(row)
+
+
+__all__ = [
+    "scenario_to_dict",
+    "scenario_from_dict",
+    "save_scenario",
+    "load_scenario",
+    "result_to_dict",
+    "save_result_json",
+    "save_result_csv",
+]

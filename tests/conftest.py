@@ -1,0 +1,92 @@
+"""Shared fixtures: small deterministic networks, orders, vehicles and scenarios."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.network.distance_oracle import DistanceOracle
+from repro.network.generators import grid_city
+from repro.network.graph import RoadNetwork, TimeProfile
+from repro.orders.costs import CostModel
+from repro.orders.order import Order
+from repro.orders.vehicle import Vehicle
+from repro.workload.city import CITY_A
+from repro.workload.generator import generate_scenario
+
+
+@pytest.fixture(scope="session")
+def small_grid() -> RoadNetwork:
+    """A 6x6 grid city with a flat time profile (deterministic distances)."""
+    return grid_city(rows=6, cols=6, block_km=0.5, diagonal_fraction=0.0,
+                     congested_fraction=0.0, profile=TimeProfile.flat(), seed=3)
+
+
+@pytest.fixture(scope="session")
+def peaked_grid() -> RoadNetwork:
+    """A 6x6 grid city with the default urban peak profile."""
+    return grid_city(rows=6, cols=6, block_km=0.5, diagonal_fraction=0.0,
+                     congested_fraction=0.0, seed=3)
+
+
+@pytest.fixture(scope="session")
+def oracle(small_grid) -> DistanceOracle:
+    return DistanceOracle(small_grid, method="hub_label")
+
+
+@pytest.fixture(scope="session")
+def cost_model(oracle) -> CostModel:
+    return CostModel(oracle)
+
+
+@pytest.fixture()
+def make_order(small_grid):
+    """Factory producing orders on the small grid with sensible defaults."""
+    counter = iter(range(10_000))
+
+    def _make(restaurant=7, customer=28, placed_at=0.0, items=1, prep=300.0,
+              restaurant_id=None, order_id=None):
+        return Order(
+            order_id=order_id if order_id is not None else next(counter),
+            restaurant_node=restaurant,
+            customer_node=customer,
+            placed_at=placed_at,
+            items=items,
+            prep_time=prep,
+            restaurant_id=restaurant_id,
+        )
+
+    return _make
+
+
+@pytest.fixture()
+def make_vehicle():
+    counter = iter(range(10_000))
+
+    def _make(node=0, max_orders=3, max_items=10, shift_start=0.0, shift_end=86400.0,
+              vehicle_id=None):
+        return Vehicle(
+            vehicle_id=vehicle_id if vehicle_id is not None else next(counter),
+            node=node,
+            shift_start=shift_start,
+            shift_end=shift_end,
+            max_orders=max_orders,
+            max_items=max_items,
+        )
+
+    return _make
+
+
+@pytest.fixture(scope="session")
+def tiny_scenario():
+    """A very small City-A-like scenario around the lunch hour."""
+    profile = CITY_A.scaled(0.25)
+    return generate_scenario(profile, seed=5, start_hour=12, end_hour=13)
+
+
+@pytest.fixture(scope="session")
+def tiny_scenario_tools(tiny_scenario):
+    """(scenario, oracle, cost_model) triple for integration tests."""
+    oracle = DistanceOracle(tiny_scenario.network)
+    return tiny_scenario, oracle, CostModel(oracle)

@@ -1,0 +1,130 @@
+"""Tests for the from-scratch Kuhn–Munkres implementation.
+
+Correctness is established against scipy.optimize.linear_sum_assignment on
+fixed and randomly generated (hypothesis) cost matrices.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy.optimize import linear_sum_assignment
+
+from repro.core.matching import hungarian, matching_cost, minimum_weight_matching
+
+
+def scipy_cost(matrix):
+    rows, cols = linear_sum_assignment(np.asarray(matrix))
+    return float(np.asarray(matrix)[rows, cols].sum())
+
+
+class TestHungarianLowLevel:
+    def test_identity_preference(self):
+        cost = [[1.0, 10.0], [10.0, 1.0]]
+        assert hungarian(cost) == [0, 1]
+
+    def test_crossed_preference(self):
+        cost = [[10.0, 1.0], [1.0, 10.0]]
+        assert hungarian(cost) == [1, 0]
+
+    def test_rectangular_rows_less_than_cols(self):
+        cost = [[4.0, 1.0, 3.0], [2.0, 0.0, 5.0]]
+        assignment = hungarian(cost)
+        assert sorted(assignment) == sorted(set(assignment))
+        total = sum(cost[r][c] for r, c in enumerate(assignment))
+        assert total == pytest.approx(scipy_cost(cost))
+
+    def test_rejects_more_rows_than_cols(self):
+        with pytest.raises(ValueError):
+            hungarian([[1.0], [2.0]])
+
+    def test_empty_matrix(self):
+        assert hungarian([]) == []
+
+    def test_single_cell(self):
+        assert hungarian([[7.0]]) == [0]
+
+
+class TestMinimumWeightMatching:
+    def test_square_matches_scipy(self):
+        cost = [[4.0, 2.0, 8.0], [4.0, 3.0, 7.0], [3.0, 1.0, 6.0]]
+        pairs = minimum_weight_matching(cost)
+        assert matching_cost(cost, pairs) == pytest.approx(scipy_cost(cost))
+
+    def test_wide_matrix(self):
+        cost = [[5.0, 1.0, 9.0, 2.0], [8.0, 7.0, 3.0, 4.0]]
+        pairs = minimum_weight_matching(cost)
+        assert len(pairs) == 2
+        assert matching_cost(cost, pairs) == pytest.approx(scipy_cost(cost))
+
+    def test_tall_matrix(self):
+        cost = [[5.0, 1.0], [8.0, 7.0], [2.0, 3.0], [9.0, 9.0]]
+        pairs = minimum_weight_matching(cost)
+        assert len(pairs) == 2
+        assert matching_cost(cost, pairs) == pytest.approx(scipy_cost(cost))
+
+    def test_no_row_or_column_reused(self):
+        cost = [[1.0, 2.0, 3.0], [2.0, 1.0, 3.0], [3.0, 2.0, 1.0]]
+        pairs = minimum_weight_matching(cost)
+        rows = [r for r, _ in pairs]
+        cols = [c for _, c in pairs]
+        assert len(set(rows)) == len(rows)
+        assert len(set(cols)) == len(cols)
+
+    def test_infinite_entries_excluded_from_result(self):
+        cost = [[math.inf, 1.0], [math.inf, math.inf]]
+        pairs = minimum_weight_matching(cost)
+        assert pairs == [(0, 1)]
+
+    def test_infinite_entries_kept_when_not_forbidden(self):
+        cost = [[math.inf, 1.0], [math.inf, math.inf]]
+        pairs = minimum_weight_matching(cost, forbid_infinite=False)
+        assert len(pairs) == 2
+
+    def test_all_infinite_yields_empty_matching(self):
+        cost = [[math.inf, math.inf], [math.inf, math.inf]]
+        assert minimum_weight_matching(cost) == []
+
+    def test_empty_inputs(self):
+        assert minimum_weight_matching([]) == []
+        assert minimum_weight_matching([[]]) == []
+
+    def test_rejects_ragged_matrix(self):
+        with pytest.raises(ValueError):
+            minimum_weight_matching([[1.0, 2.0], [3.0]])
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            minimum_weight_matching([[float("nan")]])
+
+    def test_numpy_input_accepted(self):
+        cost = np.array([[3.0, 1.0], [1.0, 3.0]])
+        pairs = minimum_weight_matching(cost)
+        assert matching_cost(cost, pairs) == pytest.approx(2.0)
+
+
+finite_costs = st.floats(min_value=0.0, max_value=1e6, allow_nan=False,
+                         allow_infinity=False)
+
+
+@given(data=st.data(),
+       rows=st.integers(min_value=1, max_value=7),
+       cols=st.integers(min_value=1, max_value=7))
+@settings(max_examples=80, deadline=None)
+def test_matches_scipy_on_random_matrices(data, rows, cols):
+    matrix = [[data.draw(finite_costs) for _ in range(cols)] for _ in range(rows)]
+    pairs = minimum_weight_matching(matrix)
+    assert len(pairs) == min(rows, cols)
+    assert matching_cost(matrix, pairs) == pytest.approx(scipy_cost(matrix), rel=1e-6,
+                                                         abs=1e-6)
+
+
+@given(data=st.data(), size=st.integers(min_value=2, max_value=6))
+@settings(max_examples=40, deadline=None)
+def test_matching_is_permutation_on_square_matrices(data, size):
+    matrix = [[data.draw(finite_costs) for _ in range(size)] for _ in range(size)]
+    pairs = minimum_weight_matching(matrix)
+    assert sorted(r for r, _ in pairs) == list(range(size))
+    assert sorted(c for _, c in pairs) == list(range(size))

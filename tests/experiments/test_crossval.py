@@ -1,0 +1,67 @@
+"""Tests for the multi-day cross-validation helper."""
+
+import pytest
+
+from repro.experiments.crossval import (
+    MetricStats,
+    compare_policies_cv,
+    cross_validate,
+    improvement_with_spread,
+)
+from repro.experiments.runner import ExperimentSetting, PolicySpec
+from repro.workload.city import CITY_A
+
+
+@pytest.fixture(scope="module")
+def setting():
+    return ExperimentSetting(profile=CITY_A, scale=0.15, start_hour=12, end_hour=13)
+
+
+class TestMetricStats:
+    def test_from_values(self):
+        stats = MetricStats.from_values([1.0, 2.0, 3.0])
+        assert stats.mean == pytest.approx(2.0)
+        assert stats.minimum == 1.0 and stats.maximum == 3.0
+        assert stats.std > 0.0
+
+    def test_single_value_has_zero_std(self):
+        assert MetricStats.from_values([5.0]).std == 0.0
+
+    def test_empty_values(self):
+        stats = MetricStats.from_values([])
+        assert stats.mean == 0.0 and stats.values == []
+
+
+class TestCrossValidate:
+    def test_runs_all_seeds(self, setting):
+        report = cross_validate(setting, PolicySpec.of("km"), seeds=(0, 1))
+        assert report.seeds == [0, 1]
+        assert len(report.results) == 2
+        assert "xdt_hours_per_day" in report.metrics
+
+    def test_mean_accessor_and_table(self, setting):
+        report = cross_validate(setting, PolicySpec.of("km"), seeds=(0, 1))
+        assert report.mean("orders_per_km") >= 0.0
+        table = report.as_table()
+        assert "km" in table and "orders_per_km" in table
+
+    def test_compare_policies_cv(self, setting):
+        reports = compare_policies_cv(setting, [PolicySpec.of("km"),
+                                                PolicySpec.of("greedy")], seeds=(0,))
+        assert set(reports) == {"km", "greedy"}
+        assert reports["km"].seeds == reports["greedy"].seeds
+
+
+class TestImprovement:
+    def test_improvement_with_spread(self, setting):
+        km = cross_validate(setting, PolicySpec.of("km"), seeds=(0, 1))
+        greedy = cross_validate(setting, PolicySpec.of("greedy"), seeds=(0, 1))
+        stats = improvement_with_spread(greedy, km)
+        assert set(stats) == {"mean", "std", "min", "max"}
+        assert stats["min"] <= stats["mean"] <= stats["max"]
+
+    def test_mismatched_seeds_rejected(self, setting):
+        a = cross_validate(setting, PolicySpec.of("km"), seeds=(0,))
+        b = cross_validate(setting, PolicySpec.of("km"), seeds=(1,))
+        with pytest.raises(ValueError):
+            improvement_with_spread(a, b)

@@ -1,0 +1,157 @@
+"""Tests for parameter sweeps, reporting helpers and figure harnesses.
+
+Figure functions are exercised on deliberately tiny settings so the whole
+file stays fast; the full-size runs live in ``benchmarks/``.
+"""
+
+import pytest
+
+from repro.experiments import figures
+from repro.experiments.reporting import format_metric_comparison, format_series, format_table
+from repro.experiments.runner import ExperimentSetting, PolicySpec
+from repro.experiments.sweeps import (
+    sweep_delta,
+    sweep_eta,
+    sweep_gamma,
+    sweep_k,
+    sweep_vehicles,
+)
+from repro.workload.city import CITY_A
+
+
+@pytest.fixture(scope="module")
+def tiny_setting():
+    return ExperimentSetting(profile=CITY_A, scale=0.15, start_hour=12, end_hour=13,
+                             seed=2)
+
+
+@pytest.fixture(scope="module")
+def tiny_settings_map(tiny_setting):
+    return {"CityA": tiny_setting}
+
+
+class TestReporting:
+    def test_format_table_contains_headers_and_rows(self):
+        text = format_table(["a", "b"], [[1, 2.5], ["x", 3.0]], title="T")
+        assert "T" in text and "a" in text and "2.5000" in text
+
+    def test_format_series_aligns_x_values(self):
+        text = format_series({"s1": [1.0, 2.0], "s2": [3.0, 4.0]}, "x", [10, 20])
+        assert "10" in text and "s2" in text
+
+    def test_format_metric_comparison(self):
+        text = format_metric_comparison({"km": {"xdt": 1.0}}, ["xdt"])
+        assert "km" in text and "xdt" in text
+
+
+class TestSweeps:
+    def test_vehicle_sweep_records_all_fractions(self, tiny_setting):
+        sweep = sweep_vehicles(tiny_setting, PolicySpec.of("km"), fractions=(0.5, 1.0))
+        assert sweep.values == [0.5, 1.0]
+        assert len(sweep.series("xdt_hours_per_day")) == 2
+        assert "rejection_rate" in sweep.metrics[0.5]
+
+    def test_eta_sweep(self, tiny_setting):
+        sweep = sweep_eta(tiny_setting, etas=(30.0, 120.0))
+        assert sweep.parameter == "eta"
+        assert set(sweep.metrics) == {30.0, 120.0}
+
+    def test_delta_sweep(self, tiny_setting):
+        sweep = sweep_delta(tiny_setting, PolicySpec.of("km"), deltas=(120.0, 240.0))
+        assert len(sweep.results) == 2
+        assert sweep.results[120.0].delta == 120.0
+        assert sweep.results[240.0].delta == 240.0
+
+    def test_k_sweep(self, tiny_setting):
+        sweep = sweep_k(tiny_setting, ks=(1, 4))
+        assert sweep.values == [1.0, 4.0]
+
+    def test_gamma_sweep_with_base_options(self, tiny_setting):
+        sweep = sweep_gamma(tiny_setting, gammas=(0.1, 0.9), base_options={"k": 2})
+        assert sweep.values == [0.1, 0.9]
+
+    def test_sweep_table_rendering(self, tiny_setting):
+        sweep = sweep_eta(tiny_setting, etas=(60.0,))
+        text = sweep.as_table(["xdt_hours_per_day", "orders_per_km"])
+        assert "eta" in text and "orders_per_km" in text
+
+
+class TestFigureHarness:
+    def test_table2(self):
+        result = figures.table2_dataset_summary(scale=0.05)
+        assert set(result.data) == {"GrubHub", "CityA", "CityB", "CityC"}
+        assert "City" in result.text
+
+    def test_fig6a(self):
+        result = figures.fig6a_order_vehicle_ratio(scale=0.1)
+        series = result.data["series"]
+        assert all(len(values) == 24 for values in series.values())
+        # City B must have the highest peak ratio, as in the paper.
+        assert max(series["CityB"]) >= max(series["CityA"])
+
+    def test_fig4a(self, tiny_setting):
+        result = figures.fig4a_percentile_ranks(tiny_setting, max_windows=3)
+        cdf = result.data["cdf"]
+        assert cdf[100] == pytest.approx(100.0) or not result.data["percentiles"]
+        assert all(cdf[a] <= cdf[b] for a, b in zip(sorted(cdf), sorted(cdf)[1:]))
+
+    def test_fig6b(self, tiny_settings_map):
+        result = figures.fig6b_vs_reyes(tiny_settings_map, seeds=(0,))
+        assert "CityA" in result.data["xdt"]
+        assert {"foodmatch", "reyes"} == set(result.data["xdt"]["CityA"])
+
+    def test_fig6cde(self, tiny_settings_map):
+        result = figures.fig6cde_vs_greedy(tiny_settings_map, seeds=(0,))
+        metrics = result.data["metrics"]["CityA"]
+        for policy in ("foodmatch", "greedy"):
+            assert {"xdt_hours", "orders_per_km", "waiting_hours"} == set(metrics[policy])
+
+    def test_fig6fgh(self, tiny_settings_map):
+        result = figures.fig6fgh_scalability(tiny_settings_map, budget_seconds=10.0)
+        metrics = result.data["metrics"]["CityA"]
+        assert {"greedy", "km", "foodmatch"} == set(metrics)
+        assert all(m["overflow_all_pct"] == 0.0 for m in metrics.values())
+
+    def test_fig6ijk(self, tiny_setting):
+        result = figures.fig6ijk_improvement_by_slot(tiny_setting)
+        assert "xdt_improvement_by_slot" in result.data
+        assert "okm_improvement" in result.data
+
+    def test_fig7a(self, tiny_settings_map):
+        result = figures.fig7a_ablation(tiny_settings_map, sparsification_k=3)
+        assert set(result.data["improvement"]["CityA"]) == {"B&R", "B&R+BFS", "B&R+BFS+A"}
+
+    def test_fig7bcde(self, tiny_setting):
+        result = figures.fig7bcde_vehicle_sweep(tiny_setting, fractions=(0.5, 1.0))
+        assert len(result.data["series"]["xdt_hours"]) == 2
+        assert len(result.data["series"]["rejection_pct"]) == 2
+
+    def test_fig8abc(self, tiny_setting):
+        result = figures.fig8abc_eta_sweep(tiny_setting, etas=(30.0, 120.0))
+        assert len(result.data["series"]["orders_per_km"]) == 2
+
+    def test_fig8defg(self, tiny_setting):
+        result = figures.fig8defg_delta_sweep(tiny_setting, deltas=(120.0, 240.0))
+        assert len(result.data["series"]["mean_decision_seconds"]) == 2
+
+    def test_fig8hijk(self, tiny_setting):
+        result = figures.fig8hijk_k_sweep(tiny_setting, ks=(1, 4))
+        assert len(result.data["series"]["xdt_hours"]) == 2
+
+    def test_fig9(self, tiny_setting):
+        result = figures.fig9_gamma_sweep(tiny_setting, gammas=(0.1, 0.9),
+                                          include_rejection_panel=False)
+        assert len(result.data["series"]["waiting_hours"]) == 2
+        assert "rejection_by_fleet" not in result.data
+
+    def test_fig6h_single_window(self):
+        result = figures.fig6h_single_window_scaling(order_counts=(4, 8), num_vehicles=20,
+                                                     profile=CITY_A)
+        series = result.data["series"]
+        assert set(series) == {"greedy", "km", "foodmatch"}
+        assert all(len(values) == 2 for values in series.values())
+        assert all(q > 0 for q in result.data["queries"]["km"])
+
+    def test_figure_result_str(self):
+        result = figures.table2_dataset_summary(scale=0.05)
+        assert "Table II" in str(result)

@@ -1,0 +1,89 @@
+"""Tests for the DistanceOracle front end (hub-label and Dijkstra backends)."""
+
+import math
+import random
+
+import pytest
+
+from repro.network.distance_oracle import DistanceOracle
+from repro.network.generators import grid_city
+from repro.network.graph import SECONDS_PER_HOUR, TimeProfile
+from repro.network.shortest_path import dijkstra
+
+
+@pytest.fixture(scope="module")
+def peaked_net():
+    return grid_city(rows=5, cols=5, diagonal_fraction=0.1, congested_fraction=0.2,
+                     profile=TimeProfile.urban_peaks(), seed=9)
+
+
+class TestBackends:
+    def test_rejects_unknown_method(self, small_grid):
+        with pytest.raises(ValueError):
+            DistanceOracle(small_grid, method="magic")
+
+    def test_auto_picks_hub_label_for_larger_networks(self):
+        net = grid_city(rows=9, cols=9, profile=TimeProfile.flat(), seed=2)
+        assert DistanceOracle(net, method="auto").method == "hub_label"
+
+    def test_auto_picks_dijkstra_for_tiny_networks(self):
+        net = grid_city(rows=3, cols=3, profile=TimeProfile.flat(), seed=2)
+        assert DistanceOracle(net, method="auto").method == "dijkstra"
+
+    @pytest.mark.parametrize("method", ["hub_label", "dijkstra"])
+    def test_matches_dijkstra_ground_truth(self, peaked_net, method):
+        oracle = DistanceOracle(peaked_net, method=method)
+        rng = random.Random(4)
+        for _ in range(25):
+            u, v = rng.choice(peaked_net.nodes), rng.choice(peaked_net.nodes)
+            t = rng.choice([0.0, 9 * SECONDS_PER_HOUR, 13 * SECONDS_PER_HOUR])
+            assert oracle.distance(u, v, t) == pytest.approx(
+                dijkstra(peaked_net, u, v, t), rel=1e-9, abs=1e-6)
+
+    def test_backends_agree(self, peaked_net):
+        hub = DistanceOracle(peaked_net, method="hub_label")
+        dij = DistanceOracle(peaked_net, method="dijkstra")
+        rng = random.Random(5)
+        for _ in range(20):
+            u, v = rng.choice(peaked_net.nodes), rng.choice(peaked_net.nodes)
+            assert hub.distance(u, v, 13 * SECONDS_PER_HOUR) == pytest.approx(
+                dij.distance(u, v, 13 * SECONDS_PER_HOUR))
+
+
+class TestQueries:
+    def test_self_distance(self, oracle):
+        assert oracle.distance(3, 3, 0.0) == 0.0
+
+    def test_time_dependence(self, peaked_net):
+        oracle = DistanceOracle(peaked_net)
+        off_peak = oracle.distance(0, 24, 10 * SECONDS_PER_HOUR)
+        peak = oracle.distance(0, 24, 13 * SECONDS_PER_HOUR)
+        assert peak > off_peak
+
+    def test_reachable(self, oracle):
+        assert oracle.reachable(0, 35)
+
+    def test_path_is_valid_and_consistent(self, oracle, small_grid):
+        path = oracle.path(0, 35, 0.0)
+        assert path[0] == 0 and path[-1] == 35
+        for u, v in zip(path, path[1:]):
+            assert small_grid.has_edge(u, v)
+        total = sum(small_grid.edge_time(u, v, 0.0) for u, v in zip(path, path[1:]))
+        assert total == pytest.approx(oracle.distance(0, 35, 0.0))
+
+    def test_path_trivial(self, oracle):
+        assert oracle.path(4, 4) == [4]
+
+    def test_path_returns_copy(self, oracle):
+        first = oracle.path(0, 10)
+        first.append(999)
+        assert oracle.path(0, 10)[-1] != 999
+
+    def test_query_counter(self, small_grid):
+        oracle = DistanceOracle(small_grid, method="hub_label")
+        oracle.reset_counters()
+        oracle.distance(0, 5, 0.0)
+        oracle.distance(5, 0, 0.0)
+        assert oracle.query_count == 2
+        oracle.reset_counters()
+        assert oracle.query_count == 0

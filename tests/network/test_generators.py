@@ -1,0 +1,94 @@
+"""Tests for the synthetic road-network generators."""
+
+import pytest
+
+from repro.network.generators import grid_city, radial_city, random_geometric_city
+from repro.network.graph import TimeProfile
+
+
+class TestGridCity:
+    def test_node_count(self):
+        net = grid_city(rows=7, cols=5)
+        assert net.num_nodes == 35
+
+    def test_strongly_connected(self):
+        assert grid_city(rows=6, cols=6, seed=1).is_strongly_connected()
+
+    def test_all_nodes_have_coordinates(self):
+        net = grid_city(rows=4, cols=4)
+        for node in net.nodes:
+            lat, lon = net.coord(node)
+            assert isinstance(lat, float) and isinstance(lon, float)
+
+    def test_deterministic_for_same_seed(self):
+        a = grid_city(rows=5, cols=5, seed=42)
+        b = grid_city(rows=5, cols=5, seed=42)
+        assert set(a.edges()) == set(b.edges())
+
+    def test_different_seed_changes_congestion_pattern(self):
+        a = grid_city(rows=6, cols=6, seed=1, congested_fraction=0.5)
+        b = grid_city(rows=6, cols=6, seed=2, congested_fraction=0.5)
+        weights_a = [a.edge_time(u, v, 0.0) for u, v, _ in a.edges()]
+        weights_b = [b.edge_time(u, v, 0.0) for u, v, _ in b.edges()]
+        assert weights_a != weights_b
+
+    def test_rejects_degenerate_grid(self):
+        with pytest.raises(ValueError):
+            grid_city(rows=1, cols=5)
+
+    def test_block_length_controls_travel_time(self):
+        short = grid_city(rows=3, cols=3, block_km=0.2, profile=TimeProfile.flat(),
+                          congested_fraction=0.0, diagonal_fraction=0.0)
+        long = grid_city(rows=3, cols=3, block_km=0.8, profile=TimeProfile.flat(),
+                         congested_fraction=0.0, diagonal_fraction=0.0)
+        assert long.edge_time(0, 1, 0.0) > short.edge_time(0, 1, 0.0)
+
+    def test_custom_profile_attached(self):
+        profile = TimeProfile.flat(2.0)
+        net = grid_city(rows=3, cols=3, profile=profile)
+        assert net.profile is profile
+
+
+class TestRadialCity:
+    def test_node_count(self):
+        net = radial_city(rings=4, spokes=10)
+        assert net.num_nodes == 1 + 4 * 10
+
+    def test_strongly_connected(self):
+        assert radial_city(rings=5, spokes=12, seed=7).is_strongly_connected()
+
+    def test_center_connected_to_first_ring(self):
+        net = radial_city(rings=2, spokes=6)
+        first_ring = [1 + spoke for spoke in range(6)]
+        assert any(net.has_edge(0, node) for node in first_ring)
+
+    def test_rejects_too_few_spokes(self):
+        with pytest.raises(ValueError):
+            radial_city(rings=2, spokes=2)
+
+    def test_deterministic(self):
+        a = radial_city(rings=3, spokes=8, seed=5)
+        b = radial_city(rings=3, spokes=8, seed=5)
+        assert set(a.edges()) == set(b.edges())
+
+
+class TestRandomGeometricCity:
+    def test_node_count(self):
+        assert random_geometric_city(num_nodes=70, seed=1).num_nodes == 70
+
+    def test_strongly_connected_after_stitching(self):
+        net = random_geometric_city(num_nodes=80, connection_radius_km=0.7, seed=2)
+        assert net.is_strongly_connected()
+
+    def test_sparse_radius_still_connected(self):
+        net = random_geometric_city(num_nodes=40, connection_radius_km=0.3, seed=3)
+        assert net.is_strongly_connected()
+
+    def test_rejects_single_node(self):
+        with pytest.raises(ValueError):
+            random_geometric_city(num_nodes=1)
+
+    def test_deterministic(self):
+        a = random_geometric_city(num_nodes=50, seed=11)
+        b = random_geometric_city(num_nodes=50, seed=11)
+        assert set(a.edges()) == set(b.edges())

@@ -1,0 +1,180 @@
+"""Tests for the time-dependent road network and time profiles."""
+
+import pytest
+
+from repro.network.graph import (
+    SECONDS_PER_HOUR,
+    RoadNetwork,
+    TimeProfile,
+    time_slot,
+)
+
+
+def build_triangle(profile=None):
+    net = RoadNetwork(profile)
+    net.add_node(0, 0.0, 0.0)
+    net.add_node(1, 0.0, 0.01)
+    net.add_node(2, 0.01, 0.0)
+    net.add_edge(0, 1, 60.0)
+    net.add_edge(1, 2, 120.0)
+    net.add_edge(2, 0, 90.0)
+    return net
+
+
+class TestTimeSlot:
+    def test_midnight_is_slot_zero(self):
+        assert time_slot(0.0) == 0
+
+    def test_half_past_one_is_slot_one(self):
+        assert time_slot(1.5 * SECONDS_PER_HOUR) == 1
+
+    def test_last_slot(self):
+        assert time_slot(23.9 * SECONDS_PER_HOUR) == 23
+
+    def test_wraps_past_midnight(self):
+        assert time_slot(25.0 * SECONDS_PER_HOUR) == 1
+
+
+class TestTimeProfile:
+    def test_flat_profile_constant(self):
+        profile = TimeProfile.flat(1.0)
+        assert profile.multiplier(0.0) == 1.0
+        assert profile.multiplier(13 * SECONDS_PER_HOUR) == 1.0
+
+    def test_urban_peaks_slower_at_lunch(self):
+        profile = TimeProfile.urban_peaks()
+        lunch = profile.multiplier(13 * SECONDS_PER_HOUR)
+        morning = profile.multiplier(10 * SECONDS_PER_HOUR)
+        assert lunch > morning
+
+    def test_urban_peaks_dinner_slower_than_lunch(self):
+        profile = TimeProfile.urban_peaks()
+        assert profile.multiplier(20 * SECONDS_PER_HOUR) > profile.multiplier(
+            13 * SECONDS_PER_HOUR)
+
+    def test_requires_24_entries(self):
+        with pytest.raises(ValueError):
+            TimeProfile((1.0,) * 23)
+
+    def test_rejects_non_positive_multiplier(self):
+        values = [1.0] * 24
+        values[5] = 0.0
+        with pytest.raises(ValueError):
+            TimeProfile(tuple(values))
+
+
+class TestRoadNetworkConstruction:
+    def test_node_and_edge_counts(self):
+        net = build_triangle()
+        assert net.num_nodes == 3
+        assert net.num_edges == 3
+        assert len(net) == 3
+
+    def test_contains(self):
+        net = build_triangle()
+        assert 0 in net
+        assert 99 not in net
+
+    def test_edge_requires_existing_nodes(self):
+        net = RoadNetwork()
+        net.add_node(0, 0.0, 0.0)
+        with pytest.raises(KeyError):
+            net.add_edge(0, 1, 10.0)
+
+    def test_edge_requires_positive_weight(self):
+        net = build_triangle()
+        with pytest.raises(ValueError):
+            net.add_edge(0, 2, 0.0)
+
+    def test_add_road_creates_both_directions(self):
+        net = RoadNetwork()
+        net.add_node(0, 0.0, 0.0)
+        net.add_node(1, 0.0, 0.01)
+        net.add_road(0, 1, 45.0)
+        assert net.has_edge(0, 1)
+        assert net.has_edge(1, 0)
+        assert net.num_edges == 2
+
+    def test_re_adding_edge_updates_weight_without_double_count(self):
+        net = build_triangle()
+        net.add_edge(0, 1, 75.0)
+        assert net.num_edges == 3
+        assert net.base_time(0, 1) == 75.0
+
+    def test_coord_roundtrip(self):
+        net = build_triangle()
+        assert net.coord(1) == (0.0, 0.01)
+
+
+class TestEdgeTimes:
+    def test_flat_profile_edge_time_equals_base(self):
+        net = build_triangle(TimeProfile.flat())
+        assert net.edge_time(0, 1, 0.0) == 60.0
+
+    def test_profile_scales_edge_time(self):
+        net = build_triangle(TimeProfile.urban_peaks())
+        lunch = net.edge_time(0, 1, 13 * SECONDS_PER_HOUR)
+        base = net.edge_time(0, 1, 10 * SECONDS_PER_HOUR)
+        assert lunch > base
+
+    def test_per_edge_multiplier(self):
+        net = RoadNetwork(TimeProfile.flat())
+        net.add_node(0, 0.0, 0.0)
+        net.add_node(1, 0.0, 0.01)
+        net.add_edge(0, 1, 100.0, multiplier=1.5)
+        assert net.edge_time(0, 1, 0.0) == pytest.approx(150.0)
+
+    def test_max_edge_time_tracks_largest_effective_weight(self):
+        net = build_triangle(TimeProfile.flat())
+        assert net.max_edge_time(0.0) == pytest.approx(120.0)
+
+    def test_max_edge_time_empty_network(self):
+        assert RoadNetwork().max_edge_time(0.0) == 1.0
+
+
+class TestTopologyQueries:
+    def test_neighbors(self):
+        net = build_triangle()
+        assert dict(net.neighbors(0)) == {1: 60.0}
+
+    def test_predecessors(self):
+        net = build_triangle()
+        assert dict(net.predecessors(0)) == {2: 90.0}
+
+    def test_out_degree(self):
+        net = build_triangle()
+        assert net.out_degree(0) == 1
+
+    def test_edges_iterator(self):
+        net = build_triangle()
+        edges = set(net.edges())
+        assert (0, 1, 60.0) in edges
+        assert len(edges) == 3
+
+    def test_nearest_node(self):
+        net = build_triangle()
+        assert net.nearest_node((0.0, 0.009)) == 1
+
+    def test_nearest_node_with_candidates(self):
+        net = build_triangle()
+        assert net.nearest_node((0.0, 0.009), candidates=[0, 2]) == 0
+
+    def test_nearest_node_empty_network_raises(self):
+        with pytest.raises(ValueError):
+            RoadNetwork().nearest_node((0.0, 0.0))
+
+    def test_strongly_connected_triangle(self):
+        assert build_triangle().is_strongly_connected()
+
+    def test_not_strongly_connected_when_one_way(self):
+        net = RoadNetwork()
+        net.add_node(0, 0.0, 0.0)
+        net.add_node(1, 0.0, 0.01)
+        net.add_edge(0, 1, 30.0)
+        assert not net.is_strongly_connected()
+
+    def test_to_networkx_roundtrip(self):
+        graph = build_triangle().to_networkx()
+        assert graph.number_of_nodes() == 3
+        assert graph.number_of_edges() == 3
+        assert graph[0][1]["weight"] == 60.0

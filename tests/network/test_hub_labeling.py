@@ -1,0 +1,91 @@
+"""Tests for the hub-label (2-hop cover) distance index."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network.generators import grid_city, radial_city, random_geometric_city
+from repro.network.graph import RoadNetwork, TimeProfile
+from repro.network.hub_labeling import HubLabelIndex
+from repro.network.shortest_path import dijkstra, dijkstra_all
+
+
+def assert_index_exact(network, sample_pairs=40, seed=0):
+    """The index must agree with Dijkstra on random node pairs."""
+    index = HubLabelIndex(network)
+    rng = random.Random(seed)
+    nodes = network.nodes
+    for _ in range(sample_pairs):
+        u, v = rng.choice(nodes), rng.choice(nodes)
+        expected = dijkstra(network, u, v, t=0.0) / network.profile.multiplier(0.0)
+        assert index.query(u, v) == pytest.approx(expected, rel=1e-9, abs=1e-6)
+
+
+class TestExactness:
+    def test_grid_network(self):
+        net = grid_city(rows=5, cols=5, profile=TimeProfile.flat(),
+                        diagonal_fraction=0.1, congested_fraction=0.2, seed=1)
+        assert_index_exact(net)
+
+    def test_radial_network(self):
+        net = radial_city(rings=3, spokes=8, profile=TimeProfile.flat(), seed=2)
+        assert_index_exact(net)
+
+    def test_random_geometric_network(self):
+        net = random_geometric_city(num_nodes=60, profile=TimeProfile.flat(), seed=3)
+        assert_index_exact(net)
+
+    def test_directed_asymmetric_network(self):
+        net = RoadNetwork(TimeProfile.flat())
+        for i in range(4):
+            net.add_node(i, 0.0, i * 0.01)
+        net.add_edge(0, 1, 1.0)
+        net.add_edge(1, 2, 1.0)
+        net.add_edge(2, 3, 1.0)
+        net.add_edge(3, 0, 1.0)
+        index = HubLabelIndex(net)
+        assert index.query(0, 3) == pytest.approx(3.0)
+        assert index.query(3, 0) == pytest.approx(1.0)
+
+    @given(seed=st.integers(min_value=0, max_value=500))
+    @settings(max_examples=10, deadline=None)
+    def test_random_grids_property(self, seed):
+        net = grid_city(rows=4, cols=4, profile=TimeProfile.flat(),
+                        diagonal_fraction=0.3, congested_fraction=0.3, seed=seed)
+        assert_index_exact(net, sample_pairs=15, seed=seed)
+
+
+class TestEdgeCases:
+    def test_self_distance_zero(self, small_grid):
+        index = HubLabelIndex(small_grid)
+        assert index.query(7, 7) == 0.0
+
+    def test_unreachable_pair_is_infinite(self):
+        net = RoadNetwork(TimeProfile.flat())
+        net.add_node(0, 0.0, 0.0)
+        net.add_node(1, 0.0, 0.01)
+        net.add_node(2, 1.0, 1.0)
+        net.add_road(0, 1, 10.0)
+        index = HubLabelIndex(net)
+        assert index.query(0, 2) == math.inf
+
+    def test_explicit_hub_order(self, small_grid):
+        index = HubLabelIndex(small_grid, order=sorted(small_grid.nodes))
+        reference = dijkstra_all(small_grid, 0)
+        for node, expected in reference.items():
+            assert index.query(0, node) == pytest.approx(expected)
+
+
+class TestDiagnostics:
+    def test_label_sizes_positive(self, small_grid):
+        index = HubLabelIndex(small_grid)
+        assert index.average_label_size > 0
+        assert index.total_label_entries >= small_grid.num_nodes
+
+    def test_labels_far_smaller_than_quadratic(self, small_grid):
+        index = HubLabelIndex(small_grid)
+        n = small_grid.num_nodes
+        assert index.total_label_entries < n * n

@@ -1,0 +1,195 @@
+"""Tests for Dijkstra variants and the best-first explorer."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network.generators import grid_city
+from repro.network.graph import RoadNetwork, TimeProfile
+from repro.network.shortest_path import (
+    BestFirstExplorer,
+    dijkstra,
+    dijkstra_all,
+    dijkstra_all_reverse,
+    shortest_path_length,
+    shortest_path_nodes,
+)
+
+
+def build_line(n=5, weight=10.0):
+    net = RoadNetwork(TimeProfile.flat())
+    for i in range(n):
+        net.add_node(i, 0.0, i * 0.01)
+    for i in range(n - 1):
+        net.add_road(i, i + 1, weight)
+    return net
+
+
+def build_two_routes():
+    """A diamond where the top route is longer than the bottom route."""
+    net = RoadNetwork(TimeProfile.flat())
+    for i in range(4):
+        net.add_node(i, 0.0, i * 0.01)
+    net.add_edge(0, 1, 10.0)
+    net.add_edge(1, 3, 10.0)
+    net.add_edge(0, 2, 5.0)
+    net.add_edge(2, 3, 4.0)
+    return net
+
+
+class TestDijkstra:
+    def test_line_distance(self):
+        net = build_line()
+        assert dijkstra(net, 0, 4) == pytest.approx(40.0)
+
+    def test_source_equals_target(self):
+        net = build_line()
+        assert dijkstra(net, 2, 2) == 0.0
+
+    def test_prefers_cheaper_route(self):
+        net = build_two_routes()
+        assert dijkstra(net, 0, 3) == pytest.approx(9.0)
+
+    def test_unreachable_is_infinite(self):
+        net = build_line()
+        net.add_node(99, 1.0, 1.0)
+        assert dijkstra(net, 0, 99) == math.inf
+
+    def test_respects_directionality(self):
+        net = RoadNetwork(TimeProfile.flat())
+        net.add_node(0, 0.0, 0.0)
+        net.add_node(1, 0.0, 0.01)
+        net.add_edge(0, 1, 10.0)
+        assert dijkstra(net, 0, 1) == 10.0
+        assert dijkstra(net, 1, 0) == math.inf
+
+    def test_custom_weight_function(self):
+        net = build_two_routes()
+        # Constant weights make the 2-hop top route as cheap as the bottom.
+        assert dijkstra(net, 0, 3, weight=lambda u, v: 1.0) == pytest.approx(2.0)
+
+    def test_time_dependent_scaling(self):
+        net = build_line()
+        peaked = grid_city(rows=3, cols=3, profile=TimeProfile.urban_peaks(),
+                           diagonal_fraction=0.0, congested_fraction=0.0)
+        off_peak = dijkstra(peaked, 0, 8, t=10 * 3600.0)
+        peak = dijkstra(peaked, 0, 8, t=13 * 3600.0)
+        assert peak > off_peak
+
+
+class TestDijkstraAll:
+    def test_contains_all_reachable(self):
+        net = build_line()
+        dist = dijkstra_all(net, 0)
+        assert set(dist) == {0, 1, 2, 3, 4}
+        assert dist[3] == pytest.approx(30.0)
+
+    def test_cutoff_limits_expansion(self):
+        net = build_line()
+        dist = dijkstra_all(net, 0, cutoff=15.0)
+        assert 4 not in dist
+        assert 1 in dist
+
+    def test_reverse_matches_forward_on_symmetric_graph(self):
+        net = build_line()
+        forward = dijkstra_all(net, 2)
+        backward = dijkstra_all_reverse(net, 2)
+        assert forward == backward
+
+    def test_reverse_on_directed_graph(self):
+        net = RoadNetwork(TimeProfile.flat())
+        for i in range(3):
+            net.add_node(i, 0.0, i * 0.01)
+        net.add_edge(0, 1, 5.0)
+        net.add_edge(1, 2, 5.0)
+        to_target = dijkstra_all_reverse(net, 2)
+        assert to_target[0] == pytest.approx(10.0)
+        assert 2 in to_target
+
+
+class TestPathReconstruction:
+    def test_path_endpoints(self):
+        net = build_two_routes()
+        path = shortest_path_nodes(net, 0, 3)
+        assert path[0] == 0 and path[-1] == 3
+
+    def test_path_follows_cheapest_route(self):
+        net = build_two_routes()
+        assert shortest_path_nodes(net, 0, 3) == [0, 2, 3]
+
+    def test_path_edges_exist(self, small_grid):
+        path = shortest_path_nodes(small_grid, 0, 35)
+        for u, v in zip(path, path[1:]):
+            assert small_grid.has_edge(u, v)
+
+    def test_path_length_matches_dijkstra(self, small_grid):
+        path = shortest_path_nodes(small_grid, 0, 35)
+        total = sum(small_grid.edge_time(u, v, 0.0) for u, v in zip(path, path[1:]))
+        assert total == pytest.approx(dijkstra(small_grid, 0, 35))
+
+    def test_trivial_path(self):
+        net = build_line()
+        assert shortest_path_nodes(net, 1, 1) == [1]
+
+    def test_no_path_raises(self):
+        net = build_line()
+        net.add_node(99, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            shortest_path_nodes(net, 0, 99)
+
+    def test_shortest_path_length_alias(self):
+        net = build_line()
+        assert shortest_path_length(net, 0, 3) == dijkstra(net, 0, 3)
+
+
+class TestBestFirstExplorer:
+    def test_yields_source_first(self, small_grid):
+        explorer = BestFirstExplorer(small_grid, 14)
+        node, dist = next(explorer)
+        assert node == 14 and dist == 0.0
+
+    def test_costs_non_decreasing(self, small_grid):
+        explorer = BestFirstExplorer(small_grid, 0)
+        costs = [cost for _, cost in explorer]
+        assert costs == sorted(costs)
+
+    def test_visits_every_node_exactly_once(self, small_grid):
+        explorer = BestFirstExplorer(small_grid, 0)
+        nodes = [node for node, _ in explorer]
+        assert len(nodes) == small_grid.num_nodes
+        assert len(set(nodes)) == small_grid.num_nodes
+
+    def test_costs_match_dijkstra(self, small_grid):
+        explorer = BestFirstExplorer(small_grid, 0)
+        found = {node: cost for node, cost in explorer}
+        reference = dijkstra_all(small_grid, 0)
+        for node, cost in reference.items():
+            assert found[node] == pytest.approx(cost)
+
+    def test_custom_weight_changes_order(self, small_grid):
+        plain = [n for n, _ in BestFirstExplorer(small_grid, 0)]
+        # Weighting by target node id makes low-numbered nodes attractive.
+        weird = [n for n, _ in BestFirstExplorer(small_grid, 0,
+                                                 weight=lambda u, v: 1.0 + v)]
+        assert plain != weird
+
+    def test_visited_count_tracks_progress(self, small_grid):
+        explorer = BestFirstExplorer(small_grid, 0)
+        for _ in range(5):
+            next(explorer)
+        assert explorer.visited_count == 5
+
+
+@given(seed=st.integers(min_value=0, max_value=1_000))
+@settings(max_examples=15, deadline=None)
+def test_dijkstra_symmetric_on_undirected_grid(seed):
+    """On a symmetric network, distance(u, v) == distance(v, u)."""
+    import random
+
+    net = grid_city(rows=4, cols=4, diagonal_fraction=0.0, congested_fraction=0.0,
+                    profile=TimeProfile.flat(), seed=seed)
+    rng = random.Random(seed)
+    u, v = rng.sample(net.nodes, 2)
+    assert dijkstra(net, u, v) == pytest.approx(dijkstra(net, v, u))

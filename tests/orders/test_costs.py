@@ -1,0 +1,172 @@
+"""Tests for the cost model: SDT, EDT, XDT, batch and marginal costs."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network.distance_oracle import DistanceOracle
+from repro.network.generators import grid_city
+from repro.network.graph import TimeProfile
+from repro.orders.costs import CostModel, shortest_delivery_time
+from repro.orders.order import Order
+from repro.orders.vehicle import Vehicle
+
+
+def order_on_grid(order_id, restaurant, customer, placed_at=0.0, prep=0.0, items=1):
+    return Order(order_id=order_id, restaurant_node=restaurant, customer_node=customer,
+                 placed_at=placed_at, prep_time=prep, items=items)
+
+
+class TestShortestDeliveryTime:
+    def test_sdt_is_prep_plus_direct_distance(self, oracle):
+        order = order_on_grid(1, 7, 9, prep=300.0)
+        direct = oracle.distance(7, 9, 0.0)
+        assert shortest_delivery_time(order, oracle) == pytest.approx(300.0 + direct)
+
+    def test_sdt_memoised(self, oracle):
+        model = CostModel(oracle)
+        order = order_on_grid(2, 0, 35, prep=100.0)
+        first = model.sdt(order)
+        oracle_queries = oracle.query_count
+        second = model.sdt(order)
+        assert first == second
+        assert oracle.query_count == oracle_queries
+
+
+class TestSingleOrderCosts:
+    def test_edt_with_long_first_mile(self, cost_model, oracle):
+        # Vehicle far from the restaurant: first mile dominates preparation.
+        order = order_on_grid(3, 30, 35, placed_at=0.0, prep=0.0)
+        first = oracle.distance(0, 30, 0.0)
+        last = oracle.distance(30, 35, 0.0)
+        assert cost_model.expected_delivery_time(order, 0, 0.0) == pytest.approx(first + last)
+
+    def test_edt_with_long_preparation(self, cost_model, oracle):
+        # Preparation longer than the first mile: EDT = prep + last mile.
+        order = order_on_grid(4, 1, 2, placed_at=0.0, prep=10_000.0)
+        last = oracle.distance(1, 2, 0.0)
+        assert cost_model.expected_delivery_time(order, 0, 0.0) == pytest.approx(
+            10_000.0 + last)
+
+    def test_edt_accounts_for_elapsed_waiting(self, cost_model, oracle):
+        order = order_on_grid(5, 1, 2, placed_at=0.0, prep=0.0)
+        now = 600.0
+        first = oracle.distance(0, 1, now)
+        last = oracle.distance(1, 2, now)
+        assert cost_model.expected_delivery_time(order, 0, now) == pytest.approx(
+            600.0 + first + last)
+
+    def test_xdt_zero_for_perfect_vehicle(self, cost_model):
+        # Vehicle already at the restaurant with prep dominating: XDT is zero.
+        order = order_on_grid(6, 7, 28, placed_at=0.0, prep=5_000.0)
+        assert cost_model.extra_delivery_time(order, 7, 0.0) == pytest.approx(0.0)
+
+    def test_xdt_positive_for_distant_vehicle(self, cost_model):
+        order = order_on_grid(7, 7, 28, placed_at=0.0, prep=0.0)
+        assert cost_model.extra_delivery_time(order, 35, 0.0) > 0.0
+
+    def test_first_and_last_mile(self, cost_model, oracle):
+        order = order_on_grid(8, 7, 28)
+        assert cost_model.first_mile(order, 0, 0.0) == oracle.distance(0, 7, 0.0)
+        assert cost_model.last_mile(order, 0.0) == oracle.distance(7, 28, 0.0)
+
+
+class TestVehicleCosts:
+    def test_empty_vehicle_zero_cost(self, cost_model, make_vehicle):
+        assert cost_model.vehicle_cost(make_vehicle(node=0), (), 0.0) == 0.0
+
+    def test_marginal_cost_of_first_order_equals_its_xdt(self, cost_model, make_vehicle):
+        vehicle = make_vehicle(node=0)
+        order = order_on_grid(10, 7, 28, prep=0.0)
+        cost, plan = cost_model.marginal_cost([order], vehicle, 0.0)
+        assert plan is not None
+        assert cost == pytest.approx(cost_model.extra_delivery_time(order, 0, 0.0))
+
+    def test_marginal_cost_infeasible_when_capacity_exceeded(self, cost_model, make_vehicle):
+        vehicle = make_vehicle(node=0, max_orders=1)
+        orders = [order_on_grid(11, 7, 28), order_on_grid(12, 8, 29)]
+        cost, plan = cost_model.marginal_cost(orders, vehicle, 0.0)
+        assert cost == math.inf and plan is None
+
+    def test_marginal_cost_infeasible_when_items_exceeded(self, cost_model, make_vehicle):
+        vehicle = make_vehicle(node=0, max_items=2)
+        cost, plan = cost_model.marginal_cost([order_on_grid(13, 7, 28, items=3)],
+                                              vehicle, 0.0)
+        assert cost == math.inf and plan is None
+
+    def test_marginal_cost_nonnegative_for_added_order(self, cost_model, make_vehicle):
+        vehicle = make_vehicle(node=0)
+        first = order_on_grid(14, 7, 28, prep=0.0)
+        _, plan = cost_model.marginal_cost([first], vehicle, 0.0)
+        vehicle.assign([first], plan)
+        cost, _ = cost_model.marginal_cost([order_on_grid(15, 8, 29, prep=0.0)],
+                                           vehicle, 0.0)
+        assert cost >= 0.0
+
+    def test_plan_for_vehicle_includes_onboard_dropoffs(self, cost_model, make_vehicle):
+        vehicle = make_vehicle(node=0)
+        order = order_on_grid(16, 7, 28, prep=0.0)
+        _, plan = cost_model.marginal_cost([order], vehicle, 0.0)
+        vehicle.assign([order], plan)
+        vehicle.mark_picked_up(order.order_id)
+        new_plan = cost_model.plan_for_vehicle(vehicle, (), 0.0)
+        assert [s.node for s in new_plan.stops] == [28]
+
+
+class TestBatches:
+    def test_single_order_batch(self, cost_model):
+        order = order_on_grid(20, 7, 28, prep=0.0)
+        batch = cost_model.make_batch([order], 0.0)
+        assert batch.size == 1
+        assert batch.first_pickup_node == 7
+        # A virtual vehicle starting at the restaurant incurs no extra time.
+        assert batch.cost == pytest.approx(0.0)
+
+    def test_batch_orders_sorted_by_id(self, cost_model):
+        orders = [order_on_grid(22, 8, 29), order_on_grid(21, 7, 28)]
+        batch = cost_model.make_batch(orders, 0.0)
+        assert batch.order_ids == (21, 22)
+
+    def test_merge_cost_non_negative(self, cost_model):
+        left = cost_model.make_batch([order_on_grid(23, 7, 28, prep=0.0)], 0.0)
+        right = cost_model.make_batch([order_on_grid(24, 14, 35, prep=0.0)], 0.0)
+        weight, merged = cost_model.merge_cost(left, right, 0.0)
+        assert weight >= 0.0
+        assert merged.size == 2
+
+    def test_merge_cost_matches_cost_difference(self, cost_model):
+        left = cost_model.make_batch([order_on_grid(25, 7, 28, prep=0.0)], 0.0)
+        right = cost_model.make_batch([order_on_grid(26, 8, 29, prep=0.0)], 0.0)
+        weight, merged = cost_model.merge_cost(left, right, 0.0)
+        assert weight == pytest.approx(
+            max(0.0, merged.cost - left.cost - right.cost))
+
+    def test_same_restaurant_nearby_customers_merge_cheaply(self, cost_model, oracle):
+        left = cost_model.make_batch([order_on_grid(27, 7, 8, prep=0.0)], 0.0)
+        right = cost_model.make_batch([order_on_grid(28, 7, 13, prep=0.0)], 0.0)
+        weight, _ = cost_model.merge_cost(left, right, 0.0)
+        far = cost_model.make_batch([order_on_grid(29, 30, 35, prep=0.0)], 0.0)
+        far_weight, _ = cost_model.merge_cost(left, far, 0.0)
+        assert weight < far_weight
+
+
+@given(restaurant=st.integers(min_value=0, max_value=35),
+       customer=st.integers(min_value=0, max_value=35),
+       vehicle_node=st.integers(min_value=0, max_value=35),
+       prep=st.floats(min_value=0.0, max_value=1800.0))
+@settings(max_examples=40, deadline=None)
+def test_xdt_always_nonnegative(oracle_module, restaurant, customer, vehicle_node, prep):
+    model = CostModel(oracle_module)
+    order = Order(order_id=hash((restaurant, customer, prep)) % 10_000,
+                  restaurant_node=restaurant, customer_node=customer,
+                  placed_at=0.0, prep_time=prep)
+    assert model.extra_delivery_time(order, vehicle_node, 0.0) >= 0.0
+
+
+@pytest.fixture(scope="module")
+def oracle_module():
+    network = grid_city(rows=6, cols=6, block_km=0.5, diagonal_fraction=0.0,
+                        congested_fraction=0.0, profile=TimeProfile.flat(), seed=3)
+    return DistanceOracle(network, method="hub_label")

@@ -1,0 +1,96 @@
+"""Tests for the cheapest-insertion route planner and the planner selection."""
+
+import random
+
+import pytest
+
+from repro.network.distance_oracle import DistanceOracle
+from repro.network.generators import grid_city
+from repro.network.graph import TimeProfile
+from repro.orders.costs import CostModel
+from repro.orders.order import Order
+from repro.orders.route_plan import best_route_plan, insertion_route_plan
+
+
+def make_order(order_id, restaurant, customer, placed_at=0.0, prep=0.0, items=1):
+    return Order(order_id=order_id, restaurant_node=restaurant, customer_node=customer,
+                 placed_at=placed_at, prep_time=prep, items=items)
+
+
+class TestInsertionPlanner:
+    def test_single_order_matches_exhaustive(self, oracle, cost_model):
+        order = make_order(1, 7, 28)
+        heuristic = insertion_route_plan([order], 0, 0.0, oracle.distance, cost_model.sdt)
+        exact = best_route_plan([order], 0, 0.0, oracle.distance, cost_model.sdt)
+        assert heuristic.cost == pytest.approx(exact.cost)
+        assert [s.node for s in heuristic.stops] == [s.node for s in exact.stops]
+
+    def test_respects_pickup_before_dropoff(self, oracle, cost_model):
+        orders = [make_order(i, i, 35 - i) for i in range(1, 5)]
+        plan = insertion_route_plan(orders, 0, 0.0, oracle.distance, cost_model.sdt)
+        picked = set()
+        for stop in plan.stops:
+            if stop.is_pickup:
+                picked.add(stop.order.order_id)
+            else:
+                assert stop.order.order_id in picked
+
+    def test_covers_all_orders_exactly_once(self, oracle, cost_model):
+        orders = [make_order(i, i, i + 12) for i in range(1, 6)]
+        plan = insertion_route_plan(orders, 0, 0.0, oracle.distance, cost_model.sdt)
+        pickups = [s.order.order_id for s in plan.stops if s.is_pickup]
+        dropoffs = [s.order.order_id for s in plan.stops if not s.is_pickup]
+        assert sorted(pickups) == [1, 2, 3, 4, 5]
+        assert sorted(dropoffs) == [1, 2, 3, 4, 5]
+
+    def test_onboard_orders_only_dropped_off(self, oracle, cost_model):
+        onboard = [make_order(9, 7, 28)]
+        plan = insertion_route_plan([make_order(1, 3, 22)], 0, 0.0, oracle.distance,
+                                    cost_model.sdt, onboard_orders=onboard)
+        onboard_stops = [s for s in plan.stops if s.order.order_id == 9]
+        assert len(onboard_stops) == 1 and not onboard_stops[0].is_pickup
+
+    def test_close_to_optimal_on_small_instances(self, oracle, cost_model):
+        rng = random.Random(7)
+        for _ in range(10):
+            orders = [make_order(i, rng.randrange(36), rng.randrange(36))
+                      for i in range(1, 4)]
+            heuristic = insertion_route_plan(orders, 0, 0.0, oracle.distance,
+                                             cost_model.sdt)
+            exact = best_route_plan(orders, 0, 0.0, oracle.distance, cost_model.sdt)
+            assert heuristic.cost >= exact.cost - 1e-9
+            assert heuristic.cost <= exact.cost * 1.5 + 60.0
+
+    def test_handles_empty_input(self, oracle, cost_model):
+        plan = insertion_route_plan([], 0, 0.0, oracle.distance, cost_model.sdt)
+        assert plan.is_empty
+
+
+class TestPlannerSelection:
+    def test_rejects_unknown_planner(self, oracle):
+        with pytest.raises(ValueError):
+            CostModel(oracle, planner="magic")
+
+    def test_default_is_auto(self, cost_model):
+        assert cost_model.planner == "auto"
+
+    def test_insertion_planner_supports_large_batches(self, oracle):
+        model = CostModel(oracle, planner="insertion")
+        orders = [make_order(i, i, i + 18) for i in range(1, 7)]
+        batch = model.make_batch(orders, 0.0)
+        assert batch.size == 6
+        assert batch.cost < float("inf")
+
+    def test_auto_switches_to_insertion_beyond_stop_limit(self, oracle):
+        model = CostModel(oracle, planner="auto")
+        orders = [make_order(i, i, i + 18) for i in range(1, 7)]  # 12 stops
+        batch = model.make_batch(orders, 0.0)
+        assert batch.size == 6
+
+    def test_planners_agree_for_small_batches(self, oracle):
+        exhaustive = CostModel(oracle, planner="exhaustive")
+        insertion = CostModel(oracle, planner="insertion")
+        orders = [make_order(1, 7, 13), make_order(2, 7, 19)]
+        exact = exhaustive.make_batch(orders, 0.0)
+        heuristic = insertion.make_batch(orders, 0.0)
+        assert heuristic.cost >= exact.cost - 1e-9

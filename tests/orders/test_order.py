@@ -1,0 +1,58 @@
+"""Tests for the Order entity."""
+
+import pytest
+
+from repro.orders.order import Order
+
+
+class TestValidation:
+    def test_valid_order(self):
+        order = Order(order_id=1, restaurant_node=2, customer_node=3,
+                      placed_at=100.0, items=2, prep_time=300.0)
+        assert order.items == 2
+
+    def test_rejects_zero_items(self):
+        with pytest.raises(ValueError):
+            Order(order_id=1, restaurant_node=2, customer_node=3,
+                  placed_at=0.0, items=0)
+
+    def test_rejects_negative_prep_time(self):
+        with pytest.raises(ValueError):
+            Order(order_id=1, restaurant_node=2, customer_node=3,
+                  placed_at=0.0, prep_time=-1.0)
+
+    def test_rejects_negative_placement_time(self):
+        with pytest.raises(ValueError):
+            Order(order_id=1, restaurant_node=2, customer_node=3,
+                  placed_at=-5.0)
+
+
+class TestDerivedProperties:
+    def test_ready_at(self):
+        order = Order(order_id=1, restaurant_node=0, customer_node=1,
+                      placed_at=1000.0, prep_time=600.0)
+        assert order.ready_at == 1600.0
+
+    def test_waiting_since_after_placement(self):
+        order = Order(order_id=1, restaurant_node=0, customer_node=1, placed_at=500.0)
+        assert order.waiting_since(800.0) == 300.0
+
+    def test_waiting_since_before_placement_is_zero(self):
+        order = Order(order_id=1, restaurant_node=0, customer_node=1, placed_at=500.0)
+        assert order.waiting_since(100.0) == 0.0
+
+    def test_orders_sort_by_id(self):
+        early = Order(order_id=1, restaurant_node=0, customer_node=1, placed_at=900.0)
+        late = Order(order_id=2, restaurant_node=0, customer_node=1, placed_at=100.0)
+        assert sorted([late, early]) == [early, late]
+
+    def test_equality_by_id(self):
+        a = Order(order_id=7, restaurant_node=0, customer_node=1, placed_at=0.0)
+        b = Order(order_id=7, restaurant_node=9, customer_node=8, placed_at=50.0)
+        assert a == b
+
+    def test_hashable_and_frozen(self):
+        order = Order(order_id=3, restaurant_node=0, customer_node=1, placed_at=0.0)
+        assert order in {order}
+        with pytest.raises(AttributeError):
+            order.items = 5

@@ -1,0 +1,142 @@
+"""Tests for route-plan enumeration and evaluation."""
+
+import itertools
+import math
+
+import pytest
+
+from repro.orders.order import Order
+from repro.orders.route_plan import (
+    RouteStop,
+    best_route_plan,
+    enumerate_route_plans,
+    evaluate_plan,
+)
+
+
+def constant_distance(value):
+    return lambda u, v, t: 0.0 if u == v else value
+
+
+def zero_sdt(order):
+    return 0.0
+
+
+def make_order(order_id, restaurant, customer, placed_at=0.0, prep=0.0, items=1):
+    return Order(order_id=order_id, restaurant_node=restaurant, customer_node=customer,
+                 placed_at=placed_at, items=items, prep_time=prep)
+
+
+class TestEnumeration:
+    def test_single_order_has_one_plan(self):
+        plans = list(enumerate_route_plans([make_order(1, 10, 20)]))
+        assert len(plans) == 1
+        assert plans[0][0].is_pickup and not plans[0][1].is_pickup
+
+    def test_two_orders_have_six_valid_plans(self):
+        orders = [make_order(1, 10, 20), make_order(2, 11, 21)]
+        plans = list(enumerate_route_plans(orders))
+        # 4 stops, pickups before drop-offs: 4!/(2*2) = 6 valid interleavings.
+        assert len(plans) == 6
+
+    def test_all_plans_respect_pickup_before_dropoff(self):
+        orders = [make_order(1, 10, 20), make_order(2, 11, 21)]
+        for plan in enumerate_route_plans(orders):
+            seen_pickup = set()
+            for stop in plan:
+                if stop.is_pickup:
+                    seen_pickup.add(stop.order.order_id)
+                else:
+                    assert stop.order.order_id in seen_pickup
+
+    def test_onboard_orders_only_need_dropoff(self):
+        onboard = [make_order(5, 10, 20)]
+        plans = list(enumerate_route_plans([], onboard))
+        assert len(plans) == 1
+        assert not plans[0][0].is_pickup
+
+    def test_mixed_new_and_onboard(self):
+        new = [make_order(1, 10, 20)]
+        onboard = [make_order(2, 11, 21)]
+        plans = list(enumerate_route_plans(new, onboard))
+        # 3 stops, the new order's drop-off must follow its pick-up: 3 plans.
+        assert len(plans) == 3
+
+    def test_empty_input_yields_empty_plan(self):
+        assert list(enumerate_route_plans([])) == [()]
+
+
+class TestEvaluation:
+    def test_travel_time_accumulates(self):
+        order = make_order(1, 10, 20)
+        stops = (RouteStop(10, order, True), RouteStop(20, order, False))
+        evaluation = evaluate_plan(stops, 0, 0.0, constant_distance(100.0), zero_sdt)
+        assert evaluation.travel_time == 200.0
+        assert evaluation.delivery_times[1] == 200.0
+
+    def test_waiting_for_preparation(self):
+        order = make_order(1, 10, 20, placed_at=0.0, prep=500.0)
+        stops = (RouteStop(10, order, True), RouteStop(20, order, False))
+        evaluation = evaluate_plan(stops, 0, 0.0, constant_distance(100.0), zero_sdt)
+        assert evaluation.waiting_time == 400.0
+        assert evaluation.pickup_times[1] == 500.0
+        assert evaluation.delivery_times[1] == 600.0
+
+    def test_no_waiting_when_food_ready(self):
+        order = make_order(1, 10, 20, placed_at=0.0, prep=50.0)
+        stops = (RouteStop(10, order, True), RouteStop(20, order, False))
+        evaluation = evaluate_plan(stops, 0, 0.0, constant_distance(100.0), zero_sdt)
+        assert evaluation.waiting_time == 0.0
+
+    def test_xdt_uses_sdt(self):
+        order = make_order(1, 10, 20, placed_at=0.0, prep=0.0)
+        stops = (RouteStop(10, order, True), RouteStop(20, order, False))
+        evaluation = evaluate_plan(stops, 0, 0.0, constant_distance(100.0),
+                                   lambda o: 150.0)
+        assert evaluation.total_xdt == pytest.approx(50.0)
+
+    def test_unreachable_leg_gives_infinite_cost(self):
+        order = make_order(1, 10, 20)
+        stops = (RouteStop(10, order, True), RouteStop(20, order, False))
+        evaluation = evaluate_plan(stops, 0, 0.0,
+                                   lambda u, v, t: math.inf, zero_sdt)
+        assert evaluation.total_xdt == math.inf
+
+
+class TestBestRoutePlan:
+    def test_empty_orders_give_empty_plan(self):
+        plan = best_route_plan([], 0, 0.0, constant_distance(10.0), zero_sdt)
+        assert plan.is_empty
+        assert plan.cost == 0.0
+
+    def test_single_order_plan(self, oracle, cost_model):
+        order = make_order(1, 7, 28, placed_at=0.0, prep=0.0)
+        plan = best_route_plan([order], 0, 0.0, oracle.distance, cost_model.sdt)
+        assert [s.node for s in plan.stops] == [7, 28]
+        assert plan.first_pickup_order == order
+
+    def test_finds_cheaper_interleaving_than_sequential(self, oracle, cost_model):
+        # Two orders from the same restaurant going to nearby customers: the
+        # optimal plan picks both up first instead of two round trips.
+        a = make_order(1, 7, 29, prep=0.0)
+        b = make_order(2, 7, 28, prep=0.0)
+        plan = best_route_plan([a, b], 7, 0.0, oracle.distance, cost_model.sdt)
+        pickups = [s for s in plan.stops if s.is_pickup]
+        assert [s.node for s in pickups] == [7, 7]
+        assert plan.stops[0].is_pickup and plan.stops[1].is_pickup
+
+    def test_optimal_against_exhaustive_enumeration(self, oracle, cost_model):
+        orders = [make_order(1, 3, 22, prep=0.0), make_order(2, 15, 30, prep=0.0)]
+        plan = best_route_plan(orders, 0, 0.0, oracle.distance, cost_model.sdt)
+        best_cost = min(
+            evaluate_plan(stops, 0, 0.0, oracle.distance, cost_model.sdt).total_xdt
+            for stops in enumerate_route_plans(orders))
+        assert plan.cost == pytest.approx(best_cost)
+
+    def test_node_sequence_and_orders(self, oracle, cost_model):
+        orders = [make_order(1, 3, 22, prep=0.0)]
+        plan = best_route_plan(orders, 0, 0.0, oracle.distance, cost_model.sdt)
+        assert plan.node_sequence() == [0, 3, 22]
+        assert [o.order_id for o in plan.orders()] == [1]
+        assert len(plan) == 2
+        assert plan.first_node == 3

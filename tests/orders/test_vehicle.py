@@ -1,0 +1,122 @@
+"""Tests for the Vehicle entity and its assignment lifecycle."""
+
+import pytest
+
+from repro.orders.route_plan import PlanEvaluation, RoutePlan, RouteStop
+from repro.orders.vehicle import Vehicle, VehicleState
+
+
+def make_plan(order, start_node=0):
+    stops = (RouteStop(order.restaurant_node, order, True),
+             RouteStop(order.customer_node, order, False))
+    evaluation = PlanEvaluation(0.0, {}, {}, 0.0, 0.0, 0.0)
+    return RoutePlan(stops, start_node, 0.0, evaluation)
+
+
+class TestCapacity:
+    def test_empty_vehicle_accepts_order(self, make_vehicle, make_order):
+        vehicle = make_vehicle()
+        assert vehicle.can_accept([make_order()])
+
+    def test_respects_max_orders(self, make_vehicle, make_order):
+        vehicle = make_vehicle(max_orders=2)
+        assert not vehicle.can_accept([make_order(), make_order(), make_order()])
+
+    def test_respects_max_items(self, make_vehicle, make_order):
+        vehicle = make_vehicle(max_items=3)
+        assert not vehicle.can_accept([make_order(items=4)])
+        assert vehicle.can_accept([make_order(items=3)])
+
+    def test_counts_existing_load(self, make_vehicle, make_order):
+        vehicle = make_vehicle(max_orders=2)
+        order = make_order()
+        vehicle.assign([order], make_plan(order))
+        assert vehicle.can_accept([make_order()])
+        assert not vehicle.can_accept([make_order(), make_order()])
+
+    def test_item_load(self, make_vehicle, make_order):
+        vehicle = make_vehicle()
+        order = make_order(items=4)
+        vehicle.assign([order], make_plan(order))
+        assert vehicle.item_load == 4
+
+
+class TestAvailability:
+    def test_on_duty_within_shift(self, make_vehicle):
+        vehicle = make_vehicle(shift_start=100.0, shift_end=200.0)
+        assert vehicle.is_on_duty(150.0)
+        assert not vehicle.is_on_duty(50.0)
+        assert not vehicle.is_on_duty(200.0)
+
+
+class TestAssignmentLifecycle:
+    def test_assign_updates_state(self, make_vehicle, make_order):
+        vehicle = make_vehicle()
+        order = make_order()
+        vehicle.assign([order], make_plan(order))
+        assert vehicle.order_count == 1
+        assert vehicle.state is VehicleState.EN_ROUTE
+        assert vehicle.stop_queue
+
+    def test_pickup_then_deliver(self, make_vehicle, make_order):
+        vehicle = make_vehicle()
+        order = make_order()
+        vehicle.assign([order], make_plan(order))
+        vehicle.mark_picked_up(order.order_id)
+        assert vehicle.onboard_count == 1
+        vehicle.mark_delivered(order.order_id)
+        assert vehicle.order_count == 0
+        assert vehicle.state is VehicleState.IDLE
+        assert vehicle.route is None
+
+    def test_pickup_unknown_order_raises(self, make_vehicle):
+        with pytest.raises(KeyError):
+            make_vehicle().mark_picked_up(123)
+
+    def test_pending_and_onboard_split(self, make_vehicle, make_order):
+        vehicle = make_vehicle()
+        first, second = make_order(), make_order()
+        vehicle.assign([first, second], make_plan(first))
+        vehicle.mark_picked_up(first.order_id)
+        assert {o.order_id for o in vehicle.onboard_orders()} == {first.order_id}
+        assert {o.order_id for o in vehicle.pending_orders()} == {second.order_id}
+
+    def test_unassign_pending_releases_only_unpicked(self, make_vehicle, make_order):
+        vehicle = make_vehicle()
+        first, second = make_order(), make_order()
+        vehicle.assign([first, second], make_plan(first))
+        vehicle.mark_picked_up(first.order_id)
+        released = vehicle.unassign_pending()
+        assert [o.order_id for o in released] == [second.order_id]
+        assert vehicle.order_count == 1
+
+    def test_set_route_none_clears_queue(self, make_vehicle, make_order):
+        vehicle = make_vehicle()
+        order = make_order()
+        vehicle.assign([order], make_plan(order))
+        vehicle.set_route(None)
+        assert vehicle.stop_queue == []
+
+    def test_next_destination_follows_stop_queue(self, make_vehicle, make_order):
+        vehicle = make_vehicle()
+        order = make_order(restaurant=5, customer=9)
+        vehicle.assign([order], make_plan(order))
+        assert vehicle.next_destination == 5
+        vehicle.stop_queue.pop(0)
+        assert vehicle.next_destination == 9
+
+    def test_next_destination_idle_is_none(self, make_vehicle):
+        assert make_vehicle().next_destination is None
+
+
+class TestDistanceAccounting:
+    def test_record_leg_accumulates_by_load(self, make_vehicle, make_order):
+        vehicle = make_vehicle()
+        vehicle.record_leg(1.5)
+        order = make_order()
+        vehicle.assign([order], make_plan(order))
+        vehicle.mark_picked_up(order.order_id)
+        vehicle.record_leg(2.0)
+        assert vehicle.km_by_load[0] == pytest.approx(1.5)
+        assert vehicle.km_by_load[1] == pytest.approx(2.0)
+        assert vehicle.distance_travelled_km == pytest.approx(3.5)

@@ -1,0 +1,76 @@
+"""Tests for charging the policy's measured decision time into the clock."""
+
+import time
+
+import pytest
+
+from repro.core.greedy import GreedyPolicy
+from repro.core.policy import AssignmentPolicy
+from repro.network.distance_oracle import DistanceOracle
+from repro.network.generators import grid_city
+from repro.network.graph import TimeProfile
+from repro.orders.costs import CostModel
+from repro.orders.order import Order
+from repro.orders.vehicle import Vehicle
+from repro.sim.engine import SimulationConfig, simulate
+from repro.workload.city import CityProfile
+from repro.workload.generator import Scenario
+
+
+class SlowPolicy(AssignmentPolicy):
+    """Wraps Greedy but sleeps before answering, simulating a slow solver."""
+
+    name = "slow-greedy"
+    reshuffle = False
+
+    def __init__(self, cost_model, sleep_seconds):
+        self._inner = GreedyPolicy(cost_model)
+        self._sleep = sleep_seconds
+
+    def assign(self, orders, vehicles, now):
+        if orders:
+            time.sleep(self._sleep)
+        return self._inner.assign(orders, vehicles, now)
+
+
+def build_scenario():
+    network = grid_city(rows=6, cols=6, block_km=0.5, diagonal_fraction=0.0,
+                        congested_fraction=0.0, profile=TimeProfile.flat(), seed=3)
+    orders = [Order(order_id=1, restaurant_node=7, customer_node=9, placed_at=10.0,
+                    prep_time=0.0)]
+    vehicles = [Vehicle(vehicle_id=1, node=7)]
+    profile = CityProfile(name="Charging", network_factory=lambda: network,
+                          num_restaurants=1, num_vehicles=1, orders_per_day=1,
+                          mean_prep_minutes=1.0)
+    scenario = Scenario(profile=profile, network=network, restaurants=[],
+                        orders=orders, vehicles=vehicles, seed=0)
+    oracle = DistanceOracle(network, method="hub_label")
+    return scenario, CostModel(oracle)
+
+
+class TestDecisionTimeCharging:
+    def test_charged_run_delivers_later(self):
+        scenario, model = build_scenario()
+        base_config = SimulationConfig(delta=60.0, start=0.0, end=600.0)
+        charged_config = SimulationConfig(delta=60.0, start=0.0, end=600.0,
+                                          charge_decision_time=True)
+        fast = simulate(scenario, SlowPolicy(model, 0.0), model, base_config)
+        slow = simulate(scenario, SlowPolicy(model, 0.3), model, charged_config)
+        assert fast.outcomes[1].delivered and slow.outcomes[1].delivered
+        assert slow.outcomes[1].delivered_at > fast.outcomes[1].delivered_at
+
+    def test_uncharged_run_ignores_solver_latency(self):
+        scenario, model = build_scenario()
+        config = SimulationConfig(delta=60.0, start=0.0, end=600.0,
+                                  charge_decision_time=False)
+        fast = simulate(scenario, SlowPolicy(model, 0.0), model, config)
+        slow = simulate(scenario, SlowPolicy(model, 0.2), model, config)
+        assert slow.outcomes[1].delivered_at == pytest.approx(
+            fast.outcomes[1].delivered_at, abs=1e-6)
+
+    def test_decision_time_still_recorded_in_windows(self):
+        scenario, model = build_scenario()
+        config = SimulationConfig(delta=60.0, start=0.0, end=600.0,
+                                  charge_decision_time=True)
+        result = simulate(scenario, SlowPolicy(model, 0.1), model, config)
+        assert max(w.decision_seconds for w in result.windows) >= 0.1

@@ -1,0 +1,249 @@
+"""Tests for the accumulation-window simulation engine."""
+
+import pytest
+
+from repro.core.foodmatch import FoodMatchConfig, FoodMatchPolicy
+from repro.core.greedy import GreedyPolicy
+from repro.core.km_baseline import KMPolicy
+from repro.core.policy import Assignment, AssignmentPolicy
+from repro.network.distance_oracle import DistanceOracle
+from repro.network.generators import grid_city
+from repro.network.graph import TimeProfile
+from repro.orders.costs import CostModel
+from repro.orders.order import Order
+from repro.orders.vehicle import Vehicle
+from repro.sim.engine import SimulationConfig, Simulator, simulate
+from repro.workload.city import CityProfile
+from repro.workload.generator import Scenario
+
+
+def flat_grid():
+    return grid_city(rows=6, cols=6, block_km=0.5, diagonal_fraction=0.0,
+                     congested_fraction=0.0, profile=TimeProfile.flat(), seed=3)
+
+
+def manual_scenario(orders, vehicles, network=None):
+    """Build a Scenario directly from hand-written orders and vehicles."""
+    network = network or flat_grid()
+    profile = CityProfile(name="Manual", network_factory=lambda: network,
+                          num_restaurants=1, num_vehicles=len(vehicles),
+                          orders_per_day=len(orders), mean_prep_minutes=5.0)
+    return Scenario(profile=profile, network=network, restaurants=[],
+                    orders=list(orders), vehicles=list(vehicles), seed=0)
+
+
+def order_at(order_id, restaurant, customer, placed_at, prep=60.0, items=1):
+    return Order(order_id=order_id, restaurant_node=restaurant, customer_node=customer,
+                 placed_at=placed_at, prep_time=prep, items=items)
+
+
+class NullPolicy(AssignmentPolicy):
+    """A policy that never assigns anything (for rejection tests)."""
+
+    name = "null"
+    reshuffle = False
+
+    def assign(self, orders, vehicles, now):
+        return []
+
+
+class OverloadingPolicy(AssignmentPolicy):
+    """A deliberately buggy policy assigning beyond capacity."""
+
+    name = "overload"
+
+    def __init__(self, cost_model):
+        self._cost_model = cost_model
+
+    def assign(self, orders, vehicles, now):
+        if not orders or not vehicles:
+            return []
+        vehicle = vehicles[0]
+        plan = self._cost_model.plan_for_vehicle(vehicle, orders, now)
+        return [Assignment(vehicle=vehicle, orders=tuple(orders), plan=plan)]
+
+
+@pytest.fixture()
+def tools():
+    network = flat_grid()
+    oracle = DistanceOracle(network, method="hub_label")
+    return network, oracle, CostModel(oracle)
+
+
+class TestBasicDelivery:
+    def test_single_order_delivered(self, tools):
+        network, oracle, model = tools
+        orders = [order_at(1, restaurant=7, customer=9, placed_at=30.0)]
+        vehicles = [Vehicle(vehicle_id=1, node=0)]
+        scenario = manual_scenario(orders, vehicles, network)
+        config = SimulationConfig(delta=60.0, start=0.0, end=600.0)
+        result = simulate(scenario, GreedyPolicy(model), model, config)
+        outcome = result.outcomes[1]
+        assert outcome.delivered
+        assert not outcome.rejected
+        assert outcome.vehicle_id == 1
+
+    def test_delivery_event_ordering(self, tools):
+        network, oracle, model = tools
+        orders = [order_at(1, restaurant=7, customer=9, placed_at=30.0, prep=120.0)]
+        vehicles = [Vehicle(vehicle_id=1, node=0)]
+        scenario = manual_scenario(orders, vehicles, network)
+        result = simulate(scenario, GreedyPolicy(model), model,
+                          SimulationConfig(delta=60.0, start=0.0, end=600.0))
+        outcome = result.outcomes[1]
+        assert outcome.assigned_at is not None
+        assert outcome.picked_up_at >= outcome.order.ready_at
+        assert outcome.delivered_at > outcome.picked_up_at
+        assert outcome.picked_up_at >= outcome.assigned_at
+
+    def test_delivery_time_accounts_for_travel(self, tools):
+        network, oracle, model = tools
+        orders = [order_at(1, restaurant=7, customer=9, placed_at=0.0, prep=0.0)]
+        vehicles = [Vehicle(vehicle_id=1, node=7)]
+        scenario = manual_scenario(orders, vehicles, network)
+        result = simulate(scenario, GreedyPolicy(model), model,
+                          SimulationConfig(delta=60.0, start=0.0, end=600.0))
+        outcome = result.outcomes[1]
+        # The vehicle starts at the restaurant: delivery duration is at least
+        # the restaurant-to-customer travel time but includes the window wait.
+        assert outcome.delivered_at - outcome.picked_up_at == pytest.approx(
+            oracle.distance(7, 9, 0.0), rel=0.2)
+
+    def test_waiting_recorded_when_arriving_early(self, tools):
+        network, oracle, model = tools
+        orders = [order_at(1, restaurant=7, customer=9, placed_at=0.0, prep=1800.0)]
+        vehicles = [Vehicle(vehicle_id=1, node=6)]
+        scenario = manual_scenario(orders, vehicles, network)
+        result = simulate(scenario, GreedyPolicy(model), model,
+                          SimulationConfig(delta=60.0, start=0.0, end=2400.0))
+        outcome = result.outcomes[1]
+        assert outcome.wait_seconds > 0.0
+        assert result.vehicles[0].waiting_seconds == pytest.approx(outcome.wait_seconds)
+
+    def test_vehicle_accumulates_distance(self, tools):
+        network, oracle, model = tools
+        orders = [order_at(1, restaurant=14, customer=21, placed_at=0.0, prep=0.0)]
+        vehicles = [Vehicle(vehicle_id=1, node=0)]
+        scenario = manual_scenario(orders, vehicles, network)
+        result = simulate(scenario, GreedyPolicy(model), model,
+                          SimulationConfig(delta=60.0, start=0.0, end=1800.0))
+        assert result.vehicles[0].distance_travelled_km > 0.0
+        assert sum(result.vehicles[0].km_by_load.values()) == pytest.approx(
+            result.vehicles[0].distance_travelled_km)
+
+
+class TestConservation:
+    def test_every_order_has_exactly_one_fate(self, tiny_scenario_tools):
+        scenario, oracle, model = tiny_scenario_tools
+        config = SimulationConfig(delta=60.0, start=12 * 3600.0, end=13 * 3600.0)
+        result = simulate(scenario, KMPolicy(model), model, config)
+        for outcome in result.outcomes.values():
+            assert outcome.delivered != outcome.rejected or not outcome.delivered
+        fates = sum(1 for o in result.outcomes.values() if o.delivered or o.rejected)
+        assert fates == len(result.outcomes)
+
+    def test_all_window_orders_ingested(self, tiny_scenario_tools):
+        scenario, oracle, model = tiny_scenario_tools
+        config = SimulationConfig(delta=60.0, start=12 * 3600.0, end=13 * 3600.0)
+        result = simulate(scenario, KMPolicy(model), model, config)
+        expected = len(scenario.orders_between(12 * 3600.0, 13 * 3600.0))
+        assert len(result.outcomes) == expected
+
+    def test_delivered_orders_have_consistent_timestamps(self, tiny_scenario_tools):
+        scenario, oracle, model = tiny_scenario_tools
+        config = SimulationConfig(delta=60.0, start=12 * 3600.0, end=13 * 3600.0)
+        result = simulate(scenario, FoodMatchPolicy(model), model, config)
+        for outcome in result.outcomes.values():
+            if outcome.delivered:
+                assert outcome.picked_up_at is not None
+                assert outcome.picked_up_at >= outcome.order.ready_at - 1e-6
+                assert outcome.delivered_at >= outcome.picked_up_at
+                assert (outcome.xdt or 0.0) >= 0.0
+
+
+class TestRejection:
+    def test_unassignable_orders_rejected_after_timeout(self, tools):
+        network, oracle, model = tools
+        orders = [order_at(1, restaurant=7, customer=9, placed_at=0.0)]
+        vehicles = [Vehicle(vehicle_id=1, node=0)]
+        scenario = manual_scenario(orders, vehicles, network)
+        config = SimulationConfig(delta=300.0, start=0.0, end=3600.0,
+                                  rejection_timeout=1200.0)
+        result = simulate(scenario, NullPolicy(), model, config)
+        assert result.outcomes[1].rejected
+        assert not result.outcomes[1].delivered
+
+    def test_windows_recorded_even_without_assignments(self, tools):
+        network, oracle, model = tools
+        scenario = manual_scenario([], [Vehicle(vehicle_id=1, node=0)], network)
+        config = SimulationConfig(delta=300.0, start=0.0, end=1500.0)
+        result = simulate(scenario, NullPolicy(), model, config)
+        assert len(result.windows) == 5
+
+
+class TestDefensiveApplication:
+    def test_overloading_policy_is_contained(self, tools):
+        network, oracle, model = tools
+        orders = [order_at(i, restaurant=7, customer=8 + i, placed_at=0.0)
+                  for i in range(1, 6)]
+        vehicles = [Vehicle(vehicle_id=1, node=0, max_orders=3)]
+        scenario = manual_scenario(orders, vehicles, network)
+        config = SimulationConfig(delta=120.0, start=0.0, end=3600.0)
+        result = simulate(scenario, OverloadingPolicy(model), model, config)
+        # The engine must never let a vehicle exceed its capacity.
+        assert all(w.num_assigned_orders <= 3 for w in result.windows)
+
+
+class TestReshuffling:
+    def test_reshuffled_orders_not_rejected(self, tools):
+        network, oracle, model = tools
+        # A far-away order with a long preparation time: the vehicle cannot
+        # pick it up within the rejection timeout, but because it was
+        # assigned, it must not be rejected.
+        orders = [order_at(1, restaurant=35, customer=29, placed_at=0.0, prep=2400.0)]
+        vehicles = [Vehicle(vehicle_id=1, node=0)]
+        scenario = manual_scenario(orders, vehicles, network)
+        config = SimulationConfig(delta=300.0, start=0.0, end=5400.0,
+                                  rejection_timeout=1200.0)
+        policy = FoodMatchPolicy(model, FoodMatchConfig())
+        result = simulate(scenario, policy, model, config)
+        assert result.outcomes[1].delivered
+        assert not result.outcomes[1].rejected
+
+    def test_reshuffling_can_reassign_to_better_vehicle(self, tools):
+        network, oracle, model = tools
+        # Order placed at t=0; vehicle 2 only comes on duty later but much
+        # closer to the restaurant.  With a moderate preparation time the far
+        # vehicle's first mile translates into positive extra delivery time,
+        # so reshuffling should hand the order to the closer vehicle.
+        orders = [order_at(1, restaurant=35, customer=29, placed_at=0.0, prep=600.0)]
+        vehicles = [Vehicle(vehicle_id=1, node=0),
+                    Vehicle(vehicle_id=2, node=35, shift_start=400.0)]
+        scenario = manual_scenario(orders, vehicles, network)
+        config = SimulationConfig(delta=200.0, start=0.0, end=5400.0)
+        policy = FoodMatchPolicy(model, FoodMatchConfig())
+        result = simulate(scenario, policy, model, config)
+        outcome = result.outcomes[1]
+        assert outcome.delivered
+        assert outcome.vehicle_id == 2
+        assert outcome.reassignments >= 1
+
+    def test_non_reshuffling_policy_keeps_first_vehicle(self, tools):
+        network, oracle, model = tools
+        orders = [order_at(1, restaurant=35, customer=34, placed_at=0.0, prep=1800.0)]
+        vehicles = [Vehicle(vehicle_id=1, node=0),
+                    Vehicle(vehicle_id=2, node=35, shift_start=400.0)]
+        scenario = manual_scenario(orders, vehicles, network)
+        config = SimulationConfig(delta=200.0, start=0.0, end=5400.0)
+        result = simulate(scenario, GreedyPolicy(model), model, config)
+        assert result.outcomes[1].vehicle_id == 1
+
+
+class TestConfigValidation:
+    def test_rejects_bad_delta(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(delta=0.0)
+
+    def test_rejects_inverted_horizon(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(start=100.0, end=50.0)

@@ -1,0 +1,85 @@
+"""Integration tests: every policy simulated end-to-end on small city workloads."""
+
+import pytest
+
+from repro.experiments.runner import ExperimentSetting, PolicySpec, run_policy_comparison
+from repro.workload.city import CITY_A, GRUBHUB
+
+ALL_POLICIES = ("foodmatch", "greedy", "km", "reyes")
+
+
+@pytest.fixture(scope="module")
+def city_a_results():
+    setting = ExperimentSetting(profile=CITY_A, scale=0.2, start_hour=12, end_hour=13,
+                                seed=3)
+    return run_policy_comparison(setting, [PolicySpec.of(name) for name in ALL_POLICIES])
+
+
+@pytest.fixture(scope="module")
+def grubhub_results():
+    setting = ExperimentSetting(profile=GRUBHUB, scale=1.0, start_hour=12, end_hour=13,
+                                seed=3)
+    return run_policy_comparison(setting, [PolicySpec.of(name) for name in ALL_POLICIES])
+
+
+class TestEndToEndInvariants:
+    @pytest.mark.parametrize("policy", ALL_POLICIES)
+    def test_every_order_has_one_fate(self, city_a_results, policy):
+        result = city_a_results[policy]
+        for outcome in result.outcomes.values():
+            assert outcome.delivered or outcome.rejected
+            assert not (outcome.delivered and outcome.rejected)
+
+    @pytest.mark.parametrize("policy", ALL_POLICIES)
+    def test_delivered_orders_have_nonnegative_xdt(self, city_a_results, policy):
+        result = city_a_results[policy]
+        for outcome in result.outcomes.values():
+            if outcome.delivered:
+                assert (outcome.xdt or 0.0) >= 0.0
+                assert outcome.vehicle_id is not None
+
+    @pytest.mark.parametrize("policy", ALL_POLICIES)
+    def test_vehicle_capacity_never_exceeded(self, city_a_results, policy):
+        result = city_a_results[policy]
+        for vehicle in result.vehicles:
+            assert vehicle.order_count <= vehicle.max_orders
+            assert vehicle.item_load <= vehicle.max_items
+
+    @pytest.mark.parametrize("policy", ALL_POLICIES)
+    def test_metrics_are_finite_and_consistent(self, city_a_results, policy):
+        summary = city_a_results[policy].summary()
+        assert summary["delivered"] + summary["rejected"] == summary["orders"]
+        assert 0.0 <= summary["rejection_rate"] <= 1.0
+        assert summary["xdt_hours_per_day"] >= 0.0
+        assert summary["orders_per_km"] >= 0.0
+
+    @pytest.mark.parametrize("policy", ALL_POLICIES)
+    def test_all_policies_serve_most_orders_when_fleet_is_ample(self, city_a_results,
+                                                                policy):
+        result = city_a_results[policy]
+        assert result.rejection_rate <= 0.5
+
+    def test_policies_see_the_same_workload(self, city_a_results):
+        counts = {name: result.num_orders for name, result in city_a_results.items()}
+        assert len(set(counts.values())) == 1
+
+    @pytest.mark.parametrize("policy", ALL_POLICIES)
+    def test_grubhub_profile_also_simulatable(self, grubhub_results, policy):
+        result = grubhub_results[policy]
+        assert result.windows
+        assert result.city_name == "GrubHub"
+
+
+class TestRelativeBehaviour:
+    def test_foodmatch_batches_more_than_km(self, city_a_results):
+        """FoodMatch should carry more orders per kilometre than the
+        batching-free KM baseline on the same workload."""
+        fm = city_a_results["foodmatch"]
+        km = city_a_results["km"]
+        assert fm.orders_per_km() >= km.orders_per_km() * 0.9
+
+    def test_reyes_not_better_than_foodmatch_on_network_city(self, city_a_results):
+        fm = city_a_results["foodmatch"]
+        reyes = city_a_results["reyes"]
+        assert reyes.xdt_hours_per_day(include_rejection_penalty=True) >= \
+            fm.xdt_hours_per_day(include_rejection_penalty=True) * 0.8

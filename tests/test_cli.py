@@ -1,0 +1,72 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_simulate_defaults(self):
+        args = build_parser().parse_args(["simulate"])
+        assert args.city == "CityA"
+        assert args.policy == "foodmatch"
+        assert args.scale == 0.2
+
+    def test_rejects_unknown_city(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--city", "Gotham"])
+
+    def test_rejects_unknown_policy(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--policy", "oracle"])
+
+    def test_figure_requires_name(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure"])
+
+
+class TestSimulateCommand:
+    def test_prints_summary(self, capsys):
+        code = main(["simulate", "--city", "CityA", "--policy", "km", "--scale", "0.15",
+                     "--start-hour", "12", "--end-hour", "13", "--seed", "1"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "xdt_hours_per_day" in captured.out
+        assert "km on CityA" in captured.out
+
+    def test_saves_json_and_csv(self, capsys, tmp_path):
+        json_path = tmp_path / "result.json"
+        csv_path = tmp_path / "orders.csv"
+        code = main(["simulate", "--city", "CityA", "--policy", "km", "--scale", "0.15",
+                     "--start-hour", "12", "--end-hour", "13", "--seed", "1",
+                     "--save-json", str(json_path), "--save-csv", str(csv_path)])
+        assert code == 0
+        payload = json.loads(json_path.read_text(encoding="utf-8"))
+        assert payload["policy"] == "km"
+        assert csv_path.read_text(encoding="utf-8").startswith("order_id,")
+
+
+class TestCompareCommand:
+    def test_prints_comparison_table(self, capsys):
+        code = main(["compare", "--city", "CityA", "--policies", "km", "greedy",
+                     "--scale", "0.15", "--start-hour", "12", "--end-hour", "13",
+                     "--seed", "1"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "km" in captured.out and "greedy" in captured.out
+        assert "orders_per_km" in captured.out
+
+
+class TestFigureCommand:
+    def test_runs_table2(self, capsys):
+        code = main(["figure", "--name", "table2"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "Table II" in captured.out
+        assert "CityB" in captured.out

@@ -1,0 +1,34 @@
+"""Smoke tests of the top-level public API surface."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestTopLevelExports:
+    def test_version_present(self):
+        assert repro.__version__
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"{name} listed in __all__ but missing"
+
+    @pytest.mark.parametrize("module", [
+        "repro.network", "repro.orders", "repro.workload", "repro.core",
+        "repro.sim", "repro.experiments", "repro.cli",
+    ])
+    def test_subpackage_all_resolves(self, module):
+        mod = importlib.import_module(module)
+        for name in getattr(mod, "__all__", []):
+            assert hasattr(mod, name), f"{module}.{name} missing"
+
+
+class TestQuickstart:
+    def test_quickstart_runs_end_to_end(self):
+        result = repro.quickstart(seed=2)
+        summary = result.summary()
+        assert summary["orders"] > 0
+        assert summary["delivered"] + summary["rejected"] == summary["orders"]
+        assert result.policy_name == "foodmatch"

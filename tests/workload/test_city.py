@@ -1,0 +1,75 @@
+"""Tests for the city profiles (Table II analogues)."""
+
+import pytest
+
+from repro.workload.city import CITY_A, CITY_B, CITY_C, CITY_PROFILES, GRUBHUB
+
+
+class TestProfileRelationships:
+    """The between-city relationships of Table II must be preserved."""
+
+    def test_city_b_has_most_orders_and_vehicles(self):
+        assert CITY_B.orders_per_day > CITY_C.orders_per_day > CITY_A.orders_per_day
+        assert CITY_B.num_vehicles > CITY_C.num_vehicles > CITY_A.num_vehicles
+
+    def test_city_c_has_most_restaurants(self):
+        assert CITY_C.num_restaurants > CITY_B.num_restaurants > CITY_A.num_restaurants
+
+    def test_grubhub_is_smallest_with_longest_prep(self):
+        assert GRUBHUB.orders_per_day < CITY_A.orders_per_day
+        assert GRUBHUB.mean_prep_minutes > CITY_C.mean_prep_minutes
+
+    def test_prep_time_ordering_matches_paper(self):
+        # Table II: 8.45 (A) < 9.34 (B) < 10.22 (C) < 19.55 (GrubHub).
+        assert (CITY_A.mean_prep_minutes < CITY_B.mean_prep_minutes
+                < CITY_C.mean_prep_minutes < GRUBHUB.mean_prep_minutes)
+
+    def test_city_a_uses_shorter_accumulation_window(self):
+        assert CITY_A.accumulation_window < CITY_B.accumulation_window
+        assert CITY_B.accumulation_window == CITY_C.accumulation_window == 180.0
+
+    def test_registry_contains_all_profiles(self):
+        assert set(CITY_PROFILES) == {"CityA", "CityB", "CityC", "GrubHub"}
+
+    def test_hourly_weights_have_lunch_and_dinner_peaks(self):
+        for profile in CITY_PROFILES.values():
+            weights = profile.hourly_weights
+            assert len(weights) == 24
+            assert weights[13] > weights[10]
+            assert weights[20] > weights[16]
+            assert weights[3] < weights[10]
+
+
+class TestProfileTransforms:
+    def test_scaled_counts(self):
+        scaled = CITY_B.scaled(0.1)
+        assert scaled.num_vehicles == round(CITY_B.num_vehicles * 0.1)
+        assert scaled.orders_per_day == round(CITY_B.orders_per_day * 0.1)
+        assert scaled.name == CITY_B.name
+
+    def test_scaled_preserves_ratios(self):
+        scaled = CITY_B.scaled(0.5)
+        original_ratio = CITY_B.orders_per_day / CITY_B.num_vehicles
+        scaled_ratio = scaled.orders_per_day / scaled.num_vehicles
+        assert scaled_ratio == pytest.approx(original_ratio, rel=0.05)
+
+    def test_scaled_never_drops_to_zero(self):
+        scaled = CITY_A.scaled(0.001)
+        assert scaled.num_restaurants >= 1
+        assert scaled.num_vehicles >= 1
+        assert scaled.orders_per_day >= 1
+
+    def test_scaled_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            CITY_A.scaled(0.0)
+
+    def test_with_vehicles(self):
+        changed = CITY_C.with_vehicles(12)
+        assert changed.num_vehicles == 12
+        assert changed.orders_per_day == CITY_C.orders_per_day
+
+    def test_network_factories_produce_connected_networks(self):
+        for profile in (CITY_A, GRUBHUB):
+            network = profile.network_factory()
+            assert network.num_nodes > 0
+            assert network.is_strongly_connected()

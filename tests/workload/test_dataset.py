@@ -1,0 +1,60 @@
+"""Tests for dataset summaries and the order/vehicle ratio series."""
+
+import pytest
+
+from repro.workload.city import CITY_A, CITY_B
+from repro.workload.dataset import (
+    DatasetSummary,
+    order_vehicle_ratio_by_slot,
+    peak_slots,
+    summarize_scenario,
+)
+from repro.workload.generator import generate_scenario
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return generate_scenario(CITY_B.scaled(0.1), seed=3)
+
+
+class TestSummary:
+    def test_fields_match_scenario(self, scenario):
+        summary = summarize_scenario(scenario)
+        assert summary.city == "CityB"
+        assert summary.num_orders == len(scenario.orders)
+        assert summary.num_vehicles == len(scenario.vehicles)
+        assert summary.num_restaurants == len(scenario.restaurants)
+        assert summary.num_nodes == scenario.network.num_nodes
+        assert summary.num_edges == scenario.network.num_edges
+
+    def test_average_prep_minutes_plausible(self, scenario):
+        summary = summarize_scenario(scenario)
+        assert 5.0 < summary.avg_prep_minutes < 20.0
+
+    def test_row_formatting(self, scenario):
+        summary = summarize_scenario(scenario)
+        assert "CityB" in summary.as_row()
+        assert "#Orders" in DatasetSummary.header()
+
+
+class TestOrderVehicleRatio:
+    def test_series_has_24_slots(self, scenario):
+        assert len(order_vehicle_ratio_by_slot(scenario)) == 24
+
+    def test_ratios_non_negative(self, scenario):
+        assert all(r >= 0.0 for r in order_vehicle_ratio_by_slot(scenario))
+
+    def test_lunch_and_dinner_peaks(self, scenario):
+        ratios = order_vehicle_ratio_by_slot(scenario)
+        assert ratios[13] > ratios[4]
+        assert ratios[20] > ratios[10]
+
+    def test_city_b_peakier_than_city_a(self):
+        b = generate_scenario(CITY_B.scaled(0.1), seed=1)
+        a = generate_scenario(CITY_A.scaled(0.3), seed=1)
+        assert max(order_vehicle_ratio_by_slot(b)) > max(order_vehicle_ratio_by_slot(a))
+
+    def test_peak_slots_cover_lunch_or_dinner(self, scenario):
+        top = peak_slots(scenario, top=6)
+        assert any(slot in (12, 13, 14) for slot in top)
+        assert any(slot in (19, 20, 21, 22) for slot in top)

@@ -1,0 +1,138 @@
+"""Tests for restaurant, order-stream and fleet generation."""
+
+import random
+
+import pytest
+
+from repro.network.graph import SECONDS_PER_HOUR
+from repro.workload.city import CITY_A
+from repro.workload.generator import (
+    generate_orders,
+    generate_restaurants,
+    generate_scenario,
+    generate_vehicles,
+)
+
+
+@pytest.fixture(scope="module")
+def profile():
+    return CITY_A.scaled(0.5)
+
+
+@pytest.fixture(scope="module")
+def network(profile):
+    return profile.network_factory()
+
+
+@pytest.fixture(scope="module")
+def restaurants(network, profile):
+    return generate_restaurants(network, profile, random.Random(1))
+
+
+class TestRestaurants:
+    def test_count_matches_profile(self, restaurants, profile):
+        assert len(restaurants) == profile.num_restaurants
+
+    def test_nodes_exist_in_network(self, restaurants, network):
+        assert all(r.node in network for r in restaurants)
+
+    def test_popularity_is_decreasing(self, restaurants):
+        popularity = [r.popularity for r in restaurants]
+        assert popularity == sorted(popularity, reverse=True)
+
+    def test_prep_time_model_has_24_slots(self, restaurants):
+        assert all(len(r.prep_mean_by_hour) == 24 for r in restaurants)
+
+    def test_peak_hours_have_longer_prep(self, restaurants):
+        slower = sum(1 for r in restaurants if r.prep_mean_by_hour[13] > r.prep_mean_by_hour[10])
+        assert slower > len(restaurants) / 2
+
+    def test_sample_prep_time_has_floor(self, restaurants):
+        rng = random.Random(0)
+        values = [restaurants[0].sample_prep_time(12, rng) for _ in range(50)]
+        assert all(v >= 60.0 for v in values)
+
+
+class TestOrders:
+    def test_orders_sorted_by_time(self, network, restaurants, profile):
+        orders = generate_orders(network, restaurants, profile, random.Random(2))
+        times = [o.placed_at for o in orders]
+        assert times == sorted(times)
+
+    def test_order_count_close_to_profile(self, network, restaurants, profile):
+        orders = generate_orders(network, restaurants, profile, random.Random(3))
+        assert 0.5 * profile.orders_per_day < len(orders) < 1.6 * profile.orders_per_day
+
+    def test_hour_restriction_truncates_stream(self, network, restaurants, profile):
+        lunch = generate_orders(network, restaurants, profile, random.Random(4),
+                                start_hour=12, end_hour=13)
+        assert all(12 * SECONDS_PER_HOUR <= o.placed_at < 13 * SECONDS_PER_HOUR
+                   for o in lunch)
+        full = generate_orders(network, restaurants, profile, random.Random(4))
+        assert len(lunch) < len(full)
+
+    def test_customers_differ_from_restaurants(self, network, restaurants, profile):
+        orders = generate_orders(network, restaurants, profile, random.Random(5))
+        assert all(o.customer_node != o.restaurant_node for o in orders)
+
+    def test_order_fields_valid(self, network, restaurants, profile):
+        orders = generate_orders(network, restaurants, profile, random.Random(6))
+        for order in orders:
+            assert order.items >= 1
+            assert order.prep_time >= 60.0
+            assert order.restaurant_id is not None
+            assert order.restaurant_node in network
+            assert order.customer_node in network
+
+    def test_deterministic_under_seed(self, network, restaurants, profile):
+        a = generate_orders(network, restaurants, profile, random.Random(7))
+        b = generate_orders(network, restaurants, profile, random.Random(7))
+        assert [(o.order_id, o.placed_at) for o in a] == [(o.order_id, o.placed_at) for o in b]
+
+    def test_lunch_busier_than_early_morning(self, network, restaurants, profile):
+        orders = generate_orders(network, restaurants, profile, random.Random(8))
+        lunch = [o for o in orders if 12 <= o.placed_at / SECONDS_PER_HOUR < 14]
+        dawn = [o for o in orders if 3 <= o.placed_at / SECONDS_PER_HOUR < 5]
+        assert len(lunch) > len(dawn)
+
+    def test_empty_hour_range(self, network, restaurants, profile):
+        assert generate_orders(network, restaurants, profile, random.Random(9),
+                               start_hour=5, end_hour=5) == []
+
+
+class TestVehicles:
+    def test_count_and_nodes(self, network, profile):
+        vehicles = generate_vehicles(network, profile, random.Random(1))
+        assert len(vehicles) == profile.num_vehicles
+        assert all(v.node in network for v in vehicles)
+
+    def test_default_capacities(self, network, profile):
+        vehicles = generate_vehicles(network, profile, random.Random(1))
+        assert all(v.max_orders == 3 and v.max_items == 10 for v in vehicles)
+
+
+class TestScenario:
+    def test_generate_scenario_end_to_end(self, profile):
+        scenario = generate_scenario(profile, seed=11, start_hour=12, end_hour=14)
+        assert scenario.orders
+        assert scenario.vehicles
+        assert scenario.restaurants
+        assert scenario.name == profile.name
+
+    def test_orders_between(self, profile):
+        scenario = generate_scenario(profile, seed=11, start_hour=12, end_hour=14)
+        window = scenario.orders_between(12 * SECONDS_PER_HOUR, 12 * SECONDS_PER_HOUR + 600)
+        assert all(12 * SECONDS_PER_HOUR <= o.placed_at < 12 * SECONDS_PER_HOUR + 600
+                   for o in window)
+
+    def test_fresh_vehicles_are_independent_copies(self, profile):
+        scenario = generate_scenario(profile, seed=11, start_hour=12, end_hour=13)
+        fleet = scenario.fresh_vehicles()
+        fleet[0].node = -1
+        assert scenario.vehicles[0].node != -1
+
+    def test_different_seeds_differ(self, profile):
+        a = generate_scenario(profile, seed=1, start_hour=12, end_hour=13)
+        b = generate_scenario(profile, seed=2, start_hour=12, end_hour=13)
+        assert ([o.placed_at for o in a.orders] != [o.placed_at for o in b.orders]
+                or [v.node for v in a.vehicles] != [v.node for v in b.vehicles])

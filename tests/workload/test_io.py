@@ -1,0 +1,112 @@
+"""Tests for scenario and result serialisation."""
+
+import json
+
+import pytest
+
+from repro.core.km_baseline import KMPolicy
+from repro.network.distance_oracle import DistanceOracle
+from repro.orders.costs import CostModel
+from repro.sim.engine import SimulationConfig, simulate
+from repro.workload.city import CITY_A
+from repro.workload.generator import generate_scenario
+from repro.workload.io import (
+    load_scenario,
+    result_to_dict,
+    save_result_csv,
+    save_result_json,
+    save_scenario,
+    scenario_from_dict,
+    scenario_to_dict,
+)
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return generate_scenario(CITY_A.scaled(0.2), seed=4, start_hour=12, end_hour=13)
+
+
+@pytest.fixture(scope="module")
+def result(scenario):
+    oracle = DistanceOracle(scenario.network)
+    model = CostModel(oracle)
+    config = SimulationConfig(delta=60.0, start=12 * 3600.0, end=13 * 3600.0)
+    return simulate(scenario, KMPolicy(model), model, config)
+
+
+class TestScenarioRoundTrip:
+    def test_dict_round_trip_preserves_orders(self, scenario):
+        restored = scenario_from_dict(scenario_to_dict(scenario))
+        assert len(restored.orders) == len(scenario.orders)
+        for original, loaded in zip(scenario.orders, restored.orders):
+            assert original.order_id == loaded.order_id
+            assert original.restaurant_node == loaded.restaurant_node
+            assert original.customer_node == loaded.customer_node
+            assert original.placed_at == pytest.approx(loaded.placed_at)
+            assert original.prep_time == pytest.approx(loaded.prep_time)
+
+    def test_dict_round_trip_preserves_network(self, scenario):
+        restored = scenario_from_dict(scenario_to_dict(scenario))
+        assert restored.network.num_nodes == scenario.network.num_nodes
+        assert restored.network.num_edges == scenario.network.num_edges
+        node = scenario.network.nodes[0]
+        assert restored.network.coord(node) == pytest.approx(scenario.network.coord(node))
+
+    def test_dict_round_trip_preserves_fleet_and_restaurants(self, scenario):
+        restored = scenario_from_dict(scenario_to_dict(scenario))
+        assert len(restored.vehicles) == len(scenario.vehicles)
+        assert len(restored.restaurants) == len(scenario.restaurants)
+        assert restored.vehicles[0].node == scenario.vehicles[0].node
+
+    def test_file_round_trip(self, scenario, tmp_path):
+        path = tmp_path / "scenario.json"
+        save_scenario(scenario, path)
+        restored = load_scenario(path)
+        assert restored.name == scenario.name
+        assert len(restored.orders) == len(scenario.orders)
+
+    def test_payload_is_plain_json(self, scenario):
+        json.dumps(scenario_to_dict(scenario))
+
+    def test_rejects_unknown_format_version(self, scenario):
+        payload = scenario_to_dict(scenario)
+        payload["format_version"] = 999
+        with pytest.raises(ValueError):
+            scenario_from_dict(payload)
+
+    def test_unknown_profile_name_gets_placeholder(self, scenario):
+        payload = scenario_to_dict(scenario)
+        payload["profile_name"] = "Atlantis"
+        restored = scenario_from_dict(payload)
+        assert restored.profile.name == "Atlantis"
+
+    def test_restored_scenario_is_simulatable(self, scenario):
+        restored = scenario_from_dict(scenario_to_dict(scenario))
+        oracle = DistanceOracle(restored.network)
+        model = CostModel(oracle)
+        config = SimulationConfig(delta=120.0, start=12 * 3600.0, end=12 * 3600.0 + 600.0)
+        result = simulate(restored, KMPolicy(model), model, config)
+        assert result.windows
+
+
+class TestResultExport:
+    def test_result_to_dict_structure(self, result):
+        payload = result_to_dict(result)
+        assert payload["policy"] == "km"
+        assert payload["summary"]["orders"] == len(result.outcomes)
+        assert len(payload["orders"]) == len(result.outcomes)
+        assert len(payload["windows"]) == len(result.windows)
+
+    def test_save_result_json(self, result, tmp_path):
+        path = tmp_path / "result.json"
+        save_result_json(result, path)
+        with open(path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+        assert payload["city"] == result.city_name
+
+    def test_save_result_csv(self, result, tmp_path):
+        path = tmp_path / "orders.csv"
+        save_result_csv(result, path)
+        lines = path.read_text(encoding="utf-8").strip().splitlines()
+        assert lines[0].startswith("order_id,")
+        assert len(lines) == len(result.outcomes) + 1
