@@ -19,7 +19,12 @@ Contents
   :mod:`repro.core.reyes` — the three baselines of the evaluation.
 """
 
-from repro.core.matching import minimum_weight_matching, hungarian
+from repro.core.matching import (
+    MATCHING_BACKEND,
+    hungarian,
+    minimum_weight_matching,
+    sparse_minimum_weight_matching,
+)
 from repro.core.batching import BatchingConfig, cluster_orders
 from repro.core.angular import vehicle_sensitive_weight
 from repro.core.foodgraph import FoodGraph, build_full_foodgraph, build_sparsified_foodgraph
@@ -31,6 +36,8 @@ from repro.core.reyes import ReyesPolicy
 
 __all__ = [
     "minimum_weight_matching",
+    "sparse_minimum_weight_matching",
+    "MATCHING_BACKEND",
     "hungarian",
     "BatchingConfig",
     "cluster_orders",

@@ -25,8 +25,8 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.core.angular import travel_time_weight, vehicle_sensitive_weight
-from repro.core.matching import minimum_weight_matching
+from repro.core.angular import vehicle_sensitive_weight
+from repro.core.matching import sparse_minimum_weight_matching
 from repro.network.shortest_path import BestFirstExplorer
 from repro.orders.batch import Batch
 from repro.orders.costs import CostModel
@@ -59,6 +59,39 @@ class FoodGraph:
     cost_evaluations: int = 0
     #: number of road-network nodes expanded by best-first search
     nodes_expanded: int = 0
+    #: incrementally maintained per-vehicle finite-edge counts (Alg. 2's
+    #: stopping rule reads them every expansion step)
+    _degree_counts: Dict[int, int] = field(default_factory=dict, repr=False)
+    _degree_edge_count: int = field(default=0, repr=False)
+
+    def invalidate_degree_counts(self) -> None:
+        """Force a recount on the next degree read.
+
+        Callers that mutate :attr:`edges` directly (instead of through
+        :meth:`add_edge`) must call this; the automatic staleness check only
+        catches mutations that change the edge count, not length-preserving
+        replace-one-key-with-another edits.
+        """
+        self._degree_edge_count = -1
+
+    def _sync_degree_counts(self) -> None:
+        """Rebuild per-vehicle counts if ``edges`` looks externally mutated."""
+        if self._degree_edge_count != len(self.edges):
+            counts: Dict[int, int] = {}
+            for (_, v) in self.edges:
+                counts[v] = counts.get(v, 0) + 1
+            self._degree_counts = counts
+            self._degree_edge_count = len(self.edges)
+
+    def add_edge(self, batch_idx: int, vehicle_idx: int, weight: float,
+                 plan: RoutePlan) -> None:
+        """Insert (or replace) a finite edge, keeping degree counts current."""
+        self._sync_degree_counts()
+        key = (batch_idx, vehicle_idx)
+        if key not in self.edges:
+            self._degree_counts[vehicle_idx] = self._degree_counts.get(vehicle_idx, 0) + 1
+        self.edges[key] = (weight, plan)
+        self._degree_edge_count = len(self.edges)
 
     def weight(self, batch_idx: int, vehicle_idx: int) -> float:
         """Edge weight, Ω when the pair has no explicit edge."""
@@ -70,7 +103,12 @@ class FoodGraph:
         return edge[1] if edge is not None else None
 
     def cost_matrix(self) -> List[List[float]]:
-        """Dense batch-by-vehicle cost matrix for the matching solver."""
+        """Dense batch-by-vehicle cost matrix (diagnostics / reference solver).
+
+        The production matching path no longer materialises this — see
+        :func:`solve_matching` — but tests and the exactness benchmarks still
+        compare against the dense formulation.
+        """
         return [[self.weight(b, v) for v in range(len(self.vehicles))]
                 for b in range(len(self.batches))]
 
@@ -79,14 +117,28 @@ class FoodGraph:
         return len(self.edges)
 
     def vehicle_degree(self, vehicle_idx: int) -> int:
-        """Number of finite-weight edges incident to a vehicle."""
-        return sum(1 for (b, v) in self.edges if v == vehicle_idx)
+        """Number of finite-weight edges incident to a vehicle (O(1)).
+
+        Counts are maintained by :meth:`add_edge`.  Direct mutation of
+        ``edges`` that changes the edge count triggers an automatic recount;
+        length-preserving direct edits additionally require
+        :meth:`invalidate_degree_counts`.
+        """
+        self._sync_degree_counts()
+        return self._degree_counts.get(vehicle_idx, 0)
 
 
 def _pair_weight(batch: Batch, vehicle: Vehicle, cost_model: CostModel, now: float,
-                 omega: float, max_first_mile: float) -> Tuple[float, Optional[RoutePlan]]:
-    """Marginal cost of a batch-vehicle pair, clamped to Ω where required."""
-    first_mile = cost_model.oracle.distance(vehicle.node, batch.first_pickup_node, now)
+                 omega: float, max_first_mile: float,
+                 first_mile: Optional[float] = None) -> Tuple[float, Optional[RoutePlan]]:
+    """Marginal cost of a batch-vehicle pair, clamped to Ω where required.
+
+    ``first_mile`` may carry a precomputed vehicle-to-first-pickup travel
+    time (the builders batch those checks through the oracle's vectorised
+    API); when absent it is queried point-to-point.
+    """
+    if first_mile is None:
+        first_mile = cost_model.oracle.distance(vehicle.node, batch.first_pickup_node, now)
     if first_mile > max_first_mile:
         return omega, None
     weight, plan = cost_model.marginal_cost(batch.orders, vehicle, now)
@@ -99,14 +151,25 @@ def build_full_foodgraph(batches: Sequence[Batch], vehicles: Sequence[Vehicle],
                          cost_model: CostModel, now: float,
                          omega: float = DEFAULT_OMEGA,
                          max_first_mile: float = DEFAULT_MAX_FIRST_MILE) -> FoodGraph:
-    """Quadratic FoodGraph construction: every batch-vehicle pair is evaluated."""
+    """Quadratic FoodGraph construction: every batch-vehicle pair is evaluated.
+
+    The first-mile feasibility checks for all ``|V| x |B|`` pairs resolve in
+    a single batched :meth:`DistanceOracle.distance_matrix` call (the
+    vectorised hub-label block kernel) instead of one point query per pair.
+    """
     graph = FoodGraph(list(batches), list(vehicles), omega=omega)
+    if graph.batches and graph.vehicles:
+        first_miles = cost_model.oracle.distance_matrix(
+            [vehicle.node for vehicle in graph.vehicles],
+            [batch.first_pickup_node for batch in graph.batches], now)
     for b_idx, batch in enumerate(graph.batches):
         for v_idx, vehicle in enumerate(graph.vehicles):
-            weight, plan = _pair_weight(batch, vehicle, cost_model, now, omega, max_first_mile)
+            weight, plan = _pair_weight(batch, vehicle, cost_model, now, omega,
+                                        max_first_mile,
+                                        first_mile=float(first_miles[v_idx, b_idx]))
             graph.cost_evaluations += 1
             if plan is not None and weight < omega:
-                graph.edges[(b_idx, v_idx)] = (weight, plan)
+                graph.add_edge(b_idx, v_idx, weight, plan)
     return graph
 
 
@@ -144,9 +207,10 @@ def build_sparsified_foodgraph(batches: Sequence[Batch], vehicles: Sequence[Vehi
         if use_angular:
             weight_fn = vehicle_sensitive_weight(network, vehicle, now, gamma)
         else:
-            weight_fn = travel_time_weight(network, now)
+            # Plain travel-time ordering needs no per-edge callable: the CSR
+            # array kernel inside BestFirstExplorer expands on static weights.
+            weight_fn = None
         explorer = BestFirstExplorer(network, vehicle.node, weight=weight_fn, t=now)
-        degree = 0
         expanded = 0
         for node, _ in explorer:
             expanded += 1
@@ -156,9 +220,8 @@ def build_sparsified_foodgraph(batches: Sequence[Batch], vehicles: Sequence[Vehi
                                             omega, max_first_mile)
                 graph.cost_evaluations += 1
                 if plan is not None and weight < omega:
-                    graph.edges[(b_idx, v_idx)] = (weight, plan)
-                    degree += 1
-            if degree >= k or expanded >= expansion_cap:
+                    graph.add_edge(b_idx, v_idx, weight, plan)
+            if graph.vehicle_degree(v_idx) >= k or expanded >= expansion_cap:
                 break
         graph.nodes_expanded += expanded
     return graph
@@ -170,11 +233,18 @@ def solve_matching(graph: FoodGraph) -> List[Tuple[int, int, RoutePlan, float]]:
     Returns a list of ``(batch_idx, vehicle_idx, route_plan, weight)`` for
     every matched pair whose weight is strictly below Ω — pairs matched only
     through the rejection penalty are treated as "leave unassigned".
+
+    The solve runs on the finite-edge subgraph only
+    (:func:`~repro.core.matching.sparse_minimum_weight_matching`): for a
+    sparsified FoodGraph with degree bound ``k`` this avoids materialising
+    the dense Ω-filled ``|B| x |V|`` matrix entirely, while provably
+    producing a matching with the same total cost.
     """
     if not graph.batches or not graph.vehicles:
         return []
-    matrix = graph.cost_matrix()
-    pairs = minimum_weight_matching(matrix)
+    finite = {key: weight for key, (weight, _) in graph.edges.items()}
+    pairs = sparse_minimum_weight_matching(len(graph.batches), len(graph.vehicles),
+                                           finite, graph.omega)
     assignments: List[Tuple[int, int, RoutePlan, float]] = []
     for b_idx, v_idx in pairs:
         plan = graph.plan(b_idx, v_idx)

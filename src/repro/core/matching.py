@@ -10,15 +10,33 @@ extension of Bourgeois & Lassalle the paper cites) from scratch:
 * :func:`minimum_weight_matching` — the user-facing wrapper: accepts any
   rectangular matrix (lists or numpy), treats ``inf`` entries as forbidden,
   and returns the matched ``(row, col)`` pairs.
+* :func:`sparse_minimum_weight_matching` — the sparsified-FoodGraph entry
+  point: solves the "missing entries cost Ω" assignment problem on the
+  finite-edge subgraph only, never materialising the dense Ω-filled matrix.
 
-Correctness is cross-checked against ``scipy.optimize.linear_sum_assignment``
-in the test suite, including on random matrices via hypothesis.
+Backend selection happens at import time: when SciPy is importable, dense
+subproblems are handed to ``scipy.optimize.linear_sum_assignment`` (a C
+implementation of the same algorithm); otherwise the in-repo
+:func:`hungarian` solves them.  ``MATCHING_BACKEND`` records the choice, and
+tests force the fallback by monkeypatching ``_linear_sum_assignment`` to
+``None``.  Correctness of the from-scratch solver is still cross-checked
+against SciPy in the test suite, including on random matrices via hypothesis.
 """
 
 from __future__ import annotations
 
 import math
-from typing import List, Sequence, Tuple
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+try:  # pragma: no cover - exercised via the backend-forcing tests
+    from scipy.optimize import linear_sum_assignment as _linear_sum_assignment
+except ImportError:  # pragma: no cover
+    _linear_sum_assignment = None
+
+#: Which dense assignment backend was selected at import time.
+MATCHING_BACKEND = "scipy" if _linear_sum_assignment is not None else "hungarian"
 
 INFINITY = math.inf
 
@@ -90,6 +108,25 @@ def hungarian(cost: Sequence[Sequence[float]]) -> List[int]:
     return assignment
 
 
+def _solve_dense(matrix: List[List[float]]) -> List[Tuple[int, int]]:
+    """Solve a finite rectangular assignment problem, perfect on the smaller side.
+
+    Dispatches to SciPy's ``linear_sum_assignment`` when it was importable,
+    otherwise to the in-repo :func:`hungarian` (transposing as required).
+    Returns ``(row, col)`` pairs.
+    """
+    if not matrix or not matrix[0]:
+        return []
+    if _linear_sum_assignment is not None:
+        row_ind, col_ind = _linear_sum_assignment(np.asarray(matrix, dtype=np.float64))
+        return list(zip(row_ind.tolist(), col_ind.tolist()))
+    rows, cols = len(matrix), len(matrix[0])
+    if rows > cols:
+        transposed = [[matrix[r][c] for r in range(rows)] for c in range(cols)]
+        return [(row, col) for col, row in enumerate(hungarian(transposed)) if row >= 0]
+    return [(row, col) for row, col in enumerate(hungarian(matrix)) if col >= 0]
+
+
 def minimum_weight_matching(cost: Sequence[Sequence[float]],
                             forbid_infinite: bool = True) -> List[Tuple[int, int]]:
     """Minimum-weight matching of a rectangular cost matrix.
@@ -124,21 +161,66 @@ def minimum_weight_matching(cost: Sequence[Sequence[float]],
             raise ValueError("cost matrix contains NaN")
         return float(value)
 
-    transposed = rows > cols
-    if transposed:
-        matrix = [[clean(cost[r][c]) for r in range(rows)] for c in range(cols)]
-    else:
-        matrix = [[clean(cost[r][c]) for c in range(cols)] for r in range(rows)]
-
-    assignment = hungarian(matrix)
+    matrix = [[clean(cost[r][c]) for c in range(cols)] for r in range(rows)]
     pairs: List[Tuple[int, int]] = []
-    for small_idx, large_idx in enumerate(assignment):
-        if large_idx < 0:
-            continue
-        row, col = (large_idx, small_idx) if transposed else (small_idx, large_idx)
+    for row, col in _solve_dense(matrix):
         if forbid_infinite and cost[row][col] == INFINITY:
             continue
         pairs.append((row, col))
+    return pairs
+
+
+def sparse_minimum_weight_matching(num_rows: int, num_cols: int,
+                                   edges: Mapping[Tuple[int, int], float],
+                                   omega: float) -> List[Tuple[int, int]]:
+    """Assignment on a sparse bipartite graph where missing pairs cost Ω.
+
+    Semantically identical to running :func:`minimum_weight_matching` on the
+    dense ``num_rows x num_cols`` matrix ``M[r, c] = edges.get((r, c), omega)``
+    and keeping only the matched pairs that are explicit edges — but without
+    ever materialising that matrix.  The reduction: rows (after transposing
+    so rows are the smaller side) that have no finite edge can only ever pay
+    Ω, so they are dropped up front; the rest are matched against the columns
+    actually touched by finite edges, plus one Ω-cost "opt-out" dummy column
+    for every *untouched* real column (capped at the row count — a dummy per
+    untouched column mirrors exactly the Ω-assignments the dense formulation
+    offers, which matters when an explicit edge costs more than Ω and no
+    spare column exists to escape to).  Matching a row to an untouched real
+    column and matching it to a dummy both cost exactly Ω, so the reduced
+    optimum equals the dense optimum, while the solver only sees an
+    ``R' x (C' + min(R', num_cols - C'))`` matrix with ``R' <= number of
+    rows with edges`` and ``C' <= number of finite edges``.
+
+    For a sparsified FoodGraph with per-vehicle degree bound ``k`` this turns
+    the per-window solve from ``O(B^2 V)`` on the Ω-filled matrix into a
+    solve on the finite-edge subgraph only.
+    """
+    if num_rows == 0 or num_cols == 0 or not edges:
+        return []
+    transposed = num_rows > num_cols
+    if transposed:
+        num_rows, num_cols = num_cols, num_rows
+        edges = {(c, r): w for (r, c), w in edges.items()}
+
+    finite_rows = sorted({r for r, _ in edges})
+    finite_cols = sorted({c for _, c in edges})
+    row_pos = {r: i for i, r in enumerate(finite_rows)}
+    col_pos = {c: j for j, c in enumerate(finite_cols)}
+    num_real = len(finite_cols)
+    num_dummy = min(len(finite_rows), num_cols - num_real)
+    width = num_real + num_dummy
+    matrix = [[omega] * width for _ in finite_rows]
+    for (r, c), weight in edges.items():
+        matrix[row_pos[r]][col_pos[c]] = float(weight)
+
+    pairs: List[Tuple[int, int]] = []
+    for i, j in _solve_dense(matrix):
+        if j >= num_real:
+            continue  # opt-out dummy: the row stays unassigned (Ω)
+        row, col = finite_rows[i], finite_cols[j]
+        if (row, col) not in edges:
+            continue
+        pairs.append((col, row) if transposed else (row, col))
     return pairs
 
 
@@ -148,4 +230,10 @@ def matching_cost(cost: Sequence[Sequence[float]],
     return sum(cost[r][c] for r, c in pairs)
 
 
-__all__ = ["hungarian", "minimum_weight_matching", "matching_cost"]
+__all__ = [
+    "hungarian",
+    "minimum_weight_matching",
+    "sparse_minimum_weight_matching",
+    "matching_cost",
+    "MATCHING_BACKEND",
+]

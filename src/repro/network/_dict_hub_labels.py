@@ -1,0 +1,93 @@
+"""Reference (seed) hub-label implementation with per-node dict labels.
+
+This is the original pure-Python pruned-landmark-labeling index that
+:mod:`repro.network.hub_labeling` replaced with sorted parallel arrays.  It
+is kept verbatim as the ground truth for the kernel-equivalence property
+tests and as the baseline the ``benchmarks/bench_kernel.py`` microbenchmark
+measures speedups against.  Production code should use
+:class:`repro.network.hub_labeling.HubLabelIndex`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.network.graph import RoadNetwork
+
+INFINITY = math.inf
+
+
+class DictHubLabelIndex:
+    """Exact 2-hop-cover distance index with per-node dict labels (seed)."""
+
+    def __init__(self, network: RoadNetwork, order: Optional[Sequence[int]] = None) -> None:
+        self._network = network
+        self._out_labels: Dict[int, Dict[int, float]] = {n: {} for n in network.nodes}
+        self._in_labels: Dict[int, Dict[int, float]] = {n: {} for n in network.nodes}
+        if order is None:
+            order = sorted(network.nodes, key=network.out_degree, reverse=True)
+        self._order = list(order)
+        self._build()
+
+    def _static_weight(self, u: int, v: int) -> float:
+        return self._network.edge_time(u, v, 0.0) / self._network.profile.multiplier(0.0)
+
+    def _build(self) -> None:
+        for hub in self._order:
+            self._pruned_search(hub, forward=True)
+            self._pruned_search(hub, forward=False)
+
+    def _pruned_search(self, hub: int, forward: bool) -> None:
+        network = self._network
+        dist: Dict[int, float] = {hub: 0.0}
+        heap: List[Tuple[float, int]] = [(0.0, hub)]
+        settled: set = set()
+        while heap:
+            d, node = heapq.heappop(heap)
+            if node in settled:
+                continue
+            settled.add(node)
+            if forward:
+                if node != hub and self.query(hub, node) <= d:
+                    continue
+                self._in_labels[node][hub] = d
+                neighbors = network.neighbors(node)
+                step = lambda cur, nbr: self._static_weight(cur, nbr)
+            else:
+                if node != hub and self.query(node, hub) <= d:
+                    continue
+                self._out_labels[node][hub] = d
+                neighbors = network.predecessors(node)
+                step = lambda cur, nbr: self._static_weight(nbr, cur)
+            for nbr, _ in neighbors:
+                if nbr in settled:
+                    continue
+                nd = d + step(node, nbr)
+                if nd < dist.get(nbr, INFINITY):
+                    dist[nbr] = nd
+                    heapq.heappush(heap, (nd, nbr))
+
+    def query(self, source: int, target: int) -> float:
+        if source == target:
+            return 0.0
+        out = self._out_labels.get(source, {})
+        into = self._in_labels.get(target, {})
+        if len(out) > len(into):
+            out, into = into, out
+        best = INFINITY
+        for hub, d1 in out.items():
+            d2 = into.get(hub)
+            if d2 is not None and d1 + d2 < best:
+                best = d1 + d2
+        return best
+
+    @property
+    def total_label_entries(self) -> int:
+        total = sum(len(labels) for labels in self._out_labels.values())
+        total += sum(len(labels) for labels in self._in_labels.values())
+        return total
+
+
+__all__ = ["DictHubLabelIndex"]

@@ -11,9 +11,20 @@ choice of backend:
     and by far the fastest for the query volumes of the experiments.
 ``"dijkstra"``
     Answer each query with an on-demand Dijkstra, memoising full
-    single-source trees per (source, hour-slot).  Used as the ground truth in
-    tests and as a fallback for very small networks where index construction
-    is not worth it.
+    single-source trees.  Used as the ground truth in tests and as a
+    fallback for very small networks where index construction is not worth
+    it.
+
+Beyond single queries the oracle exposes *batched* APIs — :meth:`distances`
+for paired queries and :meth:`distance_matrix` for source x target cross
+products — that route to the hub-label index's vectorised kernels.  The
+FoodGraph first-mile checks and the marginal-cost loops issue their queries
+through these, which is where the bulk of the per-window speedup comes from.
+
+All internal memoisation (point-to-point distances, expanded paths, Dijkstra
+SSSP trees) is bounded by LRU caches with configurable capacities; hit/miss
+counters are exposed through :meth:`cache_info` next to ``query_count`` for
+the scalability experiments.
 
 Both backends also expose :meth:`path` for the simulator, which moves
 vehicles edge-by-edge along quickest paths.
@@ -22,13 +33,66 @@ vehicles edge-by-edge along quickest paths.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Tuple
+from collections import OrderedDict
+from typing import Dict, List, Optional, Sequence
 
-from repro.network.graph import RoadNetwork, time_slot
+import numpy as np
+
+from repro.network.graph import RoadNetwork
 from repro.network.hub_labeling import HubLabelIndex
 from repro.network.shortest_path import dijkstra_all, shortest_path_nodes
 
 INFINITY = math.inf
+
+
+class LRUCache:
+    """A small bounded mapping with move-to-front semantics and counters."""
+
+    __slots__ = ("capacity", "hits", "misses", "_data")
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("LRU capacity must be at least 1")
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self._data: OrderedDict = OrderedDict()
+
+    def get(self, key, default=None):
+        data = self._data
+        try:
+            value = data[key]
+        except KeyError:
+            self.misses += 1
+            return default
+        data.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key, value) -> None:
+        data = self._data
+        if key in data:
+            data.move_to_end(key)
+        data[key] = value
+        if len(data) > self.capacity:
+            data.popitem(last=False)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key) -> bool:
+        return key in self._data
+
+    def clear(self) -> None:
+        self._data.clear()
+
+    def reset_counters(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+    def info(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses,
+                "size": len(self._data), "capacity": self.capacity}
 
 
 class DistanceOracle:
@@ -42,11 +106,17 @@ class DistanceOracle:
         ``"hub_label"`` (default), ``"dijkstra"`` or ``"auto"``.  ``"auto"``
         picks hub labels for networks above a small size threshold and plain
         memoised Dijkstra below it.
+    point_cache_size, path_cache_size, sssp_cache_size:
+        LRU capacities for the point-to-point distance cache, the expanded
+        path cache and the per-source Dijkstra tree cache.
     """
 
     _AUTO_THRESHOLD = 60
 
-    def __init__(self, network: RoadNetwork, method: str = "auto") -> None:
+    def __init__(self, network: RoadNetwork, method: str = "auto",
+                 point_cache_size: int = 131072,
+                 path_cache_size: int = 16384,
+                 sssp_cache_size: int = 1024) -> None:
         if method not in {"hub_label", "dijkstra", "auto"}:
             raise ValueError(f"unknown distance oracle method: {method!r}")
         if method == "auto":
@@ -56,8 +126,9 @@ class DistanceOracle:
         self._index: Optional[HubLabelIndex] = None
         if method == "hub_label":
             self._index = HubLabelIndex(network)
-        self._sssp_cache: Dict[Tuple[int, int], Dict[int, float]] = {}
-        self._path_cache: Dict[Tuple[int, int], List[int]] = {}
+        self._point_cache = LRUCache(point_cache_size)
+        self._sssp_cache = LRUCache(sssp_cache_size)
+        self._path_cache = LRUCache(path_cache_size)
         self.query_count = 0
 
     @property
@@ -71,25 +142,110 @@ class DistanceOracle:
     # ------------------------------------------------------------------ #
     # distance queries
     # ------------------------------------------------------------------ #
+    def _static_distance(self, source: int, target: int) -> float:
+        """Static (profile-free) distance with point LRU memoisation."""
+        key = (source, target)
+        cached = self._point_cache.get(key)
+        if cached is not None:
+            return cached
+        if self._index is not None:
+            value = self._index.query(source, target)
+        else:
+            value = self._sssp_tree(source).get(target, INFINITY)
+        self._point_cache.put(key, value)
+        return value
+
+    def _sssp_tree(self, source: int) -> Dict[int, float]:
+        """Memoised static single-source tree (Dijkstra backend)."""
+        tree = self._sssp_cache.get(source)
+        if tree is None:
+            # A static tree scaled by the slot multiplier is exact because
+            # the profile applies one factor to every edge within the slot.
+            static = self._network.profile.multiplier(0.0)
+            tree = {node: d / static
+                    for node, d in dijkstra_all(self._network, source, t=0.0).items()}
+            self._sssp_cache.put(source, tree)
+        return tree
+
     def distance(self, source: int, target: int, t: float = 0.0) -> float:
         """Quickest-path travel time (seconds) from ``source`` to ``target`` at ``t``."""
         self.query_count += 1
         if source == target:
             return 0.0
+        return self._static_distance(source, target) * self._network.profile.multiplier(t)
+
+    def distances(self, sources: Sequence[int], targets: Sequence[int],
+                  t: float = 0.0) -> np.ndarray:
+        """Batched paired queries: ``result[i] = SP(sources[i], targets[i], t)``.
+
+        Cached pairs are served from the point LRU; the remainder resolve in
+        one vectorised :meth:`HubLabelIndex.query_many` call (or through the
+        memoised SSSP trees on the Dijkstra backend).
+        """
+        if len(sources) != len(targets):
+            raise ValueError("sources and targets must have equal length")
+        k = len(sources)
+        self.query_count += k
         multiplier = self._network.profile.multiplier(t)
+        out = np.empty(k, dtype=np.float64)
+        cache = self._point_cache
+        miss_pos: List[int] = []
+        for i, (s, tg) in enumerate(zip(sources, targets)):
+            if s == tg:
+                out[i] = 0.0
+                continue
+            cached = cache.get((s, tg))
+            if cached is None:
+                miss_pos.append(i)
+            else:
+                out[i] = cached
+        if miss_pos:
+            if self._index is not None:
+                miss_src = [sources[i] for i in miss_pos]
+                miss_tgt = [targets[i] for i in miss_pos]
+                values = self._index.query_many(miss_src, miss_tgt)
+                for i, value in zip(miss_pos, values.tolist()):
+                    cache.put((sources[i], targets[i]), value)
+                    out[i] = value
+            else:
+                for i in miss_pos:
+                    value = self._sssp_tree(sources[i]).get(targets[i], INFINITY)
+                    cache.put((sources[i], targets[i]), value)
+                    out[i] = value
+        out *= multiplier
+        return out
+
+    def distance_matrix(self, sources: Sequence[int], targets: Sequence[int],
+                        t: float = 0.0) -> np.ndarray:
+        """Cross-product queries: ``result[i, j] = SP(sources[i], targets[j], t)``.
+
+        The hub-label backend resolves the whole block with the contiguous
+        row-gather kernel (:meth:`HubLabelIndex.query_block`), the fastest
+        query path the oracle has; this is the shape of the FoodGraph
+        first-mile feasibility checks.
+        """
+        out = self.static_distance_matrix(sources, targets)
+        out *= self._network.profile.multiplier(t)
+        return out
+
+    def static_distance_matrix(self, sources: Sequence[int],
+                               targets: Sequence[int]) -> np.ndarray:
+        """Cross-product *static* distances (no congestion multiplier applied).
+
+        Used by the cost model to prefetch the pairwise distances among a
+        route plan's stop nodes once, then scale each leg by the slot
+        multiplier of its actual departure time.
+        """
+        num_s, num_t = len(sources), len(targets)
+        self.query_count += num_s * num_t
         if self._index is not None:
-            return self._index.query(source, target) * multiplier
-        slot = time_slot(t)
-        key = (source, slot)
-        tree = self._sssp_cache.get(key)
-        if tree is None:
-            # A static tree scaled by the slot multiplier is exact because
-            # the profile applies one factor to every edge within the slot.
-            tree = dijkstra_all(self._network, source, t=0.0)
-            static = self._network.profile.multiplier(0.0)
-            tree = {node: d / static for node, d in tree.items()}
-            self._sssp_cache[key] = tree
-        return tree.get(target, INFINITY) * multiplier
+            return self._index.query_block(sources, targets)
+        out = np.empty((num_s, num_t), dtype=np.float64)
+        for i, s in enumerate(sources):
+            tree = self._sssp_tree(s)
+            for j, tg in enumerate(targets):
+                out[i, j] = 0.0 if s == tg else tree.get(tg, INFINITY)
+        return out
 
     def path(self, source: int, target: int, t: float = 0.0) -> List[int]:
         """Node sequence of a quickest path from ``source`` to ``target``.
@@ -104,7 +260,7 @@ class DistanceOracle:
         cached = self._path_cache.get(key)
         if cached is None:
             cached = shortest_path_nodes(self._network, source, target, t=0.0)
-            self._path_cache[key] = cached
+            self._path_cache.put(key, cached)
         return list(cached)
 
     def reachable(self, source: int, target: int) -> bool:
@@ -114,12 +270,23 @@ class DistanceOracle:
     # ------------------------------------------------------------------ #
     # diagnostics
     # ------------------------------------------------------------------ #
+    def cache_info(self) -> Dict[str, Dict[str, int]]:
+        """Hit/miss/size/capacity counters for every internal LRU cache."""
+        return {
+            "point": self._point_cache.info(),
+            "path": self._path_cache.info(),
+            "sssp": self._sssp_cache.info(),
+        }
+
     def reset_counters(self) -> None:
-        """Zero the query counter (used by the scalability experiments)."""
+        """Zero the query counter and cache counters (scalability experiments)."""
         self.query_count = 0
+        self._point_cache.reset_counters()
+        self._path_cache.reset_counters()
+        self._sssp_cache.reset_counters()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"DistanceOracle(method={self._method!r}, queries={self.query_count})"
 
 
-__all__ = ["DistanceOracle"]
+__all__ = ["DistanceOracle", "LRUCache"]

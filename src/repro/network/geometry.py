@@ -60,7 +60,13 @@ def bearing(source: Coordinate, target: Coordinate) -> float:
     x = math.cos(lat2) * math.sin(lon2 - lon1)
     y = math.cos(lat1) * math.sin(lat2) - math.sin(lat1) * math.cos(lat2) * math.cos(lon2 - lon1)
     theta = math.atan2(x, y)
-    return theta % (2.0 * math.pi)
+    two_pi = 2.0 * math.pi
+    theta %= two_pi
+    # Float rounding can push e.g. a tiny negative atan2 result onto exactly
+    # 2*pi after the modulo; the bearing range is the half-open [0, 2*pi).
+    if theta >= two_pi:
+        theta = 0.0
+    return theta
 
 
 def angular_distance(location: Coordinate, destination: Coordinate, candidate: Coordinate) -> float:

@@ -21,6 +21,8 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.network.geometry import Coordinate, euclidean_distance
 
 SECONDS_PER_HOUR = 3600
@@ -85,6 +87,35 @@ class TimeProfile:
         return cls(tuple(values))
 
 
+class CSRAdjacency:
+    """Compressed-sparse-row view of a :class:`RoadNetwork`'s static weights.
+
+    The weight stored per edge is the *static effective* traversal time
+    ``base_time * per-edge multiplier``; the network-wide congestion profile
+    scales every edge uniformly within a time slot, so callers apply that
+    single factor to whole distance results instead of per edge.
+
+    Both numpy arrays (for vectorised kernels) and plain Python lists (for
+    the heap-based Dijkstra inner loops, where element access on lists is
+    several times faster than on numpy scalars) are exposed.
+    """
+
+    __slots__ = ("node_ids", "index_of", "indptr", "indices", "weights",
+                 "indptr_list", "indices_list", "weights_list", "num_nodes")
+
+    def __init__(self, node_ids: List[int], index_of: Dict[int, int],
+                 indptr: np.ndarray, indices: np.ndarray, weights: np.ndarray) -> None:
+        self.node_ids = node_ids
+        self.index_of = index_of
+        self.indptr = indptr
+        self.indices = indices
+        self.weights = weights
+        self.indptr_list = indptr.tolist()
+        self.indices_list = indices.tolist()
+        self.weights_list = weights.tolist()
+        self.num_nodes = len(node_ids)
+
+
 class RoadNetwork:
     """A directed road network with time-dependent traversal times.
 
@@ -102,6 +133,7 @@ class RoadNetwork:
         self._num_edges = 0
         self.profile = profile if profile is not None else TimeProfile.flat()
         self._max_base_time = 0.0
+        self._csr_cache: Dict[bool, CSRAdjacency] = {}
 
     # ------------------------------------------------------------------ #
     # construction
@@ -111,6 +143,7 @@ class RoadNetwork:
         self._coords[node] = (lat, lon)
         self._adj.setdefault(node, {})
         self._radj.setdefault(node, {})
+        self._csr_cache.clear()
 
     def add_edge(self, u: int, v: int, base_time: float,
                  multiplier: float = 1.0) -> None:
@@ -136,6 +169,7 @@ class RoadNetwork:
         effective = base_time * multiplier
         if effective > self._max_base_time:
             self._max_base_time = effective
+        self._csr_cache.clear()
 
     def add_road(self, u: int, v: int, base_time: float,
                  multiplier: float = 1.0) -> None:
@@ -205,6 +239,36 @@ class RoadNetwork:
             for v, w in nbrs.items():
                 yield u, v, w
 
+    def csr(self, reverse: bool = False) -> CSRAdjacency:
+        """Contiguous-array adjacency over the static effective edge weights.
+
+        Built lazily and cached; any :meth:`add_node` / :meth:`add_edge`
+        invalidates the cache.  ``reverse=True`` yields the transposed graph
+        (in-edges), used by reverse Dijkstra and the hub-label builder.
+        """
+        cached = self._csr_cache.get(reverse)
+        if cached is not None:
+            return cached
+        node_ids = list(self._coords)
+        index_of = {node: i for i, node in enumerate(node_ids)}
+        adjacency = self._radj if reverse else self._adj
+        n = len(node_ids)
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        indices = np.empty(self._num_edges, dtype=np.int64)
+        weights = np.empty(self._num_edges, dtype=np.float64)
+        pos = 0
+        multipliers = self._edge_multiplier
+        for i, node in enumerate(node_ids):
+            for nbr, base in adjacency.get(node, {}).items():
+                indices[pos] = index_of[nbr]
+                key = (nbr, node) if reverse else (node, nbr)
+                weights[pos] = base * multipliers.get(key, 1.0)
+                pos += 1
+            indptr[i + 1] = pos
+        csr = CSRAdjacency(node_ids, index_of, indptr, indices[:pos], weights[:pos])
+        self._csr_cache[reverse] = csr
+        return csr
+
     def nearest_node(self, coord: Coordinate,
                      candidates: Optional[Iterable[int]] = None) -> int:
         """Return the node whose coordinate is closest to ``coord``.
@@ -253,4 +317,5 @@ class RoadNetwork:
         return f"RoadNetwork(nodes={self.num_nodes}, edges={self.num_edges})"
 
 
-__all__ = ["RoadNetwork", "TimeProfile", "time_slot", "SECONDS_PER_HOUR", "SECONDS_PER_DAY"]
+__all__ = ["RoadNetwork", "CSRAdjacency", "TimeProfile", "time_slot",
+           "SECONDS_PER_HOUR", "SECONDS_PER_DAY"]

@@ -71,17 +71,54 @@ class CostModel:
     def planner(self) -> str:
         return self._planner
 
+    def _prefetched_distance(self, nodes: Sequence[int]):
+        """Distance callable backed by one batched static block query.
+
+        Route planning evaluates every stop permutation, so each node pair
+        among the stops is queried many times over; prefetching the full
+        pairwise static matrix through the oracle's vectorised block API and
+        serving legs from a flat dict (scaled by the slot multiplier of the
+        leg's departure time) removes the per-leg oracle round trip from the
+        marginal-cost hot loop.
+        """
+        unique = list(dict.fromkeys(nodes))
+        static = self._oracle.static_distance_matrix(unique, unique).tolist()
+        table: Dict[Tuple[int, int], float] = {}
+        for i, u in enumerate(unique):
+            row = static[i]
+            for j, v in enumerate(unique):
+                table[(u, v)] = row[j]
+        multiplier = self._oracle.network.profile.multiplier
+
+        def distance(u: int, v: int, t: float) -> float:
+            return table[(u, v)] * multiplier(t)
+
+        return distance
+
     def _plan(self, new_orders: Sequence[Order], start_node: int, start_time: float,
               onboard_orders: Sequence[Order] = ()) -> RoutePlan:
         """Compute a quickest route plan with the configured planner."""
         stop_count = 2 * len(new_orders) + len(onboard_orders)
+        nodes = [start_node]
+        for order in new_orders:
+            nodes.append(order.restaurant_node)
+            nodes.append(order.customer_node)
+        for order in onboard_orders:
+            nodes.append(order.customer_node)
+        # Tiny plans evaluate too few legs for the prefetch to pay for
+        # itself (the permutation count, and with it the number of repeated
+        # pair lookups, grows factorially with the stop count).
+        if stop_count >= 5 and len(set(nodes)) >= 4:
+            distance = self._prefetched_distance(nodes)
+        else:
+            distance = self._oracle.distance
         if self._planner == "insertion" or (
                 self._planner == "auto" and stop_count > _AUTO_EXHAUSTIVE_STOP_LIMIT):
             return insertion_route_plan(new_orders, start_node, start_time,
-                                        self._oracle.distance, self.sdt,
+                                        distance, self.sdt,
                                         onboard_orders=onboard_orders)
         return best_route_plan(new_orders, start_node, start_time,
-                               self._oracle.distance, self.sdt,
+                               distance, self.sdt,
                                onboard_orders=onboard_orders)
 
     # ------------------------------------------------------------------ #

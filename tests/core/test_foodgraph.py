@@ -125,6 +125,37 @@ class TestSparsifiedFoodGraph:
         assert graph.nodes_expanded == len(sample_vehicles)
 
 
+class TestVehicleDegreeMaintenance:
+    def test_add_edge_and_direct_mutation_interleaved(self):
+        from repro.core.foodgraph import FoodGraph
+
+        graph = FoodGraph([], [], omega=1.0)
+        graph.edges[(0, 0)] = (0.5, None)  # legacy direct-dict idiom
+        graph.add_edge(1, 0, 0.6, None)
+        assert graph.vehicle_degree(0) == 2
+        graph.edges.pop((0, 0))
+        assert graph.vehicle_degree(0) == 1
+
+    def test_length_preserving_direct_edit_after_invalidate(self):
+        from repro.core.foodgraph import FoodGraph
+
+        graph = FoodGraph([], [], omega=1.0)
+        graph.add_edge(0, 0, 0.5, None)
+        graph.edges.pop((0, 0))
+        graph.edges[(2, 2)] = (0.4, None)  # same length, different vehicle
+        graph.invalidate_degree_counts()
+        assert graph.vehicle_degree(0) == 0
+        assert graph.vehicle_degree(2) == 1
+
+    def test_replacing_an_edge_does_not_double_count(self):
+        from repro.core.foodgraph import FoodGraph
+
+        graph = FoodGraph([], [], omega=1.0)
+        graph.add_edge(0, 3, 0.5, None)
+        graph.add_edge(0, 3, 0.4, None)
+        assert graph.vehicle_degree(3) == 1
+
+
 class TestSolveMatching:
     def test_each_batch_and_vehicle_used_at_most_once(self, cost_model, sample_batches,
                                                       sample_vehicles):
