@@ -1,0 +1,205 @@
+"""Microbenchmark for the PR 2 dynamic-traffic repair path.
+
+Measures what a traffic-event boundary costs the distance stack, comparing
+the *incremental* path (patch CSR weights in place, repair only the hub
+labels the mutation touched, evict only the stale cache entries) against the
+*full rebuild* baseline (construct a fresh
+:class:`~repro.network.hub_labeling.HubLabelIndex` after the weight change —
+what the system would have to do without :meth:`DistanceOracle.apply_traffic_updates`).
+Results go to ``BENCH_PR2.json`` (repo root by default):
+
+* **incremental_repair** — one localised incident (a low-traffic edge slows
+  down 2.5x) applied through the scoped-invalidation path vs a from-scratch
+  index rebuild.
+* **zonal_event_repair** — a zonal rush-hour slowdown touching a whole
+  neighbourhood of edges, the harder repair case.
+
+Correctness is asserted before any timing: after the incremental update,
+distance queries must match a freshly rebuilt index exactly (1e-9) on a
+random pair sample.
+
+Run::
+
+    PYTHONPATH=src python benchmarks/bench_traffic.py          # full
+    PYTHONPATH=src python benchmarks/bench_traffic.py --smoke  # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import pathlib
+import random
+import time
+
+from repro.network.distance_oracle import DistanceOracle
+from repro.network.generators import random_geometric_city
+from repro.network.hub_labeling import HubLabelIndex
+from repro.traffic.controller import TrafficController
+from repro.traffic.events import TrafficEvent, TrafficTimeline
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+DEFAULT_OUT = REPO_ROOT / "BENCH_PR2.json"
+
+
+def _assert_exact(oracle: DistanceOracle, fresh: HubLabelIndex,
+                  pairs) -> None:
+    """Post-update queries must match a from-scratch rebuild exactly."""
+    multiplier = oracle.network.profile.multiplier(0.0)
+    for s, t in pairs:
+        got = oracle.distance(s, t, 0.0)
+        want = 0.0 if s == t else fresh.query(s, t) * multiplier
+        assert (math.isinf(got) and math.isinf(want)) or \
+            abs(got - want) <= 1e-9 * max(1.0, abs(want)), (s, t, got, want)
+
+
+def _localized_edge(network, rng: random.Random):
+    """A mutated edge whose weight change stays localised (small fan-out).
+
+    Probes a handful of random edges through a throwaway oracle and keeps
+    the one whose affected-node set is smallest — the "minor incident on a
+    side street" case incremental repair is built for.
+    """
+    probe = DistanceOracle(network, method="hub_label")
+    edges = [(u, v) for u, v, _ in network.edges()]
+    best, best_size = None, None
+    for u, v in rng.sample(edges, min(12, len(edges))):
+        stats = probe.apply_traffic_updates({(u, v): 2.5})
+        size = stats.affected_sources + stats.affected_targets
+        probe.apply_traffic_updates({(u, v): 1.0})
+        if best_size is None or size < best_size:
+            best, best_size = (u, v), size
+    return best
+
+
+def bench_incident_repair(num_nodes: int, repeats: int) -> dict:
+    """Localised incident: incremental repair vs full index rebuild."""
+    network = random_geometric_city(num_nodes=num_nodes, seed=11)
+    rng = random.Random(5)
+    edge = _localized_edge(network, rng)
+    changes = {edge: 2.5}
+    nodes = network.nodes
+    pairs = [(rng.choice(nodes), rng.choice(nodes)) for _ in range(200)]
+
+    # Correctness before timing: scoped repair == from-scratch rebuild.
+    oracle = DistanceOracle(network, method="hub_label")
+    for s, t in pairs:
+        oracle.distance(s, t, 0.0)  # warm caches so eviction is exercised
+    stats = oracle.apply_traffic_updates(dict(changes))
+    assert stats.strategy == "repair", stats
+    _assert_exact(oracle, HubLabelIndex(network), pairs)
+    oracle.apply_traffic_updates({edge: 1.0})
+
+    repair_time = math.inf
+    for _ in range(repeats):
+        fresh_oracle = DistanceOracle(network, method="hub_label")
+        start = time.perf_counter()
+        fresh_oracle.apply_traffic_updates(dict(changes))
+        repair_time = min(repair_time, time.perf_counter() - start)
+        fresh_oracle.apply_traffic_updates({edge: 1.0})
+
+    network.set_edge_override(*edge, 2.5)
+    rebuild_time = math.inf
+    for _ in range(repeats):
+        start = time.perf_counter()
+        HubLabelIndex(network)
+        rebuild_time = min(rebuild_time, time.perf_counter() - start)
+    network.set_edge_override(*edge, 1.0)
+
+    return {
+        "workload": (f"one localised incident (2.5x on one edge) on a "
+                     f"{num_nodes}-node geometric city, "
+                     f"{stats.affected_sources}+{stats.affected_targets} "
+                     f"affected labels"),
+        "new_ops_per_sec": 1.0 / repair_time,
+        "seed_ops_per_sec": 1.0 / rebuild_time,
+        "speedup": rebuild_time / repair_time,
+    }
+
+
+def bench_zonal_repair(num_nodes: int, repeats: int,
+                       zone_radius_seconds: float = 75.0) -> dict:
+    """Zonal rush hour: a whole neighbourhood slows down at once."""
+    network = random_geometric_city(num_nodes=num_nodes, seed=11)
+    rng = random.Random(9)
+    nodes = network.nodes
+    event = TrafficEvent(event_id=0, kind="rush_hour", start=0.0, end=3600.0,
+                         factor=1.5, zone_center=nodes[len(nodes) // 3],
+                         zone_radius_seconds=zone_radius_seconds)
+    timeline = TrafficTimeline((event,))
+    pairs = [(rng.choice(nodes), rng.choice(nodes)) for _ in range(200)]
+
+    oracle = DistanceOracle(network, method="hub_label")
+    controller = TrafficController(oracle, timeline)
+    stats = controller.advance(0.0)
+    strategy = stats.strategy
+    _assert_exact(oracle, HubLabelIndex(network), pairs)
+    controller.advance(3600.0)  # clear
+
+    apply_time = math.inf
+    for _ in range(repeats):
+        fresh_oracle = DistanceOracle(network, method="hub_label")
+        fresh_controller = TrafficController(fresh_oracle, timeline)
+        start = time.perf_counter()
+        fresh_controller.advance(0.0)
+        apply_time = min(apply_time, time.perf_counter() - start)
+        fresh_controller.advance(3600.0)  # revert so the next repeat works
+
+    controller.advance(0.0)  # leave the event applied for the rebuild baseline
+    rebuild_time = math.inf
+    for _ in range(repeats):
+        start = time.perf_counter()
+        HubLabelIndex(network)
+        rebuild_time = min(rebuild_time, time.perf_counter() - start)
+    controller.advance(3600.0)
+
+    return {
+        "workload": (f"one zonal rush-hour event ({stats.mutated_edges} edges, "
+                     f"strategy: {strategy}) on a {num_nodes}-node geometric city"),
+        "new_ops_per_sec": 1.0 / apply_time,
+        "seed_ops_per_sec": 1.0 / rebuild_time,
+        "speedup": rebuild_time / apply_time,
+    }
+
+
+def run(smoke: bool = False, out_path: pathlib.Path = DEFAULT_OUT) -> dict:
+    if smoke:
+        # Smoke workloads keep ~9-10x margins over the rebuild baseline so
+        # the CI speedup>1 gate survives noisy shared runners; min-of-N
+        # timing with a few extra repeats smooths CPU-steal spikes.
+        results = {
+            "incremental_repair": bench_incident_repair(num_nodes=120, repeats=4),
+            "zonal_event_repair": bench_zonal_repair(num_nodes=200, repeats=4),
+        }
+    else:
+        results = {
+            "incremental_repair": bench_incident_repair(num_nodes=300, repeats=3),
+            "zonal_event_repair": bench_zonal_repair(num_nodes=300, repeats=3),
+        }
+    payload = {
+        "benchmark": "PR2 dynamic traffic: incremental kernel repair vs full rebuild",
+        "mode": "smoke" if smoke else "full",
+        "kernels": results,
+    }
+    out_path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return payload
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="small, fast workloads for CI")
+    parser.add_argument("--out", type=pathlib.Path, default=DEFAULT_OUT,
+                        help="where to write the JSON results")
+    args = parser.parse_args()
+    payload = run(smoke=args.smoke, out_path=args.out)
+    for name, result in payload["kernels"].items():
+        print(f"{name}: {result['speedup']:.1f}x "
+              f"({result['new_ops_per_sec']:.1f} vs {result['seed_ops_per_sec']:.1f} ops/s) "
+              f"— {result['workload']}")
+    print(f"wrote {args.out}")
+
+
+if __name__ == "__main__":
+    main()

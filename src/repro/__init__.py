@@ -12,6 +12,8 @@ public API is organised by layer:
 * :mod:`repro.core` — the FoodMatch algorithm and the Greedy, vanilla
   Kuhn–Munkres and Reyes et al. baselines.
 * :mod:`repro.sim` — the accumulation-window day simulator and metrics.
+* :mod:`repro.traffic` — dynamic-traffic events (incidents, closures, zonal
+  rush hours) replayed live with incremental distance-index repair.
 * :mod:`repro.experiments` — runners, parameter sweeps and per-figure
   reproduction harnesses.
 
@@ -33,8 +35,9 @@ from repro.core import (
     ReyesPolicy,
 )
 from repro.sim import SimulationConfig, SimulationResult, simulate
+from repro.traffic import TrafficController, TrafficEvent, TrafficTimeline
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 
 def quickstart(seed: int = 0):
@@ -75,6 +78,9 @@ __all__ = [
     "SimulationConfig",
     "SimulationResult",
     "simulate",
+    "TrafficEvent",
+    "TrafficTimeline",
+    "TrafficController",
     "quickstart",
     "__version__",
 ]

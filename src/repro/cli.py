@@ -13,7 +13,7 @@ Three subcommands cover the common workflows without writing any Python:
 Examples::
 
     python -m repro simulate --city CityA --policy foodmatch --scale 0.3 \
-        --start-hour 12 --end-hour 13
+        --start-hour 12 --end-hour 13 --traffic heavy
     python -m repro compare --city CityB --policies foodmatch greedy km \
         --scale 0.1 --vehicle-fraction 0.4
     python -m repro figure --name fig8abc_eta_sweep
@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 from repro.experiments import figures
 from repro.experiments.reporting import format_metric_comparison
@@ -35,6 +35,7 @@ from repro.experiments.runner import (
     run_setting,
 )
 from repro.workload.city import CITY_PROFILES
+from repro.workload.generator import TRAFFIC_INTENSITIES
 
 _FIGURE_FUNCTIONS = {
     "table2": figures.table2_dataset_summary,
@@ -51,6 +52,7 @@ _FIGURE_FUNCTIONS = {
     "fig8defg_delta_sweep": figures.fig8defg_delta_sweep,
     "fig8hijk_k_sweep": figures.fig8hijk_k_sweep,
     "fig9_gamma_sweep": figures.fig9_gamma_sweep,
+    "traffic_robustness": figures.traffic_robustness,
 }
 
 _COMPARE_METRICS = ("xdt_hours_per_day", "orders_per_km", "waiting_hours_per_day",
@@ -77,6 +79,11 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument("--vehicle-fraction", type=float, default=1.0,
                          help="fraction of the fleet made available (default: 1.0)")
         sub.add_argument("--seed", type=int, default=0, help="workload seed (default: 0)")
+        sub.add_argument("--traffic", choices=sorted(TRAFFIC_INTENSITIES),
+                         default="none",
+                         help="dynamic-traffic intensity: incidents, closures and "
+                              "zonal slowdowns replayed during the simulation "
+                              "(default: none)")
 
     simulate = subparsers.add_parser("simulate", help="run one policy on one city")
     add_setting_arguments(simulate)
@@ -107,6 +114,7 @@ def _setting_from_args(args: argparse.Namespace) -> ExperimentSetting:
         delta=args.delta,
         vehicle_fraction=args.vehicle_fraction,
         seed=args.seed,
+        traffic=args.traffic,
     )
 
 

@@ -27,7 +27,7 @@ direction as the paper's.
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Callable
 
 from repro.network.geometry import angular_distance
 from repro.network.graph import RoadNetwork

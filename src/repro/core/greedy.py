@@ -60,6 +60,20 @@ class GreedyPolicy(AssignmentPolicy):
         plans: Dict[int, RoutePlan] = {}
         vehicle_by_id: Dict[int, Vehicle] = {v.vehicle_id: v for v in candidates}
 
+        # First-mile feasibility is a pure vehicle x restaurant cross product,
+        # so it resolves in one vectorised block query instead of a point
+        # query per pair; the matrix serves every later refresh round too
+        # (first miles do not depend on the tentative sets).
+        pool_orders = list(pool.values())
+        first_miles = self._cost_model.oracle.distance_matrix(
+            [vehicle.node for vehicle in candidates],
+            [order.restaurant_node for order in pool_orders], now)
+        first_mile_of: Dict[Tuple[int, int], float] = {}
+        for v_idx, vehicle in enumerate(candidates):
+            row = first_miles[v_idx]
+            for o_idx, order in enumerate(pool_orders):
+                first_mile_of[(order.order_id, vehicle.vehicle_id)] = float(row[o_idx])
+
         # Marginal costs only change for the vehicle chosen in the previous
         # round, so the first round evaluates all pairs and later rounds only
         # refresh that vehicle's column (the recomputation scheme of Sec. III).
@@ -67,7 +81,8 @@ class GreedyPolicy(AssignmentPolicy):
         for order in pool.values():
             for vehicle in candidates:
                 pair_cost[(order.order_id, vehicle.vehicle_id)] = self._pair_cost(
-                    order, vehicle, tentative[vehicle.vehicle_id], now)
+                    order, vehicle, tentative[vehicle.vehicle_id], now,
+                    first_mile_of[(order.order_id, vehicle.vehicle_id)])
 
         while pool:
             best: Optional[Tuple[float, int, int, RoutePlan]] = None
@@ -87,7 +102,8 @@ class GreedyPolicy(AssignmentPolicy):
             chosen = vehicle_by_id[vehicle_id]
             for order in pool.values():
                 pair_cost[(order.order_id, vehicle_id)] = self._pair_cost(
-                    order, chosen, tentative[vehicle_id], now)
+                    order, chosen, tentative[vehicle_id], now,
+                    first_mile_of[(order.order_id, vehicle_id)])
 
         assignments: List[Assignment] = []
         for vehicle_id, added in tentative.items():
@@ -103,12 +119,20 @@ class GreedyPolicy(AssignmentPolicy):
 
     # ------------------------------------------------------------------ #
     def _pair_cost(self, order: Order, vehicle: Vehicle, already_added: List[Order],
-                   now: float) -> Tuple[float, Optional[RoutePlan]]:
-        """Marginal cost of adding ``order`` on top of the tentative set."""
+                   now: float, first_mile: Optional[float] = None,
+                   ) -> Tuple[float, Optional[RoutePlan]]:
+        """Marginal cost of adding ``order`` on top of the tentative set.
+
+        ``first_mile`` may carry the precomputed vehicle-to-restaurant travel
+        time from the batched feasibility matrix; when absent it is queried
+        point-to-point.
+        """
         prospective = already_added + [order]
         if not vehicle.can_accept(prospective):
             return INFINITY, None
-        first_mile = self._cost_model.oracle.distance(vehicle.node, order.restaurant_node, now)
+        if first_mile is None:
+            first_mile = self._cost_model.oracle.distance(
+                vehicle.node, order.restaurant_node, now)
         if first_mile > self._max_first_mile:
             return INFINITY, None
         plan_with = self._cost_model.plan_for_vehicle(vehicle, prospective, now)

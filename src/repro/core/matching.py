@@ -26,7 +26,7 @@ against SciPy in the test suite, including on random matrices via hypothesis.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Mapping, Sequence, Tuple
+from typing import List, Mapping, Sequence, Tuple
 
 import numpy as np
 

@@ -29,6 +29,7 @@ from repro.experiments.sweeps import (
     sweep_eta,
     sweep_gamma,
     sweep_k,
+    sweep_traffic,
     sweep_vehicles,
 )
 from repro.experiments.crossval import (
@@ -54,6 +55,7 @@ __all__ = [
     "sweep_eta",
     "sweep_gamma",
     "sweep_k",
+    "sweep_traffic",
     "sweep_vehicles",
     "figures",
 ]

@@ -11,10 +11,9 @@ spread per metric, which is what :func:`cross_validate` and
 
 from __future__ import annotations
 
-import math
 import statistics
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Sequence
+from typing import Dict, List, Sequence
 
 from repro.experiments.reporting import format_table
 from repro.experiments.runner import ExperimentSetting, PolicySpec, run_setting

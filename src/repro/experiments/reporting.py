@@ -7,7 +7,7 @@ output can be compared side by side with the paper (see ``EXPERIMENTS.md``).
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Sequence
+from typing import List, Mapping, Sequence
 
 
 def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]],

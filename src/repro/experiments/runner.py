@@ -10,10 +10,8 @@ the same workload (the typical experiment) pays the setup cost once.
 
 from __future__ import annotations
 
-import math
-import random
-from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.foodmatch import FoodMatchConfig, FoodMatchPolicy
 from repro.core.greedy import GreedyPolicy
@@ -25,7 +23,7 @@ from repro.network.graph import SECONDS_PER_HOUR
 from repro.orders.costs import CostModel
 from repro.sim.engine import SimulationConfig, simulate
 from repro.sim.metrics import SimulationResult
-from repro.workload.city import CITY_PROFILES, CityProfile
+from repro.workload.city import CityProfile
 from repro.workload.generator import Scenario, generate_scenario
 
 
@@ -66,6 +64,10 @@ class ExperimentSetting:
         Fraction of the (scaled) fleet made available (Fig. 7 sweeps this).
     seed:
         Workload seed; experiments average over several seeds.
+    traffic:
+        Dynamic-traffic intensity (``"none"``, ``"light"`` or ``"heavy"``);
+        non-``"none"`` settings generate an event timeline the simulator
+        replays through a :class:`~repro.traffic.TrafficController`.
     """
 
     profile: CityProfile
@@ -75,6 +77,7 @@ class ExperimentSetting:
     delta: Optional[float] = None
     vehicle_fraction: float = 1.0
     seed: int = 0
+    traffic: str = "none"
 
     def resolved_delta(self) -> float:
         return self.delta if self.delta is not None else self.profile.accumulation_window
@@ -124,7 +127,8 @@ _SCENARIO_CACHE: Dict[Tuple, Tuple[Scenario, DistanceOracle]] = {}
 
 def _setting_key(setting: ExperimentSetting) -> Tuple:
     return (setting.profile.name, round(setting.scale, 6), setting.start_hour,
-            setting.end_hour, round(setting.vehicle_fraction, 6), setting.seed)
+            setting.end_hour, round(setting.vehicle_fraction, 6), setting.seed,
+            setting.traffic)
 
 
 def materialize(setting: ExperimentSetting) -> Tuple[Scenario, DistanceOracle]:
@@ -139,7 +143,8 @@ def materialize(setting: ExperimentSetting) -> Tuple[Scenario, DistanceOracle]:
         profile = profile.with_vehicles(reduced)
     scenario = generate_scenario(profile, seed=setting.seed,
                                  start_hour=setting.start_hour,
-                                 end_hour=setting.end_hour)
+                                 end_hour=setting.end_hour,
+                                 traffic=setting.traffic)
     oracle = DistanceOracle(scenario.network)
     _SCENARIO_CACHE[key] = (scenario, oracle)
     return scenario, oracle

@@ -28,6 +28,9 @@ class SweepResult:
     values: List[float] = field(default_factory=list)
     metrics: Dict[float, Dict[str, float]] = field(default_factory=dict)
     results: Dict[float, SimulationResult] = field(default_factory=dict)
+    #: optional human-readable labels for categorical sweeps (parallel to
+    #: ``values``), e.g. the traffic intensity names
+    labels: List[str] = field(default_factory=list)
 
     def record(self, value: float, result: SimulationResult) -> None:
         self.values.append(value)
@@ -96,6 +99,25 @@ def sweep_k(setting: ExperimentSetting, ks: Sequence[int] = (2, 4, 8, 16, 32),
     return sweep
 
 
+def sweep_traffic(setting: ExperimentSetting, policy: PolicySpec,
+                  intensities: Sequence[str] = ("none", "light", "heavy"),
+                  ) -> SweepResult:
+    """Robustness under incidents: vary the dynamic-traffic intensity.
+
+    The same workload is replayed with increasingly severe traffic-event
+    timelines (incidents, closures, zonal rush hours — see
+    :mod:`repro.traffic`).  The sweep parameter is the intensity's index in
+    ``intensities`` (the labels are not numeric); :attr:`SweepResult.labels`
+    keeps the names.
+    """
+    sweep = SweepResult(parameter="traffic")
+    sweep.labels = list(intensities)
+    for position, intensity in enumerate(intensities):
+        varied = replace(setting, traffic=intensity)
+        sweep.record(float(position), run_setting(varied, policy))
+    return sweep
+
+
 def sweep_gamma(setting: ExperimentSetting, gammas: Sequence[float] = (0.1, 0.3, 0.5, 0.7, 0.9),
                 base_options: Optional[Dict[str, object]] = None) -> SweepResult:
     """Vary the angular-distance weighting γ (Fig. 9(a)-(c))."""
@@ -129,4 +151,5 @@ __all__ = [
     "sweep_k",
     "sweep_gamma",
     "sweep_gamma_rejections",
+    "sweep_traffic",
 ]

@@ -30,7 +30,7 @@ from repro.network.shortest_path import (
     shortest_path_nodes,
 )
 from repro.network.hub_labeling import HubLabelIndex
-from repro.network.distance_oracle import DistanceOracle
+from repro.network.distance_oracle import DistanceOracle, TrafficRepairStats
 from repro.network.generators import (
     grid_city,
     radial_city,
@@ -41,6 +41,7 @@ __all__ = [
     "RoadNetwork",
     "TimeProfile",
     "DistanceOracle",
+    "TrafficRepairStats",
     "HubLabelIndex",
     "BestFirstExplorer",
     "dijkstra",

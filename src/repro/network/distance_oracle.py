@@ -28,21 +28,38 @@ the scalability experiments.
 
 Both backends also expose :meth:`path` for the simulator, which moves
 vehicles edge-by-edge along quickest paths.
+
+Dynamic traffic (incidents, closures, zonal rush hours) enters through
+:meth:`DistanceOracle.apply_traffic_updates`: per-edge weight changes are
+patched into the network's CSR arrays in place, the hub-label index is
+repaired incrementally for the labels the mutation can actually have
+touched (full rebuild stays as the fallback), and only the memoised entries
+whose stored values can be stale are evicted.
 """
 
 from __future__ import annotations
 
 import math
 from collections import OrderedDict
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
 from repro.network.graph import RoadNetwork
 from repro.network.hub_labeling import HubLabelIndex
-from repro.network.shortest_path import dijkstra_all, shortest_path_nodes
+from repro.network.shortest_path import (
+    _csr_dijkstra_all,
+    dijkstra_all,
+    shortest_path_nodes,
+)
 
 INFINITY = math.inf
+
+#: Distances whose old/new values differ by no more than this are treated as
+#: unchanged when computing affected-node sets (absorbs float re-association
+#: between equal-length alternative paths).
+_CHANGE_TOLERANCE = 1e-9
 
 
 class LRUCache:
@@ -86,6 +103,19 @@ class LRUCache:
     def clear(self) -> None:
         self._data.clear()
 
+    def drop_where(self, predicate: Callable) -> int:
+        """Evict every ``(key, value)`` entry the predicate matches.
+
+        This is the scoped-invalidation primitive: after a localised network
+        mutation only the entries whose stored values can be stale are
+        dropped, everything else keeps serving hits.  Returns the number of
+        evicted entries.
+        """
+        stale = [key for key, value in self._data.items() if predicate(key, value)]
+        for key in stale:
+            del self._data[key]
+        return len(stale)
+
     def reset_counters(self) -> None:
         self.hits = 0
         self.misses = 0
@@ -93,6 +123,33 @@ class LRUCache:
     def info(self) -> Dict[str, int]:
         return {"hits": self.hits, "misses": self.misses,
                 "size": len(self._data), "capacity": self.capacity}
+
+
+@dataclass(frozen=True)
+class TrafficRepairStats:
+    """What one :meth:`DistanceOracle.apply_traffic_updates` call did.
+
+    ``strategy`` is ``"noop"`` (no weight actually changed), ``"repair"``
+    (hub labels repaired incrementally), ``"rebuild"`` (full index rebuild —
+    the correctness fallback once the affected region stops being localised)
+    or ``"dijkstra"`` (no index to maintain; caches invalidated only).
+    """
+
+    mutated_edges: int
+    affected_sources: int
+    affected_targets: int
+    strategy: str
+    dropped_point_entries: int = 0
+    dropped_path_entries: int = 0
+    dropped_sssp_entries: int = 0
+
+
+def _changed_nodes(old: Dict[int, float], new: Dict[int, float]) -> Set[int]:
+    """Node indexes whose settled distance differs between two SSSP runs."""
+    changed = {idx for idx, dist in new.items()
+               if abs(old.get(idx, INFINITY) - dist) > _CHANGE_TOLERANCE}
+    changed.update(idx for idx in old if idx not in new)
+    return changed
 
 
 class DistanceOracle:
@@ -130,6 +187,12 @@ class DistanceOracle:
         self._sssp_cache = LRUCache(sssp_cache_size)
         self._path_cache = LRUCache(path_cache_size)
         self.query_count = 0
+        # Node ids whose labels were incrementally repaired since the index
+        # was last built from scratch; once this stops being a small fraction
+        # of the network the dense repaired labels erode query speed and a
+        # full rebuild is cheaper overall.
+        self._repaired_out: Set[int] = set()
+        self._repaired_in: Set[int] = set()
 
     @property
     def network(self) -> RoadNetwork:
@@ -268,6 +331,94 @@ class DistanceOracle:
         return self.distance(source, target, 0.0) < INFINITY
 
     # ------------------------------------------------------------------ #
+    # live weight updates (dynamic traffic)
+    # ------------------------------------------------------------------ #
+    #: Fraction of labels that may be incrementally repaired before the next
+    #: update falls back to a full index rebuild.
+    repair_fraction = 0.25
+
+    def apply_traffic_updates(
+            self, changes: Mapping[Tuple[int, int], float]) -> TrafficRepairStats:
+        """Apply per-edge traffic override changes and repair the oracle.
+
+        ``changes`` maps directed edges ``(u, v)`` to their new dynamic
+        traffic factor (``1.0`` clears an event).  The whole update is a
+        *scoped* invalidation, not a teardown:
+
+        1. the network patches the mutated CSR weight entries in place;
+        2. the affected node sets are derived exactly — ``d(s, t)`` can only
+           have changed if ``d(s, v)`` changed for the head ``v`` of some
+           mutated edge (any altered path must cross a mutated edge, and its
+           suffix past the last one is undisturbed), so one before/after SSSP
+           pair per distinct mutated endpoint pins down every node whose
+           out- or in-distances moved;
+        3. the hub-label index repairs only the affected labels
+           (:meth:`HubLabelIndex.repair`), falling back to a full rebuild
+           once the cumulative repaired region exceeds ``repair_fraction``
+           of all labels;
+        4. only the memoised entries whose stored values can be stale are
+           dropped: point distances and cached paths touching an affected
+           source/target, cached paths traversing a mutated edge, and SSSP
+           trees rooted at an affected source.
+        """
+        network = self._network
+        mutated = {edge: factor for edge, factor in changes.items()
+                   if network.edge_override(*edge) != factor}
+        if not mutated:
+            return TrafficRepairStats(0, 0, 0, "noop")
+        csr = network.csr()
+        rcsr = network.csr(reverse=True)
+        index_of = csr.index_of
+        heads = {index_of[v] for _, v in mutated}
+        tails = {index_of[u] for u, _ in mutated}
+        old_to_head = {h: _csr_dijkstra_all(rcsr, h) for h in heads}
+        old_from_tail = {t: _csr_dijkstra_all(csr, t) for t in tails}
+        for (u, v), factor in mutated.items():
+            network.set_edge_override(u, v, factor)
+        affected_out_idx: Set[int] = set()
+        affected_in_idx: Set[int] = set()
+        for head, old in old_to_head.items():
+            affected_out_idx |= _changed_nodes(old, _csr_dijkstra_all(rcsr, head))
+        for tail, old in old_from_tail.items():
+            affected_in_idx |= _changed_nodes(old, _csr_dijkstra_all(csr, tail))
+        ids = csr.node_ids
+        affected_out = {ids[i] for i in affected_out_idx}
+        affected_in = {ids[i] for i in affected_in_idx}
+
+        strategy = "dijkstra"
+        if self._index is not None:
+            self._repaired_out |= affected_out
+            self._repaired_in |= affected_in
+            budget = 2 * csr.num_nodes * self.repair_fraction
+            if (self._index.can_repair
+                    and len(self._repaired_out) + len(self._repaired_in) <= budget):
+                self._index.repair(affected_out, affected_in)
+                strategy = "repair"
+            else:
+                self._index = HubLabelIndex(network)
+                self._repaired_out.clear()
+                self._repaired_in.clear()
+                strategy = "rebuild"
+
+        mutated_set = set(mutated)
+        dropped_point = self._point_cache.drop_where(
+            lambda key, _: key[0] in affected_out or key[1] in affected_in)
+        dropped_path = self._path_cache.drop_where(
+            lambda key, path: key[0] in affected_out or key[1] in affected_in
+            or any(edge in mutated_set for edge in zip(path, path[1:])))
+        dropped_sssp = self._sssp_cache.drop_where(
+            lambda source, _: source in affected_out)
+        return TrafficRepairStats(
+            mutated_edges=len(mutated),
+            affected_sources=len(affected_out),
+            affected_targets=len(affected_in),
+            strategy=strategy,
+            dropped_point_entries=dropped_point,
+            dropped_path_entries=dropped_path,
+            dropped_sssp_entries=dropped_sssp,
+        )
+
+    # ------------------------------------------------------------------ #
     # diagnostics
     # ------------------------------------------------------------------ #
     def cache_info(self) -> Dict[str, Dict[str, int]]:
@@ -289,4 +440,4 @@ class DistanceOracle:
         return f"DistanceOracle(method={self._method!r}, queries={self.query_count})"
 
 
-__all__ = ["DistanceOracle", "LRUCache"]
+__all__ = ["DistanceOracle", "LRUCache", "TrafficRepairStats"]

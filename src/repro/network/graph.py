@@ -13,13 +13,29 @@ This captures the structure the algorithms depend on — traversal times that
 vary by time slot and peak at lunch/dinner — without requiring proprietary
 GPS traces.  A per-edge multiplier override is supported for tests and for
 modelling localised congestion.
+
+On top of the static per-edge multiplier sits a *dynamic* per-edge override
+layer owned by :mod:`repro.traffic`: traffic events (incidents, closures,
+zonal rush hours, weather) set time-varying factors through
+:meth:`RoadNetwork.set_edge_override`, so the static effective weight of an
+edge is ``base_time * multiplier * override``.  Override changes patch the
+cached CSR adjacency *in place* (no rebuild) and bump
+:attr:`RoadNetwork.mutation_epoch`.
+
+The network itself does not notify derived structures: a hub-label index or
+distance-oracle cache built before a mutation keeps its old values.  The one
+safe mutation path for a live oracle is
+:meth:`DistanceOracle.apply_traffic_updates
+<repro.network.distance_oracle.DistanceOracle.apply_traffic_updates>`, which
+wraps :meth:`set_edge_override` with incremental index repair and scoped
+cache invalidation; ``mutation_epoch`` exists so external callers can detect
+that weights moved and trigger their own refresh.
 """
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 import numpy as np
 
@@ -115,6 +131,22 @@ class CSRAdjacency:
         self.weights_list = weights.tolist()
         self.num_nodes = len(node_ids)
 
+    def edge_position(self, u_idx: int, v_idx: int) -> int:
+        """Flat position of the edge ``u_idx -> v_idx``; ``-1`` when absent.
+
+        Out-degrees of road networks are tiny (typically <= 4), so a linear
+        scan of the row is cheaper than keeping a per-edge hash map alive.
+        """
+        for pos in range(self.indptr_list[u_idx], self.indptr_list[u_idx + 1]):
+            if self.indices_list[pos] == v_idx:
+                return pos
+        return -1
+
+    def patch_weight(self, pos: int, value: float) -> None:
+        """Overwrite one edge weight in place (numpy and list views)."""
+        self.weights[pos] = value
+        self.weights_list[pos] = value
+
 
 class RoadNetwork:
     """A directed road network with time-dependent traversal times.
@@ -130,10 +162,12 @@ class RoadNetwork:
         self._adj: Dict[int, Dict[int, float]] = {}
         self._radj: Dict[int, Dict[int, float]] = {}
         self._edge_multiplier: Dict[Tuple[int, int], float] = {}
+        self._edge_override: Dict[Tuple[int, int], float] = {}
         self._num_edges = 0
         self.profile = profile if profile is not None else TimeProfile.flat()
         self._max_base_time = 0.0
         self._csr_cache: Dict[bool, CSRAdjacency] = {}
+        self._mutation_epoch = 0
 
     # ------------------------------------------------------------------ #
     # construction
@@ -144,6 +178,7 @@ class RoadNetwork:
         self._adj.setdefault(node, {})
         self._radj.setdefault(node, {})
         self._csr_cache.clear()
+        self._mutation_epoch += 1
 
     def add_edge(self, u: int, v: int, base_time: float,
                  multiplier: float = 1.0) -> None:
@@ -170,12 +205,80 @@ class RoadNetwork:
         if effective > self._max_base_time:
             self._max_base_time = effective
         self._csr_cache.clear()
+        self._mutation_epoch += 1
 
     def add_road(self, u: int, v: int, base_time: float,
                  multiplier: float = 1.0) -> None:
         """Add a two-way road (edges in both directions with equal weight)."""
         self.add_edge(u, v, base_time, multiplier)
         self.add_edge(v, u, base_time, multiplier)
+
+    # ------------------------------------------------------------------ #
+    # dynamic traffic overrides
+    # ------------------------------------------------------------------ #
+    @property
+    def mutation_epoch(self) -> int:
+        """Counter bumped by every structural or weight mutation.
+
+        Advisory: the network does not push invalidations into derived
+        structures.  Callers that hold an index or cache over this network
+        can snapshot the epoch and compare it later to detect that weights
+        moved under them.  To mutate weights under a *live*
+        :class:`~repro.network.distance_oracle.DistanceOracle`, go through
+        its ``apply_traffic_updates`` (repairs the index and evicts stale
+        cache entries) rather than calling :meth:`set_edge_override`
+        directly.
+        """
+        return self._mutation_epoch
+
+    def edge_multiplier(self, u: int, v: int) -> float:
+        """Static per-edge multiplier of the edge (``1.0`` when unset)."""
+        return self._edge_multiplier.get((u, v), 1.0)
+
+    def edge_override(self, u: int, v: int) -> float:
+        """Current dynamic traffic factor of the edge (``1.0`` = no event)."""
+        return self._edge_override.get((u, v), 1.0)
+
+    def edge_overrides(self) -> Dict[Tuple[int, int], float]:
+        """Copy of all non-unit dynamic traffic factors, keyed by edge."""
+        return dict(self._edge_override)
+
+    def set_edge_override(self, u: int, v: int, factor: float) -> float:
+        """Set the dynamic traffic factor of edge ``(u, v)``; returns the old one.
+
+        The factor layers multiplicatively on top of the base traversal time
+        and the static per-edge multiplier; ``1.0`` removes the override.
+        Unlike :meth:`add_edge`, this is a *weight-only* mutation: the cached
+        CSR adjacencies are patched in place instead of being rebuilt, so
+        array kernels keep their buffers and only the touched entries move.
+        Note this patches *only* the network; an already-built hub-label
+        index or oracle cache is not told — route live-oracle mutations
+        through ``DistanceOracle.apply_traffic_updates``.
+        """
+        if not self.has_edge(u, v):
+            raise KeyError(f"no edge ({u}, {v}) to override")
+        if not factor > 0.0 or factor != factor:
+            raise ValueError("edge override factor must be strictly positive")
+        old = self._edge_override.get((u, v), 1.0)
+        if factor == old:
+            return old
+        if factor != 1.0:
+            self._edge_override[(u, v)] = factor
+        else:
+            self._edge_override.pop((u, v), None)
+        effective = self._static_edge_time(u, v)
+        for reverse, csr in self._csr_cache.items():
+            tail, head = (v, u) if reverse else (u, v)
+            pos = csr.edge_position(csr.index_of[tail], csr.index_of[head])
+            if pos >= 0:
+                csr.patch_weight(pos, effective)
+        self._mutation_epoch += 1
+        return old
+
+    def _static_edge_time(self, u: int, v: int) -> float:
+        """Static effective weight ``base * multiplier * override``."""
+        return (self._adj[u][v] * self._edge_multiplier.get((u, v), 1.0)
+                * self._edge_override.get((u, v), 1.0))
 
     # ------------------------------------------------------------------ #
     # inspection
@@ -212,12 +315,17 @@ class RoadNetwork:
 
     def edge_time(self, u: int, v: int, t: float = 0.0) -> float:
         """``beta((u, v), t)``: traversal time of the edge at timestamp ``t``."""
-        base = self._adj[u][v]
-        mult = self._edge_multiplier.get((u, v), 1.0)
-        return base * mult * self.profile.multiplier(t)
+        return self._static_edge_time(u, v) * self.profile.multiplier(t)
 
     def max_edge_time(self, t: float = 0.0) -> float:
-        """Largest ``beta(e, t)`` over all edges, used to normalise Eq. 8."""
+        """Largest ``beta(e, t)`` over all edges, used to normalise Eq. 8.
+
+        Dynamic traffic overrides are deliberately excluded from the
+        maximum: closures encode impassability with a huge factor
+        (:data:`repro.traffic.events.CLOSURE_FACTOR`), and folding that into
+        the normalisation would collapse the travel-time term of the
+        angular blend for every ordinary edge while any closure is active.
+        """
         if self._num_edges == 0:
             return 1.0
         return self._max_base_time * self.profile.multiplier(t)
@@ -258,11 +366,13 @@ class RoadNetwork:
         weights = np.empty(self._num_edges, dtype=np.float64)
         pos = 0
         multipliers = self._edge_multiplier
+        overrides = self._edge_override
         for i, node in enumerate(node_ids):
             for nbr, base in adjacency.get(node, {}).items():
                 indices[pos] = index_of[nbr]
                 key = (nbr, node) if reverse else (node, nbr)
-                weights[pos] = base * multipliers.get(key, 1.0)
+                weights[pos] = (base * multipliers.get(key, 1.0)
+                                * overrides.get(key, 1.0))
                 pos += 1
             indptr[i + 1] = pos
         csr = CSRAdjacency(node_ids, index_of, indptr, indices[:pos], weights[:pos])

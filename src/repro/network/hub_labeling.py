@@ -40,11 +40,12 @@ from __future__ import annotations
 
 import heapq
 import math
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.network.graph import RoadNetwork
+from repro.network.shortest_path import _csr_dijkstra_all as _csr_sssp
 
 INFINITY = math.inf
 
@@ -72,6 +73,11 @@ class HubLabelIndex:
         if order is None:
             order = self._default_order(csr)
         self._order = list(order)
+        # Rank of every node index (used by incremental repair); only a
+        # complete order ranks every node, which repair requires.
+        self._rank_of: Dict[int, int] = {
+            self._index_of[hub_id]: rank for rank, hub_id in enumerate(self._order)
+            if hub_id in self._index_of}
         n = self._num_nodes
         # Per-node sorted parallel label lists (rank ascending by construction).
         self._out_ranks: List[List[int]] = [[] for _ in range(n)]
@@ -243,6 +249,71 @@ class HubLabelIndex:
         if total > len(self._arange_buf):
             self._arange_buf = np.arange(total, dtype=np.int64)
         return self._arange_buf[:total]
+
+    # ------------------------------------------------------------------ #
+    # incremental repair
+    # ------------------------------------------------------------------ #
+    @property
+    def can_repair(self) -> bool:
+        """Whether :meth:`repair` is available (every node must hold a rank)."""
+        return len(self._rank_of) == self._num_nodes
+
+    def repair(self, affected_out: Iterable[int], affected_in: Iterable[int]) -> int:
+        """Repair the index after a weight-only network mutation.
+
+        ``affected_out`` are the node ids whose *outgoing* distances may have
+        changed, ``affected_in`` those whose *incoming* distances may have
+        changed (see :meth:`DistanceOracle.apply_traffic_updates
+        <repro.network.distance_oracle.DistanceOracle.apply_traffic_updates>`
+        for how these sets are derived from the mutated edges).  Only the
+        labels of affected nodes are rebuilt — one plain CSR Dijkstra each —
+        and every other label is kept verbatim.
+
+        The repaired index answers every query exactly:
+
+        * every stored entry is a true distance (repaired labels are
+          Dijkstra-exact; untouched labels belong to nodes whose distances
+          did not change), so no query can underestimate;
+        * the 2-hop cover survives: a pair with both endpoints unaffected
+          keeps its old cover hub with unchanged distances, and any pair with
+          a repaired endpoint is covered through that endpoint itself (every
+          label contains its own node at distance zero, and the repaired
+          label stores the exact distance to/from it).
+
+        Repaired labels are dense — they enumerate every reachable hub
+        instead of the pruned 2-hop cover — trading label minimality for
+        repair speed; callers rebuild from scratch once the repaired region
+        stops being "localised" (see the oracle's rebuild fallback).
+
+        Returns the number of labels rebuilt.
+        """
+        if not self.can_repair:
+            raise ValueError("repair requires a complete hub order; rebuild instead")
+        csr = self._network.csr()
+        rcsr = self._network.csr(reverse=True)
+        rank_of = self._rank_of
+        repaired = 0
+        for node in affected_out:
+            idx = self._index_of.get(node)
+            if idx is None:
+                continue
+            entries = sorted((rank_of[i], d)
+                             for i, d in _csr_sssp(csr, idx).items())
+            self._out_ranks[idx] = [r for r, _ in entries]
+            self._out_dists[idx] = [d for _, d in entries]
+            repaired += 1
+        for node in affected_in:
+            idx = self._index_of.get(node)
+            if idx is None:
+                continue
+            entries = sorted((rank_of[i], d)
+                             for i, d in _csr_sssp(rcsr, idx).items())
+            self._in_ranks[idx] = [r for r, _ in entries]
+            self._in_dists[idx] = [d for _, d in entries]
+            repaired += 1
+        if repaired:
+            self._finalize_arrays()
+        return repaired
 
     # ------------------------------------------------------------------ #
     # queries

@@ -8,8 +8,8 @@ batch cost during clustering), and that plan's cost.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Tuple
 
 from repro.orders.order import Order
 from repro.orders.route_plan import RoutePlan

@@ -17,7 +17,7 @@ choice of shortest-path backend is orthogonal to the cost definitions.
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 from repro.network.distance_oracle import DistanceOracle
 from repro.orders.batch import Batch

@@ -16,12 +16,18 @@ accumulation windows of length Δ.  At the end of every window the engine:
 
 After the last window the simulation runs the remaining route plans to
 completion so that every assigned order is either delivered or accounted for.
+
+When the scenario carries a traffic timeline (incidents, closures, zonal
+rush hours — see :mod:`repro.traffic`), a :class:`TrafficController` is
+advanced at the start of every window, *before* vehicles move, so each
+window's movement and assignment decisions see the road weights the events
+imply for that window.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from repro.core.policy import Assignment, AssignmentPolicy
@@ -30,6 +36,7 @@ from repro.orders.costs import CostModel
 from repro.orders.order import Order
 from repro.orders.vehicle import Vehicle, VehicleState
 from repro.sim.metrics import OrderOutcome, SimulationResult, WindowRecord
+from repro.traffic.controller import TrafficController
 from repro.workload.generator import Scenario
 
 
@@ -52,17 +59,31 @@ class SimulationConfig:
             raise ValueError("delta must be positive")
         if self.end <= self.start:
             raise ValueError("simulation end must come after start")
+        if self.rejection_timeout < 0:
+            raise ValueError("rejection_timeout must be non-negative "
+                             f"(got {self.rejection_timeout})")
+        if self.omega < 0:
+            raise ValueError(f"omega must be non-negative (got {self.omega})")
+        if self.drain_seconds < 0:
+            raise ValueError("drain_seconds must be non-negative "
+                             f"(got {self.drain_seconds})")
 
 
 class Simulator:
     """Replays one scenario under one policy and collects metrics."""
 
     def __init__(self, scenario: Scenario, policy: AssignmentPolicy,
-                 cost_model: CostModel, config: Optional[SimulationConfig] = None) -> None:
+                 cost_model: CostModel, config: Optional[SimulationConfig] = None,
+                 traffic: Optional[TrafficController] = None) -> None:
         self.scenario = scenario
         self.policy = policy
         self.cost_model = cost_model
         self.config = config or SimulationConfig()
+        if traffic is None:
+            timeline = getattr(scenario, "traffic", None)
+            if timeline:
+                traffic = TrafficController(cost_model.oracle, timeline)
+        self.traffic = traffic
         self.vehicles = scenario.fresh_vehicles()
         self._vehicle_clock: Dict[int, float] = {
             v.vehicle_id: max(self.config.start, v.shift_start) for v in self.vehicles}
@@ -84,6 +105,10 @@ class Simulator:
         window_start = cfg.start
         while window_start < cfg.end:
             window_end = min(window_start + cfg.delta, cfg.end)
+            if self.traffic is not None:
+                # Weights for this window reflect the events active at its
+                # start; vehicles and the policy both see the updated network.
+                self.traffic.advance(window_start)
             self._advance_all_vehicles(window_end)
             self._ingest_orders(window_end)
             self._reject_stale_orders(window_end)
@@ -276,9 +301,14 @@ class Simulator:
 
 
 def simulate(scenario: Scenario, policy: AssignmentPolicy, cost_model: CostModel,
-             config: Optional[SimulationConfig] = None) -> SimulationResult:
-    """Convenience wrapper: build a :class:`Simulator` and run it."""
-    return Simulator(scenario, policy, cost_model, config).run()
+             config: Optional[SimulationConfig] = None,
+             traffic: Optional[TrafficController] = None) -> SimulationResult:
+    """Convenience wrapper: build a :class:`Simulator` and run it.
+
+    ``traffic`` may supply an explicit :class:`TrafficController`; by default
+    the scenario's own timeline (if any) is attached automatically.
+    """
+    return Simulator(scenario, policy, cost_model, config, traffic=traffic).run()
 
 
 __all__ = ["SimulationConfig", "Simulator", "simulate"]

@@ -16,11 +16,10 @@ The metrics match Sec. V-B of the paper:
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional
 
-from repro.network.graph import SECONDS_PER_HOUR, time_slot
+from repro.network.graph import time_slot
 from repro.orders.order import Order
 from repro.orders.vehicle import Vehicle
 

@@ -1,0 +1,40 @@
+"""Dynamic-traffic subsystem: live edge updates with incremental repair.
+
+The source paper dispatches on *dynamic* road networks; this package makes
+the reproduction's network genuinely dynamic.  It layers per-edge,
+time-varying speed factors over the base hourly congestion profile:
+
+* :mod:`repro.traffic.events` — typed :class:`TrafficEvent` objects
+  (incident, road closure, zonal rush hour, weather slowdown) with begin/end
+  times and an edge or travel-time-zone scope, collected into an immutable
+  :class:`TrafficTimeline`;
+* :mod:`repro.traffic.controller` — the :class:`TrafficController` the
+  simulator advances at each accumulation-window boundary.  Every event
+  boundary becomes a *scoped* invalidation: CSR weights are patched in
+  place, the hub-label index is repaired incrementally for the labels the
+  mutation can have touched, and only the potentially stale distance-oracle
+  cache entries are dropped (a full rebuild remains the correctness
+  fallback, and the benchmark baseline).
+
+Workload generation (:func:`repro.workload.generator.generate_traffic_timeline`)
+and scenario (de)serialisation (:mod:`repro.workload.io`) understand
+timelines, and ``python -m repro simulate --traffic heavy`` runs one from
+the command line.
+"""
+
+from repro.traffic.controller import TrafficController, TrafficLog
+from repro.traffic.events import (
+    CLOSURE_FACTOR,
+    EVENT_KINDS,
+    TrafficEvent,
+    TrafficTimeline,
+)
+
+__all__ = [
+    "TrafficEvent",
+    "TrafficTimeline",
+    "TrafficController",
+    "TrafficLog",
+    "EVENT_KINDS",
+    "CLOSURE_FACTOR",
+]

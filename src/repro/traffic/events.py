@@ -1,0 +1,166 @@
+"""Typed traffic events and the day's event timeline.
+
+The paper's "dynamic road network" is dynamic in two ways: traversal times
+follow the hourly congestion profile, *and* the network state itself shifts
+during the day — accidents, closed streets, localised rush hours, weather.
+The reproduction's base :class:`~repro.network.graph.TimeProfile` only
+captures the first kind; this module supplies the second as a timeline of
+typed :class:`TrafficEvent` objects that scale the traversal time of a
+*scoped* set of edges while active:
+
+``incident``
+    A crash or obstruction on a handful of specific edges; strong slowdown.
+``closure``
+    A road made effectively impassable.  Closures keep a huge-but-finite
+    factor (:data:`CLOSURE_FACTOR`) instead of removing the edge so the
+    graph stays strongly connected and incremental index repair remains
+    well-defined; quickest paths route around closed edges in practice.
+``rush_hour``
+    A zonal slowdown: every edge inside a travel-time ball around a centre
+    node slows down (a commercial district at lunch, a stadium letting out).
+``weather``
+    A wide-area slowdown — modelled as a large zone.
+
+Events combine multiplicatively when they overlap on an edge.  The effective
+static weight of an edge while events are active is::
+
+    base_time * static_multiplier * prod(active event factors)
+
+and the network-wide hourly profile still scales everything uniformly on
+top, so the distance kernels' "search static weights, scale once" contract
+is preserved between event boundaries.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+from repro.network.graph import RoadNetwork
+from repro.network.shortest_path import dijkstra_all
+
+#: The recognised event kinds, in the order used by generators and reports.
+EVENT_KINDS = ("incident", "closure", "rush_hour", "weather")
+
+#: Slowdown factor standing in for a full closure.  Large enough that no
+#: quickest path keeps a closed edge when any detour exists, finite so the
+#: graph stays connected (see module docstring).
+CLOSURE_FACTOR = 600.0
+
+
+@dataclass(frozen=True)
+class TrafficEvent:
+    """One time-bounded traffic disturbance with an edge or zone scope.
+
+    Exactly one scope must be given: explicit ``edges`` (directed pairs), or
+    a zone as ``zone_center`` + ``zone_radius_seconds`` (every edge whose
+    endpoints both lie within that static travel time of the centre).
+    ``factor`` scales the traversal time of every scoped edge while the
+    event is active (``start <= t < end``); closures default it to
+    :data:`CLOSURE_FACTOR`.
+    """
+
+    event_id: int
+    kind: str
+    start: float
+    end: float
+    factor: Optional[float] = None
+    edges: Tuple[Tuple[int, int], ...] = ()
+    zone_center: Optional[int] = None
+    zone_radius_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in EVENT_KINDS:
+            raise ValueError(f"unknown traffic event kind {self.kind!r}; "
+                             f"known: {EVENT_KINDS}")
+        if not self.end > self.start:
+            raise ValueError("traffic event must end after it starts")
+        if self.factor is None:
+            if self.kind != "closure":
+                raise ValueError(f"{self.kind} events require an explicit factor")
+            object.__setattr__(self, "factor", CLOSURE_FACTOR)
+        if not self.factor > 0.0 or math.isinf(self.factor):
+            raise ValueError("traffic event factor must be finite and positive")
+        has_edges = bool(self.edges)
+        has_zone = self.zone_center is not None
+        if has_edges == has_zone:
+            raise ValueError("traffic event needs exactly one scope: "
+                             "edges or zone_center")
+        if has_zone and not self.zone_radius_seconds > 0.0:
+            raise ValueError("zonal events require a positive zone_radius_seconds")
+        object.__setattr__(self, "edges",
+                           tuple((int(u), int(v)) for u, v in self.edges))
+
+    def is_active(self, t: float) -> bool:
+        """Whether the event is in force at timestamp ``t``."""
+        return self.start <= t < self.end
+
+    def scope_edges(self, network: RoadNetwork) -> Tuple[Tuple[int, int], ...]:
+        """The directed edges the event touches on ``network``.
+
+        Explicit edges are filtered to those present in the network (a
+        timeline may be replayed against a regenerated or edited network);
+        zonal scopes expand to every edge with both endpoints within the
+        zone's travel-time radius of the centre.  Zone expansion runs on the
+        *pre-traffic* weights (base times and static multipliers, ignoring
+        both the hourly profile and any currently applied event overrides),
+        so an event's scope is intrinsic to the event — it never depends on
+        which other events happen to be in force when it is expanded.
+        """
+        if self.edges:
+            return tuple(edge for edge in self.edges if network.has_edge(*edge))
+        if self.zone_center not in network:
+            return ()
+        reach = dijkstra_all(
+            network, self.zone_center, t=0.0,
+            weight=lambda u, v: network.base_time(u, v) * network.edge_multiplier(u, v),
+            cutoff=self.zone_radius_seconds)
+        zone = set(reach)
+        return tuple((u, v) for u in zone
+                     for v, _ in network.neighbors(u) if v in zone)
+
+
+@dataclass(frozen=True)
+class TrafficTimeline:
+    """An immutable day-long schedule of traffic events, sorted by start."""
+
+    events: Tuple[TrafficEvent, ...] = ()
+
+    def __post_init__(self) -> None:
+        ordered = tuple(sorted(self.events,
+                               key=lambda e: (e.start, e.end, e.event_id)))
+        object.__setattr__(self, "events", ordered)
+
+    @classmethod
+    def empty(cls) -> "TrafficTimeline":
+        return cls(())
+
+    def __bool__(self) -> bool:
+        return bool(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[TrafficEvent]:
+        return iter(self.events)
+
+    def active_at(self, t: float) -> List[TrafficEvent]:
+        """Events in force at timestamp ``t`` (sorted by start time)."""
+        return [event for event in self.events if event.is_active(t)]
+
+    def boundaries(self) -> List[float]:
+        """Sorted unique event start/end times (the controller's change points)."""
+        times = {event.start for event in self.events}
+        times.update(event.end for event in self.events)
+        return sorted(times)
+
+    def next_change_after(self, t: float) -> Optional[float]:
+        """Earliest boundary strictly after ``t``; ``None`` when the day is done."""
+        for boundary in self.boundaries():
+            if boundary > t:
+                return boundary
+        return None
+
+
+__all__ = ["TrafficEvent", "TrafficTimeline", "EVENT_KINDS", "CLOSURE_FACTOR"]

@@ -19,9 +19,11 @@ from repro.workload.city import CityProfile, CITY_A, CITY_B, CITY_C, GRUBHUB, CI
 from repro.workload.generator import (
     Restaurant,
     Scenario,
+    TRAFFIC_INTENSITIES,
     generate_scenario,
     generate_orders,
     generate_restaurants,
+    generate_traffic_timeline,
     generate_vehicles,
 )
 from repro.workload.dataset import DatasetSummary, summarize_scenario, order_vehicle_ratio_by_slot
@@ -48,7 +50,9 @@ __all__ = [
     "generate_scenario",
     "generate_orders",
     "generate_restaurants",
+    "generate_traffic_timeline",
     "generate_vehicles",
+    "TRAFFIC_INTENSITIES",
     "DatasetSummary",
     "summarize_scenario",
     "order_vehicle_ratio_by_slot",

@@ -22,7 +22,7 @@ ratio ordering of the figure (B > C > A) holds.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional, Tuple
+from typing import Callable, Dict, Tuple
 
 from repro.network.generators import grid_city, radial_city, random_geometric_city
 from repro.network.graph import RoadNetwork

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import List
 
 from repro.network.graph import SECONDS_PER_HOUR
 from repro.workload.generator import Scenario

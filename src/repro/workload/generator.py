@@ -18,16 +18,15 @@ evaluation exercises:
 
 from __future__ import annotations
 
-import math
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
-from repro.network.distance_oracle import DistanceOracle
 from repro.network.graph import RoadNetwork, SECONDS_PER_HOUR
 from repro.network.shortest_path import dijkstra_all
 from repro.orders.order import Order
 from repro.orders.vehicle import Vehicle
+from repro.traffic.events import TrafficEvent, TrafficTimeline
 from repro.workload.city import CityProfile
 
 
@@ -50,7 +49,12 @@ class Restaurant:
 
 @dataclass
 class Scenario:
-    """A fully materialised workload: network, restaurants, orders, fleet."""
+    """A fully materialised workload: network, restaurants, orders, fleet.
+
+    ``traffic`` optionally carries the day's dynamic-traffic event timeline
+    (incidents, closures, zonal rush hours); the simulator attaches a
+    :class:`~repro.traffic.controller.TrafficController` for it automatically.
+    """
 
     profile: CityProfile
     network: RoadNetwork
@@ -58,6 +62,7 @@ class Scenario:
     orders: List[Order]
     vehicles: List[Vehicle]
     seed: int
+    traffic: TrafficTimeline = field(default_factory=TrafficTimeline.empty)
 
     @property
     def name(self) -> str:
@@ -198,6 +203,75 @@ def _pick_customer(network: RoadNetwork, restaurant_node: int, radius_seconds: f
     return rng.choice(candidates)
 
 
+#: Named traffic intensities accepted by :func:`generate_traffic_timeline`
+#: and the CLI ``--traffic`` flag, as events-per-simulated-hour scale factors.
+TRAFFIC_INTENSITIES = {"none": 0.0, "light": 1.0, "heavy": 3.0}
+
+
+def generate_traffic_timeline(network: RoadNetwork, rng: random.Random,
+                              intensity: str = "light",
+                              start_hour: int = 0, end_hour: int = 24,
+                              ) -> TrafficTimeline:
+    """Generate a day's dynamic-traffic event timeline for a network.
+
+    ``intensity`` is a named level from :data:`TRAFFIC_INTENSITIES` (or a
+    numeric scale).  The mix follows what city traffic feeds report: mostly
+    short localised incidents, occasional closures, zonal rush-hour slowdowns
+    around busy nodes, and (at higher intensities) wide weather slowdowns.
+    All draws come from ``rng``, so timelines are deterministic under the
+    workload seed.
+    """
+    scale = (TRAFFIC_INTENSITIES[intensity] if isinstance(intensity, str)
+             else float(intensity))
+    hours = max(0, end_hour - start_hour)
+    edges = [(u, v) for u, v, _ in network.edges()]
+    if scale <= 0.0 or hours == 0 or not edges:
+        return TrafficTimeline.empty()
+    window = (start_hour * SECONDS_PER_HOUR, end_hour * SECONDS_PER_HOUR)
+    nodes = network.nodes
+    events: List[TrafficEvent] = []
+
+    def begin(duration: float) -> float:
+        latest = max(window[0], window[1] - duration)
+        return rng.uniform(window[0], latest)
+
+    def both_directions(u: int, v: int) -> Tuple[Tuple[int, int], ...]:
+        scope = [(u, v)]
+        if network.has_edge(v, u):
+            scope.append((v, u))
+        return tuple(scope)
+
+    for _ in range(max(1, round(0.75 * scale * hours))):
+        u, v = rng.choice(edges)
+        duration = rng.uniform(600.0, 1800.0)
+        events.append(TrafficEvent(
+            event_id=len(events), kind="incident",
+            start=(start := begin(duration)), end=start + duration,
+            factor=rng.uniform(2.0, 3.5), edges=both_directions(u, v)))
+    for _ in range(round(0.25 * scale * hours)):
+        u, v = rng.choice(edges)
+        duration = rng.uniform(1200.0, 3600.0)
+        events.append(TrafficEvent(
+            event_id=len(events), kind="closure",
+            start=(start := begin(duration)), end=start + duration,
+            edges=both_directions(u, v)))
+    for _ in range(round(0.3 * scale * hours)):
+        duration = rng.uniform(3600.0, 7200.0)
+        events.append(TrafficEvent(
+            event_id=len(events), kind="rush_hour",
+            start=(start := begin(duration)), end=start + duration,
+            factor=rng.uniform(1.3, 1.7), zone_center=rng.choice(nodes),
+            zone_radius_seconds=rng.uniform(180.0, 420.0)))
+    for _ in range(round(0.1 * scale * hours)):
+        duration = rng.uniform(3600.0, 10800.0)
+        events.append(TrafficEvent(
+            event_id=len(events), kind="weather",
+            start=(start := begin(duration)), end=start + duration,
+            factor=rng.uniform(1.15, 1.4), zone_center=rng.choice(nodes),
+            zone_radius_seconds=1200.0))
+    return TrafficTimeline(tuple(events))
+
+
 def generate_vehicles(network: RoadNetwork, profile: CityProfile,
                       rng: random.Random) -> List[Vehicle]:
     """Create the vehicle fleet, spread over the network with all-day shifts.
@@ -222,12 +296,16 @@ def generate_vehicles(network: RoadNetwork, profile: CityProfile,
 
 
 def generate_scenario(profile: CityProfile, seed: int = 0,
-                      start_hour: int = 0, end_hour: int = 24) -> Scenario:
+                      start_hour: int = 0, end_hour: int = 24,
+                      traffic: str = "none") -> Scenario:
     """Materialise a complete scenario for a city profile.
 
     ``start_hour`` / ``end_hour`` restrict the generated order stream (the
     experiments frequently simulate only the lunch window to keep runtimes
     reasonable); the fleet and restaurants are always generated in full.
+    ``traffic`` selects a dynamic-traffic intensity from
+    :data:`TRAFFIC_INTENSITIES` (``"none"`` keeps the network static, as in
+    earlier revisions).
     """
     rng = random.Random(seed)
     network = profile.network_factory()
@@ -235,15 +313,20 @@ def generate_scenario(profile: CityProfile, seed: int = 0,
     orders = generate_orders(network, restaurants, profile, rng,
                              start_hour=start_hour, end_hour=end_hour)
     vehicles = generate_vehicles(network, profile, rng)
+    timeline = generate_traffic_timeline(network, random.Random(seed + 7919),
+                                         intensity=traffic,
+                                         start_hour=start_hour, end_hour=end_hour)
     return Scenario(profile=profile, network=network, restaurants=restaurants,
-                    orders=orders, vehicles=vehicles, seed=seed)
+                    orders=orders, vehicles=vehicles, seed=seed, traffic=timeline)
 
 
 __all__ = [
     "Restaurant",
     "Scenario",
+    "TRAFFIC_INTENSITIES",
     "generate_restaurants",
     "generate_orders",
     "generate_vehicles",
+    "generate_traffic_timeline",
     "generate_scenario",
 ]

@@ -4,7 +4,7 @@ The paper releases its (anonymised) order history as static files so that
 experiments can be repeated; this module plays the same role for the
 synthetic workloads: a generated :class:`~repro.workload.generator.Scenario`
 can be written to a single JSON document (road network, restaurants, orders,
-fleet) and read back bit-for-bit, and a
+fleet, traffic-event timeline) and read back bit-for-bit, and a
 :class:`~repro.sim.metrics.SimulationResult` can be exported as JSON (summary
 plus per-order records) or CSV (per-order records only) for external
 analysis.
@@ -21,12 +21,16 @@ from repro.network.graph import RoadNetwork, TimeProfile
 from repro.orders.order import Order
 from repro.orders.vehicle import Vehicle
 from repro.sim.metrics import SimulationResult
+from repro.traffic.events import TrafficEvent, TrafficTimeline
 from repro.workload.city import CITY_PROFILES, CityProfile
 from repro.workload.generator import Restaurant, Scenario
 
 PathLike = Union[str, pathlib.Path]
 
-_FORMAT_VERSION = 1
+#: Version 2 added the optional dynamic-traffic event timeline; version-1
+#: documents (no ``traffic`` key) still load as static scenarios.
+_FORMAT_VERSION = 2
+_SUPPORTED_VERSIONS = (1, 2)
 
 
 # --------------------------------------------------------------------------- #
@@ -77,6 +81,19 @@ def scenario_to_dict(scenario: Scenario) -> Dict:
             }
             for v in scenario.vehicles
         ],
+        "traffic": [
+            {
+                "event_id": e.event_id,
+                "kind": e.kind,
+                "start": e.start,
+                "end": e.end,
+                "factor": e.factor,
+                "edges": [[u, v] for u, v in e.edges],
+                "zone_center": e.zone_center,
+                "zone_radius_seconds": e.zone_radius_seconds,
+            }
+            for e in scenario.traffic
+        ],
     }
 
 
@@ -88,7 +105,7 @@ def scenario_from_dict(payload: Dict) -> Scenario:
     metadata once the scenario is materialised).
     """
     version = payload.get("format_version")
-    if version != _FORMAT_VERSION:
+    if version not in _SUPPORTED_VERSIONS:
         raise ValueError(f"unsupported scenario format version: {version!r}")
     network_data = payload["network"]
     network = RoadNetwork(TimeProfile(tuple(network_data["profile_multipliers"])))
@@ -131,6 +148,20 @@ def scenario_from_dict(payload: Dict) -> Scenario:
         for v in payload["vehicles"]
     ]
 
+    traffic = TrafficTimeline(tuple(
+        TrafficEvent(
+            event_id=int(e["event_id"]),
+            kind=str(e["kind"]),
+            start=float(e["start"]),
+            end=float(e["end"]),
+            factor=float(e["factor"]),
+            edges=tuple((int(u), int(v)) for u, v in e["edges"]),
+            zone_center=None if e["zone_center"] is None else int(e["zone_center"]),
+            zone_radius_seconds=float(e["zone_radius_seconds"]),
+        )
+        for e in payload.get("traffic", [])
+    ))
+
     profile_name = payload["profile_name"]
     profile = CITY_PROFILES.get(profile_name)
     if profile is None:
@@ -140,7 +171,8 @@ def scenario_from_dict(payload: Dict) -> Scenario:
                               orders_per_day=len(orders),
                               mean_prep_minutes=10.0)
     return Scenario(profile=profile, network=network, restaurants=restaurants,
-                    orders=orders, vehicles=vehicles, seed=int(payload["seed"]))
+                    orders=orders, vehicles=vehicles, seed=int(payload["seed"]),
+                    traffic=traffic)
 
 
 def save_scenario(scenario: Scenario, path: PathLike) -> None:

@@ -1,6 +1,5 @@
 """Tests for FoodGraph construction (full and sparsified) and matching."""
 
-import math
 
 import pytest
 

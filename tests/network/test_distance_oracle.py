@@ -1,6 +1,5 @@
 """Tests for the DistanceOracle front end (hub-label and Dijkstra backends)."""
 
-import math
 import random
 
 import pytest

@@ -1,0 +1,205 @@
+"""Property tests: live edge updates with incremental kernel repair.
+
+The acceptance bar for the dynamic-traffic subsystem: after *any* sequence
+of weight mutations, every oracle / hub-label query must exactly match a
+from-scratch rebuild on the mutated network.
+"""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network.distance_oracle import DistanceOracle
+from repro.network.generators import grid_city, random_geometric_city
+from repro.network.graph import TimeProfile
+from repro.network.hub_labeling import HubLabelIndex
+from repro.network.shortest_path import dijkstra
+
+
+def fresh_network(seed=3, num_nodes=48):
+    return random_geometric_city(num_nodes=num_nodes,
+                                 profile=TimeProfile.flat(), seed=seed)
+
+
+def assert_matches_rebuild(oracle, network, sample_pairs=60, seed=0):
+    """Oracle distances == fresh index == Dijkstra ground truth, everywhere."""
+    rebuilt = HubLabelIndex(network)
+    rng = random.Random(seed)
+    nodes = network.nodes
+    multiplier = network.profile.multiplier(0.0)
+    pairs = [(rng.choice(nodes), rng.choice(nodes)) for _ in range(sample_pairs)]
+    for s, t in pairs:
+        got = oracle.distance(s, t, 0.0)
+        from_index = 0.0 if s == t else rebuilt.query(s, t) * multiplier
+        truth = dijkstra(network, s, t, 0.0)
+        for value in (got, from_index):
+            if math.isinf(truth):
+                assert math.isinf(value), (s, t, value, truth)
+            else:
+                assert value == pytest.approx(truth, rel=1e-9, abs=1e-6), (s, t)
+    # batched kernels see the repaired labels too
+    sources = [p[0] for p in pairs]
+    targets = [p[1] for p in pairs]
+    if oracle.method == "hub_label":
+        paired = oracle.distances(sources, targets, 0.0)
+        block = oracle.distance_matrix(sources[:10], targets[:10], 0.0)
+        for i, (s, t) in enumerate(pairs):
+            truth = dijkstra(network, s, t, 0.0)
+            assert paired[i] == pytest.approx(truth, rel=1e-9, abs=1e-6) or \
+                (math.isinf(paired[i]) and math.isinf(truth))
+        for i, s in enumerate(sources[:10]):
+            for j, t in enumerate(targets[:10]):
+                truth = dijkstra(network, s, t, 0.0)
+                assert block[i, j] == pytest.approx(truth, rel=1e-9, abs=1e-6) or \
+                    (math.isinf(block[i, j]) and math.isinf(truth))
+
+
+class TestCSRPatch:
+    def test_override_patches_cached_csr_in_place(self):
+        net = fresh_network()
+        csr = net.csr()
+        rcsr = net.csr(reverse=True)
+        u, v, base = next(iter(net.edges()))
+        net.set_edge_override(u, v, 2.0)
+        assert net.csr() is csr, "weight-only mutation must not rebuild the CSR"
+        pos = csr.edge_position(csr.index_of[u], csr.index_of[v])
+        assert csr.weights[pos] == pytest.approx(2.0 * base)
+        assert csr.weights_list[pos] == pytest.approx(2.0 * base)
+        rpos = rcsr.edge_position(rcsr.index_of[v], rcsr.index_of[u])
+        assert rcsr.weights[rpos] == pytest.approx(2.0 * base)
+
+    def test_patched_csr_equals_fresh_build(self):
+        net = fresh_network(seed=9)
+        net.csr()
+        rng = random.Random(1)
+        edges = [(u, v) for u, v, _ in net.edges()]
+        for u, v in rng.sample(edges, 8):
+            net.set_edge_override(u, v, rng.choice([0.5, 1.5, 3.0]))
+        patched = net.csr().weights.copy()
+        net._csr_cache.clear()
+        rebuilt = net.csr().weights
+        assert patched == pytest.approx(rebuilt.tolist())
+
+    def test_mutation_epoch_bumps(self):
+        net = fresh_network()
+        u, v, _ = next(iter(net.edges()))
+        epoch = net.mutation_epoch
+        net.set_edge_override(u, v, 2.0)
+        assert net.mutation_epoch == epoch + 1
+        net.set_edge_override(u, v, 2.0)  # no-op change
+        assert net.mutation_epoch == epoch + 1
+
+    def test_override_validation(self):
+        net = fresh_network()
+        with pytest.raises(KeyError):
+            net.set_edge_override(0, 0, 2.0)
+        u, v, _ = next(iter(net.edges()))
+        with pytest.raises(ValueError):
+            net.set_edge_override(u, v, 0.0)
+
+    def test_max_edge_time_ignores_overrides(self):
+        # The Eq. 8 normalisation must not be skewed by the huge closure
+        # factor: dynamic overrides are excluded from the maximum.
+        net = fresh_network()
+        u, v, _ = max(net.edges(), key=lambda e: e[2])
+        before = net.max_edge_time(0.0)
+        net.set_edge_override(u, v, 600.0)
+        assert net.max_edge_time(0.0) == pytest.approx(before)
+        net.set_edge_override(u, v, 1.0)
+        assert net.max_edge_time(0.0) == pytest.approx(before)
+
+
+class TestIncrementalRepair:
+    def test_single_increase_matches_rebuild(self):
+        net = fresh_network()
+        oracle = DistanceOracle(net, method="hub_label")
+        u, v, _ = next(iter(net.edges()))
+        stats = oracle.apply_traffic_updates({(u, v): 2.5})
+        assert stats.strategy in {"repair", "rebuild"}
+        assert_matches_rebuild(oracle, net)
+
+    def test_decrease_and_revert_match_rebuild(self):
+        net = fresh_network(seed=5)
+        oracle = DistanceOracle(net, method="hub_label")
+        u, v, _ = next(iter(net.edges()))
+        oracle.apply_traffic_updates({(u, v): 0.4})
+        assert_matches_rebuild(oracle, net, seed=1)
+        oracle.apply_traffic_updates({(u, v): 1.0})
+        assert_matches_rebuild(oracle, net, seed=2)
+
+    def test_warm_caches_never_serve_stale_values(self):
+        net = fresh_network(seed=7)
+        oracle = DistanceOracle(net, method="hub_label")
+        rng = random.Random(3)
+        nodes = net.nodes
+        pairs = [(rng.choice(nodes), rng.choice(nodes)) for _ in range(200)]
+        for s, t in pairs:
+            oracle.distance(s, t, 0.0)
+            oracle.path(s, t)
+        edges = [(u, v) for u, v, _ in net.edges()]
+        u, v = rng.choice(edges)
+        oracle.apply_traffic_updates({(u, v): 3.0})
+        for s, t in pairs:
+            assert oracle.distance(s, t, 0.0) == pytest.approx(
+                dijkstra(net, s, t, 0.0), rel=1e-9, abs=1e-6)
+            path = oracle.path(s, t)
+            length = sum(net.edge_time(a, b, 0.0) for a, b in zip(path, path[1:]))
+            assert length == pytest.approx(dijkstra(net, s, t, 0.0),
+                                           rel=1e-9, abs=1e-6)
+
+    def test_noop_update_reports_noop(self):
+        net = fresh_network()
+        oracle = DistanceOracle(net, method="hub_label")
+        u, v, _ = next(iter(net.edges()))
+        assert oracle.apply_traffic_updates({(u, v): 1.0}).strategy == "noop"
+        assert oracle.apply_traffic_updates({}).strategy == "noop"
+
+    def test_dijkstra_backend_scoped_invalidation(self):
+        net = grid_city(rows=4, cols=4, block_km=0.5, diagonal_fraction=0.0,
+                        congested_fraction=0.0, profile=TimeProfile.flat(), seed=3)
+        oracle = DistanceOracle(net, method="dijkstra")
+        rng = random.Random(0)
+        nodes = net.nodes
+        pairs = [(rng.choice(nodes), rng.choice(nodes)) for _ in range(80)]
+        for s, t in pairs:
+            oracle.distance(s, t, 0.0)
+        stats = oracle.apply_traffic_updates({(0, 1): 4.0})
+        assert stats.strategy == "dijkstra"
+        for s, t in pairs:
+            assert oracle.distance(s, t, 0.0) == pytest.approx(
+                dijkstra(net, s, t, 0.0), rel=1e-9, abs=1e-6)
+
+    def test_rebuild_fallback_after_large_mutations(self):
+        net = fresh_network(seed=11)
+        oracle = DistanceOracle(net, method="hub_label")
+        rng = random.Random(2)
+        edges = [(u, v) for u, v, _ in net.edges()]
+        strategies = set()
+        for trial in range(6):
+            changes = {edge: rng.choice([0.3, 2.0, 5.0])
+                       for edge in rng.sample(edges, 6)}
+            strategies.add(oracle.apply_traffic_updates(changes).strategy)
+        assert "rebuild" in strategies, \
+            "large cumulative mutations must trigger the full-rebuild fallback"
+        assert_matches_rebuild(oracle, net, seed=3)
+
+    @given(seed=st.integers(min_value=0, max_value=200))
+    @settings(max_examples=12, deadline=None)
+    def test_random_mutation_sequences_match_rebuild(self, seed):
+        rng = random.Random(seed)
+        net = fresh_network(seed=seed % 5, num_nodes=36)
+        oracle = DistanceOracle(net, method="hub_label")
+        edges = [(u, v) for u, v, _ in net.edges()]
+        nodes = net.nodes
+        for step in range(3):
+            changes = {}
+            for edge in rng.sample(edges, rng.randint(1, 3)):
+                changes[edge] = rng.choice([0.25, 0.5, 1.0, 2.0, 8.0, 600.0])
+            # interleave queries so caches are warm when mutations land
+            for _ in range(10):
+                oracle.distance(rng.choice(nodes), rng.choice(nodes), 0.0)
+            oracle.apply_traffic_updates(changes)
+        assert_matches_rebuild(oracle, net, sample_pairs=40, seed=seed)

@@ -11,7 +11,6 @@ from repro.network.generators import grid_city
 from repro.network.graph import TimeProfile
 from repro.orders.costs import CostModel, shortest_delivery_time
 from repro.orders.order import Order
-from repro.orders.vehicle import Vehicle
 
 
 def order_on_grid(order_id, restaurant, customer, placed_at=0.0, prep=0.0, items=1):

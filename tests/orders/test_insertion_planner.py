@@ -4,9 +4,6 @@ import random
 
 import pytest
 
-from repro.network.distance_oracle import DistanceOracle
-from repro.network.generators import grid_city
-from repro.network.graph import TimeProfile
 from repro.orders.costs import CostModel
 from repro.orders.order import Order
 from repro.orders.route_plan import best_route_plan, insertion_route_plan

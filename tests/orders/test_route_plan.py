@@ -1,6 +1,5 @@
 """Tests for route-plan enumeration and evaluation."""
 
-import itertools
 import math
 
 import pytest

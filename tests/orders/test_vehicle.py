@@ -3,7 +3,7 @@
 import pytest
 
 from repro.orders.route_plan import PlanEvaluation, RoutePlan, RouteStop
-from repro.orders.vehicle import Vehicle, VehicleState
+from repro.orders.vehicle import VehicleState
 
 
 def make_plan(order, start_node=0):

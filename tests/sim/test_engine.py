@@ -12,7 +12,7 @@ from repro.network.graph import TimeProfile
 from repro.orders.costs import CostModel
 from repro.orders.order import Order
 from repro.orders.vehicle import Vehicle
-from repro.sim.engine import SimulationConfig, Simulator, simulate
+from repro.sim.engine import SimulationConfig, simulate
 from repro.workload.city import CityProfile
 from repro.workload.generator import Scenario
 
@@ -247,3 +247,20 @@ class TestConfigValidation:
     def test_rejects_inverted_horizon(self):
         with pytest.raises(ValueError):
             SimulationConfig(start=100.0, end=50.0)
+
+    def test_rejects_negative_rejection_timeout(self):
+        with pytest.raises(ValueError, match="rejection_timeout"):
+            SimulationConfig(rejection_timeout=-1.0)
+
+    def test_rejects_negative_omega(self):
+        with pytest.raises(ValueError, match="omega"):
+            SimulationConfig(omega=-7200.0)
+
+    def test_rejects_negative_drain(self):
+        with pytest.raises(ValueError, match="drain_seconds"):
+            SimulationConfig(drain_seconds=-0.5)
+
+    def test_zero_timeouts_are_allowed(self):
+        config = SimulationConfig(rejection_timeout=0.0, omega=0.0,
+                                  drain_seconds=0.0)
+        assert config.rejection_timeout == 0.0

@@ -26,6 +26,13 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["simulate", "--policy", "oracle"])
 
+    def test_traffic_flag(self):
+        args = build_parser().parse_args(["simulate", "--traffic", "heavy"])
+        assert args.traffic == "heavy"
+        assert build_parser().parse_args(["compare"]).traffic == "none"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--traffic", "gridlock"])
+
     def test_figure_requires_name(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["figure"])

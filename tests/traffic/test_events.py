@@ -1,0 +1,123 @@
+"""Tests for traffic events and the event timeline."""
+
+import pytest
+
+from repro.network.generators import grid_city
+from repro.network.graph import TimeProfile
+from repro.traffic.events import CLOSURE_FACTOR, TrafficEvent, TrafficTimeline
+
+
+def flat_grid():
+    return grid_city(rows=5, cols=5, block_km=0.5, diagonal_fraction=0.0,
+                     congested_fraction=0.0, profile=TimeProfile.flat(), seed=3)
+
+
+def incident(event_id=0, start=100.0, end=200.0, factor=2.0, edges=((0, 1),)):
+    return TrafficEvent(event_id=event_id, kind="incident", start=start, end=end,
+                        factor=factor, edges=edges)
+
+
+class TestEventValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown traffic event kind"):
+            TrafficEvent(0, "meteor", 0.0, 1.0, factor=2.0, edges=((0, 1),))
+
+    def test_end_must_follow_start(self):
+        with pytest.raises(ValueError, match="end after it starts"):
+            incident(start=200.0, end=200.0)
+
+    @pytest.mark.parametrize("factor", [0.0, -1.0, float("inf")])
+    def test_factor_must_be_finite_positive(self, factor):
+        with pytest.raises(ValueError, match="finite and positive"):
+            incident(factor=factor)
+
+    def test_non_closure_requires_factor(self):
+        with pytest.raises(ValueError, match="require an explicit factor"):
+            TrafficEvent(0, "incident", 0.0, 1.0, edges=((0, 1),))
+
+    def test_closure_defaults_to_closure_factor(self):
+        event = TrafficEvent(0, "closure", 0.0, 1.0, edges=((0, 1),))
+        assert event.factor == CLOSURE_FACTOR
+
+    def test_exactly_one_scope_required(self):
+        with pytest.raises(ValueError, match="exactly one scope"):
+            TrafficEvent(0, "incident", 0.0, 1.0, factor=2.0)
+        with pytest.raises(ValueError, match="exactly one scope"):
+            TrafficEvent(0, "incident", 0.0, 1.0, factor=2.0,
+                         edges=((0, 1),), zone_center=3)
+
+    def test_zone_requires_positive_radius(self):
+        with pytest.raises(ValueError, match="positive zone_radius_seconds"):
+            TrafficEvent(0, "rush_hour", 0.0, 1.0, factor=1.5, zone_center=3)
+
+    def test_is_active_half_open(self):
+        event = incident(start=100.0, end=200.0)
+        assert not event.is_active(99.9)
+        assert event.is_active(100.0)
+        assert event.is_active(199.9)
+        assert not event.is_active(200.0)
+
+
+class TestEventScope:
+    def test_explicit_edges_filtered_to_network(self):
+        net = flat_grid()
+        event = incident(edges=((0, 1), (0, 999)))
+        assert event.scope_edges(net) == ((0, 1),)
+
+    def test_zone_scope_contains_edges_near_centre_only(self):
+        net = flat_grid()
+        center = net.nodes[12]
+        event = TrafficEvent(0, "rush_hour", 0.0, 1.0, factor=1.5,
+                             zone_center=center,
+                             zone_radius_seconds=net.edge_time(0, 1, 0.0) * 1.1)
+        scope = event.scope_edges(net)
+        assert scope, "zone around a grid node must cover its incident edges"
+        touched = {node for edge in scope for node in edge}
+        assert center in touched
+        # both endpoints of every scoped edge lie inside the small zone
+        for u, v in scope:
+            assert net.has_edge(u, v)
+
+    def test_zone_with_unknown_centre_is_empty(self):
+        net = flat_grid()
+        event = TrafficEvent(0, "rush_hour", 0.0, 1.0, factor=1.5,
+                             zone_center=999, zone_radius_seconds=60.0)
+        assert event.scope_edges(net) == ()
+
+    def test_zone_scope_ignores_applied_overrides(self):
+        # An event's scope is intrinsic: applying another event's slowdown
+        # (or leaving residual overrides from an earlier run on a cached
+        # network) must not shrink or grow the zone.
+        net = flat_grid()
+        event = TrafficEvent(0, "rush_hour", 0.0, 1.0, factor=1.5,
+                             zone_center=net.nodes[12],
+                             zone_radius_seconds=net.edge_time(0, 1, 0.0) * 2.1)
+        clean_scope = event.scope_edges(net)
+        for u, v in clean_scope:
+            net.set_edge_override(u, v, 600.0)
+        assert event.scope_edges(net) == clean_scope
+        for u, v in clean_scope:
+            net.set_edge_override(u, v, 1.0)
+
+
+class TestTimeline:
+    def test_events_sorted_by_start(self):
+        late = incident(event_id=0, start=500.0, end=600.0)
+        early = incident(event_id=1, start=100.0, end=900.0)
+        timeline = TrafficTimeline((late, early))
+        assert [e.event_id for e in timeline] == [1, 0]
+
+    def test_active_at_and_boundaries(self):
+        a = incident(event_id=0, start=100.0, end=300.0)
+        b = incident(event_id=1, start=200.0, end=400.0)
+        timeline = TrafficTimeline((a, b))
+        assert [e.event_id for e in timeline.active_at(250.0)] == [0, 1]
+        assert [e.event_id for e in timeline.active_at(350.0)] == [1]
+        assert timeline.boundaries() == [100.0, 200.0, 300.0, 400.0]
+        assert timeline.next_change_after(250.0) == 300.0
+        assert timeline.next_change_after(400.0) is None
+
+    def test_empty_timeline_is_falsy(self):
+        assert not TrafficTimeline.empty()
+        assert len(TrafficTimeline.empty()) == 0
+        assert bool(TrafficTimeline((incident(),)))

@@ -5,11 +5,13 @@ import random
 import pytest
 
 from repro.network.graph import SECONDS_PER_HOUR
+from repro.traffic.events import EVENT_KINDS
 from repro.workload.city import CITY_A
 from repro.workload.generator import (
     generate_orders,
     generate_restaurants,
     generate_scenario,
+    generate_traffic_timeline,
     generate_vehicles,
 )
 
@@ -136,3 +138,33 @@ class TestScenario:
         b = generate_scenario(profile, seed=2, start_hour=12, end_hour=13)
         assert ([o.placed_at for o in a.orders] != [o.placed_at for o in b.orders]
                 or [v.node for v in a.vehicles] != [v.node for v in b.vehicles])
+
+
+class TestTrafficTimelineGeneration:
+    def test_none_intensity_is_empty(self, profile):
+        scenario = generate_scenario(profile, seed=1, start_hour=12, end_hour=13)
+        assert len(scenario.traffic) == 0
+
+    def test_events_fall_inside_simulated_window(self, network):
+        timeline = generate_traffic_timeline(network, random.Random(4),
+                                             intensity="heavy",
+                                             start_hour=12, end_hour=14)
+        assert timeline
+        for event in timeline:
+            assert event.kind in EVENT_KINDS
+            assert event.start >= 12 * SECONDS_PER_HOUR
+            assert event.start < 14 * SECONDS_PER_HOUR
+
+    def test_heavy_generates_more_events_than_light(self, network):
+        light = generate_traffic_timeline(network, random.Random(4), "light",
+                                          start_hour=0, end_hour=24)
+        heavy = generate_traffic_timeline(network, random.Random(4), "heavy",
+                                          start_hour=0, end_hour=24)
+        assert len(heavy) > len(light) > 0
+
+    def test_deterministic_under_seed(self, network):
+        a = generate_traffic_timeline(network, random.Random(7), "light",
+                                      start_hour=10, end_hour=16)
+        b = generate_traffic_timeline(network, random.Random(7), "light",
+                                      start_hour=10, end_hour=16)
+        assert a == b

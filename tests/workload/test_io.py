@@ -89,6 +89,38 @@ class TestScenarioRoundTrip:
         assert result.windows
 
 
+class TestTrafficTimelineRoundTrip:
+    @pytest.fixture(scope="class")
+    def traffic_scenario(self):
+        return generate_scenario(CITY_A.scaled(0.2), seed=4,
+                                 start_hour=12, end_hour=13, traffic="heavy")
+
+    def test_round_trip_preserves_events(self, traffic_scenario):
+        assert traffic_scenario.traffic, "precondition: events generated"
+        restored = scenario_from_dict(scenario_to_dict(traffic_scenario))
+        assert len(restored.traffic) == len(traffic_scenario.traffic)
+        for original, loaded in zip(traffic_scenario.traffic, restored.traffic):
+            assert loaded == original  # frozen dataclass equality, field by field
+
+    def test_file_round_trip_with_traffic(self, traffic_scenario, tmp_path):
+        path = tmp_path / "traffic_scenario.json"
+        save_scenario(traffic_scenario, path)
+        restored = load_scenario(path)
+        assert restored.traffic.boundaries() == \
+            traffic_scenario.traffic.boundaries()
+
+    def test_version_1_payload_loads_as_static(self, scenario):
+        payload = scenario_to_dict(scenario)
+        payload["format_version"] = 1
+        del payload["traffic"]
+        restored = scenario_from_dict(payload)
+        assert len(restored.traffic) == 0
+
+    def test_empty_timeline_round_trips(self, scenario):
+        restored = scenario_from_dict(scenario_to_dict(scenario))
+        assert len(restored.traffic) == 0
+
+
 class TestResultExport:
     def test_result_to_dict_structure(self, result):
         payload = result_to_dict(result)
