@@ -48,5 +48,5 @@ def test_ablation_dijkstra_oracle(benchmark, oracle_workload):
     hub = DistanceOracle(network, method="hub_label")
     reference = [hub.distance(u, v, t) for u, v, t in queries]
     # Both backends must agree exactly; only their cost differs.
-    for fast, exact in zip(distances, reference):
+    for fast, exact in zip(distances, reference, strict=True):
         assert fast == pytest.approx(exact, rel=1e-9, abs=1e-6)

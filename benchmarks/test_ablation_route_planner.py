@@ -58,7 +58,7 @@ def test_ablation_insertion_planner(benchmark, planner_tools):
                    for orders in instances]
     # The heuristic can never beat the optimum and stays within a modest gap
     # on MAXO-sized batches (quality of the design choice, not just speed).
-    for heuristic, exact in zip(heuristic_costs, exact_costs):
+    for heuristic, exact in zip(heuristic_costs, exact_costs, strict=True):
         assert heuristic >= exact - 1e-9
     total_exact = sum(exact_costs)
     total_heuristic = sum(heuristic_costs)

@@ -8,7 +8,7 @@ def test_fig6a_order_vehicle_ratio(benchmark, record_figure):
     result = run_once(benchmark, figures.fig6a_order_vehicle_ratio, scale=0.3)
     record_figure(result, "fig6a_order_vehicle_ratio.txt")
     series = result.data["series"]
-    for city, ratios in series.items():
+    for ratios in series.values():
         assert len(ratios) == 24
         # Lunch and dinner peaks dominate the early morning, as in the paper.
         assert max(ratios[12:15]) > ratios[4]

@@ -14,6 +14,9 @@ public API is organised by layer:
 * :mod:`repro.sim` — the accumulation-window day simulator and metrics.
 * :mod:`repro.traffic` — dynamic-traffic events (incidents, closures, zonal
   rush hours) replayed live with incremental distance-index repair.
+* :mod:`repro.fleet` — driver-lifecycle dynamics (shift schedules, surge
+  onboarding and zonal drains, stochastic offer rejection, kitchen delays,
+  idle repositioning).
 * :mod:`repro.experiments` — runners, parameter sweeps and per-figure
   reproduction harnesses.
 
@@ -36,8 +39,16 @@ from repro.core import (
 )
 from repro.sim import SimulationConfig, SimulationResult, simulate
 from repro.traffic import TrafficController, TrafficEvent, TrafficTimeline
+from repro.fleet import (
+    DriverBehavior,
+    FleetController,
+    FleetEvent,
+    FleetPlan,
+    FleetTimeline,
+    ShiftSchedule,
+)
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 
 def quickstart(seed: int = 0):
@@ -81,6 +92,12 @@ __all__ = [
     "TrafficEvent",
     "TrafficTimeline",
     "TrafficController",
+    "ShiftSchedule",
+    "FleetEvent",
+    "FleetTimeline",
+    "FleetPlan",
+    "DriverBehavior",
+    "FleetController",
     "quickstart",
     "__version__",
 ]

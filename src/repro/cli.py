@@ -13,7 +13,7 @@ Three subcommands cover the common workflows without writing any Python:
 Examples::
 
     python -m repro simulate --city CityA --policy foodmatch --scale 0.3 \
-        --start-hour 12 --end-hour 13 --traffic heavy
+        --start-hour 12 --end-hour 13 --traffic heavy --fleet full
     python -m repro compare --city CityB --policies foodmatch greedy km \
         --scale 0.1 --vehicle-fraction 0.4
     python -m repro figure --name fig8abc_eta_sweep
@@ -35,7 +35,7 @@ from repro.experiments.runner import (
     run_setting,
 )
 from repro.workload.city import CITY_PROFILES
-from repro.workload.generator import TRAFFIC_INTENSITIES
+from repro.workload.generator import FLEET_MODES, TRAFFIC_INTENSITIES
 
 _FIGURE_FUNCTIONS = {
     "table2": figures.table2_dataset_summary,
@@ -53,6 +53,7 @@ _FIGURE_FUNCTIONS = {
     "fig8hijk_k_sweep": figures.fig8hijk_k_sweep,
     "fig9_gamma_sweep": figures.fig9_gamma_sweep,
     "traffic_robustness": figures.traffic_robustness,
+    "fleet_robustness": figures.fleet_robustness,
 }
 
 _COMPARE_METRICS = ("xdt_hours_per_day", "orders_per_km", "waiting_hours_per_day",
@@ -83,6 +84,12 @@ def build_parser() -> argparse.ArgumentParser:
                          default="none",
                          help="dynamic-traffic intensity: incidents, closures and "
                               "zonal slowdowns replayed during the simulation "
+                              "(default: none)")
+        sub.add_argument("--fleet", choices=list(FLEET_MODES), default="none",
+                         help="driver-lifecycle realism: 'shifts' adds "
+                              "login/logout/break schedules, 'full' adds surge "
+                              "onboarding, zonal drains, stochastic offer "
+                              "rejection, kitchen delays and idle repositioning "
                               "(default: none)")
 
     simulate = subparsers.add_parser("simulate", help="run one policy on one city")
@@ -115,6 +122,7 @@ def _setting_from_args(args: argparse.Namespace) -> ExperimentSetting:
         vehicle_fraction=args.vehicle_fraction,
         seed=args.seed,
         traffic=args.traffic,
+        fleet=args.fleet,
     )
 
 

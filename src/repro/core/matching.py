@@ -119,7 +119,7 @@ def _solve_dense(matrix: List[List[float]]) -> List[Tuple[int, int]]:
         return []
     if _linear_sum_assignment is not None:
         row_ind, col_ind = _linear_sum_assignment(np.asarray(matrix, dtype=np.float64))
-        return list(zip(row_ind.tolist(), col_ind.tolist()))
+        return list(zip(row_ind.tolist(), col_ind.tolist(), strict=True))
     rows, cols = len(matrix), len(matrix[0])
     if rows > cols:
         transposed = [[matrix[r][c] for r in range(rows)] for c in range(cols)]

@@ -27,6 +27,7 @@ from repro.experiments.runner import (
 from repro.experiments.sweeps import (
     sweep_delta,
     sweep_eta,
+    sweep_fleet,
     sweep_gamma,
     sweep_k,
     sweep_traffic,
@@ -56,6 +57,7 @@ __all__ = [
     "sweep_gamma",
     "sweep_k",
     "sweep_traffic",
+    "sweep_fleet",
     "sweep_vehicles",
     "figures",
 ]

@@ -96,7 +96,7 @@ def improvement_with_spread(baseline: CrossValidationReport,
     base_values = baseline.metrics[metric].values
     cand_values = candidate.metrics[metric].values
     improvements = []
-    for base, cand in zip(base_values, cand_values):
+    for base, cand in zip(base_values, cand_values, strict=True):
         if base == 0:
             continue
         improvements.append(100.0 * (base - cand) / base)

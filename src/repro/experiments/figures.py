@@ -43,6 +43,7 @@ from repro.experiments.runner import (
 from repro.experiments.sweeps import (
     sweep_delta,
     sweep_eta,
+    sweep_fleet,
     sweep_gamma,
     sweep_gamma_rejections,
     sweep_k,
@@ -168,7 +169,7 @@ def fig4a_percentile_ranks(setting: Optional[ExperimentSetting] = None,
                 matrix = oracle.distance_matrix(
                     [a.vehicle.node for a in assignments], restaurant_nodes,
                     window_end)
-                for row, assignment in zip(matrix, assignments):
+                for row, assignment in zip(matrix, assignments, strict=True):
                     target = assignment.orders[0]
                     distances = sorted(row.tolist())
                     assigned_distance = float(
@@ -416,7 +417,7 @@ def fig7a_ablation(settings: Optional[Mapping[str, ExperimentSetting]] = None,
     for city, setting in settings.items():
         base_xdt = _averaged_metric(setting, PolicySpec.of("km"), seeds, xdt)
         data[city] = {}
-        for label, spec in zip(layer_labels, layers):
+        for label, spec in zip(layer_labels, layers, strict=True):
             layer_xdt = _averaged_metric(setting, spec, seeds, xdt)
             data[city][label] = improvement_percent(base_xdt, layer_xdt)
     rows = [[city] + [values[label] for label in layer_labels]
@@ -569,6 +570,39 @@ def traffic_robustness(setting: Optional[ExperimentSetting] = None,
                         data, text)
 
 
+def fleet_robustness(setting: Optional[ExperimentSetting] = None,
+                     policies: Sequence[str] = ("foodmatch", "greedy"),
+                     modes: Sequence[str] = ("none", "shifts", "full"),
+                     ) -> FigureResult:
+    """Robustness under supply dynamics: policy quality vs fleet realism.
+
+    Replays the same lunch-peak workload with increasingly realistic driver
+    lifecycles (shift schedules with breaks; plus surge onboarding, zonal
+    drains, stochastic offer rejection, kitchen delays and hot-spot
+    repositioning — see :mod:`repro.fleet`) and reports how each policy's
+    delivery quality degrades, alongside the volume of driver declines and
+    forced handoffs the dynamics injected.  This is the supply-side twin of
+    :func:`traffic_robustness`.
+    """
+    setting = setting or ExperimentSetting(profile=CITY_A, scale=0.3,
+                                           start_hour=12, end_hour=13,
+                                           vehicle_fraction=0.6)
+    data: Dict[str, object] = {"modes": list(modes)}
+    series: Dict[str, List[float]] = {}
+    for policy in policies:
+        sweep = sweep_fleet(setting, PolicySpec.of(policy), modes=modes)
+        series[f"{policy} xdt_hours"] = sweep.series("xdt_hours_per_day")
+        series[f"{policy} rejections"] = [100.0 * v
+                                          for v in sweep.series("rejection_rate")]
+        series[f"{policy} declines"] = sweep.series("driver_declines")
+        series[f"{policy} handoffs"] = sweep.series("fleet_handoffs")
+    text = format_series(series, "fleet", list(modes),
+                         title="Fleet robustness — quality vs driver-lifecycle realism")
+    data["series"] = series
+    return FigureResult("Fleet", "Robustness under driver-lifecycle dynamics",
+                        data, text)
+
+
 __all__ = [
     "FigureResult",
     "default_settings",
@@ -587,4 +621,5 @@ __all__ = [
     "fig8hijk_k_sweep",
     "fig9_gamma_sweep",
     "traffic_robustness",
+    "fleet_robustness",
 ]

@@ -68,6 +68,20 @@ class ExperimentSetting:
         Dynamic-traffic intensity (``"none"``, ``"light"`` or ``"heavy"``);
         non-``"none"`` settings generate an event timeline the simulator
         replays through a :class:`~repro.traffic.TrafficController`.
+    fleet:
+        Driver-lifecycle mode (``"none"``, ``"shifts"`` or ``"full"``);
+        non-``"none"`` settings generate a fleet plan (shift schedules,
+        supply events, behaviour model) the simulator replays through a
+        :class:`~repro.fleet.FleetController`.  ``"none"`` is bit-for-bit
+        the static always-online fleet of earlier revisions.
+    repair_fraction:
+        Optional override of
+        :attr:`DistanceOracle.repair_fraction
+        <repro.network.distance_oracle.DistanceOracle.repair_fraction>` for
+        this setting's cached oracle — the fraction of hub labels that may
+        be incrementally repaired before a traffic update falls back to a
+        full index rebuild.  Long heavy-traffic sweeps raise it to keep the
+        shared oracle on the scoped-repair path.
     """
 
     profile: CityProfile
@@ -78,6 +92,8 @@ class ExperimentSetting:
     vehicle_fraction: float = 1.0
     seed: int = 0
     traffic: str = "none"
+    fleet: str = "none"
+    repair_fraction: Optional[float] = None
 
     def resolved_delta(self) -> float:
         return self.delta if self.delta is not None else self.profile.accumulation_window
@@ -128,7 +144,7 @@ _SCENARIO_CACHE: Dict[Tuple, Tuple[Scenario, DistanceOracle]] = {}
 def _setting_key(setting: ExperimentSetting) -> Tuple:
     return (setting.profile.name, round(setting.scale, 6), setting.start_hour,
             setting.end_hour, round(setting.vehicle_fraction, 6), setting.seed,
-            setting.traffic)
+            setting.traffic, setting.fleet)
 
 
 def materialize(setting: ExperimentSetting) -> Tuple[Scenario, DistanceOracle]:
@@ -144,7 +160,8 @@ def materialize(setting: ExperimentSetting) -> Tuple[Scenario, DistanceOracle]:
     scenario = generate_scenario(profile, seed=setting.seed,
                                  start_hour=setting.start_hour,
                                  end_hour=setting.end_hour,
-                                 traffic=setting.traffic)
+                                 traffic=setting.traffic,
+                                 fleet=setting.fleet)
     oracle = DistanceOracle(scenario.network)
     _SCENARIO_CACHE[key] = (scenario, oracle)
     return scenario, oracle
@@ -162,6 +179,13 @@ def run_setting(setting: ExperimentSetting, policy_spec: PolicySpec,
                 ) -> SimulationResult:
     """Run one policy on one materialised setting and return its result."""
     scenario, oracle = materialize(setting)
+    if setting.repair_fraction is not None:
+        oracle.repair_fraction = setting.repair_fraction
+    else:
+        # The oracle is cached and shared; drop any instance override a
+        # previous run with an explicit repair_fraction left behind so this
+        # run sees the documented class default again.
+        oracle.__dict__.pop("repair_fraction", None)
     cost_model = CostModel(oracle)
     policy = build_policy(policy_spec.name, cost_model, **policy_spec.options_dict())
     config = SimulationConfig(
@@ -181,9 +205,21 @@ def run_averaged(setting: ExperimentSetting, policy_spec: PolicySpec,
 def run_policy_comparison(setting: ExperimentSetting,
                           policy_specs: Sequence[PolicySpec],
                           ) -> Dict[str, SimulationResult]:
-    """Run several policies on the *same* workload and return results by name."""
+    """Run several policies on the *same* workload and return results by name.
+
+    The policies share one cached scenario and distance oracle; before every
+    run the oracle's traffic state is reset (overrides cleared through the
+    exact repair path, cumulative repair accounting and memoised caches
+    dropped) so each policy replays the timeline from the same pristine
+    state — including the first one, which would otherwise inherit whatever
+    overrides an earlier run of the same cached setting left applied at its
+    end of day.  Long heavy-traffic comparisons therefore no longer
+    accumulate repairs until they drift into periodic full index rebuilds.
+    """
     results: Dict[str, SimulationResult] = {}
+    _, oracle = materialize(setting)
     for spec in policy_specs:
+        oracle.reset_traffic_state()
         results[spec.name] = run_setting(setting, spec)
     return results
 

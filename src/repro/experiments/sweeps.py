@@ -118,6 +118,27 @@ def sweep_traffic(setting: ExperimentSetting, policy: PolicySpec,
     return sweep
 
 
+def sweep_fleet(setting: ExperimentSetting, policy: PolicySpec,
+                modes: Sequence[str] = ("none", "shifts", "full"),
+                ) -> SweepResult:
+    """Robustness under supply dynamics: vary the fleet-lifecycle mode.
+
+    The same workload is replayed with increasingly realistic driver
+    lifecycles — static always-online fleet, staggered shift schedules with
+    breaks, and full dynamics (surge onboarding, zonal drains, stochastic
+    offer rejection, kitchen delays, hot-spot repositioning — see
+    :mod:`repro.fleet`).  Like :func:`sweep_traffic`, the sweep parameter is
+    the mode's index in ``modes`` and :attr:`SweepResult.labels` keeps the
+    names.
+    """
+    sweep = SweepResult(parameter="fleet")
+    sweep.labels = list(modes)
+    for position, mode in enumerate(modes):
+        varied = replace(setting, fleet=mode)
+        sweep.record(float(position), run_setting(varied, policy))
+    return sweep
+
+
 def sweep_gamma(setting: ExperimentSetting, gammas: Sequence[float] = (0.1, 0.3, 0.5, 0.7, 0.9),
                 base_options: Optional[Dict[str, object]] = None) -> SweepResult:
     """Vary the angular-distance weighting γ (Fig. 9(a)-(c))."""
@@ -152,4 +173,5 @@ __all__ = [
     "sweep_gamma",
     "sweep_gamma_rejections",
     "sweep_traffic",
+    "sweep_fleet",
 ]

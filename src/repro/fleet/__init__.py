@@ -1,0 +1,65 @@
+"""Driver-lifecycle subsystem: shifts, behaviour and idle repositioning.
+
+The source paper dispatches against a *live* fleet — drivers log in and out
+over the day, decline offers, wait at restaurants for food, and drift back
+toward demand between orders.  This package is the supply-side twin of
+:mod:`repro.traffic`:
+
+* :mod:`repro.fleet.shifts` — per-vehicle :class:`ShiftSchedule` timelines
+  (login/logout epochs, mid-day breaks) plus the :class:`FleetTimeline` of
+  typed supply events (:class:`FleetEvent`: surge onboarding, zonal driver
+  drain), mirroring the traffic timeline's scope/overlap design;
+* :mod:`repro.fleet.behavior` — the seeded :class:`DriverBehavior` model:
+  stochastic offer rejection (per-vehicle propensity, distance- and
+  batch-size-sensitive), and per-order kitchen delays that hold vehicles at
+  the pickup;
+* :mod:`repro.fleet.repositioning` — idle-vehicle policies (``stay``,
+  ``hotspot``, ``demand``) whose candidate selection runs through the
+  oracle's vectorised block kernel;
+* :mod:`repro.fleet.controller` — the :class:`FleetController` the simulator
+  advances at every accumulation-window boundary, and the :class:`FleetPlan`
+  a scenario carries (serialised in scenario JSON format v3).
+
+Workload generation (:func:`repro.workload.generator.generate_fleet_plan`),
+scenario (de)serialisation (:mod:`repro.workload.io`) and the CLI
+(``python -m repro simulate --fleet full``) all understand fleet plans; with
+``--fleet none`` the engine is bit-for-bit the static-fleet simulator.
+"""
+
+from repro.fleet.behavior import DriverBehavior
+from repro.fleet.controller import FleetController, FleetLog, FleetPlan
+from repro.fleet.repositioning import (
+    REPOSITIONING_POLICIES,
+    DemandWeightedDriftPolicy,
+    RepositioningPolicy,
+    ReturnToHotspotPolicy,
+    StayPolicy,
+    hotspot_nodes,
+    make_repositioning,
+)
+from repro.fleet.shifts import (
+    FLEET_EVENT_KINDS,
+    FleetEvent,
+    FleetTimeline,
+    ShiftSchedule,
+    staggered_schedules,
+)
+
+__all__ = [
+    "ShiftSchedule",
+    "FleetEvent",
+    "FleetTimeline",
+    "FLEET_EVENT_KINDS",
+    "staggered_schedules",
+    "DriverBehavior",
+    "FleetPlan",
+    "FleetController",
+    "FleetLog",
+    "REPOSITIONING_POLICIES",
+    "RepositioningPolicy",
+    "StayPolicy",
+    "ReturnToHotspotPolicy",
+    "DemandWeightedDriftPolicy",
+    "hotspot_nodes",
+    "make_repositioning",
+]

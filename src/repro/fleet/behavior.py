@@ -1,0 +1,165 @@
+"""Stochastic driver behaviour: offer rejection and restaurant prep delays.
+
+The engine's ``rejection_timeout`` models *customers* abandoning an order
+that waited too long; this module models the *drivers*.  Two effects the
+paper's deployment setting implies but the seed simulator could not express:
+
+* **Offer rejection** — a driver offered a batch may decline it.  The
+  acceptance probability starts from a per-vehicle propensity (some drivers
+  are pickier than others) and falls with the first-mile distance to the
+  pickup and with the batch size.  A declined batch simply stays in the
+  unassigned pool and re-enters the next accumulation window's FoodGraph —
+  the re-offer cascade — with every decline counted on the order's outcome,
+  so no order is ever dropped silently.
+* **Prep-time delay** — kitchens run late.  Each order gets one extra
+  Gaussian hold on top of its nominal :attr:`~repro.orders.order.Order.ready_at`,
+  sampled deterministically per order id, during which the vehicle waits at
+  the restaurant (counted in the waiting-time metric, exactly like nominal
+  prep waits).
+
+Every draw is seeded: the per-vehicle propensity and the per-order delay
+depend only on ``(seed, id)``, and offer draws come from the controller's
+own RNG stream, so a simulation replays bit-for-bit under a fixed seed.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+# Large odd multipliers decorrelate the deterministic per-id RNG streams
+# (vehicle propensity vs. order delay) from each other and from the seed.
+_VEHICLE_STREAM = 0x9E3779B1
+_ORDER_STREAM = 0x85EBCA77
+
+
+@dataclass(frozen=True)
+class DriverBehavior:
+    """Seeded behavioural model shared by the whole fleet.
+
+    Attributes
+    ----------
+    seed:
+        Base seed of every behavioural draw.
+    base_acceptance:
+        Probability that an average driver accepts a zero-first-mile,
+        single-order offer.
+    distance_sensitivity:
+        Acceptance-probability drop per 10 minutes of first-mile travel.
+    batch_sensitivity:
+        Acceptance-probability drop per order beyond the first in the batch.
+    min_acceptance:
+        Floor below which the probability never falls (platforms penalise
+        serial decliners, so nobody rejects everything).
+    propensity_spread:
+        Half-width of the per-vehicle propensity band: each vehicle's
+        personal multiplier is drawn uniformly from
+        ``[1 - spread, 1 + spread]``.
+    prep_delay_mean, prep_delay_std:
+        Gaussian parameters (seconds) of the per-order extra kitchen delay;
+        samples are clamped at zero.
+    """
+
+    seed: int = 0
+    base_acceptance: float = 0.92
+    distance_sensitivity: float = 0.08
+    batch_sensitivity: float = 0.04
+    min_acceptance: float = 0.25
+    propensity_spread: float = 0.08
+    prep_delay_mean: float = 90.0
+    prep_delay_std: float = 60.0
+
+    def __post_init__(self) -> None:
+        for name in ("base_acceptance", "min_acceptance"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be a probability in [0, 1] "
+                                 f"(got {value})")
+        if self.min_acceptance > self.base_acceptance:
+            raise ValueError("min_acceptance cannot exceed base_acceptance")
+        for name in ("distance_sensitivity", "batch_sensitivity",
+                     "prep_delay_mean", "prep_delay_std"):
+            value = getattr(self, name)
+            if not (math.isfinite(value) and value >= 0.0):
+                raise ValueError(f"{name} must be finite and non-negative "
+                                 f"(got {value})")
+        if not 0.0 <= self.propensity_spread < 1.0:
+            raise ValueError("propensity_spread must be in [0, 1)")
+
+    # ------------------------------------------------------------------ #
+    # offer acceptance
+    # ------------------------------------------------------------------ #
+    def vehicle_propensity(self, vehicle_id: int) -> float:
+        """The vehicle's persistent acceptance multiplier (deterministic)."""
+        rng = random.Random(self.seed * _VEHICLE_STREAM + vehicle_id)
+        return rng.uniform(1.0 - self.propensity_spread,
+                           1.0 + self.propensity_spread)
+
+    def acceptance_probability(self, vehicle_id: int, first_mile_seconds: float,
+                               batch_size: int) -> float:
+        """Probability the driver accepts this offer (Eq.-free, monotone).
+
+        Decreasing in the first mile and the batch size, clamped to
+        ``[min_acceptance, 1]``.  An unreachable pickup (infinite first
+        mile) is never accepted — though such offers cannot arise from the
+        FoodGraph, which prices them at Ω.
+        """
+        if math.isinf(first_mile_seconds):
+            return 0.0
+        p = self.base_acceptance * self.vehicle_propensity(vehicle_id)
+        p -= self.distance_sensitivity * max(0.0, first_mile_seconds) / 600.0
+        p -= self.batch_sensitivity * max(0, batch_size - 1)
+        return min(1.0, max(self.min_acceptance, p))
+
+    def accepts(self, vehicle_id: int, first_mile_seconds: float,
+                batch_size: int, rng: random.Random) -> bool:
+        """Draw the accept/decline decision for one offer from ``rng``."""
+        return rng.random() < self.acceptance_probability(
+            vehicle_id, first_mile_seconds, batch_size)
+
+    # ------------------------------------------------------------------ #
+    # kitchen delays
+    # ------------------------------------------------------------------ #
+    def prep_delay(self, order_id: int) -> float:
+        """Extra kitchen hold (seconds) for an order, deterministic per id."""
+        if self.prep_delay_mean == 0.0 and self.prep_delay_std == 0.0:
+            return 0.0
+        rng = random.Random(self.seed * _ORDER_STREAM + order_id)
+        return max(0.0, rng.gauss(self.prep_delay_mean, self.prep_delay_std))
+
+
+def behavior_from_dict(payload: Optional[dict]) -> Optional[DriverBehavior]:
+    """Rebuild a :class:`DriverBehavior` from its serialised form (or ``None``)."""
+    if payload is None:
+        return None
+    return DriverBehavior(
+        seed=int(payload["seed"]),
+        base_acceptance=float(payload["base_acceptance"]),
+        distance_sensitivity=float(payload["distance_sensitivity"]),
+        batch_sensitivity=float(payload["batch_sensitivity"]),
+        min_acceptance=float(payload["min_acceptance"]),
+        propensity_spread=float(payload["propensity_spread"]),
+        prep_delay_mean=float(payload["prep_delay_mean"]),
+        prep_delay_std=float(payload["prep_delay_std"]),
+    )
+
+
+def behavior_to_dict(behavior: Optional[DriverBehavior]) -> Optional[dict]:
+    """Serialise a :class:`DriverBehavior` (inverse of :func:`behavior_from_dict`)."""
+    if behavior is None:
+        return None
+    return {
+        "seed": behavior.seed,
+        "base_acceptance": behavior.base_acceptance,
+        "distance_sensitivity": behavior.distance_sensitivity,
+        "batch_sensitivity": behavior.batch_sensitivity,
+        "min_acceptance": behavior.min_acceptance,
+        "propensity_spread": behavior.propensity_spread,
+        "prep_delay_mean": behavior.prep_delay_mean,
+        "prep_delay_std": behavior.prep_delay_std,
+    }
+
+
+__all__ = ["DriverBehavior", "behavior_from_dict", "behavior_to_dict"]

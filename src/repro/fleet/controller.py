@@ -1,0 +1,278 @@
+"""The fleet controller: drives shifts, behaviour and repositioning in the sim.
+
+:class:`FleetController` is the supply-side twin of
+:class:`~repro.traffic.controller.TrafficController`.  The simulator calls
+:meth:`FleetController.advance` at every accumulation-window boundary; the
+controller activates any supply events that began since the last boundary
+(surge onboarding, zonal driver drains), recomputes who is on duty, and
+reports the vehicles that just logged out so the engine can run the forced
+handoff (pending orders back to the pool, onboard deliveries finished under
+the no-abandonment rule).
+
+The controller also owns the behavioural RNG streams: offer screening
+(stochastic rejection of assignments) and per-order kitchen delays delegate
+to the plan's :class:`~repro.fleet.behavior.DriverBehavior`, and idle-vehicle
+repositioning targets come from the plan's named policy.  Everything is
+seeded, so a run replays bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.core.policy import Assignment
+from repro.fleet.behavior import DriverBehavior
+from repro.fleet.repositioning import make_repositioning
+from repro.fleet.shifts import FleetEvent, FleetTimeline, ShiftSchedule
+from repro.network.distance_oracle import DistanceOracle
+from repro.orders.order import Order
+from repro.orders.vehicle import Vehicle
+
+
+@dataclass(frozen=True)
+class FleetPlan:
+    """Everything the simulator needs to run a dynamic fleet.
+
+    Attributes
+    ----------
+    schedules:
+        Per-vehicle :class:`ShiftSchedule` keyed by vehicle id.  Vehicles
+        without an entry fall back to their own ``shift_start``/``shift_end``
+        window (the seed model).  Reserve vehicles carry an empty schedule.
+    timeline:
+        The day's supply events (surge onboarding, driver drains).
+    behavior:
+        Stochastic driver model; ``None`` keeps drivers fully compliant and
+        kitchens exactly on time (the ``shifts`` fleet mode).
+    repositioning:
+        Name of the idle-vehicle policy (see
+        :data:`~repro.fleet.repositioning.REPOSITIONING_POLICIES`).
+    seed:
+        Seed of the controller's RNG streams (drain sampling, offer draws,
+        demand-weighted drift).
+    reserve_ids:
+        Vehicle ids of the reserve pool surge events onboard from.
+    """
+
+    schedules: Mapping[int, ShiftSchedule] = field(default_factory=dict)
+    timeline: FleetTimeline = field(default_factory=FleetTimeline.empty)
+    behavior: Optional[DriverBehavior] = None
+    repositioning: str = "stay"
+    seed: int = 0
+    reserve_ids: Tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "schedules", dict(self.schedules))
+        object.__setattr__(self, "reserve_ids",
+                           tuple(int(v) for v in self.reserve_ids))
+
+
+@dataclass
+class FleetLog:
+    """Cumulative account of what the fleet controller did over a run."""
+
+    advances: int = 0
+    logins: int = 0
+    logouts: int = 0
+    surge_activations: int = 0
+    drained_vehicles: int = 0
+    offers: int = 0
+    declines: int = 0
+    handoff_orders: int = 0
+    repositions: int = 0
+
+
+class FleetController:
+    """Drives a :class:`FleetPlan` against the live fleet during a simulation."""
+
+    def __init__(self, plan: FleetPlan, oracle: DistanceOracle,
+                 restaurants: Sequence = ()) -> None:
+        self._plan = plan
+        self._oracle = oracle
+        self._rng = random.Random(plan.seed)
+        self._offer_rng = random.Random(plan.seed + 1)
+        self._repositioner = make_repositioning(
+            plan.repositioning, oracle, restaurants,
+            rng=random.Random(plan.seed + 2))
+        # Surge events are pre-assigned to concrete reserve vehicles so the
+        # mapping is a pure function of the plan (and replays deterministically
+        # regardless of runtime state).  Reserves are cycled in id order; a
+        # reserve may serve several disjoint surges.
+        self._surge_intervals: Dict[int, List[Tuple[float, float]]] = {}
+        reserves = sorted(plan.reserve_ids)
+        cursor = 0
+        for event in plan.timeline:
+            if event.kind != "surge_onboarding" or not reserves:
+                continue
+            for _ in range(min(event.count, len(reserves))):
+                vehicle_id = reserves[cursor % len(reserves)]
+                cursor += 1
+                self._surge_intervals.setdefault(vehicle_id, []).append(
+                    (event.start, event.end))
+        # Drain events resolve against runtime vehicle positions, so they are
+        # materialised lazily the first time `advance` crosses their start.
+        # Keyed by the (frozen, hashable) event itself: event_ids are not
+        # validated unique, so they would be an ambiguous activation key.
+        self._drain_intervals: Dict[int, List[Tuple[float, float]]] = {}
+        self._activated: Set[FleetEvent] = set()
+        self._prev_on_duty: Optional[Set[int]] = None
+        self._time: Optional[float] = None
+        self.log = FleetLog()
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def plan(self) -> FleetPlan:
+        return self._plan
+
+    @property
+    def behavior(self) -> Optional[DriverBehavior]:
+        return self._plan.behavior
+
+    @property
+    def time(self) -> Optional[float]:
+        """Timestamp of the last :meth:`advance` (``None`` before the first)."""
+        return self._time
+
+    # ------------------------------------------------------------------ #
+    # duty state
+    # ------------------------------------------------------------------ #
+    def on_duty(self, vehicle: Vehicle, t: float) -> bool:
+        """Whether ``vehicle`` is available for new work at ``t``.
+
+        Scheduled duty (or an active surge interval) minus any active drain.
+        Vehicles without a schedule entry keep the seed semantics
+        (``vehicle.is_on_duty``).
+        """
+        vid = vehicle.vehicle_id
+        schedule = self._plan.schedules.get(vid)
+        if schedule is not None:
+            active = schedule.is_on_duty(t)
+        else:
+            active = vehicle.is_on_duty(t)
+        if not active:
+            active = any(start <= t < end
+                         for start, end in self._surge_intervals.get(vid, ()))
+        if active and any(start <= t < end
+                          for start, end in self._drain_intervals.get(vid, ())):
+            return False
+        return active
+
+    def advance(self, now: float, vehicles: Sequence[Vehicle]) -> List[Vehicle]:
+        """Bring the fleet state up to ``now``; return vehicles that logged out.
+
+        Activates drain events whose start was crossed, diffs the on-duty
+        set against the previous boundary, and clears repositioning targets
+        of vehicles that are no longer on duty (a drained driver heads home,
+        not to a hot-spot).  The returned vehicles left duty since the last
+        boundary — the engine re-queues their pending orders.
+        """
+        self._activate_drains(now, vehicles)
+        current = {v.vehicle_id for v in vehicles if self.on_duty(v, now)}
+        logged_out: List[Vehicle] = []
+        if self._prev_on_duty is not None:
+            gone = self._prev_on_duty - current
+            logged_out = [v for v in vehicles if v.vehicle_id in gone]
+            self.log.logins += len(current - self._prev_on_duty)
+            self.log.logouts += len(gone)
+        else:
+            self.log.logins += len(current)
+        for vehicle in vehicles:
+            if vehicle.reposition_node is not None \
+                    and vehicle.vehicle_id not in current:
+                vehicle.reposition_node = None
+        self._prev_on_duty = current
+        self._time = now
+        self.log.advances += 1
+        return logged_out
+
+    def _activate_drains(self, now: float, vehicles: Sequence[Vehicle]) -> None:
+        network = self._oracle.network
+        for event in self._plan.timeline:
+            if event in self._activated or not event.is_active(now):
+                continue
+            self._activated.add(event)
+            if event.kind == "surge_onboarding":
+                self.log.surge_activations += 1
+                continue
+            zone = event.zone_nodes(network)
+            candidates = sorted(
+                (v.vehicle_id for v in vehicles
+                 if v.node in zone and self.on_duty(v, now)))
+            count = round(event.fraction * len(candidates))
+            if count <= 0:
+                continue
+            for vehicle_id in self._rng.sample(candidates, count):
+                self._drain_intervals.setdefault(vehicle_id, []).append(
+                    (now, event.end))
+            self.log.drained_vehicles += count
+
+    # ------------------------------------------------------------------ #
+    # offer screening (stochastic rejection)
+    # ------------------------------------------------------------------ #
+    def screen_offers(self, assignments: Sequence[Assignment], now: float,
+                      ) -> Tuple[List[Assignment], List[Assignment]]:
+        """Split a window's assignments into (accepted, declined).
+
+        Without a behaviour model every offer is accepted.  First miles for
+        the whole window resolve in one batched paired-distance query — the
+        screening never issues per-pair point queries.
+        """
+        behavior = self._plan.behavior
+        if behavior is None or not assignments:
+            return list(assignments), []
+        sources = [a.vehicle.node for a in assignments]
+        targets = [a.plan.stops[0].node if a.plan.stops else a.vehicle.node
+                   for a in assignments]
+        first_miles = self._oracle.distances(sources, targets, now)
+        accepted: List[Assignment] = []
+        declined: List[Assignment] = []
+        for idx, assignment in enumerate(assignments):
+            self.log.offers += 1
+            if behavior.accepts(assignment.vehicle.vehicle_id,
+                                float(first_miles[idx]),
+                                len(assignment.orders), self._offer_rng):
+                accepted.append(assignment)
+            else:
+                declined.append(assignment)
+        self.log.declines += len(declined)
+        return accepted, declined
+
+    def prep_delay(self, order: Order) -> float:
+        """Extra kitchen hold for ``order`` (0 without a behaviour model)."""
+        behavior = self._plan.behavior
+        if behavior is None:
+            return 0.0
+        return behavior.prep_delay(order.order_id)
+
+    # ------------------------------------------------------------------ #
+    # idle repositioning
+    # ------------------------------------------------------------------ #
+    def plan_repositioning(self, vehicles: Sequence[Vehicle], now: float) -> int:
+        """Assign repositioning targets to idle on-duty vehicles.
+
+        A vehicle qualifies when it is on duty, carries no assignment, has
+        no remaining stops and is not already repositioning.  Returns the
+        number of vehicles newly put in motion.
+        """
+        idle = [v for v in vehicles
+                if not v.assigned and not v.stop_queue
+                and v.reposition_node is None and self.on_duty(v, now)]
+        if not idle:
+            return 0
+        targets = self._repositioner.targets(idle, now)
+        moved = 0
+        for vehicle in idle:
+            target = targets.get(vehicle.vehicle_id)
+            if target is None or target == vehicle.node:
+                continue
+            vehicle.reposition_node = target
+            moved += 1
+        self.log.repositions += moved
+        return moved
+
+
+__all__ = ["FleetPlan", "FleetController", "FleetLog"]

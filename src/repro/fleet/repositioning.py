@@ -1,0 +1,180 @@
+"""Idle-vehicle repositioning policies.
+
+A driver who just delivered their last order sits at the customer's door —
+usually a residential node far from any restaurant.  Real platforms nudge
+idle drivers back toward demand; the seed simulator left them parked.  This
+module supplies three policies the simulator can run *between* accumulation
+windows:
+
+``stay``
+    The seed behaviour: idle vehicles do not move.
+``hotspot``
+    Return-to-hotspot: every idle vehicle heads for its nearest restaurant
+    hot-spot node (the commercial clusters the workload generator seeds
+    restaurants into).
+``demand``
+    Demand-weighted drift: each idle vehicle picks a hot-spot at random with
+    probability proportional to the hot-spot's popularity mass discounted by
+    the travel time to reach it, so nearby busy clusters attract most
+    drivers without everyone piling onto the single busiest one.
+
+Policies only *choose targets*; the engine walks vehicles toward their
+target through the road network (edge-atomic, distance-metered legs, exactly
+like delivery movement) and new assignments always pre-empt repositioning.
+
+All candidate selection runs through the oracle's vectorised block kernel
+(:meth:`DistanceOracle.distance_matrix
+<repro.network.distance_oracle.DistanceOracle.distance_matrix>`) — one
+``idle-vehicles x hot-spots`` query per window, never a per-pair loop.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.network.distance_oracle import DistanceOracle
+from repro.orders.vehicle import Vehicle
+
+#: The recognised repositioning policy names (CLI / scenario JSON values).
+REPOSITIONING_POLICIES = ("stay", "hotspot", "demand")
+
+#: An idle vehicle already within this static travel time (seconds) of its
+#: best hot-spot is considered well-positioned and is not moved.
+NEAR_ENOUGH_SECONDS = 120.0
+
+
+def hotspot_nodes(restaurants: Sequence, limit: int = 12) -> List[Tuple[int, float]]:
+    """Collapse restaurants onto their nodes, keeping per-node popularity mass.
+
+    Returns up to ``limit`` ``(node, popularity)`` pairs, heaviest first —
+    the demand anchors repositioning steers toward.  Works on any sequence
+    of objects with ``node`` and ``popularity`` attributes.
+    """
+    mass: Dict[int, float] = {}
+    for restaurant in restaurants:
+        mass[restaurant.node] = mass.get(restaurant.node, 0.0) + restaurant.popularity
+    ranked = sorted(mass.items(), key=lambda item: (-item[1], item[0]))
+    return ranked[:limit]
+
+
+class RepositioningPolicy:
+    """Base class: map idle vehicles to target nodes (empty dict = stay put)."""
+
+    name = "stay"
+
+    def targets(self, idle_vehicles: Sequence[Vehicle], now: float) -> Dict[int, int]:
+        """Target node per vehicle id; vehicles absent from the dict stay."""
+        return {}
+
+
+class StayPolicy(RepositioningPolicy):
+    """The seed behaviour: idle vehicles never move."""
+
+    name = "stay"
+
+
+class ReturnToHotspotPolicy(RepositioningPolicy):
+    """Send every idle vehicle to its nearest restaurant hot-spot."""
+
+    name = "hotspot"
+
+    def __init__(self, oracle: DistanceOracle, restaurants: Sequence,
+                 limit: int = 12) -> None:
+        self._oracle = oracle
+        self._anchors = hotspot_nodes(restaurants, limit)
+
+    def targets(self, idle_vehicles: Sequence[Vehicle], now: float) -> Dict[int, int]:
+        if not idle_vehicles or not self._anchors:
+            return {}
+        anchor_nodes = [node for node, _ in self._anchors]
+        matrix = self._oracle.distance_matrix(
+            [vehicle.node for vehicle in idle_vehicles], anchor_nodes, now)
+        chosen: Dict[int, int] = {}
+        for row, vehicle in enumerate(idle_vehicles):
+            best_idx, best_dist = None, math.inf
+            for col in range(len(anchor_nodes)):
+                dist = float(matrix[row, col])
+                if dist < best_dist:
+                    best_idx, best_dist = col, dist
+            if best_idx is None or not math.isfinite(best_dist):
+                continue
+            if best_dist <= NEAR_ENOUGH_SECONDS:
+                continue  # already parked at demand
+            chosen[vehicle.vehicle_id] = anchor_nodes[best_idx]
+        return chosen
+
+
+class DemandWeightedDriftPolicy(RepositioningPolicy):
+    """Drift idle vehicles toward hot-spots, weighted by popularity over distance."""
+
+    name = "demand"
+
+    def __init__(self, oracle: DistanceOracle, restaurants: Sequence,
+                 rng: random.Random, limit: int = 12) -> None:
+        self._oracle = oracle
+        self._anchors = hotspot_nodes(restaurants, limit)
+        self._rng = rng
+
+    def targets(self, idle_vehicles: Sequence[Vehicle], now: float) -> Dict[int, int]:
+        if not idle_vehicles or not self._anchors:
+            return {}
+        anchor_nodes = [node for node, _ in self._anchors]
+        masses = [mass for _, mass in self._anchors]
+        matrix = self._oracle.distance_matrix(
+            [vehicle.node for vehicle in idle_vehicles], anchor_nodes, now)
+        chosen: Dict[int, int] = {}
+        for row, vehicle in enumerate(idle_vehicles):
+            weights: List[float] = []
+            for col in range(len(anchor_nodes)):
+                dist = float(matrix[row, col])
+                if math.isfinite(dist):
+                    # Popularity mass discounted by access time: a cluster 10
+                    # minutes away needs twice the mass of one 5 minutes away.
+                    weights.append(masses[col] / (1.0 + dist / 300.0))
+                else:
+                    weights.append(0.0)
+            total = sum(weights)
+            if total <= 0.0:
+                continue
+            pick = self._rng.uniform(0.0, total)
+            acc = 0.0
+            target_col = len(anchor_nodes) - 1
+            for col, weight in enumerate(weights):
+                acc += weight
+                if acc >= pick:
+                    target_col = col
+                    break
+            dist = float(matrix[row, target_col])
+            if dist <= NEAR_ENOUGH_SECONDS:
+                continue
+            chosen[vehicle.vehicle_id] = anchor_nodes[target_col]
+        return chosen
+
+
+def make_repositioning(name: str, oracle: DistanceOracle, restaurants: Sequence,
+                       rng: Optional[random.Random] = None) -> RepositioningPolicy:
+    """Instantiate a repositioning policy by name."""
+    key = (name or "stay").lower()
+    if key == "stay":
+        return StayPolicy()
+    if key == "hotspot":
+        return ReturnToHotspotPolicy(oracle, restaurants)
+    if key == "demand":
+        return DemandWeightedDriftPolicy(oracle, restaurants,
+                                         rng if rng is not None else random.Random(0))
+    raise ValueError(f"unknown repositioning policy {name!r}; "
+                     f"known: {REPOSITIONING_POLICIES}")
+
+
+__all__ = [
+    "REPOSITIONING_POLICIES",
+    "NEAR_ENOUGH_SECONDS",
+    "RepositioningPolicy",
+    "StayPolicy",
+    "ReturnToHotspotPolicy",
+    "DemandWeightedDriftPolicy",
+    "hotspot_nodes",
+    "make_repositioning",
+]

@@ -1,0 +1,268 @@
+"""Per-vehicle shift schedules and the day's supply-event timeline.
+
+The paper dispatches against a *live* fleet: drivers log in and out over the
+day, take breaks, and the platform onboards extra riders when demand surges.
+The seed simulator modelled the supply side as a fixed always-online set of
+vehicles spawned at t=0; this module supplies the missing timelines:
+
+* :class:`ShiftSchedule` — one vehicle's on-duty intervals (login/logout
+  epochs, mid-day breaks) as a normalised sequence of half-open
+  ``[start, end)`` blocks;
+* :class:`FleetEvent` — a typed, time-bounded supply disturbance
+  (``surge_onboarding``: reserve drivers log in for a window;
+  ``driver_drain``: a fraction of the drivers inside a travel-time zone log
+  out, e.g. rain in one district or a competing gig spike), mirroring the
+  scope/overlap design of :class:`~repro.traffic.events.TrafficEvent`;
+* :class:`FleetTimeline` — the immutable, sorted day-long schedule of those
+  events, with the same boundary/active-at API as
+  :class:`~repro.traffic.events.TrafficTimeline`.
+
+Schedules say *when a driver wants to work*; the engine still enforces the
+paper's no-abandonment rule on top (a driver whose shift ends mid-route
+finishes the deliveries already on board before leaving, and orders accepted
+but not yet picked up are handed back to the pool).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.network.graph import RoadNetwork
+from repro.network.shortest_path import dijkstra_all
+
+#: The recognised supply-event kinds, in generator/report order.
+FLEET_EVENT_KINDS = ("surge_onboarding", "driver_drain")
+
+
+@dataclass(frozen=True)
+class ShiftSchedule:
+    """One vehicle's on-duty timeline: sorted, disjoint ``[start, end)`` blocks.
+
+    Overlapping or touching blocks are merged at construction, so the
+    normalised form is canonical: two schedules describe the same duty
+    pattern iff they compare equal.  An empty schedule means the vehicle
+    never logs in on its own (the *reserve* pool surge events draw from).
+    """
+
+    intervals: Tuple[Tuple[float, float], ...] = ()
+
+    def __post_init__(self) -> None:
+        blocks: List[Tuple[float, float]] = []
+        for start, end in self.intervals:
+            start, end = float(start), float(end)
+            if not (math.isfinite(start) and math.isfinite(end)):
+                raise ValueError("shift blocks must have finite start/end times")
+            if not end > start:
+                raise ValueError(f"shift block must end after it starts "
+                                 f"(got [{start}, {end}))")
+            blocks.append((start, end))
+        blocks.sort()
+        merged: List[Tuple[float, float]] = []
+        for start, end in blocks:
+            if merged and start <= merged[-1][1]:
+                merged[-1] = (merged[-1][0], max(merged[-1][1], end))
+            else:
+                merged.append((start, end))
+        object.__setattr__(self, "intervals", tuple(merged))
+
+    @classmethod
+    def always(cls, start: float = 0.0, end: float = 86400.0) -> "ShiftSchedule":
+        """A single block covering the whole horizon (the seed fleet model)."""
+        return cls(((start, end),))
+
+    @classmethod
+    def off(cls) -> "ShiftSchedule":
+        """An empty schedule: the vehicle only works when surge-onboarded."""
+        return cls(())
+
+    def __bool__(self) -> bool:
+        return bool(self.intervals)
+
+    def is_on_duty(self, t: float) -> bool:
+        """Whether the vehicle is scheduled to work at timestamp ``t``."""
+        return any(start <= t < end for start, end in self.intervals)
+
+    def next_logout_after(self, t: float) -> Optional[float]:
+        """End of the block containing ``t``; ``None`` when off duty at ``t``."""
+        for start, end in self.intervals:
+            if start <= t < end:
+                return end
+        return None
+
+    def next_login_at_or_after(self, t: float) -> Optional[float]:
+        """Earliest block start at or after ``t``; ``None`` when the day is done."""
+        for start, _ in self.intervals:
+            if start >= t:
+                return start
+        return None
+
+    def on_duty_seconds(self) -> float:
+        """Total scheduled duty time."""
+        return sum(end - start for start, end in self.intervals)
+
+    def boundaries(self) -> List[float]:
+        """Sorted unique login/logout epochs (the controller's change points)."""
+        times: Set[float] = set()
+        for start, end in self.intervals:
+            times.add(start)
+            times.add(end)
+        return sorted(times)
+
+
+@dataclass(frozen=True)
+class FleetEvent:
+    """One time-bounded supply disturbance.
+
+    ``surge_onboarding``
+        ``count`` reserve drivers (vehicles with an empty base schedule) log
+        in for the event's duration.  An optional zone pins *where* the
+        platform recruits; without one any reserve qualifies.
+    ``driver_drain``
+        A ``fraction`` of the drivers on duty inside the zone when the event
+        starts log out until it ends (a downpour over one district, a rival
+        platform's bonus window).  Drained drivers still obey the
+        no-abandonment rule — the engine lets them finish onboard deliveries.
+
+    Zones are travel-time balls around ``zone_center`` on the *pre-traffic*
+    static weights, exactly like
+    :meth:`TrafficEvent.scope_edges <repro.traffic.events.TrafficEvent.scope_edges>`,
+    so an event's scope is intrinsic to the event.
+    """
+
+    event_id: int
+    kind: str
+    start: float
+    end: float
+    count: int = 0
+    fraction: float = 0.0
+    zone_center: Optional[int] = None
+    zone_radius_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FLEET_EVENT_KINDS:
+            raise ValueError(f"unknown fleet event kind {self.kind!r}; "
+                             f"known: {FLEET_EVENT_KINDS}")
+        if not (math.isfinite(self.start) and math.isfinite(self.end)):
+            raise ValueError("fleet event start/end must be finite")
+        if not self.end > self.start:
+            raise ValueError("fleet event must end after it starts")
+        if self.kind == "surge_onboarding":
+            if self.count < 1:
+                raise ValueError("surge_onboarding events require count >= 1")
+        else:
+            if not 0.0 < self.fraction <= 1.0:
+                raise ValueError("driver_drain events require a fraction in (0, 1]")
+            if self.zone_center is None:
+                raise ValueError("driver_drain events require a zone_center")
+        if self.zone_center is not None and not self.zone_radius_seconds > 0.0:
+            raise ValueError("zonal fleet events require a positive "
+                             "zone_radius_seconds")
+
+    def is_active(self, t: float) -> bool:
+        """Whether the event is in force at timestamp ``t``."""
+        return self.start <= t < self.end
+
+    def zone_nodes(self, network: RoadNetwork) -> Set[int]:
+        """Nodes within the zone's static travel-time radius of the centre.
+
+        Empty for events without a zone (or whose centre is not a node of
+        ``network``).  Expansion runs on base times and static multipliers,
+        ignoring the hourly profile and any live traffic overrides, so the
+        scope never depends on when it is expanded.
+        """
+        if self.zone_center is None or self.zone_center not in network:
+            return set()
+        reach = dijkstra_all(
+            network, self.zone_center, t=0.0,
+            weight=lambda u, v: network.base_time(u, v) * network.edge_multiplier(u, v),
+            cutoff=self.zone_radius_seconds)
+        return set(reach)
+
+
+@dataclass(frozen=True)
+class FleetTimeline:
+    """An immutable day-long schedule of supply events, sorted by start."""
+
+    events: Tuple[FleetEvent, ...] = ()
+
+    def __post_init__(self) -> None:
+        ordered = tuple(sorted(self.events,
+                               key=lambda e: (e.start, e.end, e.event_id)))
+        object.__setattr__(self, "events", ordered)
+
+    @classmethod
+    def empty(cls) -> "FleetTimeline":
+        return cls(())
+
+    def __bool__(self) -> bool:
+        return bool(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[FleetEvent]:
+        return iter(self.events)
+
+    def active_at(self, t: float) -> List[FleetEvent]:
+        """Events in force at timestamp ``t`` (sorted by start time)."""
+        return [event for event in self.events if event.is_active(t)]
+
+    def boundaries(self) -> List[float]:
+        """Sorted unique event start/end times."""
+        times = {event.start for event in self.events}
+        times.update(event.end for event in self.events)
+        return sorted(times)
+
+    def next_change_after(self, t: float) -> Optional[float]:
+        """Earliest boundary strictly after ``t``; ``None`` when the day is done."""
+        for boundary in self.boundaries():
+            if boundary > t:
+                return boundary
+        return None
+
+
+def staggered_schedules(vehicle_ids: Sequence[int], start: float, end: float,
+                        rng: random.Random, coverage: float = 0.85,
+                        break_probability: float = 0.3,
+                        break_minutes: Tuple[float, float] = (15.0, 40.0),
+                        ) -> Dict[int, ShiftSchedule]:
+    """Generate realistic per-vehicle shift schedules over ``[start, end)``.
+
+    Each vehicle works one contiguous shift of expected length
+    ``coverage * (end - start)`` placed uniformly within the horizon; with
+    probability ``break_probability`` a mid-shift break of
+    ``break_minutes`` splits it into two blocks.  All draws come from
+    ``rng``, so schedules are deterministic under the workload seed.
+    """
+    if not end > start:
+        raise ValueError("schedule horizon must end after it starts")
+    if not 0.0 < coverage <= 1.0:
+        raise ValueError("coverage must be in (0, 1]")
+    horizon = end - start
+    schedules: Dict[int, ShiftSchedule] = {}
+    for vehicle_id in vehicle_ids:
+        length = horizon * min(1.0, max(0.1, rng.gauss(coverage, 0.08)))
+        latest = end - length
+        login = rng.uniform(start, latest) if latest > start else start
+        logout = min(end, login + length)
+        blocks: List[Tuple[float, float]] = [(login, logout)]
+        pause = rng.uniform(*break_minutes) * 60.0
+        # Only shifts long enough to leave two useful work blocks get a break.
+        if rng.random() < break_probability and (logout - login) > 3.0 * pause:
+            break_start = rng.uniform(login + (logout - login) * 0.3,
+                                      logout - (logout - login) * 0.3 - pause)
+            blocks = [(login, break_start), (break_start + pause, logout)]
+        schedules[vehicle_id] = ShiftSchedule(tuple(blocks))
+    return schedules
+
+
+__all__ = [
+    "ShiftSchedule",
+    "FleetEvent",
+    "FleetTimeline",
+    "FLEET_EVENT_KINDS",
+    "staggered_schedules",
+]

@@ -253,7 +253,7 @@ class DistanceOracle:
         out = np.empty(k, dtype=np.float64)
         cache = self._point_cache
         miss_pos: List[int] = []
-        for i, (s, tg) in enumerate(zip(sources, targets)):
+        for i, (s, tg) in enumerate(zip(sources, targets, strict=True)):
             if s == tg:
                 out[i] = 0.0
                 continue
@@ -267,7 +267,7 @@ class DistanceOracle:
                 miss_src = [sources[i] for i in miss_pos]
                 miss_tgt = [targets[i] for i in miss_pos]
                 values = self._index.query_many(miss_src, miss_tgt)
-                for i, value in zip(miss_pos, values.tolist()):
+                for i, value in zip(miss_pos, values.tolist(), strict=True):
                     cache.put((sources[i], targets[i]), value)
                     out[i] = value
             else:
@@ -405,7 +405,7 @@ class DistanceOracle:
             lambda key, _: key[0] in affected_out or key[1] in affected_in)
         dropped_path = self._path_cache.drop_where(
             lambda key, path: key[0] in affected_out or key[1] in affected_in
-            or any(edge in mutated_set for edge in zip(path, path[1:])))
+            or any(edge in mutated_set for edge in zip(path, path[1:], strict=False)))
         dropped_sssp = self._sssp_cache.drop_where(
             lambda source, _: source in affected_out)
         return TrafficRepairStats(
@@ -417,6 +417,27 @@ class DistanceOracle:
             dropped_path_entries=dropped_path,
             dropped_sssp_entries=dropped_sssp,
         )
+
+    def reset_traffic_state(self) -> None:
+        """Return the oracle to a pristine pre-traffic state.
+
+        Clears every live edge override (through the exact scoped-repair
+        path, so the hub-label index stays correct), resets the *cumulative*
+        repair accounting that decides the full-rebuild fallback, and drops
+        all memoised distances/paths/SSSP trees.  Experiment harnesses call
+        this between policy runs that share one oracle: each run then
+        replays its timeline against a fresh repair budget instead of
+        inheriting the previous run's accumulated repairs and drifting into
+        periodic full rebuilds.
+        """
+        overrides = self._network.edge_overrides()
+        if overrides:
+            self.apply_traffic_updates({edge: 1.0 for edge in overrides})
+        self._repaired_out.clear()
+        self._repaired_in.clear()
+        self._point_cache.clear()
+        self._path_cache.clear()
+        self._sssp_cache.clear()
 
     # ------------------------------------------------------------------ #
     # diagnostics

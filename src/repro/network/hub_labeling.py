@@ -177,7 +177,7 @@ class HubLabelIndex:
         own already-built label on the pruning side, scattered into the dense
         ``scratch`` array for O(1) lookups.
         """
-        for r, d in zip(hub_ranks, hub_dists):
+        for r, d in zip(hub_ranks, hub_dists, strict=True):
             scratch[r] = d
         indptr = csr.indptr_list
         indices = csr.indices_list
@@ -196,7 +196,7 @@ class HubLabelIndex:
                 # query(hub, node) via the labels built so far: prune when an
                 # earlier hub already certifies a distance <= d.
                 best = INFINITY
-                for r, dv in zip(label_ranks[node], label_dists[node]):
+                for r, dv in zip(label_ranks[node], label_dists[node], strict=True):
                     cand = scratch[r] + dv
                     if cand < best:
                         best = cand
@@ -226,7 +226,7 @@ class HubLabelIndex:
             flat_ranks = np.empty(total, dtype=np.int64)
             flat_dists = np.empty(total, dtype=np.float64)
             pos = 0
-            for r_list, d_list in zip(ranks, dists):
+            for r_list, d_list in zip(ranks, dists, strict=True):
                 nxt = pos + len(r_list)
                 flat_ranks[pos:nxt] = r_list
                 flat_dists[pos:nxt] = d_list

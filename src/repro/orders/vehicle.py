@@ -52,6 +52,9 @@ class Vehicle:
     # they are completed so the plan itself stays immutable.
     stop_queue: List[RouteStop] = field(default_factory=list)
     state: VehicleState = VehicleState.IDLE
+    # Node an idle vehicle is drifting toward between windows (set by the
+    # fleet controller's repositioning policy); any new assignment clears it.
+    reposition_node: Optional[int] = None
     distance_travelled_km: float = 0.0
     # Per-leg occupancy bookkeeping for the orders-per-kilometre metric:
     # km_by_load[k] is the distance travelled while carrying exactly k orders.
@@ -95,6 +98,7 @@ class Vehicle:
         for order in orders:
             self.assigned[order.order_id] = order
         self.set_route(route)
+        self.reposition_node = None
         self.state = VehicleState.EN_ROUTE
 
     def set_route(self, route: Optional[RoutePlan]) -> None:

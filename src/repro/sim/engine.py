@@ -22,6 +22,19 @@ rush hours — see :mod:`repro.traffic`), a :class:`TrafficController` is
 advanced at the start of every window, *before* vehicles move, so each
 window's movement and assignment decisions see the road weights the events
 imply for that window.
+
+When the scenario carries a fleet plan (shift schedules, supply events,
+driver behaviour — see :mod:`repro.fleet`), a :class:`FleetController` is
+advanced at the same boundary: vehicles whose shift ended since the last
+window hand their not-yet-picked-up orders back to the pool (the forced
+handoff; onboard orders are still delivered under the paper's
+no-abandonment rule), offline vehicles are excluded from the window's
+``V(l)`` — and therefore from every FoodGraph first-mile candidate set —
+drivers may stochastically decline the offers the policy produced (declined
+batches re-enter the next window's pool), kitchens add sampled delays on
+top of nominal prep times, and idle vehicles drift toward demand hot-spots
+between windows.  Without a plan the engine is bit-for-bit the static-fleet
+simulator.
 """
 
 from __future__ import annotations
@@ -31,6 +44,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from repro.core.policy import Assignment, AssignmentPolicy
+from repro.fleet.controller import FleetController
 from repro.network.geometry import haversine_distance
 from repro.orders.costs import CostModel
 from repro.orders.order import Order
@@ -74,7 +88,8 @@ class Simulator:
 
     def __init__(self, scenario: Scenario, policy: AssignmentPolicy,
                  cost_model: CostModel, config: Optional[SimulationConfig] = None,
-                 traffic: Optional[TrafficController] = None) -> None:
+                 traffic: Optional[TrafficController] = None,
+                 fleet: Optional[FleetController] = None) -> None:
         self.scenario = scenario
         self.policy = policy
         self.cost_model = cost_model
@@ -84,7 +99,15 @@ class Simulator:
             if timeline:
                 traffic = TrafficController(cost_model.oracle, timeline)
         self.traffic = traffic
+        if fleet is None:
+            plan = getattr(scenario, "fleet", None)
+            if plan is not None:
+                fleet = FleetController(plan, cost_model.oracle,
+                                        scenario.restaurants)
+        self.fleet = fleet
         self.vehicles = scenario.fresh_vehicles()
+        self._window_declines = 0
+        self._window_handoffs = 0
         self._vehicle_clock: Dict[int, float] = {
             v.vehicle_id: max(self.config.start, v.shift_start) for v in self.vehicles}
         self._outcomes: Dict[int, OrderOutcome] = {}
@@ -105,16 +128,27 @@ class Simulator:
         window_start = cfg.start
         while window_start < cfg.end:
             window_end = min(window_start + cfg.delta, cfg.end)
+            self._window_declines = 0
+            self._window_handoffs = 0
             if self.traffic is not None:
                 # Weights for this window reflect the events active at its
                 # start; vehicles and the policy both see the updated network.
                 self.traffic.advance(window_start)
+            if self.fleet is not None:
+                # Shift/supply state for this window: drivers that logged out
+                # since the last boundary hand their pending orders back to
+                # the pool before anything moves or gets assigned.
+                for vehicle in self.fleet.advance(window_start, self.vehicles):
+                    self._handoff_pending_orders(vehicle, window_start)
             self._advance_all_vehicles(window_end)
             self._ingest_orders(window_end)
             self._reject_stale_orders(window_end)
             if self.policy.reshuffle:
                 self._release_unpicked_orders(window_end)
             self._run_window(window_start, window_end)
+            if self.fleet is not None:
+                # Idle drivers drift toward demand during the *next* window.
+                self.fleet.plan_repositioning(self.vehicles, window_end)
             window_start = window_end
         self._drain(cfg.end + cfg.drain_seconds)
         self._reject_stale_orders(cfg.end + cfg.drain_seconds, final=True)
@@ -183,10 +217,45 @@ class Simulator:
             if not vehicle.assigned:
                 vehicle.state = VehicleState.IDLE
 
+    def _handoff_pending_orders(self, vehicle: Vehicle, now: float) -> None:
+        """Forced handoff: a driver logged out holding undelivered orders.
+
+        Orders not yet picked up go back to the unassigned pool (they were
+        serviceable when offered, so like reshuffled orders they are not
+        subject to the 30-minute rejection rule and re-enter the next
+        window's FoodGraph).  Orders already on board stay with the vehicle:
+        the engine keeps advancing committed route plans regardless of duty
+        status, which is exactly the paper's no-abandonment rule.
+        """
+        released = vehicle.unassign_pending()
+        if not released:
+            return
+        for order in released:
+            self._pool[order.order_id] = order
+            outcome = self._outcomes[order.order_id]
+            outcome.handoffs += 1
+            outcome.reassignments += 1
+            outcome.assigned_at = None
+            outcome.vehicle_id = None
+        clock = self._vehicle_clock[vehicle.vehicle_id]
+        plan = self.cost_model.plan_for_vehicle(vehicle, (), max(now, clock))
+        vehicle.set_route(plan if not plan.is_empty else None)
+        if not vehicle.assigned:
+            vehicle.state = VehicleState.OFF_DUTY
+        self._window_handoffs += len(released)
+        if self.fleet is not None:
+            self.fleet.log.handoff_orders += len(released)
+
+    def _on_duty(self, vehicle: Vehicle, now: float) -> bool:
+        """Duty status: the fleet controller decides when one is attached."""
+        if self.fleet is not None:
+            return self.fleet.on_duty(vehicle, now)
+        return vehicle.is_on_duty(now)
+
     def _run_window(self, window_start: float, window_end: float) -> None:
         """Invoke the policy on the current pool and apply its assignments."""
         pool_orders = sorted(self._pool.values(), key=lambda o: (o.placed_at, o.order_id))
-        on_duty = [v for v in self.vehicles if v.is_on_duty(window_end)]
+        on_duty = [v for v in self.vehicles if self._on_duty(v, window_end)]
         decision_start = time.perf_counter()
         assignments = self.policy.assign(pool_orders, on_duty, window_end)
         decision_seconds = time.perf_counter() - decision_start
@@ -205,11 +274,28 @@ class Simulator:
             num_vehicles=len(on_duty),
             num_assigned_orders=assigned_count,
             decision_seconds=decision_seconds,
+            num_declined_offers=self._window_declines,
+            num_handoffs=self._window_handoffs,
         ))
 
     def _apply_assignments(self, assignments: Sequence[Assignment], now: float) -> int:
-        """Commit policy decisions to vehicles and the order pool."""
+        """Commit policy decisions to vehicles and the order pool.
+
+        With a fleet behaviour model attached, every assignment is first
+        *offered* to its driver, who may decline (stochastic rejection).
+        Declined batches simply stay in the pool — they re-enter the next
+        window's FoodGraph and every decline is counted on the order — so
+        rejection never drops an order silently.
+        """
         assigned = 0
+        if self.fleet is not None and assignments:
+            assignments, declined = self.fleet.screen_offers(assignments, now)
+            for assignment in declined:
+                for order in assignment.orders:
+                    outcome = self._outcomes.get(order.order_id)
+                    if outcome is not None:
+                        outcome.offer_rejections += 1
+            self._window_declines += len(declined)
         for assignment in assignments:
             vehicle = assignment.vehicle
             fresh = [order for order in assignment.orders if order.order_id in self._pool]
@@ -249,19 +335,10 @@ class Simulator:
         vehicles on nodes without losing residual window time.
         """
         clock = self._vehicle_clock[vehicle.vehicle_id]
-        network = self.cost_model.oracle.network
         while vehicle.stop_queue and clock < until:
             stop = vehicle.stop_queue[0]
             if vehicle.node != stop.node:
-                path = self.cost_model.oracle.path(vehicle.node, stop.node, clock)
-                for u, v in zip(path, path[1:]):
-                    if clock >= until:
-                        break
-                    travel = network.edge_time(u, v, clock)
-                    km = haversine_distance(network.coord(u), network.coord(v))
-                    vehicle.record_leg(km)
-                    clock += travel
-                    vehicle.node = v
+                clock = self._walk_toward(vehicle, stop.node, clock, until)
                 if vehicle.node != stop.node:
                     break
             # The vehicle is at the stop's node: process the stop.
@@ -272,6 +349,10 @@ class Simulator:
                     vehicle.stop_queue.pop(0)
                     continue
                 ready = order.ready_at
+                if self.fleet is not None:
+                    # Kitchens run late: the behaviour model's sampled delay
+                    # holds the vehicle at the restaurant past nominal prep.
+                    ready += self.fleet.prep_delay(order)
                 if clock < ready:
                     wait = ready - clock
                     vehicle.waiting_seconds += wait
@@ -291,9 +372,38 @@ class Simulator:
                     vehicle.mark_delivered(order.order_id)
             if vehicle.stop_queue:
                 vehicle.stop_queue.pop(0)
+        if not vehicle.stop_queue and vehicle.reposition_node is not None \
+                and clock < until:
+            # Idle repositioning: drift toward the fleet controller's target.
+            # The walk is metered exactly like delivery movement (edge-atomic
+            # legs at load 0) and any new assignment pre-empts it.
+            clock = self._walk_toward(vehicle, vehicle.reposition_node, clock, until)
+            if vehicle.node == vehicle.reposition_node:
+                vehicle.reposition_node = None
         if not vehicle.stop_queue and clock < until:
             clock = until
         self._vehicle_clock[vehicle.vehicle_id] = clock
+
+    def _walk_toward(self, vehicle: Vehicle, dest: int, clock: float,
+                     until: float) -> float:
+        """Walk a vehicle along the quickest path toward ``dest``.
+
+        Edges are traversed atomically (an edge entered before ``until`` is
+        completed even if it finishes slightly after); returns the updated
+        vehicle clock.  The vehicle may end anywhere along the path when the
+        window runs out.
+        """
+        network = self.cost_model.oracle.network
+        path = self.cost_model.oracle.path(vehicle.node, dest, clock)
+        for u, v in zip(path, path[1:], strict=False):
+            if clock >= until:
+                break
+            travel = network.edge_time(u, v, clock)
+            km = haversine_distance(network.coord(u), network.coord(v))
+            vehicle.record_leg(km)
+            clock += travel
+            vehicle.node = v
+        return clock
 
     def _drain(self, deadline: float) -> None:
         """Let vehicles finish their remaining route plans after the last window."""
@@ -302,13 +412,16 @@ class Simulator:
 
 def simulate(scenario: Scenario, policy: AssignmentPolicy, cost_model: CostModel,
              config: Optional[SimulationConfig] = None,
-             traffic: Optional[TrafficController] = None) -> SimulationResult:
+             traffic: Optional[TrafficController] = None,
+             fleet: Optional[FleetController] = None) -> SimulationResult:
     """Convenience wrapper: build a :class:`Simulator` and run it.
 
-    ``traffic`` may supply an explicit :class:`TrafficController`; by default
-    the scenario's own timeline (if any) is attached automatically.
+    ``traffic`` / ``fleet`` may supply explicit controllers; by default the
+    scenario's own traffic timeline and fleet plan (if any) are attached
+    automatically.
     """
-    return Simulator(scenario, policy, cost_model, config, traffic=traffic).run()
+    return Simulator(scenario, policy, cost_model, config, traffic=traffic,
+                     fleet=fleet).run()
 
 
 __all__ = ["SimulationConfig", "Simulator", "simulate"]

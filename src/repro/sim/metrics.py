@@ -38,6 +38,12 @@ class OrderOutcome:
     reassignments: int = 0
     #: seconds the serving vehicle waited at the restaurant for this order
     wait_seconds: float = 0.0
+    #: times a driver declined an offer containing this order (the batch then
+    #: re-entered the next accumulation window's pool — the re-offer cascade)
+    offer_rejections: int = 0
+    #: times the order was handed back to the pool because its assigned
+    #: driver logged out before picking it up (forced handoff)
+    handoffs: int = 0
     #: whether the order was ever assigned to a vehicle (reshuffling may
     #: release it again, but a once-assigned order is considered serviceable
     #: and is not subject to the 30-minute rejection rule)
@@ -73,6 +79,10 @@ class WindowRecord:
     num_vehicles: int
     num_assigned_orders: int
     decision_seconds: float
+    #: offers declined by drivers in this window (fleet behaviour model)
+    num_declined_offers: int = 0
+    #: orders re-queued in this window because their driver logged out
+    num_handoffs: int = 0
 
     @property
     def slot(self) -> int:
@@ -211,6 +221,14 @@ class SimulationResult:
             overflown = sum(1 for w in windows if w.overflown_within(budget))
         return 100.0 * overflown / len(windows)
 
+    def total_declined_offers(self) -> int:
+        """Offers declined by drivers over the whole run (fleet behaviour)."""
+        return sum(w.num_declined_offers for w in self.windows)
+
+    def total_handoffs(self) -> int:
+        """Orders re-queued because their driver logged out mid-assignment."""
+        return sum(w.num_handoffs for w in self.windows)
+
     def mean_decision_seconds(self) -> float:
         if not self.windows:
             return 0.0
@@ -257,6 +275,8 @@ class SimulationResult:
             "overflow_pct": self.overflow_percentage(),
             "mean_decision_seconds": self.mean_decision_seconds(),
             "total_distance_km": self.total_distance_km(),
+            "driver_declines": float(self.total_declined_offers()),
+            "fleet_handoffs": float(self.total_handoffs()),
         }
 
 

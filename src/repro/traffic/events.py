@@ -74,6 +74,8 @@ class TrafficEvent:
         if self.kind not in EVENT_KINDS:
             raise ValueError(f"unknown traffic event kind {self.kind!r}; "
                              f"known: {EVENT_KINDS}")
+        if not (math.isfinite(self.start) and math.isfinite(self.end)):
+            raise ValueError("traffic event start/end must be finite")
         if not self.end > self.start:
             raise ValueError("traffic event must end after it starts")
         if self.factor is None:

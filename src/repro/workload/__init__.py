@@ -17,9 +17,11 @@ Everything is seeded and deterministic.
 
 from repro.workload.city import CityProfile, CITY_A, CITY_B, CITY_C, GRUBHUB, CITY_PROFILES
 from repro.workload.generator import (
+    FLEET_MODES,
     Restaurant,
     Scenario,
     TRAFFIC_INTENSITIES,
+    generate_fleet_plan,
     generate_scenario,
     generate_orders,
     generate_restaurants,
@@ -51,8 +53,10 @@ __all__ = [
     "generate_orders",
     "generate_restaurants",
     "generate_traffic_timeline",
+    "generate_fleet_plan",
     "generate_vehicles",
     "TRAFFIC_INTENSITIES",
+    "FLEET_MODES",
     "DatasetSummary",
     "summarize_scenario",
     "order_vehicle_ratio_by_slot",

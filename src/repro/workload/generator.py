@@ -20,8 +20,16 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.fleet.behavior import DriverBehavior
+from repro.fleet.controller import FleetPlan
+from repro.fleet.shifts import (
+    FleetEvent,
+    FleetTimeline,
+    ShiftSchedule,
+    staggered_schedules,
+)
 from repro.network.graph import RoadNetwork, SECONDS_PER_HOUR
 from repro.network.shortest_path import dijkstra_all
 from repro.orders.order import Order
@@ -54,6 +62,10 @@ class Scenario:
     ``traffic`` optionally carries the day's dynamic-traffic event timeline
     (incidents, closures, zonal rush hours); the simulator attaches a
     :class:`~repro.traffic.controller.TrafficController` for it automatically.
+    ``fleet`` optionally carries the driver-lifecycle plan (shift schedules,
+    supply events, behaviour model — see :mod:`repro.fleet`); the simulator
+    attaches a :class:`~repro.fleet.controller.FleetController` for it the
+    same way.  ``None`` keeps the seed static always-online fleet.
     """
 
     profile: CityProfile
@@ -63,6 +75,7 @@ class Scenario:
     vehicles: List[Vehicle]
     seed: int
     traffic: TrafficTimeline = field(default_factory=TrafficTimeline.empty)
+    fleet: Optional[FleetPlan] = None
 
     @property
     def name(self) -> str:
@@ -272,6 +285,85 @@ def generate_traffic_timeline(network: RoadNetwork, rng: random.Random,
     return TrafficTimeline(tuple(events))
 
 
+#: Named fleet-dynamics modes accepted by :func:`generate_fleet_plan` and the
+#: CLI ``--fleet`` flag.  ``none`` keeps the seed static fleet; ``shifts``
+#: adds per-vehicle login/logout/break schedules; ``full`` adds supply events
+#: (surge onboarding, zonal drains), stochastic offer rejection, kitchen
+#: delays and hot-spot repositioning on top.
+FLEET_MODES = ("none", "shifts", "full")
+
+
+def generate_fleet_plan(network: RoadNetwork, vehicles: Sequence[Vehicle],
+                        rng: random.Random, mode: str = "none",
+                        start_hour: int = 0, end_hour: int = 24,
+                        ) -> Tuple[Optional[FleetPlan], List[Vehicle]]:
+    """Generate a day's driver-lifecycle plan for an existing fleet.
+
+    Returns ``(plan, reserve_vehicles)``: the reserves are *extra* vehicles
+    (empty base schedule, activated only by surge-onboarding events) the
+    caller must append to the scenario's fleet.  ``mode`` is a named level
+    from :data:`FLEET_MODES`.  All draws come from ``rng``, so plans are
+    deterministic under the workload seed and the base scenario content is
+    identical across modes.
+    """
+    if mode not in FLEET_MODES:
+        raise ValueError(f"unknown fleet mode {mode!r}; known: {FLEET_MODES}")
+    if mode == "none" or not vehicles:
+        return None, []
+    start = start_hour * SECONDS_PER_HOUR
+    end = end_hour * SECONDS_PER_HOUR
+    ids = [vehicle.vehicle_id for vehicle in vehicles]
+    schedules = staggered_schedules(ids, start, end, rng, coverage=0.85)
+    if mode == "shifts":
+        return FleetPlan(schedules=schedules, timeline=FleetTimeline.empty(),
+                         behavior=None, repositioning="stay",
+                         seed=rng.randrange(2 ** 31)), []
+
+    # Full dynamics: a reserve pool for surges, supply events, stochastic
+    # behaviour and hot-spot repositioning.
+    nodes = network.nodes
+    horizon = max(1.0, end - start)
+    hours = max(1, end_hour - start_hour)
+    next_id = max(ids) + 1
+    num_reserves = max(1, round(0.15 * len(ids)))
+    # Reserves keep the default all-day *vehicle-level* window: duty is gated
+    # entirely by their (empty) schedule plus surge intervals, and policies
+    # re-check vehicle.is_on_duty internally — a zero-length vehicle window
+    # would silently veto every assignment a surge makes possible.
+    reserves = [Vehicle(vehicle_id=next_id + offset, node=rng.choice(nodes))
+                for offset in range(num_reserves)]
+    for vehicle in reserves:
+        schedules[vehicle.vehicle_id] = ShiftSchedule.off()
+
+    def begin(duration: float) -> float:
+        latest = max(start, end - duration)
+        return rng.uniform(start, latest)
+
+    events: List[FleetEvent] = []
+    for _ in range(max(1, round(hours / 3))):
+        duration = min(horizon, rng.uniform(1800.0, 5400.0))
+        events.append(FleetEvent(
+            event_id=len(events), kind="surge_onboarding",
+            start=(first := begin(duration)), end=first + duration,
+            count=max(1, round(num_reserves * rng.uniform(0.4, 1.0)))))
+    for _ in range(max(1, round(hours / 2))):
+        duration = min(horizon, rng.uniform(1200.0, 3600.0))
+        events.append(FleetEvent(
+            event_id=len(events), kind="driver_drain",
+            start=(first := begin(duration)), end=first + duration,
+            fraction=rng.uniform(0.2, 0.45), zone_center=rng.choice(nodes),
+            zone_radius_seconds=rng.uniform(240.0, 480.0)))
+    plan = FleetPlan(
+        schedules=schedules,
+        timeline=FleetTimeline(tuple(events)),
+        behavior=DriverBehavior(seed=rng.randrange(2 ** 31)),
+        repositioning="hotspot",
+        seed=rng.randrange(2 ** 31),
+        reserve_ids=tuple(vehicle.vehicle_id for vehicle in reserves),
+    )
+    return plan, reserves
+
+
 def generate_vehicles(network: RoadNetwork, profile: CityProfile,
                       rng: random.Random) -> List[Vehicle]:
     """Create the vehicle fleet, spread over the network with all-day shifts.
@@ -297,7 +389,7 @@ def generate_vehicles(network: RoadNetwork, profile: CityProfile,
 
 def generate_scenario(profile: CityProfile, seed: int = 0,
                       start_hour: int = 0, end_hour: int = 24,
-                      traffic: str = "none") -> Scenario:
+                      traffic: str = "none", fleet: str = "none") -> Scenario:
     """Materialise a complete scenario for a city profile.
 
     ``start_hour`` / ``end_hour`` restrict the generated order stream (the
@@ -305,7 +397,10 @@ def generate_scenario(profile: CityProfile, seed: int = 0,
     reasonable); the fleet and restaurants are always generated in full.
     ``traffic`` selects a dynamic-traffic intensity from
     :data:`TRAFFIC_INTENSITIES` (``"none"`` keeps the network static, as in
-    earlier revisions).
+    earlier revisions); ``fleet`` selects a driver-lifecycle mode from
+    :data:`FLEET_MODES` (``"none"`` keeps the static always-online fleet).
+    Both draw from seeds derived from the workload seed, so the base
+    scenario content is identical across traffic/fleet modes.
     """
     rng = random.Random(seed)
     network = profile.network_factory()
@@ -316,17 +411,25 @@ def generate_scenario(profile: CityProfile, seed: int = 0,
     timeline = generate_traffic_timeline(network, random.Random(seed + 7919),
                                          intensity=traffic,
                                          start_hour=start_hour, end_hour=end_hour)
+    fleet_plan, reserves = generate_fleet_plan(network, vehicles,
+                                               random.Random(seed + 4099),
+                                               mode=fleet,
+                                               start_hour=start_hour,
+                                               end_hour=end_hour)
     return Scenario(profile=profile, network=network, restaurants=restaurants,
-                    orders=orders, vehicles=vehicles, seed=seed, traffic=timeline)
+                    orders=orders, vehicles=vehicles + reserves, seed=seed,
+                    traffic=timeline, fleet=fleet_plan)
 
 
 __all__ = [
     "Restaurant",
     "Scenario",
     "TRAFFIC_INTENSITIES",
+    "FLEET_MODES",
     "generate_restaurants",
     "generate_orders",
     "generate_vehicles",
     "generate_traffic_timeline",
+    "generate_fleet_plan",
     "generate_scenario",
 ]

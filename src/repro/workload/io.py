@@ -17,6 +17,9 @@ import json
 import pathlib
 from typing import Dict, List, Union
 
+from repro.fleet.behavior import behavior_from_dict, behavior_to_dict
+from repro.fleet.controller import FleetPlan
+from repro.fleet.shifts import FleetEvent, FleetTimeline, ShiftSchedule
 from repro.network.graph import RoadNetwork, TimeProfile
 from repro.orders.order import Order
 from repro.orders.vehicle import Vehicle
@@ -27,10 +30,12 @@ from repro.workload.generator import Restaurant, Scenario
 
 PathLike = Union[str, pathlib.Path]
 
-#: Version 2 added the optional dynamic-traffic event timeline; version-1
-#: documents (no ``traffic`` key) still load as static scenarios.
-_FORMAT_VERSION = 2
-_SUPPORTED_VERSIONS = (1, 2)
+#: Version 2 added the optional dynamic-traffic event timeline; version 3
+#: added the optional driver-lifecycle fleet plan (shift schedules, supply
+#: events, behaviour model).  Older documents (no ``traffic`` / ``fleet``
+#: key) still load as static scenarios.
+_FORMAT_VERSION = 3
+_SUPPORTED_VERSIONS = (1, 2, 3)
 
 
 # --------------------------------------------------------------------------- #
@@ -94,7 +99,69 @@ def scenario_to_dict(scenario: Scenario) -> Dict:
             }
             for e in scenario.traffic
         ],
+        "fleet": _fleet_plan_to_dict(scenario.fleet),
     }
+
+
+def _fleet_plan_to_dict(plan) -> Union[Dict, None]:
+    """Serialise an optional :class:`~repro.fleet.controller.FleetPlan`."""
+    if plan is None:
+        return None
+    return {
+        "schedules": {
+            str(vehicle_id): [[start, end] for start, end in schedule.intervals]
+            for vehicle_id, schedule in sorted(plan.schedules.items())
+        },
+        "events": [
+            {
+                "event_id": e.event_id,
+                "kind": e.kind,
+                "start": e.start,
+                "end": e.end,
+                "count": e.count,
+                "fraction": e.fraction,
+                "zone_center": e.zone_center,
+                "zone_radius_seconds": e.zone_radius_seconds,
+            }
+            for e in plan.timeline
+        ],
+        "behavior": behavior_to_dict(plan.behavior),
+        "repositioning": plan.repositioning,
+        "seed": plan.seed,
+        "reserve_ids": list(plan.reserve_ids),
+    }
+
+
+def _fleet_plan_from_dict(payload: Union[Dict, None]) -> Union[FleetPlan, None]:
+    """Rebuild an optional fleet plan (inverse of :func:`_fleet_plan_to_dict`)."""
+    if payload is None:
+        return None
+    schedules = {
+        int(vehicle_id): ShiftSchedule(tuple(
+            (float(start), float(end)) for start, end in blocks))
+        for vehicle_id, blocks in payload["schedules"].items()
+    }
+    timeline = FleetTimeline(tuple(
+        FleetEvent(
+            event_id=int(e["event_id"]),
+            kind=str(e["kind"]),
+            start=float(e["start"]),
+            end=float(e["end"]),
+            count=int(e["count"]),
+            fraction=float(e["fraction"]),
+            zone_center=None if e["zone_center"] is None else int(e["zone_center"]),
+            zone_radius_seconds=float(e["zone_radius_seconds"]),
+        )
+        for e in payload["events"]
+    ))
+    return FleetPlan(
+        schedules=schedules,
+        timeline=timeline,
+        behavior=behavior_from_dict(payload["behavior"]),
+        repositioning=str(payload["repositioning"]),
+        seed=int(payload["seed"]),
+        reserve_ids=tuple(int(v) for v in payload["reserve_ids"]),
+    )
 
 
 def scenario_from_dict(payload: Dict) -> Scenario:
@@ -172,7 +239,8 @@ def scenario_from_dict(payload: Dict) -> Scenario:
                               mean_prep_minutes=10.0)
     return Scenario(profile=profile, network=network, restaurants=restaurants,
                     orders=orders, vehicles=vehicles, seed=int(payload["seed"]),
-                    traffic=traffic)
+                    traffic=traffic,
+                    fleet=_fleet_plan_from_dict(payload.get("fleet")))
 
 
 def save_scenario(scenario: Scenario, path: PathLike) -> None:
@@ -210,6 +278,8 @@ def result_to_dict(result: SimulationResult) -> Dict:
                 "rejected": outcome.rejected,
                 "vehicle_id": outcome.vehicle_id,
                 "reassignments": outcome.reassignments,
+                "offer_rejections": outcome.offer_rejections,
+                "handoffs": outcome.handoffs,
                 "xdt": outcome.xdt,
             }
             for outcome in result.outcomes.values()
@@ -222,6 +292,8 @@ def result_to_dict(result: SimulationResult) -> Dict:
                 "num_vehicles": window.num_vehicles,
                 "num_assigned_orders": window.num_assigned_orders,
                 "decision_seconds": window.decision_seconds,
+                "num_declined_offers": window.num_declined_offers,
+                "num_handoffs": window.num_handoffs,
             }
             for window in result.windows
         ],
@@ -237,7 +309,8 @@ def save_result_json(result: SimulationResult, path: PathLike) -> None:
 def save_result_csv(result: SimulationResult, path: PathLike) -> None:
     """Write the per-order records of a simulation result as CSV."""
     fields = ["order_id", "placed_at", "sdt", "assigned_at", "picked_up_at",
-              "delivered_at", "rejected", "vehicle_id", "reassignments", "xdt"]
+              "delivered_at", "rejected", "vehicle_id", "reassignments",
+              "offer_rejections", "handoffs", "xdt"]
     rows: List[Dict] = result_to_dict(result)["orders"]
     with open(path, "w", encoding="utf-8", newline="") as handle:
         writer = csv.DictWriter(handle, fieldnames=fields)

@@ -111,7 +111,7 @@ class TestMonotonicity:
         _, stats = cluster_orders(orders, batch_model, 0.0, BatchingConfig(eta=1e9))
         trace = stats.avg_cost_trace
         assert all(later >= earlier - 1e-9
-                   for earlier, later in zip(trace, trace[1:]))
+                   for earlier, later in zip(trace, trace[1:], strict=False))
 
     @given(seed=st.integers(min_value=0, max_value=10_000),
            count=st.integers(min_value=2, max_value=8))
@@ -125,7 +125,7 @@ class TestMonotonicity:
         _, stats = cluster_orders(orders, batch_model, 0.0, BatchingConfig(eta=1e9))
         trace = stats.avg_cost_trace
         assert all(later >= earlier - 1e-6
-                   for earlier, later in zip(trace, trace[1:]))
+                   for earlier, later in zip(trace, trace[1:], strict=False))
 
     @given(seed=st.integers(min_value=0, max_value=10_000))
     @settings(max_examples=15, deadline=None)

@@ -90,7 +90,7 @@ class TestSparsifiedFoodGraph:
         graph = build_sparsified_foodgraph(sample_batches, sample_vehicles, cost_model,
                                            0.0, k=k)
         oracle = cost_model.oracle
-        for (b_idx, v_idx), (weight, _) in graph.edges.items():
+        for (b_idx, v_idx), (_weight, _) in graph.edges.items():
             vehicle = sample_vehicles[v_idx]
             distances = sorted(
                 oracle.distance(vehicle.node, batch.first_pickup_node, 0.0)

@@ -1,0 +1,154 @@
+"""Experiment-layer wiring of the fleet subsystem and the oracle reset.
+
+Covers the ``ExperimentSetting.fleet`` / ``repair_fraction`` knobs, the
+scenario-cache keying, the ``sweep_fleet`` sweep, and the
+``DistanceOracle.reset_traffic_state`` hook ``run_policy_comparison`` uses to
+stop long shared-oracle sweeps from accumulating repairs into periodic full
+rebuilds (ROADMAP open item).
+"""
+
+import math
+
+import pytest
+
+from repro.experiments.runner import (
+    ExperimentSetting,
+    PolicySpec,
+    clear_cache,
+    materialize,
+    run_policy_comparison,
+    run_setting,
+)
+from repro.experiments.sweeps import sweep_fleet
+from repro.network.distance_oracle import DistanceOracle
+from repro.network.generators import grid_city
+from repro.workload.city import CITY_A
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_cache()
+    yield
+    clear_cache()
+
+
+def small_setting(**overrides):
+    defaults = dict(profile=CITY_A, scale=0.1, start_hour=12, end_hour=13)
+    defaults.update(overrides)
+    return ExperimentSetting(**defaults)
+
+
+class TestFleetSetting:
+    def test_fleet_mode_part_of_cache_key(self):
+        static_scenario, static_oracle = materialize(small_setting(fleet="none"))
+        shifts_scenario, shifts_oracle = materialize(small_setting(fleet="shifts"))
+        assert static_scenario is not shifts_scenario
+        assert static_oracle is not shifts_oracle
+        assert static_scenario.fleet is None
+        assert shifts_scenario.fleet is not None
+        # Same key hits the cache.
+        again, _ = materialize(small_setting(fleet="shifts"))
+        assert again is shifts_scenario
+
+    def test_run_setting_with_full_fleet(self):
+        result = run_setting(small_setting(fleet="full", scale=0.15),
+                             PolicySpec.of("greedy"))
+        summary = result.summary()
+        assert summary["delivered"] + summary["rejected"] == summary["orders"]
+
+    def test_surge_reserves_pass_policy_eligibility(self):
+        # Policies re-filter the engine's vehicle list through
+        # AssignmentPolicy.eligible_vehicles (vehicle.is_on_duty), so reserve
+        # vehicles must keep the default all-day vehicle-level window — duty
+        # gating belongs to their (empty) schedule plus surge intervals.
+        scenario, oracle = materialize(small_setting(fleet="full", scale=0.3))
+        plan = scenario.fleet
+        assert plan.reserve_ids, "full mode should create a reserve pool"
+        reserves = [v for v in scenario.vehicles
+                    if v.vehicle_id in plan.reserve_ids]
+        from repro.core.policy import AssignmentPolicy
+        from repro.fleet.controller import FleetController
+        controller = FleetController(plan, oracle, scenario.restaurants)
+        surge = next(e for e in plan.timeline if e.kind == "surge_onboarding")
+        midpoint = (surge.start + surge.end) / 2.0
+        on_duty = [v for v in reserves if controller.on_duty(v, midpoint)]
+        assert on_duty, "an active surge must put reserves on duty"
+        assert AssignmentPolicy.eligible_vehicles(on_duty, midpoint) == on_duty
+
+    def test_repair_fraction_override_applied(self):
+        setting = small_setting(repair_fraction=0.9)
+        run_setting(setting, PolicySpec.of("greedy"))
+        _, oracle = materialize(setting)
+        assert oracle.repair_fraction == 0.9
+
+    def test_repair_fraction_override_does_not_stick(self):
+        # The oracle is cached per setting key (which excludes
+        # repair_fraction); a later default-configured run must see the
+        # class default again, not an earlier run's override.
+        run_setting(small_setting(repair_fraction=0.9), PolicySpec.of("greedy"))
+        run_setting(small_setting(), PolicySpec.of("greedy"))
+        _, oracle = materialize(small_setting())
+        assert oracle.repair_fraction == DistanceOracle.repair_fraction
+        assert "repair_fraction" not in oracle.__dict__
+
+    def test_default_leaves_class_repair_fraction(self):
+        setting = small_setting()
+        run_setting(setting, PolicySpec.of("greedy"))
+        _, oracle = materialize(setting)
+        assert oracle.repair_fraction == DistanceOracle.repair_fraction
+
+
+class TestSweepFleet:
+    def test_sweep_records_labels_and_metrics(self):
+        sweep = sweep_fleet(small_setting(), PolicySpec.of("greedy"),
+                            modes=("none", "full"))
+        assert sweep.labels == ["none", "full"]
+        assert sweep.values == [0.0, 1.0]
+        xdt = sweep.series("xdt_hours_per_day")
+        assert len(xdt) == 2 and all(v >= 0.0 for v in xdt)
+        assert sweep.metrics[0.0]["driver_declines"] == 0.0
+
+
+class TestOracleReset:
+    def test_reset_clears_overrides_accounting_and_caches(self):
+        network = grid_city(rows=6, cols=6, block_km=0.5, seed=3)
+        oracle = DistanceOracle(network, method="hub_label")
+        nodes = network.nodes
+        baseline = {(s, t): oracle.distance(s, t, 0.0)
+                    for s in nodes[:6] for t in nodes[-6:]}
+        edge = next((u, v) for u, v, _ in network.edges())
+        oracle.apply_traffic_updates({edge: 4.0})
+        assert network.edge_overrides()
+        oracle.reset_traffic_state()
+        assert not network.edge_overrides()
+        assert not oracle._repaired_out and not oracle._repaired_in
+        for name, info in oracle.cache_info().items():
+            assert info["size"] == 0, name
+        for (s, t), want in baseline.items():
+            got = oracle.distance(s, t, 0.0)
+            assert math.isclose(got, want, rel_tol=1e-9), (s, t)
+
+    def test_policy_comparison_resets_between_runs(self):
+        setting = small_setting(traffic="heavy", scale=0.15)
+        results = run_policy_comparison(
+            setting, [PolicySpec.of("greedy"), PolicySpec.of("km")])
+        assert set(results) == {"greedy", "km"}
+        _, oracle = materialize(setting)
+        # The comparison reset the oracle before the second policy, so the
+        # accumulated-repair accounting only reflects a single replay.
+        oracle.reset_traffic_state()
+        assert not oracle.network.edge_overrides()
+
+    def test_policy_comparison_resets_before_first_policy(self):
+        # A previous run of the same cached setting may leave end-of-day
+        # overrides applied; the first compared policy must not see them.
+        setting = small_setting()
+        clean = run_policy_comparison(setting, [PolicySpec.of("greedy")])
+        _, oracle = materialize(setting)
+        edge = next((u, v) for u, v, _ in oracle.network.edges())
+        oracle.apply_traffic_updates({edge: 50.0})
+        polluted = run_policy_comparison(setting, [PolicySpec.of("greedy")])
+        skip = {"mean_decision_seconds", "overflow_pct"}
+        for key, value in clean["greedy"].summary().items():
+            if key not in skip:
+                assert polluted["greedy"].summary()[key] == value, key

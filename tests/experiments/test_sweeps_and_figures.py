@@ -93,7 +93,8 @@ class TestFigureHarness:
         result = figures.fig4a_percentile_ranks(tiny_setting, max_windows=3)
         cdf = result.data["cdf"]
         assert cdf[100] == pytest.approx(100.0) or not result.data["percentiles"]
-        assert all(cdf[a] <= cdf[b] for a, b in zip(sorted(cdf), sorted(cdf)[1:]))
+        assert all(cdf[a] <= cdf[b]
+                   for a, b in zip(sorted(cdf), sorted(cdf)[1:], strict=False))
 
     def test_fig6b(self, tiny_settings_map):
         result = figures.fig6b_vs_reyes(tiny_settings_map, seeds=(0,))

@@ -1,0 +1,109 @@
+"""Tests for the stochastic driver-behaviour model."""
+
+import random
+
+import pytest
+
+from repro.fleet.behavior import (
+    DriverBehavior,
+    behavior_from_dict,
+    behavior_to_dict,
+)
+
+
+class TestValidation:
+    @pytest.mark.parametrize("kwargs,match", [
+        ({"base_acceptance": 1.5}, "probability"),
+        ({"base_acceptance": -0.1}, "probability"),
+        ({"min_acceptance": 0.95, "base_acceptance": 0.9}, "cannot exceed"),
+        ({"distance_sensitivity": -1.0}, "non-negative"),
+        ({"batch_sensitivity": float("inf")}, "finite"),
+        ({"prep_delay_mean": -5.0}, "non-negative"),
+        ({"prep_delay_std": -1.0}, "non-negative"),
+        ({"propensity_spread": 1.0}, "propensity_spread"),
+    ])
+    def test_invalid_parameters_rejected(self, kwargs, match):
+        with pytest.raises(ValueError, match=match):
+            DriverBehavior(**kwargs)
+
+
+class TestAcceptance:
+    def test_probability_monotone_in_distance(self):
+        behavior = DriverBehavior(seed=1)
+        probs = [behavior.acceptance_probability(3, miles, 1)
+                 for miles in (0.0, 600.0, 1800.0, 3600.0)]
+        assert probs == sorted(probs, reverse=True)
+
+    def test_probability_monotone_in_batch_size(self):
+        behavior = DriverBehavior(seed=1)
+        probs = [behavior.acceptance_probability(3, 300.0, size)
+                 for size in (1, 2, 3, 5)]
+        assert probs == sorted(probs, reverse=True)
+
+    def test_probability_clamped_to_floor_and_one(self):
+        behavior = DriverBehavior(seed=1, min_acceptance=0.3)
+        assert behavior.acceptance_probability(3, 10 ** 7, 50) == 0.3
+        eager = DriverBehavior(seed=1, base_acceptance=1.0, min_acceptance=1.0,
+                               distance_sensitivity=0.0, batch_sensitivity=0.0,
+                               propensity_spread=0.0)
+        assert eager.acceptance_probability(3, 5000.0, 4) == 1.0
+
+    def test_unreachable_pickup_never_accepted(self):
+        behavior = DriverBehavior(seed=1)
+        assert behavior.acceptance_probability(3, float("inf"), 1) == 0.0
+        assert not behavior.accepts(3, float("inf"), 1, random.Random(0))
+
+    def test_vehicle_propensity_deterministic_and_bounded(self):
+        behavior = DriverBehavior(seed=9, propensity_spread=0.1)
+        values = [behavior.vehicle_propensity(vid) for vid in range(50)]
+        assert values == [behavior.vehicle_propensity(vid) for vid in range(50)]
+        assert all(0.9 <= v <= 1.1 for v in values)
+        assert len(set(values)) > 1, "propensity should vary across vehicles"
+
+    def test_accepts_draws_from_supplied_rng(self):
+        behavior = DriverBehavior(seed=1, base_acceptance=0.5, min_acceptance=0.0,
+                                  distance_sensitivity=0.0, batch_sensitivity=0.0,
+                                  propensity_spread=0.0)
+        first = [behavior.accepts(0, 0.0, 1, random.Random(42)) for _ in range(5)]
+        # A fresh RNG per call gives identical decisions; one shared stream varies.
+        assert len(set(first)) == 1
+        shared = random.Random(42)
+        decisions = [behavior.accepts(0, 0.0, 1, shared) for _ in range(100)]
+        assert any(decisions) and not all(decisions)
+
+    def test_always_decline_configuration(self):
+        never = DriverBehavior(seed=1, base_acceptance=0.0, min_acceptance=0.0)
+        rng = random.Random(0)
+        assert not any(never.accepts(0, 0.0, 1, rng) for _ in range(50))
+
+
+class TestPrepDelay:
+    def test_deterministic_per_order(self):
+        behavior = DriverBehavior(seed=4)
+        delays = [behavior.prep_delay(oid) for oid in range(100)]
+        assert delays == [behavior.prep_delay(oid) for oid in range(100)]
+        assert all(d >= 0.0 for d in delays)
+        assert len(set(delays)) > 10, "delays should vary across orders"
+
+    def test_zero_configuration_adds_nothing(self):
+        behavior = DriverBehavior(seed=4, prep_delay_mean=0.0, prep_delay_std=0.0)
+        assert all(behavior.prep_delay(oid) == 0.0 for oid in range(20))
+
+    def test_different_seeds_decorrelate(self):
+        a = DriverBehavior(seed=1)
+        b = DriverBehavior(seed=2)
+        assert [a.prep_delay(i) for i in range(10)] != \
+            [b.prep_delay(i) for i in range(10)]
+
+
+class TestSerialisation:
+    def test_round_trip(self):
+        behavior = DriverBehavior(seed=7, base_acceptance=0.8,
+                                  distance_sensitivity=0.1, batch_sensitivity=0.02,
+                                  min_acceptance=0.3, propensity_spread=0.05,
+                                  prep_delay_mean=120.0, prep_delay_std=30.0)
+        assert behavior_from_dict(behavior_to_dict(behavior)) == behavior
+
+    def test_none_round_trips(self):
+        assert behavior_to_dict(None) is None
+        assert behavior_from_dict(None) is None

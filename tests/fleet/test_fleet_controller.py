@@ -1,0 +1,167 @@
+"""Tests for the fleet controller: duty state, events, offers, repositioning."""
+
+from repro.core.policy import Assignment
+from repro.fleet.behavior import DriverBehavior
+from repro.fleet.controller import FleetController, FleetPlan
+from repro.fleet.shifts import FleetEvent, FleetTimeline, ShiftSchedule
+from repro.orders.vehicle import Vehicle
+
+
+def controller(oracle, plan, restaurants=()):
+    return FleetController(plan, oracle, restaurants)
+
+
+class TestDutyState:
+    def test_schedule_overrides_vehicle_window(self, oracle):
+        vehicle = Vehicle(vehicle_id=0, node=0, shift_start=0.0, shift_end=86400.0)
+        plan = FleetPlan(schedules={0: ShiftSchedule(((100.0, 200.0),))})
+        ctrl = controller(oracle, plan)
+        assert not ctrl.on_duty(vehicle, 50.0)
+        assert ctrl.on_duty(vehicle, 150.0)
+        assert not ctrl.on_duty(vehicle, 200.0)
+
+    def test_unscheduled_vehicle_keeps_seed_semantics(self, oracle):
+        vehicle = Vehicle(vehicle_id=5, node=0, shift_start=100.0, shift_end=200.0)
+        ctrl = controller(oracle, FleetPlan())
+        assert not ctrl.on_duty(vehicle, 50.0)
+        assert ctrl.on_duty(vehicle, 150.0)
+
+    def test_surge_activates_reserves_for_event_window(self, oracle):
+        reserve = Vehicle(vehicle_id=9, node=0, shift_start=0.0, shift_end=0.0)
+        event = FleetEvent(0, "surge_onboarding", 1000.0, 2000.0, count=1)
+        plan = FleetPlan(schedules={9: ShiftSchedule.off()},
+                         timeline=FleetTimeline((event,)), reserve_ids=(9,))
+        ctrl = controller(oracle, plan)
+        assert not ctrl.on_duty(reserve, 500.0)
+        assert ctrl.on_duty(reserve, 1500.0)
+        assert not ctrl.on_duty(reserve, 2000.0)
+
+    def test_surge_without_reserves_is_harmless(self, oracle):
+        event = FleetEvent(0, "surge_onboarding", 1000.0, 2000.0, count=3)
+        plan = FleetPlan(timeline=FleetTimeline((event,)))
+        vehicle = Vehicle(vehicle_id=0, node=0)
+        assert controller(oracle, plan).on_duty(vehicle, 1500.0)
+
+
+class TestAdvanceAndDrain:
+    def test_logout_reported_once(self, oracle):
+        vehicle = Vehicle(vehicle_id=0, node=0)
+        plan = FleetPlan(schedules={0: ShiftSchedule(((0.0, 300.0),))})
+        ctrl = controller(oracle, plan)
+        assert ctrl.advance(0.0, [vehicle]) == []
+        assert ctrl.advance(300.0, [vehicle]) == [vehicle]
+        assert ctrl.advance(600.0, [vehicle]) == []
+        assert ctrl.log.logins == 1
+        assert ctrl.log.logouts == 1
+
+    def test_drain_takes_fraction_of_zone(self, oracle):
+        vehicles = [Vehicle(vehicle_id=vid, node=0) for vid in range(10)]
+        outside = Vehicle(vehicle_id=99, node=35)
+        event = FleetEvent(0, "driver_drain", 300.0, 900.0, fraction=0.5,
+                           zone_center=0, zone_radius_seconds=1.0)
+        plan = FleetPlan(
+            schedules={v.vehicle_id: ShiftSchedule.always()
+                       for v in vehicles + [outside]},
+            timeline=FleetTimeline((event,)), seed=3)
+        ctrl = controller(oracle, plan)
+        ctrl.advance(0.0, vehicles + [outside])
+        ctrl.advance(300.0, vehicles + [outside])
+        drained = [v for v in vehicles if not ctrl.on_duty(v, 300.0)]
+        assert len(drained) == 5
+        assert ctrl.log.drained_vehicles == 5
+        assert ctrl.on_duty(outside, 300.0), "outside the zone, never drained"
+        # Drained drivers come back when the event ends.
+        assert all(ctrl.on_duty(v, 900.0) for v in vehicles)
+
+    def test_drain_activates_only_once(self, oracle):
+        vehicles = [Vehicle(vehicle_id=vid, node=0) for vid in range(4)]
+        event = FleetEvent(0, "driver_drain", 300.0, 900.0, fraction=1.0,
+                           zone_center=0, zone_radius_seconds=1.0)
+        plan = FleetPlan(
+            schedules={v.vehicle_id: ShiftSchedule.always() for v in vehicles},
+            timeline=FleetTimeline((event,)))
+        ctrl = controller(oracle, plan)
+        ctrl.advance(300.0, vehicles)
+        first = ctrl.log.drained_vehicles
+        ctrl.advance(600.0, vehicles)
+        assert ctrl.log.drained_vehicles == first == 4
+
+    def test_advance_clears_reposition_target_of_offline_vehicle(self, oracle):
+        vehicle = Vehicle(vehicle_id=0, node=0)
+        vehicle.reposition_node = 35
+        plan = FleetPlan(schedules={0: ShiftSchedule(((0.0, 300.0),))})
+        ctrl = controller(oracle, plan)
+        ctrl.advance(0.0, [vehicle])
+        assert vehicle.reposition_node == 35
+        ctrl.advance(300.0, [vehicle])
+        assert vehicle.reposition_node is None
+
+
+class TestOfferScreening:
+    def _assignment(self, cost_model, make_order, vehicle, now=0.0):
+        order = make_order(restaurant=7, customer=28)
+        plan = cost_model.plan_for_vehicle(vehicle, [order], now)
+        return Assignment(vehicle=vehicle, orders=(order,), plan=plan)
+
+    def test_no_behavior_accepts_everything(self, oracle, cost_model, make_order):
+        vehicle = Vehicle(vehicle_id=0, node=0)
+        ctrl = controller(oracle, FleetPlan())
+        offer = self._assignment(cost_model, make_order, vehicle)
+        accepted, declined = ctrl.screen_offers([offer], 0.0)
+        assert accepted == [offer] and declined == []
+        assert ctrl.log.offers == 0, "screening without a model is free"
+
+    def test_always_decline_behavior_rejects_everything(self, oracle, cost_model,
+                                                        make_order):
+        vehicle = Vehicle(vehicle_id=0, node=0)
+        never = DriverBehavior(base_acceptance=0.0, min_acceptance=0.0)
+        ctrl = controller(oracle, FleetPlan(behavior=never))
+        offer = self._assignment(cost_model, make_order, vehicle)
+        accepted, declined = ctrl.screen_offers([offer], 0.0)
+        assert accepted == [] and declined == [offer]
+        assert ctrl.log.offers == 1 and ctrl.log.declines == 1
+
+    def test_always_accept_behavior_keeps_everything(self, oracle, cost_model,
+                                                     make_order):
+        vehicle = Vehicle(vehicle_id=0, node=0)
+        eager = DriverBehavior(base_acceptance=1.0, min_acceptance=1.0,
+                               distance_sensitivity=0.0, batch_sensitivity=0.0,
+                               propensity_spread=0.0)
+        ctrl = controller(oracle, FleetPlan(behavior=eager))
+        offer = self._assignment(cost_model, make_order, vehicle)
+        accepted, declined = ctrl.screen_offers([offer], 0.0)
+        assert accepted == [offer] and declined == []
+
+    def test_prep_delay_zero_without_behavior(self, oracle, make_order):
+        ctrl = controller(oracle, FleetPlan())
+        assert ctrl.prep_delay(make_order()) == 0.0
+
+    def test_prep_delay_from_behavior(self, oracle, make_order):
+        behavior = DriverBehavior(seed=3, prep_delay_mean=120.0, prep_delay_std=30.0)
+        ctrl = controller(oracle, FleetPlan(behavior=behavior))
+        order = make_order()
+        assert ctrl.prep_delay(order) == behavior.prep_delay(order.order_id)
+
+
+class TestRepositioningPlanning:
+    def test_idle_on_duty_vehicles_get_targets(self, oracle):
+        from types import SimpleNamespace
+        restaurants = [SimpleNamespace(node=0, popularity=1.0)]
+        idle = Vehicle(vehicle_id=0, node=35)
+        busy = Vehicle(vehicle_id=1, node=35)
+        busy.assigned[1] = object()
+        offline = Vehicle(vehicle_id=2, node=35, shift_start=0.0, shift_end=0.0)
+        plan = FleetPlan(repositioning="hotspot")
+        ctrl = controller(oracle, plan, restaurants)
+        moved = ctrl.plan_repositioning([idle, busy, offline], 0.0)
+        assert moved == 1
+        assert idle.reposition_node == 0
+        assert busy.reposition_node is None
+        assert offline.reposition_node is None
+        assert ctrl.log.repositions == 1
+
+    def test_stay_policy_moves_nobody(self, oracle):
+        idle = Vehicle(vehicle_id=0, node=35)
+        ctrl = controller(oracle, FleetPlan(repositioning="stay"))
+        assert ctrl.plan_repositioning([idle], 0.0) == 0
+        assert idle.reposition_node is None

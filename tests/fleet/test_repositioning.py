@@ -1,0 +1,107 @@
+"""Tests for idle-vehicle repositioning policies."""
+
+import random
+from types import SimpleNamespace
+
+import pytest
+
+from repro.fleet.repositioning import (
+    NEAR_ENOUGH_SECONDS,
+    DemandWeightedDriftPolicy,
+    ReturnToHotspotPolicy,
+    StayPolicy,
+    hotspot_nodes,
+    make_repositioning,
+)
+from repro.orders.vehicle import Vehicle
+
+
+def restaurant(node, popularity):
+    return SimpleNamespace(node=node, popularity=popularity)
+
+
+class TestHotspotNodes:
+    def test_popularity_mass_aggregates_per_node(self):
+        anchors = hotspot_nodes([restaurant(5, 1.0), restaurant(5, 0.5),
+                                 restaurant(9, 0.8)])
+        assert anchors == [(5, 1.5), (9, 0.8)]
+
+    def test_limit_keeps_heaviest(self):
+        restaurants = [restaurant(node, 1.0 / (node + 1)) for node in range(30)]
+        anchors = hotspot_nodes(restaurants, limit=4)
+        assert [node for node, _ in anchors] == [0, 1, 2, 3]
+
+
+class TestStay:
+    def test_never_moves_anyone(self, oracle):
+        vehicles = [Vehicle(vehicle_id=0, node=0)]
+        assert StayPolicy().targets(vehicles, 0.0) == {}
+
+
+class TestReturnToHotspot:
+    def test_targets_nearest_anchor(self, small_grid, oracle):
+        # Anchors in two opposite corners of the 6x6 grid (nodes 0 and 35).
+        restaurants = [restaurant(0, 1.0), restaurant(35, 1.0)]
+        policy = ReturnToHotspotPolicy(oracle, restaurants)
+        near_zero = Vehicle(vehicle_id=1, node=1)
+        near_last = Vehicle(vehicle_id=2, node=34)
+        targets = policy.targets([near_zero, near_last], 0.0)
+        # A vehicle one block from an anchor may already be "near enough";
+        # compute expectations from the actual distances.
+        d = oracle.distance(1, 0, 0.0)
+        if d > NEAR_ENOUGH_SECONDS:
+            assert targets[1] == 0
+            assert targets[2] == 35
+        else:
+            assert 1 not in targets and 2 not in targets
+
+    def test_distant_vehicle_is_moved(self, oracle):
+        restaurants = [restaurant(0, 1.0)]
+        policy = ReturnToHotspotPolicy(oracle, restaurants)
+        far = Vehicle(vehicle_id=7, node=35)
+        assert policy.targets([far], 0.0) == {7: 0}
+
+    def test_vehicle_at_anchor_stays(self, oracle):
+        restaurants = [restaurant(0, 1.0)]
+        policy = ReturnToHotspotPolicy(oracle, restaurants)
+        assert policy.targets([Vehicle(vehicle_id=3, node=0)], 0.0) == {}
+
+    def test_no_anchors_no_targets(self, oracle):
+        policy = ReturnToHotspotPolicy(oracle, [])
+        assert policy.targets([Vehicle(vehicle_id=0, node=35)], 0.0) == {}
+
+
+class TestDemandWeightedDrift:
+    def test_targets_are_anchor_nodes_and_deterministic(self, oracle):
+        restaurants = [restaurant(0, 2.0), restaurant(35, 1.0), restaurant(5, 0.5)]
+        vehicles = [Vehicle(vehicle_id=vid, node=17) for vid in range(8)]
+        first = DemandWeightedDriftPolicy(oracle, restaurants, random.Random(11))
+        second = DemandWeightedDriftPolicy(oracle, restaurants, random.Random(11))
+        targets = first.targets(vehicles, 0.0)
+        assert targets == second.targets(vehicles, 0.0)
+        anchor_nodes = {0, 35, 5}
+        assert targets, "central vehicles should be drawn somewhere"
+        assert set(targets.values()) <= anchor_nodes
+
+    def test_spread_across_anchors(self, oracle):
+        restaurants = [restaurant(0, 1.0), restaurant(35, 1.0)]
+        vehicles = [Vehicle(vehicle_id=vid, node=17) for vid in range(40)]
+        policy = DemandWeightedDriftPolicy(oracle, restaurants, random.Random(2))
+        chosen = set(policy.targets(vehicles, 0.0).values())
+        assert chosen == {0, 35}, "similar-mass anchors should both attract"
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name,cls", [
+        ("stay", StayPolicy),
+        ("hotspot", ReturnToHotspotPolicy),
+        ("demand", DemandWeightedDriftPolicy),
+    ])
+    def test_known_names(self, oracle, name, cls):
+        policy = make_repositioning(name, oracle, [restaurant(0, 1.0)])
+        assert isinstance(policy, cls)
+        assert policy.name == name
+
+    def test_unknown_name_rejected(self, oracle):
+        with pytest.raises(ValueError, match="unknown repositioning policy"):
+            make_repositioning("teleport", oracle, [])

@@ -1,0 +1,176 @@
+"""Tests for shift schedules, supply events and the fleet timeline."""
+
+import random
+
+import pytest
+
+from repro.fleet.shifts import (
+    FleetEvent,
+    FleetTimeline,
+    ShiftSchedule,
+    staggered_schedules,
+)
+
+
+class TestShiftSchedule:
+    def test_blocks_sorted_and_merged(self):
+        schedule = ShiftSchedule(((500.0, 900.0), (0.0, 200.0), (150.0, 400.0)))
+        assert schedule.intervals == ((0.0, 400.0), (500.0, 900.0))
+
+    def test_touching_blocks_merge(self):
+        schedule = ShiftSchedule(((0.0, 100.0), (100.0, 200.0)))
+        assert schedule.intervals == ((0.0, 200.0),)
+
+    @pytest.mark.parametrize("start,end", [(100.0, 100.0), (200.0, 100.0)])
+    def test_degenerate_blocks_rejected(self, start, end):
+        with pytest.raises(ValueError, match="end after it starts"):
+            ShiftSchedule(((start, end),))
+
+    @pytest.mark.parametrize("start,end", [
+        (float("nan"), 100.0), (0.0, float("inf"))])
+    def test_non_finite_blocks_rejected(self, start, end):
+        with pytest.raises(ValueError, match="finite"):
+            ShiftSchedule(((start, end),))
+
+    def test_is_on_duty_half_open(self):
+        schedule = ShiftSchedule(((100.0, 200.0),))
+        assert not schedule.is_on_duty(99.9)
+        assert schedule.is_on_duty(100.0)
+        assert schedule.is_on_duty(199.9)
+        assert not schedule.is_on_duty(200.0)
+
+    def test_break_splits_duty(self):
+        schedule = ShiftSchedule(((0.0, 100.0), (150.0, 250.0)))
+        assert schedule.is_on_duty(50.0)
+        assert not schedule.is_on_duty(120.0)
+        assert schedule.is_on_duty(200.0)
+        assert schedule.on_duty_seconds() == 200.0
+        assert schedule.boundaries() == [0.0, 100.0, 150.0, 250.0]
+
+    def test_next_logout_and_login(self):
+        schedule = ShiftSchedule(((0.0, 100.0), (150.0, 250.0)))
+        assert schedule.next_logout_after(50.0) == 100.0
+        assert schedule.next_logout_after(120.0) is None
+        assert schedule.next_login_at_or_after(120.0) == 150.0
+        assert schedule.next_login_at_or_after(300.0) is None
+
+    def test_empty_schedule_is_reserve(self):
+        schedule = ShiftSchedule.off()
+        assert not schedule
+        assert not schedule.is_on_duty(0.0)
+        assert schedule.on_duty_seconds() == 0.0
+
+    def test_always_covers_horizon(self):
+        schedule = ShiftSchedule.always(100.0, 200.0)
+        assert schedule.is_on_duty(100.0) and schedule.is_on_duty(199.0)
+        assert not schedule.is_on_duty(200.0)
+
+
+class TestStaggeredSchedules:
+    def test_deterministic_under_seed(self):
+        first = staggered_schedules(range(20), 0.0, 7200.0, random.Random(7))
+        second = staggered_schedules(range(20), 0.0, 7200.0, random.Random(7))
+        assert first == second
+
+    def test_blocks_within_horizon(self):
+        schedules = staggered_schedules(range(50), 1000.0, 9000.0, random.Random(3))
+        assert set(schedules) == set(range(50))
+        for schedule in schedules.values():
+            assert schedule
+            for start, end in schedule.intervals:
+                assert 1000.0 <= start < end <= 9000.0
+
+    def test_breaks_produce_two_blocks(self):
+        schedules = staggered_schedules(range(200), 0.0, 86400.0, random.Random(5),
+                                        coverage=0.9, break_probability=1.0)
+        split = [s for s in schedules.values() if len(s.intervals) == 2]
+        assert split, "high break probability should split most long shifts"
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError, match="end after it starts"):
+            staggered_schedules(range(3), 100.0, 100.0, random.Random(0))
+        with pytest.raises(ValueError, match="coverage"):
+            staggered_schedules(range(3), 0.0, 100.0, random.Random(0), coverage=0.0)
+
+
+class TestFleetEventValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fleet event kind"):
+            FleetEvent(0, "strike", 0.0, 1.0, count=1)
+
+    @pytest.mark.parametrize("start,end", [(200.0, 100.0), (100.0, 100.0)])
+    def test_degenerate_durations_rejected(self, start, end):
+        with pytest.raises(ValueError, match="end after it starts"):
+            FleetEvent(0, "surge_onboarding", start, end, count=1)
+
+    def test_non_finite_times_rejected(self):
+        with pytest.raises(ValueError, match="finite"):
+            FleetEvent(0, "surge_onboarding", float("nan"), 100.0, count=1)
+
+    def test_surge_requires_count(self):
+        with pytest.raises(ValueError, match="count >= 1"):
+            FleetEvent(0, "surge_onboarding", 0.0, 1.0, count=0)
+
+    @pytest.mark.parametrize("fraction", [0.0, -0.5, 1.5])
+    def test_drain_requires_fraction_in_unit_interval(self, fraction):
+        with pytest.raises(ValueError, match="fraction in"):
+            FleetEvent(0, "driver_drain", 0.0, 1.0, fraction=fraction,
+                       zone_center=3, zone_radius_seconds=60.0)
+
+    def test_drain_requires_zone(self):
+        with pytest.raises(ValueError, match="zone_center"):
+            FleetEvent(0, "driver_drain", 0.0, 1.0, fraction=0.5)
+
+    def test_zonal_event_requires_positive_radius(self):
+        with pytest.raises(ValueError, match="positive"):
+            FleetEvent(0, "driver_drain", 0.0, 1.0, fraction=0.5,
+                       zone_center=3, zone_radius_seconds=0.0)
+
+    def test_is_active_half_open(self):
+        event = FleetEvent(0, "surge_onboarding", 100.0, 200.0, count=2)
+        assert not event.is_active(99.9)
+        assert event.is_active(100.0)
+        assert not event.is_active(200.0)
+
+
+class TestZoneNodes:
+    def test_zone_contains_centre_and_respects_radius(self, small_grid):
+        tight = FleetEvent(0, "driver_drain", 0.0, 1.0, fraction=0.5,
+                           zone_center=0, zone_radius_seconds=1.0)
+        assert tight.zone_nodes(small_grid) == {0}
+        wide = FleetEvent(1, "driver_drain", 0.0, 1.0, fraction=0.5,
+                          zone_center=0, zone_radius_seconds=10 ** 9)
+        assert wide.zone_nodes(small_grid) == set(small_grid.nodes)
+
+    def test_unknown_centre_is_empty(self, small_grid):
+        event = FleetEvent(0, "driver_drain", 0.0, 1.0, fraction=0.5,
+                           zone_center=10 ** 6, zone_radius_seconds=60.0)
+        assert event.zone_nodes(small_grid) == set()
+
+    def test_surge_without_zone_is_empty(self, small_grid):
+        event = FleetEvent(0, "surge_onboarding", 0.0, 1.0, count=1)
+        assert event.zone_nodes(small_grid) == set()
+
+
+class TestFleetTimeline:
+    def test_events_sorted_by_start(self):
+        late = FleetEvent(0, "surge_onboarding", 500.0, 600.0, count=1)
+        early = FleetEvent(1, "surge_onboarding", 100.0, 900.0, count=1)
+        timeline = FleetTimeline((late, early))
+        assert [e.event_id for e in timeline] == [1, 0]
+
+    def test_active_at_boundaries_and_next_change(self):
+        events = (
+            FleetEvent(0, "surge_onboarding", 100.0, 300.0, count=1),
+            FleetEvent(1, "driver_drain", 200.0, 400.0, fraction=0.5,
+                       zone_center=0, zone_radius_seconds=60.0),
+        )
+        timeline = FleetTimeline(events)
+        assert [e.event_id for e in timeline.active_at(250.0)] == [0, 1]
+        assert timeline.boundaries() == [100.0, 200.0, 300.0, 400.0]
+        assert timeline.next_change_after(250.0) == 300.0
+        assert timeline.next_change_after(400.0) is None
+
+    def test_empty_timeline_is_falsy(self):
+        assert not FleetTimeline.empty()
+        assert len(FleetTimeline.empty()) == 0

@@ -65,9 +65,10 @@ class TestQueries:
     def test_path_is_valid_and_consistent(self, oracle, small_grid):
         path = oracle.path(0, 35, 0.0)
         assert path[0] == 0 and path[-1] == 35
-        for u, v in zip(path, path[1:]):
+        for u, v in zip(path, path[1:], strict=False):
             assert small_grid.has_edge(u, v)
-        total = sum(small_grid.edge_time(u, v, 0.0) for u, v in zip(path, path[1:]))
+        total = sum(small_grid.edge_time(u, v, 0.0)
+                    for u, v in zip(path, path[1:], strict=False))
         assert total == pytest.approx(oracle.distance(0, 35, 0.0))
 
     def test_path_trivial(self, oracle):

@@ -146,7 +146,8 @@ class TestIncrementalRepair:
             assert oracle.distance(s, t, 0.0) == pytest.approx(
                 dijkstra(net, s, t, 0.0), rel=1e-9, abs=1e-6)
             path = oracle.path(s, t)
-            length = sum(net.edge_time(a, b, 0.0) for a, b in zip(path, path[1:]))
+            length = sum(net.edge_time(a, b, 0.0)
+                         for a, b in zip(path, path[1:], strict=False))
             assert length == pytest.approx(dijkstra(net, s, t, 0.0),
                                            rel=1e-9, abs=1e-6)
 
@@ -178,7 +179,7 @@ class TestIncrementalRepair:
         rng = random.Random(2)
         edges = [(u, v) for u, v, _ in net.edges()]
         strategies = set()
-        for trial in range(6):
+        for _trial in range(6):
             changes = {edge: rng.choice([0.3, 2.0, 5.0])
                        for edge in rng.sample(edges, 6)}
             strategies.add(oracle.apply_traffic_updates(changes).strategy)
@@ -194,7 +195,7 @@ class TestIncrementalRepair:
         oracle = DistanceOracle(net, method="hub_label")
         edges = [(u, v) for u, v, _ in net.edges()]
         nodes = net.nodes
-        for step in range(3):
+        for _step in range(3):
             changes = {}
             for edge in rng.sample(edges, rng.randint(1, 3)):
                 changes[edge] = rng.choice([0.25, 0.5, 1.0, 2.0, 8.0, 600.0])

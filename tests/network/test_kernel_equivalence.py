@@ -114,7 +114,8 @@ class TestHubLabelEquivalence:
         sources = [rng.choice(nodes) for _ in range(30)]
         targets = [rng.choice(nodes) for _ in range(30)]
         paired = index.query_many(sources, targets)
-        for value, (s, t) in zip(paired, zip(sources, targets)):
+        for value, (s, t) in zip(paired, zip(sources, targets, strict=True),
+                                 strict=True):
             assert_same_distance(value, index.query(s, t))
         block = index.query_block(sources[:8], targets[:8])
         for i, s in enumerate(sources[:8]):
@@ -136,7 +137,8 @@ class TestOracleBatchedEquivalence:
             targets = [rng.choice(nodes) for _ in range(12)]
             paired = oracle.distances(sources, targets, t)
             block = oracle.distance_matrix(sources[:5], targets[:5], t)
-            for value, (s, tg) in zip(paired, zip(sources, targets)):
+            for value, (s, tg) in zip(paired, zip(sources, targets, strict=True),
+                                      strict=True):
                 assert_same_distance(value, oracle.distance(s, tg, t))
             for i, s in enumerate(sources[:5]):
                 for j, tg in enumerate(targets[:5]):

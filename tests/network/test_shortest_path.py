@@ -121,12 +121,13 @@ class TestPathReconstruction:
 
     def test_path_edges_exist(self, small_grid):
         path = shortest_path_nodes(small_grid, 0, 35)
-        for u, v in zip(path, path[1:]):
+        for u, v in zip(path, path[1:], strict=False):
             assert small_grid.has_edge(u, v)
 
     def test_path_length_matches_dijkstra(self, small_grid):
         path = shortest_path_nodes(small_grid, 0, 35)
-        total = sum(small_grid.edge_time(u, v, 0.0) for u, v in zip(path, path[1:]))
+        total = sum(small_grid.edge_time(u, v, 0.0)
+                    for u, v in zip(path, path[1:], strict=False))
         assert total == pytest.approx(dijkstra(small_grid, 0, 35))
 
     def test_trivial_path(self):

@@ -1,0 +1,235 @@
+"""Fleet/engine interaction invariants.
+
+Three paper-level guarantees:
+
+* **Golden identity** — a *neutral* fleet plan (always-on schedules, accept-
+  everything behaviour, zero kitchen delay, ``stay`` repositioning) runs
+  every fleet hook on every window yet reproduces the static-fleet
+  simulation bit-for-bit; and ``fleet="none"`` attaches no controller at all.
+* **No abandonment** — a driver whose shift ends mid-route finishes the
+  deliveries already on board; orders accepted but not yet picked up are
+  handed back to the pool (forced handoff) and never lost.
+* **Re-offer cascade** — declined offers leave their orders in the pool,
+  every decline is counted, and no order ever disappears: delivered +
+  rejected always equals the order count.
+"""
+
+from typing import List, Sequence
+
+from repro.core.greedy import GreedyPolicy
+from repro.core.policy import Assignment, AssignmentPolicy
+from repro.fleet.behavior import DriverBehavior
+from repro.fleet.controller import FleetController, FleetPlan
+from repro.fleet.shifts import ShiftSchedule
+from repro.network.distance_oracle import DistanceOracle
+from repro.orders.costs import CostModel
+from repro.orders.order import Order
+from repro.orders.vehicle import Vehicle
+from repro.sim.engine import SimulationConfig, Simulator, simulate
+from repro.workload.city import CITY_A, CityProfile
+from repro.workload.generator import Scenario, generate_scenario
+
+#: Summary keys that are deterministic functions of the trajectory (the
+#: wall-clock-dependent decision-time keys are excluded).
+DETERMINISTIC_KEYS = (
+    "orders", "delivered", "rejected", "rejection_rate", "xdt_hours_per_day",
+    "objective_hours_per_day", "mean_xdt_seconds", "mean_delivery_minutes",
+    "orders_per_km", "waiting_hours_per_day", "total_distance_km",
+    "driver_declines", "fleet_handoffs",
+)
+
+
+def neutral_plan(scenario: Scenario) -> FleetPlan:
+    """Every hook active, nothing changed (see bench_fleet's twin helper)."""
+    behavior = DriverBehavior(base_acceptance=1.0, min_acceptance=1.0,
+                              distance_sensitivity=0.0, batch_sensitivity=0.0,
+                              propensity_spread=0.0,
+                              prep_delay_mean=0.0, prep_delay_std=0.0)
+    schedules = {v.vehicle_id: ShiftSchedule.always(0.0, 2.0 * 86400.0)
+                 for v in scenario.vehicles}
+    return FleetPlan(schedules=schedules, behavior=behavior,
+                     repositioning="stay")
+
+
+class TestGoldenIdentity:
+    def test_fleet_none_attaches_no_controller(self):
+        scenario = generate_scenario(CITY_A.scaled(0.1), seed=3,
+                                     start_hour=12, end_hour=13, fleet="none")
+        assert scenario.fleet is None
+        oracle = DistanceOracle(scenario.network)
+        cost_model = CostModel(oracle)
+        simulator = Simulator(scenario, GreedyPolicy(cost_model), cost_model)
+        assert simulator.fleet is None
+
+    def test_neutral_plan_reproduces_static_run(self):
+        profile = CITY_A.scaled(0.25)
+        config = SimulationConfig(delta=120.0, start=12 * 3600.0, end=13 * 3600.0)
+
+        def run(with_neutral_plan: bool):
+            scenario = generate_scenario(profile, seed=5,
+                                         start_hour=12, end_hour=13)
+            oracle = DistanceOracle(scenario.network)
+            cost_model = CostModel(oracle)
+            fleet = None
+            if with_neutral_plan:
+                fleet = FleetController(neutral_plan(scenario), oracle,
+                                        scenario.restaurants)
+            return simulate(scenario, GreedyPolicy(cost_model), cost_model,
+                            config, fleet=fleet)
+
+        static = run(False)
+        neutral = run(True)
+        static_summary = static.summary()
+        neutral_summary = neutral.summary()
+        for key in DETERMINISTIC_KEYS:
+            assert static_summary[key] == neutral_summary[key], key
+        for order_id, outcome in static.outcomes.items():
+            twin = neutral.outcomes[order_id]
+            assert (outcome.assigned_at, outcome.picked_up_at,
+                    outcome.delivered_at, outcome.rejected) == \
+                   (twin.assigned_at, twin.picked_up_at,
+                    twin.delivered_at, twin.rejected)
+
+    def test_full_mode_is_deterministic_under_seed(self):
+        profile = CITY_A.scaled(0.2)
+        config = SimulationConfig(delta=120.0, start=12 * 3600.0, end=13 * 3600.0)
+
+        def run():
+            scenario = generate_scenario(profile, seed=7, start_hour=12,
+                                         end_hour=13, fleet="full")
+            oracle = DistanceOracle(scenario.network)
+            cost_model = CostModel(oracle)
+            return simulate(scenario, GreedyPolicy(cost_model), cost_model, config)
+
+        first, second = run(), run()
+        first_summary, second_summary = first.summary(), second.summary()
+        for key in DETERMINISTIC_KEYS:
+            assert first_summary[key] == second_summary[key], key
+
+    def test_base_workload_identical_across_fleet_modes(self):
+        profile = CITY_A.scaled(0.2)
+        runs = {mode: generate_scenario(profile, seed=11, start_hour=12,
+                                        end_hour=13, fleet=mode)
+                for mode in ("none", "shifts", "full")}
+        baseline = runs["none"]
+        for mode, scenario in runs.items():
+            assert scenario.orders == baseline.orders, mode
+            base_ids = {v.vehicle_id for v in baseline.vehicles}
+            assert {v.vehicle_id for v in scenario.vehicles} >= base_ids, mode
+
+
+class _AssignEverythingOnce(AssignmentPolicy):
+    """Scripted policy: one batch with every pool order, first window only."""
+
+    name = "scripted"
+    reshuffle = False
+
+    def __init__(self, cost_model: CostModel) -> None:
+        self._cost_model = cost_model
+        self._done = False
+
+    def assign(self, orders: Sequence[Order], vehicles: Sequence[Vehicle],
+               now: float) -> List[Assignment]:
+        if self._done or not orders or not vehicles:
+            return []
+        vehicle = vehicles[0]
+        plan = self._cost_model.plan_for_vehicle(vehicle, list(orders), now)
+        self._done = True
+        return [Assignment(vehicle=vehicle, orders=tuple(orders), plan=plan)]
+
+
+class TestNoAbandonment:
+    def test_logout_mid_route_finishes_onboard_and_hands_off_pending(
+            self, small_grid, oracle, cost_model):
+        # Vehicle at node 0; order A's restaurant one block away (node 1) with
+        # a far-corner customer; order B's restaurant in the far corner.  The
+        # shift ends two windows in: by then A is on board, B is untouched.
+        edge = oracle.distance(0, 1, 0.0)
+        far = oracle.distance(1, 35, 0.0)
+        assert far > 4.0 * edge
+        delta = 3.0 * edge
+        order_a = Order(order_id=0, restaurant_node=1, customer_node=35,
+                        placed_at=0.0, prep_time=0.0)
+        order_b = Order(order_id=1, restaurant_node=35, customer_node=30,
+                        placed_at=0.0, prep_time=0.0)
+        vehicle = Vehicle(vehicle_id=0, node=0)
+        profile = CityProfile(name="tiny", network_factory=lambda: small_grid,
+                              num_restaurants=1, num_vehicles=1,
+                              orders_per_day=2, mean_prep_minutes=1.0)
+        scenario = Scenario(profile=profile, network=small_grid, restaurants=[],
+                            orders=[order_a, order_b], vehicles=[vehicle], seed=0)
+        plan = FleetPlan(schedules={0: ShiftSchedule(((0.0, 2.0 * delta),))})
+        config = SimulationConfig(delta=delta, start=0.0, end=8.0 * delta,
+                                  drain_seconds=20.0 * far)
+        simulator = Simulator(scenario, _AssignEverythingOnce(cost_model),
+                              cost_model, config,
+                              fleet=FleetController(plan, oracle, []))
+        result = simulator.run()
+
+        outcome_a = result.outcomes[0]
+        outcome_b = result.outcomes[1]
+        # A was on board at logout and still got delivered afterwards.
+        assert outcome_a.picked_up_at is not None
+        assert outcome_a.picked_up_at < 2.0 * delta
+        assert outcome_a.delivered_at is not None
+        assert outcome_a.delivered_at > 2.0 * delta
+        assert not outcome_a.rejected
+        # B was pending at logout: handed back to the pool, counted, and —
+        # with no other driver to take it — accounted as rejected, not lost.
+        assert outcome_b.handoffs == 1
+        assert outcome_b.picked_up_at is None
+        assert outcome_b.rejected
+        assert result.total_handoffs() == 1
+        summary = result.summary()
+        assert summary["delivered"] + summary["rejected"] == summary["orders"]
+        # The vehicle ends the day empty-handed.
+        final_vehicle = result.vehicles[0]
+        assert not final_vehicle.assigned and not final_vehicle.picked_up
+
+
+class TestReofferCascade:
+    def test_declined_offers_never_drop_orders(self):
+        profile = CITY_A.scaled(0.2)
+        scenario = generate_scenario(profile, seed=9, start_hour=12, end_hour=13)
+        oracle = DistanceOracle(scenario.network)
+        cost_model = CostModel(oracle)
+        never = DriverBehavior(base_acceptance=0.0, min_acceptance=0.0)
+        schedules = {v.vehicle_id: ShiftSchedule.always()
+                     for v in scenario.vehicles}
+        fleet = FleetController(
+            FleetPlan(schedules=schedules, behavior=never, repositioning="stay"),
+            oracle, scenario.restaurants)
+        config = SimulationConfig(delta=120.0, start=12 * 3600.0, end=13 * 3600.0)
+        result = simulate(scenario, GreedyPolicy(cost_model), cost_model,
+                          config, fleet=fleet)
+
+        summary = result.summary()
+        assert summary["orders"] > 0
+        # Every order is accounted for: nothing delivered (every offer was
+        # declined), everything eventually rejected — never silently dropped.
+        assert summary["delivered"] == 0
+        assert summary["delivered"] + summary["rejected"] == summary["orders"]
+        assert summary["driver_declines"] > 0
+        assert fleet.log.declines == summary["driver_declines"]
+        # Orders were re-offered across windows before their timeout hit.
+        reoffered = [o for o in result.outcomes.values() if o.offer_rejections > 1]
+        assert reoffered, "orders should cascade through several offers"
+
+    def test_partial_decline_rate_still_conserves_orders(self):
+        profile = CITY_A.scaled(0.2)
+        scenario = generate_scenario(profile, seed=13, start_hour=12, end_hour=13)
+        oracle = DistanceOracle(scenario.network)
+        cost_model = CostModel(oracle)
+        picky = DriverBehavior(seed=2, base_acceptance=0.5, min_acceptance=0.1)
+        schedules = {v.vehicle_id: ShiftSchedule.always()
+                     for v in scenario.vehicles}
+        fleet = FleetController(
+            FleetPlan(schedules=schedules, behavior=picky, repositioning="stay"),
+            oracle, scenario.restaurants)
+        config = SimulationConfig(delta=120.0, start=12 * 3600.0, end=13 * 3600.0)
+        result = simulate(scenario, GreedyPolicy(cost_model), cost_model,
+                          config, fleet=fleet)
+        summary = result.summary()
+        assert summary["delivered"] + summary["rejected"] == summary["orders"]
+        assert summary["driver_declines"] > 0
+        assert summary["delivered"] > 0, "half the offers should get through"

@@ -99,7 +99,7 @@ class TestSimulationUnderTraffic:
                 dijkstra(network, s, t, 0.0), rel=1e-9)
             path = oracle.path(s, t)
             length = sum(network.edge_time(a, b, 0.0)
-                         for a, b in zip(path, path[1:]))
+                         for a, b in zip(path, path[1:], strict=False))
             assert length == pytest.approx(dijkstra(network, s, t, 0.0), rel=1e-9)
 
     def test_network_wide_incident_slows_deliveries(self):

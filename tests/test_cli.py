@@ -33,6 +33,13 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["simulate", "--traffic", "gridlock"])
 
+    def test_fleet_flag(self):
+        args = build_parser().parse_args(["simulate", "--fleet", "full"])
+        assert args.fleet == "full"
+        assert build_parser().parse_args(["compare"]).fleet == "none"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--fleet", "ghost"])
+
     def test_figure_requires_name(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["figure"])
@@ -46,6 +53,14 @@ class TestSimulateCommand:
         assert code == 0
         assert "xdt_hours_per_day" in captured.out
         assert "km on CityA" in captured.out
+
+    def test_simulate_with_full_fleet(self, capsys):
+        code = main(["simulate", "--city", "CityA", "--policy", "km", "--scale", "0.1",
+                     "--start-hour", "12", "--end-hour", "13", "--seed", "1",
+                     "--fleet", "full"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "driver_declines" in captured.out
 
     def test_saves_json_and_csv(self, capsys, tmp_path):
         json_path = tmp_path / "result.json"

@@ -17,7 +17,8 @@ class TestTopLevelExports:
 
     @pytest.mark.parametrize("module", [
         "repro.network", "repro.orders", "repro.workload", "repro.core",
-        "repro.sim", "repro.traffic", "repro.experiments", "repro.cli",
+        "repro.sim", "repro.traffic", "repro.fleet", "repro.experiments",
+        "repro.cli",
     ])
     def test_subpackage_all_resolves(self, module):
         mod = importlib.import_module(module)

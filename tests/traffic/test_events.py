@@ -26,7 +26,24 @@ class TestEventValidation:
         with pytest.raises(ValueError, match="end after it starts"):
             incident(start=200.0, end=200.0)
 
-    @pytest.mark.parametrize("factor", [0.0, -1.0, float("inf")])
+    @pytest.mark.parametrize("start,end", [
+        (200.0, 100.0),   # negative duration
+        (200.0, 200.0),   # zero duration
+    ])
+    def test_degenerate_durations_rejected(self, start, end):
+        with pytest.raises(ValueError, match="end after it starts"):
+            incident(start=start, end=end)
+
+    @pytest.mark.parametrize("start,end", [
+        (float("nan"), 200.0),
+        (100.0, float("inf")),
+        (float("-inf"), 200.0),
+    ])
+    def test_non_finite_times_rejected(self, start, end):
+        with pytest.raises(ValueError, match="must be finite"):
+            incident(start=start, end=end)
+
+    @pytest.mark.parametrize("factor", [0.0, -1.0, -2.5, float("inf"), float("nan")])
     def test_factor_must_be_finite_positive(self, factor):
         with pytest.raises(ValueError, match="finite and positive"):
             incident(factor=factor)

@@ -1,0 +1,73 @@
+"""Scenario JSON format v3: fleet-plan round trips and v2 compatibility."""
+
+import json
+
+from repro.workload.generator import generate_scenario
+from repro.workload.io import (
+    load_scenario,
+    save_scenario,
+    scenario_from_dict,
+    scenario_to_dict,
+)
+from repro.workload.city import CITY_A
+
+
+def small_scenario(fleet="full"):
+    return generate_scenario(CITY_A.scaled(0.15), seed=4, start_hour=12,
+                             end_hour=13, fleet=fleet)
+
+
+class TestFormatV3:
+    def test_version_is_3(self):
+        payload = scenario_to_dict(small_scenario())
+        assert payload["format_version"] == 3
+
+    def test_fleet_plan_round_trips(self, tmp_path):
+        scenario = small_scenario()
+        path = tmp_path / "scenario.json"
+        save_scenario(scenario, path)
+        loaded = load_scenario(path)
+        original, rebuilt = scenario.fleet, loaded.fleet
+        assert rebuilt is not None
+        assert rebuilt.schedules == original.schedules
+        assert rebuilt.timeline == original.timeline
+        assert rebuilt.behavior == original.behavior
+        assert rebuilt.repositioning == original.repositioning
+        assert rebuilt.seed == original.seed
+        assert rebuilt.reserve_ids == original.reserve_ids
+        # The reserve vehicles survive alongside the base fleet.
+        assert [v.vehicle_id for v in loaded.vehicles] == \
+            [v.vehicle_id for v in scenario.vehicles]
+
+    def test_fleetless_scenario_serialises_null(self, tmp_path):
+        scenario = small_scenario(fleet="none")
+        payload = scenario_to_dict(scenario)
+        assert payload["fleet"] is None
+        path = tmp_path / "scenario.json"
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        assert load_scenario(path).fleet is None
+
+    def test_payload_is_pure_json(self):
+        # A full round trip through the text representation must be lossless.
+        payload = scenario_to_dict(small_scenario())
+        rebuilt = scenario_from_dict(json.loads(json.dumps(payload)))
+        assert rebuilt.fleet == small_scenario().fleet
+
+
+class TestBackwardCompatibility:
+    def test_v2_document_without_fleet_key_loads(self):
+        payload = scenario_to_dict(small_scenario(fleet="none"))
+        payload["format_version"] = 2
+        del payload["fleet"]
+        scenario = scenario_from_dict(payload)
+        assert scenario.fleet is None
+        assert scenario.orders and scenario.vehicles
+
+    def test_v1_document_without_traffic_or_fleet_loads(self):
+        payload = scenario_to_dict(small_scenario(fleet="none"))
+        payload["format_version"] = 1
+        del payload["fleet"]
+        del payload["traffic"]
+        scenario = scenario_from_dict(payload)
+        assert scenario.fleet is None
+        assert not scenario.traffic

@@ -38,7 +38,7 @@ class TestScenarioRoundTrip:
     def test_dict_round_trip_preserves_orders(self, scenario):
         restored = scenario_from_dict(scenario_to_dict(scenario))
         assert len(restored.orders) == len(scenario.orders)
-        for original, loaded in zip(scenario.orders, restored.orders):
+        for original, loaded in zip(scenario.orders, restored.orders, strict=True):
             assert original.order_id == loaded.order_id
             assert original.restaurant_node == loaded.restaurant_node
             assert original.customer_node == loaded.customer_node
@@ -99,7 +99,8 @@ class TestTrafficTimelineRoundTrip:
         assert traffic_scenario.traffic, "precondition: events generated"
         restored = scenario_from_dict(scenario_to_dict(traffic_scenario))
         assert len(restored.traffic) == len(traffic_scenario.traffic)
-        for original, loaded in zip(traffic_scenario.traffic, restored.traffic):
+        for original, loaded in zip(traffic_scenario.traffic, restored.traffic,
+                                    strict=True):
             assert loaded == original  # frozen dataclass equality, field by field
 
     def test_file_round_trip_with_traffic(self, traffic_scenario, tmp_path):
