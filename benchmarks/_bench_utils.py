@@ -1,0 +1,66 @@
+"""Shared plumbing for the ``BENCH_*.json`` benchmark writers.
+
+The per-PR benchmark scripts (`bench_kernel`, `bench_traffic`,
+`bench_fleet`, `bench_e2e`) all emit the same payload shape: a benchmark
+description, the smoke/full mode, and a ``kernels`` mapping of named
+results.  This module centralises the writer so every bench file also
+records the *environment* the numbers were measured in — git revision,
+python version, CPU count — which is what makes archived bench JSONs
+comparable across machines and commits.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import platform
+import subprocess
+import sys
+from typing import Dict, Optional
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def git_revision() -> Optional[str]:
+    """The repo's current commit SHA, or ``None`` outside a git checkout."""
+    try:
+        out = subprocess.run(["git", "-C", str(REPO_ROOT), "rev-parse", "HEAD"],
+                             capture_output=True, text=True, timeout=10)
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    if out.returncode != 0:
+        return None
+    return out.stdout.strip() or None
+
+
+def environment_info() -> Dict[str, object]:
+    """Provenance block stamped into every benchmark JSON."""
+    return {
+        "git_sha": git_revision(),
+        "python": sys.version.split()[0],
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def write_bench_json(out_path: pathlib.Path, benchmark: str, smoke: bool,
+                     kernels: Dict[str, dict], **extra: object) -> dict:
+    """Assemble and write one ``BENCH_*.json`` payload; returns the payload.
+
+    ``extra`` key/values land at the payload top level (e.g. the matching
+    backend of the kernel bench).
+    """
+    payload = {
+        "benchmark": benchmark,
+        "mode": "smoke" if smoke else "full",
+        "environment": environment_info(),
+        **extra,
+        "kernels": kernels,
+    }
+    out_path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return payload
+
+
+__all__ = ["REPO_ROOT", "git_revision", "environment_info", "write_bench_json"]

@@ -1,0 +1,243 @@
+"""End-to-end benchmark for the PR 4 execution layer.
+
+Two kernels, both asserting exactness *before* any timing:
+
+``window_hot_path``
+    One simulated lunch hour under FoodMatch, replayed twice: with the
+    vectorised window hot path (CSR angular exploration, block first-mile
+    checks, array route-plan search, cumsum vehicle metering, batched SDT
+    prefetch — the default) and with the scalar reference paths that
+    ``vectorized=False`` selects (the PR 3 engine, kept for the equivalence
+    property tests).  The two runs must be **bit-identical** (result
+    fingerprints over every order outcome, window record and vehicle
+    total); only then are both modes timed and the windows-per-second
+    speedup reported.
+
+``parallel_sweep``
+    A 12-cell sweep (two policies x two traffic intensities x three
+    replicate seeds, replicates spawned hierarchically via
+    :func:`repro.seeding.spawn_seed`) executed through
+    :mod:`repro.experiments.executor` serially (``--jobs 1``) and with four
+    workers (``--jobs 4``).  Per-cell fingerprints must match between the
+    two runs — the bit-identity guarantee of the executor — before the
+    wall-clock comparison is recorded.  The achievable speedup is bounded
+    by the machine (``environment.cpu_count`` is stamped into the payload;
+    on a single-core container the parallel run can only break even), so
+    the smoke gate enforces identity everywhere but conditions the speedup
+    gate on available cores.
+
+Results go to ``BENCH_PR4.json`` (repo root by default).  Run::
+
+    PYTHONPATH=src python benchmarks/bench_e2e.py          # full
+    PYTHONPATH=src python benchmarks/bench_e2e.py --smoke  # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import pathlib
+import time
+from typing import Dict, List, Tuple
+
+from _bench_utils import REPO_ROOT, write_bench_json
+
+from repro.core.foodmatch import FoodMatchConfig, FoodMatchPolicy
+from repro.experiments.executor import (
+    ExperimentCell,
+    register_profile,
+    result_fingerprint,
+    run_cells,
+)
+from repro.experiments.runner import ExperimentSetting, PolicySpec, clear_cache
+from repro.network.distance_oracle import DistanceOracle
+from repro.network.generators import random_geometric_city
+from repro.orders.costs import CostModel
+from repro.seeding import spawn_seed
+from repro.sim.engine import SimulationConfig, simulate
+from repro.workload.city import CityProfile
+from repro.workload.generator import generate_scenario
+
+DEFAULT_OUT = REPO_ROOT / "BENCH_PR4.json"
+
+
+def _bench_network():
+    """Module-level factory (picklable by reference in executor workers)."""
+    return random_geometric_city(num_nodes=240, seed=23)
+
+
+#: The city the end-to-end gates run on: big enough that a window does real
+#: batching, matching and movement work, small enough for CI smoke mode.
+BENCH_PROFILE = CityProfile(
+    name="BenchE2E",
+    network_factory=_bench_network,
+    num_restaurants=24,
+    num_vehicles=30,
+    orders_per_day=800,
+    mean_prep_minutes=9.0,
+    accumulation_window=120.0,
+)
+
+
+# --------------------------------------------------------------------------- #
+# kernel 1: vectorised window hot path vs the scalar reference engine
+# --------------------------------------------------------------------------- #
+def _run_engine(vectorized: bool, seed: int, start_hour: int, end_hour: int,
+                ) -> Tuple[str, float, int]:
+    """One full simulation; returns (fingerprint, seconds, windows)."""
+    scenario = generate_scenario(BENCH_PROFILE, seed=seed,
+                                 start_hour=start_hour, end_hour=end_hour)
+    oracle = DistanceOracle(scenario.network)
+    cost_model = CostModel(oracle, vectorized=vectorized)
+    policy = FoodMatchPolicy(cost_model, FoodMatchConfig(vectorized=vectorized))
+    config = SimulationConfig(delta=BENCH_PROFILE.accumulation_window,
+                              start=start_hour * 3600.0, end=end_hour * 3600.0,
+                              vectorized=vectorized)
+    start = time.perf_counter()
+    result = simulate(scenario, policy, cost_model, config)
+    elapsed = time.perf_counter() - start
+    summary = result.summary()
+    assert summary["delivered"] + summary["rejected"] == summary["orders"], (
+        f"order accounting broken (vectorized={vectorized}): {summary}")
+    return result_fingerprint(result), elapsed, len(result.windows)
+
+
+def bench_window_hot_path(seed: int, repeats: int, start_hour: int = 12,
+                          end_hour: int = 13) -> dict:
+    """Windows/sec of the vectorised engine vs the PR 3 scalar reference."""
+    times = {True: float("inf"), False: float("inf")}
+    prints: Dict[bool, str] = {}
+    windows = 0
+    for _ in range(repeats):
+        for vectorized in (True, False):
+            fingerprint, elapsed, windows = _run_engine(
+                vectorized, seed, start_hour, end_hour)
+            prints[vectorized] = fingerprint
+            times[vectorized] = min(times[vectorized], elapsed)
+    # Exactness gate before any reported number: the vectorised engine must
+    # reproduce the scalar reference bit for bit.
+    assert prints[True] == prints[False], (
+        "vectorised engine diverged from the scalar reference "
+        f"({prints[True]} != {prints[False]})")
+    return {
+        "workload": (f"{BENCH_PROFILE.name}: {windows} windows of "
+                     f"{BENCH_PROFILE.accumulation_window:.0f}s, "
+                     f"{BENCH_PROFILE.orders_per_day} orders/day scale, "
+                     f"{BENCH_PROFILE.num_vehicles} vehicles "
+                     f"({start_hour}:00-{end_hour}:00, FoodMatch)"),
+        "exactness": "bit-identical result fingerprints asserted",
+        "new_ops_per_sec": windows / times[True],
+        "seed_ops_per_sec": windows / times[False],
+        "vectorized_windows_per_sec": windows / times[True],
+        "reference_windows_per_sec": windows / times[False],
+        "speedup": times[False] / times[True],
+    }
+
+
+# --------------------------------------------------------------------------- #
+# kernel 2: process-parallel sweep vs the serial loop
+# --------------------------------------------------------------------------- #
+def _sweep_cells(scale: float, base_seed: int, replicates: int,
+                 ) -> List[ExperimentCell]:
+    """The 12-cell grid: 2 policies x 2 traffic intensities x replicates."""
+    cells: List[ExperimentCell] = []
+    for policy in ("foodmatch", "greedy"):
+        for traffic in ("none", "light"):
+            for replicate in range(replicates):
+                seed = spawn_seed(base_seed, policy, traffic, replicate)
+                setting = ExperimentSetting(
+                    profile=BENCH_PROFILE, scale=scale, start_hour=12,
+                    end_hour=13, seed=seed, traffic=traffic)
+                cells.append(ExperimentCell(
+                    setting, PolicySpec.of(policy),
+                    tag=(policy, traffic, replicate)))
+    return cells
+
+
+def bench_parallel_sweep(scale: float, base_seed: int, jobs: int = 4,
+                         replicates: int = 3) -> dict:
+    """Wall-clock of one sweep grid at ``--jobs 1`` vs ``--jobs N``.
+
+    Bit-identity of every cell is asserted before the timing is reported.
+    The serial run executes first from a cold scenario cache; the parallel
+    run's forked workers then inherit the parent's materialised scenarios,
+    which is exactly the executor's documented memory model.
+    """
+    register_profile(BENCH_PROFILE)
+    cells = _sweep_cells(scale, base_seed, replicates)
+
+    clear_cache()
+    serial_start = time.perf_counter()
+    serial = run_cells(cells, jobs=1)
+    serial_seconds = time.perf_counter() - serial_start
+
+    parallel_start = time.perf_counter()
+    parallel = run_cells(cells, jobs=jobs)
+    parallel_seconds = time.perf_counter() - parallel_start
+
+    failures = [outcome.error for outcome in serial + parallel if not outcome.ok]
+    assert not failures, f"sweep cells failed: {failures[0]}"
+    serial_prints = [result_fingerprint(outcome.result) for outcome in serial]
+    parallel_prints = [result_fingerprint(outcome.result) for outcome in parallel]
+    assert serial_prints == parallel_prints, (
+        "parallel sweep output diverged from the serial run")
+    return {
+        "workload": (f"{len(cells)}-cell sweep on {BENCH_PROFILE.name} "
+                     f"(scale {scale}): 2 policies x 2 traffic intensities "
+                     f"x {replicates} replicate seeds, lunch hour"),
+        "exactness": "per-cell fingerprints identical between jobs=1 and "
+                     f"jobs={jobs}",
+        "jobs": jobs,
+        "cells": len(cells),
+        "serial_seconds": serial_seconds,
+        "parallel_seconds": parallel_seconds,
+        "new_ops_per_sec": len(cells) / parallel_seconds,
+        "seed_ops_per_sec": len(cells) / serial_seconds,
+        "speedup": serial_seconds / parallel_seconds,
+        "cpu_count": os.cpu_count(),
+        "note": ("speedup is bounded by available cores; on a single-CPU "
+                 "container the parallel run can at best break even"),
+    }
+
+
+def run(smoke: bool = False, out_path: pathlib.Path = DEFAULT_OUT) -> dict:
+    if smoke:
+        results = {
+            "window_hot_path": bench_window_hot_path(seed=29, repeats=2),
+            "parallel_sweep": bench_parallel_sweep(scale=0.5, base_seed=29,
+                                                   jobs=4, replicates=3),
+        }
+    else:
+        results = {
+            "window_hot_path": bench_window_hot_path(seed=29, repeats=3,
+                                                     end_hour=14),
+            "parallel_sweep": bench_parallel_sweep(scale=1.0, base_seed=29,
+                                                   jobs=4, replicates=3),
+        }
+    return write_bench_json(
+        out_path, ("PR4 process-parallel experiment executor + vectorised "
+                   "window hot path"), smoke, results)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="small, fast workloads for CI")
+    parser.add_argument("--out", type=pathlib.Path, default=DEFAULT_OUT,
+                        help="where to write the JSON results")
+    args = parser.parse_args()
+    payload = run(smoke=args.smoke, out_path=args.out)
+    window = payload["kernels"]["window_hot_path"]
+    sweep = payload["kernels"]["parallel_sweep"]
+    print(f"window_hot_path: {window['speedup']:.2f}x "
+          f"({window['vectorized_windows_per_sec']:.2f} vs "
+          f"{window['reference_windows_per_sec']:.2f} windows/s) "
+          f"— {window['workload']}")
+    print(f"parallel_sweep: {sweep['speedup']:.2f}x at --jobs {sweep['jobs']} "
+          f"({sweep['parallel_seconds']:.2f}s vs {sweep['serial_seconds']:.2f}s "
+          f"serial, {sweep['cpu_count']} CPUs) — {sweep['workload']}")
+    print(f"wrote {args.out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -35,10 +35,11 @@ Results go to ``BENCH_PR3.json`` (repo root by default).  Run::
 from __future__ import annotations
 
 import argparse
-import json
 import math
 import pathlib
 import time
+
+from _bench_utils import REPO_ROOT, write_bench_json
 
 from repro.core.foodmatch import FoodMatchPolicy
 from repro.fleet.behavior import DriverBehavior
@@ -51,7 +52,6 @@ from repro.sim.engine import SimulationConfig, Simulator
 from repro.workload.city import CityProfile
 from repro.workload.generator import generate_scenario
 
-REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 DEFAULT_OUT = REPO_ROOT / "BENCH_PR3.json"
 
 #: The 300-node smoke city the acceptance gate runs on.
@@ -187,14 +187,10 @@ def run(smoke: bool = False, out_path: pathlib.Path = DEFAULT_OUT) -> dict:
         results = {"fleet_overhead": bench_fleet_overhead(seed=11, repeats=2)}
     else:
         results = {"fleet_overhead": bench_fleet_overhead(seed=11, repeats=3)}
-    payload = {
-        "benchmark": ("PR3 driver-lifecycle fleet dynamics: "
-                      "full fleet vs static fleet simulation throughput"),
-        "mode": "smoke" if smoke else "full",
-        "kernels": results,
-    }
-    out_path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
-    return payload
+    return write_bench_json(
+        out_path, ("PR3 driver-lifecycle fleet dynamics: "
+                   "full fleet vs static fleet simulation throughput"),
+        smoke, results)
 
 
 def main() -> None:

@@ -26,11 +26,12 @@ the seed implementation before any timing is reported.
 from __future__ import annotations
 
 import argparse
-import json
 import math
 import pathlib
 import random
 import time
+
+from _bench_utils import REPO_ROOT, write_bench_json
 
 import repro.core.matching as matching
 from repro.core.matching import (
@@ -43,7 +44,6 @@ from repro.network._dict_hub_labels import DictHubLabelIndex
 from repro.network.generators import random_geometric_city
 from repro.network.hub_labeling import HubLabelIndex
 
-REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 DEFAULT_OUT = REPO_ROOT / "BENCH_PR1.json"
 OMEGA = 7200.0
 
@@ -164,14 +164,9 @@ def run(smoke: bool = False, out_path: pathlib.Path = DEFAULT_OUT) -> dict:
             "matching_window": bench_matching_window(num_batches=40, num_vehicles=300,
                                                      degree=5, repeats=5),
         }
-    payload = {
-        "benchmark": "PR1 array-backed distance kernel + sparse-aware matching",
-        "mode": "smoke" if smoke else "full",
-        "matching_backend": MATCHING_BACKEND,
-        "kernels": results,
-    }
-    out_path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
-    return payload
+    return write_bench_json(
+        out_path, "PR1 array-backed distance kernel + sparse-aware matching",
+        smoke, results, matching_backend=MATCHING_BACKEND)
 
 
 def main() -> None:

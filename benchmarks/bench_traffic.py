@@ -27,11 +27,12 @@ Run::
 from __future__ import annotations
 
 import argparse
-import json
 import math
 import pathlib
 import random
 import time
+
+from _bench_utils import REPO_ROOT, write_bench_json
 
 from repro.network.distance_oracle import DistanceOracle
 from repro.network.generators import random_geometric_city
@@ -39,7 +40,6 @@ from repro.network.hub_labeling import HubLabelIndex
 from repro.traffic.controller import TrafficController
 from repro.traffic.events import TrafficEvent, TrafficTimeline
 
-REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 DEFAULT_OUT = REPO_ROOT / "BENCH_PR2.json"
 
 
@@ -177,13 +177,9 @@ def run(smoke: bool = False, out_path: pathlib.Path = DEFAULT_OUT) -> dict:
             "incremental_repair": bench_incident_repair(num_nodes=300, repeats=3),
             "zonal_event_repair": bench_zonal_repair(num_nodes=300, repeats=3),
         }
-    payload = {
-        "benchmark": "PR2 dynamic traffic: incremental kernel repair vs full rebuild",
-        "mode": "smoke" if smoke else "full",
-        "kernels": results,
-    }
-    out_path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
-    return payload
+    return write_bench_json(
+        out_path, "PR2 dynamic traffic: incremental kernel repair vs full rebuild",
+        smoke, results)
 
 
 def main() -> None:

@@ -15,8 +15,12 @@ Examples::
     python -m repro simulate --city CityA --policy foodmatch --scale 0.3 \
         --start-hour 12 --end-hour 13 --traffic heavy --fleet full
     python -m repro compare --city CityB --policies foodmatch greedy km \
-        --scale 0.1 --vehicle-fraction 0.4
-    python -m repro figure --name fig8abc_eta_sweep
+        --scale 0.1 --vehicle-fraction 0.4 --jobs 4
+    python -m repro figure --name fig8abc_eta_sweep --jobs 4
+
+``--jobs N`` fans the independent cells of a comparison / figure / sweep
+out across N worker processes (see :mod:`repro.experiments.executor`); the
+output is bit-identical to the serial default.
 """
 
 from __future__ import annotations
@@ -26,7 +30,8 @@ import sys
 from typing import Optional, Sequence
 
 from repro.experiments import figures
-from repro.experiments.reporting import format_metric_comparison
+from repro.experiments.executor import set_default_jobs
+from repro.experiments.reporting import format_cache_report, format_metric_comparison
 from repro.experiments.runner import (
     ExperimentSetting,
     PolicySpec,
@@ -66,6 +71,12 @@ def build_parser() -> argparse.ArgumentParser:
         description="FoodMatch reproduction: simulate food-delivery assignment policies.")
     subparsers = parser.add_subparsers(dest="command", required=True)
 
+    def add_jobs_argument(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--jobs", type=int, default=1, metavar="N",
+                         help="worker processes for experiment cells (policies, "
+                              "sweep values, folds); 1 = serial, parallel output "
+                              "is bit-identical (default: 1)")
+
     def add_setting_arguments(sub: argparse.ArgumentParser) -> None:
         sub.add_argument("--city", choices=sorted(CITY_PROFILES), default="CityA",
                          help="city profile to simulate (default: CityA)")
@@ -94,6 +105,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     simulate = subparsers.add_parser("simulate", help="run one policy on one city")
     add_setting_arguments(simulate)
+    add_jobs_argument(simulate)
     simulate.add_argument("--policy", choices=available_policies(), default="foodmatch")
     simulate.add_argument("--save-json", default=None, metavar="PATH",
                           help="write the full result (summary + per-order records) as JSON")
@@ -102,10 +114,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     compare = subparsers.add_parser("compare", help="run several policies on one workload")
     add_setting_arguments(compare)
+    add_jobs_argument(compare)
     compare.add_argument("--policies", nargs="+", choices=available_policies(),
                          default=["foodmatch", "greedy", "km"])
 
     figure = subparsers.add_parser("figure", help="regenerate one table/figure of the paper")
+    add_jobs_argument(figure)
     figure.add_argument("--name", choices=sorted(_FIGURE_FUNCTIONS), required=True)
     figure.add_argument("--list", action="store_true", help="list available figures and exit")
 
@@ -133,6 +147,8 @@ def _command_simulate(args: argparse.Namespace) -> int:
           f"({args.start_hour}:00-{args.end_hour}:00, scale {args.scale})")
     for key, value in result.summary().items():
         print(f"  {key:<26} {value:.4f}")
+    if result.cache_stats:
+        print(format_cache_report(result.cache_stats))
     if args.save_json:
         from repro.workload.io import save_result_json
 
@@ -169,6 +185,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.jobs < 1:
+        parser.error("--jobs must be at least 1")
+    set_default_jobs(args.jobs)
     if args.command == "simulate":
         return _command_simulate(args)
     if args.command == "compare":

@@ -25,7 +25,11 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.core.angular import vehicle_sensitive_weight
+from repro.core.angular import (
+    VehicleSensitiveExplorer,
+    blended_time_terms,
+    vehicle_sensitive_weight,
+)
 from repro.core.matching import sparse_minimum_weight_matching
 from repro.network.shortest_path import BestFirstExplorer
 from repro.orders.batch import Batch
@@ -179,7 +183,8 @@ def build_sparsified_foodgraph(batches: Sequence[Batch], vehicles: Sequence[Vehi
                                max_first_mile: float = DEFAULT_MAX_FIRST_MILE,
                                use_angular: bool = False,
                                gamma: float = 0.5,
-                               max_expansions: Optional[int] = None) -> FoodGraph:
+                               max_expansions: Optional[int] = None,
+                               vectorized: bool = True) -> FoodGraph:
     """Sparsified FoodGraph construction via best-first search (Alg. 2).
 
     For every vehicle a best-first search expands road-network nodes in
@@ -190,6 +195,15 @@ def build_sparsified_foodgraph(batches: Sequence[Batch], vehicles: Sequence[Vehi
 
     ``use_angular`` switches the exploration order from plain travel time to
     the vehicle-sensitive weight of Eq. 8 with the given ``gamma``.
+
+    With ``vectorized`` (the default) the per-window batch work runs on the
+    array kernels: the first-mile feasibility values of *all* vehicle/batch
+    pairs come from one :meth:`DistanceOracle.distance_matrix` block instead
+    of a point query per discovered pair, and angular exploration runs on
+    the CSR adjacency (:class:`~repro.core.angular.VehicleSensitiveExplorer`)
+    instead of the dict-based reference search.  Both produce bit-identical
+    graphs to ``vectorized=False``, which survives as the reference for the
+    equivalence tests and benchmarks.
     """
     if k < 1:
         raise ValueError("k must be at least 1")
@@ -203,25 +217,53 @@ def build_sparsified_foodgraph(batches: Sequence[Batch], vehicles: Sequence[Vehi
 
     expansion_cap = max_expansions if max_expansions is not None else network.num_nodes
 
+    first_miles = None
+    if vectorized and graph.batches and graph.vehicles:
+        # One block kernel call covers every vehicle-batch first-mile check
+        # this window could need (bit-equal to the per-pair point queries).
+        first_miles = cost_model.oracle.distance_matrix(
+            [vehicle.node for vehicle in graph.vehicles],
+            [batch.first_pickup_node for batch in graph.batches], now)
+    time_terms = coords = None
+    if vectorized and use_angular and graph.vehicles:
+        csr = network.csr()
+        time_terms = blended_time_terms(network, now)
+        coords = [network.coord(node) for node in csr.node_ids]
+
     for v_idx, vehicle in enumerate(graph.vehicles):
         if use_angular:
-            weight_fn = vehicle_sensitive_weight(network, vehicle, now, gamma)
+            if time_terms is not None and vehicle.node in network.csr().index_of:
+                explorer = VehicleSensitiveExplorer(
+                    network, vehicle, now, gamma,
+                    time_terms=time_terms, coords=coords)
+            else:
+                explorer = BestFirstExplorer(
+                    network, vehicle.node,
+                    weight=vehicle_sensitive_weight(network, vehicle, now, gamma),
+                    t=now)
         else:
             # Plain travel-time ordering needs no per-edge callable: the CSR
             # array kernel inside BestFirstExplorer expands on static weights.
-            weight_fn = None
-        explorer = BestFirstExplorer(network, vehicle.node, weight=weight_fn, t=now)
+            explorer = BestFirstExplorer(network, vehicle.node, weight=None, t=now)
         expanded = 0
+        # Each node is settled at most once, so every (batch, vehicle) pair
+        # is evaluated at most once and a local counter tracks the vehicle's
+        # degree exactly — no per-expansion graph recount needed.
+        degree = 0
+        row = first_miles[v_idx] if first_miles is not None else None
         for node, _ in explorer:
             expanded += 1
             for b_idx in start_index.get(node, ()):
                 batch = graph.batches[b_idx]
+                first_mile = float(row[b_idx]) if row is not None else None
                 weight, plan = _pair_weight(batch, vehicle, cost_model, now,
-                                            omega, max_first_mile)
+                                            omega, max_first_mile,
+                                            first_mile=first_mile)
                 graph.cost_evaluations += 1
                 if plan is not None and weight < omega:
                     graph.add_edge(b_idx, v_idx, weight, plan)
-            if graph.vehicle_degree(v_idx) >= k or expanded >= expansion_cap:
+                    degree += 1
+            if degree >= k or expanded >= expansion_cap:
                 break
         graph.nodes_expanded += expanded
     return graph

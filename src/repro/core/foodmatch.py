@@ -64,6 +64,11 @@ class FoodMatchConfig:
         matches individual orders.
     max_orders, max_items:
         MAXO and MAXI capacity constants.
+    vectorized:
+        Run the FoodGraph construction on the array kernels (block
+        first-mile checks, CSR angular exploration).  Produces bit-identical
+        assignments to the scalar reference path; disabled only by the
+        equivalence tests and the end-to-end benchmark's reference mode.
     """
 
     eta: float = 60.0
@@ -79,6 +84,7 @@ class FoodMatchConfig:
     use_reshuffling: bool = True
     max_orders: int = 3
     max_items: int = 10
+    vectorized: bool = True
 
     def batching_config(self) -> BatchingConfig:
         return BatchingConfig(eta=self.eta, max_orders=self.max_orders,
@@ -137,7 +143,8 @@ class FoodMatchPolicy(AssignmentPolicy):
             graph = build_sparsified_foodgraph(
                 batches, candidates, self._cost_model, now, k,
                 omega=cfg.omega, max_first_mile=cfg.max_first_mile,
-                use_angular=cfg.use_angular, gamma=cfg.gamma)
+                use_angular=cfg.use_angular, gamma=cfg.gamma,
+                vectorized=cfg.vectorized)
         else:
             graph = build_full_foodgraph(batches, candidates, self._cost_model, now,
                                          omega=cfg.omega,

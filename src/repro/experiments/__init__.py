@@ -11,6 +11,13 @@ The harness has three layers:
   paper, each returning the data series the paper plots and a formatted
   text rendition.
 
+Every comparison, sweep and cross-validation routes its cells through
+:mod:`repro.experiments.executor`, the process-pool experiment runner: pass
+``jobs=N`` (or set a session default with
+:func:`~repro.experiments.executor.set_default_jobs`, which the CLI's
+``--jobs`` flag does) to fan independent cells out across worker processes
+with bit-identical output.
+
 Every benchmark under ``benchmarks/`` is a thin wrapper around one of the
 figure functions; ``EXPERIMENTS.md`` records the measured shapes next to the
 paper's reported ones.
@@ -39,9 +46,25 @@ from repro.experiments.crossval import (
     cross_validate,
     improvement_with_spread,
 )
+from repro.experiments.executor import (
+    CellFailure,
+    CellResult,
+    ExperimentCell,
+    register_profile,
+    result_fingerprint,
+    run_cells,
+    set_default_jobs,
+)
 from repro.experiments import figures
 
 __all__ = [
+    "CellFailure",
+    "CellResult",
+    "ExperimentCell",
+    "register_profile",
+    "result_fingerprint",
+    "run_cells",
+    "set_default_jobs",
     "CrossValidationReport",
     "cross_validate",
     "compare_policies_cv",

@@ -13,10 +13,10 @@ from __future__ import annotations
 
 import statistics
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.experiments.reporting import format_table
-from repro.experiments.runner import ExperimentSetting, PolicySpec, run_setting
+from repro.experiments.runner import ExperimentSetting, PolicySpec, run_averaged
 from repro.sim.metrics import SimulationResult
 
 DEFAULT_METRICS = ("xdt_hours_per_day", "orders_per_km", "waiting_hours_per_day",
@@ -62,11 +62,9 @@ class CrossValidationReport:
                             title=f"{self.policy} over seeds {self.seeds}")
 
 
-def cross_validate(setting: ExperimentSetting, spec: PolicySpec,
-                   seeds: Sequence[int] = (0, 1, 2),
-                   metrics: Sequence[str] = DEFAULT_METRICS) -> CrossValidationReport:
-    """Evaluate one policy on several independently seeded synthetic days."""
-    results = [run_setting(setting.with_seed(seed), spec) for seed in seeds]
+def _report(spec: PolicySpec, seeds: Sequence[int],
+            results: List[SimulationResult],
+            metrics: Sequence[str]) -> CrossValidationReport:
     summaries = [result.summary() for result in results]
     stats = {metric: MetricStats.from_values([s[metric] for s in summaries])
              for metric in metrics}
@@ -74,11 +72,42 @@ def cross_validate(setting: ExperimentSetting, spec: PolicySpec,
                                  results=results)
 
 
+def cross_validate(setting: ExperimentSetting, spec: PolicySpec,
+                   seeds: Sequence[int] = (0, 1, 2),
+                   metrics: Sequence[str] = DEFAULT_METRICS,
+                   jobs: Optional[int] = None) -> CrossValidationReport:
+    """Evaluate one policy on several independently seeded synthetic days.
+
+    ``jobs`` fans the folds out over the process-pool executor; parallel
+    reports are bit-identical to serial ones.
+    """
+    results = run_averaged(setting, spec, seeds, jobs=jobs)
+    return _report(spec, seeds, results, metrics)
+
+
 def compare_policies_cv(setting: ExperimentSetting, specs: Sequence[PolicySpec],
                         seeds: Sequence[int] = (0, 1, 2),
                         metrics: Sequence[str] = DEFAULT_METRICS,
+                        jobs: Optional[int] = None,
                         ) -> Dict[str, CrossValidationReport]:
-    """Cross-validate several policies on the same set of synthetic days."""
+    """Cross-validate several policies on the same set of synthetic days.
+
+    With ``jobs`` above one the *entire* policy-by-seed grid is submitted as
+    one batch of cells, so workers stay busy even when policies and folds
+    are few.
+    """
+    from repro.experiments.executor import ExperimentCell, resolve_jobs, run_cells
+
+    if resolve_jobs(jobs) > 1:
+        cells = [ExperimentCell(setting.with_seed(seed), spec, tag=(spec.name, seed))
+                 for spec in specs for seed in seeds]
+        outcomes = run_cells(cells, jobs=jobs)
+        by_policy: Dict[str, List[SimulationResult]] = {}
+        for cell_result in outcomes:
+            by_policy.setdefault(cell_result.cell.policy.name, []).append(
+                cell_result.require())
+        return {spec.name: _report(spec, seeds, by_policy[spec.name], metrics)
+                for spec in specs}
     return {spec.name: cross_validate(setting, spec, seeds, metrics) for spec in specs}
 
 

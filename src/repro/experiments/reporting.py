@@ -58,4 +58,29 @@ def format_metric_comparison(results: Mapping[str, Mapping[str, float]],
     return format_table(headers, rows, title=title)
 
 
-__all__ = ["format_table", "format_series", "format_metric_comparison"]
+def format_cache_report(cache_stats: Mapping[str, Mapping[str, int]],
+                        title: str = "distance-oracle cache effectiveness") -> str:
+    """Render one run's LRU cache counters (hits, misses, rate, occupancy).
+
+    ``cache_stats`` is :attr:`SimulationResult.cache_stats
+    <repro.sim.metrics.SimulationResult.cache_stats>` — the per-run counter
+    deltas of the distance oracle's point / path / SSSP caches.  Surfacing
+    them next to the quality metrics makes cache effectiveness a first-class
+    experiment output instead of something only visible by inspecting a live
+    oracle.
+    """
+    rows = []
+    for name in sorted(cache_stats):
+        stats = cache_stats[name]
+        hits = stats.get("hits", 0)
+        misses = stats.get("misses", 0)
+        lookups = hits + misses
+        rate = hits / lookups if lookups else 0.0
+        rows.append([name, hits, misses, rate,
+                     f"{stats.get('size', 0)}/{stats.get('capacity', 0)}"])
+    return format_table(["cache", "hits", "misses", "hit_rate", "occupancy"],
+                        rows, title=title)
+
+
+__all__ = ["format_table", "format_series", "format_metric_comparison",
+           "format_cache_report"]

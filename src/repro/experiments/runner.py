@@ -197,13 +197,27 @@ def run_setting(setting: ExperimentSetting, policy_spec: PolicySpec,
 
 
 def run_averaged(setting: ExperimentSetting, policy_spec: PolicySpec,
-                 seeds: Sequence[int]) -> List[SimulationResult]:
-    """Run a policy over several workload seeds (cross-validation analogue)."""
-    return [run_setting(setting.with_seed(seed), policy_spec) for seed in seeds]
+                 seeds: Sequence[int],
+                 jobs: Optional[int] = None) -> List[SimulationResult]:
+    """Run a policy over several workload seeds (cross-validation analogue).
+
+    ``jobs`` fans the seeds out over the process-pool executor
+    (:mod:`repro.experiments.executor`); ``None`` uses the session default
+    (1 = serial).  Both paths run each seed as an executor cell — which
+    resets a previously traffic-mutated cached oracle to its bit-pristine
+    state first — so parallel output is bit-identical to serial.
+    """
+    from repro.experiments.executor import ExperimentCell, run_cells
+
+    cells = [ExperimentCell(setting.with_seed(seed), policy_spec, tag=seed)
+             for seed in seeds]
+    return [cell_result.require()
+            for cell_result in run_cells(cells, jobs=jobs)]
 
 
 def run_policy_comparison(setting: ExperimentSetting,
                           policy_specs: Sequence[PolicySpec],
+                          jobs: Optional[int] = None,
                           ) -> Dict[str, SimulationResult]:
     """Run several policies on the *same* workload and return results by name.
 
@@ -215,7 +229,19 @@ def run_policy_comparison(setting: ExperimentSetting,
     overrides an earlier run of the same cached setting left applied at its
     end of day.  Long heavy-traffic comparisons therefore no longer
     accumulate repairs until they drift into periodic full index rebuilds.
+
+    With ``jobs > 1`` (or a session default set through
+    :func:`repro.experiments.executor.set_default_jobs`) the policies fan
+    out over worker processes instead; each worker applies the same
+    pristine-state reset, so the results are bit-identical to the serial
+    loop.
     """
+    from repro.experiments.executor import ExperimentCell, resolve_jobs, run_cells
+
+    if resolve_jobs(jobs) > 1:
+        cells = [ExperimentCell(setting, spec) for spec in policy_specs]
+        return {cell_result.cell.policy.name: cell_result.require()
+                for cell_result in run_cells(cells, jobs=jobs)}
     results: Dict[str, SimulationResult] = {}
     _, oracle = materialize(setting)
     for spec in policy_specs:

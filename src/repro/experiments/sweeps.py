@@ -10,13 +10,9 @@ paper's series.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.experiments.runner import (
-    ExperimentSetting,
-    PolicySpec,
-    run_setting,
-)
+from repro.experiments.runner import ExperimentSetting, PolicySpec
 from repro.sim.metrics import SimulationResult
 
 
@@ -52,56 +48,73 @@ class SweepResult:
         return "\n".join(lines)
 
 
+def _run_sweep(parameter: str,
+               entries: Sequence[Tuple[float, ExperimentSetting, PolicySpec]],
+               jobs: Optional[int],
+               labels: Sequence[str] = ()) -> SweepResult:
+    """Run a sweep's cells through the experiment executor.
+
+    ``entries`` is the sweep grid in recording order.  With ``jobs`` (or
+    the session default) above one the cells fan out over worker processes;
+    results are recorded in grid order either way, and parallel output is
+    bit-identical to serial (see :mod:`repro.experiments.executor`).
+    """
+    from repro.experiments.executor import ExperimentCell, run_cells
+
+    sweep = SweepResult(parameter=parameter)
+    sweep.labels = list(labels)
+    cells = [ExperimentCell(setting, spec, tag=value)
+             for value, setting, spec in entries]
+    for cell_result in run_cells(cells, jobs=jobs):
+        sweep.record(cell_result.cell.tag, cell_result.require())
+    return sweep
+
+
 def sweep_vehicles(setting: ExperimentSetting, policy: PolicySpec,
                    fractions: Sequence[float] = (0.2, 0.4, 0.6, 0.8, 1.0),
-                   ) -> SweepResult:
+                   jobs: Optional[int] = None) -> SweepResult:
     """Vary the available fleet fraction (Fig. 7(b)-(e))."""
-    sweep = SweepResult(parameter="vehicle_fraction")
-    for fraction in fractions:
-        varied = replace(setting, vehicle_fraction=fraction)
-        sweep.record(fraction, run_setting(varied, policy))
-    return sweep
+    return _run_sweep("vehicle_fraction",
+                      [(fraction, replace(setting, vehicle_fraction=fraction), policy)
+                       for fraction in fractions], jobs)
 
 
 def sweep_eta(setting: ExperimentSetting, etas: Sequence[float] = (30.0, 60.0, 90.0, 120.0, 150.0),
-              base_options: Optional[Dict[str, object]] = None) -> SweepResult:
+              base_options: Optional[Dict[str, object]] = None,
+              jobs: Optional[int] = None) -> SweepResult:
     """Vary the batching quality threshold η (Fig. 8(a)-(c))."""
-    sweep = SweepResult(parameter="eta")
     base = dict(base_options or {})
-    for eta in etas:
-        spec = PolicySpec.of("foodmatch", eta=eta, **base)
-        sweep.record(eta, run_setting(setting, spec))
-    return sweep
+    return _run_sweep("eta",
+                      [(eta, setting, PolicySpec.of("foodmatch", eta=eta, **base))
+                       for eta in etas], jobs)
 
 
 def sweep_delta(setting: ExperimentSetting, policy: PolicySpec,
-                deltas: Sequence[float] = (60.0, 120.0, 180.0, 240.0)) -> SweepResult:
+                deltas: Sequence[float] = (60.0, 120.0, 180.0, 240.0),
+                jobs: Optional[int] = None) -> SweepResult:
     """Vary the accumulation window Δ (Fig. 8(d)-(g))."""
-    sweep = SweepResult(parameter="delta")
-    for delta in deltas:
-        varied = replace(setting, delta=delta)
-        sweep.record(delta, run_setting(varied, policy))
-    return sweep
+    return _run_sweep("delta",
+                      [(delta, replace(setting, delta=delta), policy)
+                       for delta in deltas], jobs)
 
 
 def sweep_k(setting: ExperimentSetting, ks: Sequence[int] = (2, 4, 8, 16, 32),
-            base_options: Optional[Dict[str, object]] = None) -> SweepResult:
+            base_options: Optional[Dict[str, object]] = None,
+            jobs: Optional[int] = None) -> SweepResult:
     """Vary the per-vehicle FoodGraph degree bound k (Fig. 8(h)-(k)).
 
     The paper sweeps k in [50, 300] on city-scale instances; the scaled-down
     workloads here use proportionally smaller values.
     """
-    sweep = SweepResult(parameter="k")
     base = dict(base_options or {})
-    for k in ks:
-        spec = PolicySpec.of("foodmatch", k=int(k), **base)
-        sweep.record(float(k), run_setting(setting, spec))
-    return sweep
+    return _run_sweep("k",
+                      [(float(k), setting, PolicySpec.of("foodmatch", k=int(k), **base))
+                       for k in ks], jobs)
 
 
 def sweep_traffic(setting: ExperimentSetting, policy: PolicySpec,
                   intensities: Sequence[str] = ("none", "light", "heavy"),
-                  ) -> SweepResult:
+                  jobs: Optional[int] = None) -> SweepResult:
     """Robustness under incidents: vary the dynamic-traffic intensity.
 
     The same workload is replayed with increasingly severe traffic-event
@@ -110,17 +123,15 @@ def sweep_traffic(setting: ExperimentSetting, policy: PolicySpec,
     ``intensities`` (the labels are not numeric); :attr:`SweepResult.labels`
     keeps the names.
     """
-    sweep = SweepResult(parameter="traffic")
-    sweep.labels = list(intensities)
-    for position, intensity in enumerate(intensities):
-        varied = replace(setting, traffic=intensity)
-        sweep.record(float(position), run_setting(varied, policy))
-    return sweep
+    return _run_sweep("traffic",
+                      [(float(position), replace(setting, traffic=intensity), policy)
+                       for position, intensity in enumerate(intensities)],
+                      jobs, labels=intensities)
 
 
 def sweep_fleet(setting: ExperimentSetting, policy: PolicySpec,
                 modes: Sequence[str] = ("none", "shifts", "full"),
-                ) -> SweepResult:
+                jobs: Optional[int] = None) -> SweepResult:
     """Robustness under supply dynamics: vary the fleet-lifecycle mode.
 
     The same workload is replayed with increasingly realistic driver
@@ -131,36 +142,34 @@ def sweep_fleet(setting: ExperimentSetting, policy: PolicySpec,
     the mode's index in ``modes`` and :attr:`SweepResult.labels` keeps the
     names.
     """
-    sweep = SweepResult(parameter="fleet")
-    sweep.labels = list(modes)
-    for position, mode in enumerate(modes):
-        varied = replace(setting, fleet=mode)
-        sweep.record(float(position), run_setting(varied, policy))
-    return sweep
+    return _run_sweep("fleet",
+                      [(float(position), replace(setting, fleet=mode), policy)
+                       for position, mode in enumerate(modes)],
+                      jobs, labels=modes)
 
 
 def sweep_gamma(setting: ExperimentSetting, gammas: Sequence[float] = (0.1, 0.3, 0.5, 0.7, 0.9),
-                base_options: Optional[Dict[str, object]] = None) -> SweepResult:
+                base_options: Optional[Dict[str, object]] = None,
+                jobs: Optional[int] = None) -> SweepResult:
     """Vary the angular-distance weighting γ (Fig. 9(a)-(c))."""
-    sweep = SweepResult(parameter="gamma")
     base = dict(base_options or {})
-    for gamma in gammas:
-        spec = PolicySpec.of("foodmatch", gamma=gamma, **base)
-        sweep.record(gamma, run_setting(setting, spec))
-    return sweep
+    return _run_sweep("gamma",
+                      [(gamma, setting, PolicySpec.of("foodmatch", gamma=gamma, **base))
+                       for gamma in gammas], jobs)
 
 
 def sweep_gamma_rejections(setting: ExperimentSetting,
                            gammas: Sequence[float] = (0.1, 0.5, 0.9),
                            fractions: Sequence[float] = (0.1, 0.2, 0.3),
                            base_options: Optional[Dict[str, object]] = None,
+                           jobs: Optional[int] = None,
                            ) -> Dict[float, SweepResult]:
     """Rejection rate vs fleet size for several γ values (Fig. 9(d))."""
     results: Dict[float, SweepResult] = {}
     base = dict(base_options or {})
     for gamma in gammas:
         spec = PolicySpec.of("foodmatch", gamma=gamma, **base)
-        results[gamma] = sweep_vehicles(setting, spec, fractions)
+        results[gamma] = sweep_vehicles(setting, spec, fractions, jobs=jobs)
     return results
 
 

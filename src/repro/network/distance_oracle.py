@@ -193,6 +193,15 @@ class DistanceOracle:
         # full rebuild is cheaper overall.
         self._repaired_out: Set[int] = set()
         self._repaired_in: Set[int] = set()
+        # Whether any traffic update ever touched this oracle.  Repaired
+        # labels are exact but can differ from a fresh build in the last
+        # ULP (a repaired label stores the Dijkstra path sum, a built label
+        # covers the pair as fl(d(s,h)) + fl(d(h,t))), so restoring the
+        # *bit*-pristine state needs the pristine labels back — see
+        # reset_traffic_state.  The snapshot is taken lazily on the first
+        # mutating update.
+        self._traffic_touched = False
+        self._label_snapshot = None
 
     @property
     def network(self) -> RoadNetwork:
@@ -245,11 +254,23 @@ class DistanceOracle:
         one vectorised :meth:`HubLabelIndex.query_many` call (or through the
         memoised SSSP trees on the Dijkstra backend).
         """
+        out = self.static_distances(sources, targets)
+        out *= self._network.profile.multiplier(t)
+        return out
+
+    def static_distances(self, sources: Sequence[int], targets: Sequence[int],
+                         ) -> np.ndarray:
+        """Batched paired *static* distances (no congestion multiplier).
+
+        Callers that need per-element timestamps — e.g. the shortest-
+        delivery-time prefetch, where each order's direct distance is scaled
+        by the multiplier of its own placement time — fetch the static
+        values in one call and apply their own scaling.
+        """
         if len(sources) != len(targets):
             raise ValueError("sources and targets must have equal length")
         k = len(sources)
         self.query_count += k
-        multiplier = self._network.profile.multiplier(t)
         out = np.empty(k, dtype=np.float64)
         cache = self._point_cache
         miss_pos: List[int] = []
@@ -275,7 +296,6 @@ class DistanceOracle:
                     value = self._sssp_tree(sources[i]).get(targets[i], INFINITY)
                     cache.put((sources[i], targets[i]), value)
                     out[i] = value
-        out *= multiplier
         return out
 
     def distance_matrix(self, sources: Sequence[int], targets: Sequence[int],
@@ -366,6 +386,10 @@ class DistanceOracle:
                    if network.edge_override(*edge) != factor}
         if not mutated:
             return TrafficRepairStats(0, 0, 0, "noop")
+        if not self._traffic_touched:
+            self._traffic_touched = True
+            if self._index is not None:
+                self._label_snapshot = self._index.snapshot_labels()
         csr = network.csr()
         rcsr = network.csr(reverse=True)
         index_of = csr.index_of
@@ -419,25 +443,41 @@ class DistanceOracle:
         )
 
     def reset_traffic_state(self) -> None:
-        """Return the oracle to a pristine pre-traffic state.
+        """Return the oracle to a *bit*-pristine pre-traffic state.
 
-        Clears every live edge override (through the exact scoped-repair
-        path, so the hub-label index stays correct), resets the *cumulative*
-        repair accounting that decides the full-rebuild fallback, and drops
-        all memoised distances/paths/SSSP trees.  Experiment harnesses call
-        this between policy runs that share one oracle: each run then
-        replays its timeline against a fresh repair budget instead of
-        inheriting the previous run's accumulated repairs and drifting into
-        periodic full rebuilds.
+        Clears every live edge override (weight-only CSR patches, restoring
+        the exact original static weights), resets the *cumulative* repair
+        accounting that decides the full-rebuild fallback, and drops all
+        memoised distances/paths/SSSP trees.  If any traffic update ever
+        repaired or rebuilt the hub-label index, the index is rebuilt from
+        scratch over the restored weights: repaired labels answer queries
+        exactly but can differ from a freshly built index in the last ULP
+        (a repaired label stores a single Dijkstra path sum where a built
+        label rounds through ``fl(d(s, h)) + fl(d(h, t))``), and the
+        experiment harnesses rely on a reset oracle being bit-identical to
+        a brand-new one — that is what makes re-running a cell on a shared
+        cached oracle (policy comparisons, parallel workers reusing
+        fork-inherited scenarios) reproduce the fresh-oracle run exactly.
+
+        Untouched oracles reset for free: no overrides to clear, no label
+        work.  Touched ones restore the label snapshot taken at the first
+        mutating update — one deterministic array flatten, not a rebuild.
         """
-        overrides = self._network.edge_overrides()
-        if overrides:
-            self.apply_traffic_updates({edge: 1.0 for edge in overrides})
+        network = self._network
+        for edge in network.edge_overrides():
+            network.set_edge_override(*edge, 1.0)
         self._repaired_out.clear()
         self._repaired_in.clear()
         self._point_cache.clear()
         self._path_cache.clear()
         self._sssp_cache.clear()
+        if self._traffic_touched:
+            if self._index is not None:
+                if self._label_snapshot is not None:
+                    self._index.restore_labels(self._label_snapshot)
+                else:  # pragma: no cover - snapshot always exists with an index
+                    self._index = HubLabelIndex(network)
+            self._traffic_touched = False
 
     # ------------------------------------------------------------------ #
     # diagnostics

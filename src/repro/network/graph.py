@@ -275,10 +275,20 @@ class RoadNetwork:
         self._mutation_epoch += 1
         return old
 
-    def _static_edge_time(self, u: int, v: int) -> float:
-        """Static effective weight ``base * multiplier * override``."""
+    def static_edge_time(self, u: int, v: int) -> float:
+        """Static effective weight ``base * multiplier * override``.
+
+        This is the per-edge value the cached CSR arrays store;
+        :meth:`edge_time` is this scaled by the congestion profile.  The
+        vectorised vehicle-advancement kernel reads it to prebuild per-path
+        traversal-time arrays that are bit-equal to per-edge
+        :meth:`edge_time` calls.
+        """
         return (self._adj[u][v] * self._edge_multiplier.get((u, v), 1.0)
                 * self._edge_override.get((u, v), 1.0))
+
+    # Backwards-compatible private alias (pre-existing internal callers).
+    _static_edge_time = static_edge_time
 
     # ------------------------------------------------------------------ #
     # inspection

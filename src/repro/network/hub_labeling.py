@@ -316,6 +316,41 @@ class HubLabelIndex:
         return repaired
 
     # ------------------------------------------------------------------ #
+    # label snapshot / restore
+    # ------------------------------------------------------------------ #
+    def snapshot_labels(self):
+        """Cheap copy of the complete label state (for later restore).
+
+        Only the *outer* per-node lists are copied: :meth:`repair` replaces
+        a node's inner rank/distance lists wholesale (it never mutates them
+        in place), so sharing the inner lists between the snapshot and the
+        live index is safe.  The hub order is included so a snapshot can be
+        restored onto an index that was since rebuilt under a different
+        (override-laden) weight configuration.
+        """
+        return (self._order, self._rank_of,
+                list(self._out_ranks), list(self._out_dists),
+                list(self._in_ranks), list(self._in_dists))
+
+    def restore_labels(self, snapshot) -> None:
+        """Restore a :meth:`snapshot_labels` state bit-for-bit.
+
+        Re-finalising the flat arrays from the snapshotted lists performs
+        the identical deterministic flattening the original build did, so a
+        restored index answers every query with the exact floats of the
+        index the snapshot was taken from — at the cost of one array
+        flatten instead of a full pruned-labeling rebuild.
+        """
+        order, rank_of, out_ranks, out_dists, in_ranks, in_dists = snapshot
+        self._order = order
+        self._rank_of = dict(rank_of)
+        self._out_ranks = list(out_ranks)
+        self._out_dists = list(out_dists)
+        self._in_ranks = list(in_ranks)
+        self._in_dists = list(in_dists)
+        self._finalize_arrays()
+
+    # ------------------------------------------------------------------ #
     # queries
     # ------------------------------------------------------------------ #
     def query(self, source: int, target: int) -> float:

@@ -22,7 +22,12 @@ from typing import Dict, Optional, Sequence, Tuple
 from repro.network.distance_oracle import DistanceOracle
 from repro.orders.batch import Batch
 from repro.orders.order import Order
-from repro.orders.route_plan import RoutePlan, best_route_plan, insertion_route_plan
+from repro.orders.route_plan import (
+    RoutePlan,
+    best_route_plan,
+    best_route_plan_vectorized,
+    insertion_route_plan,
+)
 from repro.orders.vehicle import Vehicle
 
 INFINITY = math.inf
@@ -47,7 +52,8 @@ class CostModel:
     state.
     """
 
-    def __init__(self, oracle: DistanceOracle, planner: str = "auto") -> None:
+    def __init__(self, oracle: DistanceOracle, planner: str = "auto",
+                 vectorized: bool = True) -> None:
         """Create a cost model over a distance oracle.
 
         ``planner`` selects how quickest route plans are computed:
@@ -56,11 +62,18 @@ class CostModel:
         insertion heuristic (supports large batches, near-optimal for small
         ones), and ``"auto"`` (default) is exhaustive up to 8 stops and
         insertion beyond.
+
+        ``vectorized`` (default) runs the exhaustive search on the array
+        kernel (:func:`~repro.orders.route_plan.best_route_plan_vectorized`),
+        which returns bit-identical plans; ``False`` keeps the scalar
+        reference scan, used by the equivalence tests and the end-to-end
+        benchmark's reference mode.
         """
         if planner not in {"auto", "exhaustive", "insertion"}:
             raise ValueError(f"unknown planner {planner!r}")
         self._oracle = oracle
         self._planner = planner
+        self._vectorized = vectorized
         self._sdt_cache: Dict[int, float] = {}
 
     @property
@@ -105,6 +118,20 @@ class CostModel:
             nodes.append(order.customer_node)
         for order in onboard_orders:
             nodes.append(order.customer_node)
+        insertion = self._planner == "insertion" or (
+            self._planner == "auto" and stop_count > _AUTO_EXHAUSTIVE_STOP_LIMIT)
+        # The array kernel pays a fixed setup cost per plan (permutation
+        # pattern gather, one static block query); below ~5 stops there are
+        # at most a handful of valid permutations and the scalar scan wins.
+        # Above the auto limit it is never used even under an explicit
+        # "exhaustive" planner: it materialises the size! permutation matrix
+        # up front, which stops being viable where the lazy scalar scan is
+        # merely slow.
+        if (self._vectorized and not insertion
+                and 5 <= stop_count <= _AUTO_EXHAUSTIVE_STOP_LIMIT):
+            return best_route_plan_vectorized(new_orders, start_node, start_time,
+                                              self._oracle, self.sdt,
+                                              onboard_orders=onboard_orders)
         # Tiny plans evaluate too few legs for the prefetch to pay for
         # itself (the permutation count, and with it the number of repeated
         # pair lookups, grows factorially with the stop count).
@@ -112,8 +139,7 @@ class CostModel:
             distance = self._prefetched_distance(nodes)
         else:
             distance = self._oracle.distance
-        if self._planner == "insertion" or (
-                self._planner == "auto" and stop_count > _AUTO_EXHAUSTIVE_STOP_LIMIT):
+        if insertion:
             return insertion_route_plan(new_orders, start_node, start_time,
                                         distance, self.sdt,
                                         onboard_orders=onboard_orders)
@@ -131,6 +157,29 @@ class CostModel:
             cached = shortest_delivery_time(order, self._oracle)
             self._sdt_cache[order.order_id] = cached
         return cached
+
+    def prefetch_sdt(self, orders: Sequence[Order]) -> None:
+        """Warm the SDT memo for a batch of orders with one paired kernel call.
+
+        The simulation engine calls this at every window boundary with the
+        orders that arrived during the window, replacing one point query per
+        order with a single :meth:`DistanceOracle.static_distances` batch.
+        Each order's direct restaurant-to-customer distance is scaled by the
+        congestion multiplier of its own placement time, performing exactly
+        the float operations of :func:`shortest_delivery_time`.
+        """
+        missing = [order for order in orders
+                   if order.order_id not in self._sdt_cache]
+        if not missing:
+            return
+        statics = self._oracle.static_distances(
+            [order.restaurant_node for order in missing],
+            [order.customer_node for order in missing])
+        multiplier = self._oracle.network.profile.multiplier
+        cache = self._sdt_cache
+        for order, static in zip(missing, statics.tolist(), strict=True):
+            cache[order.order_id] = (
+                order.prep_time + static * multiplier(order.placed_at))
 
     def first_mile(self, order: Order, vehicle_node: int, now: float) -> float:
         """Direct travel time from a vehicle's location to the restaurant."""

@@ -26,6 +26,8 @@ import math
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.orders.order import Order
 
 INFINITY = math.inf
@@ -214,6 +216,130 @@ def best_route_plan(new_orders: Sequence[Order], start_node: int, start_time: fl
     return RoutePlan(best_stops, start_node, start_time, best_eval)
 
 
+# --------------------------------------------------------------------------- #
+# vectorised exhaustive search
+# --------------------------------------------------------------------------- #
+# Valid stop-sequence patterns per (num_new_orders, num_onboard_orders): the
+# stops list is always laid out [pickup_0, dropoff_0, pickup_1, dropoff_1, ...,
+# onboard dropoffs...], so the set of valid permutations (every pickup before
+# its dropoff) depends only on the two counts.  Cached as an index matrix in
+# the exact order `itertools.permutations` produces, which is what makes the
+# vectorised search tie-break identically to the scalar scan.
+_PERM_CACHE: Dict[Tuple[int, int], np.ndarray] = {}
+
+
+def _valid_permutations(num_new: int, num_onboard: int) -> np.ndarray:
+    """Index matrix of all valid stop sequences for the given counts."""
+    key = (num_new, num_onboard)
+    cached = _PERM_CACHE.get(key)
+    if cached is not None:
+        return cached
+    size = 2 * num_new + num_onboard
+    perms = np.array(list(itertools.permutations(range(size))), dtype=np.int64)
+    positions = np.empty_like(perms)
+    rows = np.arange(len(perms))[:, None]
+    positions[rows, perms] = np.arange(size)[None, :]
+    valid = np.ones(len(perms), dtype=bool)
+    for order_idx in range(num_new):
+        valid &= positions[:, 2 * order_idx] < positions[:, 2 * order_idx + 1]
+    cached = perms[valid]
+    _PERM_CACHE[key] = cached
+    return cached
+
+
+def best_route_plan_vectorized(new_orders: Sequence[Order], start_node: int,
+                               start_time: float, oracle, sdt_lookup,
+                               onboard_orders: Sequence[Order] = ()) -> RoutePlan:
+    """Array-kernel equivalent of :func:`best_route_plan`.
+
+    All valid stop permutations are evaluated simultaneously: one static
+    distance block over the plan's unique nodes replaces the per-leg oracle
+    round trips, and the stop walk runs as a short loop over stop positions
+    with element-wise operations across permutations.  Every element-wise
+    operation performs the identical IEEE arithmetic in the identical order
+    as :func:`evaluate_plan`, and the winner is the first permutation (in
+    ``itertools.permutations`` order) attaining the lexicographic minimum of
+    ``(total_xdt, finish_time)`` — exactly the plan the scalar scan keeps.
+    The returned :class:`RoutePlan` re-evaluates only that winner to build
+    the full :class:`PlanEvaluation`, so it is bit-identical to the scalar
+    result.  The property tests compare both over random plans.
+    """
+    stops: List[RouteStop] = []
+    for order in new_orders:
+        stops.append(RouteStop(order.restaurant_node, order, True))
+        stops.append(RouteStop(order.customer_node, order, False))
+    for order in onboard_orders:
+        stops.append(RouteStop(order.customer_node, order, False))
+    size = len(stops)
+
+    unique_nodes = list(dict.fromkeys(
+        [start_node] + [stop.node for stop in stops]))
+    static = oracle.static_distance_matrix(unique_nodes, unique_nodes)
+    node_index = {node: i for i, node in enumerate(unique_nodes)}
+    multipliers = np.asarray(oracle.network.profile.multipliers, dtype=np.float64)
+
+    def finish_plan(best_stops: Tuple[RouteStop, ...]) -> RoutePlan:
+        table = static.tolist()
+        multiplier = oracle.network.profile.multiplier
+
+        def distance(u: int, v: int, t: float) -> float:
+            return table[node_index[u]][node_index[v]] * multiplier(t)
+
+        evaluation = evaluate_plan(best_stops, start_node, start_time,
+                                   distance, sdt_lookup)
+        return RoutePlan(best_stops, start_node, start_time, evaluation)
+
+    if size == 0:
+        return RoutePlan((), start_node, start_time,
+                         PlanEvaluation(0.0, {}, {}, 0.0, 0.0, start_time))
+
+    perms = _valid_permutations(len(new_orders), len(onboard_orders))
+    # Per-stop attribute vectors (indexed by base stop position).
+    stop_nodes = np.array([node_index[stop.node] for stop in stops], dtype=np.int64)
+    is_pickup = np.array([stop.is_pickup for stop in stops], dtype=bool)
+    ready = np.array([stop.order.ready_at for stop in stops], dtype=np.float64)
+    placed = np.array([stop.order.placed_at for stop in stops], dtype=np.float64)
+    sdt = np.array([sdt_lookup(stop.order) for stop in stops], dtype=np.float64)
+
+    nodes_by_pos = stop_nodes[perms]                       # (P, S)
+    prev_by_pos = np.empty_like(nodes_by_pos)
+    prev_by_pos[:, 0] = node_index[start_node]
+    prev_by_pos[:, 1:] = nodes_by_pos[:, :-1]
+
+    count = len(perms)
+    clock = np.full(count, start_time, dtype=np.float64)
+    total_xdt = np.zeros(count, dtype=np.float64)
+    for pos in range(size):
+        stop_idx = perms[:, pos]
+        leg = static[prev_by_pos[:, pos], nodes_by_pos[:, pos]]
+        # Slot multiplier of each permutation's current clock (finite clocks
+        # only; rows that already hit an unreachable leg stay at infinity and
+        # are forced to the scalar sentinel below).
+        finite = np.isfinite(clock)
+        slots = (np.where(finite, clock, 0.0) // 3600.0).astype(np.int64) % 24
+        clock = clock + leg * multipliers[slots]
+        pickups = is_pickup[stop_idx]
+        ready_here = ready[stop_idx]
+        waits = pickups & (clock < ready_here)
+        clock = np.where(waits, ready_here, clock)
+        xdt_here = np.maximum(0.0, (clock - placed[stop_idx]) - sdt[stop_idx])
+        total_xdt = total_xdt + np.where(pickups, 0.0, xdt_here)
+    invalid = ~np.isfinite(clock)
+    if invalid.any():
+        # The scalar evaluation short-circuits an unreachable leg to an
+        # all-infinite evaluation regardless of the XDT accumulated so far.
+        total_xdt = np.where(invalid, INFINITY, total_xdt)
+        clock = np.where(invalid, INFINITY, clock)
+    # First permutation attaining the lexicographic minimum of (xdt, finish):
+    # identical to the scalar scan's keep-first-strictly-smaller rule.
+    best_xdt = total_xdt.min()
+    contenders = total_xdt == best_xdt
+    best_finish = clock[contenders].min()
+    winner = int(np.flatnonzero(contenders & (clock == best_finish))[0])
+    best_stops = tuple(stops[i] for i in perms[winner])
+    return finish_plan(best_stops)
+
+
 def insertion_route_plan(new_orders: Sequence[Order], start_node: int, start_time: float,
                          distance, sdt_lookup,
                          onboard_orders: Sequence[Order] = ()) -> RoutePlan:
@@ -258,5 +384,6 @@ __all__ = [
     "enumerate_route_plans",
     "evaluate_plan",
     "best_route_plan",
+    "best_route_plan_vectorized",
     "insertion_route_plan",
 ]

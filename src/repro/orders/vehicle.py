@@ -6,6 +6,8 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Dict, List, Optional, Sequence, Set
 
+import numpy as np
+
 from repro.orders.order import Order
 from repro.orders.route_plan import RoutePlan, RouteStop
 
@@ -145,6 +147,29 @@ class Vehicle:
         load = self.onboard_count
         self.distance_travelled_km += km
         self.km_by_load[load] = self.km_by_load.get(load, 0.0) + km
+
+    def record_legs(self, kms: Sequence[float]) -> None:
+        """Record consecutive driven legs at the current load in one shot.
+
+        Equivalent to calling :meth:`record_leg` once per element — including
+        float-for-float: the accumulators are advanced with a sequential
+        :func:`numpy.cumsum` over the legs with the current total prepended,
+        which performs the identical chain of additions.  Used by the
+        vectorised advancement kernel (:mod:`repro.sim.advance`).
+        """
+        count = len(kms)
+        if count == 0:
+            return
+        if count == 1:
+            self.record_leg(float(kms[0]))
+            return
+        load = self.onboard_count
+        acc = np.empty(count + 1, dtype=np.float64)
+        acc[1:] = kms
+        acc[0] = self.distance_travelled_km
+        self.distance_travelled_km = float(np.cumsum(acc)[-1])
+        acc[0] = self.km_by_load.get(load, 0.0)
+        self.km_by_load[load] = float(np.cumsum(acc)[-1])
 
     @property
     def next_destination(self) -> Optional[int]:

@@ -116,6 +116,12 @@ class SimulationResult:
     vehicles: List[Vehicle] = field(default_factory=list)
     omega: float = 7200.0
     simulated_seconds: float = 86400.0
+    #: per-cache hit/miss/size/capacity counters of the distance oracle's
+    #: LRU caches, measured over this run only (the engine snapshots the
+    #: counters at start and stores the deltas) — see
+    #: :meth:`DistanceOracle.cache_info
+    #: <repro.network.distance_oracle.DistanceOracle.cache_info>`
+    cache_stats: Dict[str, Dict[str, int]] = field(default_factory=dict)
 
     # ------------------------------------------------------------------ #
     # order-level metrics
@@ -259,6 +265,23 @@ class SimulationResult:
         return result
 
     # ------------------------------------------------------------------ #
+    def total_cache_hits(self) -> int:
+        """Distance-cache hits recorded during this run (all caches)."""
+        return sum(stats.get("hits", 0) for stats in self.cache_stats.values())
+
+    def total_cache_misses(self) -> int:
+        """Distance-cache misses recorded during this run (all caches)."""
+        return sum(stats.get("misses", 0) for stats in self.cache_stats.values())
+
+    def cache_hit_rate(self) -> float:
+        """Overall hit fraction of the oracle's LRU caches for this run."""
+        hits = self.total_cache_hits()
+        lookups = hits + self.total_cache_misses()
+        if lookups == 0:
+            return 0.0
+        return hits / lookups
+
+    # ------------------------------------------------------------------ #
     def summary(self) -> Dict[str, float]:
         """Flat metric dictionary used by the experiment reports."""
         return {
@@ -277,6 +300,9 @@ class SimulationResult:
             "total_distance_km": self.total_distance_km(),
             "driver_declines": float(self.total_declined_offers()),
             "fleet_handoffs": float(self.total_handoffs()),
+            "cache_hits": float(self.total_cache_hits()),
+            "cache_misses": float(self.total_cache_misses()),
+            "cache_hit_rate": self.cache_hit_rate(),
         }
 
 

@@ -32,6 +32,7 @@ from repro.fleet.shifts import (
 )
 from repro.network.graph import RoadNetwork, SECONDS_PER_HOUR
 from repro.network.shortest_path import dijkstra_all
+from repro.seeding import spawn_seed
 from repro.orders.order import Order
 from repro.orders.vehicle import Vehicle
 from repro.traffic.events import TrafficEvent, TrafficTimeline
@@ -408,11 +409,16 @@ def generate_scenario(profile: CityProfile, seed: int = 0,
     orders = generate_orders(network, restaurants, profile, rng,
                              start_hour=start_hour, end_hour=end_hour)
     vehicles = generate_vehicles(network, profile, rng)
-    timeline = generate_traffic_timeline(network, random.Random(seed + 7919),
+    # Derived streams use hierarchical hashed seeds (not fixed offsets): an
+    # offset scheme makes the traffic stream of seed s the workload stream
+    # of seed s + offset, so sweeps over several seeds could replay
+    # correlated randomness across cells.
+    timeline = generate_traffic_timeline(network,
+                                         random.Random(spawn_seed(seed, "traffic")),
                                          intensity=traffic,
                                          start_hour=start_hour, end_hour=end_hour)
     fleet_plan, reserves = generate_fleet_plan(network, vehicles,
-                                               random.Random(seed + 4099),
+                                               random.Random(spawn_seed(seed, "fleet")),
                                                mode=fleet,
                                                start_hour=start_hour,
                                                end_hour=end_hour)

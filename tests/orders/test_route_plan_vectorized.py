@@ -1,0 +1,86 @@
+"""Equivalence tests: array route-plan search vs the scalar permutation scan.
+
+:func:`~repro.orders.route_plan.best_route_plan_vectorized` must return the
+exact plan :func:`~repro.orders.route_plan.best_route_plan` returns — the
+same stop sequence (including enumeration-order tie-breaking) and a
+bit-identical evaluation — over random order sets, onboard orders and
+congestion profiles.
+"""
+
+import functools
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network.distance_oracle import DistanceOracle
+from repro.network.generators import random_geometric_city
+from repro.network.graph import TimeProfile
+from repro.orders.costs import CostModel
+from repro.orders.order import Order
+from repro.orders.route_plan import best_route_plan, best_route_plan_vectorized
+
+
+@functools.lru_cache(maxsize=None)
+def _oracle(seed: int) -> DistanceOracle:
+    network = random_geometric_city(num_nodes=40, seed=seed)
+    network.profile = TimeProfile.urban_peaks()
+    return DistanceOracle(network)
+
+
+def _orders(rng: random.Random, nodes, count: int, base_id: int = 0):
+    return [Order(order_id=base_id + i,
+                  restaurant_node=rng.choice(nodes),
+                  customer_node=rng.choice(nodes),
+                  placed_at=rng.uniform(0.0, 80_000.0),
+                  items=1 + rng.randrange(3),
+                  prep_time=rng.uniform(120.0, 1200.0))
+            for i in range(count)]
+
+
+class TestVectorizedRoutePlan:
+    @given(seed=st.integers(min_value=0, max_value=4_000))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_scalar_scan(self, seed):
+        rng = random.Random(seed)
+        oracle = _oracle(seed % 4)
+        nodes = oracle.network.nodes
+        new_orders = _orders(rng, nodes, rng.randrange(0, 4))
+        onboard = _orders(rng, nodes, rng.randrange(0, 3), base_id=100)
+        start_node = rng.choice(nodes)
+        start_time = rng.uniform(0.0, 80_000.0)
+        sdt = {order.order_id: rng.uniform(300.0, 3000.0)
+               for order in new_orders + onboard}
+
+        scalar = best_route_plan(new_orders, start_node, start_time,
+                                 oracle.distance,
+                                 lambda order: sdt[order.order_id],
+                                 onboard_orders=onboard)
+        fast = best_route_plan_vectorized(new_orders, start_node, start_time,
+                                          oracle,
+                                          lambda order: sdt[order.order_id],
+                                          onboard_orders=onboard)
+        assert fast.stops == scalar.stops
+        assert fast.evaluation.total_xdt == scalar.evaluation.total_xdt
+        assert fast.evaluation.finish_time == scalar.evaluation.finish_time
+        assert fast.evaluation.waiting_time == scalar.evaluation.waiting_time
+        assert fast.evaluation.travel_time == scalar.evaluation.travel_time
+        assert fast.evaluation.delivery_times == scalar.evaluation.delivery_times
+        assert fast.evaluation.pickup_times == scalar.evaluation.pickup_times
+
+    def test_cost_model_routes_large_plans_through_kernel(self):
+        # The auto planner keeps tiny plans scalar (kernel setup would
+        # dominate) and both paths must agree wherever they meet.
+        rng = random.Random(9)
+        oracle = _oracle(1)
+        nodes = oracle.network.nodes
+        vec_model = CostModel(oracle, vectorized=True)
+        ref_model = CostModel(oracle, vectorized=False)
+        for count in (1, 2, 3):
+            orders = _orders(rng, nodes, count)
+            vec_plan = vec_model._plan(orders, nodes[0], 1000.0)
+            ref_plan = ref_model._plan(orders, nodes[0], 1000.0)
+            assert vec_plan.stops == ref_plan.stops
+            assert vec_plan.evaluation.total_xdt == ref_plan.evaluation.total_xdt
+            assert (vec_plan.evaluation.finish_time
+                    == ref_plan.evaluation.finish_time)
