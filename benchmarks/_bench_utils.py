@@ -17,12 +17,11 @@ import pathlib
 import platform
 import subprocess
 import sys
-from typing import Dict, Optional
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 
 
-def git_revision() -> Optional[str]:
+def git_revision() -> str | None:
     """The repo's current commit SHA, or ``None`` outside a git checkout."""
     try:
         out = subprocess.run(["git", "-C", str(REPO_ROOT), "rev-parse", "HEAD"],
@@ -34,7 +33,7 @@ def git_revision() -> Optional[str]:
     return out.stdout.strip() or None
 
 
-def environment_info() -> Dict[str, object]:
+def environment_info() -> dict[str, object]:
     """Provenance block stamped into every benchmark JSON."""
     return {
         "git_sha": git_revision(),
@@ -46,7 +45,7 @@ def environment_info() -> Dict[str, object]:
 
 
 def write_bench_json(out_path: pathlib.Path, benchmark: str, smoke: bool,
-                     kernels: Dict[str, dict], **extra: object) -> dict:
+                     kernels: dict[str, dict], **extra: object) -> dict:
     """Assemble and write one ``BENCH_*.json`` payload; returns the payload.
 
     ``extra`` key/values land at the payload top level (e.g. the matching

@@ -1,6 +1,6 @@
-"""End-to-end benchmark for the PR 4 execution layer.
+"""End-to-end benchmark for the PR 4/PR 5 execution layers.
 
-Two kernels, both asserting exactness *before* any timing:
+Three kernels, all asserting exactness *before* any timing:
 
 ``window_hot_path``
     One simulated lunch hour under FoodMatch, replayed twice: with the
@@ -26,7 +26,19 @@ Two kernels, both asserting exactness *before* any timing:
     the smoke gate enforces identity everywhere but conditions the speedup
     gate on available cores.
 
-Results go to ``BENCH_PR4.json`` (repo root by default).  Run::
+``event_density``
+    The PR 5 continuous-time event core.  Exactness first: a traffic+fleet
+    scenario whose timelines are snapped onto the window grid must replay
+    **bit-identically** under ``event_resolution="window"`` and
+    ``"continuous"`` (the golden invariant of the event clock).  Then the
+    engine is timed at several sub-window event densities (events per
+    simulated hour): windows/sec of continuous mode at density 0 / low /
+    high, plus the window-mode baseline.  The smoke gate requires the
+    zero-event continuous engine within 15% of window mode — the event
+    clock must be free when nothing fires.
+
+PR 4 kernels go to ``BENCH_PR4.json``, the event-density dimension to
+``BENCH_PR5.json`` (repo root by default).  Run::
 
     PYTHONPATH=src python benchmarks/bench_e2e.py          # full
     PYTHONPATH=src python benchmarks/bench_e2e.py --smoke  # CI smoke
@@ -38,7 +50,6 @@ import argparse
 import os
 import pathlib
 import time
-from typing import Dict, List, Tuple
 
 from _bench_utils import REPO_ROOT, write_bench_json
 
@@ -54,11 +65,13 @@ from repro.network.distance_oracle import DistanceOracle
 from repro.network.generators import random_geometric_city
 from repro.orders.costs import CostModel
 from repro.seeding import spawn_seed
+from repro.sim.clock import align_scenario_events
 from repro.sim.engine import SimulationConfig, simulate
 from repro.workload.city import CityProfile
 from repro.workload.generator import generate_scenario
 
 DEFAULT_OUT = REPO_ROOT / "BENCH_PR4.json"
+DEFAULT_OUT_PR5 = REPO_ROOT / "BENCH_PR5.json"
 
 
 def _bench_network():
@@ -83,7 +96,7 @@ BENCH_PROFILE = CityProfile(
 # kernel 1: vectorised window hot path vs the scalar reference engine
 # --------------------------------------------------------------------------- #
 def _run_engine(vectorized: bool, seed: int, start_hour: int, end_hour: int,
-                ) -> Tuple[str, float, int]:
+                ) -> tuple[str, float, int]:
     """One full simulation; returns (fingerprint, seconds, windows)."""
     scenario = generate_scenario(BENCH_PROFILE, seed=seed,
                                  start_hour=start_hour, end_hour=end_hour)
@@ -106,7 +119,7 @@ def bench_window_hot_path(seed: int, repeats: int, start_hour: int = 12,
                           end_hour: int = 13) -> dict:
     """Windows/sec of the vectorised engine vs the PR 3 scalar reference."""
     times = {True: float("inf"), False: float("inf")}
-    prints: Dict[bool, str] = {}
+    prints: dict[bool, str] = {}
     windows = 0
     for _ in range(repeats):
         for vectorized in (True, False):
@@ -138,9 +151,9 @@ def bench_window_hot_path(seed: int, repeats: int, start_hour: int = 12,
 # kernel 2: process-parallel sweep vs the serial loop
 # --------------------------------------------------------------------------- #
 def _sweep_cells(scale: float, base_seed: int, replicates: int,
-                 ) -> List[ExperimentCell]:
+                 ) -> list[ExperimentCell]:
     """The 12-cell grid: 2 policies x 2 traffic intensities x replicates."""
-    cells: List[ExperimentCell] = []
+    cells: list[ExperimentCell] = []
     for policy in ("foodmatch", "greedy"):
         for traffic in ("none", "light"):
             for replicate in range(replicates):
@@ -200,13 +213,89 @@ def bench_parallel_sweep(scale: float, base_seed: int, jobs: int = 4,
     }
 
 
-def run(smoke: bool = False, out_path: pathlib.Path = DEFAULT_OUT) -> dict:
+# --------------------------------------------------------------------------- #
+# kernel 3: continuous-time event core vs the window-quantized engine (PR 5)
+# --------------------------------------------------------------------------- #
+def _run_resolution(scenario, resolution: str, start_hour: int, end_hour: int,
+                    ) -> tuple[str, float, int]:
+    """One full simulation at an event resolution; (fingerprint, secs, windows)."""
+    oracle = DistanceOracle(scenario.network)
+    cost_model = CostModel(oracle)
+    policy = FoodMatchPolicy(cost_model, FoodMatchConfig())
+    config = SimulationConfig(delta=BENCH_PROFILE.accumulation_window,
+                              start=start_hour * 3600.0, end=end_hour * 3600.0,
+                              event_resolution=resolution)
+    start = time.perf_counter()
+    result = simulate(scenario, policy, cost_model, config)
+    elapsed = time.perf_counter() - start
+    return result_fingerprint(result), elapsed, len(result.windows)
+
+
+def bench_event_density(seed: int, repeats: int, start_hour: int = 12,
+                        end_hour: int = 13) -> dict:
+    """Continuous-mode windows/sec across sub-window event densities.
+
+    Identity is asserted before any timing: a boundary-aligned traffic+fleet
+    timeline must replay bit-identically under both event resolutions.
+    """
+    delta = BENCH_PROFILE.accumulation_window
+    aligned = align_scenario_events(
+        generate_scenario(BENCH_PROFILE, seed=seed, start_hour=start_hour,
+                          end_hour=end_hour, traffic="light", fleet="full"),
+        delta=delta, anchor=start_hour * 3600.0)
+    window_print, _, _ = _run_resolution(aligned, "window", start_hour, end_hour)
+    continuous_print, _, _ = _run_resolution(aligned, "continuous",
+                                             start_hour, end_hour)
+    assert window_print == continuous_print, (
+        "continuous engine diverged from window mode on a boundary-aligned "
+        f"timeline ({continuous_print} != {window_print})")
+
+    densities = {"zero": 0.0, "low": 1.0, "high": 6.0}
+    scenarios = {name: generate_scenario(BENCH_PROFILE, seed=seed,
+                                         start_hour=start_hour,
+                                         end_hour=end_hour, traffic=density)
+                 for name, density in densities.items()}
+    windows = 0
+    window_best = float("inf")
+    continuous_best = dict.fromkeys(densities, float("inf"))
+    for _ in range(repeats):
+        _, elapsed, windows = _run_resolution(scenarios["zero"], "window",
+                                              start_hour, end_hour)
+        window_best = min(window_best, elapsed)
+        for name, scenario in scenarios.items():
+            _, elapsed, windows = _run_resolution(scenario, "continuous",
+                                                  start_hour, end_hour)
+            continuous_best[name] = min(continuous_best[name], elapsed)
+    window_wps = windows / window_best
+    continuous_wps = {name: windows / best
+                      for name, best in continuous_best.items()}
+    return {
+        "workload": (f"{BENCH_PROFILE.name}: {windows} windows of "
+                     f"{delta:.0f}s, FoodMatch "
+                     f"({start_hour}:00-{end_hour}:00), sub-window traffic "
+                     f"event densities {sorted(densities.values())}/hour"),
+        "exactness": ("window vs continuous bit-identity asserted on a "
+                      "boundary-aligned traffic+fleet timeline"),
+        "event_densities": densities,
+        "window_windows_per_sec": window_wps,
+        "continuous_windows_per_sec": continuous_wps,
+        "new_ops_per_sec": continuous_wps["zero"],
+        "seed_ops_per_sec": window_wps,
+        "zero_event_overhead_pct": 100.0 * (1.0 - continuous_wps["zero"]
+                                            / window_wps),
+        "speedup": continuous_wps["zero"] / window_wps,
+    }
+
+
+def run(smoke: bool = False, out_path: pathlib.Path = DEFAULT_OUT,
+        out_path_pr5: pathlib.Path = DEFAULT_OUT_PR5) -> dict:
     if smoke:
         results = {
             "window_hot_path": bench_window_hot_path(seed=29, repeats=2),
             "parallel_sweep": bench_parallel_sweep(scale=0.5, base_seed=29,
                                                    jobs=4, replicates=3),
         }
+        density = bench_event_density(seed=31, repeats=2)
     else:
         results = {
             "window_hot_path": bench_window_hot_path(seed=29, repeats=3,
@@ -214,9 +303,16 @@ def run(smoke: bool = False, out_path: pathlib.Path = DEFAULT_OUT) -> dict:
             "parallel_sweep": bench_parallel_sweep(scale=1.0, base_seed=29,
                                                    jobs=4, replicates=3),
         }
-    return write_bench_json(
+        density = bench_event_density(seed=31, repeats=3, end_hour=14)
+    payload = write_bench_json(
         out_path, ("PR4 process-parallel experiment executor + vectorised "
                    "window hot path"), smoke, results)
+    payload_pr5 = write_bench_json(
+        out_path_pr5, ("PR5 continuous-time event core: sub-window "
+                       "traffic/fleet dynamics on the event clock"), smoke,
+        {"event_density": density})
+    payload["pr5"] = payload_pr5
+    return payload
 
 
 def main() -> None:
@@ -224,11 +320,15 @@ def main() -> None:
     parser.add_argument("--smoke", action="store_true",
                         help="small, fast workloads for CI")
     parser.add_argument("--out", type=pathlib.Path, default=DEFAULT_OUT,
-                        help="where to write the JSON results")
+                        help="where to write the PR4 JSON results")
+    parser.add_argument("--out-pr5", type=pathlib.Path, default=DEFAULT_OUT_PR5,
+                        help="where to write the PR5 event-density results")
     args = parser.parse_args()
-    payload = run(smoke=args.smoke, out_path=args.out)
+    payload = run(smoke=args.smoke, out_path=args.out,
+                  out_path_pr5=args.out_pr5)
     window = payload["kernels"]["window_hot_path"]
     sweep = payload["kernels"]["parallel_sweep"]
+    density = payload["pr5"]["kernels"]["event_density"]
     print(f"window_hot_path: {window['speedup']:.2f}x "
           f"({window['vectorized_windows_per_sec']:.2f} vs "
           f"{window['reference_windows_per_sec']:.2f} windows/s) "
@@ -236,7 +336,14 @@ def main() -> None:
     print(f"parallel_sweep: {sweep['speedup']:.2f}x at --jobs {sweep['jobs']} "
           f"({sweep['parallel_seconds']:.2f}s vs {sweep['serial_seconds']:.2f}s "
           f"serial, {sweep['cpu_count']} CPUs) — {sweep['workload']}")
-    print(f"wrote {args.out}")
+    continuous = ", ".join(
+        f"{name}={wps:.2f}"
+        for name, wps in density["continuous_windows_per_sec"].items())
+    print(f"event_density: continuous windows/s [{continuous}] vs window-mode "
+          f"{density['window_windows_per_sec']:.2f} "
+          f"({density['zero_event_overhead_pct']:+.1f}% zero-event overhead) "
+          f"— {density['workload']}")
+    print(f"wrote {args.out} and {args.out_pr5}")
 
 
 if __name__ == "__main__":

@@ -13,7 +13,8 @@ Three subcommands cover the common workflows without writing any Python:
 Examples::
 
     python -m repro simulate --city CityA --policy foodmatch --scale 0.3 \
-        --start-hour 12 --end-hour 13 --traffic heavy --fleet full
+        --start-hour 12 --end-hour 13 --traffic heavy --fleet full \
+        --event-resolution continuous
     python -m repro compare --city CityB --policies foodmatch greedy km \
         --scale 0.1 --vehicle-fraction 0.4 --jobs 4
     python -m repro figure --name fig8abc_eta_sweep --jobs 4
@@ -26,8 +27,9 @@ output is bit-identical to the serial default.
 from __future__ import annotations
 
 import argparse
+import math
 import sys
-from typing import Optional, Sequence
+from collections.abc import Sequence
 
 from repro.experiments import figures
 from repro.experiments.executor import set_default_jobs
@@ -39,6 +41,7 @@ from repro.experiments.runner import (
     run_policy_comparison,
     run_setting,
 )
+from repro.sim.engine import EVENT_RESOLUTIONS
 from repro.workload.city import CITY_PROFILES
 from repro.workload.generator import FLEET_MODES, TRAFFIC_INTENSITIES
 
@@ -58,11 +61,28 @@ _FIGURE_FUNCTIONS = {
     "fig8hijk_k_sweep": figures.fig8hijk_k_sweep,
     "fig9_gamma_sweep": figures.fig9_gamma_sweep,
     "traffic_robustness": figures.traffic_robustness,
+    "event_density": figures.event_density,
     "fleet_robustness": figures.fleet_robustness,
 }
 
 _COMPARE_METRICS = ("xdt_hours_per_day", "orders_per_km", "waiting_hours_per_day",
                     "rejection_rate", "mean_decision_seconds", "overflow_pct")
+
+
+def _traffic_level(text: str):
+    """Parse ``--traffic``: a named intensity or a numeric event density."""
+    if text in TRAFFIC_INTENSITIES:
+        return text
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected one of {sorted(TRAFFIC_INTENSITIES)} or a numeric "
+            f"events-per-hour density, got {text!r}") from None
+    if not math.isfinite(value) or value < 0:
+        raise argparse.ArgumentTypeError(
+            "event density must be a finite non-negative number")
+    return value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -91,11 +111,19 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument("--vehicle-fraction", type=float, default=1.0,
                          help="fraction of the fleet made available (default: 1.0)")
         sub.add_argument("--seed", type=int, default=0, help="workload seed (default: 0)")
-        sub.add_argument("--traffic", choices=sorted(TRAFFIC_INTENSITIES),
-                         default="none",
+        sub.add_argument("--traffic", type=_traffic_level, default="none",
+                         metavar="LEVEL",
                          help="dynamic-traffic intensity: incidents, closures and "
-                              "zonal slowdowns replayed during the simulation "
-                              "(default: none)")
+                              "zonal slowdowns replayed during the simulation — "
+                              f"one of {sorted(TRAFFIC_INTENSITIES)} ('severe' "
+                              "fully severs half its closures) or a numeric "
+                              "events-per-hour density (default: none)")
+        sub.add_argument("--event-resolution", choices=list(EVENT_RESOLUTIONS),
+                         default="window",
+                         help="when traffic/fleet events take effect: 'window' "
+                              "quantizes them to accumulation-window boundaries, "
+                              "'continuous' applies them at their exact "
+                              "timestamps via the event clock (default: window)")
         sub.add_argument("--fleet", choices=list(FLEET_MODES), default="none",
                          help="driver-lifecycle realism: 'shifts' adds "
                               "login/logout/break schedules, 'full' adds surge "
@@ -137,6 +165,7 @@ def _setting_from_args(args: argparse.Namespace) -> ExperimentSetting:
         seed=args.seed,
         traffic=args.traffic,
         fleet=args.fleet,
+        event_resolution=args.event_resolution,
     )
 
 
@@ -181,7 +210,7 @@ def _command_figure(args: argparse.Namespace) -> int:
     return 0
 
 
-def main(argv: Optional[Sequence[str]] = None) -> int:
+def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)

@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import heapq
 import math
-from typing import Callable, Iterator, List, Optional, Tuple
+from collections.abc import Callable, Iterator
 
 from repro.network.geometry import angular_distance
 from repro.network.graph import RoadNetwork
@@ -75,7 +75,7 @@ def travel_time_weight(network: RoadNetwork, now: float) -> WeightFunction:
     return lambda u, v: network.edge_time(u, v, now)
 
 
-def blended_time_terms(network: RoadNetwork, now: float) -> List[float]:
+def blended_time_terms(network: RoadNetwork, now: float) -> list[float]:
     """Per-CSR-edge normalised travel-time terms ``beta(e, t) / max_e' beta``.
 
     One vectorised pass over the CSR weight array replaces the two dict
@@ -125,8 +125,8 @@ class VehicleSensitiveExplorer:
 
     def __init__(self, network: RoadNetwork, vehicle: Vehicle, now: float,
                  gamma: float = 0.5,
-                 time_terms: Optional[List[float]] = None,
-                 coords: Optional[List[Tuple[float, float]]] = None) -> None:
+                 time_terms: list[float] | None = None,
+                 coords: list[tuple[float, float]] | None = None) -> None:
         if not 0.0 <= gamma <= 1.0:
             raise ValueError("gamma must lie in [0, 1]")
         csr = network.csr()
@@ -142,27 +142,27 @@ class VehicleSensitiveExplorer:
         self._dest_coord = (network.coord(destination)
                             if destination is not None else None)
         # Lazily filled per-head-node angular terms (None = not yet computed).
-        self._angular: List[Optional[float]] = [None] * csr.num_nodes
+        self._angular: list[float | None] = [None] * csr.num_nodes
         self._visited_count = 0
         src = csr.index_of[vehicle.node]
         self._dist = [INFINITY] * csr.num_nodes
         self._dist[src] = 0.0
         # Entries are (distance, node_id, node_index): comparison falls to the
         # original node id on distance ties, matching the reference heap.
-        self._heap: List[Tuple[float, int, int]] = [(0.0, vehicle.node, src)]
+        self._heap: list[tuple[float, int, int]] = [(0.0, vehicle.node, src)]
         self._settled = [False] * csr.num_nodes
         # One generator frame keeps every hot local bound across all the
         # thousands of per-node resumptions of one search.
         self._iterator = self._iterate()
 
-    def __iter__(self) -> Iterator[Tuple[int, float]]:
+    def __iter__(self) -> Iterator[tuple[int, float]]:
         return self._iterator
 
-    def __next__(self) -> Tuple[int, float]:
+    def __next__(self) -> tuple[int, float]:
         """Return the next ``(node, blended_cost)`` pair in ascending order."""
         return next(self._iterator)
 
-    def _iterate(self) -> Iterator[Tuple[int, float]]:
+    def _iterate(self) -> Iterator[tuple[int, float]]:
         csr = self._csr
         indptr = csr.indptr_list
         indices = csr.indices_list

@@ -21,7 +21,7 @@ import heapq
 import itertools
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -56,7 +56,7 @@ class BatchingConfig:
     eta: float = 60.0
     max_orders: int = 3
     max_items: int = 10
-    max_pair_distance: Optional[float] = None
+    max_pair_distance: float | None = None
 
 
 @dataclass
@@ -67,14 +67,14 @@ class BatchingStats:
     merges: int = 0
     final_batches: int = 0
     final_avg_cost: float = 0.0
-    avg_cost_trace: List[float] = None
+    avg_cost_trace: list[float] = None
 
     def __post_init__(self) -> None:
         if self.avg_cost_trace is None:
             self.avg_cost_trace = []
 
 
-def _average_cost(batches: Dict[int, Batch]) -> float:
+def _average_cost(batches: dict[int, Batch]) -> float:
     """``AvgCost`` of Eq. 6: mean internal cost over the current batches."""
     if not batches:
         return 0.0
@@ -101,7 +101,7 @@ class _StaticGapTable:
     def __init__(self, cost_model: CostModel, nodes: Sequence[int]) -> None:
         self._oracle = cost_model.oracle
         unique = list(dict.fromkeys(nodes))
-        self._row_of: Dict[int, int] = {node: i for i, node in enumerate(unique)}
+        self._row_of: dict[int, int] = {node: i for i, node in enumerate(unique)}
         self._matrix = self._oracle.static_distance_matrix(unique, unique)
 
     def _extend(self, node: int) -> None:
@@ -124,8 +124,8 @@ class _StaticGapTable:
 
 
 def cluster_orders(orders: Sequence[Order], cost_model: CostModel, now: float,
-                   config: Optional[BatchingConfig] = None,
-                   ) -> Tuple[List[Batch], BatchingStats]:
+                   config: BatchingConfig | None = None,
+                   ) -> tuple[list[Batch], BatchingStats]:
     """Cluster unassigned orders into batches (Alg. 1).
 
     Parameters
@@ -148,7 +148,7 @@ def cluster_orders(orders: Sequence[Order], cost_model: CostModel, now: float,
     """
     config = config or BatchingConfig()
     stats = BatchingStats()
-    batches: Dict[int, Batch] = {}
+    batches: dict[int, Batch] = {}
     for idx, order in enumerate(orders):
         batches[idx] = cost_model.make_batch([order], now)
     stats.initial_batches = len(batches)
@@ -161,9 +161,9 @@ def cluster_orders(orders: Sequence[Order], cost_model: CostModel, now: float,
 
     counter = itertools.count()
     next_key = len(batches)
-    heap: List[Tuple[float, int, int, int, Batch]] = []
+    heap: list[tuple[float, int, int, int, Batch]] = []
 
-    gap_table: Optional[_StaticGapTable] = None
+    gap_table: _StaticGapTable | None = None
     if config.max_pair_distance is not None:
         # The pairwise pick-up-gap checks form a cross product over the batch
         # start nodes; one block query replaces O(batches^2) point queries

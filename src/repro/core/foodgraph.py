@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from collections.abc import Sequence
 
 from repro.core.angular import (
     VehicleSensitiveExplorer,
@@ -55,17 +55,17 @@ class FoodGraph:
     means the pair's weight is Ω and no route plan is attached.
     """
 
-    batches: List[Batch]
-    vehicles: List[Vehicle]
+    batches: list[Batch]
+    vehicles: list[Vehicle]
     omega: float = DEFAULT_OMEGA
-    edges: Dict[Tuple[int, int], Tuple[float, RoutePlan]] = field(default_factory=dict)
+    edges: dict[tuple[int, int], tuple[float, RoutePlan]] = field(default_factory=dict)
     #: number of true marginal-cost evaluations performed (efficiency metric)
     cost_evaluations: int = 0
     #: number of road-network nodes expanded by best-first search
     nodes_expanded: int = 0
     #: incrementally maintained per-vehicle finite-edge counts (Alg. 2's
     #: stopping rule reads them every expansion step)
-    _degree_counts: Dict[int, int] = field(default_factory=dict, repr=False)
+    _degree_counts: dict[int, int] = field(default_factory=dict, repr=False)
     _degree_edge_count: int = field(default=0, repr=False)
 
     def invalidate_degree_counts(self) -> None:
@@ -81,7 +81,7 @@ class FoodGraph:
     def _sync_degree_counts(self) -> None:
         """Rebuild per-vehicle counts if ``edges`` looks externally mutated."""
         if self._degree_edge_count != len(self.edges):
-            counts: Dict[int, int] = {}
+            counts: dict[int, int] = {}
             for (_, v) in self.edges:
                 counts[v] = counts.get(v, 0) + 1
             self._degree_counts = counts
@@ -102,11 +102,11 @@ class FoodGraph:
         edge = self.edges.get((batch_idx, vehicle_idx))
         return edge[0] if edge is not None else self.omega
 
-    def plan(self, batch_idx: int, vehicle_idx: int) -> Optional[RoutePlan]:
+    def plan(self, batch_idx: int, vehicle_idx: int) -> RoutePlan | None:
         edge = self.edges.get((batch_idx, vehicle_idx))
         return edge[1] if edge is not None else None
 
-    def cost_matrix(self) -> List[List[float]]:
+    def cost_matrix(self) -> list[list[float]]:
         """Dense batch-by-vehicle cost matrix (diagnostics / reference solver).
 
         The production matching path no longer materialises this — see
@@ -134,7 +134,7 @@ class FoodGraph:
 
 def _pair_weight(batch: Batch, vehicle: Vehicle, cost_model: CostModel, now: float,
                  omega: float, max_first_mile: float,
-                 first_mile: Optional[float] = None) -> Tuple[float, Optional[RoutePlan]]:
+                 first_mile: float | None = None) -> tuple[float, RoutePlan | None]:
     """Marginal cost of a batch-vehicle pair, clamped to Ω where required.
 
     ``first_mile`` may carry a precomputed vehicle-to-first-pickup travel
@@ -183,7 +183,7 @@ def build_sparsified_foodgraph(batches: Sequence[Batch], vehicles: Sequence[Vehi
                                max_first_mile: float = DEFAULT_MAX_FIRST_MILE,
                                use_angular: bool = False,
                                gamma: float = 0.5,
-                               max_expansions: Optional[int] = None,
+                               max_expansions: int | None = None,
                                vectorized: bool = True) -> FoodGraph:
     """Sparsified FoodGraph construction via best-first search (Alg. 2).
 
@@ -211,7 +211,7 @@ def build_sparsified_foodgraph(batches: Sequence[Batch], vehicles: Sequence[Vehi
     network = cost_model.oracle.network
 
     # Index batches by the node at which their route plan starts (V_Pi).
-    start_index: Dict[int, List[int]] = {}
+    start_index: dict[int, list[int]] = {}
     for b_idx, batch in enumerate(graph.batches):
         start_index.setdefault(batch.first_pickup_node, []).append(b_idx)
 
@@ -269,7 +269,7 @@ def build_sparsified_foodgraph(batches: Sequence[Batch], vehicles: Sequence[Vehi
     return graph
 
 
-def solve_matching(graph: FoodGraph) -> List[Tuple[int, int, RoutePlan, float]]:
+def solve_matching(graph: FoodGraph) -> list[tuple[int, int, RoutePlan, float]]:
     """Minimum-weight matching on a FoodGraph.
 
     Returns a list of ``(batch_idx, vehicle_idx, route_plan, weight)`` for
@@ -287,7 +287,7 @@ def solve_matching(graph: FoodGraph) -> List[Tuple[int, int, RoutePlan, float]]:
     finite = {key: weight for key, (weight, _) in graph.edges.items()}
     pairs = sparse_minimum_weight_matching(len(graph.batches), len(graph.vehicles),
                                            finite, graph.omega)
-    assignments: List[Tuple[int, int, RoutePlan, float]] = []
+    assignments: list[tuple[int, int, RoutePlan, float]] = []
     for b_idx, v_idx in pairs:
         plan = graph.plan(b_idx, v_idx)
         weight = graph.weight(b_idx, v_idx)

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, replace
-from typing import List, Optional, Sequence
+from collections.abc import Sequence
 
 from repro.core.batching import BatchingConfig, cluster_orders
 from repro.core.foodgraph import (
@@ -73,7 +73,7 @@ class FoodMatchConfig:
 
     eta: float = 60.0
     gamma: float = 0.5
-    k: Optional[int] = None
+    k: int | None = None
     k_ratio_factor: float = 200.0
     k_min: int = 3
     omega: float = DEFAULT_OMEGA
@@ -90,7 +90,7 @@ class FoodMatchConfig:
         return BatchingConfig(eta=self.eta, max_orders=self.max_orders,
                               max_items=self.max_items)
 
-    def variant(self, **changes) -> "FoodMatchConfig":
+    def variant(self, **changes) -> FoodMatchConfig:
         """Return a modified copy (used by the ablation benchmarks)."""
         return replace(self, **changes)
 
@@ -99,7 +99,7 @@ class FoodMatchPolicy(AssignmentPolicy):
     """The full FOODMATCH pipeline with configurable optimisations."""
 
     def __init__(self, cost_model: CostModel,
-                 config: Optional[FoodMatchConfig] = None) -> None:
+                 config: FoodMatchConfig | None = None) -> None:
         self._cost_model = cost_model
         self.config = config or FoodMatchConfig()
         self.reshuffle = self.config.use_reshuffling
@@ -124,7 +124,7 @@ class FoodMatchPolicy(AssignmentPolicy):
 
     # ------------------------------------------------------------------ #
     def assign(self, orders: Sequence[Order], vehicles: Sequence[Vehicle],
-               now: float) -> List[Assignment]:
+               now: float) -> list[Assignment]:
         candidates = self.eligible_vehicles(vehicles, now)
         if not orders or not candidates:
             return []
@@ -153,7 +153,7 @@ class FoodMatchPolicy(AssignmentPolicy):
         self.total_nodes_expanded += graph.nodes_expanded
 
         matches = solve_matching(graph)
-        assignments: List[Assignment] = []
+        assignments: list[Assignment] = []
         for batch_idx, vehicle_idx, plan, weight in matches:
             assignments.append(Assignment(
                 vehicle=candidates[vehicle_idx],

@@ -10,7 +10,7 @@ slowest strategy in the scalability experiments (Fig. 6(f)-(h)).
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Sequence, Tuple
+from collections.abc import Sequence
 
 from repro.core.foodgraph import DEFAULT_MAX_FIRST_MILE, DEFAULT_OMEGA
 from repro.core.policy import Assignment, AssignmentPolicy
@@ -47,8 +47,8 @@ class GreedyPolicy(AssignmentPolicy):
         self._max_first_mile = max_first_mile
 
     def assign(self, orders: Sequence[Order], vehicles: Sequence[Vehicle],
-               now: float) -> List[Assignment]:
-        pool: Dict[int, Order] = {order.order_id: order for order in orders}
+               now: float) -> list[Assignment]:
+        pool: dict[int, Order] = {order.order_id: order for order in orders}
         candidates = self.eligible_vehicles(vehicles, now)
         if not pool or not candidates:
             return []
@@ -56,9 +56,9 @@ class GreedyPolicy(AssignmentPolicy):
         # Tentative orders committed to each vehicle within this window.  The
         # vehicles themselves are not mutated; marginal costs are evaluated
         # against (existing assignment ∪ tentative set).
-        tentative: Dict[int, List[Order]] = {v.vehicle_id: [] for v in candidates}
-        plans: Dict[int, RoutePlan] = {}
-        vehicle_by_id: Dict[int, Vehicle] = {v.vehicle_id: v for v in candidates}
+        tentative: dict[int, list[Order]] = {v.vehicle_id: [] for v in candidates}
+        plans: dict[int, RoutePlan] = {}
+        vehicle_by_id: dict[int, Vehicle] = {v.vehicle_id: v for v in candidates}
 
         # First-mile feasibility is a pure vehicle x restaurant cross product,
         # so it resolves in one vectorised block query instead of a point
@@ -68,7 +68,7 @@ class GreedyPolicy(AssignmentPolicy):
         first_miles = self._cost_model.oracle.distance_matrix(
             [vehicle.node for vehicle in candidates],
             [order.restaurant_node for order in pool_orders], now)
-        first_mile_of: Dict[Tuple[int, int], float] = {}
+        first_mile_of: dict[tuple[int, int], float] = {}
         for v_idx, vehicle in enumerate(candidates):
             row = first_miles[v_idx]
             for o_idx, order in enumerate(pool_orders):
@@ -77,7 +77,7 @@ class GreedyPolicy(AssignmentPolicy):
         # Marginal costs only change for the vehicle chosen in the previous
         # round, so the first round evaluates all pairs and later rounds only
         # refresh that vehicle's column (the recomputation scheme of Sec. III).
-        pair_cost: Dict[Tuple[int, int], Tuple[float, Optional[RoutePlan]]] = {}
+        pair_cost: dict[tuple[int, int], tuple[float, RoutePlan | None]] = {}
         for order in pool.values():
             for vehicle in candidates:
                 pair_cost[(order.order_id, vehicle.vehicle_id)] = self._pair_cost(
@@ -85,7 +85,7 @@ class GreedyPolicy(AssignmentPolicy):
                     first_mile_of[(order.order_id, vehicle.vehicle_id)])
 
         while pool:
-            best: Optional[Tuple[float, int, int, RoutePlan]] = None
+            best: tuple[float, int, int, RoutePlan] | None = None
             for order in pool.values():
                 for vehicle in candidates:
                     cost, plan = pair_cost[(order.order_id, vehicle.vehicle_id)]
@@ -105,7 +105,7 @@ class GreedyPolicy(AssignmentPolicy):
                     order, chosen, tentative[vehicle_id], now,
                     first_mile_of[(order.order_id, vehicle_id)])
 
-        assignments: List[Assignment] = []
+        assignments: list[Assignment] = []
         for vehicle_id, added in tentative.items():
             if not added:
                 continue
@@ -118,9 +118,9 @@ class GreedyPolicy(AssignmentPolicy):
         return assignments
 
     # ------------------------------------------------------------------ #
-    def _pair_cost(self, order: Order, vehicle: Vehicle, already_added: List[Order],
-                   now: float, first_mile: Optional[float] = None,
-                   ) -> Tuple[float, Optional[RoutePlan]]:
+    def _pair_cost(self, order: Order, vehicle: Vehicle, already_added: list[Order],
+                   now: float, first_mile: float | None = None,
+                   ) -> tuple[float, RoutePlan | None]:
         """Marginal cost of adding ``order`` on top of the tentative set.
 
         ``first_mile`` may carry the precomputed vehicle-to-restaurant travel

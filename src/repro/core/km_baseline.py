@@ -10,7 +10,7 @@ what the paper's ablation (Fig. 7(a)) and scalability figures isolate.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from collections.abc import Sequence
 
 from repro.core.foodgraph import (
     DEFAULT_MAX_FIRST_MILE,
@@ -37,7 +37,7 @@ class KMPolicy(AssignmentPolicy):
         self._max_first_mile = max_first_mile
 
     def assign(self, orders: Sequence[Order], vehicles: Sequence[Vehicle],
-               now: float) -> List[Assignment]:
+               now: float) -> list[Assignment]:
         candidates = self.eligible_vehicles(vehicles, now)
         if not orders or not candidates:
             return []
@@ -46,7 +46,7 @@ class KMPolicy(AssignmentPolicy):
                                      omega=self._omega,
                                      max_first_mile=self._max_first_mile)
         matches = solve_matching(graph)
-        assignments: List[Assignment] = []
+        assignments: list[Assignment] = []
         for batch_idx, vehicle_idx, plan, weight in matches:
             assignments.append(Assignment(
                 vehicle=candidates[vehicle_idx],

@@ -26,7 +26,7 @@ against SciPy in the test suite, including on random matrices via hypothesis.
 from __future__ import annotations
 
 import math
-from typing import List, Mapping, Sequence, Tuple
+from collections.abc import Mapping, Sequence
 
 import numpy as np
 
@@ -46,7 +46,7 @@ INFINITY = math.inf
 _FORBIDDEN_COST = 1e15
 
 
-def hungarian(cost: Sequence[Sequence[float]]) -> List[int]:
+def hungarian(cost: Sequence[Sequence[float]]) -> list[int]:
     """Solve the assignment problem for a dense matrix with ``rows <= cols``.
 
     Returns ``assignment`` where ``assignment[row] = col``.  Every row is
@@ -108,7 +108,7 @@ def hungarian(cost: Sequence[Sequence[float]]) -> List[int]:
     return assignment
 
 
-def _solve_dense(matrix: List[List[float]]) -> List[Tuple[int, int]]:
+def _solve_dense(matrix: list[list[float]]) -> list[tuple[int, int]]:
     """Solve a finite rectangular assignment problem, perfect on the smaller side.
 
     Dispatches to SciPy's ``linear_sum_assignment`` when it was importable,
@@ -128,7 +128,7 @@ def _solve_dense(matrix: List[List[float]]) -> List[Tuple[int, int]]:
 
 
 def minimum_weight_matching(cost: Sequence[Sequence[float]],
-                            forbid_infinite: bool = True) -> List[Tuple[int, int]]:
+                            forbid_infinite: bool = True) -> list[tuple[int, int]]:
     """Minimum-weight matching of a rectangular cost matrix.
 
     Parameters
@@ -162,7 +162,7 @@ def minimum_weight_matching(cost: Sequence[Sequence[float]],
         return float(value)
 
     matrix = [[clean(cost[r][c]) for c in range(cols)] for r in range(rows)]
-    pairs: List[Tuple[int, int]] = []
+    pairs: list[tuple[int, int]] = []
     for row, col in _solve_dense(matrix):
         if forbid_infinite and cost[row][col] == INFINITY:
             continue
@@ -171,8 +171,8 @@ def minimum_weight_matching(cost: Sequence[Sequence[float]],
 
 
 def sparse_minimum_weight_matching(num_rows: int, num_cols: int,
-                                   edges: Mapping[Tuple[int, int], float],
-                                   omega: float) -> List[Tuple[int, int]]:
+                                   edges: Mapping[tuple[int, int], float],
+                                   omega: float) -> list[tuple[int, int]]:
     """Assignment on a sparse bipartite graph where missing pairs cost Ω.
 
     Semantically identical to running :func:`minimum_weight_matching` on the
@@ -213,7 +213,7 @@ def sparse_minimum_weight_matching(num_rows: int, num_cols: int,
     for (r, c), weight in edges.items():
         matrix[row_pos[r]][col_pos[c]] = float(weight)
 
-    pairs: List[Tuple[int, int]] = []
+    pairs: list[tuple[int, int]] = []
     for i, j in _solve_dense(matrix):
         if j >= num_real:
             continue  # opt-out dummy: the row stays unassigned (Ω)
@@ -225,7 +225,7 @@ def sparse_minimum_weight_matching(num_rows: int, num_cols: int,
 
 
 def matching_cost(cost: Sequence[Sequence[float]],
-                  pairs: Sequence[Tuple[int, int]]) -> float:
+                  pairs: Sequence[tuple[int, int]]) -> float:
     """Total weight of a matching (helper for tests and diagnostics)."""
     return sum(cost[r][c] for r, c in pairs)
 

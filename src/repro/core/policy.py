@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from collections.abc import Sequence
 
 from repro.orders.order import Order
 from repro.orders.route_plan import RoutePlan
@@ -24,7 +24,7 @@ class Assignment:
     """One window-level assignment decision: a batch of orders for a vehicle."""
 
     vehicle: Vehicle
-    orders: Tuple[Order, ...]
+    orders: tuple[Order, ...]
     plan: RoutePlan
     weight: float = 0.0
 
@@ -51,7 +51,7 @@ class AssignmentPolicy(abc.ABC):
 
     @abc.abstractmethod
     def assign(self, orders: Sequence[Order], vehicles: Sequence[Vehicle],
-               now: float) -> List[Assignment]:
+               now: float) -> list[Assignment]:
         """Assign the window's orders to vehicles.
 
         Implementations must respect the capacity constraints of Def. 4 and
@@ -61,7 +61,7 @@ class AssignmentPolicy(abc.ABC):
         """
 
     @staticmethod
-    def eligible_vehicles(vehicles: Sequence[Vehicle], now: float) -> List[Vehicle]:
+    def eligible_vehicles(vehicles: Sequence[Vehicle], now: float) -> list[Vehicle]:
         """Vehicles that are on duty and have residual order capacity."""
         return [vehicle for vehicle in vehicles
                 if vehicle.is_on_duty(now) and vehicle.order_count < vehicle.max_orders]

@@ -19,7 +19,7 @@ ground in Fig. 6(b).
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Sequence, Tuple
+from collections.abc import Sequence
 
 from repro.core.foodgraph import DEFAULT_MAX_FIRST_MILE, DEFAULT_OMEGA
 from repro.core.matching import minimum_weight_matching
@@ -92,16 +92,16 @@ class ReyesPolicy(AssignmentPolicy):
         return total_xdt
 
     # ------------------------------------------------------------------ #
-    def _build_groups(self, orders: Sequence[Order]) -> List[Tuple[Order, ...]]:
+    def _build_groups(self, orders: Sequence[Order]) -> list[tuple[Order, ...]]:
         """Group same-restaurant orders (the only batching Reyes allows)."""
-        by_restaurant: Dict[Tuple[Optional[int], int], List[Order]] = {}
+        by_restaurant: dict[tuple[int | None, int], list[Order]] = {}
         for order in orders:
             key = (order.restaurant_id, order.restaurant_node)
             by_restaurant.setdefault(key, []).append(order)
-        groups: List[Tuple[Order, ...]] = []
+        groups: list[tuple[Order, ...]] = []
         for members in by_restaurant.values():
             members.sort(key=lambda o: o.placed_at)
-            current: List[Order] = []
+            current: list[Order] = []
             items = 0
             for order in members:
                 if current and (len(current) >= self._max_orders
@@ -116,13 +116,13 @@ class ReyesPolicy(AssignmentPolicy):
 
     # ------------------------------------------------------------------ #
     def assign(self, orders: Sequence[Order], vehicles: Sequence[Vehicle],
-               now: float) -> List[Assignment]:
+               now: float) -> list[Assignment]:
         candidates = self.eligible_vehicles(vehicles, now)
         if not orders or not candidates:
             return []
         groups = self._build_groups(orders)
 
-        matrix: List[List[float]] = []
+        matrix: list[list[float]] = []
         for group in groups:
             row = []
             for vehicle in candidates:
@@ -136,7 +136,7 @@ class ReyesPolicy(AssignmentPolicy):
             matrix.append(row)
 
         pairs = minimum_weight_matching(matrix)
-        assignments: List[Assignment] = []
+        assignments: list[Assignment] = []
         for group_idx, vehicle_idx in pairs:
             if matrix[group_idx][vehicle_idx] >= self._omega:
                 continue

@@ -34,6 +34,7 @@ from repro.experiments.runner import (
 from repro.experiments.sweeps import (
     sweep_delta,
     sweep_eta,
+    sweep_event_density,
     sweep_fleet,
     sweep_gamma,
     sweep_k,
@@ -80,6 +81,7 @@ __all__ = [
     "sweep_gamma",
     "sweep_k",
     "sweep_traffic",
+    "sweep_event_density",
     "sweep_fleet",
     "sweep_vehicles",
     "figures",

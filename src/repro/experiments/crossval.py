@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import statistics
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from collections.abc import Sequence
 
 from repro.experiments.reporting import format_table
 from repro.experiments.runner import ExperimentSetting, PolicySpec, run_averaged
@@ -31,10 +31,10 @@ class MetricStats:
     std: float
     minimum: float
     maximum: float
-    values: List[float] = field(default_factory=list)
+    values: list[float] = field(default_factory=list)
 
     @classmethod
-    def from_values(cls, values: Sequence[float]) -> "MetricStats":
+    def from_values(cls, values: Sequence[float]) -> MetricStats:
         values = list(values)
         if not values:
             return cls(0.0, 0.0, 0.0, 0.0, [])
@@ -48,9 +48,9 @@ class CrossValidationReport:
     """Per-metric statistics of one policy across several synthetic days."""
 
     policy: str
-    seeds: List[int]
-    metrics: Dict[str, MetricStats]
-    results: List[SimulationResult] = field(default_factory=list)
+    seeds: list[int]
+    metrics: dict[str, MetricStats]
+    results: list[SimulationResult] = field(default_factory=list)
 
     def mean(self, metric: str) -> float:
         return self.metrics[metric].mean
@@ -63,7 +63,7 @@ class CrossValidationReport:
 
 
 def _report(spec: PolicySpec, seeds: Sequence[int],
-            results: List[SimulationResult],
+            results: list[SimulationResult],
             metrics: Sequence[str]) -> CrossValidationReport:
     summaries = [result.summary() for result in results]
     stats = {metric: MetricStats.from_values([s[metric] for s in summaries])
@@ -75,7 +75,7 @@ def _report(spec: PolicySpec, seeds: Sequence[int],
 def cross_validate(setting: ExperimentSetting, spec: PolicySpec,
                    seeds: Sequence[int] = (0, 1, 2),
                    metrics: Sequence[str] = DEFAULT_METRICS,
-                   jobs: Optional[int] = None) -> CrossValidationReport:
+                   jobs: int | None = None) -> CrossValidationReport:
     """Evaluate one policy on several independently seeded synthetic days.
 
     ``jobs`` fans the folds out over the process-pool executor; parallel
@@ -88,8 +88,8 @@ def cross_validate(setting: ExperimentSetting, spec: PolicySpec,
 def compare_policies_cv(setting: ExperimentSetting, specs: Sequence[PolicySpec],
                         seeds: Sequence[int] = (0, 1, 2),
                         metrics: Sequence[str] = DEFAULT_METRICS,
-                        jobs: Optional[int] = None,
-                        ) -> Dict[str, CrossValidationReport]:
+                        jobs: int | None = None,
+                        ) -> dict[str, CrossValidationReport]:
     """Cross-validate several policies on the same set of synthetic days.
 
     With ``jobs`` above one the *entire* policy-by-seed grid is submitted as
@@ -102,7 +102,7 @@ def compare_policies_cv(setting: ExperimentSetting, specs: Sequence[PolicySpec],
         cells = [ExperimentCell(setting.with_seed(seed), spec, tag=(spec.name, seed))
                  for spec in specs for seed in seeds]
         outcomes = run_cells(cells, jobs=jobs)
-        by_policy: Dict[str, List[SimulationResult]] = {}
+        by_policy: dict[str, list[SimulationResult]] = {}
         for cell_result in outcomes:
             by_policy.setdefault(cell_result.cell.policy.name, []).append(
                 cell_result.require())
@@ -113,7 +113,7 @@ def compare_policies_cv(setting: ExperimentSetting, specs: Sequence[PolicySpec],
 
 def improvement_with_spread(baseline: CrossValidationReport,
                             candidate: CrossValidationReport,
-                            metric: str = "xdt_hours_per_day") -> Dict[str, float]:
+                            metric: str = "xdt_hours_per_day") -> dict[str, float]:
     """Fold-wise relative improvement of ``candidate`` over ``baseline``.
 
     Both reports must have been produced with the same seeds; the improvement

@@ -41,7 +41,7 @@ import multiprocessing
 import traceback
 from dataclasses import dataclass, fields
 from hashlib import sha256
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from collections.abc import Callable, Sequence
 
 from repro.experiments.runner import (
     ExperimentSetting,
@@ -57,7 +57,7 @@ from repro.workload.city import CITY_PROFILES, CityProfile
 #: the built-in profiles; :func:`register_profile` adds custom ones (the
 #: benchmarks register theirs).  Under the ``fork`` start method children
 #: inherit every registration made before the pool is created.
-PROFILE_REGISTRY: Dict[str, CityProfile] = dict(CITY_PROFILES)
+PROFILE_REGISTRY: dict[str, CityProfile] = dict(CITY_PROFILES)
 
 
 def register_profile(profile: CityProfile) -> None:
@@ -84,7 +84,7 @@ def set_default_jobs(jobs: int) -> None:
     _DEFAULT_JOBS = jobs
 
 
-def resolve_jobs(jobs: Optional[int]) -> int:
+def resolve_jobs(jobs: int | None) -> int:
     """The effective worker count: an explicit value or the session default."""
     if jobs is None:
         return _DEFAULT_JOBS
@@ -115,8 +115,8 @@ class CellResult:
     """Outcome of one cell: a result, or the traceback that ate it."""
 
     cell: ExperimentCell
-    result: Optional[SimulationResult] = None
-    error: Optional[str] = None
+    result: SimulationResult | None = None
+    error: str | None = None
 
     @property
     def ok(self) -> bool:
@@ -139,7 +139,7 @@ class CellFailure(RuntimeError):
 
 def replicate_cells(setting: ExperimentSetting,
                     policy_specs: Sequence[PolicySpec],
-                    replicates: int) -> List[ExperimentCell]:
+                    replicates: int) -> list[ExperimentCell]:
     """Expand a ``setting x policy x replicate`` grid into cells.
 
     Replicate workload seeds are spawned hierarchically from the setting's
@@ -162,7 +162,7 @@ def replicate_cells(setting: ExperimentSetting,
 # worker side
 # --------------------------------------------------------------------------- #
 #: (cell index, profile name, setting kwargs, policy name, policy options)
-_CellPayload = Tuple[int, str, Dict[str, object], str, Tuple]
+_CellPayload = tuple[int, str, dict[str, object], str, tuple]
 
 
 def _cell_payload(index: int, cell: ExperimentCell) -> _CellPayload:
@@ -187,8 +187,8 @@ def _run_cell(setting: ExperimentSetting, spec: PolicySpec) -> SimulationResult:
     return run_setting(setting, spec)
 
 
-def _worker_run(payload: _CellPayload) -> Tuple[int, Optional[SimulationResult],
-                                                Optional[str]]:
+def _worker_run(payload: _CellPayload) -> tuple[int, SimulationResult | None,
+                                                str | None]:
     index, profile_name, setting_kwargs, policy_name, policy_options = payload
     try:
         profile = PROFILE_REGISTRY.get(profile_name)
@@ -211,8 +211,8 @@ def _worker_run(payload: _CellPayload) -> Tuple[int, Optional[SimulationResult],
 ProgressCallback = Callable[[CellResult, int, int], None]
 
 
-def run_cells(cells: Sequence[ExperimentCell], jobs: Optional[int] = None,
-              on_result: Optional[ProgressCallback] = None) -> List[CellResult]:
+def run_cells(cells: Sequence[ExperimentCell], jobs: int | None = None,
+              on_result: ProgressCallback | None = None) -> list[CellResult]:
     """Run every cell and return their results in cell order.
 
     ``jobs=1`` (the default) runs serially in the calling process against
@@ -227,7 +227,7 @@ def run_cells(cells: Sequence[ExperimentCell], jobs: Optional[int] = None,
     jobs = resolve_jobs(jobs)
     total = len(cells)
     if jobs <= 1 or total <= 1:
-        results: List[CellResult] = []
+        results: list[CellResult] = []
         for done, cell in enumerate(cells, start=1):
             try:
                 outcome = CellResult(cell, result=_run_cell(cell.setting, cell.policy))
@@ -243,7 +243,7 @@ def run_cells(cells: Sequence[ExperimentCell], jobs: Optional[int] = None,
         # made here are inherited by fork'd children created below.
         register_profile(cell.setting.profile)
     payloads = [_cell_payload(index, cell) for index, cell in enumerate(cells)]
-    slots: List[Optional[CellResult]] = [None] * total
+    slots: list[CellResult | None] = [None] * total
     context = _pool_context()
     with context.Pool(processes=min(jobs, total)) as pool:
         done = 0
@@ -279,7 +279,7 @@ def result_fingerprint(result: SimulationResult) -> str:
     match; the golden tests and the end-to-end benchmark compare serial and
     parallel sweeps through this.
     """
-    parts: List[str] = [result.policy_name, result.city_name,
+    parts: list[str] = [result.policy_name, result.city_name,
                         repr(result.delta), repr(result.simulated_seconds)]
     for order_id in sorted(result.outcomes):
         outcome = result.outcomes[order_id]
@@ -298,7 +298,7 @@ def result_fingerprint(result: SimulationResult) -> str:
                            vehicle.distance_travelled_km,
                            tuple(sorted(vehicle.km_by_load.items())),
                            vehicle.waiting_seconds)))
-    return sha256("\n".join(parts).encode("utf-8")).hexdigest()
+    return sha256("\n".join(parts).encode()).hexdigest()
 
 
 __all__ = [

@@ -28,7 +28,7 @@ Fig 9(a-d) :func:`fig9_gamma_sweep`
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence
+from collections.abc import Mapping, Sequence
 
 from repro.core.km_baseline import KMPolicy
 from repro.experiments.reporting import format_series, format_table
@@ -43,6 +43,7 @@ from repro.experiments.runner import (
 from repro.experiments.sweeps import (
     sweep_delta,
     sweep_eta,
+    sweep_event_density,
     sweep_fleet,
     sweep_gamma,
     sweep_gamma_rejections,
@@ -63,7 +64,7 @@ class FigureResult:
 
     figure_id: str
     description: str
-    data: Dict[str, object] = field(default_factory=dict)
+    data: dict[str, object] = field(default_factory=dict)
     text: str = ""
 
     def __str__(self) -> str:  # pragma: no cover - convenience
@@ -76,7 +77,7 @@ class FigureResult:
 def default_settings(scale: float = 0.1, start_hour: int = 12, end_hour: int = 14,
                      seed: int = 0, include_grubhub: bool = False,
                      vehicle_fraction: float = 0.45,
-                     ) -> Dict[str, ExperimentSetting]:
+                     ) -> dict[str, ExperimentSetting]:
     """Per-city experiment settings used by the figure functions.
 
     The scale keeps the synthetic workloads laptop-sized while preserving the
@@ -86,7 +87,7 @@ def default_settings(scale: float = 0.1, start_hour: int = 12, end_hour: int = 1
     the paper's headline comparisons are made — the evaluation cities run
     above an order/vehicle ratio of 1 during lunch and dinner (Fig. 6(a)).
     """
-    profiles: List[CityProfile] = [CITY_B, CITY_C, CITY_A]
+    profiles: list[CityProfile] = [CITY_B, CITY_C, CITY_A]
     if include_grubhub:
         profiles.append(GRUBHUB)
     settings = {}
@@ -136,7 +137,7 @@ def fig6a_order_vehicle_ratio(scale: float = 1.0, seed: int = 0) -> FigureResult
     return FigureResult("Fig 6(a)", "Order/vehicle ratio by timeslot", {"series": series}, text)
 
 
-def fig4a_percentile_ranks(setting: Optional[ExperimentSetting] = None,
+def fig4a_percentile_ranks(setting: ExperimentSetting | None = None,
                            max_windows: int = 4) -> FigureResult:
     """Fig. 4(a): percentile rank of the vehicle-to-order distance in KM matchings.
 
@@ -155,7 +156,7 @@ def fig4a_percentile_ranks(setting: Optional[ExperimentSetting] = None,
     delta = setting.resolved_delta()
     start = setting.start_hour * SECONDS_PER_HOUR
     vehicles = scenario.fresh_vehicles()
-    percentiles: List[float] = []
+    percentiles: list[float] = []
     window_start = start
     for _ in range(max_windows):
         window_end = window_start + delta
@@ -200,7 +201,7 @@ def _averaged_metric(setting: ExperimentSetting, spec: PolicySpec, seeds: Sequen
     return sum(values) / len(values)
 
 
-def fig6b_vs_reyes(settings: Optional[Mapping[str, ExperimentSetting]] = None,
+def fig6b_vs_reyes(settings: Mapping[str, ExperimentSetting] | None = None,
                    seeds: Sequence[int] = (0, 1)) -> FigureResult:
     """Fig. 6(b): XDT of FoodMatch vs the Reyes et al. baseline per city.
 
@@ -214,7 +215,7 @@ def fig6b_vs_reyes(settings: Optional[Mapping[str, ExperimentSetting]] = None,
         # paper (its low order volume otherwise leaves too little signal).
         settings["GrubHub"] = ExperimentSetting(profile=GRUBHUB, scale=1.0,
                                                 start_hour=11, end_hour=22)
-    data: Dict[str, Dict[str, float]] = {}
+    data: dict[str, dict[str, float]] = {}
 
     def objective(result):
         return result.xdt_hours_per_day(include_rejection_penalty=True)
@@ -232,14 +233,14 @@ def fig6b_vs_reyes(settings: Optional[Mapping[str, ExperimentSetting]] = None,
     return FigureResult("Fig 6(b)", "XDT vs Reyes", {"xdt": data}, text)
 
 
-def fig6cde_vs_greedy(settings: Optional[Mapping[str, ExperimentSetting]] = None,
+def fig6cde_vs_greedy(settings: Mapping[str, ExperimentSetting] | None = None,
                       seeds: Sequence[int] = (0, 1)) -> FigureResult:
     """Fig. 6(c)-(e): XDT, orders/km and waiting time, FoodMatch vs Greedy.
 
     Results are averaged over ``seeds`` independent synthetic days.
     """
     settings = settings or default_settings()
-    data: Dict[str, Dict[str, Dict[str, float]]] = {}
+    data: dict[str, dict[str, dict[str, float]]] = {}
     metric_fns = {
         "xdt_hours": lambda r: r.xdt_hours_per_day(),
         "orders_per_km": lambda r: r.orders_per_km(),
@@ -262,7 +263,7 @@ def fig6cde_vs_greedy(settings: Optional[Mapping[str, ExperimentSetting]] = None
     return FigureResult("Fig 6(c-e)", "FoodMatch vs Greedy", {"metrics": data}, text)
 
 
-def fig6fgh_scalability(settings: Optional[Mapping[str, ExperimentSetting]] = None,
+def fig6fgh_scalability(settings: Mapping[str, ExperimentSetting] | None = None,
                         peak_slots: Sequence[int] = (12, 13, 19, 20, 21),
                         budget_seconds: float = 0.25) -> FigureResult:
     """Fig. 6(f)-(h): overflown windows (all / peak slots) and running time.
@@ -277,7 +278,7 @@ def fig6fgh_scalability(settings: Optional[Mapping[str, ExperimentSetting]] = No
     """
     settings = settings or default_settings(scale=0.3)
     policies = [PolicySpec.of("greedy"), PolicySpec.of("km"), PolicySpec.of("foodmatch")]
-    data: Dict[str, Dict[str, Dict[str, float]]] = {}
+    data: dict[str, dict[str, dict[str, float]]] = {}
     for city, setting in settings.items():
         results = run_policy_comparison(setting, policies)
         data[city] = {name: {
@@ -301,7 +302,7 @@ def fig6fgh_scalability(settings: Optional[Mapping[str, ExperimentSetting]] = No
 
 def fig6h_single_window_scaling(order_counts: Sequence[int] = (20, 40, 80),
                                 num_vehicles: int = 300,
-                                profile: Optional[CityProfile] = None,
+                                profile: CityProfile | None = None,
                                 seed: int = 0) -> FigureResult:
     """Fig. 6(h) companion: per-window decision time as the window grows.
 
@@ -322,8 +323,8 @@ def fig6h_single_window_scaling(order_counts: Sequence[int] = (20, 40, 80),
     now = 13 * SECONDS_PER_HOUR
     all_orders = [o for o in scenario.orders if o.placed_at < now]
     vehicles = scenario.fresh_vehicles()[:num_vehicles]
-    series: Dict[str, List[float]] = {"greedy": [], "km": [], "foodmatch": []}
-    queries: Dict[str, List[int]] = {"greedy": [], "km": [], "foodmatch": []}
+    series: dict[str, list[float]] = {"greedy": [], "km": [], "foodmatch": []}
+    queries: dict[str, list[int]] = {"greedy": [], "km": [], "foodmatch": []}
     from repro.experiments.runner import build_policy
 
     for count in order_counts:
@@ -346,7 +347,7 @@ def fig6h_single_window_scaling(order_counts: Sequence[int] = (20, 40, 80),
                          "queries": queries}, text)
 
 
-def fig6ijk_improvement_by_slot(setting: Optional[ExperimentSetting] = None,
+def fig6ijk_improvement_by_slot(setting: ExperimentSetting | None = None,
                                 ) -> FigureResult:
     """Fig. 6(i)-(k): improvement of FoodMatch over KM per timeslot.
 
@@ -385,7 +386,7 @@ def fig6ijk_improvement_by_slot(setting: Optional[ExperimentSetting] = None,
 # --------------------------------------------------------------------------- #
 # Fig. 7: ablation and fleet-size sweep
 # --------------------------------------------------------------------------- #
-def fig7a_ablation(settings: Optional[Mapping[str, ExperimentSetting]] = None,
+def fig7a_ablation(settings: Mapping[str, ExperimentSetting] | None = None,
                    sparsification_k: int = 5) -> FigureResult:
     """Fig. 7(a): layered optimisations (B&R, +BFS, +Angular) vs vanilla KM.
 
@@ -409,7 +410,7 @@ def fig7a_ablation(settings: Optional[Mapping[str, ExperimentSetting]] = None,
               PolicySpec.of("foodmatch-br-bfs", k=sparsification_k),
               PolicySpec.of("foodmatch-br-bfs-a", k=sparsification_k)]
     layer_labels = ["B&R", "B&R+BFS", "B&R+BFS+A"]
-    data: Dict[str, Dict[str, float]] = {}
+    data: dict[str, dict[str, float]] = {}
 
     def xdt(result):
         return result.xdt_hours_per_day()
@@ -427,7 +428,7 @@ def fig7a_ablation(settings: Optional[Mapping[str, ExperimentSetting]] = None,
     return FigureResult("Fig 7(a)", "Optimisation ablation", {"improvement": data}, text)
 
 
-def fig7bcde_vehicle_sweep(setting: Optional[ExperimentSetting] = None,
+def fig7bcde_vehicle_sweep(setting: ExperimentSetting | None = None,
                            fractions: Sequence[float] = (0.2, 0.4, 0.6, 0.8, 1.0),
                            ) -> FigureResult:
     """Fig. 7(b)-(e): effect of fleet size on XDT, O/Km, WT and rejections."""
@@ -449,7 +450,7 @@ def fig7bcde_vehicle_sweep(setting: Optional[ExperimentSetting] = None,
 # --------------------------------------------------------------------------- #
 # Fig. 8 and Fig. 9: parameter sensitivity
 # --------------------------------------------------------------------------- #
-def fig8abc_eta_sweep(setting: Optional[ExperimentSetting] = None,
+def fig8abc_eta_sweep(setting: ExperimentSetting | None = None,
                       etas: Sequence[float] = (30.0, 60.0, 90.0, 120.0, 150.0),
                       ) -> FigureResult:
     """Fig. 8(a)-(c): effect of the batching threshold η."""
@@ -466,7 +467,7 @@ def fig8abc_eta_sweep(setting: Optional[ExperimentSetting] = None,
                         {"etas": list(etas), "series": series}, text)
 
 
-def fig8defg_delta_sweep(setting: Optional[ExperimentSetting] = None,
+def fig8defg_delta_sweep(setting: ExperimentSetting | None = None,
                          deltas: Sequence[float] = (60.0, 120.0, 180.0, 240.0),
                          ) -> FigureResult:
     """Fig. 8(d)-(g): effect of the accumulation window Δ."""
@@ -484,7 +485,7 @@ def fig8defg_delta_sweep(setting: Optional[ExperimentSetting] = None,
                         {"deltas": list(deltas), "series": series}, text)
 
 
-def fig8hijk_k_sweep(setting: Optional[ExperimentSetting] = None,
+def fig8hijk_k_sweep(setting: ExperimentSetting | None = None,
                      ks: Sequence[int] = (2, 4, 8, 16, 32)) -> FigureResult:
     """Fig. 8(h)-(k): effect of the per-vehicle degree bound k."""
     setting = setting or ExperimentSetting(profile=CITY_B, scale=0.12,
@@ -501,7 +502,7 @@ def fig8hijk_k_sweep(setting: Optional[ExperimentSetting] = None,
                         {"ks": list(ks), "series": series}, text)
 
 
-def fig9_gamma_sweep(setting: Optional[ExperimentSetting] = None,
+def fig9_gamma_sweep(setting: ExperimentSetting | None = None,
                      gammas: Sequence[float] = (0.1, 0.3, 0.5, 0.7, 0.9),
                      rejection_fractions: Sequence[float] = (0.1, 0.2, 0.3),
                      include_rejection_panel: bool = True,
@@ -523,7 +524,7 @@ def fig9_gamma_sweep(setting: Optional[ExperimentSetting] = None,
         "waiting_hours": sweep.series("waiting_hours_per_day"),
     }
     text = format_series(series, "gamma", list(gammas), title="Fig 9(a-c) — γ sweep")
-    data: Dict[str, object] = {"gammas": list(gammas), "series": series}
+    data: dict[str, object] = {"gammas": list(gammas), "series": series}
     if include_rejection_panel:
         rejection = sweep_gamma_rejections(setting, gammas=(0.1, 0.5, 0.9),
                                            fractions=rejection_fractions,
@@ -540,7 +541,7 @@ def fig9_gamma_sweep(setting: Optional[ExperimentSetting] = None,
 # --------------------------------------------------------------------------- #
 # robustness under dynamic traffic (beyond the paper's figures)
 # --------------------------------------------------------------------------- #
-def traffic_robustness(setting: Optional[ExperimentSetting] = None,
+def traffic_robustness(setting: ExperimentSetting | None = None,
                        policies: Sequence[str] = ("foodmatch", "greedy"),
                        intensities: Sequence[str] = ("none", "light", "heavy"),
                        ) -> FigureResult:
@@ -555,8 +556,8 @@ def traffic_robustness(setting: Optional[ExperimentSetting] = None,
     setting = setting or ExperimentSetting(profile=CITY_A, scale=0.3,
                                            start_hour=12, end_hour=13,
                                            vehicle_fraction=0.6)
-    data: Dict[str, object] = {"intensities": list(intensities)}
-    series: Dict[str, List[float]] = {}
+    data: dict[str, object] = {"intensities": list(intensities)}
+    series: dict[str, list[float]] = {}
     for policy in policies:
         sweep = sweep_traffic(setting, PolicySpec.of(policy),
                               intensities=intensities)
@@ -570,7 +571,47 @@ def traffic_robustness(setting: Optional[ExperimentSetting] = None,
                         data, text)
 
 
-def fleet_robustness(setting: Optional[ExperimentSetting] = None,
+def event_density(setting: ExperimentSetting | None = None,
+                  policy: str = "foodmatch",
+                  densities: Sequence[float] = (0.0, 1.0, 3.0, 6.0),
+                  ) -> FigureResult:
+    """Quality vs traffic-event density, window-quantized vs continuous.
+
+    Replays the same lunch-peak workload while sweeping the traffic event
+    generator's rate (events per simulated hour) and resolving those events
+    two ways: quantized to accumulation-window boundaries (the historical
+    engine) and at their exact timestamps through the event clock
+    (:mod:`repro.sim.clock`).  The gap between the two curves is the cost of
+    pretending mid-window dynamics wait for the boundary — the motivation
+    for the continuous-time event core.
+
+    The default setting runs a long window (Δ = 300 s): window mode's
+    quantization error grows with Δ, so the divergence is visible at
+    reproduction scale (under CityA's default 180 s window most events land
+    close enough to a boundary for the two curves to coincide).
+    """
+    setting = setting or ExperimentSetting(profile=CITY_A, scale=0.3,
+                                           start_hour=12, end_hour=13,
+                                           vehicle_fraction=0.6, delta=300.0)
+    data: dict[str, object] = {"densities": list(densities), "policy": policy}
+    series: dict[str, list[float]] = {}
+    for resolution in ("window", "continuous"):
+        sweep = sweep_event_density(setting, PolicySpec.of(policy),
+                                    densities=densities, resolution=resolution)
+        series[f"{resolution} xdt_hours"] = sweep.series("xdt_hours_per_day")
+        series[f"{resolution} rejections"] = [
+            100.0 * v for v in sweep.series("rejection_rate")]
+    text = format_series(series, "events/hour",
+                         [f"{density:g}" for density in densities],
+                         title=f"Event density — {policy} quality vs sub-window "
+                               "traffic dynamics")
+    data["series"] = series
+    return FigureResult("EventDensity",
+                        "Quality vs traffic-event density (window vs "
+                        "continuous resolution)", data, text)
+
+
+def fleet_robustness(setting: ExperimentSetting | None = None,
                      policies: Sequence[str] = ("foodmatch", "greedy"),
                      modes: Sequence[str] = ("none", "shifts", "full"),
                      ) -> FigureResult:
@@ -587,8 +628,8 @@ def fleet_robustness(setting: Optional[ExperimentSetting] = None,
     setting = setting or ExperimentSetting(profile=CITY_A, scale=0.3,
                                            start_hour=12, end_hour=13,
                                            vehicle_fraction=0.6)
-    data: Dict[str, object] = {"modes": list(modes)}
-    series: Dict[str, List[float]] = {}
+    data: dict[str, object] = {"modes": list(modes)}
+    series: dict[str, list[float]] = {}
     for policy in policies:
         sweep = sweep_fleet(setting, PolicySpec.of(policy), modes=modes)
         series[f"{policy} xdt_hours"] = sweep.series("xdt_hours_per_day")
@@ -621,5 +662,6 @@ __all__ = [
     "fig8hijk_k_sweep",
     "fig9_gamma_sweep",
     "traffic_robustness",
+    "event_density",
     "fleet_robustness",
 ]

@@ -7,7 +7,7 @@ output can be compared side by side with the paper (see ``EXPERIMENTS.md``).
 
 from __future__ import annotations
 
-from typing import List, Mapping, Sequence
+from collections.abc import Mapping, Sequence
 
 
 def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
@@ -15,7 +15,7 @@ def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
     """Render a fixed-width table from headers and rows."""
     columns = len(headers)
     widths = [len(str(h)) for h in headers]
-    text_rows: List[List[str]] = []
+    text_rows: list[list[str]] = []
     for row in rows:
         cells = []
         for idx in range(columns):

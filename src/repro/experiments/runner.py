@@ -11,7 +11,7 @@ the same workload (the typical experiment) pays the setup cost once.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from collections.abc import Sequence
 
 from repro.core.foodmatch import FoodMatchConfig, FoodMatchPolicy
 from repro.core.greedy import GreedyPolicy
@@ -32,13 +32,13 @@ class PolicySpec:
     """A named policy plus its constructor keyword arguments."""
 
     name: str
-    options: Tuple[Tuple[str, object], ...] = ()
+    options: tuple[tuple[str, object], ...] = ()
 
     @classmethod
-    def of(cls, name: str, **options) -> "PolicySpec":
+    def of(cls, name: str, **options) -> PolicySpec:
         return cls(name, tuple(sorted(options.items())))
 
-    def options_dict(self) -> Dict[str, object]:
+    def options_dict(self) -> dict[str, object]:
         return dict(self.options)
 
 
@@ -65,7 +65,9 @@ class ExperimentSetting:
     seed:
         Workload seed; experiments average over several seeds.
     traffic:
-        Dynamic-traffic intensity (``"none"``, ``"light"`` or ``"heavy"``);
+        Dynamic-traffic intensity (``"none"``, ``"light"``, ``"heavy"`` or
+        ``"severe"`` — which fully severs half its closures), or a numeric
+        events-per-hour density (the ``event_density`` sweep's knob);
         non-``"none"`` settings generate an event timeline the simulator
         replays through a :class:`~repro.traffic.TrafficController`.
     fleet:
@@ -82,27 +84,32 @@ class ExperimentSetting:
         be incrementally repaired before a traffic update falls back to a
         full index rebuild.  Long heavy-traffic sweeps raise it to keep the
         shared oracle on the scoped-repair path.
+    event_resolution:
+        ``"window"`` (default) applies traffic/fleet events at window
+        boundaries only; ``"continuous"`` drains them at their exact
+        timestamps through the event clock (:mod:`repro.sim.clock`).
     """
 
     profile: CityProfile
     scale: float = 0.25
     start_hour: int = 12
     end_hour: int = 14
-    delta: Optional[float] = None
+    delta: float | None = None
     vehicle_fraction: float = 1.0
     seed: int = 0
-    traffic: str = "none"
+    traffic: str | float = "none"
     fleet: str = "none"
-    repair_fraction: Optional[float] = None
+    repair_fraction: float | None = None
+    event_resolution: str = "window"
 
     def resolved_delta(self) -> float:
         return self.delta if self.delta is not None else self.profile.accumulation_window
 
-    def with_seed(self, seed: int) -> "ExperimentSetting":
+    def with_seed(self, seed: int) -> ExperimentSetting:
         return replace(self, seed=seed)
 
 
-def available_policies() -> List[str]:
+def available_policies() -> list[str]:
     """Names accepted by :func:`build_policy`."""
     return ["foodmatch", "greedy", "km", "reyes",
             "foodmatch-br", "foodmatch-br-bfs", "foodmatch-br-bfs-a"]
@@ -138,16 +145,16 @@ def build_policy(name: str, cost_model: CostModel, **options) -> AssignmentPolic
 # --------------------------------------------------------------------------- #
 # scenario / oracle caching
 # --------------------------------------------------------------------------- #
-_SCENARIO_CACHE: Dict[Tuple, Tuple[Scenario, DistanceOracle]] = {}
+_SCENARIO_CACHE: dict[tuple, tuple[Scenario, DistanceOracle]] = {}
 
 
-def _setting_key(setting: ExperimentSetting) -> Tuple:
+def _setting_key(setting: ExperimentSetting) -> tuple:
     return (setting.profile.name, round(setting.scale, 6), setting.start_hour,
             setting.end_hour, round(setting.vehicle_fraction, 6), setting.seed,
             setting.traffic, setting.fleet)
 
 
-def materialize(setting: ExperimentSetting) -> Tuple[Scenario, DistanceOracle]:
+def materialize(setting: ExperimentSetting) -> tuple[Scenario, DistanceOracle]:
     """Build (or fetch from cache) the scenario and distance oracle of a setting."""
     key = _setting_key(setting)
     cached = _SCENARIO_CACHE.get(key)
@@ -192,13 +199,14 @@ def run_setting(setting: ExperimentSetting, policy_spec: PolicySpec,
         delta=setting.resolved_delta(),
         start=setting.start_hour * SECONDS_PER_HOUR,
         end=setting.end_hour * SECONDS_PER_HOUR,
+        event_resolution=setting.event_resolution,
     )
     return simulate(scenario, policy, cost_model, config)
 
 
 def run_averaged(setting: ExperimentSetting, policy_spec: PolicySpec,
                  seeds: Sequence[int],
-                 jobs: Optional[int] = None) -> List[SimulationResult]:
+                 jobs: int | None = None) -> list[SimulationResult]:
     """Run a policy over several workload seeds (cross-validation analogue).
 
     ``jobs`` fans the seeds out over the process-pool executor
@@ -217,8 +225,8 @@ def run_averaged(setting: ExperimentSetting, policy_spec: PolicySpec,
 
 def run_policy_comparison(setting: ExperimentSetting,
                           policy_specs: Sequence[PolicySpec],
-                          jobs: Optional[int] = None,
-                          ) -> Dict[str, SimulationResult]:
+                          jobs: int | None = None,
+                          ) -> dict[str, SimulationResult]:
     """Run several policies on the *same* workload and return results by name.
 
     The policies share one cached scenario and distance oracle; before every
@@ -242,7 +250,7 @@ def run_policy_comparison(setting: ExperimentSetting,
         cells = [ExperimentCell(setting, spec) for spec in policy_specs]
         return {cell_result.cell.policy.name: cell_result.require()
                 for cell_result in run_cells(cells, jobs=jobs)}
-    results: Dict[str, SimulationResult] = {}
+    results: dict[str, SimulationResult] = {}
     _, oracle = materialize(setting)
     for spec in policy_specs:
         oracle.reset_traffic_state()

@@ -10,7 +10,7 @@ paper's series.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from collections.abc import Sequence
 
 from repro.experiments.runner import ExperimentSetting, PolicySpec
 from repro.sim.metrics import SimulationResult
@@ -21,19 +21,19 @@ class SweepResult:
     """Metrics collected for each value of a swept parameter."""
 
     parameter: str
-    values: List[float] = field(default_factory=list)
-    metrics: Dict[float, Dict[str, float]] = field(default_factory=dict)
-    results: Dict[float, SimulationResult] = field(default_factory=dict)
+    values: list[float] = field(default_factory=list)
+    metrics: dict[float, dict[str, float]] = field(default_factory=dict)
+    results: dict[float, SimulationResult] = field(default_factory=dict)
     #: optional human-readable labels for categorical sweeps (parallel to
     #: ``values``), e.g. the traffic intensity names
-    labels: List[str] = field(default_factory=list)
+    labels: list[str] = field(default_factory=list)
 
     def record(self, value: float, result: SimulationResult) -> None:
         self.values.append(value)
         self.metrics[value] = result.summary()
         self.results[value] = result
 
-    def series(self, metric: str) -> List[float]:
+    def series(self, metric: str) -> list[float]:
         """The metric values in sweep order (one per parameter value)."""
         return [self.metrics[value][metric] for value in self.values]
 
@@ -49,8 +49,8 @@ class SweepResult:
 
 
 def _run_sweep(parameter: str,
-               entries: Sequence[Tuple[float, ExperimentSetting, PolicySpec]],
-               jobs: Optional[int],
+               entries: Sequence[tuple[float, ExperimentSetting, PolicySpec]],
+               jobs: int | None,
                labels: Sequence[str] = ()) -> SweepResult:
     """Run a sweep's cells through the experiment executor.
 
@@ -72,7 +72,7 @@ def _run_sweep(parameter: str,
 
 def sweep_vehicles(setting: ExperimentSetting, policy: PolicySpec,
                    fractions: Sequence[float] = (0.2, 0.4, 0.6, 0.8, 1.0),
-                   jobs: Optional[int] = None) -> SweepResult:
+                   jobs: int | None = None) -> SweepResult:
     """Vary the available fleet fraction (Fig. 7(b)-(e))."""
     return _run_sweep("vehicle_fraction",
                       [(fraction, replace(setting, vehicle_fraction=fraction), policy)
@@ -80,8 +80,8 @@ def sweep_vehicles(setting: ExperimentSetting, policy: PolicySpec,
 
 
 def sweep_eta(setting: ExperimentSetting, etas: Sequence[float] = (30.0, 60.0, 90.0, 120.0, 150.0),
-              base_options: Optional[Dict[str, object]] = None,
-              jobs: Optional[int] = None) -> SweepResult:
+              base_options: dict[str, object] | None = None,
+              jobs: int | None = None) -> SweepResult:
     """Vary the batching quality threshold η (Fig. 8(a)-(c))."""
     base = dict(base_options or {})
     return _run_sweep("eta",
@@ -91,7 +91,7 @@ def sweep_eta(setting: ExperimentSetting, etas: Sequence[float] = (30.0, 60.0, 9
 
 def sweep_delta(setting: ExperimentSetting, policy: PolicySpec,
                 deltas: Sequence[float] = (60.0, 120.0, 180.0, 240.0),
-                jobs: Optional[int] = None) -> SweepResult:
+                jobs: int | None = None) -> SweepResult:
     """Vary the accumulation window Δ (Fig. 8(d)-(g))."""
     return _run_sweep("delta",
                       [(delta, replace(setting, delta=delta), policy)
@@ -99,8 +99,8 @@ def sweep_delta(setting: ExperimentSetting, policy: PolicySpec,
 
 
 def sweep_k(setting: ExperimentSetting, ks: Sequence[int] = (2, 4, 8, 16, 32),
-            base_options: Optional[Dict[str, object]] = None,
-            jobs: Optional[int] = None) -> SweepResult:
+            base_options: dict[str, object] | None = None,
+            jobs: int | None = None) -> SweepResult:
     """Vary the per-vehicle FoodGraph degree bound k (Fig. 8(h)-(k)).
 
     The paper sweeps k in [50, 300] on city-scale instances; the scaled-down
@@ -114,7 +114,7 @@ def sweep_k(setting: ExperimentSetting, ks: Sequence[int] = (2, 4, 8, 16, 32),
 
 def sweep_traffic(setting: ExperimentSetting, policy: PolicySpec,
                   intensities: Sequence[str] = ("none", "light", "heavy"),
-                  jobs: Optional[int] = None) -> SweepResult:
+                  jobs: int | None = None) -> SweepResult:
     """Robustness under incidents: vary the dynamic-traffic intensity.
 
     The same workload is replayed with increasingly severe traffic-event
@@ -129,9 +129,31 @@ def sweep_traffic(setting: ExperimentSetting, policy: PolicySpec,
                       jobs, labels=intensities)
 
 
+def sweep_event_density(setting: ExperimentSetting, policy: PolicySpec,
+                        densities: Sequence[float] = (0.0, 1.0, 3.0, 6.0),
+                        resolution: str = "continuous",
+                        jobs: int | None = None) -> SweepResult:
+    """Scenario diversity as a first-class axis: vary the traffic event rate.
+
+    The same workload is replayed with the dynamic-traffic event generator
+    scaled to ``density`` events per simulated hour (``0.0`` is the static
+    network) and the events applied at their exact timestamps
+    (``resolution="continuous"`` by default; pass ``"window"`` to quantize
+    them to window boundaries — the pre-event-clock engine).  Where the
+    named-intensity sweep (:func:`sweep_traffic`) compares three coarse
+    levels, this sweep treats event density as a continuous knob, which is
+    what the ``event_density`` figure and the PR 5 benchmark chart.
+    """
+    return _run_sweep("event_density",
+                      [(float(density),
+                        replace(setting, traffic=float(density),
+                                event_resolution=resolution), policy)
+                       for density in densities], jobs)
+
+
 def sweep_fleet(setting: ExperimentSetting, policy: PolicySpec,
                 modes: Sequence[str] = ("none", "shifts", "full"),
-                jobs: Optional[int] = None) -> SweepResult:
+                jobs: int | None = None) -> SweepResult:
     """Robustness under supply dynamics: vary the fleet-lifecycle mode.
 
     The same workload is replayed with increasingly realistic driver
@@ -149,8 +171,8 @@ def sweep_fleet(setting: ExperimentSetting, policy: PolicySpec,
 
 
 def sweep_gamma(setting: ExperimentSetting, gammas: Sequence[float] = (0.1, 0.3, 0.5, 0.7, 0.9),
-                base_options: Optional[Dict[str, object]] = None,
-                jobs: Optional[int] = None) -> SweepResult:
+                base_options: dict[str, object] | None = None,
+                jobs: int | None = None) -> SweepResult:
     """Vary the angular-distance weighting γ (Fig. 9(a)-(c))."""
     base = dict(base_options or {})
     return _run_sweep("gamma",
@@ -161,11 +183,11 @@ def sweep_gamma(setting: ExperimentSetting, gammas: Sequence[float] = (0.1, 0.3,
 def sweep_gamma_rejections(setting: ExperimentSetting,
                            gammas: Sequence[float] = (0.1, 0.5, 0.9),
                            fractions: Sequence[float] = (0.1, 0.2, 0.3),
-                           base_options: Optional[Dict[str, object]] = None,
-                           jobs: Optional[int] = None,
-                           ) -> Dict[float, SweepResult]:
+                           base_options: dict[str, object] | None = None,
+                           jobs: int | None = None,
+                           ) -> dict[float, SweepResult]:
     """Rejection rate vs fleet size for several γ values (Fig. 9(d))."""
-    results: Dict[float, SweepResult] = {}
+    results: dict[float, SweepResult] = {}
     base = dict(base_options or {})
     for gamma in gammas:
         spec = PolicySpec.of("foodmatch", gamma=gamma, **base)
@@ -182,5 +204,6 @@ __all__ = [
     "sweep_gamma",
     "sweep_gamma_rejections",
     "sweep_traffic",
+    "sweep_event_density",
     "sweep_fleet",
 ]

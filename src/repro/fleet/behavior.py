@@ -27,7 +27,6 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass
-from typing import Optional
 
 # Large odd multipliers decorrelate the deterministic per-id RNG streams
 # (vehicle propensity vs. order delay) from each other and from the seed.
@@ -130,7 +129,7 @@ class DriverBehavior:
         return max(0.0, rng.gauss(self.prep_delay_mean, self.prep_delay_std))
 
 
-def behavior_from_dict(payload: Optional[dict]) -> Optional[DriverBehavior]:
+def behavior_from_dict(payload: dict | None) -> DriverBehavior | None:
     """Rebuild a :class:`DriverBehavior` from its serialised form (or ``None``)."""
     if payload is None:
         return None
@@ -146,7 +145,7 @@ def behavior_from_dict(payload: Optional[dict]) -> Optional[DriverBehavior]:
     )
 
 
-def behavior_to_dict(behavior: Optional[DriverBehavior]) -> Optional[dict]:
+def behavior_to_dict(behavior: DriverBehavior | None) -> dict | None:
     """Serialise a :class:`DriverBehavior` (inverse of :func:`behavior_from_dict`)."""
     if behavior is None:
         return None

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+from collections.abc import Mapping, Sequence
 
 from repro.core.policy import Assignment
 from repro.fleet.behavior import DriverBehavior
@@ -58,10 +58,10 @@ class FleetPlan:
 
     schedules: Mapping[int, ShiftSchedule] = field(default_factory=dict)
     timeline: FleetTimeline = field(default_factory=FleetTimeline.empty)
-    behavior: Optional[DriverBehavior] = None
+    behavior: DriverBehavior | None = None
     repositioning: str = "stay"
     seed: int = 0
-    reserve_ids: Tuple[int, ...] = ()
+    reserve_ids: tuple[int, ...] = ()
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "schedules", dict(self.schedules))
@@ -100,7 +100,7 @@ class FleetController:
         # mapping is a pure function of the plan (and replays deterministically
         # regardless of runtime state).  Reserves are cycled in id order; a
         # reserve may serve several disjoint surges.
-        self._surge_intervals: Dict[int, List[Tuple[float, float]]] = {}
+        self._surge_intervals: dict[int, list[tuple[float, float]]] = {}
         reserves = sorted(plan.reserve_ids)
         cursor = 0
         for event in plan.timeline:
@@ -115,10 +115,10 @@ class FleetController:
         # materialised lazily the first time `advance` crosses their start.
         # Keyed by the (frozen, hashable) event itself: event_ids are not
         # validated unique, so they would be an ambiguous activation key.
-        self._drain_intervals: Dict[int, List[Tuple[float, float]]] = {}
-        self._activated: Set[FleetEvent] = set()
-        self._prev_on_duty: Optional[Set[int]] = None
-        self._time: Optional[float] = None
+        self._drain_intervals: dict[int, list[tuple[float, float]]] = {}
+        self._activated: set[FleetEvent] = set()
+        self._prev_on_duty: set[int] | None = None
+        self._time: float | None = None
         self.log = FleetLog()
 
     # ------------------------------------------------------------------ #
@@ -129,11 +129,11 @@ class FleetController:
         return self._plan
 
     @property
-    def behavior(self) -> Optional[DriverBehavior]:
+    def behavior(self) -> DriverBehavior | None:
         return self._plan.behavior
 
     @property
-    def time(self) -> Optional[float]:
+    def time(self) -> float | None:
         """Timestamp of the last :meth:`advance` (``None`` before the first)."""
         return self._time
 
@@ -161,7 +161,7 @@ class FleetController:
             return False
         return active
 
-    def advance(self, now: float, vehicles: Sequence[Vehicle]) -> List[Vehicle]:
+    def advance(self, now: float, vehicles: Sequence[Vehicle]) -> list[Vehicle]:
         """Bring the fleet state up to ``now``; return vehicles that logged out.
 
         Activates drain events whose start was crossed, diffs the on-duty
@@ -172,7 +172,7 @@ class FleetController:
         """
         self._activate_drains(now, vehicles)
         current = {v.vehicle_id for v in vehicles if self.on_duty(v, now)}
-        logged_out: List[Vehicle] = []
+        logged_out: list[Vehicle] = []
         if self._prev_on_duty is not None:
             gone = self._prev_on_duty - current
             logged_out = [v for v in vehicles if v.vehicle_id in gone]
@@ -214,7 +214,7 @@ class FleetController:
     # offer screening (stochastic rejection)
     # ------------------------------------------------------------------ #
     def screen_offers(self, assignments: Sequence[Assignment], now: float,
-                      ) -> Tuple[List[Assignment], List[Assignment]]:
+                      ) -> tuple[list[Assignment], list[Assignment]]:
         """Split a window's assignments into (accepted, declined).
 
         Without a behaviour model every offer is accepted.  First miles for
@@ -228,8 +228,8 @@ class FleetController:
         targets = [a.plan.stops[0].node if a.plan.stops else a.vehicle.node
                    for a in assignments]
         first_miles = self._oracle.distances(sources, targets, now)
-        accepted: List[Assignment] = []
-        declined: List[Assignment] = []
+        accepted: list[Assignment] = []
+        declined: list[Assignment] = []
         for idx, assignment in enumerate(assignments):
             self.log.offers += 1
             if behavior.accepts(assignment.vehicle.vehicle_id,

@@ -32,7 +32,7 @@ from __future__ import annotations
 
 import math
 import random
-from typing import Dict, List, Optional, Sequence, Tuple
+from collections.abc import Sequence
 
 from repro.network.distance_oracle import DistanceOracle
 from repro.orders.vehicle import Vehicle
@@ -45,14 +45,14 @@ REPOSITIONING_POLICIES = ("stay", "hotspot", "demand")
 NEAR_ENOUGH_SECONDS = 120.0
 
 
-def hotspot_nodes(restaurants: Sequence, limit: int = 12) -> List[Tuple[int, float]]:
+def hotspot_nodes(restaurants: Sequence, limit: int = 12) -> list[tuple[int, float]]:
     """Collapse restaurants onto their nodes, keeping per-node popularity mass.
 
     Returns up to ``limit`` ``(node, popularity)`` pairs, heaviest first —
     the demand anchors repositioning steers toward.  Works on any sequence
     of objects with ``node`` and ``popularity`` attributes.
     """
-    mass: Dict[int, float] = {}
+    mass: dict[int, float] = {}
     for restaurant in restaurants:
         mass[restaurant.node] = mass.get(restaurant.node, 0.0) + restaurant.popularity
     ranked = sorted(mass.items(), key=lambda item: (-item[1], item[0]))
@@ -64,7 +64,7 @@ class RepositioningPolicy:
 
     name = "stay"
 
-    def targets(self, idle_vehicles: Sequence[Vehicle], now: float) -> Dict[int, int]:
+    def targets(self, idle_vehicles: Sequence[Vehicle], now: float) -> dict[int, int]:
         """Target node per vehicle id; vehicles absent from the dict stay."""
         return {}
 
@@ -85,13 +85,13 @@ class ReturnToHotspotPolicy(RepositioningPolicy):
         self._oracle = oracle
         self._anchors = hotspot_nodes(restaurants, limit)
 
-    def targets(self, idle_vehicles: Sequence[Vehicle], now: float) -> Dict[int, int]:
+    def targets(self, idle_vehicles: Sequence[Vehicle], now: float) -> dict[int, int]:
         if not idle_vehicles or not self._anchors:
             return {}
         anchor_nodes = [node for node, _ in self._anchors]
         matrix = self._oracle.distance_matrix(
             [vehicle.node for vehicle in idle_vehicles], anchor_nodes, now)
-        chosen: Dict[int, int] = {}
+        chosen: dict[int, int] = {}
         for row, vehicle in enumerate(idle_vehicles):
             best_idx, best_dist = None, math.inf
             for col in range(len(anchor_nodes)):
@@ -117,16 +117,16 @@ class DemandWeightedDriftPolicy(RepositioningPolicy):
         self._anchors = hotspot_nodes(restaurants, limit)
         self._rng = rng
 
-    def targets(self, idle_vehicles: Sequence[Vehicle], now: float) -> Dict[int, int]:
+    def targets(self, idle_vehicles: Sequence[Vehicle], now: float) -> dict[int, int]:
         if not idle_vehicles or not self._anchors:
             return {}
         anchor_nodes = [node for node, _ in self._anchors]
         masses = [mass for _, mass in self._anchors]
         matrix = self._oracle.distance_matrix(
             [vehicle.node for vehicle in idle_vehicles], anchor_nodes, now)
-        chosen: Dict[int, int] = {}
+        chosen: dict[int, int] = {}
         for row, vehicle in enumerate(idle_vehicles):
-            weights: List[float] = []
+            weights: list[float] = []
             for col in range(len(anchor_nodes)):
                 dist = float(matrix[row, col])
                 if math.isfinite(dist):
@@ -154,7 +154,7 @@ class DemandWeightedDriftPolicy(RepositioningPolicy):
 
 
 def make_repositioning(name: str, oracle: DistanceOracle, restaurants: Sequence,
-                       rng: Optional[random.Random] = None) -> RepositioningPolicy:
+                       rng: random.Random | None = None) -> RepositioningPolicy:
     """Instantiate a repositioning policy by name."""
     key = (name or "stay").lower()
     if key == "stay":

@@ -28,7 +28,7 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+from collections.abc import Iterator, Sequence
 
 from repro.network.graph import RoadNetwork
 from repro.network.shortest_path import dijkstra_all
@@ -47,10 +47,10 @@ class ShiftSchedule:
     never logs in on its own (the *reserve* pool surge events draw from).
     """
 
-    intervals: Tuple[Tuple[float, float], ...] = ()
+    intervals: tuple[tuple[float, float], ...] = ()
 
     def __post_init__(self) -> None:
-        blocks: List[Tuple[float, float]] = []
+        blocks: list[tuple[float, float]] = []
         for start, end in self.intervals:
             start, end = float(start), float(end)
             if not (math.isfinite(start) and math.isfinite(end)):
@@ -60,7 +60,7 @@ class ShiftSchedule:
                                  f"(got [{start}, {end}))")
             blocks.append((start, end))
         blocks.sort()
-        merged: List[Tuple[float, float]] = []
+        merged: list[tuple[float, float]] = []
         for start, end in blocks:
             if merged and start <= merged[-1][1]:
                 merged[-1] = (merged[-1][0], max(merged[-1][1], end))
@@ -69,12 +69,12 @@ class ShiftSchedule:
         object.__setattr__(self, "intervals", tuple(merged))
 
     @classmethod
-    def always(cls, start: float = 0.0, end: float = 86400.0) -> "ShiftSchedule":
+    def always(cls, start: float = 0.0, end: float = 86400.0) -> ShiftSchedule:
         """A single block covering the whole horizon (the seed fleet model)."""
         return cls(((start, end),))
 
     @classmethod
-    def off(cls) -> "ShiftSchedule":
+    def off(cls) -> ShiftSchedule:
         """An empty schedule: the vehicle only works when surge-onboarded."""
         return cls(())
 
@@ -85,14 +85,14 @@ class ShiftSchedule:
         """Whether the vehicle is scheduled to work at timestamp ``t``."""
         return any(start <= t < end for start, end in self.intervals)
 
-    def next_logout_after(self, t: float) -> Optional[float]:
+    def next_logout_after(self, t: float) -> float | None:
         """End of the block containing ``t``; ``None`` when off duty at ``t``."""
         for start, end in self.intervals:
             if start <= t < end:
                 return end
         return None
 
-    def next_login_at_or_after(self, t: float) -> Optional[float]:
+    def next_login_at_or_after(self, t: float) -> float | None:
         """Earliest block start at or after ``t``; ``None`` when the day is done."""
         for start, _ in self.intervals:
             if start >= t:
@@ -103,9 +103,9 @@ class ShiftSchedule:
         """Total scheduled duty time."""
         return sum(end - start for start, end in self.intervals)
 
-    def boundaries(self) -> List[float]:
+    def boundaries(self) -> list[float]:
         """Sorted unique login/logout epochs (the controller's change points)."""
-        times: Set[float] = set()
+        times: set[float] = set()
         for start, end in self.intervals:
             times.add(start)
             times.add(end)
@@ -138,7 +138,7 @@ class FleetEvent:
     end: float
     count: int = 0
     fraction: float = 0.0
-    zone_center: Optional[int] = None
+    zone_center: int | None = None
     zone_radius_seconds: float = 0.0
 
     def __post_init__(self) -> None:
@@ -165,7 +165,7 @@ class FleetEvent:
         """Whether the event is in force at timestamp ``t``."""
         return self.start <= t < self.end
 
-    def zone_nodes(self, network: RoadNetwork) -> Set[int]:
+    def zone_nodes(self, network: RoadNetwork) -> set[int]:
         """Nodes within the zone's static travel-time radius of the centre.
 
         Empty for events without a zone (or whose centre is not a node of
@@ -186,7 +186,7 @@ class FleetEvent:
 class FleetTimeline:
     """An immutable day-long schedule of supply events, sorted by start."""
 
-    events: Tuple[FleetEvent, ...] = ()
+    events: tuple[FleetEvent, ...] = ()
 
     def __post_init__(self) -> None:
         ordered = tuple(sorted(self.events,
@@ -194,7 +194,7 @@ class FleetTimeline:
         object.__setattr__(self, "events", ordered)
 
     @classmethod
-    def empty(cls) -> "FleetTimeline":
+    def empty(cls) -> FleetTimeline:
         return cls(())
 
     def __bool__(self) -> bool:
@@ -206,17 +206,17 @@ class FleetTimeline:
     def __iter__(self) -> Iterator[FleetEvent]:
         return iter(self.events)
 
-    def active_at(self, t: float) -> List[FleetEvent]:
+    def active_at(self, t: float) -> list[FleetEvent]:
         """Events in force at timestamp ``t`` (sorted by start time)."""
         return [event for event in self.events if event.is_active(t)]
 
-    def boundaries(self) -> List[float]:
+    def boundaries(self) -> list[float]:
         """Sorted unique event start/end times."""
         times = {event.start for event in self.events}
         times.update(event.end for event in self.events)
         return sorted(times)
 
-    def next_change_after(self, t: float) -> Optional[float]:
+    def next_change_after(self, t: float) -> float | None:
         """Earliest boundary strictly after ``t``; ``None`` when the day is done."""
         for boundary in self.boundaries():
             if boundary > t:
@@ -227,8 +227,8 @@ class FleetTimeline:
 def staggered_schedules(vehicle_ids: Sequence[int], start: float, end: float,
                         rng: random.Random, coverage: float = 0.85,
                         break_probability: float = 0.3,
-                        break_minutes: Tuple[float, float] = (15.0, 40.0),
-                        ) -> Dict[int, ShiftSchedule]:
+                        break_minutes: tuple[float, float] = (15.0, 40.0),
+                        ) -> dict[int, ShiftSchedule]:
     """Generate realistic per-vehicle shift schedules over ``[start, end)``.
 
     Each vehicle works one contiguous shift of expected length
@@ -242,13 +242,13 @@ def staggered_schedules(vehicle_ids: Sequence[int], start: float, end: float,
     if not 0.0 < coverage <= 1.0:
         raise ValueError("coverage must be in (0, 1]")
     horizon = end - start
-    schedules: Dict[int, ShiftSchedule] = {}
+    schedules: dict[int, ShiftSchedule] = {}
     for vehicle_id in vehicle_ids:
         length = horizon * min(1.0, max(0.1, rng.gauss(coverage, 0.08)))
         latest = end - length
         login = rng.uniform(start, latest) if latest > start else start
         logout = min(end, login + length)
-        blocks: List[Tuple[float, float]] = [(login, logout)]
+        blocks: list[tuple[float, float]] = [(login, logout)]
         pause = rng.uniform(*break_minutes) * 60.0
         # Only shifts long enough to leave two useful work blocks get a break.
         if rng.random() < break_probability and (logout - login) > 3.0 * pause:

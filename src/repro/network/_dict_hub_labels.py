@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import heapq
 import math
-from typing import Dict, List, Optional, Sequence, Tuple
+from collections.abc import Sequence
 
 from repro.network.graph import RoadNetwork
 
@@ -22,10 +22,10 @@ INFINITY = math.inf
 class DictHubLabelIndex:
     """Exact 2-hop-cover distance index with per-node dict labels (seed)."""
 
-    def __init__(self, network: RoadNetwork, order: Optional[Sequence[int]] = None) -> None:
+    def __init__(self, network: RoadNetwork, order: Sequence[int] | None = None) -> None:
         self._network = network
-        self._out_labels: Dict[int, Dict[int, float]] = {n: {} for n in network.nodes}
-        self._in_labels: Dict[int, Dict[int, float]] = {n: {} for n in network.nodes}
+        self._out_labels: dict[int, dict[int, float]] = {n: {} for n in network.nodes}
+        self._in_labels: dict[int, dict[int, float]] = {n: {} for n in network.nodes}
         if order is None:
             order = sorted(network.nodes, key=network.out_degree, reverse=True)
         self._order = list(order)
@@ -41,8 +41,8 @@ class DictHubLabelIndex:
 
     def _pruned_search(self, hub: int, forward: bool) -> None:
         network = self._network
-        dist: Dict[int, float] = {hub: 0.0}
-        heap: List[Tuple[float, int]] = [(0.0, hub)]
+        dist: dict[int, float] = {hub: 0.0}
+        heap: list[tuple[float, int]] = [(0.0, hub)]
         settled: set = set()
         while heap:
             d, node = heapq.heappop(heap)

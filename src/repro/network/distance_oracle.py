@@ -42,7 +42,7 @@ from __future__ import annotations
 import math
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Mapping, Optional, Sequence, Set, Tuple
+from collections.abc import Callable, Mapping, Sequence
 
 import numpy as np
 
@@ -60,6 +60,10 @@ INFINITY = math.inf
 #: unchanged when computing affected-node sets (absorbs float re-association
 #: between equal-length alternative paths).
 _CHANGE_TOLERANCE = 1e-9
+
+#: Sentinel distinguishing "pair not in the path cache" from the cached
+#: answer ``None`` ("no path exists") in :meth:`DistanceOracle.path_or_none`.
+_PATH_MISS = object()
 
 
 class LRUCache:
@@ -120,7 +124,7 @@ class LRUCache:
         self.hits = 0
         self.misses = 0
 
-    def info(self) -> Dict[str, int]:
+    def info(self) -> dict[str, int]:
         return {"hits": self.hits, "misses": self.misses,
                 "size": len(self._data), "capacity": self.capacity}
 
@@ -133,6 +137,12 @@ class TrafficRepairStats:
     (hub labels repaired incrementally), ``"rebuild"`` (full index rebuild —
     the correctness fallback once the affected region stops being localised)
     or ``"dijkstra"`` (no index to maintain; caches invalidated only).
+
+    ``severed_edges`` counts the mutated edges whose new factor is infinite
+    (fully severed closures); ``disconnected_nodes`` counts the nodes that
+    lost reachability to or from a mutated-edge endpoint in this update —
+    the size of the newly unreachable region a severing cut opened (0 for
+    weight-only updates, and for reopenings, which only *restore* paths).
     """
 
     mutated_edges: int
@@ -142,9 +152,11 @@ class TrafficRepairStats:
     dropped_point_entries: int = 0
     dropped_path_entries: int = 0
     dropped_sssp_entries: int = 0
+    severed_edges: int = 0
+    disconnected_nodes: int = 0
 
 
-def _changed_nodes(old: Dict[int, float], new: Dict[int, float]) -> Set[int]:
+def _changed_nodes(old: dict[int, float], new: dict[int, float]) -> set[int]:
     """Node indexes whose settled distance differs between two SSSP runs."""
     changed = {idx for idx, dist in new.items()
                if abs(old.get(idx, INFINITY) - dist) > _CHANGE_TOLERANCE}
@@ -180,7 +192,7 @@ class DistanceOracle:
             method = "hub_label" if network.num_nodes >= self._AUTO_THRESHOLD else "dijkstra"
         self._network = network
         self._method = method
-        self._index: Optional[HubLabelIndex] = None
+        self._index: HubLabelIndex | None = None
         if method == "hub_label":
             self._index = HubLabelIndex(network)
         self._point_cache = LRUCache(point_cache_size)
@@ -191,8 +203,8 @@ class DistanceOracle:
         # was last built from scratch; once this stops being a small fraction
         # of the network the dense repaired labels erode query speed and a
         # full rebuild is cheaper overall.
-        self._repaired_out: Set[int] = set()
-        self._repaired_in: Set[int] = set()
+        self._repaired_out: set[int] = set()
+        self._repaired_in: set[int] = set()
         # Whether any traffic update ever touched this oracle.  Repaired
         # labels are exact but can differ from a fresh build in the last
         # ULP (a repaired label stores the Dijkstra path sum, a built label
@@ -227,7 +239,7 @@ class DistanceOracle:
         self._point_cache.put(key, value)
         return value
 
-    def _sssp_tree(self, source: int) -> Dict[int, float]:
+    def _sssp_tree(self, source: int) -> dict[int, float]:
         """Memoised static single-source tree (Dijkstra backend)."""
         tree = self._sssp_cache.get(source)
         if tree is None:
@@ -273,7 +285,7 @@ class DistanceOracle:
         self.query_count += k
         out = np.empty(k, dtype=np.float64)
         cache = self._point_cache
-        miss_pos: List[int] = []
+        miss_pos: list[int] = []
         for i, (s, tg) in enumerate(zip(sources, targets, strict=True)):
             if s == tg:
                 out[i] = 0.0
@@ -330,21 +342,40 @@ class DistanceOracle:
                 out[i, j] = 0.0 if s == tg else tree.get(tg, INFINITY)
         return out
 
-    def path(self, source: int, target: int, t: float = 0.0) -> List[int]:
+    def path(self, source: int, target: int, t: float = 0.0) -> list[int]:
         """Node sequence of a quickest path from ``source`` to ``target``.
 
         Because the congestion profile scales all edges uniformly within a
         slot, the quickest path is time-invariant and can be cached per node
-        pair.
+        pair.  Raises :class:`ValueError` when no path exists (the target
+        sits behind a severed closure, or the graph was disconnected to
+        begin with); callers that expect cuts use :meth:`path_or_none`.
+        """
+        nodes = self.path_or_none(source, target, t)
+        if nodes is None:
+            raise ValueError(f"no path from {source} to {target}")
+        return nodes
+
+    def path_or_none(self, source: int, target: int,
+                     t: float = 0.0) -> list[int] | None:
+        """Like :meth:`path`, but ``None`` when ``target`` is unreachable.
+
+        Unreachability is cached like any other path answer (and evicted by
+        the same scoped invalidation), so a vehicle stuck behind a severed
+        closure does not pay a full Dijkstra per advance while it waits for
+        the road to reopen.
         """
         if source == target:
             return [source]
         key = (source, target)
-        cached = self._path_cache.get(key)
-        if cached is None:
-            cached = shortest_path_nodes(self._network, source, target, t=0.0)
+        cached = self._path_cache.get(key, _PATH_MISS)
+        if cached is _PATH_MISS:
+            try:
+                cached = shortest_path_nodes(self._network, source, target, t=0.0)
+            except ValueError:
+                cached = None
             self._path_cache.put(key, cached)
-        return list(cached)
+        return None if cached is None else list(cached)
 
     def reachable(self, source: int, target: int) -> bool:
         """Whether ``target`` can be reached from ``source`` at all."""
@@ -358,12 +389,19 @@ class DistanceOracle:
     repair_fraction = 0.25
 
     def apply_traffic_updates(
-            self, changes: Mapping[Tuple[int, int], float]) -> TrafficRepairStats:
+            self, changes: Mapping[tuple[int, int], float]) -> TrafficRepairStats:
         """Apply per-edge traffic override changes and repair the oracle.
 
         ``changes`` maps directed edges ``(u, v)`` to their new dynamic
-        traffic factor (``1.0`` clears an event).  The whole update is a
-        *scoped* invalidation, not a teardown:
+        traffic factor (``1.0`` clears an event; ``math.inf`` *severs* the
+        edge — the fully-closed-road encoding).  The whole update is a
+        *scoped* invalidation, not a teardown, and it is connectivity-aware:
+        a severed edge that cuts the graph lands every node of the lost
+        region in the affected sets (its settled distance moved to
+        infinity), their labels are repaired down to the hubs they can still
+        reach, pairs across the cut answer ``inf``, and cached paths or
+        "no-path" verdicts that the cut (or a later reopening) can have
+        staled are evicted:
 
         1. the network patches the mutated CSR weight entries in place;
         2. the affected node sets are derived exactly — ``d(s, t)`` can only
@@ -399,12 +437,20 @@ class DistanceOracle:
         old_from_tail = {t: _csr_dijkstra_all(csr, t) for t in tails}
         for (u, v), factor in mutated.items():
             network.set_edge_override(u, v, factor)
-        affected_out_idx: Set[int] = set()
-        affected_in_idx: Set[int] = set()
+        affected_out_idx: set[int] = set()
+        affected_in_idx: set[int] = set()
+        # Nodes that *lost* reachability to/from a mutated endpoint: a severed
+        # closure opens a cut and everything on the far side stops settling in
+        # the after-SSSP.  (Reopenings only restore paths, so this stays 0.)
+        lost_idx: set[int] = set()
         for head, old in old_to_head.items():
-            affected_out_idx |= _changed_nodes(old, _csr_dijkstra_all(rcsr, head))
+            new = _csr_dijkstra_all(rcsr, head)
+            affected_out_idx |= _changed_nodes(old, new)
+            lost_idx.update(idx for idx in old if idx not in new)
         for tail, old in old_from_tail.items():
-            affected_in_idx |= _changed_nodes(old, _csr_dijkstra_all(csr, tail))
+            new = _csr_dijkstra_all(csr, tail)
+            affected_in_idx |= _changed_nodes(old, new)
+            lost_idx.update(idx for idx in old if idx not in new)
         ids = csr.node_ids
         affected_out = {ids[i] for i in affected_out_idx}
         affected_in = {ids[i] for i in affected_in_idx}
@@ -427,9 +473,14 @@ class DistanceOracle:
         mutated_set = set(mutated)
         dropped_point = self._point_cache.drop_where(
             lambda key, _: key[0] in affected_out or key[1] in affected_in)
+        # Cached "no path" answers (None) have no edges to test; they can only
+        # change when an endpoint's reachability moved, which the affected-set
+        # key check covers.
         dropped_path = self._path_cache.drop_where(
             lambda key, path: key[0] in affected_out or key[1] in affected_in
-            or any(edge in mutated_set for edge in zip(path, path[1:], strict=False)))
+            or (path is not None and any(
+                edge in mutated_set
+                for edge in zip(path, path[1:], strict=False))))
         dropped_sssp = self._sssp_cache.drop_where(
             lambda source, _: source in affected_out)
         return TrafficRepairStats(
@@ -440,6 +491,9 @@ class DistanceOracle:
             dropped_point_entries=dropped_point,
             dropped_path_entries=dropped_path,
             dropped_sssp_entries=dropped_sssp,
+            severed_edges=sum(1 for factor in mutated.values()
+                              if math.isinf(factor)),
+            disconnected_nodes=len(lost_idx),
         )
 
     def reset_traffic_state(self) -> None:
@@ -482,7 +536,7 @@ class DistanceOracle:
     # ------------------------------------------------------------------ #
     # diagnostics
     # ------------------------------------------------------------------ #
-    def cache_info(self) -> Dict[str, Dict[str, int]]:
+    def cache_info(self) -> dict[str, dict[str, int]]:
         """Hit/miss/size/capacity counters for every internal LRU cache."""
         return {
             "point": self._point_cache.info(),

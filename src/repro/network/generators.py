@@ -30,7 +30,6 @@ from __future__ import annotations
 
 import math
 import random
-from typing import Optional, Tuple
 
 from repro.network.geometry import haversine_distance
 from repro.network.graph import RoadNetwork, TimeProfile
@@ -50,8 +49,8 @@ def _travel_time_seconds(length_km: float, speed_kmph: float) -> float:
 def grid_city(rows: int = 15, cols: int = 15, block_km: float = 0.4,
               speed_kmph: float = 22.0, diagonal_fraction: float = 0.08,
               congested_fraction: float = 0.1, congestion_factor: float = 1.6,
-              center: Tuple[float, float] = (12.97, 77.59),
-              profile: Optional[TimeProfile] = None,
+              center: tuple[float, float] = (12.97, 77.59),
+              profile: TimeProfile | None = None,
               seed: int = 7) -> RoadNetwork:
     """Generate a Manhattan-style grid road network.
 
@@ -109,8 +108,8 @@ def grid_city(rows: int = 15, cols: int = 15, block_km: float = 0.4,
 
 def radial_city(rings: int = 6, spokes: int = 12, ring_spacing_km: float = 0.7,
                 speed_kmph: float = 24.0,
-                center: Tuple[float, float] = (28.61, 77.21),
-                profile: Optional[TimeProfile] = None,
+                center: tuple[float, float] = (28.61, 77.21),
+                profile: TimeProfile | None = None,
                 seed: int = 11) -> RoadNetwork:
     """Generate a radial-ring road network (centre node, rings and spokes).
 
@@ -158,8 +157,8 @@ def radial_city(rings: int = 6, spokes: int = 12, ring_spacing_km: float = 0.7,
 def random_geometric_city(num_nodes: int = 250, area_km: float = 8.0,
                           connection_radius_km: float = 1.1,
                           speed_kmph: float = 20.0,
-                          center: Tuple[float, float] = (19.08, 72.88),
-                          profile: Optional[TimeProfile] = None,
+                          center: tuple[float, float] = (19.08, 72.88),
+                          profile: TimeProfile | None = None,
                           seed: int = 13) -> RoadNetwork:
     """Generate an irregular street network as a random geometric graph.
 

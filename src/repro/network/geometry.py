@@ -18,9 +18,8 @@ functions behave exactly as they would on real map data.
 from __future__ import annotations
 
 import math
-from typing import Tuple
 
-Coordinate = Tuple[float, float]
+Coordinate = tuple[float, float]
 
 EARTH_RADIUS_KM = 6371.0088
 

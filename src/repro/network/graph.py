@@ -35,7 +35,7 @@ that weights moved and trigger their own refresh.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+from collections.abc import Iterable, Iterator
 
 import numpy as np
 
@@ -65,7 +65,7 @@ class TimeProfile:
     A value of ``1.0`` means free-flow; values above one model congestion.
     """
 
-    multipliers: Tuple[float, ...] = field(default_factory=lambda: (1.0,) * 24)
+    multipliers: tuple[float, ...] = field(default_factory=lambda: (1.0,) * 24)
 
     def __post_init__(self) -> None:
         if len(self.multipliers) != 24:
@@ -78,13 +78,13 @@ class TimeProfile:
         return self.multipliers[time_slot(t)]
 
     @classmethod
-    def flat(cls, value: float = 1.0) -> "TimeProfile":
+    def flat(cls, value: float = 1.0) -> TimeProfile:
         """A profile with the same multiplier in every hour."""
         return cls(tuple(value for _ in range(24)))
 
     @classmethod
     def urban_peaks(cls, base: float = 1.0, lunch: float = 1.35, dinner: float = 1.45,
-                    night: float = 0.85) -> "TimeProfile":
+                    night: float = 0.85) -> TimeProfile:
         """A stylised urban profile with lunch (12-14h) and dinner (19-22h) peaks.
 
         The shape mirrors the congestion implied by Fig. 6(a): traversal times
@@ -119,7 +119,7 @@ class CSRAdjacency:
     __slots__ = ("node_ids", "index_of", "indptr", "indices", "weights",
                  "indptr_list", "indices_list", "weights_list", "num_nodes")
 
-    def __init__(self, node_ids: List[int], index_of: Dict[int, int],
+    def __init__(self, node_ids: list[int], index_of: dict[int, int],
                  indptr: np.ndarray, indices: np.ndarray, weights: np.ndarray) -> None:
         self.node_ids = node_ids
         self.index_of = index_of
@@ -157,16 +157,16 @@ class RoadNetwork:
     is how the synthetic generators build two-way streets.
     """
 
-    def __init__(self, profile: Optional[TimeProfile] = None) -> None:
-        self._coords: Dict[int, Coordinate] = {}
-        self._adj: Dict[int, Dict[int, float]] = {}
-        self._radj: Dict[int, Dict[int, float]] = {}
-        self._edge_multiplier: Dict[Tuple[int, int], float] = {}
-        self._edge_override: Dict[Tuple[int, int], float] = {}
+    def __init__(self, profile: TimeProfile | None = None) -> None:
+        self._coords: dict[int, Coordinate] = {}
+        self._adj: dict[int, dict[int, float]] = {}
+        self._radj: dict[int, dict[int, float]] = {}
+        self._edge_multiplier: dict[tuple[int, int], float] = {}
+        self._edge_override: dict[tuple[int, int], float] = {}
         self._num_edges = 0
         self.profile = profile if profile is not None else TimeProfile.flat()
         self._max_base_time = 0.0
-        self._csr_cache: Dict[bool, CSRAdjacency] = {}
+        self._csr_cache: dict[bool, CSRAdjacency] = {}
         self._mutation_epoch = 0
 
     # ------------------------------------------------------------------ #
@@ -239,7 +239,7 @@ class RoadNetwork:
         """Current dynamic traffic factor of the edge (``1.0`` = no event)."""
         return self._edge_override.get((u, v), 1.0)
 
-    def edge_overrides(self) -> Dict[Tuple[int, int], float]:
+    def edge_overrides(self) -> dict[tuple[int, int], float]:
         """Copy of all non-unit dynamic traffic factors, keyed by edge."""
         return dict(self._edge_override)
 
@@ -247,7 +247,10 @@ class RoadNetwork:
         """Set the dynamic traffic factor of edge ``(u, v)``; returns the old one.
 
         The factor layers multiplicatively on top of the base traversal time
-        and the static per-edge multiplier; ``1.0`` removes the override.
+        and the static per-edge multiplier; ``1.0`` removes the override and
+        ``math.inf`` *severs* the edge (infinite effective weight — the
+        severed-closure encoding; every shortest-path kernel treats the edge
+        as absent while the override holds).
         Unlike :meth:`add_edge`, this is a *weight-only* mutation: the cached
         CSR adjacencies are patched in place instead of being rebuilt, so
         array kernels keep their buffers and only the touched entries move.
@@ -294,7 +297,7 @@ class RoadNetwork:
     # inspection
     # ------------------------------------------------------------------ #
     @property
-    def nodes(self) -> List[int]:
+    def nodes(self) -> list[int]:
         """All node identifiers."""
         return list(self._coords)
 
@@ -340,18 +343,18 @@ class RoadNetwork:
             return 1.0
         return self._max_base_time * self.profile.multiplier(t)
 
-    def neighbors(self, u: int) -> Iterator[Tuple[int, float]]:
+    def neighbors(self, u: int) -> Iterator[tuple[int, float]]:
         """Iterate ``(neighbor, base_time)`` pairs of out-edges of ``u``."""
         return iter(self._adj.get(u, {}).items())
 
-    def predecessors(self, u: int) -> Iterator[Tuple[int, float]]:
+    def predecessors(self, u: int) -> Iterator[tuple[int, float]]:
         """Iterate ``(predecessor, base_time)`` pairs of in-edges of ``u``."""
         return iter(self._radj.get(u, {}).items())
 
     def out_degree(self, u: int) -> int:
         return len(self._adj.get(u, {}))
 
-    def edges(self) -> Iterator[Tuple[int, int, float]]:
+    def edges(self) -> Iterator[tuple[int, int, float]]:
         """Iterate all edges as ``(u, v, base_time)``."""
         for u, nbrs in self._adj.items():
             for v, w in nbrs.items():
@@ -390,7 +393,7 @@ class RoadNetwork:
         return csr
 
     def nearest_node(self, coord: Coordinate,
-                     candidates: Optional[Iterable[int]] = None) -> int:
+                     candidates: Iterable[int] | None = None) -> int:
         """Return the node whose coordinate is closest to ``coord``.
 
         The paper snaps vehicle GPS positions to the nearest road-network
@@ -422,7 +425,7 @@ class RoadNetwork:
                 and len(self._reachable(start, self._radj)) == self.num_nodes)
 
     @staticmethod
-    def _reachable(start: int, adjacency: Dict[int, Dict[int, float]]) -> set:
+    def _reachable(start: int, adjacency: dict[int, dict[int, float]]) -> set:
         seen = {start}
         stack = [start]
         while stack:

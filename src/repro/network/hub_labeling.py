@@ -40,7 +40,7 @@ from __future__ import annotations
 
 import heapq
 import math
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from collections.abc import Iterable, Sequence
 
 import numpy as np
 
@@ -64,7 +64,7 @@ class HubLabelIndex:
         label sizes small on road-like graphs.
     """
 
-    def __init__(self, network: RoadNetwork, order: Optional[Sequence[int]] = None) -> None:
+    def __init__(self, network: RoadNetwork, order: Sequence[int] | None = None) -> None:
         self._network = network
         csr = network.csr()
         self._index_of = csr.index_of
@@ -75,22 +75,22 @@ class HubLabelIndex:
         self._order = list(order)
         # Rank of every node index (used by incremental repair); only a
         # complete order ranks every node, which repair requires.
-        self._rank_of: Dict[int, int] = {
+        self._rank_of: dict[int, int] = {
             self._index_of[hub_id]: rank for rank, hub_id in enumerate(self._order)
             if hub_id in self._index_of}
         n = self._num_nodes
         # Per-node sorted parallel label lists (rank ascending by construction).
-        self._out_ranks: List[List[int]] = [[] for _ in range(n)]
-        self._out_dists: List[List[float]] = [[] for _ in range(n)]
-        self._in_ranks: List[List[int]] = [[] for _ in range(n)]
-        self._in_dists: List[List[float]] = [[] for _ in range(n)]
+        self._out_ranks: list[list[int]] = [[] for _ in range(n)]
+        self._out_dists: list[list[float]] = [[] for _ in range(n)]
+        self._in_ranks: list[list[int]] = [[] for _ in range(n)]
+        self._in_dists: list[list[float]] = [[] for _ in range(n)]
         self._build(csr, network.csr(reverse=True))
         self._finalize_arrays()
 
     # ------------------------------------------------------------------ #
     # construction
     # ------------------------------------------------------------------ #
-    def _default_order(self, csr) -> List[int]:
+    def _default_order(self, csr) -> list[int]:
         """Process the highest-betweenness nodes first (sampled Brandes).
 
         Degree ordering is a weak hierarchy proxy on geometric networks and
@@ -110,12 +110,12 @@ class HubLabelIndex:
         for s in samples:
             dist = [INFINITY] * n
             sigma = [0.0] * n
-            preds: List[List[int]] = [[] for _ in range(n)]
+            preds: list[list[int]] = [[] for _ in range(n)]
             seen = [False] * n
             dist[s] = 0.0
             sigma[s] = 1.0
-            heap: List[Tuple[float, int]] = [(0.0, s)]
-            order: List[int] = []
+            heap: list[tuple[float, int]] = [(0.0, s)]
+            order: list[int] = []
             while heap:
                 d, u = heapq.heappop(heap)
                 if seen[u]:
@@ -165,10 +165,10 @@ class HubLabelIndex:
 
     @staticmethod
     def _pruned_search(csr, hub: int, rank: int, search_id: int,
-                       hub_ranks: List[int], hub_dists: List[float],
-                       label_ranks: List[List[int]], label_dists: List[List[float]],
-                       dist: List[float], stamp: List[int], settled: List[int],
-                       scratch: List[float]) -> None:
+                       hub_ranks: list[int], hub_dists: list[float],
+                       label_ranks: list[list[int]], label_dists: list[list[float]],
+                       dist: list[float], stamp: list[int], settled: list[int],
+                       scratch: list[float]) -> None:
         """One pruned Dijkstra from ``hub`` over ``csr``.
 
         On the forward pass (``csr`` = out-edges) the settled nodes extend
@@ -184,7 +184,7 @@ class HubLabelIndex:
         weights = csr.weights_list
         dist[hub] = 0.0
         stamp[hub] = search_id
-        heap: List[Tuple[float, int]] = [(0.0, hub)]
+        heap: list[tuple[float, int]] = [(0.0, hub)]
         push = heapq.heappush
         pop = heapq.heappop
         while heap:
@@ -209,6 +209,11 @@ class HubLabelIndex:
                 if settled[nbr] == search_id:
                     continue
                 nd = d + weights[j]
+                if nd == INFINITY:
+                    # Severed edge (infinite weight): the neighbour is not
+                    # reachable this way; pushing it would only be popped and
+                    # pruned later, so skip it outright.
+                    continue
                 if stamp[nbr] != search_id or nd < dist[nbr]:
                     dist[nbr] = nd
                     stamp[nbr] = search_id
@@ -219,7 +224,7 @@ class HubLabelIndex:
     def _finalize_arrays(self) -> None:
         """Freeze per-node lists into flat CSR-style numpy label arrays."""
 
-        def flatten(ranks: List[List[int]], dists: List[List[float]]):
+        def flatten(ranks: list[list[int]], dists: list[list[float]]):
             indptr = np.zeros(len(ranks) + 1, dtype=np.int64)
             np.cumsum([len(lst) for lst in ranks], out=indptr[1:])
             total = int(indptr[-1])

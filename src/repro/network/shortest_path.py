@@ -36,7 +36,7 @@ from __future__ import annotations
 
 import heapq
 import math
-from typing import Callable, Dict, Iterator, List, Optional, Tuple
+from collections.abc import Callable, Iterator
 
 from repro.network.graph import RoadNetwork
 
@@ -60,7 +60,7 @@ def _csr_dijkstra_to_target(csr, src: int, dst: int) -> float:
     weights = csr.weights_list
     dist = [INFINITY] * csr.num_nodes
     dist[src] = 0.0
-    heap: List[Tuple[float, int]] = [(0.0, src)]
+    heap: list[tuple[float, int]] = [(0.0, src)]
     push = heapq.heappush
     pop = heapq.heappop
     while heap:
@@ -78,15 +78,15 @@ def _csr_dijkstra_to_target(csr, src: int, dst: int) -> float:
     return INFINITY
 
 
-def _csr_dijkstra_all(csr, src: int, cutoff: Optional[float] = None) -> Dict[int, float]:
+def _csr_dijkstra_all(csr, src: int, cutoff: float | None = None) -> dict[int, float]:
     """Static-weight SSSP on flat CSR arrays; returns ``{node_index: dist}``."""
     indptr = csr.indptr_list
     indices = csr.indices_list
     weights = csr.weights_list
     dist = [INFINITY] * csr.num_nodes
     dist[src] = 0.0
-    settled: Dict[int, float] = {}
-    heap: List[Tuple[float, int]] = [(0.0, src)]
+    settled: dict[int, float] = {}
+    heap: list[tuple[float, int]] = [(0.0, src)]
     push = heapq.heappush
     pop = heapq.heappop
     while heap:
@@ -105,7 +105,7 @@ def _csr_dijkstra_all(csr, src: int, cutoff: Optional[float] = None) -> Dict[int
     return settled
 
 
-def _csr_shortest_path(csr, src: int, dst: int) -> Optional[List[int]]:
+def _csr_shortest_path(csr, src: int, dst: int) -> list[int] | None:
     """Static-weight Dijkstra with parent tracking; returns index path or None."""
     indptr = csr.indptr_list
     indices = csr.indices_list
@@ -114,7 +114,7 @@ def _csr_shortest_path(csr, src: int, dst: int) -> Optional[List[int]]:
     dist = [INFINITY] * n
     parent = [-1] * n
     dist[src] = 0.0
-    heap: List[Tuple[float, int]] = [(0.0, src)]
+    heap: list[tuple[float, int]] = [(0.0, src)]
     push = heapq.heappush
     pop = heapq.heappop
     while heap:
@@ -144,13 +144,13 @@ def _csr_shortest_path(csr, src: int, dst: int) -> Optional[List[int]]:
 # --------------------------------------------------------------------------- #
 def dijkstra_reference(network: RoadNetwork, source: int, target: int,
                        t: float = 0.0,
-                       weight: Optional[WeightFunction] = None) -> float:
+                       weight: WeightFunction | None = None) -> float:
     """Dict-based point-to-point Dijkstra (ground truth / custom weights)."""
     if source == target:
         return 0.0
     weight = weight or _edge_weight_fn(network, t)
-    dist: Dict[int, float] = {source: 0.0}
-    heap: List[Tuple[float, int]] = [(0.0, source)]
+    dist: dict[int, float] = {source: 0.0}
+    heap: list[tuple[float, int]] = [(0.0, source)]
     visited: set = set()
     while heap:
         d, node = heapq.heappop(heap)
@@ -170,13 +170,13 @@ def dijkstra_reference(network: RoadNetwork, source: int, target: int,
 
 
 def dijkstra_all_reference(network: RoadNetwork, source: int, t: float = 0.0,
-                           weight: Optional[WeightFunction] = None,
-                           cutoff: Optional[float] = None) -> Dict[int, float]:
+                           weight: WeightFunction | None = None,
+                           cutoff: float | None = None) -> dict[int, float]:
     """Dict-based SSSP (ground truth / custom weights)."""
     weight = weight or _edge_weight_fn(network, t)
-    dist: Dict[int, float] = {source: 0.0}
-    final: Dict[int, float] = {}
-    heap: List[Tuple[float, int]] = [(0.0, source)]
+    dist: dict[int, float] = {source: 0.0}
+    final: dict[int, float] = {}
+    heap: list[tuple[float, int]] = [(0.0, source)]
     while heap:
         d, node = heapq.heappop(heap)
         if node in final:
@@ -198,7 +198,7 @@ def dijkstra_all_reference(network: RoadNetwork, source: int, t: float = 0.0,
 # public entry points
 # --------------------------------------------------------------------------- #
 def dijkstra(network: RoadNetwork, source: int, target: int, t: float = 0.0,
-             weight: Optional[WeightFunction] = None) -> float:
+             weight: WeightFunction | None = None) -> float:
     """Quickest-path length ``SP(source, target, t)`` in seconds.
 
     Returns ``math.inf`` when ``target`` is unreachable.  A custom ``weight``
@@ -217,8 +217,8 @@ def dijkstra(network: RoadNetwork, source: int, target: int, t: float = 0.0,
 
 
 def dijkstra_all(network: RoadNetwork, source: int, t: float = 0.0,
-                 weight: Optional[WeightFunction] = None,
-                 cutoff: Optional[float] = None) -> Dict[int, float]:
+                 weight: WeightFunction | None = None,
+                 cutoff: float | None = None) -> dict[int, float]:
     """Single-source quickest-path lengths from ``source`` to every node.
 
     ``cutoff`` stops the search once the frontier distance exceeds it, which
@@ -237,7 +237,7 @@ def dijkstra_all(network: RoadNetwork, source: int, t: float = 0.0,
 
 
 def dijkstra_all_reverse(network: RoadNetwork, target: int, t: float = 0.0,
-                         cutoff: Optional[float] = None) -> Dict[int, float]:
+                         cutoff: float | None = None) -> dict[int, float]:
     """Quickest-path lengths from every node *to* ``target`` (reverse search)."""
     csr = network.csr(reverse=True)
     if target not in csr.index_of:
@@ -252,7 +252,7 @@ def dijkstra_all_reverse(network: RoadNetwork, target: int, t: float = 0.0,
 
 
 def shortest_path_nodes(network: RoadNetwork, source: int, target: int,
-                        t: float = 0.0) -> List[int]:
+                        t: float = 0.0) -> list[int]:
     """Return the node sequence of a quickest path from ``source`` to ``target``.
 
     Raises :class:`ValueError` when no path exists.  The simulator uses the
@@ -298,7 +298,7 @@ class BestFirstExplorer:
     """
 
     def __init__(self, network: RoadNetwork, source: int,
-                 weight: Optional[WeightFunction] = None, t: float = 0.0) -> None:
+                 weight: WeightFunction | None = None, t: float = 0.0) -> None:
         self._network = network
         self._visited_count = 0
         if weight is None and source not in network.csr().index_of:
@@ -312,25 +312,25 @@ class BestFirstExplorer:
             self._dist_arr = [INFINITY] * csr.num_nodes
             src = csr.index_of[source]
             self._dist_arr[src] = 0.0
-            self._heap: List[Tuple[float, int]] = [(0.0, src)]
+            self._heap: list[tuple[float, int]] = [(0.0, src)]
             self._settled = [False] * csr.num_nodes
         else:
             self._csr = None
             self._weight = weight
-            self._dist: Dict[int, float] = {source: 0.0}
+            self._dist: dict[int, float] = {source: 0.0}
             self._heap = [(0.0, source)]
             self._visited: set = set()
 
-    def __iter__(self) -> Iterator[Tuple[int, float]]:
+    def __iter__(self) -> Iterator[tuple[int, float]]:
         return self
 
-    def __next__(self) -> Tuple[int, float]:
+    def __next__(self) -> tuple[int, float]:
         """Return the next ``(node, cost)`` pair in ascending cost order."""
         if self._csr is not None:
             return self._next_csr()
         return self._next_reference()
 
-    def _next_csr(self) -> Tuple[int, float]:
+    def _next_csr(self) -> tuple[int, float]:
         csr = self._csr
         indptr = csr.indptr_list
         indices = csr.indices_list
@@ -354,7 +354,7 @@ class BestFirstExplorer:
             return csr.node_ids[node], d * self._multiplier
         raise StopIteration
 
-    def _next_reference(self) -> Tuple[int, float]:
+    def _next_reference(self) -> tuple[int, float]:
         while self._heap:
             d, node = heapq.heappop(self._heap)
             if node in self._visited:

@@ -9,7 +9,6 @@ batch cost during clustering), and that plan's cost.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
 
 from repro.orders.order import Order
 from repro.orders.route_plan import RoutePlan
@@ -28,7 +27,7 @@ class Batch:
         first pick-up node; its cost is ``Cost(v_i, pi_i)`` in Eq. 6.
     """
 
-    orders: Tuple[Order, ...]
+    orders: tuple[Order, ...]
     plan: RoutePlan
 
     def __post_init__(self) -> None:
@@ -72,12 +71,12 @@ class Batch:
         return min(order.placed_at for order in self.orders)
 
     @property
-    def order_ids(self) -> Tuple[int, ...]:
+    def order_ids(self) -> tuple[int, ...]:
         return tuple(order.order_id for order in self.orders)
 
-    def restaurant_nodes(self) -> List[int]:
+    def restaurant_nodes(self) -> list[int]:
         """Distinct restaurant nodes touched by the batch."""
-        seen: List[int] = []
+        seen: list[int] = []
         for order in self.orders:
             if order.restaurant_node not in seen:
                 seen.append(order.restaurant_node)

@@ -17,7 +17,7 @@ choice of shortest-path backend is orthogonal to the cost definitions.
 from __future__ import annotations
 
 import math
-from typing import Dict, Optional, Sequence, Tuple
+from collections.abc import Sequence
 
 from repro.network.distance_oracle import DistanceOracle
 from repro.orders.batch import Batch
@@ -74,7 +74,7 @@ class CostModel:
         self._oracle = oracle
         self._planner = planner
         self._vectorized = vectorized
-        self._sdt_cache: Dict[int, float] = {}
+        self._sdt_cache: dict[int, float] = {}
 
     @property
     def oracle(self) -> DistanceOracle:
@@ -96,7 +96,7 @@ class CostModel:
         """
         unique = list(dict.fromkeys(nodes))
         static = self._oracle.static_distance_matrix(unique, unique).tolist()
-        table: Dict[Tuple[int, int], float] = {}
+        table: dict[tuple[int, int], float] = {}
         for i, u in enumerate(unique):
             row = static[i]
             for j, v in enumerate(unique):
@@ -224,7 +224,7 @@ class CostModel:
         return self.plan_for_vehicle(vehicle, extra_orders, now).cost
 
     def marginal_cost(self, orders: Sequence[Order], vehicle: Vehicle, now: float,
-                      ) -> Tuple[float, Optional[RoutePlan]]:
+                      ) -> tuple[float, RoutePlan | None]:
         """``mCost(pi, v)`` (Eq. 7) and the route plan realising it.
 
         Returns ``(inf, None)`` when the capacity constraints of Def. 4 are
@@ -250,7 +250,7 @@ class CostModel:
         and keeping the cheapest resulting plan.
         """
         ordered = tuple(sorted(orders, key=lambda o: o.order_id))
-        best_plan: Optional[RoutePlan] = None
+        best_plan: RoutePlan | None = None
         for start in {order.restaurant_node for order in ordered}:
             plan = self._plan(list(ordered), start, now)
             if best_plan is None or (plan.cost, plan.evaluation.finish_time) < (
@@ -259,7 +259,7 @@ class CostModel:
         assert best_plan is not None
         return Batch(ordered, best_plan)
 
-    def merge_cost(self, left: Batch, right: Batch, now: float) -> Tuple[float, Batch]:
+    def merge_cost(self, left: Batch, right: Batch, now: float) -> tuple[float, Batch]:
         """Edge weight ``w_ij`` of the order graph (Eq. 5) and the merged batch.
 
         ``w_ij = Cost(v_ij, pi_i ∪ pi_j) - Cost(v_i, pi_i) - Cost(v_j, pi_j)``.

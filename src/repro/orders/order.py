@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
 
 
 @dataclass(frozen=True, order=True)
@@ -37,7 +36,7 @@ class Order:
     placed_at: float = field(compare=False)
     items: int = field(compare=False, default=1)
     prep_time: float = field(compare=False, default=600.0)
-    restaurant_id: Optional[int] = field(compare=False, default=None)
+    restaurant_id: int | None = field(compare=False, default=None)
 
     def __post_init__(self) -> None:
         if self.items < 1:

@@ -24,7 +24,7 @@ from __future__ import annotations
 import itertools
 import math
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from collections.abc import Iterator, Sequence
 
 import numpy as np
 
@@ -67,8 +67,8 @@ class PlanEvaluation:
     """
 
     total_xdt: float
-    delivery_times: Dict[int, float]
-    pickup_times: Dict[int, float]
+    delivery_times: dict[int, float]
+    pickup_times: dict[int, float]
     waiting_time: float
     travel_time: float
     finish_time: float
@@ -78,7 +78,7 @@ class PlanEvaluation:
 class RoutePlan:
     """A fully evaluated quickest route plan for a vehicle/order set."""
 
-    stops: Tuple[RouteStop, ...]
+    stops: tuple[RouteStop, ...]
     start_node: int
     start_time: float
     evaluation: PlanEvaluation
@@ -93,26 +93,26 @@ class RoutePlan:
         return not self.stops
 
     @property
-    def first_node(self) -> Optional[int]:
+    def first_node(self) -> int | None:
         """First stop node (``pi[1]^r`` when the plan starts with a pick-up)."""
         return self.stops[0].node if self.stops else None
 
     @property
-    def first_pickup_order(self) -> Optional[Order]:
+    def first_pickup_order(self) -> Order | None:
         """The first order to be picked up along the plan (``pi[1]``)."""
         for stop in self.stops:
             if stop.is_pickup:
                 return stop.order
         return None
 
-    def orders(self) -> List[Order]:
+    def orders(self) -> list[Order]:
         """Distinct orders referenced by the plan, in first-appearance order."""
-        seen: Dict[int, Order] = {}
+        seen: dict[int, Order] = {}
         for stop in self.stops:
             seen.setdefault(stop.order.order_id, stop.order)
         return list(seen.values())
 
-    def node_sequence(self) -> List[int]:
+    def node_sequence(self) -> list[int]:
         """The stop nodes in visiting order (with the start node prepended)."""
         return [self.start_node] + [stop.node for stop in self.stops]
 
@@ -121,14 +121,14 @@ class RoutePlan:
 
 
 def enumerate_route_plans(new_orders: Sequence[Order],
-                          onboard_orders: Sequence[Order] = ()) -> Iterator[Tuple[RouteStop, ...]]:
+                          onboard_orders: Sequence[Order] = ()) -> Iterator[tuple[RouteStop, ...]]:
     """Yield every valid stop sequence for the given orders.
 
     ``new_orders`` still need both a pick-up and a drop-off; ``onboard_orders``
     have already been picked up, so only their drop-off stop appears.  A
     sequence is valid when each pick-up precedes the corresponding drop-off.
     """
-    stops: List[RouteStop] = []
+    stops: list[RouteStop] = []
     for order in new_orders:
         stops.append(RouteStop(order.restaurant_node, order, True))
         stops.append(RouteStop(order.customer_node, order, False))
@@ -168,8 +168,8 @@ def evaluate_plan(stops: Sequence[RouteStop], start_node: int, start_time: float
     location = start_node
     waiting = 0.0
     travel = 0.0
-    pickups: Dict[int, float] = {}
-    deliveries: Dict[int, float] = {}
+    pickups: dict[int, float] = {}
+    deliveries: dict[int, float] = {}
     total_xdt = 0.0
     for stop in stops:
         leg = distance(location, stop.node, clock)
@@ -201,8 +201,8 @@ def best_route_plan(new_orders: Sequence[Order], start_node: int, start_time: fl
     then by the permutation order for determinism).  With no orders at all
     the returned plan is empty with zero cost.
     """
-    best_stops: Tuple[RouteStop, ...] = ()
-    best_eval: Optional[PlanEvaluation] = None
+    best_stops: tuple[RouteStop, ...] = ()
+    best_eval: PlanEvaluation | None = None
     for stops in enumerate_route_plans(new_orders, onboard_orders):
         evaluation = evaluate_plan(stops, start_node, start_time, distance, sdt_lookup)
         if best_eval is None:
@@ -225,7 +225,7 @@ def best_route_plan(new_orders: Sequence[Order], start_node: int, start_time: fl
 # its dropoff) depends only on the two counts.  Cached as an index matrix in
 # the exact order `itertools.permutations` produces, which is what makes the
 # vectorised search tie-break identically to the scalar scan.
-_PERM_CACHE: Dict[Tuple[int, int], np.ndarray] = {}
+_PERM_CACHE: dict[tuple[int, int], np.ndarray] = {}
 
 
 def _valid_permutations(num_new: int, num_onboard: int) -> np.ndarray:
@@ -264,7 +264,7 @@ def best_route_plan_vectorized(new_orders: Sequence[Order], start_node: int,
     the full :class:`PlanEvaluation`, so it is bit-identical to the scalar
     result.  The property tests compare both over random plans.
     """
-    stops: List[RouteStop] = []
+    stops: list[RouteStop] = []
     for order in new_orders:
         stops.append(RouteStop(order.restaurant_node, order, True))
         stops.append(RouteStop(order.customer_node, order, False))
@@ -278,7 +278,7 @@ def best_route_plan_vectorized(new_orders: Sequence[Order], start_node: int,
     node_index = {node: i for i, node in enumerate(unique_nodes)}
     multipliers = np.asarray(oracle.network.profile.multipliers, dtype=np.float64)
 
-    def finish_plan(best_stops: Tuple[RouteStop, ...]) -> RoutePlan:
+    def finish_plan(best_stops: tuple[RouteStop, ...]) -> RoutePlan:
         table = static.tolist()
         multiplier = oracle.network.profile.multiplier
 
@@ -354,13 +354,13 @@ def insertion_route_plan(new_orders: Sequence[Order], start_node: int, start_tim
     optimality.  For small batches it frequently finds the optimal plan; the
     test suite compares it against :func:`best_route_plan`.
     """
-    stops: List[RouteStop] = [RouteStop(order.customer_node, order, False)
+    stops: list[RouteStop] = [RouteStop(order.customer_node, order, False)
                               for order in onboard_orders]
     for order in sorted(new_orders, key=lambda o: (o.placed_at, o.order_id)):
         pickup = RouteStop(order.restaurant_node, order, True)
         dropoff = RouteStop(order.customer_node, order, False)
-        best_sequence: Optional[List[RouteStop]] = None
-        best_key: Optional[Tuple[float, float]] = None
+        best_sequence: list[RouteStop] | None = None
+        best_key: tuple[float, float] | None = None
         for i in range(len(stops) + 1):
             for j in range(i, len(stops) + 1):
                 candidate = list(stops)

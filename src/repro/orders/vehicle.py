@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Dict, List, Optional, Sequence, Set
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -47,20 +47,20 @@ class Vehicle:
     shift_end: float = 86400.0
     max_orders: int = 3
     max_items: int = 10
-    assigned: Dict[int, Order] = field(default_factory=dict)
-    picked_up: Set[int] = field(default_factory=set)
-    route: Optional[RoutePlan] = None
+    assigned: dict[int, Order] = field(default_factory=dict)
+    picked_up: set[int] = field(default_factory=set)
+    route: RoutePlan | None = None
     # Remaining stops of the current route plan; the simulator pops stops as
     # they are completed so the plan itself stays immutable.
-    stop_queue: List[RouteStop] = field(default_factory=list)
+    stop_queue: list[RouteStop] = field(default_factory=list)
     state: VehicleState = VehicleState.IDLE
     # Node an idle vehicle is drifting toward between windows (set by the
     # fleet controller's repositioning policy); any new assignment clears it.
-    reposition_node: Optional[int] = None
+    reposition_node: int | None = None
     distance_travelled_km: float = 0.0
     # Per-leg occupancy bookkeeping for the orders-per-kilometre metric:
     # km_by_load[k] is the distance travelled while carrying exactly k orders.
-    km_by_load: Dict[int, float] = field(default_factory=dict)
+    km_by_load: dict[int, float] = field(default_factory=dict)
     waiting_seconds: float = 0.0
 
     # ------------------------------------------------------------------ #
@@ -103,12 +103,12 @@ class Vehicle:
         self.reposition_node = None
         self.state = VehicleState.EN_ROUTE
 
-    def set_route(self, route: Optional[RoutePlan]) -> None:
+    def set_route(self, route: RoutePlan | None) -> None:
         """Replace the current route plan (and its remaining-stop queue)."""
         self.route = route
         self.stop_queue = list(route.stops) if route is not None else []
 
-    def unassign_pending(self) -> List[Order]:
+    def unassign_pending(self) -> list[Order]:
         """Release all orders not yet picked up (used by reshuffling).
 
         The released orders re-enter the unassigned pool of the next
@@ -121,11 +121,11 @@ class Vehicle:
             del self.assigned[order.order_id]
         return released
 
-    def onboard_orders(self) -> List[Order]:
+    def onboard_orders(self) -> list[Order]:
         """Orders already picked up and awaiting drop-off."""
         return [self.assigned[oid] for oid in self.picked_up if oid in self.assigned]
 
-    def pending_orders(self) -> List[Order]:
+    def pending_orders(self) -> list[Order]:
         """Orders assigned to the vehicle but not yet picked up."""
         return [order for oid, order in self.assigned.items() if oid not in self.picked_up]
 
@@ -172,7 +172,7 @@ class Vehicle:
         self.km_by_load[load] = float(np.cumsum(acc)[-1])
 
     @property
-    def next_destination(self) -> Optional[int]:
+    def next_destination(self) -> int | None:
         """Next stop node of the current route plan (``dest`` of Eq. 8).
 
         ``None`` when the vehicle is idle, in which case the angular distance

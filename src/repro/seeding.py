@@ -39,7 +39,7 @@ def spawn_seed(*components: object) -> int:
     if not components:
         raise ValueError("spawn_seed requires at least one component")
     text = "\x1f".join(repr(component) for component in components)
-    digest = hashlib.sha256(text.encode("utf-8")).digest()
+    digest = hashlib.sha256(text.encode()).digest()
     return int.from_bytes(digest[:8], "big") >> (64 - _SEED_BITS)
 
 

@@ -14,19 +14,38 @@ evaluation (Sec. V-B):
 * FoodMatch-style policies may reshuffle: orders assigned but not yet picked
   up are released back into the pool each window.
 
+Dynamic traffic and fleet events resolve either at window boundaries (the
+default) or — with ``event_resolution="continuous"`` — at their exact
+timestamps through the deterministic event clock of :mod:`repro.sim.clock`,
+which splits vehicle movement at every change point so re-weighted roads,
+severed closures and mid-window logouts take effect at their true epochs.
+
 The per-order, per-window and per-vehicle records feed the metric
 definitions of the evaluation: extra delivery time (XDT), orders per
 kilometre, vehicle waiting time, rejection rate and overflown windows.
 """
 
+from repro.sim.clock import (
+    EventClock,
+    SimEvent,
+    align_fleet_plan,
+    align_scenario_events,
+    align_traffic_timeline,
+)
 from repro.sim.metrics import OrderOutcome, SimulationResult, WindowRecord
-from repro.sim.engine import SimulationConfig, Simulator, simulate
+from repro.sim.engine import EVENT_RESOLUTIONS, SimulationConfig, Simulator, simulate
 
 __all__ = [
     "OrderOutcome",
     "SimulationResult",
     "WindowRecord",
+    "EVENT_RESOLUTIONS",
     "SimulationConfig",
     "Simulator",
     "simulate",
+    "EventClock",
+    "SimEvent",
+    "align_traffic_timeline",
+    "align_fleet_plan",
+    "align_scenario_events",
 ]

@@ -33,7 +33,6 @@ assert exact equality of clocks, positions and distance accounting.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Tuple
 
 import numpy as np
 
@@ -43,7 +42,11 @@ from repro.network.graph import SECONDS_PER_HOUR
 from repro.orders.vehicle import Vehicle
 
 #: (expanded node path, static edge traversal times, edge lengths in km)
-PathSegments = Tuple[List[int], np.ndarray, np.ndarray]
+PathSegments = tuple[list[int], np.ndarray, np.ndarray]
+
+#: Cache sentinel distinguishing "pair never resolved" from the cached
+#: answer "destination unreachable" (a severed closure cut the pair apart).
+_MISS = object()
 
 
 class PathWalker:
@@ -61,16 +64,25 @@ class PathWalker:
         # Leg lengths never change under weight-only mutations; this cache
         # survives epoch invalidations so haversines are computed once ever
         # (bounded by the network's edge count).
-        self._km: Dict[Tuple[int, int], float] = {}
+        self._km: dict[tuple[int, int], float] = {}
 
-    def segments(self, source: int, dest: int) -> PathSegments:
+    def segments(self, source: int, dest: int) -> PathSegments | None:
         """Path node sequence and per-edge static time / km arrays.
 
         Cached per (source, dest); any network mutation (``mutation_epoch``
         bump) drops the cached traversal times, because live traffic
         overrides change the static effective weights in place.  The path
         itself is re-read from the oracle, whose own path cache is evicted
-        with exact scope by ``apply_traffic_updates``.
+        with exact scope by ``apply_traffic_updates``.  This is what makes
+        the walk *event-splittable*: the continuous-time engine stops every
+        walk at each event timestamp, the event's weight changes bump the
+        epoch, and the resumed walk re-plans from the vehicle's current node
+        — so traffic re-weighting (or a reroute around a fresh closure)
+        applies to the remaining edges of the journey.
+
+        Returns ``None`` when ``dest`` is unreachable from ``source`` (a
+        severed closure cut the pair apart); the verdict is cached like any
+        path until the next mutation.
         """
         network = self._oracle.network
         epoch = network.mutation_epoch
@@ -78,10 +90,13 @@ class PathWalker:
             self._segments.clear()
             self._epoch = epoch
         key = (source, dest)
-        cached = self._segments.get(key)
-        if cached is not None:
+        cached = self._segments.get(key, _MISS)
+        if cached is not _MISS:
             return cached
-        path = self._oracle.path(source, dest)
+        path = self._oracle.path_or_none(source, dest)
+        if path is None:
+            self._segments.put(key, None)
+            return None
         count = len(path) - 1
         times = np.empty(max(0, count), dtype=np.float64)
         kms = np.empty(max(0, count), dtype=np.float64)
@@ -107,8 +122,22 @@ class PathWalker:
         the clock at its start is strictly before ``until``, and its
         traversal time uses the congestion multiplier of the slot the edge
         *starts* in.  The vehicle may end mid-path when the window runs out.
+
+        Because every prefix of the metering cumsum equals the scalar
+        sequential ``clock += travel`` chain, splitting one walk at an
+        arbitrary set of intermediate ``until`` boundaries (window edges,
+        congestion-slot edges, or the continuous engine's event timestamps)
+        reproduces the unsplit walk float for float — the conservation
+        property the sub-window event drain relies on.
+
+        When ``dest`` is unreachable (severed closure), the vehicle stays
+        put and waits for the road to reopen: the clock advances to
+        ``until`` with no movement and no distance recorded.
         """
-        path, static_times, kms = self.segments(vehicle.node, dest)
+        segments = self.segments(vehicle.node, dest)
+        if segments is None:
+            return until
+        path, static_times, kms = segments
         total = static_times.size
         taken = 0
         multiplier = self._oracle.network.profile.multiplier

@@ -1,0 +1,291 @@
+"""The continuous-time event clock: a unified, deterministic event queue.
+
+Before this module the simulator was *quantized*: the traffic and fleet
+controllers were advanced only at accumulation-window boundaries, so an
+incident landing mid-window, a driver logging out mid-delivery or a road
+closing under a moving vehicle were silently deferred to the next boundary.
+:class:`EventClock` gives every dynamic subsystem a shared continuous clock:
+
+* every change point of the scenario's timelines — traffic event starts and
+  ends, fleet supply-event starts and ends, per-vehicle shift logins and
+  logouts — becomes one :class:`SimEvent` with an exact timestamp;
+* events are drained in a **stable total order**: ``(timestamp,
+  source-priority, sequence)``.  Same-timestamp events apply the road
+  network's change before the fleet reacts (matching the long-standing
+  window-boundary ordering of ``traffic.advance`` before ``fleet.advance``),
+  and the insertion sequence breaks any remaining tie deterministically;
+* the engine's loop becomes "drain events up to the next decision epoch":
+  between two policy invocations the simulator advances every vehicle to
+  each event timestamp in turn, applies the event's controller there, and
+  resumes movement under the re-weighted network.
+
+Backward compatibility is structural: an event whose timestamp coincides
+with a window boundary is *discarded* from the queue, because the engine's
+per-boundary controller advance (which recomputes the full desired state
+idempotently) already covers it.  A timeline whose timestamps are all
+boundary-aligned therefore drains zero sub-window events and the continuous
+engine replays the window-mode engine bit for bit — the golden invariant the
+property tests and the end-to-end benchmark assert.
+
+The module also provides alignment helpers (:func:`align_traffic_timeline`,
+:func:`align_fleet_plan`, :func:`align_scenario_events`) that snap a
+scenario's event timestamps onto the window grid — event starts floor, ends
+ceil, duty blocks widened likewise — which is how those golden comparisons
+build their boundary-aligned twins.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING
+from collections.abc import Iterable
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine imports us)
+    from repro.fleet.controller import FleetPlan
+    from repro.orders.vehicle import Vehicle
+    from repro.traffic.events import TrafficTimeline
+    from repro.workload.generator import Scenario
+
+#: Application order of same-timestamp events: the road network moves before
+#: the fleet reacts, mirroring the engine's window-boundary ordering
+#: (``TrafficController.advance`` runs before ``FleetController.advance``).
+SOURCE_PRIORITIES: dict[str, int] = {"traffic": 0, "fleet": 1}
+
+
+@dataclass(frozen=True, slots=True)
+class SimEvent:
+    """One scheduled change point on the simulation's continuous clock.
+
+    ``priority`` is the source priority from :data:`SOURCE_PRIORITIES` and
+    ``seq`` the queue-insertion sequence number; together with ``time`` they
+    define the stable total order ``(time, priority, seq)`` every drain
+    follows.
+    """
+
+    time: float
+    source: str
+    priority: int
+    seq: int
+
+    @property
+    def sort_key(self) -> tuple[float, int, int]:
+        return (self.time, self.priority, self.seq)
+
+
+class EventClock:
+    """A deterministic min-queue of :class:`SimEvent` change points.
+
+    The queue is immutable in spirit — the engine builds it once from the
+    scenario's timelines and only ever drains it forward — but ``push`` is
+    public so tests and custom harnesses can schedule extra epochs.
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[tuple[float, int, int], SimEvent]] = []
+        self._seq = 0
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    def push(self, time: float, source: str) -> SimEvent:
+        """Schedule one event; returns the queued :class:`SimEvent`.
+
+        ``source`` must be a key of :data:`SOURCE_PRIORITIES`.  Timestamps
+        must be finite — the clock orders real epochs, not sentinels.
+        """
+        time = float(time)
+        if not math.isfinite(time):
+            raise ValueError(f"event timestamps must be finite (got {time})")
+        priority = SOURCE_PRIORITIES.get(source)
+        if priority is None:
+            raise ValueError(f"unknown event source {source!r}; "
+                             f"known: {sorted(SOURCE_PRIORITIES)}")
+        event = SimEvent(time, source, priority, self._seq)
+        self._seq += 1
+        heapq.heappush(self._heap, (event.sort_key, event))
+        return event
+
+    @classmethod
+    def from_timelines(cls, traffic: TrafficTimeline | None = None,
+                       fleet_plan: FleetPlan | None = None,
+                       vehicles: Iterable[Vehicle] = (),
+                       start: float = -math.inf,
+                       end: float = math.inf) -> EventClock:
+        """Build the clock for one simulation horizon.
+
+        Traffic change points are the timeline's event start/end epochs;
+        fleet change points are the supply-event epochs plus every scheduled
+        shift login/logout (vehicles without a schedule entry contribute
+        their own ``shift_start``/``shift_end``, the seed duty model).  Only
+        epochs strictly inside ``(start, end)`` are queued: epochs at or
+        before ``start`` are covered by the first boundary advance, epochs at
+        or after ``end`` never take effect (the post-horizon drain applies no
+        controller changes, exactly like the window-mode engine).
+        """
+        clock = cls()
+        if traffic is not None:
+            for epoch in traffic.boundaries():
+                if start < epoch < end:
+                    clock.push(epoch, "traffic")
+        if fleet_plan is not None:
+            epochs: set[float] = set(fleet_plan.timeline.boundaries())
+            for schedule in fleet_plan.schedules.values():
+                epochs.update(schedule.boundaries())
+            scheduled = set(fleet_plan.schedules)
+            for vehicle in vehicles:
+                if vehicle.vehicle_id not in scheduled:
+                    epochs.add(vehicle.shift_start)
+                    epochs.add(vehicle.shift_end)
+            for epoch in sorted(epochs):
+                if start < epoch < end:
+                    clock.push(epoch, "fleet")
+        return clock
+
+    # ------------------------------------------------------------------ #
+    # inspection / draining
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def peek_time(self) -> float | None:
+        """Timestamp of the next queued event; ``None`` when drained."""
+        if not self._heap:
+            return None
+        return self._heap[0][1].time
+
+    def discard_through(self, now: float) -> int:
+        """Drop every event with ``time <= now``; returns how many.
+
+        The engine calls this at each window boundary: the boundary-advance
+        of the controllers recomputes the complete desired state at ``now``,
+        so any event at or before the boundary is already applied and must
+        not fire again inside the window.
+        """
+        dropped = 0
+        while self._heap and self._heap[0][1].time <= now:
+            heapq.heappop(self._heap)
+            dropped += 1
+        return dropped
+
+    def pop_due(self, until: float) -> list[SimEvent]:
+        """Pop every event strictly before ``until``, in total order."""
+        due: list[SimEvent] = []
+        while self._heap and self._heap[0][1].time < until:
+            due.append(heapq.heappop(self._heap)[1])
+        return due
+
+    def pop_groups(self, until: float) -> list[tuple[float, list[SimEvent]]]:
+        """Pop events strictly before ``until``, grouped by equal timestamp.
+
+        Groups come back in ascending time; within a group events keep the
+        total order (so traffic precedes fleet).  This is the engine's drain
+        granularity: vehicles advance once per distinct epoch, then every
+        source that fired at that epoch is applied.
+        """
+        groups: list[tuple[float, list[SimEvent]]] = []
+        for event in self.pop_due(until):
+            if groups and groups[-1][0] == event.time:
+                groups[-1][1].append(event)
+            else:
+                groups.append((event.time, [event]))
+        return groups
+
+
+# --------------------------------------------------------------------------- #
+# window-grid alignment (golden-test / benchmark helpers)
+# --------------------------------------------------------------------------- #
+def _snap(t: float, delta: float, anchor: float, up: bool) -> float:
+    """Snap ``t`` onto the window grid ``anchor + k * delta`` (floor or ceil)."""
+    steps = (t - anchor) / delta
+    k = math.ceil(steps) if up else math.floor(steps)
+    return anchor + k * delta
+
+
+def align_traffic_timeline(timeline: TrafficTimeline, delta: float,
+                           anchor: float) -> TrafficTimeline:
+    """Snap every traffic event onto the window grid (starts floor, ends ceil).
+
+    The snapped event covers at least the original interval, so an event
+    active during some window is active at that window's boundary — which is
+    all the window-mode engine ever observes.  Used to build the
+    boundary-aligned twin of a timeline for the continuous-vs-window golden
+    comparisons.
+    """
+    from repro.traffic.events import TrafficTimeline
+
+    aligned = tuple(
+        replace(event,
+                start=_snap(event.start, delta, anchor, up=False),
+                end=_snap(event.end, delta, anchor, up=True))
+        for event in timeline)
+    return TrafficTimeline(aligned)
+
+
+def align_fleet_plan(plan: FleetPlan | None, delta: float, anchor: float,
+                     vehicles: Iterable[Vehicle] = ()) -> FleetPlan | None:
+    """Snap a fleet plan's change points onto the window grid.
+
+    Shift blocks widen to whole windows (login floors, logout ceils; the
+    schedule normalisation re-merges any blocks that now touch) and supply
+    events snap like traffic events.  ``vehicles`` must carry the fleet the
+    plan runs against: a vehicle *without* a schedule entry falls back to
+    its own ``shift_start``/``shift_end`` (the seed duty model), and
+    :meth:`EventClock.from_timelines` queues exactly those epochs as fleet
+    events — so the aligned plan gives every such vehicle an explicit
+    snapped single-block schedule, keeping the "aligned scenario drains
+    zero sub-window events" contract.  ``None`` passes through.
+    """
+    if plan is None:
+        return None
+    from repro.fleet.shifts import FleetTimeline, ShiftSchedule
+
+    schedules = {
+        vehicle_id: ShiftSchedule(tuple(
+            (_snap(start, delta, anchor, up=False),
+             _snap(end, delta, anchor, up=True))
+            for start, end in schedule.intervals))
+        for vehicle_id, schedule in plan.schedules.items()
+    }
+    for vehicle in vehicles:
+        if vehicle.vehicle_id not in schedules:
+            schedules[vehicle.vehicle_id] = ShiftSchedule((
+                (_snap(vehicle.shift_start, delta, anchor, up=False),
+                 _snap(vehicle.shift_end, delta, anchor, up=True)),))
+    timeline = FleetTimeline(tuple(
+        replace(event,
+                start=_snap(event.start, delta, anchor, up=False),
+                end=_snap(event.end, delta, anchor, up=True))
+        for event in plan.timeline))
+    return replace(plan, schedules=schedules, timeline=timeline)
+
+
+def align_scenario_events(scenario: Scenario, delta: float,
+                          anchor: float) -> Scenario:
+    """A copy of ``scenario`` with all event timestamps window-aligned.
+
+    Orders, vehicles, restaurants and the network are shared (not copied);
+    only the traffic timeline and the fleet plan are replaced by their
+    snapped twins (unscheduled vehicles get explicit snapped schedules —
+    see :func:`align_fleet_plan`).  With such a scenario,
+    ``event_resolution="continuous"`` drains zero sub-window events and
+    must reproduce ``event_resolution="window"`` bit for bit.
+    """
+    return replace(scenario,
+                   traffic=align_traffic_timeline(scenario.traffic, delta, anchor),
+                   fleet=align_fleet_plan(scenario.fleet, delta, anchor,
+                                          vehicles=scenario.vehicles))
+
+
+__all__ = [
+    "SimEvent",
+    "EventClock",
+    "SOURCE_PRIORITIES",
+    "align_traffic_timeline",
+    "align_fleet_plan",
+    "align_scenario_events",
+]

@@ -35,24 +35,45 @@ batches re-enter the next window's pool), kitchens add sampled delays on
 top of nominal prep times, and idle vehicles drift toward demand hot-spots
 between windows.  Without a plan the engine is bit-for-bit the static-fleet
 simulator.
+
+**Continuous event resolution.**  With the default
+``event_resolution="window"`` both controllers resolve at window boundaries
+only — an event landing mid-window takes effect at the *next* boundary.
+``event_resolution="continuous"`` puts the dynamics on the exact event
+clock (:mod:`repro.sim.clock`): every timeline change point strictly inside
+a window becomes a drain epoch at which the engine advances all vehicles to
+the epoch (splitting their metered walks there), applies the traffic and/or
+fleet change, and resumes movement under the re-weighted network — so an
+incident slows the *remaining* edges of an in-flight journey, a severed
+closure forces an immediate reroute (or an in-place wait when no detour
+exists), and a driver logging out mid-window triggers the forced handoff at
+the true logout epoch.  Policy decisions still happen at window boundaries
+(Δ is the paper's decision cadence); only the *world* moves continuously.
+A timeline whose change points are all boundary-aligned drains zero
+sub-window events, which makes continuous mode bit-identical to window mode
+on such scenarios (golden-tested).
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from collections.abc import Sequence
 
 from repro.core.policy import Assignment, AssignmentPolicy
 from repro.fleet.controller import FleetController
 from repro.network.geometry import haversine_distance
 from repro.orders.costs import CostModel
 from repro.sim.advance import PathWalker
+from repro.sim.clock import EventClock
 from repro.orders.order import Order
 from repro.orders.vehicle import Vehicle, VehicleState
 from repro.sim.metrics import OrderOutcome, SimulationResult, WindowRecord
 from repro.traffic.controller import TrafficController
 from repro.workload.generator import Scenario
+
+#: The recognised event-resolution modes of :class:`SimulationConfig`.
+EVENT_RESOLUTIONS = ("window", "continuous")
 
 
 @dataclass(frozen=True)
@@ -73,10 +94,19 @@ class SimulationConfig:
     #: reference path, which ``False`` selects for the equivalence property
     #: tests and the end-to-end benchmark's reference mode.
     vectorized: bool = True
+    #: ``"window"`` resolves traffic/fleet events at window boundaries only
+    #: (the historical engine); ``"continuous"`` drains them at their exact
+    #: timestamps through the event clock (:mod:`repro.sim.clock`).  With a
+    #: boundary-aligned timeline the two are bit-identical.
+    event_resolution: str = "window"
 
     def __post_init__(self) -> None:
         if self.delta <= 0:
             raise ValueError("delta must be positive")
+        if self.event_resolution not in EVENT_RESOLUTIONS:
+            raise ValueError(
+                f"unknown event_resolution {self.event_resolution!r}; "
+                f"known: {EVENT_RESOLUTIONS}")
         if self.end <= self.start:
             raise ValueError("simulation end must come after start")
         if self.rejection_timeout < 0:
@@ -93,9 +123,9 @@ class Simulator:
     """Replays one scenario under one policy and collects metrics."""
 
     def __init__(self, scenario: Scenario, policy: AssignmentPolicy,
-                 cost_model: CostModel, config: Optional[SimulationConfig] = None,
-                 traffic: Optional[TrafficController] = None,
-                 fleet: Optional[FleetController] = None) -> None:
+                 cost_model: CostModel, config: SimulationConfig | None = None,
+                 traffic: TrafficController | None = None,
+                 fleet: FleetController | None = None) -> None:
         self.scenario = scenario
         self.policy = policy
         self.cost_model = cost_model
@@ -114,18 +144,28 @@ class Simulator:
         self._walker = (PathWalker(cost_model.oracle)
                         if self.config.vectorized else None)
         self.vehicles = scenario.fresh_vehicles()
+        # Continuous mode: queue every timeline change point strictly inside
+        # the horizon.  Boundary-aligned (or absent) timelines leave the
+        # queue empty between boundaries, which is exactly window mode.
+        self._clock: EventClock | None = None
+        if self.config.event_resolution == "continuous":
+            self._clock = EventClock.from_timelines(
+                traffic=self.traffic.timeline if self.traffic is not None else None,
+                fleet_plan=self.fleet.plan if self.fleet is not None else None,
+                vehicles=self.vehicles,
+                start=self.config.start, end=self.config.end)
         self._window_declines = 0
         self._window_handoffs = 0
-        self._vehicle_clock: Dict[int, float] = {
+        self._vehicle_clock: dict[int, float] = {
             v.vehicle_id: max(self.config.start, v.shift_start) for v in self.vehicles}
-        self._outcomes: Dict[int, OrderOutcome] = {}
-        self._windows: List[WindowRecord] = []
-        self._pool: Dict[int, Order] = {}
+        self._outcomes: dict[int, OrderOutcome] = {}
+        self._windows: list[WindowRecord] = []
+        self._pool: dict[int, Order] = {}
         self._order_iter = iter(sorted(
             (o for o in scenario.orders
              if self.config.start <= o.placed_at < self.config.end),
             key=lambda o: (o.placed_at, o.order_id)))
-        self._next_order: Optional[Order] = next(self._order_iter, None)
+        self._next_order: Order | None = next(self._order_iter, None)
 
     # ------------------------------------------------------------------ #
     # public entry point
@@ -139,16 +179,9 @@ class Simulator:
             window_end = min(window_start + cfg.delta, cfg.end)
             self._window_declines = 0
             self._window_handoffs = 0
-            if self.traffic is not None:
-                # Weights for this window reflect the events active at its
-                # start; vehicles and the policy both see the updated network.
-                self.traffic.advance(window_start)
-            if self.fleet is not None:
-                # Shift/supply state for this window: drivers that logged out
-                # since the last boundary hand their pending orders back to
-                # the pool before anything moves or gets assigned.
-                for vehicle in self.fleet.advance(window_start, self.vehicles):
-                    self._handoff_pending_orders(vehicle, window_start)
+            self._apply_controllers(window_start)
+            if self._clock is not None:
+                self._drain_subwindow_events(window_start, window_end)
             self._advance_all_vehicles(window_end)
             self._ingest_orders(window_end)
             self._reject_stale_orders(window_end)
@@ -173,8 +206,8 @@ class Simulator:
             cache_stats=self._cache_stats_since(cache_info_before),
         )
 
-    def _cache_stats_since(self, before: Dict[str, Dict[str, int]],
-                           ) -> Dict[str, Dict[str, int]]:
+    def _cache_stats_since(self, before: dict[str, dict[str, int]],
+                           ) -> dict[str, dict[str, int]]:
         """Per-cache counter deltas over this run (oracles may be shared).
 
         Experiment harnesses reuse one oracle across several policy runs, so
@@ -182,7 +215,7 @@ class Simulator:
         run-start snapshot attributes hits and misses to this simulation
         only.  Sizes and capacities are reported as of the end of the run.
         """
-        stats: Dict[str, Dict[str, int]] = {}
+        stats: dict[str, dict[str, int]] = {}
         for name, info in self.cost_model.oracle.cache_info().items():
             base = before.get(name, {})
             stats[name] = {
@@ -192,6 +225,49 @@ class Simulator:
                 "capacity": info["capacity"],
             }
         return stats
+
+    # ------------------------------------------------------------------ #
+    # controllers and the event clock
+    # ------------------------------------------------------------------ #
+    def _apply_controllers(self, now: float,
+                           sources: set[str] | None = None) -> None:
+        """Bring the dynamic subsystems up to ``now``.
+
+        ``sources`` restricts the advance to the subsystems whose events
+        fired at ``now`` (the sub-window drain); ``None`` advances both (the
+        window-boundary full recompute).  Traffic always applies before the
+        fleet — the weights a logging-out driver's handoff replanning sees
+        are the ones in force at the epoch.
+        """
+        if self.traffic is not None and (sources is None or "traffic" in sources):
+            # Weights from this epoch onward reflect the events active at it;
+            # vehicles and the policy both see the updated network.
+            self.traffic.advance(now)
+        if self.fleet is not None and (sources is None or "fleet" in sources):
+            # Drivers that logged out since the last advance hand their
+            # pending orders back to the pool before anything else moves or
+            # gets assigned.
+            for vehicle in self.fleet.advance(now, self.vehicles):
+                self._handoff_pending_orders(vehicle, now)
+
+    def _drain_subwindow_events(self, window_start: float,
+                                window_end: float) -> None:
+        """Continuous mode: replay the event clock across one window.
+
+        Events at or before ``window_start`` are discarded — the boundary
+        advance just recomputed the complete controller state there.  Every
+        remaining epoch strictly before ``window_end`` splits the window:
+        vehicles advance to the epoch (their metered walks stop there, mid-
+        journey), the epoch's sources apply, and movement resumes under the
+        updated network/fleet state.  Events at ``window_end`` belong to the
+        next boundary.
+        """
+        clock = self._clock
+        assert clock is not None
+        clock.discard_through(window_start)
+        for epoch, events in clock.pop_groups(window_end):
+            self._advance_all_vehicles(epoch)
+            self._apply_controllers(epoch, sources={e.source for e in events})
 
     # ------------------------------------------------------------------ #
     # window mechanics
@@ -204,7 +280,7 @@ class Simulator:
         kernel call (bit-equal to the per-order point queries) before the
         per-order bookkeeping loop runs against the warm memo.
         """
-        arrived: List[Order] = []
+        arrived: list[Order] = []
         while self._next_order is not None and self._next_order.placed_at < until:
             arrived.append(self._next_order)
             self._next_order = next(self._order_iter, None)
@@ -435,6 +511,13 @@ class Simulator:
         vehicle clock.  The vehicle may end anywhere along the path when the
         window runs out.
 
+        When ``dest`` is unreachable — a severed closure cut the vehicle off
+        — the vehicle waits in place: the clock advances to ``until``
+        without movement, and the walk is retried at the next epoch (the
+        closure's end is itself an event, so the wait ends exactly when the
+        road reopens in continuous mode, or at the following window boundary
+        in window mode).
+
         The vectorised kernel (:class:`~repro.sim.advance.PathWalker`)
         meters the same edges with array cumulative sums and is bit-identical
         to the scalar reference below, which the property tests keep honest.
@@ -447,7 +530,10 @@ class Simulator:
                                until: float) -> float:
         """Scalar per-edge reference implementation of :meth:`_walk_toward`."""
         network = self.cost_model.oracle.network
-        path = self.cost_model.oracle.path(vehicle.node, dest, clock)
+        path = self.cost_model.oracle.path_or_none(vehicle.node, dest, clock)
+        if path is None:
+            # Severed off: wait in place for the road to reopen.
+            return until
         for u, v in zip(path, path[1:], strict=False):
             if clock >= until:
                 break
@@ -464,9 +550,9 @@ class Simulator:
 
 
 def simulate(scenario: Scenario, policy: AssignmentPolicy, cost_model: CostModel,
-             config: Optional[SimulationConfig] = None,
-             traffic: Optional[TrafficController] = None,
-             fleet: Optional[FleetController] = None) -> SimulationResult:
+             config: SimulationConfig | None = None,
+             traffic: TrafficController | None = None,
+             fleet: FleetController | None = None) -> SimulationResult:
     """Convenience wrapper: build a :class:`Simulator` and run it.
 
     ``traffic`` / ``fleet`` may supply explicit controllers; by default the

@@ -17,7 +17,7 @@ The metrics match Sec. V-B of the paper:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional
+from collections.abc import Iterable
 
 from repro.network.graph import time_slot
 from repro.orders.order import Order
@@ -30,11 +30,11 @@ class OrderOutcome:
 
     order: Order
     sdt: float
-    assigned_at: Optional[float] = None
-    picked_up_at: Optional[float] = None
-    delivered_at: Optional[float] = None
+    assigned_at: float | None = None
+    picked_up_at: float | None = None
+    delivered_at: float | None = None
     rejected: bool = False
-    vehicle_id: Optional[int] = None
+    vehicle_id: int | None = None
     reassignments: int = 0
     #: seconds the serving vehicle waited at the restaurant for this order
     wait_seconds: float = 0.0
@@ -54,14 +54,14 @@ class OrderOutcome:
         return self.delivered_at is not None
 
     @property
-    def delivery_duration(self) -> Optional[float]:
+    def delivery_duration(self) -> float | None:
         """Seconds between order placement and drop-off."""
         if self.delivered_at is None:
             return None
         return self.delivered_at - self.order.placed_at
 
     @property
-    def xdt(self) -> Optional[float]:
+    def xdt(self) -> float | None:
         """Extra delivery time (Def. 7) of a delivered order, else ``None``."""
         duration = self.delivery_duration
         if duration is None:
@@ -111,9 +111,9 @@ class SimulationResult:
     policy_name: str
     city_name: str
     delta: float
-    outcomes: Dict[int, OrderOutcome] = field(default_factory=dict)
-    windows: List[WindowRecord] = field(default_factory=list)
-    vehicles: List[Vehicle] = field(default_factory=list)
+    outcomes: dict[int, OrderOutcome] = field(default_factory=dict)
+    windows: list[WindowRecord] = field(default_factory=list)
+    vehicles: list[Vehicle] = field(default_factory=list)
     omega: float = 7200.0
     simulated_seconds: float = 86400.0
     #: per-cache hit/miss/size/capacity counters of the distance oracle's
@@ -121,7 +121,7 @@ class SimulationResult:
     #: counters at start and stores the deltas) — see
     #: :meth:`DistanceOracle.cache_info
     #: <repro.network.distance_oracle.DistanceOracle.cache_info>`
-    cache_stats: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    cache_stats: dict[str, dict[str, int]] = field(default_factory=dict)
 
     # ------------------------------------------------------------------ #
     # order-level metrics
@@ -131,11 +131,11 @@ class SimulationResult:
         return len(self.outcomes)
 
     @property
-    def delivered_orders(self) -> List[OrderOutcome]:
+    def delivered_orders(self) -> list[OrderOutcome]:
         return [o for o in self.outcomes.values() if o.delivered]
 
     @property
-    def rejected_orders(self) -> List[OrderOutcome]:
+    def rejected_orders(self) -> list[OrderOutcome]:
         return [o for o in self.outcomes.values() if o.rejected]
 
     @property
@@ -205,8 +205,8 @@ class SimulationResult:
     # ------------------------------------------------------------------ #
     # window-level metrics (scalability)
     # ------------------------------------------------------------------ #
-    def overflow_percentage(self, slots: Optional[Iterable[int]] = None,
-                            budget: Optional[float] = None) -> float:
+    def overflow_percentage(self, slots: Iterable[int] | None = None,
+                            budget: float | None = None) -> float:
         """Percentage of accumulation windows whose decision time exceeded Δ.
 
         ``slots`` restricts the computation to specific 1-hour timeslots
@@ -246,17 +246,17 @@ class SimulationResult:
     # ------------------------------------------------------------------ #
     # per-timeslot breakdowns (Figs. 6(i)-(k))
     # ------------------------------------------------------------------ #
-    def xdt_by_slot(self) -> Dict[int, float]:
+    def xdt_by_slot(self) -> dict[int, float]:
         """Total XDT (seconds) of delivered orders grouped by placement slot."""
-        result: Dict[int, float] = {}
+        result: dict[int, float] = {}
         for outcome in self.delivered_orders:
             slot = time_slot(outcome.order.placed_at)
             result[slot] = result.get(slot, 0.0) + (outcome.xdt or 0.0)
         return result
 
-    def waiting_by_slot(self) -> Dict[int, float]:
+    def waiting_by_slot(self) -> dict[int, float]:
         """Vehicle waiting time (seconds) attributed to the pickup's slot."""
-        result: Dict[int, float] = {}
+        result: dict[int, float] = {}
         for outcome in self.delivered_orders:
             if outcome.picked_up_at is None:
                 continue
@@ -282,7 +282,7 @@ class SimulationResult:
         return hits / lookups
 
     # ------------------------------------------------------------------ #
-    def summary(self) -> Dict[str, float]:
+    def summary(self) -> dict[str, float]:
         """Flat metric dictionary used by the experiment reports."""
         return {
             "orders": float(self.num_orders),

@@ -19,7 +19,6 @@ attached to a network that still carries overrides from an earlier run.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
 
 from repro.network.distance_oracle import DistanceOracle, TrafficRepairStats
 from repro.traffic.events import TrafficEvent, TrafficTimeline
@@ -33,13 +32,19 @@ class TrafficLog:
     changed_edges: int = 0
     repairs: int = 0
     rebuilds: int = 0
-    reports: List[TrafficRepairStats] = field(default_factory=list)
+    #: edges fully severed (factor=inf) across all updates, and the total
+    #: size of the regions those cuts disconnected (0 for slowdown-only runs)
+    severed_edges: int = 0
+    disconnected_nodes: int = 0
+    reports: list[TrafficRepairStats] = field(default_factory=list)
 
     def record(self, stats: TrafficRepairStats) -> None:
         self.advances += 1
         if stats.strategy == "noop":
             return
         self.changed_edges += stats.mutated_edges
+        self.severed_edges += stats.severed_edges
+        self.disconnected_nodes += stats.disconnected_nodes
         if stats.strategy == "repair":
             self.repairs += 1
         elif stats.strategy == "rebuild":
@@ -56,12 +61,12 @@ class TrafficController:
         # Edge factors this controller believes are applied.  Seeded from the
         # network so a fresh controller attached to a reused network clears
         # (or adopts) residual overrides instead of fighting them.
-        self._applied: Dict[Tuple[int, int], float] = (
+        self._applied: dict[tuple[int, int], float] = (
             oracle.network.edge_overrides())
         # Keyed by the (frozen, hashable) event itself: event_ids are not
         # validated unique, so they would be an ambiguous cache key.
-        self._scope_cache: Dict[TrafficEvent, Tuple[Tuple[int, int], ...]] = {}
-        self._time: Optional[float] = None
+        self._scope_cache: dict[TrafficEvent, tuple[tuple[int, int], ...]] = {}
+        self._time: float | None = None
         self.log = TrafficLog()
 
     @property
@@ -73,15 +78,15 @@ class TrafficController:
         return self._timeline
 
     @property
-    def time(self) -> Optional[float]:
+    def time(self) -> float | None:
         """Timestamp of the last :meth:`advance` (``None`` before the first)."""
         return self._time
 
-    def active_events(self, t: float) -> List[TrafficEvent]:
+    def active_events(self, t: float) -> list[TrafficEvent]:
         """Events in force at ``t`` (delegates to the timeline)."""
         return self._timeline.active_at(t)
 
-    def _scope(self, event: TrafficEvent) -> Tuple[Tuple[int, int], ...]:
+    def _scope(self, event: TrafficEvent) -> tuple[tuple[int, int], ...]:
         """Memoised edge scope of an event (zone expansion is a Dijkstra)."""
         cached = self._scope_cache.get(event)
         if cached is None:
@@ -89,13 +94,13 @@ class TrafficController:
             self._scope_cache[event] = cached
         return cached
 
-    def desired_overrides(self, t: float) -> Dict[Tuple[int, int], float]:
+    def desired_overrides(self, t: float) -> dict[tuple[int, int], float]:
         """Per-edge factors implied by the events active at ``t``.
 
         Overlapping events compose multiplicatively per edge; edges under no
         active event are absent (factor ``1.0``).
         """
-        desired: Dict[Tuple[int, int], float] = {}
+        desired: dict[tuple[int, int], float] = {}
         for event in self._timeline.active_at(t):
             for edge in self._scope(event):
                 desired[edge] = desired.get(edge, 1.0) * event.factor
@@ -110,7 +115,7 @@ class TrafficController:
         inside it is a no-op.
         """
         desired = self.desired_overrides(now)
-        changes: Dict[Tuple[int, int], float] = {}
+        changes: dict[tuple[int, int], float] = {}
         for edge, factor in desired.items():
             if self._applied.get(edge, 1.0) != factor:
                 changes[edge] = factor

@@ -11,10 +11,15 @@ typed :class:`TrafficEvent` objects that scale the traversal time of a
 ``incident``
     A crash or obstruction on a handful of specific edges; strong slowdown.
 ``closure``
-    A road made effectively impassable.  Closures keep a huge-but-finite
-    factor (:data:`CLOSURE_FACTOR`) instead of removing the edge so the
-    graph stays strongly connected and incremental index repair remains
-    well-defined; quickest paths route around closed edges in practice.
+    A road made impassable.  A plain closure keeps a huge-but-finite factor
+    (:data:`CLOSURE_FACTOR`), so the graph stays strongly connected and a
+    quickest path routes around the closed edge whenever any detour exists.
+    A **severed** closure (``factor=math.inf``) removes the edge outright:
+    its effective weight becomes infinite, the distance stack repairs around
+    the missing edge connectivity-aware (labels of nodes that lost
+    reachability shrink to their reachable hubs), pairs split across the cut
+    report infinite distance, and vehicles caught behind the cut wait in
+    place until the closure lifts.  Only closures may sever.
 ``rush_hour``
     A zonal slowdown: every edge inside a travel-time ball around a centre
     node slows down (a commercial district at lunch, a stadium letting out).
@@ -35,7 +40,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Iterator, List, Optional, Tuple
+from collections.abc import Iterator
 
 from repro.network.graph import RoadNetwork
 from repro.network.shortest_path import dijkstra_all
@@ -65,9 +70,9 @@ class TrafficEvent:
     kind: str
     start: float
     end: float
-    factor: Optional[float] = None
-    edges: Tuple[Tuple[int, int], ...] = ()
-    zone_center: Optional[int] = None
+    factor: float | None = None
+    edges: tuple[tuple[int, int], ...] = ()
+    zone_center: int | None = None
     zone_radius_seconds: float = 0.0
 
     def __post_init__(self) -> None:
@@ -82,8 +87,11 @@ class TrafficEvent:
             if self.kind != "closure":
                 raise ValueError(f"{self.kind} events require an explicit factor")
             object.__setattr__(self, "factor", CLOSURE_FACTOR)
-        if not self.factor > 0.0 or math.isinf(self.factor):
-            raise ValueError("traffic event factor must be finite and positive")
+        if not self.factor > 0.0:
+            raise ValueError("traffic event factor must be positive")
+        if math.isinf(self.factor) and self.kind != "closure":
+            raise ValueError("only closure events may sever edges "
+                             f"(factor=inf on a {self.kind} event)")
         has_edges = bool(self.edges)
         has_zone = self.zone_center is not None
         if has_edges == has_zone:
@@ -94,11 +102,16 @@ class TrafficEvent:
         object.__setattr__(self, "edges",
                            tuple((int(u), int(v)) for u, v in self.edges))
 
+    @property
+    def severs(self) -> bool:
+        """Whether this event fully severs its edges (infinite weight)."""
+        return math.isinf(self.factor)
+
     def is_active(self, t: float) -> bool:
         """Whether the event is in force at timestamp ``t``."""
         return self.start <= t < self.end
 
-    def scope_edges(self, network: RoadNetwork) -> Tuple[Tuple[int, int], ...]:
+    def scope_edges(self, network: RoadNetwork) -> tuple[tuple[int, int], ...]:
         """The directed edges the event touches on ``network``.
 
         Explicit edges are filtered to those present in the network (a
@@ -127,7 +140,7 @@ class TrafficEvent:
 class TrafficTimeline:
     """An immutable day-long schedule of traffic events, sorted by start."""
 
-    events: Tuple[TrafficEvent, ...] = ()
+    events: tuple[TrafficEvent, ...] = ()
 
     def __post_init__(self) -> None:
         ordered = tuple(sorted(self.events,
@@ -135,7 +148,7 @@ class TrafficTimeline:
         object.__setattr__(self, "events", ordered)
 
     @classmethod
-    def empty(cls) -> "TrafficTimeline":
+    def empty(cls) -> TrafficTimeline:
         return cls(())
 
     def __bool__(self) -> bool:
@@ -147,17 +160,17 @@ class TrafficTimeline:
     def __iter__(self) -> Iterator[TrafficEvent]:
         return iter(self.events)
 
-    def active_at(self, t: float) -> List[TrafficEvent]:
+    def active_at(self, t: float) -> list[TrafficEvent]:
         """Events in force at timestamp ``t`` (sorted by start time)."""
         return [event for event in self.events if event.is_active(t)]
 
-    def boundaries(self) -> List[float]:
+    def boundaries(self) -> list[float]:
         """Sorted unique event start/end times (the controller's change points)."""
         times = {event.start for event in self.events}
         times.update(event.end for event in self.events)
         return sorted(times)
 
-    def next_change_after(self, t: float) -> Optional[float]:
+    def next_change_after(self, t: float) -> float | None:
         """Earliest boundary strictly after ``t``; ``None`` when the day is done."""
         for boundary in self.boundaries():
             if boundary > t:

@@ -22,14 +22,14 @@ ratio ordering of the figure (B > C > A) holds.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Tuple
+from collections.abc import Callable
 
 from repro.network.generators import grid_city, radial_city, random_geometric_city
 from repro.network.graph import RoadNetwork
 
 
 def _two_peak_weights(base: float = 0.4, lunch: float = 3.0, dinner: float = 3.5,
-                      night: float = 0.08) -> Tuple[float, ...]:
+                      night: float = 0.08) -> tuple[float, ...]:
     """Hourly order-arrival weights with lunch (12-14h) and dinner (19-22h) peaks."""
     weights = []
     for hour in range(24):
@@ -76,12 +76,12 @@ class CityProfile:
     orders_per_day: int
     mean_prep_minutes: float
     prep_std_minutes: float = 2.0
-    hourly_weights: Tuple[float, ...] = field(default_factory=_two_peak_weights)
+    hourly_weights: tuple[float, ...] = field(default_factory=_two_peak_weights)
     delivery_radius_seconds: float = 1200.0
     accumulation_window: float = 180.0
     restaurant_hotspots: int = 4
 
-    def scaled(self, scale: float) -> "CityProfile":
+    def scaled(self, scale: float) -> CityProfile:
         """Return a copy with order/vehicle/restaurant counts scaled by ``scale``.
 
         Used by tests and benchmarks to shrink a profile while keeping its
@@ -103,7 +103,7 @@ class CityProfile:
             restaurant_hotspots=self.restaurant_hotspots,
         )
 
-    def with_vehicles(self, num_vehicles: int) -> "CityProfile":
+    def with_vehicles(self, num_vehicles: int) -> CityProfile:
         """Return a copy with a different fleet size (vehicle-sweep experiments)."""
         return CityProfile(
             name=self.name,
@@ -175,7 +175,7 @@ GRUBHUB = CityProfile(
     restaurant_hotspots=2,
 )
 
-CITY_PROFILES: Dict[str, CityProfile] = {
+CITY_PROFILES: dict[str, CityProfile] = {
     profile.name: profile for profile in (CITY_A, CITY_B, CITY_C, GRUBHUB)
 }
 

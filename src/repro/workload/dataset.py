@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
 
 from repro.network.graph import SECONDS_PER_HOUR
 from repro.workload.generator import Scenario
@@ -48,13 +47,13 @@ def summarize_scenario(scenario: Scenario) -> DatasetSummary:
     )
 
 
-def order_vehicle_ratio_by_slot(scenario: Scenario) -> List[float]:
+def order_vehicle_ratio_by_slot(scenario: Scenario) -> list[float]:
     """Order-to-vehicle ratio per 1-hour slot (the series plotted in Fig. 6(a)).
 
     The denominator is the number of vehicles on duty during the slot; the
     numerator is the number of orders placed in it.
     """
-    ratios: List[float] = []
+    ratios: list[float] = []
     for hour in range(24):
         start = hour * SECONDS_PER_HOUR
         end = start + SECONDS_PER_HOUR
@@ -65,7 +64,7 @@ def order_vehicle_ratio_by_slot(scenario: Scenario) -> List[float]:
     return ratios
 
 
-def peak_slots(scenario: Scenario, top: int = 6) -> List[int]:
+def peak_slots(scenario: Scenario, top: int = 6) -> list[int]:
     """The ``top`` busiest 1-hour slots (lunch/dinner under the default profile)."""
     ratios = order_vehicle_ratio_by_slot(scenario)
     return sorted(range(24), key=lambda h: ratios[h], reverse=True)[:top]

@@ -18,9 +18,10 @@ evaluation exercises:
 
 from __future__ import annotations
 
+import math
 import random
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field, replace
+from collections.abc import Sequence
 
 from repro.fleet.behavior import DriverBehavior
 from repro.fleet.controller import FleetPlan
@@ -46,7 +47,7 @@ class Restaurant:
     restaurant_id: int
     node: int
     popularity: float
-    prep_mean_by_hour: Tuple[float, ...]
+    prep_mean_by_hour: tuple[float, ...]
     prep_std: float
 
     def sample_prep_time(self, hour: int, rng: random.Random) -> float:
@@ -71,22 +72,22 @@ class Scenario:
 
     profile: CityProfile
     network: RoadNetwork
-    restaurants: List[Restaurant]
-    orders: List[Order]
-    vehicles: List[Vehicle]
+    restaurants: list[Restaurant]
+    orders: list[Order]
+    vehicles: list[Vehicle]
     seed: int
     traffic: TrafficTimeline = field(default_factory=TrafficTimeline.empty)
-    fleet: Optional[FleetPlan] = None
+    fleet: FleetPlan | None = None
 
     @property
     def name(self) -> str:
         return self.profile.name
 
-    def orders_between(self, start: float, end: float) -> List[Order]:
+    def orders_between(self, start: float, end: float) -> list[Order]:
         """Orders placed in the half-open interval ``[start, end)``."""
         return [order for order in self.orders if start <= order.placed_at < end]
 
-    def fresh_vehicles(self) -> List[Vehicle]:
+    def fresh_vehicles(self) -> list[Vehicle]:
         """Return an unused copy of the fleet (vehicles are mutable)."""
         return [Vehicle(vehicle_id=v.vehicle_id, node=v.node, shift_start=v.shift_start,
                         shift_end=v.shift_end, max_orders=v.max_orders, max_items=v.max_items)
@@ -94,11 +95,11 @@ class Scenario:
 
 
 def generate_restaurants(network: RoadNetwork, profile: CityProfile,
-                         rng: random.Random) -> List[Restaurant]:
+                         rng: random.Random) -> list[Restaurant]:
     """Place restaurants in spatial hot spots with Zipf-like popularity."""
     nodes = network.nodes
     hotspot_centers = rng.sample(nodes, min(profile.restaurant_hotspots, len(nodes)))
-    restaurants: List[Restaurant] = []
+    restaurants: list[Restaurant] = []
     prep_mean_base = profile.mean_prep_minutes * 60.0
     for idx in range(profile.num_restaurants):
         center = hotspot_centers[idx % len(hotspot_centers)]
@@ -135,7 +136,7 @@ def _node_near(network: RoadNetwork, center: int, rng: random.Random,
 
 def generate_orders(network: RoadNetwork, restaurants: Sequence[Restaurant],
                     profile: CityProfile, rng: random.Random,
-                    start_hour: int = 0, end_hour: int = 24) -> List[Order]:
+                    start_hour: int = 0, end_hour: int = 24) -> list[Order]:
     """Generate a day's order stream following the profile's hourly weights.
 
     The expected number of orders per hour is ``orders_per_day`` split
@@ -151,8 +152,8 @@ def generate_orders(network: RoadNetwork, restaurants: Sequence[Restaurant],
     total_weight = sum(weights)
     if total_weight <= 0 or not hours:
         return []
-    reachable_cache: Dict[int, List[int]] = {}
-    orders: List[Order] = []
+    reachable_cache: dict[int, list[int]] = {}
+    orders: list[Order] = []
     order_id = 0
     popularity_total = sum(r.popularity for r in restaurants)
     for hour in hours:
@@ -204,7 +205,7 @@ def _pick_restaurant(restaurants: Sequence[Restaurant], popularity_total: float,
 
 
 def _pick_customer(network: RoadNetwork, restaurant_node: int, radius_seconds: float,
-                   cache: Dict[int, List[int]], rng: random.Random) -> int:
+                   cache: dict[int, list[int]], rng: random.Random) -> int:
     """Pick a customer node within ``radius_seconds`` travel of the restaurant."""
     candidates = cache.get(restaurant_node)
     if candidates is None:
@@ -219,37 +220,55 @@ def _pick_customer(network: RoadNetwork, restaurant_node: int, radius_seconds: f
 
 #: Named traffic intensities accepted by :func:`generate_traffic_timeline`
 #: and the CLI ``--traffic`` flag, as events-per-simulated-hour scale factors.
-TRAFFIC_INTENSITIES = {"none": 0.0, "light": 1.0, "heavy": 3.0}
+#: Numeric values are accepted everywhere a name is (the *event density*
+#: knob the ``event_density`` sweep exercises).  ``severe`` runs the
+#: ``heavy`` event mix but fully severs half of its closures
+#: (``factor=inf`` — the roads genuinely disappear instead of slowing).
+TRAFFIC_INTENSITIES = {"none": 0.0, "light": 1.0, "heavy": 3.0, "severe": 3.0}
+
+#: Fraction of generated closures that fully sever, per named intensity.
+_SEVER_FRACTIONS = {"severe": 0.5}
 
 
 def generate_traffic_timeline(network: RoadNetwork, rng: random.Random,
                               intensity: str = "light",
                               start_hour: int = 0, end_hour: int = 24,
+                              sever_fraction: float | None = None,
                               ) -> TrafficTimeline:
     """Generate a day's dynamic-traffic event timeline for a network.
 
     ``intensity`` is a named level from :data:`TRAFFIC_INTENSITIES` (or a
-    numeric scale).  The mix follows what city traffic feeds report: mostly
-    short localised incidents, occasional closures, zonal rush-hour slowdowns
-    around busy nodes, and (at higher intensities) wide weather slowdowns.
-    All draws come from ``rng``, so timelines are deterministic under the
-    workload seed.
+    numeric events-per-hour scale — the sweepable *event density* knob).
+    The mix follows what city traffic feeds report: mostly short localised
+    incidents, occasional closures, zonal rush-hour slowdowns around busy
+    nodes, and (at higher intensities) wide weather slowdowns.
+    ``sever_fraction`` turns that share of the generated closures into
+    *severed* closures (``factor=inf``); it defaults to the named
+    intensity's convention (only ``severe`` severs).  The severing draws
+    happen after every event draw, so timelines at ``sever_fraction=0`` are
+    bit-identical to the pre-severing generator.  All draws come from
+    ``rng``, so timelines are deterministic under the workload seed.
     """
-    scale = (TRAFFIC_INTENSITIES[intensity] if isinstance(intensity, str)
-             else float(intensity))
+    if isinstance(intensity, str):
+        scale = TRAFFIC_INTENSITIES[intensity]
+        if sever_fraction is None:
+            sever_fraction = _SEVER_FRACTIONS.get(intensity, 0.0)
+    else:
+        scale = float(intensity)
+    sever_fraction = sever_fraction or 0.0
     hours = max(0, end_hour - start_hour)
     edges = [(u, v) for u, v, _ in network.edges()]
     if scale <= 0.0 or hours == 0 or not edges:
         return TrafficTimeline.empty()
     window = (start_hour * SECONDS_PER_HOUR, end_hour * SECONDS_PER_HOUR)
     nodes = network.nodes
-    events: List[TrafficEvent] = []
+    events: list[TrafficEvent] = []
 
     def begin(duration: float) -> float:
         latest = max(window[0], window[1] - duration)
         return rng.uniform(window[0], latest)
 
-    def both_directions(u: int, v: int) -> Tuple[Tuple[int, int], ...]:
+    def both_directions(u: int, v: int) -> tuple[tuple[int, int], ...]:
         scope = [(u, v)]
         if network.has_edge(v, u):
             scope.append((v, u))
@@ -283,6 +302,13 @@ def generate_traffic_timeline(network: RoadNetwork, rng: random.Random,
             start=(start := begin(duration)), end=start + duration,
             factor=rng.uniform(1.15, 1.4), zone_center=rng.choice(nodes),
             zone_radius_seconds=1200.0))
+    if sever_fraction > 0.0:
+        # Drawn strictly after every event draw so lower intensities (and
+        # sever_fraction=0) replay the exact pre-severing event stream.
+        events = [replace(event, factor=math.inf)
+                  if event.kind == "closure" and rng.random() < sever_fraction
+                  else event
+                  for event in events]
     return TrafficTimeline(tuple(events))
 
 
@@ -297,7 +323,7 @@ FLEET_MODES = ("none", "shifts", "full")
 def generate_fleet_plan(network: RoadNetwork, vehicles: Sequence[Vehicle],
                         rng: random.Random, mode: str = "none",
                         start_hour: int = 0, end_hour: int = 24,
-                        ) -> Tuple[Optional[FleetPlan], List[Vehicle]]:
+                        ) -> tuple[FleetPlan | None, list[Vehicle]]:
     """Generate a day's driver-lifecycle plan for an existing fleet.
 
     Returns ``(plan, reserve_vehicles)``: the reserves are *extra* vehicles
@@ -340,7 +366,7 @@ def generate_fleet_plan(network: RoadNetwork, vehicles: Sequence[Vehicle],
         latest = max(start, end - duration)
         return rng.uniform(start, latest)
 
-    events: List[FleetEvent] = []
+    events: list[FleetEvent] = []
     for _ in range(max(1, round(hours / 3))):
         duration = min(horizon, rng.uniform(1800.0, 5400.0))
         events.append(FleetEvent(
@@ -366,7 +392,7 @@ def generate_fleet_plan(network: RoadNetwork, vehicles: Sequence[Vehicle],
 
 
 def generate_vehicles(network: RoadNetwork, profile: CityProfile,
-                      rng: random.Random) -> List[Vehicle]:
+                      rng: random.Random) -> list[Vehicle]:
     """Create the vehicle fleet, spread over the network with all-day shifts.
 
     The paper sets a vehicle's initial position to its first GPS ping of the
@@ -375,7 +401,7 @@ def generate_vehicles(network: RoadNetwork, profile: CityProfile,
     is essentially constant, as assumed by the order/vehicle-ratio figure.
     """
     nodes = network.nodes
-    vehicles: List[Vehicle] = []
+    vehicles: list[Vehicle] = []
     for idx in range(profile.num_vehicles):
         node = rng.choice(nodes)
         shift_start = rng.uniform(0.0, 1.0) * SECONDS_PER_HOUR * 0.5
@@ -390,15 +416,18 @@ def generate_vehicles(network: RoadNetwork, profile: CityProfile,
 
 def generate_scenario(profile: CityProfile, seed: int = 0,
                       start_hour: int = 0, end_hour: int = 24,
-                      traffic: str = "none", fleet: str = "none") -> Scenario:
+                      traffic: str | float = "none",
+                      fleet: str = "none") -> Scenario:
     """Materialise a complete scenario for a city profile.
 
     ``start_hour`` / ``end_hour`` restrict the generated order stream (the
     experiments frequently simulate only the lunch window to keep runtimes
     reasonable); the fleet and restaurants are always generated in full.
     ``traffic`` selects a dynamic-traffic intensity from
-    :data:`TRAFFIC_INTENSITIES` (``"none"`` keeps the network static, as in
-    earlier revisions); ``fleet`` selects a driver-lifecycle mode from
+    :data:`TRAFFIC_INTENSITIES` — or a numeric events-per-hour density, the
+    knob the ``event_density`` sweep varies — (``"none"`` keeps the network
+    static, as in earlier revisions); ``fleet`` selects a driver-lifecycle
+    mode from
     :data:`FLEET_MODES` (``"none"`` keeps the static always-online fleet).
     Both draw from seeds derived from the workload seed, so the base
     scenario content is identical across traffic/fleet modes.

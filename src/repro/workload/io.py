@@ -14,8 +14,8 @@ from __future__ import annotations
 
 import csv
 import json
+import math
 import pathlib
-from typing import Dict, List, Union
 
 from repro.fleet.behavior import behavior_from_dict, behavior_to_dict
 from repro.fleet.controller import FleetPlan
@@ -28,20 +28,37 @@ from repro.traffic.events import TrafficEvent, TrafficTimeline
 from repro.workload.city import CITY_PROFILES, CityProfile
 from repro.workload.generator import Restaurant, Scenario
 
-PathLike = Union[str, pathlib.Path]
+PathLike = str | pathlib.Path
 
 #: Version 2 added the optional dynamic-traffic event timeline; version 3
 #: added the optional driver-lifecycle fleet plan (shift schedules, supply
-#: events, behaviour model).  Older documents (no ``traffic`` / ``fleet``
-#: key) still load as static scenarios.
-_FORMAT_VERSION = 3
-_SUPPORTED_VERSIONS = (1, 2, 3)
+#: events, behaviour model); version 4 added *severed* closures (a traffic
+#: event whose ``sever`` flag marks an infinite factor — JSON has no inf, so
+#: the factor is stored as ``null``) and strict finite-epoch validation of
+#: every event timestamp and duty block on load.  Older documents (no
+#: ``traffic`` / ``fleet`` key, no ``sever`` flag) still load unchanged.
+_FORMAT_VERSION = 4
+_SUPPORTED_VERSIONS = (1, 2, 3, 4)
+
+
+def _finite(value: object, context: str) -> float:
+    """Coerce a JSON number to a finite float, naming the offender.
+
+    The event/schedule constructors validate finiteness too, but a malformed
+    document should fail with the JSON location (which event, which vehicle)
+    rather than a bare constructor message — and the check must hold even if
+    a future constructor grows laxer.
+    """
+    number = float(value)  # type: ignore[arg-type]
+    if not math.isfinite(number):
+        raise ValueError(f"{context} must be finite (got {number})")
+    return number
 
 
 # --------------------------------------------------------------------------- #
 # scenario serialisation
 # --------------------------------------------------------------------------- #
-def scenario_to_dict(scenario: Scenario) -> Dict:
+def scenario_to_dict(scenario: Scenario) -> dict:
     """Convert a scenario into a JSON-serialisable dictionary."""
     network = scenario.network
     return {
@@ -92,7 +109,10 @@ def scenario_to_dict(scenario: Scenario) -> Dict:
                 "kind": e.kind,
                 "start": e.start,
                 "end": e.end,
-                "factor": e.factor,
+                # JSON has no infinity: a severed closure stores a null
+                # factor plus the sever flag (format v4).
+                "factor": None if e.severs else e.factor,
+                "sever": e.severs,
                 "edges": [[u, v] for u, v in e.edges],
                 "zone_center": e.zone_center,
                 "zone_radius_seconds": e.zone_radius_seconds,
@@ -103,7 +123,7 @@ def scenario_to_dict(scenario: Scenario) -> Dict:
     }
 
 
-def _fleet_plan_to_dict(plan) -> Union[Dict, None]:
+def _fleet_plan_to_dict(plan) -> dict | None:
     """Serialise an optional :class:`~repro.fleet.controller.FleetPlan`."""
     if plan is None:
         return None
@@ -132,21 +152,26 @@ def _fleet_plan_to_dict(plan) -> Union[Dict, None]:
     }
 
 
-def _fleet_plan_from_dict(payload: Union[Dict, None]) -> Union[FleetPlan, None]:
+def _fleet_plan_from_dict(payload: dict | None) -> FleetPlan | None:
     """Rebuild an optional fleet plan (inverse of :func:`_fleet_plan_to_dict`)."""
     if payload is None:
         return None
+    # Epochs are validated *here*, with the JSON location in the message:
+    # a NaN smuggled into a duty block or event window must name the vehicle
+    # or event it rode in on, mirroring TrafficEvent's own start/end checks.
     schedules = {
         int(vehicle_id): ShiftSchedule(tuple(
-            (float(start), float(end)) for start, end in blocks))
+            (_finite(start, f"shift block start of vehicle {vehicle_id}"),
+             _finite(end, f"shift block end of vehicle {vehicle_id}"))
+            for start, end in blocks))
         for vehicle_id, blocks in payload["schedules"].items()
     }
     timeline = FleetTimeline(tuple(
         FleetEvent(
             event_id=int(e["event_id"]),
             kind=str(e["kind"]),
-            start=float(e["start"]),
-            end=float(e["end"]),
+            start=_finite(e["start"], f"fleet event {e['event_id']} start"),
+            end=_finite(e["end"], f"fleet event {e['event_id']} end"),
             count=int(e["count"]),
             fraction=float(e["fraction"]),
             zone_center=None if e["zone_center"] is None else int(e["zone_center"]),
@@ -164,7 +189,7 @@ def _fleet_plan_from_dict(payload: Union[Dict, None]) -> Union[FleetPlan, None]:
     )
 
 
-def scenario_from_dict(payload: Dict) -> Scenario:
+def scenario_from_dict(payload: dict) -> Scenario:
     """Rebuild a scenario from :func:`scenario_to_dict` output.
 
     The city profile is looked up by name in the built-in registry; unknown
@@ -219,9 +244,9 @@ def scenario_from_dict(payload: Dict) -> Scenario:
         TrafficEvent(
             event_id=int(e["event_id"]),
             kind=str(e["kind"]),
-            start=float(e["start"]),
-            end=float(e["end"]),
-            factor=float(e["factor"]),
+            start=_finite(e["start"], f"traffic event {e['event_id']} start"),
+            end=_finite(e["end"], f"traffic event {e['event_id']} end"),
+            factor=math.inf if e.get("sever") else float(e["factor"]),
             edges=tuple((int(u), int(v)) for u, v in e["edges"]),
             zone_center=None if e["zone_center"] is None else int(e["zone_center"]),
             zone_radius_seconds=float(e["zone_radius_seconds"]),
@@ -251,14 +276,14 @@ def save_scenario(scenario: Scenario, path: PathLike) -> None:
 
 def load_scenario(path: PathLike) -> Scenario:
     """Read a scenario previously written with :func:`save_scenario`."""
-    with open(path, "r", encoding="utf-8") as handle:
+    with open(path, encoding="utf-8") as handle:
         return scenario_from_dict(json.load(handle))
 
 
 # --------------------------------------------------------------------------- #
 # result serialisation
 # --------------------------------------------------------------------------- #
-def result_to_dict(result: SimulationResult) -> Dict:
+def result_to_dict(result: SimulationResult) -> dict:
     """Convert a simulation result into a JSON-serialisable dictionary."""
     return {
         "format_version": _FORMAT_VERSION,
@@ -311,7 +336,7 @@ def save_result_csv(result: SimulationResult, path: PathLike) -> None:
     fields = ["order_id", "placed_at", "sdt", "assigned_at", "picked_up_at",
               "delivered_at", "rejected", "vehicle_id", "reassignments",
               "offer_rejections", "handoffs", "xdt"]
-    rows: List[Dict] = result_to_dict(result)["orders"]
+    rows: list[dict] = result_to_dict(result)["orders"]
     with open(path, "w", encoding="utf-8", newline="") as handle:
         writer = csv.DictWriter(handle, fieldnames=fields)
         writer.writeheader()

@@ -12,6 +12,7 @@ from repro.experiments.runner import ExperimentSetting, PolicySpec
 from repro.experiments.sweeps import (
     sweep_delta,
     sweep_eta,
+    sweep_event_density,
     sweep_gamma,
     sweep_k,
     sweep_vehicles,
@@ -55,6 +56,13 @@ class TestSweeps:
         sweep = sweep_eta(tiny_setting, etas=(30.0, 120.0))
         assert sweep.parameter == "eta"
         assert set(sweep.metrics) == {30.0, 120.0}
+
+    def test_event_density_sweep_runs_continuous_cells(self, tiny_setting):
+        sweep = sweep_event_density(tiny_setting, PolicySpec.of("km"),
+                                    densities=(0.0, 2.0))
+        assert sweep.parameter == "event_density"
+        assert sweep.values == [0.0, 2.0]
+        assert len(sweep.series("xdt_hours_per_day")) == 2
 
     def test_delta_sweep(self, tiny_setting):
         sweep = sweep_delta(tiny_setting, PolicySpec.of("km"), deltas=(120.0, 240.0))

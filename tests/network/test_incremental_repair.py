@@ -198,9 +198,92 @@ class TestIncrementalRepair:
         for _step in range(3):
             changes = {}
             for edge in rng.sample(edges, rng.randint(1, 3)):
-                changes[edge] = rng.choice([0.25, 0.5, 1.0, 2.0, 8.0, 600.0])
+                changes[edge] = rng.choice([0.25, 0.5, 1.0, 2.0, 8.0, 600.0,
+                                            math.inf])
             # interleave queries so caches are warm when mutations land
             for _ in range(10):
                 oracle.distance(rng.choice(nodes), rng.choice(nodes), 0.0)
             oracle.apply_traffic_updates(changes)
         assert_matches_rebuild(oracle, net, sample_pairs=40, seed=seed)
+
+
+def bridge_network():
+    """Two 4-node cliques joined by a single two-way bridge (3 <-> 4)."""
+    from repro.network.graph import RoadNetwork
+
+    net = RoadNetwork(TimeProfile.flat())
+    for node in range(8):
+        net.add_node(node, 0.0, 0.01 * node)
+    for cluster in (range(4), range(4, 8)):
+        members = list(cluster)
+        for i, u in enumerate(members):
+            for v in members[i + 1:]:
+                net.add_road(u, v, 60.0)
+    net.add_road(3, 4, 90.0)
+    return net
+
+
+class TestSeveredClosures:
+    """Severing (factor=inf) must stay exact through repair and reopening."""
+
+    def test_severed_edge_matches_rebuild(self):
+        net = fresh_network(seed=13)
+        oracle = DistanceOracle(net, method="hub_label")
+        u, v, _ = next(iter(net.edges()))
+        stats = oracle.apply_traffic_updates({(u, v): math.inf,
+                                              (v, u): math.inf})
+        assert stats.severed_edges == sum(
+            1 for edge in [(u, v), (v, u)] if net.has_edge(*edge))
+        assert_matches_rebuild(oracle, net, seed=4)
+
+    def test_severed_edge_never_appears_on_any_returned_path(self):
+        net = fresh_network(seed=17)
+        oracle = DistanceOracle(net, method="hub_label")
+        rng = random.Random(5)
+        nodes = net.nodes
+        # Sever a handful of (two-way) streets, then expand many paths.
+        severed = set()
+        for u, v, _ in rng.sample(list(net.edges()), 5):
+            severed.add((u, v))
+            if net.has_edge(v, u):
+                severed.add((v, u))
+        oracle.apply_traffic_updates(dict.fromkeys(severed, math.inf))
+        for _ in range(120):
+            s, t = rng.choice(nodes), rng.choice(nodes)
+            path = oracle.path_or_none(s, t)
+            if path is None:
+                assert math.isinf(dijkstra(net, s, t, 0.0))
+                continue
+            for edge in zip(path, path[1:], strict=False):
+                assert edge not in severed, \
+                    f"path {s}->{t} crosses severed edge {edge}"
+
+    def test_cut_disconnects_and_reopen_restores(self):
+        net = bridge_network()
+        oracle = DistanceOracle(net, method="hub_label")
+        # Warm caches across the bridge so reopening must evict them.
+        assert oracle.distance(0, 7, 0.0) < math.inf
+        assert oracle.path(0, 7)
+
+        stats = oracle.apply_traffic_updates({(3, 4): math.inf,
+                                              (4, 3): math.inf})
+        assert stats.severed_edges == 2
+        # Every node lost reachability to/from the far side of the cut.
+        assert stats.disconnected_nodes == 8
+        assert math.isinf(oracle.distance(0, 7, 0.0))
+        assert oracle.path_or_none(0, 7) is None
+        with pytest.raises(ValueError, match="no path"):
+            oracle.path(0, 7)
+        # Within each side distances are untouched.
+        assert oracle.distance(0, 3, 0.0) == pytest.approx(
+            dijkstra(net, 0, 3, 0.0))
+        assert_matches_rebuild(oracle, net, sample_pairs=40, seed=6)
+
+        reopen = oracle.apply_traffic_updates({(3, 4): 1.0, (4, 3): 1.0})
+        assert reopen.severed_edges == 0
+        assert reopen.disconnected_nodes == 0
+        assert oracle.distance(0, 7, 0.0) == pytest.approx(
+            dijkstra(net, 0, 7, 0.0))
+        path = oracle.path(0, 7)
+        assert (3, 4) in set(zip(path, path[1:], strict=False))
+        assert_matches_rebuild(oracle, net, sample_pairs=40, seed=7)

@@ -21,7 +21,7 @@ from repro.orders.order import Order
 from repro.orders.route_plan import best_route_plan, best_route_plan_vectorized
 
 
-@functools.lru_cache(maxsize=None)
+@functools.cache
 def _oracle(seed: int) -> DistanceOracle:
     network = random_geometric_city(num_nodes=40, seed=seed)
     network.profile = TimeProfile.urban_peaks()

@@ -1,0 +1,170 @@
+"""Unit tests for the continuous-time event clock (:mod:`repro.sim.clock`)."""
+
+import math
+
+import pytest
+
+from repro.fleet.controller import FleetPlan
+from repro.fleet.shifts import FleetEvent, FleetTimeline, ShiftSchedule
+from repro.orders.vehicle import Vehicle
+from repro.sim.clock import (
+    EventClock,
+    align_fleet_plan,
+    align_traffic_timeline,
+)
+from repro.traffic.events import TrafficEvent, TrafficTimeline
+
+
+def incident(event_id=0, start=100.0, end=200.0):
+    return TrafficEvent(event_id, "incident", start, end, factor=2.0,
+                        edges=((0, 1),))
+
+
+class TestTotalOrder:
+    def test_events_pop_in_time_order(self):
+        clock = EventClock()
+        clock.push(300.0, "traffic")
+        clock.push(100.0, "fleet")
+        clock.push(200.0, "traffic")
+        assert [e.time for e in clock.pop_due(math.inf)] == [100.0, 200.0, 300.0]
+
+    def test_same_timestamp_traffic_before_fleet(self):
+        clock = EventClock()
+        clock.push(100.0, "fleet")
+        clock.push(100.0, "traffic")
+        sources = [e.source for e in clock.pop_due(math.inf)]
+        assert sources == ["traffic", "fleet"]
+
+    def test_same_source_same_time_keeps_insertion_order(self):
+        clock = EventClock()
+        first = clock.push(100.0, "traffic")
+        second = clock.push(100.0, "traffic")
+        assert first.seq < second.seq
+        assert [e.seq for e in clock.pop_due(math.inf)] == [first.seq, second.seq]
+
+    def test_push_rejects_unknown_source_and_non_finite_time(self):
+        clock = EventClock()
+        with pytest.raises(ValueError, match="unknown event source"):
+            clock.push(10.0, "weather-service")
+        with pytest.raises(ValueError, match="must be finite"):
+            clock.push(float("nan"), "traffic")
+
+
+class TestDraining:
+    def test_pop_due_is_strictly_before(self):
+        clock = EventClock()
+        clock.push(100.0, "traffic")
+        clock.push(200.0, "traffic")
+        assert [e.time for e in clock.pop_due(200.0)] == [100.0]
+        assert clock.peek_time() == 200.0
+
+    def test_discard_through_is_inclusive(self):
+        clock = EventClock()
+        clock.push(100.0, "traffic")
+        clock.push(100.0, "fleet")
+        clock.push(150.0, "fleet")
+        assert clock.discard_through(100.0) == 2
+        assert clock.peek_time() == 150.0
+
+    def test_pop_groups_groups_equal_timestamps(self):
+        clock = EventClock()
+        clock.push(100.0, "fleet")
+        clock.push(100.0, "traffic")
+        clock.push(150.0, "traffic")
+        groups = clock.pop_groups(1000.0)
+        assert [(t, [e.source for e in events]) for t, events in groups] == [
+            (100.0, ["traffic", "fleet"]), (150.0, ["traffic"])]
+        assert not clock
+
+
+class TestFromTimelines:
+    def test_traffic_boundaries_become_events(self):
+        timeline = TrafficTimeline((incident(0, 100.0, 250.0),))
+        clock = EventClock.from_timelines(traffic=timeline, start=0.0, end=1000.0)
+        assert [e.time for e in clock.pop_due(math.inf)] == [100.0, 250.0]
+
+    def test_horizon_is_open_on_both_ends(self):
+        timeline = TrafficTimeline((incident(0, 0.0, 500.0),
+                                    incident(1, 250.0, 1000.0)))
+        clock = EventClock.from_timelines(traffic=timeline, start=0.0, end=1000.0)
+        # 0.0 (= start) is covered by the first boundary advance; 1000.0
+        # (= end) never takes effect — only the interior epochs queue.
+        assert [e.time for e in clock.pop_due(math.inf)] == [250.0, 500.0]
+
+    def test_fleet_change_points_cover_schedules_events_and_seed_shifts(self):
+        plan = FleetPlan(
+            schedules={1: ShiftSchedule(((100.0, 400.0),))},
+            timeline=FleetTimeline((FleetEvent(0, "surge_onboarding",
+                                               start=150.0, end=350.0,
+                                               count=1),)),
+        )
+        # Vehicle 2 has no schedule entry: its own shift bounds are epochs.
+        vehicles = [Vehicle(vehicle_id=1, node=0),
+                    Vehicle(vehicle_id=2, node=0, shift_start=50.0,
+                            shift_end=220.0)]
+        clock = EventClock.from_timelines(fleet_plan=plan, vehicles=vehicles,
+                                          start=0.0, end=1000.0)
+        times = [e.time for e in clock.pop_due(math.inf)]
+        assert times == [50.0, 100.0, 150.0, 220.0, 350.0, 400.0]
+
+
+class TestAlignment:
+    def test_traffic_alignment_snaps_to_grid_and_covers_original(self):
+        timeline = TrafficTimeline((incident(0, 130.0, 395.0),))
+        aligned = align_traffic_timeline(timeline, delta=120.0, anchor=0.0)
+        (event,) = aligned.events
+        assert (event.start, event.end) == (120.0, 480.0)
+        # snapped interval covers the original one
+        assert event.start <= 130.0 and event.end >= 395.0
+
+    def test_already_aligned_timeline_is_unchanged(self):
+        timeline = TrafficTimeline((incident(0, 120.0, 480.0),))
+        aligned = align_traffic_timeline(timeline, delta=120.0, anchor=0.0)
+        assert aligned.events == timeline.events
+
+    def test_fleet_alignment_snaps_blocks_and_events(self):
+        plan = FleetPlan(
+            schedules={1: ShiftSchedule(((130.0, 250.0), (300.0, 500.0)))},
+            timeline=FleetTimeline((FleetEvent(0, "surge_onboarding",
+                                               start=10.0, end=130.0,
+                                               count=2),)),
+        )
+        aligned = align_fleet_plan(plan, delta=120.0, anchor=0.0)
+        assert aligned.schedules[1].intervals == ((120.0, 600.0),)
+        (event,) = aligned.timeline.events
+        assert (event.start, event.end) == (0.0, 240.0)
+
+    def test_none_fleet_plan_passes_through(self):
+        assert align_fleet_plan(None, delta=120.0, anchor=0.0) is None
+
+    def test_unscheduled_vehicles_get_explicit_snapped_schedules(self):
+        # A vehicle absent from plan.schedules falls back to its own
+        # shift_start/shift_end — epochs from_timelines queues as fleet
+        # events — so the aligned plan must pin it to a snapped schedule.
+        plan = FleetPlan(schedules={})
+        vehicle = Vehicle(vehicle_id=7, node=0, shift_start=130.0,
+                          shift_end=500.0)
+        aligned = align_fleet_plan(plan, delta=120.0, anchor=0.0,
+                                   vehicles=[vehicle])
+        assert aligned.schedules[7].intervals == ((120.0, 600.0),)
+
+    def test_aligned_plan_queues_only_grid_epochs(self):
+        # The contract behind the golden identity: an aligned plan drains
+        # zero sub-window events, even for seed-duty (unscheduled) vehicles.
+        plan = FleetPlan(
+            schedules={1: ShiftSchedule(((130.0, 250.0),))},
+            timeline=FleetTimeline((FleetEvent(0, "surge_onboarding",
+                                               start=10.0, end=310.0,
+                                               count=1),)),
+        )
+        vehicles = [Vehicle(vehicle_id=1, node=0),
+                    Vehicle(vehicle_id=2, node=0, shift_start=150.0,
+                            shift_end=470.0)]
+        aligned = align_fleet_plan(plan, delta=120.0, anchor=0.0,
+                                   vehicles=vehicles)
+        clock = EventClock.from_timelines(fleet_plan=aligned,
+                                          vehicles=vehicles,
+                                          start=0.0, end=10_000.0)
+        times = [e.time for e in clock.pop_due(math.inf)]
+        assert times, "aligned change points inside the horizon still queue"
+        assert all(t % 120.0 == 0.0 for t in times)

@@ -14,7 +14,7 @@ Three paper-level guarantees:
   rejected always equals the order count.
 """
 
-from typing import List, Sequence
+from collections.abc import Sequence
 
 from repro.core.greedy import GreedyPolicy
 from repro.core.policy import Assignment, AssignmentPolicy
@@ -129,7 +129,7 @@ class _AssignEverythingOnce(AssignmentPolicy):
         self._done = False
 
     def assign(self, orders: Sequence[Order], vehicles: Sequence[Vehicle],
-               now: float) -> List[Assignment]:
+               now: float) -> list[Assignment]:
         if self._done or not orders or not vehicles:
             return []
         vehicle = vehicles[0]

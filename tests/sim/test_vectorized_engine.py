@@ -35,7 +35,7 @@ def _city(seed: int):
     return network
 
 
-@functools.lru_cache(maxsize=None)
+@functools.cache
 def _walk_fixture(net_seed: int):
     """(walker, reference simulator, nodes) over one random peaked city."""
     network = _city(net_seed)

@@ -33,6 +33,22 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["simulate", "--traffic", "gridlock"])
 
+    def test_traffic_flag_accepts_numeric_density(self):
+        args = build_parser().parse_args(["simulate", "--traffic", "2.5"])
+        assert args.traffic == 2.5
+        for bad in ("-1.0", "inf", "nan"):
+            with pytest.raises(SystemExit):
+                build_parser().parse_args(["simulate", "--traffic", bad])
+
+    def test_event_resolution_flag(self):
+        args = build_parser().parse_args(
+            ["simulate", "--event-resolution", "continuous"])
+        assert args.event_resolution == "continuous"
+        assert build_parser().parse_args(["compare"]).event_resolution == "window"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["simulate", "--event-resolution", "instant"])
+
     def test_fleet_flag(self):
         args = build_parser().parse_args(["simulate", "--fleet", "full"])
         assert args.fleet == "full"

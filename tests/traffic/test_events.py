@@ -43,10 +43,21 @@ class TestEventValidation:
         with pytest.raises(ValueError, match="must be finite"):
             incident(start=start, end=end)
 
-    @pytest.mark.parametrize("factor", [0.0, -1.0, -2.5, float("inf"), float("nan")])
-    def test_factor_must_be_finite_positive(self, factor):
-        with pytest.raises(ValueError, match="finite and positive"):
+    @pytest.mark.parametrize("factor", [0.0, -1.0, -2.5, float("nan")])
+    def test_factor_must_be_positive(self, factor):
+        with pytest.raises(ValueError, match="must be positive"):
             incident(factor=factor)
+
+    def test_only_closures_may_sever(self):
+        with pytest.raises(ValueError, match="sever"):
+            incident(factor=float("inf"))
+
+    def test_severed_closure_allowed(self):
+        severed = TrafficEvent(0, "closure", 0.0, 1.0, factor=float("inf"),
+                               edges=((0, 1),))
+        assert severed.severs and severed.factor == float("inf")
+        plain = TrafficEvent(1, "closure", 0.0, 1.0, edges=((0, 1),))
+        assert not plain.severs
 
     def test_non_closure_requires_factor(self):
         with pytest.raises(ValueError, match="require an explicit factor"):

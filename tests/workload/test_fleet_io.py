@@ -1,6 +1,8 @@
-"""Scenario JSON format v3: fleet-plan round trips and v2 compatibility."""
+"""Scenario JSON formats v3/v4: fleet-plan round trips and compatibility."""
 
 import json
+
+import pytest
 
 from repro.workload.generator import generate_scenario
 from repro.workload.io import (
@@ -18,9 +20,9 @@ def small_scenario(fleet="full"):
 
 
 class TestFormatV3:
-    def test_version_is_3(self):
+    def test_version_is_4(self):
         payload = scenario_to_dict(small_scenario())
-        assert payload["format_version"] == 3
+        assert payload["format_version"] == 4
 
     def test_fleet_plan_round_trips(self, tmp_path):
         scenario = small_scenario()
@@ -71,3 +73,43 @@ class TestBackwardCompatibility:
         scenario = scenario_from_dict(payload)
         assert scenario.fleet is None
         assert not scenario.traffic
+
+    def test_v3_document_without_sever_flags_loads(self):
+        payload = scenario_to_dict(small_scenario())
+        payload["format_version"] = 3
+        for event in payload["traffic"]:
+            event.pop("sever", None)
+        scenario = scenario_from_dict(payload)
+        assert all(not event.severs for event in scenario.traffic)
+
+
+class TestFiniteEpochValidation:
+    """Malformed JSON must fail loudly, naming the offending record."""
+
+    def test_nan_shift_block_is_rejected_with_vehicle_context(self):
+        payload = scenario_to_dict(small_scenario())
+        vehicle_id = next(iter(payload["fleet"]["schedules"]))
+        payload["fleet"]["schedules"][vehicle_id][0][0] = float("nan")
+        with pytest.raises(ValueError,
+                           match=f"shift block start of vehicle {vehicle_id}"):
+            scenario_from_dict(payload)
+
+    def test_infinite_fleet_event_end_is_rejected_with_event_context(self):
+        payload = scenario_to_dict(small_scenario())
+        assert payload["fleet"]["events"], "full fleet mode generates events"
+        payload["fleet"]["events"][0]["end"] = float("inf")
+        event_id = payload["fleet"]["events"][0]["event_id"]
+        with pytest.raises(ValueError,
+                           match=f"fleet event {event_id} end must be finite"):
+            scenario_from_dict(payload)
+
+    def test_nan_traffic_event_start_is_rejected_with_event_context(self):
+        payload = scenario_to_dict(small_scenario())
+        payload["traffic"] = [{
+            "event_id": 0, "kind": "incident", "start": float("nan"),
+            "end": 100.0, "factor": 2.0, "sever": False, "edges": [],
+            "zone_center": None, "zone_radius_seconds": 0.0,
+        }]
+        with pytest.raises(ValueError,
+                           match="traffic event 0 start must be finite"):
+            scenario_from_dict(payload)

@@ -38,6 +38,31 @@ class TestScenarioRoundTrip:
     def test_dict_round_trip_preserves_orders(self, scenario):
         restored = scenario_from_dict(scenario_to_dict(scenario))
         assert len(restored.orders) == len(scenario.orders)
+
+    def test_severed_closure_round_trips_through_json(self, scenario, tmp_path):
+        import dataclasses
+        import math
+
+        from repro.traffic.events import TrafficEvent, TrafficTimeline
+
+        u, v, _ = next(iter(scenario.network.edges()))
+        timeline = TrafficTimeline((
+            TrafficEvent(0, "closure", 100.0, 900.0, factor=math.inf,
+                         edges=((u, v),)),
+            TrafficEvent(1, "closure", 200.0, 400.0, edges=((u, v),)),
+        ))
+        severed_scenario = dataclasses.replace(scenario, traffic=timeline)
+        path = tmp_path / "severed.json"
+        save_scenario(severed_scenario, path)
+        # The document must be strict JSON: infinity is encoded via the
+        # sever flag, never as a bare Infinity literal.
+        json.loads(path.read_text(), parse_constant=lambda name: pytest.fail(
+            f"non-standard JSON constant {name!r} in scenario document"))
+        restored = load_scenario(path)
+        first, second = restored.traffic.events
+        assert first.severs and math.isinf(first.factor)
+        assert not second.severs and second.factor == pytest.approx(
+            scenario_to_dict(severed_scenario)["traffic"][1]["factor"])
         for original, loaded in zip(scenario.orders, restored.orders, strict=True):
             assert original.order_id == loaded.order_id
             assert original.restaurant_node == loaded.restaurant_node
