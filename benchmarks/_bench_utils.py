@@ -44,17 +44,41 @@ def environment_info() -> dict[str, object]:
     }
 
 
+def graph_info(network, index=None) -> dict[str, object]:
+    """Size block for a benchmark's graph (and optional hub-label index).
+
+    Stamped into bench payloads so archived numbers carry the scale they
+    were measured at: node/edge counts, plus label entry count and resident
+    label bytes when a :class:`HubLabelIndex` (or anything exposing
+    ``total_label_entries`` / ``label_bytes``) backs the kernel.
+    """
+    info: dict[str, object] = {
+        "num_nodes": network.num_nodes,
+        "num_edges": network.num_edges,
+    }
+    if index is not None:
+        info["hub_label_entries"] = index.total_label_entries
+        info["hub_label_bytes"] = index.label_bytes
+    return info
+
+
 def write_bench_json(out_path: pathlib.Path, benchmark: str, smoke: bool,
-                     kernels: dict[str, dict], **extra: object) -> dict:
+                     kernels: dict[str, dict], *, network=None, index=None,
+                     **extra: object) -> dict:
     """Assemble and write one ``BENCH_*.json`` payload; returns the payload.
 
     ``extra`` key/values land at the payload top level (e.g. the matching
-    backend of the kernel bench).
+    backend of the kernel bench).  When ``network`` is given, a ``graph``
+    block with node/edge counts (plus label memory, when ``index`` is
+    given) is stamped at the top level; kernels measured on per-kernel
+    graphs embed their own ``graph`` blocks instead via
+    :func:`graph_info`.
     """
     payload = {
         "benchmark": benchmark,
         "mode": "smoke" if smoke else "full",
         "environment": environment_info(),
+        **({"graph": graph_info(network, index)} if network is not None else {}),
         **extra,
         "kernels": kernels,
     }
@@ -62,4 +86,5 @@ def write_bench_json(out_path: pathlib.Path, benchmark: str, smoke: bool,
     return payload
 
 
-__all__ = ["REPO_ROOT", "git_revision", "environment_info", "write_bench_json"]
+__all__ = ["REPO_ROOT", "git_revision", "environment_info", "graph_info",
+           "write_bench_json"]

@@ -51,7 +51,7 @@ import os
 import pathlib
 import time
 
-from _bench_utils import REPO_ROOT, write_bench_json
+from _bench_utils import REPO_ROOT, graph_info, write_bench_json
 
 from repro.core.foodmatch import FoodMatchConfig, FoodMatchPolicy
 from repro.experiments.executor import (
@@ -304,13 +304,14 @@ def run(smoke: bool = False, out_path: pathlib.Path = DEFAULT_OUT,
                                                    jobs=4, replicates=3),
         }
         density = bench_event_density(seed=31, repeats=3, end_hour=14)
+    bench_net = _bench_network()
     payload = write_bench_json(
         out_path, ("PR4 process-parallel experiment executor + vectorised "
-                   "window hot path"), smoke, results)
+                   "window hot path"), smoke, results, network=bench_net)
     payload_pr5 = write_bench_json(
         out_path_pr5, ("PR5 continuous-time event core: sub-window "
                        "traffic/fleet dynamics on the event clock"), smoke,
-        {"event_density": density})
+        {"event_density": density}, network=bench_net)
     payload["pr5"] = payload_pr5
     return payload
 

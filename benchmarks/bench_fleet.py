@@ -39,7 +39,7 @@ import math
 import pathlib
 import time
 
-from _bench_utils import REPO_ROOT, write_bench_json
+from _bench_utils import REPO_ROOT, graph_info, write_bench_json
 
 from repro.core.foodmatch import FoodMatchPolicy
 from repro.fleet.behavior import DriverBehavior
@@ -190,7 +190,7 @@ def run(smoke: bool = False, out_path: pathlib.Path = DEFAULT_OUT) -> dict:
     return write_bench_json(
         out_path, ("PR3 driver-lifecycle fleet dynamics: "
                    "full fleet vs static fleet simulation throughput"),
-        smoke, results)
+        smoke, results, network=BENCH_PROFILE.network_factory())
 
 
 def main() -> None:

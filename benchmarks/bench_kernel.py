@@ -31,7 +31,7 @@ import pathlib
 import random
 import time
 
-from _bench_utils import REPO_ROOT, write_bench_json
+from _bench_utils import REPO_ROOT, graph_info, write_bench_json
 
 import repro.core.matching as matching
 from repro.core.matching import (
@@ -66,6 +66,7 @@ def bench_hub_label_build(num_nodes: int, repeats: int) -> dict:
     seed_time = _best_time(lambda: DictHubLabelIndex(net), repeats)
     return {
         "workload": f"pruned landmark labeling on a {num_nodes}-node geometric city",
+        "graph": graph_info(net, HubLabelIndex(net)),
         "new_ops_per_sec": 1.0 / new_time,
         "seed_ops_per_sec": 1.0 / seed_time,
         "speedup": seed_time / new_time,
@@ -97,6 +98,7 @@ def bench_hub_label_query(num_nodes: int, num_sources: int, num_targets: int,
         "workload": (f"{queries} static SP queries, window block shape "
                      f"({num_sources} sources x {num_targets} targets, "
                      f"{num_nodes}-node city)"),
+        "graph": graph_info(net, new),
         "new_ops_per_sec": queries / new_time,
         "seed_ops_per_sec": queries / seed_time,
         "speedup": seed_time / new_time,

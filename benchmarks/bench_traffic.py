@@ -32,7 +32,7 @@ import pathlib
 import random
 import time
 
-from _bench_utils import REPO_ROOT, write_bench_json
+from _bench_utils import REPO_ROOT, graph_info, write_bench_json
 
 from repro.network.distance_oracle import DistanceOracle
 from repro.network.generators import random_geometric_city
@@ -112,6 +112,7 @@ def bench_incident_repair(num_nodes: int, repeats: int) -> dict:
                      f"{num_nodes}-node geometric city, "
                      f"{stats.affected_sources}+{stats.affected_targets} "
                      f"affected labels"),
+        "graph": graph_info(network, HubLabelIndex(network)),
         "new_ops_per_sec": 1.0 / repair_time,
         "seed_ops_per_sec": 1.0 / rebuild_time,
         "speedup": rebuild_time / repair_time,
@@ -157,6 +158,7 @@ def bench_zonal_repair(num_nodes: int, repeats: int,
     return {
         "workload": (f"one zonal rush-hour event ({stats.mutated_edges} edges, "
                      f"strategy: {strategy}) on a {num_nodes}-node geometric city"),
+        "graph": graph_info(network, HubLabelIndex(network)),
         "new_ops_per_sec": 1.0 / apply_time,
         "seed_ops_per_sec": 1.0 / rebuild_time,
         "speedup": rebuild_time / apply_time,

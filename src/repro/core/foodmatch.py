@@ -153,15 +153,12 @@ class FoodMatchPolicy(AssignmentPolicy):
         self.total_nodes_expanded += graph.nodes_expanded
 
         matches = solve_matching(graph)
-        assignments: list[Assignment] = []
-        for batch_idx, vehicle_idx, plan, weight in matches:
-            assignments.append(Assignment(
-                vehicle=candidates[vehicle_idx],
-                orders=graph.batches[batch_idx].orders,
-                plan=plan,
-                weight=weight,
-            ))
-        return assignments
+        return [Assignment(
+            vehicle=candidates[vehicle_idx],
+            orders=graph.batches[batch_idx].orders,
+            plan=plan,
+            weight=weight,
+        ) for batch_idx, vehicle_idx, plan, weight in matches]
 
     # ------------------------------------------------------------------ #
     def _degree_bound(self, num_orders: int, num_vehicles: int, num_batches: int) -> int:

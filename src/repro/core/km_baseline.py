@@ -46,15 +46,12 @@ class KMPolicy(AssignmentPolicy):
                                      omega=self._omega,
                                      max_first_mile=self._max_first_mile)
         matches = solve_matching(graph)
-        assignments: list[Assignment] = []
-        for batch_idx, vehicle_idx, plan, weight in matches:
-            assignments.append(Assignment(
-                vehicle=candidates[vehicle_idx],
-                orders=graph.batches[batch_idx].orders,
-                plan=plan,
-                weight=weight,
-            ))
-        return assignments
+        return [Assignment(
+            vehicle=candidates[vehicle_idx],
+            orders=graph.batches[batch_idx].orders,
+            plan=plan,
+            weight=weight,
+        ) for batch_idx, vehicle_idx, plan, weight in matches]
 
 
 __all__ = ["KMPolicy"]

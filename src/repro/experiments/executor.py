@@ -23,7 +23,13 @@ Workers resolve each cell's city profile by *name* against
 through the runner's scenario cache, which lives for the whole life of the
 worker process.  Under the default ``fork`` start method, registered
 profiles (and any already-materialised scenarios) are inherited from the
-parent for free.
+parent for free.  For metro-scale cities, ``run_cells(...,
+share_networks=True)`` goes further: the driver packs each distinct
+network's CSR arrays and hub labels into one
+:mod:`multiprocessing.shared_memory` block (:mod:`repro.network.shared`)
+and workers attach it read-only, so N workers hold one machine-wide copy
+of the heavy arrays no matter how they were spawned or how long they
+live.
 
 **Failure isolation.**  A cell that raises reports its traceback in its
 :class:`CellResult`; the remaining cells keep running.  Callers that want
@@ -187,6 +193,24 @@ def _run_cell(setting: ExperimentSetting, spec: PolicySpec) -> SimulationResult:
     return run_setting(setting, spec)
 
 
+def _shared_worker_init(registry: dict[str, str]) -> None:
+    """Pool initializer for shared-memory sweeps.
+
+    Installs the driver's ``profile name -> shared segment`` registry in the
+    worker's runner module and evicts any fork-inherited scenario-cache
+    entries for those profiles, so the worker's first :func:`materialize`
+    of each setting attaches the packed arrays instead of reusing (or
+    rebuilding) a private copy.
+    """
+    from repro.experiments import runner
+
+    runner._ATTACH_REGISTRY.clear()
+    runner._ATTACH_REGISTRY.update(registry)
+    stale = [key for key in runner._SCENARIO_CACHE if key[0] in registry]
+    for key in stale:
+        del runner._SCENARIO_CACHE[key]
+
+
 def _worker_run(payload: _CellPayload) -> tuple[int, SimulationResult | None,
                                                 str | None]:
     index, profile_name, setting_kwargs, policy_name, policy_options = payload
@@ -212,7 +236,8 @@ ProgressCallback = Callable[[CellResult, int, int], None]
 
 
 def run_cells(cells: Sequence[ExperimentCell], jobs: int | None = None,
-              on_result: ProgressCallback | None = None) -> list[CellResult]:
+              on_result: ProgressCallback | None = None,
+              share_networks: bool = False) -> list[CellResult]:
     """Run every cell and return their results in cell order.
 
     ``jobs=1`` (the default) runs serially in the calling process against
@@ -222,6 +247,16 @@ def run_cells(cells: Sequence[ExperimentCell], jobs: int | None = None,
     returned list is always in submission order.  Cell failures are
     isolated: the failing cell carries its traceback, the rest of the grid
     is unaffected.
+
+    ``share_networks=True`` packs each distinct city network (CSR arrays
+    plus hub labels, which a city profile determines independently of
+    scale/seed) into one :mod:`multiprocessing.shared_memory` block before
+    the pool starts; workers attach the block read-only instead of
+    rebuilding their own copies, so an N-worker metro-scale sweep holds one
+    copy of the heavy arrays machine-wide.  Results stay bit-identical —
+    attached views answer every query with the same floats as owned ones.
+    Ignored on the serial path.  The blocks are unlinked when the pool
+    finishes.
     """
     cells = list(cells)
     jobs = resolve_jobs(jobs)
@@ -242,19 +277,60 @@ def run_cells(cells: Sequence[ExperimentCell], jobs: int | None = None,
         # Make every profile resolvable inside the workers.  Registrations
         # made here are inherited by fork'd children created below.
         register_profile(cell.setting.profile)
+    packs, registry = _pack_shared_networks(cells) if share_networks else ([], {})
     payloads = [_cell_payload(index, cell) for index, cell in enumerate(cells)]
     slots: list[CellResult | None] = [None] * total
     context = _pool_context()
-    with context.Pool(processes=min(jobs, total)) as pool:
-        done = 0
-        for index, result, error in pool.imap_unordered(_worker_run, payloads):
-            outcome = CellResult(cells[index], result=result, error=error)
-            slots[index] = outcome
-            done += 1
-            if on_result is not None:
-                on_result(outcome, done, total)
+    try:
+        with context.Pool(processes=min(jobs, total),
+                          initializer=_shared_worker_init if registry else None,
+                          initargs=(registry,) if registry else ()) as pool:
+            done = 0
+            for index, result, error in pool.imap_unordered(_worker_run, payloads):
+                outcome = CellResult(cells[index], result=result, error=error)
+                slots[index] = outcome
+                done += 1
+                if on_result is not None:
+                    on_result(outcome, done, total)
+    finally:
+        for pack in packs:
+            pack.dispose()
     assert all(slot is not None for slot in slots)
     return [slot for slot in slots if slot is not None]
+
+
+def _pack_shared_networks(cells: Sequence[ExperimentCell]):
+    """Pack each distinct profile's network (and hub labels) into shared memory.
+
+    Builds the network exactly as a worker's :func:`materialize` would
+    (``profile.network_factory()``; hub labels for networks at or above the
+    oracle's auto threshold) so attached workers see bit-identical arrays.
+    Returns the owner pack handles plus the ``profile name -> segment
+    name`` registry for the pool initializer.
+    """
+    from repro.network.distance_oracle import DistanceOracle
+    from repro.network.hub_labeling import HubLabelIndex
+    from repro.network.shared import pack_network
+
+    packs = []
+    registry: dict[str, str] = {}
+    try:
+        for cell in cells:
+            profile = cell.setting.profile
+            if profile.name in registry:
+                continue
+            network = profile.network_factory()
+            index = (HubLabelIndex(network)
+                     if network.num_nodes >= DistanceOracle._AUTO_THRESHOLD
+                     else None)
+            pack = pack_network(network, index)
+            packs.append(pack)
+            registry[profile.name] = pack.name
+    except BaseException:
+        for pack in packs:
+            pack.dispose()
+        raise
+    return packs, registry
 
 
 def _pool_context():
@@ -289,15 +365,15 @@ def result_fingerprint(result: SimulationResult) -> str:
                            outcome.reassignments, outcome.wait_seconds,
                            outcome.offer_rejections, outcome.handoffs,
                            outcome.ever_assigned)))
-    for window in result.windows:
-        parts.append(repr((window.start, window.end, window.num_orders,
-                           window.num_vehicles, window.num_assigned_orders,
-                           window.num_declined_offers, window.num_handoffs)))
-    for vehicle in result.vehicles:
-        parts.append(repr((vehicle.vehicle_id, vehicle.node,
-                           vehicle.distance_travelled_km,
-                           tuple(sorted(vehicle.km_by_load.items())),
-                           vehicle.waiting_seconds)))
+    parts.extend(repr((window.start, window.end, window.num_orders,
+                       window.num_vehicles, window.num_assigned_orders,
+                       window.num_declined_offers, window.num_handoffs))
+                 for window in result.windows)
+    parts.extend(repr((vehicle.vehicle_id, vehicle.node,
+                       vehicle.distance_travelled_km,
+                       tuple(sorted(vehicle.km_by_load.items())),
+                       vehicle.waiting_seconds))
+                 for vehicle in result.vehicles)
     return sha256("\n".join(parts).encode()).hexdigest()
 
 

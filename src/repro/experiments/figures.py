@@ -290,9 +290,9 @@ def fig6fgh_scalability(settings: Mapping[str, ExperimentSetting] | None = None,
         } for name, result in results.items()}
     rows = []
     for city, values in data.items():
-        for name, metrics in values.items():
-            rows.append([city, name, metrics["overflow_all_pct"],
-                         metrics["overflow_peak_pct"], metrics["mean_decision_seconds"]])
+        rows.extend([city, name, metrics["overflow_all_pct"],
+                     metrics["overflow_peak_pct"], metrics["mean_decision_seconds"]]
+                    for name, metrics in values.items())
     text = format_table(["city", "policy", "overflow all %", "overflow peak %",
                          "mean decision (s)"], rows,
                         title=f"Fig 6(f-h) — scalability (budget {budget_seconds}s)")

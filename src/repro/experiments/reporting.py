@@ -29,8 +29,8 @@ def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
         lines.append(title)
     lines.append("  ".join(str(h).ljust(widths[i]) for i, h in enumerate(headers)))
     lines.append("  ".join("-" * widths[i] for i in range(columns)))
-    for cells in text_rows:
-        lines.append("  ".join(cells[i].ljust(widths[i]) for i in range(columns)))
+    lines.extend("  ".join(cells[i].ljust(widths[i]) for i in range(columns))
+                 for cells in text_rows)
     return "\n".join(lines)
 
 
@@ -52,9 +52,8 @@ def format_metric_comparison(results: Mapping[str, Mapping[str, float]],
                              metrics: Sequence[str], title: str = "") -> str:
     """Render a policies-by-metrics comparison table."""
     headers = ["policy"] + list(metrics)
-    rows = []
-    for name, summary in results.items():
-        rows.append([name] + [summary.get(metric, float("nan")) for metric in metrics])
+    rows = [[name] + [summary.get(metric, float("nan")) for metric in metrics]
+            for name, summary in results.items()]
     return format_table(headers, rows, title=title)
 
 
@@ -68,18 +67,31 @@ def format_cache_report(cache_stats: Mapping[str, Mapping[str, int]],
     them next to the quality metrics makes cache effectiveness a first-class
     experiment output instead of something only visible by inspecting a live
     oracle.
+
+    A ``"hub_labels"`` entry (present on the hub-label backend) is not an
+    LRU cache — it carries the index footprint — and renders as a summary
+    line under the table: label entry count and resident megabytes.
     """
     rows = []
+    index_footprint = None
     for name in sorted(cache_stats):
         stats = cache_stats[name]
+        if name == "hub_labels":
+            index_footprint = stats
+            continue
         hits = stats.get("hits", 0)
         misses = stats.get("misses", 0)
         lookups = hits + misses
         rate = hits / lookups if lookups else 0.0
         rows.append([name, hits, misses, rate,
                      f"{stats.get('size', 0)}/{stats.get('capacity', 0)}"])
-    return format_table(["cache", "hits", "misses", "hit_rate", "occupancy"],
-                        rows, title=title)
+    report = format_table(["cache", "hits", "misses", "hit_rate", "occupancy"],
+                          rows, title=title)
+    if index_footprint is not None:
+        entries = index_footprint.get("entries", 0)
+        mbytes = index_footprint.get("bytes", 0) / 1e6
+        report += f"\nhub labels: {entries:,} entries, {mbytes:.1f} MB resident"
+    return report
 
 
 __all__ = ["format_table", "format_series", "format_metric_comparison",

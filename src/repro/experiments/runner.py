@@ -147,6 +147,12 @@ def build_policy(name: str, cost_model: CostModel, **options) -> AssignmentPolic
 # --------------------------------------------------------------------------- #
 _SCENARIO_CACHE: dict[tuple, tuple[Scenario, DistanceOracle]] = {}
 
+#: Profile name -> shared-memory segment name.  Populated inside executor
+#: workers (pool initializer) when the driver packed the city networks with
+#: :func:`repro.network.shared.pack_network`; :func:`materialize` then
+#: attaches the packed CSR and hub-label arrays instead of rebuilding them.
+_ATTACH_REGISTRY: dict[str, str] = {}
+
 
 def _setting_key(setting: ExperimentSetting) -> tuple:
     return (setting.profile.name, round(setting.scale, 6), setting.start_hour,
@@ -155,7 +161,18 @@ def _setting_key(setting: ExperimentSetting) -> tuple:
 
 
 def materialize(setting: ExperimentSetting) -> tuple[Scenario, DistanceOracle]:
-    """Build (or fetch from cache) the scenario and distance oracle of a setting."""
+    """Build (or fetch from cache) the scenario and distance oracle of a setting.
+
+    When the setting's profile is registered in :data:`_ATTACH_REGISTRY`,
+    the road network and hub-label index attach to the driver's packed
+    shared-memory block instead of being rebuilt: every distinct setting
+    still gets its *own* :class:`AttachedRoadNetwork
+    <repro.network.shared.AttachedRoadNetwork>` and
+    :class:`~repro.network.hub_labeling.HubLabelIndex` views (traffic
+    overrides and label repairs must not leak between cached settings), but
+    all of them map the same physical pages, so the heavy arrays exist once
+    per machine rather than once per worker.
+    """
     key = _setting_key(setting)
     cached = _SCENARIO_CACHE.get(key)
     if cached is not None:
@@ -164,12 +181,20 @@ def materialize(setting: ExperimentSetting) -> tuple[Scenario, DistanceOracle]:
     if setting.vehicle_fraction != 1.0:
         reduced = max(1, round(profile.num_vehicles * setting.vehicle_fraction))
         profile = profile.with_vehicles(reduced)
+    network = None
+    hub_index = None
+    shm_name = _ATTACH_REGISTRY.get(setting.profile.name)
+    if shm_name is not None:
+        from repro.network.shared import attach_network
+
+        network, hub_index = attach_network(shm_name)
     scenario = generate_scenario(profile, seed=setting.seed,
                                  start_hour=setting.start_hour,
                                  end_hour=setting.end_hour,
                                  traffic=setting.traffic,
-                                 fleet=setting.fleet)
-    oracle = DistanceOracle(scenario.network)
+                                 fleet=setting.fleet,
+                                 network=network)
+    oracle = DistanceOracle(scenario.network, hub_index=hub_index)
     _SCENARIO_CACHE[key] = (scenario, oracle)
     return scenario, oracle
 

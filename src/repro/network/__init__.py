@@ -33,6 +33,7 @@ from repro.network.hub_labeling import HubLabelIndex
 from repro.network.distance_oracle import DistanceOracle, TrafficRepairStats
 from repro.network.generators import (
     grid_city,
+    metro_grid,
     radial_city,
     random_geometric_city,
 )
@@ -53,6 +54,7 @@ __all__ = [
     "bearing",
     "angular_distance",
     "grid_city",
+    "metro_grid",
     "radial_city",
     "random_geometric_city",
 ]

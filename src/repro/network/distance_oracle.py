@@ -178,6 +178,11 @@ class DistanceOracle:
     point_cache_size, path_cache_size, sssp_cache_size:
         LRU capacities for the point-to-point distance cache, the expanded
         path cache and the per-source Dijkstra tree cache.
+    hub_index:
+        A prebuilt :class:`~repro.network.hub_labeling.HubLabelIndex` over
+        ``network`` to adopt instead of building one (forces the
+        ``"hub_label"`` backend).  The shared-memory attach path uses this
+        to hand a worker the packed label arrays zero-copy.
     """
 
     _AUTO_THRESHOLD = 60
@@ -185,24 +190,29 @@ class DistanceOracle:
     def __init__(self, network: RoadNetwork, method: str = "auto",
                  point_cache_size: int = 131072,
                  path_cache_size: int = 16384,
-                 sssp_cache_size: int = 1024) -> None:
+                 sssp_cache_size: int = 1024,
+                 hub_index: HubLabelIndex | None = None) -> None:
         if method not in {"hub_label", "dijkstra", "auto"}:
             raise ValueError(f"unknown distance oracle method: {method!r}")
-        if method == "auto":
+        if hub_index is not None:
+            method = "hub_label"
+        elif method == "auto":
             method = "hub_label" if network.num_nodes >= self._AUTO_THRESHOLD else "dijkstra"
         self._network = network
         self._method = method
-        self._index: HubLabelIndex | None = None
-        if method == "hub_label":
+        self._index: HubLabelIndex | None = hub_index
+        if method == "hub_label" and self._index is None:
             self._index = HubLabelIndex(network)
         self._point_cache = LRUCache(point_cache_size)
         self._sssp_cache = LRUCache(sssp_cache_size)
         self._path_cache = LRUCache(path_cache_size)
         self.query_count = 0
         # Node ids whose labels were incrementally repaired since the index
-        # was last built from scratch; once this stops being a small fraction
-        # of the network the dense repaired labels erode query speed and a
-        # full rebuild is cheaper overall.
+        # was last built from scratch.  Repaired labels are pruned and stay
+        # near fresh-build size, but each repair pays per-affected-node
+        # Dijkstras; once updates have churned a large fraction of the
+        # network, one batched rebuild is cheaper than continuing to repair
+        # piecemeal.
         self._repaired_out: set[int] = set()
         self._repaired_in: set[int] = set()
         # Whether any traffic update ever touched this oracle.  Repaired
@@ -222,6 +232,11 @@ class DistanceOracle:
     @property
     def method(self) -> str:
         return self._method
+
+    @property
+    def hub_index(self) -> HubLabelIndex | None:
+        """The live hub-label index (``None`` on the Dijkstra backend)."""
+        return self._index
 
     # ------------------------------------------------------------------ #
     # distance queries
@@ -503,19 +518,23 @@ class DistanceOracle:
         the exact original static weights), resets the *cumulative* repair
         accounting that decides the full-rebuild fallback, and drops all
         memoised distances/paths/SSSP trees.  If any traffic update ever
-        repaired or rebuilt the hub-label index, the index is rebuilt from
-        scratch over the restored weights: repaired labels answer queries
-        exactly but can differ from a freshly built index in the last ULP
-        (a repaired label stores a single Dijkstra path sum where a built
-        label rounds through ``fl(d(s, h)) + fl(d(h, t))``), and the
-        experiment harnesses rely on a reset oracle being bit-identical to
-        a brand-new one — that is what makes re-running a cell on a shared
-        cached oracle (policy comparisons, parallel workers reusing
-        fork-inherited scenarios) reproduce the fresh-oracle run exactly.
+        repaired or rebuilt the hub-label index, the pristine labels are
+        reinstated from the snapshot taken at the first mutating update:
+        repaired labels answer queries exactly but can differ from a freshly
+        built index in the last ULP (a repaired label stores a single
+        Dijkstra path sum where a built label rounds through
+        ``fl(d(s, h)) + fl(d(h, t))``), and the experiment harnesses rely on
+        a reset oracle being bit-identical to a brand-new one — that is what
+        makes re-running a cell on a shared cached oracle (policy
+        comparisons, parallel workers reusing fork-inherited scenarios)
+        reproduce the fresh-oracle run exactly.
 
         Untouched oracles reset for free: no overrides to clear, no label
-        work.  Touched ones restore the label snapshot taken at the first
-        mutating update — one deterministic array flatten, not a rebuild.
+        work.  Touched ones restore the snapshot at O(1) cost — the flat
+        label arrays are captured and reinstated by reference (repairs
+        write overlays and merges allocate fresh arrays, so snapshotted
+        arrays are never mutated), which also means resetting a
+        shared-memory-attached index never copies the shared label block.
         """
         network = self._network
         for edge in network.edge_overrides():
@@ -543,6 +562,17 @@ class DistanceOracle:
             "path": self._path_cache.info(),
             "sssp": self._sssp_cache.info(),
         }
+
+    def index_info(self) -> dict[str, int] | None:
+        """Hub-label footprint (entry count and resident bytes), or ``None``.
+
+        ``None`` on the Dijkstra backend.  Surfaces through
+        ``SimulationResult.cache_stats`` so the scalability experiments can
+        report index memory next to the cache hit rates.
+        """
+        if self._index is None:
+            return None
+        return self._index.memory_info()
 
     def reset_counters(self) -> None:
         """Zero the query counter and cache counters (scalability experiments)."""

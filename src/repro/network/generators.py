@@ -28,6 +28,7 @@ a small latitude/longitude box around a configurable city centre.
 
 from __future__ import annotations
 
+import itertools
 import math
 import random
 
@@ -193,6 +194,114 @@ def random_geometric_city(num_nodes: int = 250, area_km: float = 8.0,
     return network
 
 
+def metro_grid(rows: int = 120, cols: int = 120, block_km: float = 0.18,
+               arterial_every: int = 5, arterial_kmph: float = 45.0,
+               local_kmph: float = 18.0, block_jitter: float = 0.35,
+               diagonal_fraction: float = 0.04,
+               congested_fraction: float = 0.12, congestion_factor: float = 1.7,
+               river_row: int | None = None, bridge_every: int | None = None,
+               center: tuple[float, float] = (12.97, 77.59),
+               profile: TimeProfile | None = None,
+               seed: int = 17) -> RoadNetwork:
+    """Generate an OSM-like metro-scale street network.
+
+    A fine grid with two road classes: every ``arterial_every``-th row and
+    column is an *arterial* (``arterial_kmph`` free-flow), everything else a
+    *local* street (``local_kmph``).  Block sizes are jittered per row/column
+    (irregular city blocks), a horizontal river crosses the city and is
+    spanned only by bridges on arterial columns, and a sprinkle of diagonal
+    shortcuts breaks up pure Manhattan routing.  The speed hierarchy gives
+    shortest paths the highway structure (local streets feeding arterials)
+    that contraction-style hub orderings exploit — plain uniform grids are
+    the worst case for hub labels.
+
+    Node ids are the dense ``row * cols + col`` range, and the network is
+    strongly connected by construction (the arterial grid spans every
+    row/column band and all bridges are two-way), so no stitching pass is
+    needed.  ``rows=cols=226`` yields a 51k-node city, the scale of the
+    paper's OSM extracts.
+
+    Parameters mirror :func:`grid_city` where shared; additionally:
+
+    ``arterial_every``
+        Period of the arterial sub-grid (in blocks).
+    ``block_jitter``
+        Relative spread of per-row/column block sizes (0 = uniform grid).
+    ``river_row``
+        Row band carrying the river (default: mid-city); the vertical edges
+        crossing it exist only on arterial columns and are 60% longer.
+    ``bridge_every``
+        Column period of bridges (default ``arterial_every``).
+    """
+    if rows < 2 or cols < 2:
+        raise ValueError("metro_grid requires at least a 2x2 grid")
+    if arterial_every < 2:
+        raise ValueError("arterial_every must be at least 2")
+    rng = random.Random(seed)
+    profile = profile or TimeProfile.urban_peaks()
+    network = RoadNetwork(profile)
+    lat0, lon0 = center
+    if river_row is None:
+        river_row = rows // 2
+    if bridge_every is None:
+        bridge_every = arterial_every
+    # Jittered block sizes: row_h[r] is the height of the band between rows
+    # r and r+1, col_w[c] the width between columns c and c+1.
+    jitter = max(0.0, min(block_jitter, 0.9))
+    row_h = [block_km * rng.uniform(1.0 - jitter, 1.0 + jitter)
+             for _ in range(rows - 1)]
+    col_w = [block_km * rng.uniform(1.0 - jitter, 1.0 + jitter)
+             for _ in range(cols - 1)]
+    lat_off = list(itertools.accumulate(row_h, initial=0.0))
+    lon_off = list(itertools.accumulate(col_w, initial=0.0))
+    lat_mid = lat_off[-1] / 2.0
+    lon_mid = lon_off[-1] / 2.0
+    dlon = _lon_deg_per_km(lat0)
+
+    def node_id(r: int, c: int) -> int:
+        return r * cols + c
+
+    for r in range(rows):
+        lat = lat0 + (lat_off[r] - lat_mid) * _LAT_DEG_PER_KM
+        for c in range(cols):
+            lon = lon0 + (lon_off[c] - lon_mid) * dlon
+            network.add_node(node_id(r, c), lat, lon)
+
+    def speed(is_arterial: bool) -> float:
+        return arterial_kmph if is_arterial else local_kmph
+
+    for r in range(rows):
+        row_arterial = r % arterial_every == 0
+        for c in range(cols):
+            u = node_id(r, c)
+            col_arterial = c % arterial_every == 0
+            if c + 1 < cols:
+                tt = _travel_time_seconds(col_w[c], speed(row_arterial))
+                mult = 1.0
+                if not row_arterial and rng.random() < congested_fraction:
+                    mult = congestion_factor
+                network.add_road(u, node_id(r, c + 1), tt, mult)
+            if r + 1 < rows:
+                if r == river_row and r + 1 < rows:
+                    # River band: only bridge columns cross, at a length
+                    # penalty, always at arterial speed.
+                    if c % bridge_every == 0:
+                        tt = _travel_time_seconds(row_h[r] * 1.6, arterial_kmph)
+                        network.add_road(u, node_id(r + 1, c), tt)
+                else:
+                    tt = _travel_time_seconds(row_h[r], speed(col_arterial))
+                    mult = 1.0
+                    if not col_arterial and rng.random() < congested_fraction:
+                        mult = congestion_factor
+                    network.add_road(u, node_id(r + 1, c), tt, mult)
+            if (r + 1 < rows and c + 1 < cols and r != river_row
+                    and rng.random() < diagonal_fraction):
+                diag_km = math.hypot(row_h[r], col_w[c])
+                network.add_road(u, node_id(r + 1, c + 1),
+                                 _travel_time_seconds(diag_km, local_kmph))
+    return network
+
+
 def _stitch_components(network: RoadNetwork, positions, speed_kmph: float) -> None:
     """Connect stray components to the largest one with nearest-node roads."""
     nodes = network.nodes
@@ -227,4 +336,4 @@ def _stitch_components(network: RoadNetwork, positions, speed_kmph: float) -> No
         giant |= component
 
 
-__all__ = ["grid_city", "radial_city", "random_geometric_city"]
+__all__ = ["grid_city", "metro_grid", "radial_city", "random_geometric_city"]

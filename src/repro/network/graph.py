@@ -113,11 +113,16 @@ class CSRAdjacency:
 
     Both numpy arrays (for vectorised kernels) and plain Python lists (for
     the heap-based Dijkstra inner loops, where element access on lists is
-    several times faster than on numpy scalars) are exposed.
+    several times faster than on numpy scalars) are exposed.  The list views
+    are materialised lazily on first access: batched kernels never touch
+    them, and on a metro-scale graph the three lists triple the per-process
+    adjacency footprint — an N-worker sweep over shared-memory CSR arrays
+    (see :mod:`repro.network.shared`) should only pay for them in workers
+    that actually run scalar Dijkstras.
     """
 
     __slots__ = ("node_ids", "index_of", "indptr", "indices", "weights",
-                 "indptr_list", "indices_list", "weights_list", "num_nodes")
+                 "_indptr_list", "_indices_list", "_weights_list", "num_nodes")
 
     def __init__(self, node_ids: list[int], index_of: dict[int, int],
                  indptr: np.ndarray, indices: np.ndarray, weights: np.ndarray) -> None:
@@ -126,10 +131,31 @@ class CSRAdjacency:
         self.indptr = indptr
         self.indices = indices
         self.weights = weights
-        self.indptr_list = indptr.tolist()
-        self.indices_list = indices.tolist()
-        self.weights_list = weights.tolist()
+        self._indptr_list: list[int] | None = None
+        self._indices_list: list[int] | None = None
+        self._weights_list: list[float] | None = None
         self.num_nodes = len(node_ids)
+
+    @property
+    def indptr_list(self) -> list[int]:
+        lst = self._indptr_list
+        if lst is None:
+            lst = self._indptr_list = self.indptr.tolist()
+        return lst
+
+    @property
+    def indices_list(self) -> list[int]:
+        lst = self._indices_list
+        if lst is None:
+            lst = self._indices_list = self.indices.tolist()
+        return lst
+
+    @property
+    def weights_list(self) -> list[float]:
+        lst = self._weights_list
+        if lst is None:
+            lst = self._weights_list = self.weights.tolist()
+        return lst
 
     def edge_position(self, u_idx: int, v_idx: int) -> int:
         """Flat position of the edge ``u_idx -> v_idx``; ``-1`` when absent.
@@ -143,9 +169,10 @@ class CSRAdjacency:
         return -1
 
     def patch_weight(self, pos: int, value: float) -> None:
-        """Overwrite one edge weight in place (numpy and list views)."""
+        """Overwrite one edge weight in place (numpy and any live list view)."""
         self.weights[pos] = value
-        self.weights_list[pos] = value
+        if self._weights_list is not None:
+            self._weights_list[pos] = value
 
 
 class RoadNetwork:

@@ -1,0 +1,457 @@
+"""Shared-memory packing for metro-scale networks and hub labels.
+
+A city-scale sweep runs the same scenario cell grid under ``N`` worker
+processes.  Before this module each fork inherited (or rebuilt) its own
+private copy of the road network — adjacency dicts, CSR arrays and the
+hub-label index — so resident memory grew linearly in ``N``; on a 50k+-node
+metro graph the label arrays alone run to hundreds of megabytes and the
+sweep became memory-bound long before it became CPU-bound.
+
+:func:`pack_network` serialises one network (and optionally its
+:class:`~repro.network.hub_labeling.HubLabelIndex`) into a single
+:class:`multiprocessing.shared_memory.SharedMemory` block::
+
+    [uint64 header length][JSON header][8-aligned numpy arrays ...]
+
+The header carries scalar metadata (time profile, edge counts, the
+historical ``max_base_time``) plus dtype/shape/offset descriptors for every
+array.  :func:`attach_network` maps the block read-only in a worker and
+wraps it in an :class:`AttachedRoadNetwork` — a :class:`RoadNetwork`
+subclass whose adjacency queries read the shared CSR arrays directly, so the
+only per-worker allocations are a node-coordinate dict and whatever lazy
+``.tolist()`` views the scalar Dijkstra kernels touch.  Hub labels attach
+zero-copy through :meth:`HubLabelIndex.from_arrays`.
+
+Two invariants keep attached workers bit-identical to a worker that built
+everything from scratch:
+
+* the packed static weights are the origin's CSR weights (``base *
+  multiplier``), copied verbatim, and ``static_edge_time`` multiplies them
+  by the dynamic override exactly as :class:`RoadNetwork` does — same
+  association order, same floats;
+* dynamic traffic overrides copy-on-write the weight arrays before the
+  first patch, so the shared block itself is never mutated and a
+  ``reset_traffic_state`` restores the exact pristine values.
+
+Lifecycle: the creating process owns the block via the returned
+:class:`SharedNetworkPack` handle and must call :meth:`SharedNetworkPack.
+dispose` (close + unlink) when the sweep ends.  Attached processes hold the
+mapping for their lifetime; the kernel drops it on process exit, so a
+crashed worker cannot leak the segment — only the owner's unlink matters.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+from multiprocessing import resource_tracker, shared_memory
+
+import numpy as np
+
+from repro.network.graph import CSRAdjacency, RoadNetwork, TimeProfile
+from repro.network.hub_labeling import HubLabelIndex
+
+_ALIGN = 8
+_FORMAT_VERSION = 1
+_name_counter = itertools.count()
+
+
+def _aligned(offset: int) -> int:
+    return (offset + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+def _default_name() -> str:
+    return f"repro-net-{os.getpid()}-{next(_name_counter)}"
+
+
+class SharedNetworkPack:
+    """Owner handle for one packed network block.
+
+    The process that called :func:`pack_network` keeps this handle for the
+    lifetime of the worker pool and then calls :meth:`dispose`, which
+    unlinks the segment from ``/dev/shm``.  Workers never unlink; they only
+    map the block by :attr:`name`.
+    """
+
+    def __init__(self, shm: shared_memory.SharedMemory) -> None:
+        self._shm = shm
+
+    @property
+    def name(self) -> str:
+        """Segment name workers pass to :func:`attach_network`."""
+        return self._shm.name
+
+    @property
+    def size(self) -> int:
+        """Size of the shared block in bytes."""
+        return self._shm.size
+
+    def dispose(self) -> None:
+        """Close the owner mapping and unlink the segment (idempotent)."""
+        if self._shm is None:
+            return
+        shm, self._shm = self._shm, None
+        try:
+            shm.close()
+        finally:
+            try:
+                shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already unlinked
+                pass
+
+    def __enter__(self) -> SharedNetworkPack:
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.dispose()
+
+
+def pack_network(network: RoadNetwork, index: HubLabelIndex | None = None, *,
+                 name: str | None = None) -> SharedNetworkPack:
+    """Serialise ``network`` (and optionally its hub labels) into shared memory.
+
+    The network must be in its pristine state — no active traffic
+    overrides — because the packed weights become the *base* static weights
+    every attached worker layers its own overrides on.  Node identifiers
+    must be integers (every synthetic generator uses them).
+    """
+    if network.edge_overrides():
+        raise ValueError("cannot pack a network with active traffic overrides; "
+                         "reset traffic state first")
+    node_ids = network.nodes
+    for node in node_ids:
+        if not isinstance(node, int):
+            raise TypeError("shared-memory packing requires integer node ids")
+    fwd = network.csr(reverse=False)
+    rev = network.csr(reverse=True)
+
+    lat = np.fromiter((network.coord(n)[0] for n in node_ids),
+                      dtype=np.float64, count=len(node_ids))
+    lon = np.fromiter((network.coord(n)[1] for n in node_ids),
+                      dtype=np.float64, count=len(node_ids))
+
+    def row_base_times(csr: CSRAdjacency, reverse: bool) -> np.ndarray:
+        base = np.empty(len(csr.indices), dtype=np.float64)
+        indptr = csr.indptr_list
+        indices = csr.indices_list
+        for i, node in enumerate(csr.node_ids):
+            for pos in range(indptr[i], indptr[i + 1]):
+                nbr = node_ids[indices[pos]]
+                u, v = (nbr, node) if reverse else (node, nbr)
+                base[pos] = network.base_time(u, v)
+        return base
+
+    multipliers = sorted(network._edge_multiplier.items())
+    arrays: dict[str, np.ndarray] = {
+        "node_ids": np.asarray(node_ids, dtype=np.int64),
+        "lat": lat,
+        "lon": lon,
+        "fwd_indptr": fwd.indptr,
+        "fwd_indices": fwd.indices,
+        "fwd_weights": fwd.weights,
+        "fwd_base": row_base_times(fwd, reverse=False),
+        "rev_indptr": rev.indptr,
+        "rev_indices": rev.indices,
+        "rev_weights": rev.weights,
+        "rev_base": row_base_times(rev, reverse=True),
+        "mult_edges": np.asarray([edge for edge, _ in multipliers],
+                                 dtype=np.int64).reshape(len(multipliers), 2),
+        "mult_values": np.asarray([value for _, value in multipliers],
+                                  dtype=np.float64),
+    }
+    if index is not None:
+        index._ensure_arrays()
+        arrays["hub_order"] = np.asarray(index.hub_order, dtype=np.int64)
+        arrays["out_indptr"] = index._out_indptr
+        arrays["out_ranks"] = index._out_rank_arr
+        arrays["out_dists"] = index._out_dist_arr
+        arrays["in_indptr"] = index._in_indptr
+        arrays["in_ranks"] = index._in_rank_arr
+        arrays["in_dists"] = index._in_dist_arr
+
+    meta = {
+        "format": _FORMAT_VERSION,
+        "num_edges": network.num_edges,
+        "max_base_time": network._max_base_time,
+        "profile_multipliers": list(network.profile.multipliers),
+        "has_index": index is not None,
+    }
+
+    descriptors: dict[str, dict] = {}
+    offset = 0  # filled in after the header size is known
+    for key, arr in arrays.items():
+        descriptors[key] = {"dtype": arr.dtype.str, "shape": list(arr.shape)}
+    # Two-pass header encoding: descriptor offsets depend on the header
+    # length, which depends on the offset digits.  Encoding with placeholder
+    # offsets first and re-encoding once is stable because the second pass
+    # only ever keeps or shrinks the digit count (offsets are rounded up to
+    # a fixed-width estimate on the first pass).
+    probe = {key: {**desc, "offset": 2 ** 62} for key, desc in descriptors.items()}
+    header_len = len(json.dumps({"meta": meta, "arrays": probe}).encode("utf-8"))
+    data_start = _aligned(8 + header_len)
+    offset = data_start
+    for key, arr in arrays.items():
+        descriptors[key]["offset"] = offset
+        offset += arr.nbytes
+        offset = _aligned(offset)
+    total = max(offset, 16)
+    header = json.dumps({"meta": meta, "arrays": descriptors}).encode("utf-8")
+    if 8 + len(header) > data_start:
+        raise RuntimeError("shared header overflowed its reserved space")
+
+    shm = shared_memory.SharedMemory(create=True, size=total,
+                                     name=name or _default_name())
+    try:
+        shm.buf[:8] = len(header).to_bytes(8, "little")
+        shm.buf[8:8 + len(header)] = header
+        for key, arr in arrays.items():
+            desc = descriptors[key]
+            view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=shm.buf,
+                              offset=desc["offset"])
+            view[...] = arr
+    except BaseException:
+        shm.close()
+        shm.unlink()
+        raise
+    return SharedNetworkPack(shm)
+
+
+def attach_network(name: str) -> tuple["AttachedRoadNetwork", HubLabelIndex | None]:
+    """Map a packed block read-only and rebuild the network (and index) views.
+
+    Returns ``(network, index)`` where ``index`` is ``None`` when the pack
+    was created without hub labels.  The mapping lives for the lifetime of
+    the attached objects (the network keeps the
+    :class:`~multiprocessing.shared_memory.SharedMemory` handle); the
+    segment itself is owned — and eventually unlinked — by the packing
+    process.
+    """
+    # Python <= 3.12 registers *attached* segments with the resource
+    # tracker as if this process owned them (bpo-39959): the family-wide
+    # tracker would then warn about / clean up a block the attaching worker
+    # never owned.  Suppress registration for the attach only — the packing
+    # process keeps its registration and remains responsible for cleanup.
+    tracked_register = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None
+    try:
+        shm = shared_memory.SharedMemory(name=name, create=False)
+    finally:
+        resource_tracker.register = tracked_register
+
+    header_len = int.from_bytes(bytes(shm.buf[:8]), "little")
+    header = json.loads(bytes(shm.buf[8:8 + header_len]).decode("utf-8"))
+    meta = header["meta"]
+    if meta["format"] != _FORMAT_VERSION:
+        raise ValueError(f"unsupported shared-network format {meta['format']}")
+
+    def view(key: str) -> np.ndarray:
+        desc = header["arrays"][key]
+        arr = np.ndarray(tuple(desc["shape"]), dtype=np.dtype(desc["dtype"]),
+                         buffer=shm.buf, offset=desc["offset"])
+        arr.flags.writeable = False
+        return arr
+
+    network = AttachedRoadNetwork(shm, meta, {key: view(key)
+                                              for key in header["arrays"]})
+    index: HubLabelIndex | None = None
+    if meta["has_index"]:
+        index = HubLabelIndex.from_arrays(
+            network,
+            order=view("hub_order").tolist(),
+            out_indptr=view("out_indptr"),
+            out_ranks=view("out_ranks"),
+            out_dists=view("out_dists"),
+            in_indptr=view("in_indptr"),
+            in_ranks=view("in_ranks"),
+            in_dists=view("in_dists"),
+        )
+    return network, index
+
+
+class AttachedRoadNetwork(RoadNetwork):
+    """A read-mostly :class:`RoadNetwork` backed by shared CSR arrays.
+
+    The adjacency dicts of the base class stay empty; every query that
+    would read them is overridden to read the shared arrays instead, in the
+    same iteration order, yielding bit-identical results.  Structural
+    mutation (``add_node`` / ``add_edge``) is forbidden.  Dynamic traffic
+    overrides work: the first :meth:`set_edge_override` copies the weight
+    arrays out of the shared block (copy-on-write), after which repairs and
+    resets behave exactly like an owned network.
+    """
+
+    def __init__(self, shm: shared_memory.SharedMemory, meta: dict,
+                 arrays: dict[str, np.ndarray]) -> None:
+        super().__init__(TimeProfile(tuple(meta["profile_multipliers"])))
+        self._shm = shm
+        node_list = arrays["node_ids"].tolist()
+        self._coords = dict(zip(node_list,
+                                zip(arrays["lat"].tolist(),
+                                    arrays["lon"].tolist())))
+        index_of = {node: i for i, node in enumerate(node_list)}
+        self._node_list = node_list
+        self._index_of = index_of
+        self._num_edges = int(meta["num_edges"])
+        self._max_base_time = float(meta["max_base_time"])
+        edges = arrays["mult_edges"]
+        values = arrays["mult_values"].tolist()
+        self._edge_multiplier = {(int(edges[i, 0]), int(edges[i, 1])): values[i]
+                                 for i in range(len(values))}
+        self._csr_cache = {
+            False: CSRAdjacency(node_list, index_of, arrays["fwd_indptr"],
+                                arrays["fwd_indices"], arrays["fwd_weights"]),
+            True: CSRAdjacency(node_list, index_of, arrays["rev_indptr"],
+                               arrays["rev_indices"], arrays["rev_weights"]),
+        }
+        # Pristine static weights (base * multiplier, no overrides): the
+        # read-only shared views, kept even after the live CSR weights go
+        # copy-on-write so overrides always recompute from exact originals.
+        self._static_fwd = arrays["fwd_weights"]
+        self._fwd_base = arrays["fwd_base"]
+        self._rev_base = arrays["rev_base"]
+        self._fwd_base_list: list[float] | None = None
+        self._rev_base_list: list[float] | None = None
+        self._weights_shared = True
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    @property
+    def shared_name(self) -> str:
+        """Name of the shared-memory segment backing this network."""
+        return self._shm.name
+
+    # ------------------------------------------------------------------ #
+    # structural mutation is forbidden
+    # ------------------------------------------------------------------ #
+    def add_node(self, node: int, lat: float, lon: float) -> None:
+        raise TypeError("shared-memory attached networks are "
+                        "structurally immutable")
+
+    def add_edge(self, u: int, v: int, base_time: float,
+                 multiplier: float = 1.0) -> None:
+        raise TypeError("shared-memory attached networks are "
+                        "structurally immutable")
+
+    # ------------------------------------------------------------------ #
+    # adjacency queries against the shared CSR
+    # ------------------------------------------------------------------ #
+    def _edge_position(self, u: int, v: int) -> int:
+        iu = self._index_of.get(u)
+        iv = self._index_of.get(v)
+        if iu is None or iv is None:
+            return -1
+        return self._csr_cache[False].edge_position(iu, iv)
+
+    def has_edge(self, u: int, v: int) -> bool:
+        return self._edge_position(u, v) >= 0
+
+    def base_time(self, u: int, v: int) -> float:
+        pos = self._edge_position(u, v)
+        if pos < 0:
+            raise KeyError((u, v))
+        return self._base_list(reverse=False)[pos]
+
+    def static_edge_time(self, u: int, v: int) -> float:
+        pos = self._edge_position(u, v)
+        if pos < 0:
+            raise KeyError((u, v))
+        return float(self._static_fwd[pos]) * self._edge_override.get((u, v), 1.0)
+
+    # Keep the private alias pointing at the attached implementation (the
+    # base class body aliased its own method; a subclass override does not
+    # retarget it automatically).
+    _static_edge_time = static_edge_time
+
+    def _base_list(self, reverse: bool) -> list[float]:
+        if reverse:
+            lst = self._rev_base_list
+            if lst is None:
+                lst = self._rev_base_list = self._rev_base.tolist()
+        else:
+            lst = self._fwd_base_list
+            if lst is None:
+                lst = self._fwd_base_list = self._fwd_base.tolist()
+        return lst
+
+    def _iter_row(self, u: int, reverse: bool):
+        iu = self._index_of.get(u)
+        if iu is None:
+            return
+        csr = self._csr_cache[reverse]
+        indptr = csr.indptr_list
+        indices = csr.indices_list
+        base = self._base_list(reverse)
+        node_list = self._node_list
+        for pos in range(indptr[iu], indptr[iu + 1]):
+            yield node_list[indices[pos]], base[pos]
+
+    def neighbors(self, u: int):
+        return self._iter_row(u, reverse=False)
+
+    def predecessors(self, u: int):
+        return self._iter_row(u, reverse=True)
+
+    def out_degree(self, u: int) -> int:
+        iu = self._index_of.get(u)
+        if iu is None:
+            return 0
+        indptr = self._csr_cache[False].indptr_list
+        return indptr[iu + 1] - indptr[iu]
+
+    def edges(self):
+        csr = self._csr_cache[False]
+        indptr = csr.indptr_list
+        indices = csr.indices_list
+        base = self._base_list(reverse=False)
+        node_list = self._node_list
+        for i, u in enumerate(node_list):
+            for pos in range(indptr[i], indptr[i + 1]):
+                yield u, node_list[indices[pos]], base[pos]
+
+    def is_strongly_connected(self) -> bool:
+        if not self._coords:
+            return True
+        for reverse in (False, True):
+            csr = self._csr_cache[reverse]
+            indptr = csr.indptr_list
+            indices = csr.indices_list
+            seen = bytearray(csr.num_nodes)
+            seen[0] = 1
+            stack = [0]
+            count = 1
+            while stack:
+                node = stack.pop()
+                for pos in range(indptr[node], indptr[node + 1]):
+                    nbr = indices[pos]
+                    if not seen[nbr]:
+                        seen[nbr] = 1
+                        count += 1
+                        stack.append(nbr)
+            if count != csr.num_nodes:
+                return False
+        return True
+
+    # ------------------------------------------------------------------ #
+    # dynamic overrides: copy-on-write out of the shared block
+    # ------------------------------------------------------------------ #
+    def _ensure_private_weights(self) -> None:
+        if not self._weights_shared:
+            return
+        for csr in self._csr_cache.values():
+            csr.weights = csr.weights.copy()
+            # Any live list view already mirrors the pristine values.
+        self._weights_shared = False
+
+    def set_edge_override(self, u: int, v: int, factor: float) -> float:
+        self._ensure_private_weights()
+        return super().set_edge_override(u, v, factor)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"AttachedRoadNetwork(nodes={self.num_nodes}, "
+                f"edges={self.num_edges}, shm={self._shm.name!r})")
+
+
+__all__ = ["SharedNetworkPack", "pack_network", "attach_network",
+           "AttachedRoadNetwork"]

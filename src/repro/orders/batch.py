@@ -75,12 +75,8 @@ class Batch:
         return tuple(order.order_id for order in self.orders)
 
     def restaurant_nodes(self) -> list[int]:
-        """Distinct restaurant nodes touched by the batch."""
-        seen: list[int] = []
-        for order in self.orders:
-            if order.restaurant_node not in seen:
-                seen.append(order.restaurant_node)
-        return seen
+        """Distinct restaurant nodes touched by the batch, first-seen order."""
+        return list(dict.fromkeys(order.restaurant_node for order in self.orders))
 
     def __len__(self) -> int:
         return len(self.orders)

@@ -116,8 +116,7 @@ class CostModel:
         for order in new_orders:
             nodes.append(order.restaurant_node)
             nodes.append(order.customer_node)
-        for order in onboard_orders:
-            nodes.append(order.customer_node)
+        nodes.extend(order.customer_node for order in onboard_orders)
         insertion = self._planner == "insertion" or (
             self._planner == "auto" and stop_count > _AUTO_EXHAUSTIVE_STOP_LIMIT)
         # The array kernel pays a fixed setup cost per plan (permutation

@@ -132,8 +132,8 @@ def enumerate_route_plans(new_orders: Sequence[Order],
     for order in new_orders:
         stops.append(RouteStop(order.restaurant_node, order, True))
         stops.append(RouteStop(order.customer_node, order, False))
-    for order in onboard_orders:
-        stops.append(RouteStop(order.customer_node, order, False))
+    stops.extend(RouteStop(order.customer_node, order, False)
+                 for order in onboard_orders)
     if not stops:
         yield ()
         return
@@ -268,8 +268,8 @@ def best_route_plan_vectorized(new_orders: Sequence[Order], start_node: int,
     for order in new_orders:
         stops.append(RouteStop(order.restaurant_node, order, True))
         stops.append(RouteStop(order.customer_node, order, False))
-    for order in onboard_orders:
-        stops.append(RouteStop(order.customer_node, order, False))
+    stops.extend(RouteStop(order.customer_node, order, False)
+                 for order in onboard_orders)
     size = len(stops)
 
     unique_nodes = list(dict.fromkeys(

@@ -214,9 +214,15 @@ class Simulator:
         the cumulative ``cache_info`` counters span runs; subtracting the
         run-start snapshot attributes hits and misses to this simulation
         only.  Sizes and capacities are reported as of the end of the run.
+
+        When the oracle runs on the hub-label backend, a ``"hub_labels"``
+        entry reports the index footprint (label entry count and resident
+        bytes) as of the end of the run, so the scalability experiments see
+        index memory next to the cache hit rates.
         """
         stats: dict[str, dict[str, int]] = {}
-        for name, info in self.cost_model.oracle.cache_info().items():
+        oracle = self.cost_model.oracle
+        for name, info in oracle.cache_info().items():
             base = before.get(name, {})
             stats[name] = {
                 "hits": info["hits"] - base.get("hits", 0),
@@ -224,6 +230,11 @@ class Simulator:
                 "size": info["size"],
                 "capacity": info["capacity"],
             }
+        index_info = getattr(oracle, "index_info", None)
+        if index_info is not None:
+            footprint = index_info()
+            if footprint is not None:
+                stats["hub_labels"] = dict(footprint)
         return stats
 
     # ------------------------------------------------------------------ #

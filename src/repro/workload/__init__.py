@@ -15,7 +15,16 @@ structure the evaluation depends on:
 Everything is seeded and deterministic.
 """
 
-from repro.workload.city import CityProfile, CITY_A, CITY_B, CITY_C, GRUBHUB, CITY_PROFILES
+from repro.workload.city import (
+    CityProfile,
+    CITY_A,
+    CITY_B,
+    CITY_C,
+    GRUBHUB,
+    METRO,
+    metro_profile,
+    CITY_PROFILES,
+)
 from repro.workload.generator import (
     FLEET_MODES,
     Restaurant,
@@ -46,6 +55,8 @@ __all__ = [
     "CITY_B",
     "CITY_C",
     "GRUBHUB",
+    "METRO",
+    "metro_profile",
     "CITY_PROFILES",
     "Restaurant",
     "Scenario",

@@ -417,7 +417,8 @@ def generate_vehicles(network: RoadNetwork, profile: CityProfile,
 def generate_scenario(profile: CityProfile, seed: int = 0,
                       start_hour: int = 0, end_hour: int = 24,
                       traffic: str | float = "none",
-                      fleet: str = "none") -> Scenario:
+                      fleet: str = "none",
+                      network: RoadNetwork | None = None) -> Scenario:
     """Materialise a complete scenario for a city profile.
 
     ``start_hour`` / ``end_hour`` restrict the generated order stream (the
@@ -431,9 +432,17 @@ def generate_scenario(profile: CityProfile, seed: int = 0,
     :data:`FLEET_MODES` (``"none"`` keeps the static always-online fleet).
     Both draw from seeds derived from the workload seed, so the base
     scenario content is identical across traffic/fleet modes.
+
+    ``network`` substitutes a pre-materialised network for the one
+    ``profile.network_factory`` would build — the shared-memory sweep path
+    passes the attached view of the parent's packed network here.  The
+    caller is responsible for it being equivalent to the factory's output
+    (same nodes, edges and weights in the same order); workload generation
+    is then bit-identical to the owned-network scenario.
     """
     rng = random.Random(seed)
-    network = profile.network_factory()
+    if network is None:
+        network = profile.network_factory()
     restaurants = generate_restaurants(network, profile, rng)
     orders = generate_orders(network, restaurants, profile, rng,
                              start_hour=start_hour, end_hour=end_hour)

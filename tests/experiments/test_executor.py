@@ -1,10 +1,13 @@
 """Tests for the process-parallel experiment executor.
 
 The load-bearing guarantees: parallel sweeps are bit-identical to serial
-ones (golden fingerprint comparison), one failing cell never loses the
-sweep, custom profiles resolve inside workers, and the session-default jobs
-plumbing validates its inputs.
+ones (golden fingerprint comparison) — including shared-memory network
+sweeps, which must also leave no segment behind — one failing cell never
+loses the sweep, custom profiles resolve inside workers, and the
+session-default jobs plumbing validates its inputs.
 """
+
+import os
 
 import pytest
 
@@ -26,7 +29,7 @@ from repro.experiments.runner import (
     run_policy_comparison,
 )
 from repro.network.generators import random_geometric_city
-from repro.workload.city import CITY_PROFILES, CityProfile
+from repro.workload.city import CITY_PROFILES, CityProfile, metro_profile
 
 SMALL = ExperimentSetting(profile=CITY_PROFILES["CityA"], scale=0.1,
                           start_hour=12, end_hour=13, seed=3)
@@ -69,6 +72,27 @@ class TestGoldenParallelIdentity:
         for name in serial:
             assert (result_fingerprint(serial[name])
                     == result_fingerprint(parallel[name]))
+
+    def test_share_networks_bit_identical_and_leak_free(self):
+        # A metro profile above the oracle's hub-label threshold, so the
+        # packed segment carries CSR arrays *and* hub labels.
+        profile = metro_profile(16, 15, name="ExecutorSharedMetro", seed=11)
+        setting = ExperimentSetting(profile=profile, scale=0.25,
+                                    start_hour=12, end_hour=13, seed=2)
+        cells = [ExperimentCell(setting.with_seed(seed), PolicySpec.of(policy))
+                 for policy in ("km", "greedy") for seed in (2, 3)]
+        shm_dir = "/dev/shm"
+        before = (set(os.listdir(shm_dir)) if os.path.isdir(shm_dir)
+                  else set())
+        clear_cache()
+        serial = run_cells(cells, jobs=1)
+        clear_cache()
+        shared = run_cells(cells, jobs=4, share_networks=True)
+        assert ([result_fingerprint(outcome.require()) for outcome in serial]
+                == [result_fingerprint(outcome.require()) for outcome in shared])
+        if os.path.isdir(shm_dir):
+            # Every packed segment was disposed with the pool.
+            assert set(os.listdir(shm_dir)) - before == set()
 
     def test_custom_profile_resolves_in_workers(self):
         setting = ExperimentSetting(profile=CUSTOM_PROFILE, scale=1.0,

@@ -1,0 +1,161 @@
+"""Property tests for the city-scale kernels (PR 6).
+
+Two families of invariants:
+
+* **Contraction-ordered builds are exact.**  The hub order is a label-size
+  lever, never a correctness lever: for *any* complete order, pruned
+  landmark labeling yields an exact 2-hop cover.  The contraction order is
+  checked against the per-node-dict reference index built with the *same*
+  order (identical labels modulo storage) and against Dijkstra ground
+  truth.
+* **Pruned repair matches a rebuild.**  After any sequence of traffic
+  override mutations, a repaired index answers every query like an index
+  rebuilt from scratch on the mutated network, and the repaired labels stay
+  pruned — total entries comparable to the fresh build's, never the dense
+  all-reachable-hubs labels of the pre-PR-6 repair.
+"""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network._dict_hub_labels import DictHubLabelIndex
+from repro.network.generators import metro_grid, random_geometric_city
+from repro.network.graph import TimeProfile
+from repro.network.hub_labeling import HubLabelIndex
+from repro.network.shortest_path import dijkstra_all
+
+
+def _flat_network(seed: int, num_nodes: int = 40):
+    return random_geometric_city(num_nodes=num_nodes,
+                                 profile=TimeProfile.flat(), seed=seed)
+
+
+def _all_pairs(network) -> dict[int, dict[int, float]]:
+    return {s: dijkstra_all(network, s, t=0.0) for s in network.nodes}
+
+
+class TestContractionOrderBuild:
+    @given(seed=st.integers(min_value=0, max_value=400))
+    @settings(max_examples=15, deadline=None)
+    def test_contraction_build_matches_dict_reference(self, seed):
+        network = _flat_network(seed)
+        index = HubLabelIndex(network)
+        reference = DictHubLabelIndex(network, order=index.hub_order)
+        truth = _all_pairs(network)
+        for s in network.nodes:
+            reachable = truth[s]
+            for t in network.nodes:
+                expect = reachable.get(t, math.inf)
+                got = index.query(s, t)
+                ref = reference.query(s, t)
+                if math.isinf(expect):
+                    assert math.isinf(got) and math.isinf(ref), (s, t)
+                else:
+                    assert got == pytest.approx(expect, rel=1e-9, abs=1e-9), (s, t)
+                    assert ref == pytest.approx(expect, rel=1e-9, abs=1e-9), (s, t)
+
+    @given(seed=st.integers(min_value=0, max_value=100))
+    @settings(max_examples=8, deadline=None)
+    def test_both_order_strategies_are_exact(self, seed):
+        network = _flat_network(seed, num_nodes=32)
+        truth = _all_pairs(network)
+        for strategy in ("contraction", "betweenness"):
+            index = HubLabelIndex(network, order_strategy=strategy)
+            for s in network.nodes[::3]:
+                for t in network.nodes[::3]:
+                    expect = truth[s].get(t, math.inf)
+                    got = index.query(s, t)
+                    if math.isinf(expect):
+                        assert math.isinf(got)
+                    else:
+                        assert got == pytest.approx(expect, rel=1e-9, abs=1e-9)
+
+    def test_contraction_order_is_deterministic_and_complete(self):
+        network = metro_grid(rows=9, cols=8, profile=TimeProfile.flat(), seed=2)
+        first = HubLabelIndex(network)
+        second = HubLabelIndex(network)
+        assert first.hub_order == second.hub_order
+        assert sorted(first.hub_order) == sorted(network.nodes)
+
+    def test_contraction_order_shrinks_metro_labels(self):
+        # The whole point of the CH ordering: fewer label entries than the
+        # sampled-betweenness ordering on road-like grids.
+        network = metro_grid(rows=14, cols=13, profile=TimeProfile.flat(),
+                             seed=5)
+        contraction = HubLabelIndex(network)
+        betweenness = HubLabelIndex(network, order_strategy="betweenness")
+        assert contraction.total_label_entries < betweenness.total_label_entries
+
+
+class TestPrunedRepair:
+    @given(seed=st.integers(min_value=0, max_value=300))
+    @settings(max_examples=12, deadline=None)
+    def test_repaired_queries_match_rebuild_and_stay_pruned(self, seed):
+        rng = random.Random(seed)
+        network = _flat_network(seed % 7, num_nodes=36)
+        index = HubLabelIndex(network)
+        edges = [(u, v) for u, v, _ in network.edges()]
+        for _step in range(rng.randint(1, 3)):
+            changes = {edge: rng.choice([0.3, 0.7, 2.0, 5.0, math.inf])
+                       for edge in rng.sample(edges, rng.randint(1, 4))}
+            affected_out, affected_in = _affected_sets(network, changes)
+            for (u, v), factor in changes.items():
+                network.set_edge_override(u, v, factor)
+            index.repair(affected_out, affected_in)
+        rebuilt = HubLabelIndex(network)
+        truth = _all_pairs(network)
+        for s in network.nodes[::2]:
+            for t in network.nodes[::2]:
+                expect = truth[s].get(t, math.inf)
+                got = index.query(s, t)
+                fresh = rebuilt.query(s, t)
+                if math.isinf(expect):
+                    assert math.isinf(got) and math.isinf(fresh), (s, t)
+                else:
+                    assert got == pytest.approx(expect, rel=1e-9, abs=1e-9), (s, t)
+                    assert fresh == pytest.approx(expect, rel=1e-9, abs=1e-9), (s, t)
+        # Pruned repair keeps labels near fresh-build size; the pre-PR-6
+        # dense repair stored every reachable hub and blew past this bound.
+        assert index.total_label_entries <= 1.5 * rebuilt.total_label_entries
+
+    def test_repair_of_reverted_override_restores_label_sizes(self):
+        network = _flat_network(seed=4)
+        index = HubLabelIndex(network)
+        baseline = index.total_label_entries
+        u, v, _ = next(iter(network.edges()))
+        for factor in (4.0, 1.0):
+            changes = {(u, v): factor}
+            affected_out, affected_in = _affected_sets(network, changes)
+            network.set_edge_override(u, v, factor)
+            index.repair(affected_out, affected_in)
+        assert index.total_label_entries <= 1.2 * baseline
+
+
+def _affected_sets(network, changes):
+    """Exact affected out/in node sets for a batch of override changes.
+
+    Mirrors the oracle's derivation (before/after SSSP per mutated
+    endpoint) without pulling in its caches; the tests drive
+    :meth:`HubLabelIndex.repair` directly.
+    """
+    before_out = {s: dijkstra_all(network, s, t=0.0) for s in network.nodes}
+    saved = {edge: network.edge_override(*edge) for edge in changes}
+    for (u, v), factor in changes.items():
+        network.set_edge_override(u, v, factor)
+    affected_out = set()
+    affected_in = set()
+    for s in network.nodes:
+        after = dijkstra_all(network, s, t=0.0)
+        for t in set(before_out[s]) | set(after):
+            old = before_out[s].get(t, math.inf)
+            new = after.get(t, math.inf)
+            if old != new and not (math.isinf(old) and math.isinf(new)):
+                affected_out.add(s)
+                affected_in.add(t)
+    for edge, factor in saved.items():
+        network.set_edge_override(*edge, factor)
+    return affected_out, affected_in

@@ -1,0 +1,195 @@
+"""Shared-memory network lifecycle tests (PR 6).
+
+A packed segment must round-trip the network (and hub-label index)
+bit-exactly, attached views must be structurally immutable but support
+copy-on-write traffic overrides without leaking into sibling views, and the
+segment must survive worker crashes without leaving ``/dev/shm`` litter.
+"""
+
+import math
+import os
+import sys
+
+import pytest
+
+from repro.network.distance_oracle import DistanceOracle
+from repro.network.generators import metro_grid, random_geometric_city
+from repro.network.graph import TimeProfile
+from repro.network.hub_labeling import HubLabelIndex
+from repro.network.shared import attach_network, pack_network
+from repro.network.shortest_path import dijkstra_all
+
+
+def _network(seed: int = 7, num_nodes: int = 60):
+    return random_geometric_city(num_nodes=num_nodes,
+                                 profile=TimeProfile.urban_peaks(), seed=seed)
+
+
+def _segment_exists(name: str) -> bool:
+    return os.path.exists(f"/dev/shm/{name}")
+
+
+class TestPackAttachEquivalence:
+    def test_round_trip_is_bit_exact(self):
+        network = _network()
+        index = HubLabelIndex(network)
+        with pack_network(network, index) as pack:
+            attached, attached_index = attach_network(pack.name)
+            assert attached.num_nodes == network.num_nodes
+            assert attached.num_edges == network.num_edges
+            assert attached.nodes == network.nodes
+            for node in network.nodes:
+                assert attached.coord(node) == network.coord(node)
+                assert (sorted(attached.neighbors(node))
+                        == sorted(network.neighbors(node)))
+                assert (sorted(attached.predecessors(node))
+                        == sorted(network.predecessors(node)))
+            for u, v, _ in network.edges():
+                assert attached.base_time(u, v) == network.base_time(u, v)
+                assert (attached.static_edge_time(u, v)
+                        == network.static_edge_time(u, v))
+            assert attached_index is not None
+            assert attached_index.hub_order == index.hub_order
+            assert attached_index.memory_info() == index.memory_info()
+            # Attached labels answer bit-identically to the owner's index
+            # (same arrays, zero-copy).
+            for s in network.nodes[::5]:
+                for t in network.nodes[::5]:
+                    got = attached_index.query(s, t)
+                    expect = index.query(s, t)
+                    if math.isinf(expect):
+                        assert math.isinf(got)
+                    else:
+                        assert got == expect
+
+    def test_pack_without_index(self):
+        network = _network(seed=3, num_nodes=30)
+        with pack_network(network) as pack:
+            attached, attached_index = attach_network(pack.name)
+            assert attached_index is None
+            assert attached.num_edges == network.num_edges
+
+    def test_pack_rejects_networks_with_overrides(self):
+        network = _network(seed=2, num_nodes=30)
+        u, v, _ = next(iter(network.edges()))
+        network.set_edge_override(u, v, 2.0)
+        with pytest.raises(ValueError, match="override"):
+            pack_network(network)
+
+    def test_metro_grid_round_trips(self):
+        network = metro_grid(rows=12, cols=11, seed=4)
+        with pack_network(network) as pack:
+            attached, _ = attach_network(pack.name)
+            assert attached.num_nodes == network.num_nodes
+            assert sorted(attached.edges()) == sorted(network.edges())
+
+
+class TestAttachedViewSemantics:
+    def test_structural_mutation_rejected(self):
+        network = _network(seed=5, num_nodes=30)
+        with pack_network(network) as pack:
+            attached, _ = attach_network(pack.name)
+            with pytest.raises(TypeError, match="shared-memory"):
+                attached.add_node(999_999, 0.0, 0.0)
+            with pytest.raises(TypeError, match="shared-memory"):
+                u, v, _ = next(iter(network.edges()))
+                attached.add_edge(u, v, 1.0)
+
+    def test_copy_on_write_override_isolation(self):
+        network = _network(seed=6, num_nodes=40)
+        u, v, _ = next(iter(network.edges()))
+        with pack_network(network) as pack:
+            first, _ = attach_network(pack.name)
+            second, _ = attach_network(pack.name)
+            before = first.static_edge_time(u, v)
+            first.set_edge_override(u, v, 3.5)
+            # Sibling view and owner stay pristine.
+            assert second.static_edge_time(u, v) == before
+            assert network.static_edge_time(u, v) == before
+            # The overridden view matches an owned network mutated the same
+            # way, bit for bit — including downstream SSSP.
+            network.set_edge_override(u, v, 3.5)
+            assert first.static_edge_time(u, v) == network.static_edge_time(u, v)
+            source = network.nodes[0]
+            assert (dijkstra_all(first, source, t=0.0)
+                    == dijkstra_all(network, source, t=0.0))
+
+    def test_attached_index_repair_stays_private(self):
+        network = _network(seed=8, num_nodes=40)
+        index = HubLabelIndex(network)
+        with pack_network(network, index) as pack:
+            first_net, first_idx = attach_network(pack.name)
+            second_net, second_idx = attach_network(pack.name)
+            oracle = DistanceOracle(first_net, hub_index=first_idx)
+            u, v, _ = next(iter(network.edges()))
+            oracle.apply_traffic_updates({(u, v): 4.0})
+            # The sibling's labels are untouched by the repair overlays.
+            assert second_idx.memory_info() == index.memory_info()
+            for s in network.nodes[::7]:
+                for t in network.nodes[::7]:
+                    expect = index.query(s, t)
+                    got = second_idx.query(s, t)
+                    assert got == expect or (math.isinf(got)
+                                             and math.isinf(expect))
+
+
+class TestLifecycle:
+    def test_dispose_removes_segment_and_is_idempotent(self):
+        network = _network(seed=9, num_nodes=25)
+        pack = pack_network(network)
+        name = pack.name
+        assert _segment_exists(name)
+        pack.dispose()
+        assert not _segment_exists(name)
+        pack.dispose()  # idempotent
+        with pytest.raises(FileNotFoundError):
+            attach_network(name)
+
+    @pytest.mark.skipif(not hasattr(os, "fork"), reason="requires fork")
+    def test_worker_crash_leaves_no_leak(self):
+        network = _network(seed=10, num_nodes=30)
+        pack = pack_network(network)
+        name = pack.name
+        pid = os.fork()
+        if pid == 0:  # child: attach, then die without any cleanup
+            try:
+                attached, _ = attach_network(name)
+                assert attached.num_nodes == network.num_nodes
+                os._exit(0)
+            except BaseException:
+                os._exit(1)
+        _, status = os.waitpid(pid, 0)
+        assert os.waitstatus_to_exitcode(status) == 0
+        # The crashed worker neither unlinked the segment nor registered it
+        # with its resource tracker; the owner's dispose is the sole cleanup.
+        assert _segment_exists(name)
+        pack.dispose()
+        assert not _segment_exists(name)
+
+    @pytest.mark.skipif(not hasattr(os, "fork"), reason="requires fork")
+    def test_crashing_worker_mid_query_does_not_corrupt_owner(self):
+        network = _network(seed=11, num_nodes=30)
+        index = HubLabelIndex(network)
+        baseline = {t: index.query(network.nodes[0], t)
+                    for t in network.nodes}
+        pack = pack_network(network, index)
+        pid = os.fork()
+        if pid == 0:
+            try:
+                attached, attached_idx = attach_network(pack.name)
+                attached_idx.query(attached.nodes[0], attached.nodes[-1])
+                os._exit(7)  # simulated hard crash, nonzero exit
+            except BaseException:
+                os._exit(1)
+        _, status = os.waitpid(pid, 0)
+        assert os.waitstatus_to_exitcode(status) == 7
+        name = pack.name
+        fresh, fresh_idx = attach_network(name)
+        assert {t: fresh_idx.query(fresh.nodes[0], t)
+                for t in fresh.nodes} == baseline
+        pack.dispose()
+        assert not _segment_exists(name)
+
+
+if __name__ == "__main__":
+    sys.exit(pytest.main([__file__, "-q"]))

@@ -140,8 +140,12 @@ class TestCacheStatsSurfacing:
         result = simulate(scenario, FoodMatchPolicy(cost_model), cost_model,
                           SimulationConfig(delta=120.0, start=12 * 3600.0,
                                            end=13 * 3600.0))
-        assert set(result.cache_stats) == {"point", "path", "sssp"}
-        for stats in result.cache_stats.values():
+        assert set(result.cache_stats) == {"point", "path", "sssp", "hub_labels"}
+        for name, stats in result.cache_stats.items():
+            if name == "hub_labels":
+                assert set(stats) == {"entries", "bytes"}
+                assert stats["entries"] > 0 and stats["bytes"] > 0
+                continue
             assert set(stats) == {"hits", "misses", "size", "capacity"}
             assert stats["hits"] >= 0 and stats["misses"] >= 0
         assert result.total_cache_hits() + result.total_cache_misses() > 0

@@ -29,7 +29,8 @@ class TestProfileRelationships:
         assert CITY_B.accumulation_window == CITY_C.accumulation_window == 180.0
 
     def test_registry_contains_all_profiles(self):
-        assert set(CITY_PROFILES) == {"CityA", "CityB", "CityC", "GrubHub"}
+        assert set(CITY_PROFILES) == {"CityA", "CityB", "CityC", "GrubHub",
+                                      "Metro"}
 
     def test_hourly_weights_have_lunch_and_dinner_peaks(self):
         for profile in CITY_PROFILES.values():
