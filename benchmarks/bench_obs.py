@@ -1,0 +1,254 @@
+"""Microbenchmark for the PR 7 observability (``repro.obs``) subsystem.
+
+Gates the cost of the tracing/metrics instrumentation on the simulation
+loop.  Two claims are enforced, both on the 300-node smoke city:
+
+* **obs off** (the default) costs < 2% — every instrumentation site hits
+  the ``NULL_TRACER`` / ``_NULL_SPAN`` singletons: no clock reads, no
+  allocation, no histogram updates; and
+* **obs summary** costs < 5% — a live :class:`~repro.obs.trace.Tracer`
+  aggregates every span into streaming per-phase histograms (bounded
+  memory, no record retention).
+
+Whole-run A/B wall-clock comparison cannot resolve a 2% bound on a busy
+CI runner (observed run-to-run noise on 3-second simulations is several
+times that), so the gate is computed the stable way instead:
+
+1. microbenchmark the per-operation cost of each instrumentation
+   primitive (null span, live span, ``current_tracer()`` probe) in tight
+   loops, where min-of-N per-op timings are reproducible to a few
+   nanoseconds even on noisy machines;
+2. count how many such operations one real simulation actually executes
+   (span counts from the run's own telemetry, route-planner probes from
+   the cost model's counter — both deterministic); and
+3. gate the **implied overhead**: ops x ns/op against the fastest
+   observed uninstrumented run time (the minimum over repeats, which
+   biases the denominator down and therefore the gate conservative).
+
+Before any timing, off-, summary- and trace-mode runs of the same cell
+must produce **bit-identical fingerprints**
+(:func:`~repro.experiments.executor.result_fingerprint`), and the
+instrumented runs must have actually recorded phases — so the benchmark
+cannot silently degenerate into gating a no-op.  Raw end-to-end rates
+are reported informationally (they carry the runner's noise).
+
+Results go to ``BENCH_PR7.json`` (repo root by default).  Run::
+
+    PYTHONPATH=src python benchmarks/bench_obs.py          # full
+    PYTHONPATH=src python benchmarks/bench_obs.py --smoke  # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import pathlib
+import time
+
+from _bench_utils import REPO_ROOT, write_bench_json
+
+from repro import obs
+from repro.core.foodmatch import FoodMatchPolicy
+from repro.experiments.executor import result_fingerprint
+from repro.network.distance_oracle import DistanceOracle
+from repro.network.generators import random_geometric_city
+from repro.obs.trace import Tracer, current_tracer, use_tracer
+from repro.orders.costs import CostModel
+from repro.sim.engine import SimulationConfig, Simulator
+from repro.workload.city import CityProfile
+from repro.workload.generator import generate_scenario
+
+DEFAULT_OUT = REPO_ROOT / "BENCH_PR7.json"
+
+#: The 300-node smoke city the acceptance gates run on.
+BENCH_PROFILE = CityProfile(
+    name="Bench300",
+    network_factory=lambda: random_geometric_city(num_nodes=300, seed=17),
+    num_restaurants=30,
+    num_vehicles=36,
+    orders_per_day=900,
+    mean_prep_minutes=9.0,
+    accumulation_window=120.0,
+)
+
+
+def _run_once(mode: str, seed: int, start_hour: int, end_hour: int) -> dict:
+    """Simulate one lunch hour under one obs mode; timing + identity."""
+    obs.set_mode(mode)
+    try:
+        scenario = generate_scenario(BENCH_PROFILE, seed=seed,
+                                     start_hour=start_hour, end_hour=end_hour,
+                                     traffic="light")
+        oracle = DistanceOracle(scenario.network)
+        cost_model = CostModel(oracle)
+        policy = FoodMatchPolicy(cost_model)
+        config = SimulationConfig(delta=BENCH_PROFILE.accumulation_window,
+                                  start=start_hour * 3600.0,
+                                  end=end_hour * 3600.0)
+        simulator = Simulator(scenario, policy, cost_model, config)
+        start = time.perf_counter()
+        result = simulator.run()
+        elapsed = time.perf_counter() - start
+    finally:
+        obs.set_mode("off")
+    telemetry = result.telemetry
+    return {
+        "fingerprint": result_fingerprint(result),
+        "windows": len(result.windows),
+        "elapsed": elapsed,
+        "orders": result.summary()["orders"],
+        "phases": 0 if telemetry is None else len(telemetry.phase_stats),
+        "spans": 0 if telemetry is None else len(telemetry.spans),
+        "span_ops": (0 if telemetry is None else
+                     sum(s["count"] for s in telemetry.phase_stats.values())),
+        "plan_calls": cost_model.plan_calls,
+    }
+
+
+def _ns_per_op(fn, iterations: int, repeats: int = 5) -> float:
+    """Best-of-N per-call cost of ``fn`` in nanoseconds.
+
+    A tight same-process loop compares like with like: scheduler noise
+    inflates individual repeats but the minimum over repeats is stable to
+    a few ns/op, which is what resolving a 2% whole-run bound needs.
+    """
+    best = math.inf
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for _ in range(iterations):
+            fn()
+        best = min(best, time.perf_counter() - start)
+    return best / iterations * 1e9
+
+
+def _primitive_costs(iterations: int) -> dict[str, float]:
+    """ns/op of each instrumentation primitive, off-mode and live.
+
+    ``null_span`` / ``live_span`` mirror the engine/policy/oracle call
+    sites (``with current_tracer().span(name):``); ``null_probe`` mirrors
+    the cost model's per-route-plan guard (fetch tracer, check a flag).
+    The live tracer is a summary-mode one (``keep_records=False``) — the
+    5% gate is about summary mode; trace mode is informational.
+    """
+
+    def null_span() -> None:
+        with current_tracer().span("bench.op"):
+            pass
+
+    def null_probe() -> None:
+        current_tracer().keep_records  # noqa: B018 - the probe *is* the load
+
+    costs = {
+        "null_span_ns": _ns_per_op(null_span, iterations),
+        "null_probe_ns": _ns_per_op(null_probe, iterations),
+    }
+    live = Tracer(trace_id="bench", keep_records=False)
+    with use_tracer(live):
+        costs["live_span_ns"] = _ns_per_op(null_span, iterations)
+        costs["live_probe_ns"] = _ns_per_op(null_probe, iterations)
+    return costs
+
+
+def bench_obs_overhead(seed: int, repeats: int, iterations: int,
+                       start_hour: int = 12, end_hour: int = 13) -> dict:
+    """Implied instrumentation overhead: ops-per-run x ns-per-op."""
+    # One untimed warm-up pass so first-touch costs (lazy imports, cache
+    # warm-up) do not land on the first timed run.
+    _run_once("off", seed, start_hour, end_hour)
+    runs: dict[str, dict] = {}
+    best_elapsed = dict.fromkeys(("off", "summary", "trace"), math.inf)
+    for _ in range(repeats):
+        for mode in best_elapsed:
+            run_info = _run_once(mode, seed, start_hour, end_hour)
+            runs[mode] = run_info
+            best_elapsed[mode] = min(best_elapsed[mode], run_info["elapsed"])
+
+    # Identity gates come before any timing claim: instrumentation must not
+    # perturb the simulated trajectory in any mode...
+    for mode in ("summary", "trace"):
+        assert runs[mode]["fingerprint"] == runs["off"]["fingerprint"], (
+            f"obs mode {mode!r} changed the simulation fingerprint")
+    # ... and the instrumented runs must have actually instrumented.
+    assert runs["summary"]["phases"] >= 8, (
+        f"summary mode recorded only {runs['summary']['phases']} phases")
+    assert runs["summary"]["spans"] == 0, "summary mode retained span records"
+    assert runs["trace"]["spans"] > runs["trace"]["windows"], (
+        f"trace mode kept only {runs['trace']['spans']} span records")
+    assert runs["off"]["phases"] == 0, "off mode produced telemetry"
+    assert runs["summary"]["plan_calls"] > 1000, (
+        "workload exercised the route planner suspiciously little: "
+        f"{runs['summary']['plan_calls']} calls")
+
+    costs = _primitive_costs(iterations)
+    # Deterministic op counts: every span the summary run aggregated, plus
+    # one tracer probe per route-planner call (the cost model's hot path).
+    span_ops = runs["summary"]["span_ops"]
+    probe_ops = runs["summary"]["plan_calls"]
+    off_cost_s = (span_ops * costs["null_span_ns"]
+                  + probe_ops * costs["null_probe_ns"]) * 1e-9
+    summary_cost_s = (span_ops * costs["live_span_ns"]
+                      + probe_ops * costs["live_probe_ns"]) * 1e-9
+    baseline = best_elapsed["off"]
+    return {
+        "workload": (f"{BENCH_PROFILE.name}: {runs['off']['windows']} windows "
+                     f"of {BENCH_PROFILE.accumulation_window:.0f}s, "
+                     f"{runs['off']['orders']:.0f} orders, light traffic "
+                     f"({start_hour}:00-{end_hour}:00, FoodMatch)"),
+        "primitive_costs_ns": costs,
+        "span_ops": span_ops,
+        "probe_ops": probe_ops,
+        # The gates: implied whole-run cost of every instrumented operation,
+        # against the fastest uninstrumented run (conservative denominator).
+        "off_overhead_pct": 100.0 * off_cost_s / baseline,
+        "summary_overhead_pct": 100.0 * summary_cost_s / baseline,
+        # Informational: raw end-to-end rates (carry the runner's noise).
+        "off_windows_per_sec": runs["off"]["windows"] / baseline,
+        "summary_windows_per_sec": (runs["summary"]["windows"]
+                                    / best_elapsed["summary"]),
+        "trace_windows_per_sec": (runs["trace"]["windows"]
+                                  / best_elapsed["trace"]),
+        "summary_phase_count": runs["summary"]["phases"],
+        "trace_span_count": runs["trace"]["spans"],
+        "fingerprints_identical": True,
+    }
+
+
+def run(smoke: bool = False, out_path: pathlib.Path = DEFAULT_OUT) -> dict:
+    # Same 300-node city either way; smoke trims the simulation repeats and
+    # the microbench loop length, not the workload.
+    if smoke:
+        results = {"obs_overhead": bench_obs_overhead(seed=11, repeats=2,
+                                                      iterations=50_000)}
+    else:
+        results = {"obs_overhead": bench_obs_overhead(seed=11, repeats=3,
+                                                      iterations=200_000)}
+    return write_bench_json(
+        out_path, ("PR7 observability: tracing/metrics instrumentation "
+                   "overhead vs the uninstrumented null path"),
+        smoke, results, network=BENCH_PROFILE.network_factory())
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="small, fast workloads for CI")
+    parser.add_argument("--out", type=pathlib.Path, default=DEFAULT_OUT,
+                        help="where to write the JSON results")
+    args = parser.parse_args()
+    payload = run(smoke=args.smoke, out_path=args.out)
+    for name, result in payload["kernels"].items():
+        costs = result["primitive_costs_ns"]
+        print(f"{name}: implied overhead off {result['off_overhead_pct']:.3f}% "
+              f"/ summary {result['summary_overhead_pct']:.3f}% "
+              f"({result['span_ops']} spans x {costs['null_span_ns']:.0f}->"
+              f"{costs['live_span_ns']:.0f} ns, {result['probe_ops']} probes "
+              f"x {costs['null_probe_ns']:.0f}->{costs['live_probe_ns']:.0f} "
+              f"ns; off {result['off_windows_per_sec']:.2f} / summary "
+              f"{result['summary_windows_per_sec']:.2f} / trace "
+              f"{result['trace_windows_per_sec']:.2f} windows/s) "
+              f"— {result['workload']}")
+    print(f"wrote {args.out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -48,7 +48,7 @@ from repro.fleet import (
     ShiftSchedule,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 
 def quickstart(seed: int = 0):

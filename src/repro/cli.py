@@ -31,9 +31,15 @@ import math
 import sys
 from collections.abc import Sequence
 
+from repro import obs
 from repro.experiments import figures
 from repro.experiments.executor import set_default_jobs
-from repro.experiments.reporting import format_cache_report, format_metric_comparison
+from repro.experiments.reporting import (
+    format_cache_report,
+    format_metric_comparison,
+    format_telemetry_report,
+    format_trace_rollup,
+)
 from repro.experiments.runner import (
     ExperimentSetting,
     PolicySpec,
@@ -41,6 +47,7 @@ from repro.experiments.runner import (
     run_policy_comparison,
     run_setting,
 )
+from repro.obs.trace import merge_traces, rollup, write_trace_jsonl
 from repro.sim.engine import EVENT_RESOLUTIONS
 from repro.workload.city import CITY_PROFILES
 from repro.workload.generator import FLEET_MODES, TRAFFIC_INTENSITIES
@@ -96,6 +103,20 @@ def build_parser() -> argparse.ArgumentParser:
                          help="worker processes for experiment cells (policies, "
                               "sweep values, folds); 1 = serial, parallel output "
                               "is bit-identical (default: 1)")
+        sub.add_argument("--log-level", default=None, metavar="LEVEL",
+                         help="enable structured logging on the 'repro' logger "
+                              "at this level (debug, info, warning, ...); "
+                              "silent by default")
+
+    def add_obs_arguments(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--obs", choices=list(obs.OBS_MODES), default="off",
+                         help="observability: 'summary' aggregates per-phase "
+                              "latency histograms (p50/p99), 'trace' also keeps "
+                              "the full span tree for --trace-out; 'off' "
+                              "(default) is the zero-overhead no-op path")
+        sub.add_argument("--trace-out", default=None, metavar="PATH",
+                         help="write the span tree as trace JSONL (one event "
+                              "per line); requires --obs trace")
 
     def add_setting_arguments(sub: argparse.ArgumentParser) -> None:
         sub.add_argument("--city", choices=sorted(CITY_PROFILES), default="CityA",
@@ -134,6 +155,7 @@ def build_parser() -> argparse.ArgumentParser:
     simulate = subparsers.add_parser("simulate", help="run one policy on one city")
     add_setting_arguments(simulate)
     add_jobs_argument(simulate)
+    add_obs_arguments(simulate)
     simulate.add_argument("--policy", choices=available_policies(), default="foodmatch")
     simulate.add_argument("--save-json", default=None, metavar="PATH",
                           help="write the full result (summary + per-order records) as JSON")
@@ -143,6 +165,7 @@ def build_parser() -> argparse.ArgumentParser:
     compare = subparsers.add_parser("compare", help="run several policies on one workload")
     add_setting_arguments(compare)
     add_jobs_argument(compare)
+    add_obs_arguments(compare)
     compare.add_argument("--policies", nargs="+", choices=available_policies(),
                          default=["foodmatch", "greedy", "km"])
 
@@ -178,6 +201,13 @@ def _command_simulate(args: argparse.Namespace) -> int:
         print(f"  {key:<26} {value:.4f}")
     if result.cache_stats:
         print(format_cache_report(result.cache_stats))
+    if result.telemetry is not None:
+        print(format_telemetry_report(result.telemetry))
+    if args.trace_out:
+        telemetry = result.telemetry
+        count = write_trace_jsonl(args.trace_out, telemetry.spans,
+                                  header=telemetry.header())
+        print(f"wrote trace JSONL ({count} events) to {args.trace_out}")
     if args.save_json:
         from repro.workload.io import save_result_json
 
@@ -200,6 +230,23 @@ def _command_compare(args: argparse.Namespace) -> int:
         summaries, _COMPARE_METRICS,
         title=f"Policy comparison on {args.city} "
               f"({args.start_hour}:00-{args.end_hour}:00, scale {args.scale})"))
+    telemetries = [result.telemetry for result in results.values()
+                   if result.telemetry is not None]
+    for telemetry in telemetries:
+        print(format_telemetry_report(telemetry))
+    if args.trace_out or any(t.spans for t in telemetries):
+        # One campaign trace: every policy run is a cell, spans stamped with
+        # their cell index (exactly what the executor's merge produces).
+        merged = merge_traces([t.spans for t in telemetries],
+                              cells=[t.header() for t in telemetries])
+        if merged:
+            print(format_trace_rollup(rollup(merged),
+                                      title="campaign trace rollup (self time)"))
+        if args.trace_out:
+            count = write_trace_jsonl(args.trace_out, merged,
+                                      header={"campaign": args.city,
+                                              "cells": len(telemetries)})
+            print(f"wrote trace JSONL ({count} events) to {args.trace_out}")
     return 0
 
 
@@ -217,6 +264,15 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.jobs < 1:
         parser.error("--jobs must be at least 1")
     set_default_jobs(args.jobs)
+    if args.log_level is not None:
+        try:
+            obs.configure_logging(args.log_level)
+        except ValueError as exc:
+            parser.error(str(exc))
+    obs_mode = getattr(args, "obs", "off")
+    if getattr(args, "trace_out", None) and obs_mode != "trace":
+        parser.error("--trace-out requires --obs trace")
+    obs.set_mode(obs_mode)
     if args.command == "simulate":
         return _command_simulate(args)
     if args.command == "compare":

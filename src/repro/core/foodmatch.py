@@ -30,6 +30,7 @@ from repro.core.foodgraph import (
     solve_matching,
 )
 from repro.core.policy import Assignment, AssignmentPolicy
+from repro.obs.trace import current_tracer
 from repro.orders.costs import CostModel
 from repro.orders.order import Order
 from repro.orders.vehicle import Vehicle
@@ -129,30 +130,36 @@ class FoodMatchPolicy(AssignmentPolicy):
         if not orders or not candidates:
             return []
         cfg = self.config
+        tracer = current_tracer()
 
-        if cfg.use_batching:
-            batches, stats = cluster_orders(orders, self._cost_model, now,
-                                            cfg.batching_config())
-            self.total_batches_formed += stats.final_batches
-        else:
-            batches = [self._cost_model.make_batch([order], now) for order in orders]
-            self.total_batches_formed += len(batches)
+        with tracer.span("policy.batching"):
+            if cfg.use_batching:
+                batches, stats = cluster_orders(orders, self._cost_model, now,
+                                                cfg.batching_config())
+                self.total_batches_formed += stats.final_batches
+            else:
+                batches = [self._cost_model.make_batch([order], now)
+                           for order in orders]
+                self.total_batches_formed += len(batches)
 
-        if cfg.use_bfs:
-            k = self._degree_bound(len(orders), len(candidates), len(batches))
-            graph = build_sparsified_foodgraph(
-                batches, candidates, self._cost_model, now, k,
-                omega=cfg.omega, max_first_mile=cfg.max_first_mile,
-                use_angular=cfg.use_angular, gamma=cfg.gamma,
-                vectorized=cfg.vectorized)
-        else:
-            graph = build_full_foodgraph(batches, candidates, self._cost_model, now,
-                                         omega=cfg.omega,
-                                         max_first_mile=cfg.max_first_mile)
+        with tracer.span("policy.foodgraph"):
+            if cfg.use_bfs:
+                k = self._degree_bound(len(orders), len(candidates), len(batches))
+                graph = build_sparsified_foodgraph(
+                    batches, candidates, self._cost_model, now, k,
+                    omega=cfg.omega, max_first_mile=cfg.max_first_mile,
+                    use_angular=cfg.use_angular, gamma=cfg.gamma,
+                    vectorized=cfg.vectorized)
+            else:
+                graph = build_full_foodgraph(batches, candidates,
+                                             self._cost_model, now,
+                                             omega=cfg.omega,
+                                             max_first_mile=cfg.max_first_mile)
         self.total_cost_evaluations += graph.cost_evaluations
         self.total_nodes_expanded += graph.nodes_expanded
 
-        matches = solve_matching(graph)
+        with tracer.span("policy.matching"):
+            matches = solve_matching(graph)
         return [Assignment(
             vehicle=candidates[vehicle_idx],
             orders=graph.batches[batch_idx].orders,

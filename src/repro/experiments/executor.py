@@ -55,9 +55,14 @@ from repro.experiments.runner import (
     materialize,
     run_setting,
 )
+from repro.obs import get_mode, set_mode
+from repro.obs.log import get_logger
+from repro.obs.trace import merge_traces
 from repro.seeding import spawn_seed
 from repro.sim.metrics import SimulationResult
 from repro.workload.city import CITY_PROFILES, CityProfile
+
+_log = get_logger("experiments.executor")
 
 #: City profiles resolvable by name inside worker processes.  Seeded with
 #: the built-in profiles; :func:`register_profile` adds custom ones (the
@@ -167,15 +172,18 @@ def replicate_cells(setting: ExperimentSetting,
 # --------------------------------------------------------------------------- #
 # worker side
 # --------------------------------------------------------------------------- #
-#: (cell index, profile name, setting kwargs, policy name, policy options)
-_CellPayload = tuple[int, str, dict[str, object], str, tuple]
+#: (cell index, profile name, setting kwargs, policy name, policy options,
+#:  observability mode)
+_CellPayload = tuple[int, str, dict[str, object], str, tuple, str]
 
 
 def _cell_payload(index: int, cell: ExperimentCell) -> _CellPayload:
     setting_kwargs = {f.name: getattr(cell.setting, f.name)
                       for f in fields(ExperimentSetting) if f.name != "profile"}
+    # The driver's --obs mode rides in the payload so workers honour it even
+    # under a spawn start method (fork-inherited workers already match).
     return (index, cell.setting.profile.name, setting_kwargs,
-            cell.policy.name, cell.policy.options)
+            cell.policy.name, cell.policy.options, get_mode())
 
 
 def _run_cell(setting: ExperimentSetting, spec: PolicySpec) -> SimulationResult:
@@ -213,8 +221,10 @@ def _shared_worker_init(registry: dict[str, str]) -> None:
 
 def _worker_run(payload: _CellPayload) -> tuple[int, SimulationResult | None,
                                                 str | None]:
-    index, profile_name, setting_kwargs, policy_name, policy_options = payload
+    (index, profile_name, setting_kwargs, policy_name, policy_options,
+     obs_mode) = payload
     try:
+        set_mode(obs_mode)
         profile = PROFILE_REGISTRY.get(profile_name)
         if profile is None:
             raise KeyError(
@@ -233,6 +243,19 @@ def _worker_run(payload: _CellPayload) -> tuple[int, SimulationResult | None,
 # --------------------------------------------------------------------------- #
 #: Progress callback: (finished cell result, cells done, cells total).
 ProgressCallback = Callable[[CellResult, int, int], None]
+
+
+def _log_cell(outcome: CellResult, done: int, total: int) -> None:
+    """Structured progress for each finished cell (silent by default)."""
+    cell = outcome.cell
+    if outcome.ok:
+        _log.debug("cell %d/%d done: %s/%s seed=%s", done, total,
+                   cell.setting.profile.name, cell.policy.name,
+                   cell.setting.seed)
+    else:
+        _log.warning("cell %d/%d FAILED: %s/%s seed=%s\n%s", done, total,
+                     cell.setting.profile.name, cell.policy.name,
+                     cell.setting.seed, outcome.error)
 
 
 def run_cells(cells: Sequence[ExperimentCell], jobs: int | None = None,
@@ -269,6 +292,7 @@ def run_cells(cells: Sequence[ExperimentCell], jobs: int | None = None,
             except Exception:
                 outcome = CellResult(cell, error=traceback.format_exc())
             results.append(outcome)
+            _log_cell(outcome, done, total)
             if on_result is not None:
                 on_result(outcome, done, total)
         return results
@@ -290,6 +314,7 @@ def run_cells(cells: Sequence[ExperimentCell], jobs: int | None = None,
                 outcome = CellResult(cells[index], result=result, error=error)
                 slots[index] = outcome
                 done += 1
+                _log_cell(outcome, done, total)
                 if on_result is not None:
                     on_result(outcome, done, total)
     finally:
@@ -343,6 +368,32 @@ def _pool_context():
 
 
 # --------------------------------------------------------------------------- #
+# campaign traces
+# --------------------------------------------------------------------------- #
+def merge_cell_traces(results: Sequence[CellResult]) -> list[dict]:
+    """Merge per-cell span records into one campaign trace (JSONL events).
+
+    Each successful cell that ran under ``--obs trace`` contributed the span
+    tree its worker serialized back inside ``SimulationResult.telemetry``;
+    this stitches those per-cell trees into a single event stream — a
+    ``{"event": "cell", ...}`` marker identifying the (setting, policy) run,
+    followed by that cell's spans stamped with the merged cell index.  Span
+    ids stay cell-local, so ``(cell, span)`` uniquely keys the campaign
+    trace, and :func:`repro.obs.rollup` aggregates it directly.  Cells
+    without telemetry (failures, or runs below ``trace`` mode) are skipped.
+    """
+    traces: list[list[dict]] = []
+    cell_meta: list[dict] = []
+    for index, outcome in enumerate(results):
+        telemetry = outcome.result.telemetry if outcome.ok else None
+        if telemetry is None or not telemetry.spans:
+            continue
+        traces.append(telemetry.spans)
+        cell_meta.append({"grid_index": index, **telemetry.header()})
+    return merge_traces(traces, cells=cell_meta)
+
+
+# --------------------------------------------------------------------------- #
 # determinism fingerprints
 # --------------------------------------------------------------------------- #
 def result_fingerprint(result: SimulationResult) -> str:
@@ -387,5 +438,6 @@ __all__ = [
     "resolve_jobs",
     "replicate_cells",
     "run_cells",
+    "merge_cell_traces",
     "result_fingerprint",
 ]

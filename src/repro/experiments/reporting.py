@@ -82,7 +82,9 @@ def format_cache_report(cache_stats: Mapping[str, Mapping[str, int]],
         hits = stats.get("hits", 0)
         misses = stats.get("misses", 0)
         lookups = hits + misses
-        rate = hits / lookups if lookups else 0.0
+        # A cache that served no lookups has no meaningful hit rate; render
+        # "-" rather than a fake 0.0000 (or a division error).
+        rate = f"{hits / lookups:.4f}" if lookups else "-"
         rows.append([name, hits, misses, rate,
                      f"{stats.get('size', 0)}/{stats.get('capacity', 0)}"])
     report = format_table(["cache", "hits", "misses", "hit_rate", "occupancy"],
@@ -94,5 +96,64 @@ def format_cache_report(cache_stats: Mapping[str, Mapping[str, int]],
     return report
 
 
+def format_telemetry_report(telemetry,
+                            title: str = "per-phase latency profile") -> str:
+    """Render a run's phase-latency profile (``--obs summary|trace``).
+
+    ``telemetry`` is :attr:`SimulationResult.telemetry
+    <repro.sim.metrics.SimulationResult.telemetry>`.  One row per span name,
+    most self-time first: invocation count, total and self seconds, p50/p99
+    per invocation in milliseconds, and the share of total window wall time
+    the phase's self time accounts for (``engine.window`` covers one whole
+    accumulation-window iteration, so it is the natural 100% reference; the
+    column renders ``-`` when no window span was recorded).
+    """
+    stats = telemetry.phase_stats
+    window = stats.get("engine.window", {})
+    window_total = window.get("total_seconds", 0.0)
+    rows = []
+    for name in sorted(stats, key=lambda n: -stats[n]["self_seconds"]):
+        phase = stats[name]
+        share = (f"{100.0 * phase['self_seconds'] / window_total:.1f}%"
+                 if window_total > 0 else "-")
+        rows.append([name, phase["count"],
+                     f"{phase['total_seconds']:.4f}",
+                     f"{phase['self_seconds']:.4f}",
+                     f"{phase['p50'] * 1e3:.3f}",
+                     f"{phase['p99'] * 1e3:.3f}",
+                     share])
+    header = f"{title} — {telemetry.run_id}" if telemetry.run_id else title
+    report = format_table(
+        ["phase", "count", "total_s", "self_s", "p50_ms", "p99_ms", "%window"],
+        rows, title=header)
+    queries = telemetry.counters.get("oracle.queries")
+    if queries is not None:
+        batches = telemetry.counters.get("oracle.batch_queries", 0)
+        sssp = telemetry.counters.get("oracle.sssp_runs", 0)
+        report += (f"\noracle: {queries:,.0f} distance queries "
+                   f"({batches:,.0f} batched calls, {sssp:,.0f} SSSP runs)")
+    plans = telemetry.counters.get("cost.route_plans")
+    if plans:
+        report += f"\ncost model: {plans:,.0f} route plans evaluated"
+    return report
+
+
+def format_trace_rollup(report: Mapping[str, Mapping[str, float]],
+                        title: str = "trace rollup (self time)") -> str:
+    """Render :func:`repro.obs.rollup` output as a self-time table.
+
+    Works on a single run's records or a merged campaign trace; rows are
+    sorted by self time descending, so the first row is where the campaign
+    actually spent its time.
+    """
+    rows = [[name, stats["count"],
+             f"{stats['total_seconds']:.4f}", f"{stats['self_seconds']:.4f}"]
+            for name, stats in sorted(report.items(),
+                                      key=lambda kv: -kv[1]["self_seconds"])]
+    return format_table(["span", "count", "total_s", "self_s"], rows,
+                        title=title)
+
+
 __all__ = ["format_table", "format_series", "format_metric_comparison",
-           "format_cache_report"]
+           "format_cache_report", "format_telemetry_report",
+           "format_trace_rollup"]

@@ -20,11 +20,14 @@ from repro.core.policy import AssignmentPolicy
 from repro.core.reyes import ReyesPolicy
 from repro.network.distance_oracle import DistanceOracle
 from repro.network.graph import SECONDS_PER_HOUR
+from repro.obs.log import get_logger
 from repro.orders.costs import CostModel
 from repro.sim.engine import SimulationConfig, simulate
 from repro.sim.metrics import SimulationResult
 from repro.workload.city import CityProfile
 from repro.workload.generator import Scenario, generate_scenario
+
+_log = get_logger("experiments.runner")
 
 
 @dataclass(frozen=True)
@@ -188,6 +191,12 @@ def materialize(setting: ExperimentSetting) -> tuple[Scenario, DistanceOracle]:
         from repro.network.shared import attach_network
 
         network, hub_index = attach_network(shm_name)
+        _log.debug("attached shared network %s for profile %s",
+                   shm_name, setting.profile.name)
+    _log.debug("materialising %s scale=%s hours=%d-%d seed=%d traffic=%s "
+               "fleet=%s", setting.profile.name, setting.scale,
+               setting.start_hour, setting.end_hour, setting.seed,
+               setting.traffic, setting.fleet)
     scenario = generate_scenario(profile, seed=setting.seed,
                                  start_hour=setting.start_hour,
                                  end_hour=setting.end_hour,

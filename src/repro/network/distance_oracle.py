@@ -48,6 +48,7 @@ import numpy as np
 
 from repro.network.graph import RoadNetwork
 from repro.network.hub_labeling import HubLabelIndex
+from repro.obs.trace import current_tracer
 from repro.network.shortest_path import (
     _csr_dijkstra_all,
     dijkstra_all,
@@ -207,6 +208,12 @@ class DistanceOracle:
         self._sssp_cache = LRUCache(sssp_cache_size)
         self._path_cache = LRUCache(path_cache_size)
         self.query_count = 0
+        #: how many *batched* API calls (paired or block) served the queries
+        #: counted above — the batching ratio the FoodGraph kernels rely on
+        self.batch_query_count = 0
+        #: full single-source Dijkstra runs: SSSP-tree cache misses plus the
+        #: before/after affected-set searches of traffic updates
+        self.sssp_runs = 0
         # Node ids whose labels were incrementally repaired since the index
         # was last built from scratch.  Repaired labels are pruned and stay
         # near fresh-build size, but each repair pays per-affected-node
@@ -258,6 +265,7 @@ class DistanceOracle:
         """Memoised static single-source tree (Dijkstra backend)."""
         tree = self._sssp_cache.get(source)
         if tree is None:
+            self.sssp_runs += 1
             # A static tree scaled by the slot multiplier is exact because
             # the profile applies one factor to every edge within the slot.
             static = self._network.profile.multiplier(0.0)
@@ -298,6 +306,7 @@ class DistanceOracle:
             raise ValueError("sources and targets must have equal length")
         k = len(sources)
         self.query_count += k
+        self.batch_query_count += 1
         out = np.empty(k, dtype=np.float64)
         cache = self._point_cache
         miss_pos: list[int] = []
@@ -348,6 +357,7 @@ class DistanceOracle:
         """
         num_s, num_t = len(sources), len(targets)
         self.query_count += num_s * num_t
+        self.batch_query_count += 1
         if self._index is not None:
             return self._index.query_block(sources, targets)
         out = np.empty((num_s, num_t), dtype=np.float64)
@@ -439,6 +449,13 @@ class DistanceOracle:
                    if network.edge_override(*edge) != factor}
         if not mutated:
             return TrafficRepairStats(0, 0, 0, "noop")
+        with current_tracer().span("oracle.traffic_update"):
+            return self._apply_mutations(mutated)
+
+    def _apply_mutations(
+            self, mutated: dict[tuple[int, int], float]) -> TrafficRepairStats:
+        """The mutating tail of :meth:`apply_traffic_updates` (steps 1–4)."""
+        network = self._network
         if not self._traffic_touched:
             self._traffic_touched = True
             if self._index is not None:
@@ -448,6 +465,8 @@ class DistanceOracle:
         index_of = csr.index_of
         heads = {index_of[v] for _, v in mutated}
         tails = {index_of[u] for u, _ in mutated}
+        # One before/after SSSP pair per distinct mutated endpoint.
+        self.sssp_runs += 2 * (len(heads) + len(tails))
         old_to_head = {h: _csr_dijkstra_all(rcsr, h) for h in heads}
         old_from_tail = {t: _csr_dijkstra_all(csr, t) for t in tails}
         for (u, v), factor in mutated.items():
@@ -577,6 +596,8 @@ class DistanceOracle:
     def reset_counters(self) -> None:
         """Zero the query counter and cache counters (scalability experiments)."""
         self.query_count = 0
+        self.batch_query_count = 0
+        self.sssp_runs = 0
         self._point_cache.reset_counters()
         self._path_cache.reset_counters()
         self._sssp_cache.reset_counters()

@@ -79,6 +79,7 @@ import numpy as np
 
 from repro.network.graph import RoadNetwork
 from repro.network.shortest_path import _csr_dijkstra_all as _csr_sssp
+from repro.obs.trace import current_tracer
 
 INFINITY = math.inf
 
@@ -160,10 +161,11 @@ class HubLabelIndex:
             self._index_of[hub_id]: rank for rank, hub_id in enumerate(self._order)
             if hub_id in self._index_of}
         self._attached = False
-        if hierarchy is not None:
-            self._build_from_hierarchy(*hierarchy)
-        else:
-            self._build(csr, network.csr(reverse=True))
+        with current_tracer().span("hub_labels.build"):
+            if hierarchy is not None:
+                self._build_from_hierarchy(*hierarchy)
+            else:
+                self._build(csr, network.csr(reverse=True))
 
     # ------------------------------------------------------------------ #
     # hub ordering
@@ -788,33 +790,35 @@ class HubLabelIndex:
         """
         if not self.can_repair:
             raise ValueError("repair requires a complete hub order; rebuild instead")
-        csr = self._network.csr()
-        rcsr = self._network.csr(reverse=True)
-        rank_of = self._rank_of
-        idx_of_rank = [0] * self._num_nodes
-        for i, r in rank_of.items():
-            idx_of_rank[r] = i
-        affected_out_idx = [idx for node in affected_out
-                            if (idx := self._index_of.get(node)) is not None]
-        affected_in_idx = [idx for node in affected_in
-                           if (idx := self._index_of.get(node)) is not None]
-        # Every SSSP runs before any re-selection so that a stale candidate's
-        # certificate distances can be read from its own fresh search.
-        fwd = {idx: _csr_sssp(csr, idx) for idx in affected_out_idx}
-        rev = {idx: _csr_sssp(rcsr, idx) for idx in affected_in_idx}
-        scratch = [INFINITY] * self._num_nodes
-        repaired = 0
-        for idx in affected_out_idx:
-            self._patches_out[idx] = self._pruned_label(
-                fwd[idx], rank_of, self._in_label, rev, idx_of_rank, scratch)
-            repaired += 1
-        for idx in affected_in_idx:
-            self._patches_in[idx] = self._pruned_label(
-                rev[idx], rank_of, self._out_label, fwd, idx_of_rank, scratch)
-            repaired += 1
-        if repaired:
-            self._dirty = True
-        return repaired
+        with current_tracer().span("hub_labels.repair"):
+            csr = self._network.csr()
+            rcsr = self._network.csr(reverse=True)
+            rank_of = self._rank_of
+            idx_of_rank = [0] * self._num_nodes
+            for i, r in rank_of.items():
+                idx_of_rank[r] = i
+            affected_out_idx = [idx for node in affected_out
+                                if (idx := self._index_of.get(node)) is not None]
+            affected_in_idx = [idx for node in affected_in
+                               if (idx := self._index_of.get(node)) is not None]
+            # Every SSSP runs before any re-selection so that a stale
+            # candidate's certificate distances can be read from its own
+            # fresh search.
+            fwd = {idx: _csr_sssp(csr, idx) for idx in affected_out_idx}
+            rev = {idx: _csr_sssp(rcsr, idx) for idx in affected_in_idx}
+            scratch = [INFINITY] * self._num_nodes
+            repaired = 0
+            for idx in affected_out_idx:
+                self._patches_out[idx] = self._pruned_label(
+                    fwd[idx], rank_of, self._in_label, rev, idx_of_rank, scratch)
+                repaired += 1
+            for idx in affected_in_idx:
+                self._patches_in[idx] = self._pruned_label(
+                    rev[idx], rank_of, self._out_label, fwd, idx_of_rank, scratch)
+                repaired += 1
+            if repaired:
+                self._dirty = True
+            return repaired
 
     @staticmethod
     def _pruned_label(sssp: dict[int, float], rank_of: dict[int, int],

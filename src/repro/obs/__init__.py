@@ -1,0 +1,119 @@
+"""Observability: tracing spans, a metrics registry and structured logging.
+
+Everything below ``repro.obs`` is zero-dependency (stdlib only) and built
+around one invariant: **the disabled path costs nothing**.  The default
+tracer is a process-wide no-op singleton whose spans are shared objects —
+entering one allocates nothing and touches no clock — so instrumented code
+is bit-identical (and fingerprint-identical) to uninstrumented code unless
+a run opts in.
+
+Three layers:
+
+:mod:`repro.obs.trace`
+    ``Span`` / ``Tracer`` context managers over monotonic clocks, nested
+    span trees, a JSONL exporter (one event per span, stamped with run and
+    cell ids) and a self-time rollup over exported records.
+:mod:`repro.obs.metrics`
+    ``MetricsRegistry`` — counters, gauges and streaming histograms with
+    fixed log-spaced buckets (p50/p90/p99 without storing samples),
+    addressable by dotted names with label support.
+:mod:`repro.obs.log`
+    ``logging`` wiring: the library is silent by default (NullHandler on
+    the ``"repro"`` root logger); the CLI's ``--log-level`` attaches a
+    stream handler through :func:`~repro.obs.log.configure_logging`.
+
+The session-wide observability *mode* lives here:
+
+``"off"`` (default)
+    No-op tracer everywhere; ``SimulationResult.telemetry`` stays ``None``.
+``"summary"``
+    Spans are timed and aggregated into per-phase latency histograms
+    (count / total / self / p50 / p99) but individual span records are
+    discarded — bounded memory regardless of run length.
+``"trace"``
+    Summary aggregation *plus* the full span tree, exportable as JSONL.
+
+The simulation engine consults :func:`get_mode` when no explicit tracer is
+passed, and the experiment executor forwards the driver's mode to its
+worker processes, so one ``--obs`` flag reaches every layer.
+"""
+
+from __future__ import annotations
+
+from repro.obs.log import configure_logging, get_logger
+from repro.obs.metrics import (
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.telemetry import Telemetry
+from repro.obs.trace import (
+    NULL_TRACER,
+    Span,
+    Tracer,
+    current_tracer,
+    merge_traces,
+    read_trace_jsonl,
+    rollup,
+    use_tracer,
+    write_trace_jsonl,
+)
+
+#: The recognised observability modes, in increasing order of detail.
+OBS_MODES = ("off", "summary", "trace")
+
+_MODE = "off"
+
+
+def set_mode(mode: str) -> None:
+    """Set the session-wide observability mode (``"off"``/``"summary"``/``"trace"``)."""
+    global _MODE
+    if mode not in OBS_MODES:
+        raise ValueError(f"unknown obs mode {mode!r}; known: {OBS_MODES}")
+    _MODE = mode
+
+
+def get_mode() -> str:
+    """The session-wide observability mode (default ``"off"``)."""
+    return _MODE
+
+
+def tracer_for_run(run_id: str, meta: dict | None = None) -> Tracer:
+    """A tracer honouring the session mode: ``NULL_TRACER`` when off.
+
+    ``"summary"`` returns a tracer that aggregates phase statistics but
+    keeps no span records; ``"trace"`` keeps the full record list for the
+    JSONL exporter.  ``meta`` is carried on the tracer (and lands in trace
+    headers) — run-identifying context like the policy and city names.
+    """
+    mode = _MODE
+    if mode == "off":
+        return NULL_TRACER
+    return Tracer(trace_id=run_id, keep_records=(mode == "trace"), meta=meta)
+
+
+__all__ = [
+    "OBS_MODES",
+    "set_mode",
+    "get_mode",
+    "tracer_for_run",
+    "Span",
+    "Tracer",
+    "NULL_TRACER",
+    "current_tracer",
+    "use_tracer",
+    "write_trace_jsonl",
+    "read_trace_jsonl",
+    "merge_traces",
+    "rollup",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "Telemetry",
+    "configure_logging",
+    "get_logger",
+]

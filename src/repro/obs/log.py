@@ -1,0 +1,63 @@
+"""Structured logging wiring for the ``repro`` package.
+
+The library is silent by default: a :class:`logging.NullHandler` sits on
+the ``"repro"`` root logger so importing or embedding ``repro`` never
+prints, regardless of the host application's logging setup.  The CLI (or
+any embedder) opts into output with :func:`configure_logging`, which
+attaches one stream handler with a compact timestamped format — calling it
+again just re-levels the existing handler, so repeated CLI invocations in
+one process stay idempotent.
+
+Modules obtain loggers through :func:`get_logger` so every logger lives
+under the ``"repro"`` hierarchy and inherits this wiring.
+"""
+
+from __future__ import annotations
+
+import logging
+
+_ROOT_NAME = "repro"
+_FORMAT = "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
+_DATE_FORMAT = "%H:%M:%S"
+
+_root = logging.getLogger(_ROOT_NAME)
+_root.addHandler(logging.NullHandler())
+
+_handler: logging.Handler | None = None
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A logger under the ``"repro"`` hierarchy.
+
+    Pass a module path (``get_logger(__name__)`` from inside the package,
+    or a dotted suffix like ``"executor"`` from elsewhere); names already
+    rooted at ``"repro"`` are used as-is.
+    """
+    if name == _ROOT_NAME or name.startswith(_ROOT_NAME + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_ROOT_NAME}.{name}")
+
+
+def configure_logging(level: int | str = logging.INFO) -> logging.Logger:
+    """Attach (or re-level) the stream handler on the ``"repro"`` logger.
+
+    Accepts a numeric level or a name (``"debug"``, ``"INFO"``, ...).
+    Returns the root ``"repro"`` logger.  Idempotent: one handler total,
+    no matter how often this is called.
+    """
+    global _handler
+    if isinstance(level, str):
+        resolved = logging.getLevelName(level.upper())
+        if not isinstance(resolved, int):
+            raise ValueError(f"unknown log level {level!r}")
+        level = resolved
+    if _handler is None:
+        _handler = logging.StreamHandler()
+        _handler.setFormatter(logging.Formatter(_FORMAT, _DATE_FORMAT))
+        _root.addHandler(_handler)
+    _handler.setLevel(level)
+    _root.setLevel(level)
+    return _root
+
+
+__all__ = ["configure_logging", "get_logger"]

@@ -1,0 +1,74 @@
+"""The picklable telemetry bundle a simulation run hands back.
+
+:class:`Telemetry` is the transport between the instrumented layers and
+everything that consumes their output: the engine builds one at the end of
+``Simulator.run`` from its tracer and registry, it rides on
+``SimulationResult.telemetry`` (surviving the fork/pickle hop back from
+executor workers), and the reporting/CLI layers render it.  It is plain
+data — strings, numbers, lists and dicts only — so pickling is trivial and
+``json.dumps`` works directly on any field.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Telemetry:
+    """Everything observability captured for one simulation run.
+
+    Attributes
+    ----------
+    run_id:
+        The tracer's trace id (``"<scenario>/<policy>"`` for engine runs).
+    mode:
+        The observability mode the run executed under (``"summary"`` or
+        ``"trace"``; ``"off"`` runs carry no telemetry at all).
+    phase_stats:
+        Per-span-name aggregates from :meth:`Tracer.phase_stats`:
+        ``{name: {count, total_seconds, self_seconds, p50, p90, p99}}``.
+    counters / gauges / histograms:
+        The registry snapshot (:meth:`MetricsRegistry.snapshot`), flattened
+        into its three sections.
+    spans:
+        The span records (JSONL events) — populated only in ``"trace"``
+        mode, empty in ``"summary"`` mode.
+    meta:
+        Run-identifying context (policy, city, windows, ...), merged into
+        trace headers on export.
+    """
+
+    run_id: str = ""
+    mode: str = "summary"
+    phase_stats: dict = field(default_factory=dict)
+    counters: dict = field(default_factory=dict)
+    gauges: dict = field(default_factory=dict)
+    histograms: dict = field(default_factory=dict)
+    spans: list = field(default_factory=list)
+    meta: dict = field(default_factory=dict)
+
+    @classmethod
+    def from_tracer(cls, tracer, meta: dict | None = None) -> "Telemetry":
+        """Capture a tracer (and its registry) into plain data."""
+        snapshot = tracer.registry.snapshot()
+        merged_meta = dict(tracer.meta)
+        if meta:
+            merged_meta.update(meta)
+        return cls(
+            run_id=tracer.trace_id,
+            mode="trace" if tracer.keep_records else "summary",
+            phase_stats=tracer.phase_stats(),
+            counters=snapshot["counters"],
+            gauges=snapshot["gauges"],
+            histograms=snapshot["histograms"],
+            spans=tracer.export_records(),
+            meta=merged_meta,
+        )
+
+    def header(self) -> dict:
+        """The trace-header payload for :func:`write_trace_jsonl`."""
+        return {"run_id": self.run_id, "mode": self.mode, **self.meta}
+
+
+__all__ = ["Telemetry"]

@@ -1,0 +1,416 @@
+"""Tracing core: nested spans over monotonic clocks, JSONL export, rollups.
+
+A :class:`Tracer` hands out :class:`Span` context managers.  Spans nest —
+the tracer keeps the open-span stack, so a span entered inside another
+becomes its child — and on exit each span knows its wall-clock duration
+*and* its self time (duration minus the time spent inside child spans).
+Every exit feeds the tracer's per-name phase aggregation (count, total,
+self, and a log-bucket latency histogram for p50/p90/p99); with
+``keep_records=True`` the finished span is additionally appended to the
+record list as one plain dictionary — the JSONL event.
+
+The disabled path is the module singleton :data:`NULL_TRACER`: its
+``span()`` returns one shared no-op object, so instrumentation left in hot
+loops costs a method call and a ``with`` block and **allocates nothing** —
+no clock reads, no record objects.  ``stopwatch()`` is the one deliberate
+exception: it always measures (reusing one shared stopwatch object when
+disabled) because the engine derives the paper's ``decision_seconds``
+metric from it in every mode.
+
+Span records are self-describing dictionaries::
+
+    {"trace": "<run id>", "span": 3, "parent": 0, "name": "engine.decide",
+     "depth": 1, "start": 0.01041, "end": 0.05290}
+
+``span`` ids are per-tracer sequence numbers (allocation order);
+``start``/``end`` are seconds on the tracer's monotonic clock relative to
+tracer creation.  :func:`merge_traces` combines per-cell record lists into
+one campaign trace by stamping each record with its cell index (ids stay
+cell-local), and :func:`rollup` aggregates any record list back into a
+per-name self-time report.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from collections.abc import Iterator, Mapping, Sequence
+
+from repro.obs.metrics import NULL_REGISTRY, Histogram, MetricsRegistry
+
+
+class Span:
+    """One timed, named section of work; a context manager.
+
+    Spans are created by :meth:`Tracer.span` and are single-use: entering
+    registers the span on the tracer's stack (fixing its id, parent and
+    depth) and starts the clock, exiting stops it and reports to the
+    tracer.  ``attrs`` is an optional mapping of JSON-safe annotations
+    carried into the span's record.
+    """
+
+    __slots__ = ("name", "attrs", "span_id", "parent_id", "depth",
+                 "start", "end", "_tracer", "_child_seconds")
+
+    def __init__(self, tracer: Tracer, name: str,
+                 attrs: Mapping[str, object] | None = None) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.attrs = attrs
+        self.span_id = -1
+        self.parent_id: int | None = None
+        self.depth = 0
+        self.start = 0.0
+        self.end = 0.0
+        self._child_seconds = 0.0
+
+    @property
+    def duration(self) -> float:
+        """Wall-clock seconds between enter and exit."""
+        return self.end - self.start
+
+    @property
+    def self_seconds(self) -> float:
+        """Duration minus the time spent inside child spans."""
+        return (self.end - self.start) - self._child_seconds
+
+    def __enter__(self) -> Span:
+        self._tracer._enter(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._tracer._exit(self)
+        return False
+
+
+class _PhaseStats:
+    """Per-span-name streaming aggregation (tracer-internal)."""
+
+    __slots__ = ("count", "total", "self_total", "hist")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.self_total = 0.0
+        self.hist = Histogram()
+
+
+class Tracer:
+    """Collects a tree of timed spans and their per-name aggregates.
+
+    Parameters
+    ----------
+    trace_id:
+        Identity stamped into every exported record (the run/cell id —
+        the role git SHAs play in the benchmark JSONs).
+    keep_records:
+        Whether finished spans are kept as records for the JSONL exporter
+        (``"trace"`` mode).  Aggregation happens either way, so
+        ``keep_records=False`` gives summary mode's bounded memory.
+    registry:
+        A :class:`~repro.obs.metrics.MetricsRegistry` to share; a private
+        one is created by default.
+    meta:
+        JSON-safe run context (policy, city, ...) carried on the tracer
+        and written into trace headers.
+    """
+
+    enabled = True
+
+    def __init__(self, trace_id: str = "run", keep_records: bool = True,
+                 registry: MetricsRegistry | None = None,
+                 meta: Mapping[str, object] | None = None) -> None:
+        self.trace_id = trace_id
+        self.keep_records = keep_records
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.meta = dict(meta or {})
+        self.records: list[dict] = []
+        self._stack: list[Span] = []
+        self._next_id = 0
+        self._phases: dict[str, _PhaseStats] = {}
+        self._clock = time.perf_counter
+        self._origin = self._clock()
+
+    # ------------------------------------------------------------------ #
+    def span(self, name: str, attrs: Mapping[str, object] | None = None) -> Span:
+        """A new span; time it with ``with tracer.span("engine.window"):``."""
+        return Span(self, name, attrs)
+
+    def stopwatch(self, name: str) -> Span:
+        """Like :meth:`span`, but guaranteed to measure even when disabled.
+
+        On a real tracer this *is* a span; :class:`NullTracer` returns a
+        shared stopwatch that reads the clock but records nothing.  Use it
+        where the measured duration feeds simulation metrics (the engine's
+        ``decision_seconds``) rather than pure telemetry.
+        """
+        return Span(self, name)
+
+    def observe(self, name: str, seconds: float) -> None:
+        """Feed one duration into the per-name aggregation without a span.
+
+        For hot call sites (route-plan evaluations) where creating span
+        records would be wasteful even in trace mode: the sample lands in
+        the phase histogram only.  Self time is recorded as zero — an
+        observed duration happens *inside* some enclosing span whose self
+        time already covers it, so counting it again would double-book the
+        wall clock in rollups and the %-of-window column.
+        """
+        self._observe(name, seconds, 0.0)
+
+    # ------------------------------------------------------------------ #
+    def _enter(self, span: Span) -> None:
+        span.span_id = self._next_id
+        self._next_id += 1
+        stack = self._stack
+        if stack:
+            parent = stack[-1]
+            span.parent_id = parent.span_id
+            span.depth = parent.depth + 1
+        stack.append(span)
+        span.start = self._clock()
+
+    def _exit(self, span: Span) -> None:
+        span.end = self._clock()
+        stack = self._stack
+        if stack and stack[-1] is span:
+            stack.pop()
+        elif span in stack:  # pragma: no cover - exception unwound mid-tree
+            del stack[stack.index(span):]
+        duration = span.end - span.start
+        if stack:
+            stack[-1]._child_seconds += duration
+        self._observe(span.name, duration, duration - span._child_seconds)
+        if self.keep_records:
+            record = {"trace": self.trace_id, "span": span.span_id,
+                      "parent": span.parent_id, "name": span.name,
+                      "depth": span.depth,
+                      "start": span.start - self._origin,
+                      "end": span.end - self._origin}
+            if span.attrs:
+                record["attrs"] = dict(span.attrs)
+            self.records.append(record)
+
+    def _observe(self, name: str, total: float, self_seconds: float) -> None:
+        stats = self._phases.get(name)
+        if stats is None:
+            stats = self._phases[name] = _PhaseStats()
+        stats.count += 1
+        stats.total += total
+        stats.self_total += self_seconds
+        stats.hist.record(total)
+
+    # ------------------------------------------------------------------ #
+    def export_records(self) -> list[dict]:
+        """The finished span records, in completion order (a copy)."""
+        return list(self.records)
+
+    def phase_stats(self) -> dict[str, dict[str, float]]:
+        """Per-span-name aggregates: count, total/self seconds, quantiles."""
+        return {
+            name: {"count": stats.count,
+                   "total_seconds": stats.total,
+                   "self_seconds": stats.self_total,
+                   "p50": stats.hist.quantile(0.50),
+                   "p90": stats.hist.quantile(0.90),
+                   "p99": stats.hist.quantile(0.99)}
+            for name, stats in self._phases.items()
+        }
+
+
+# --------------------------------------------------------------------------- #
+# the disabled path
+# --------------------------------------------------------------------------- #
+class _NullSpan:
+    """Shared no-op span: no clock reads, no allocation, reentrant."""
+
+    __slots__ = ()
+    name = ""
+    attrs = None
+    span_id = -1
+    parent_id = None
+    depth = 0
+    start = 0.0
+    end = 0.0
+    duration = 0.0
+    self_seconds = 0.0
+
+    def __enter__(self) -> _NullSpan:
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _NullStopwatch:
+    """Shared stopwatch: measures its block, records nothing.
+
+    Single-threaded reuse is safe because callers read ``duration``
+    immediately after the ``with`` block and the measured section never
+    opens another stopwatch inside itself.
+    """
+
+    __slots__ = ("start", "duration")
+
+    def __init__(self) -> None:
+        self.start = 0.0
+        self.duration = 0.0
+
+    def __enter__(self) -> _NullStopwatch:
+        self.start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.duration = time.perf_counter() - self.start
+        return False
+
+
+_NULL_STOPWATCH = _NullStopwatch()
+
+
+class NullTracer:
+    """The disabled tracer: every span is the shared no-op singleton."""
+
+    enabled = False
+    trace_id = ""
+    keep_records = False
+    registry = NULL_REGISTRY
+    meta: dict = {}
+
+    def span(self, name: str,
+             attrs: Mapping[str, object] | None = None) -> _NullSpan:
+        return _NULL_SPAN
+
+    def stopwatch(self, name: str) -> _NullStopwatch:
+        return _NULL_STOPWATCH
+
+    def observe(self, name: str, seconds: float) -> None:
+        pass
+
+    def export_records(self) -> list[dict]:
+        return []
+
+    def phase_stats(self) -> dict[str, dict[str, float]]:
+        return {}
+
+
+#: Process-wide no-op tracer (the default for every uninstrumented run).
+NULL_TRACER = NullTracer()
+
+# The active tracer is a stack so nested harnesses compose; simulations are
+# single-threaded per process, which keeps a plain module global correct.
+_ACTIVE: list = [NULL_TRACER]
+
+
+def current_tracer():
+    """The innermost active tracer (:data:`NULL_TRACER` by default)."""
+    return _ACTIVE[-1]
+
+
+@contextmanager
+def use_tracer(tracer) -> Iterator:
+    """Install ``tracer`` as the current tracer for the ``with`` block."""
+    _ACTIVE.append(tracer)
+    try:
+        yield tracer
+    finally:
+        _ACTIVE.pop()
+
+
+# --------------------------------------------------------------------------- #
+# JSONL export / import
+# --------------------------------------------------------------------------- #
+def write_trace_jsonl(path, records: Sequence[Mapping],
+                      header: Mapping[str, object] | None = None) -> int:
+    """Write span records as JSON Lines (one event per line); returns count.
+
+    An optional header event (``{"event": "trace_header", ...}``) leads the
+    file — run metadata, schema hints, whatever the caller stamps.  Span
+    records are written verbatim in the given order.
+    """
+    written = 0
+    with open(path, "w", encoding="utf-8") as fh:
+        if header is not None:
+            fh.write(json.dumps({"event": "trace_header", **header},
+                                sort_keys=True) + "\n")
+            written += 1
+        for record in records:
+            fh.write(json.dumps(record, sort_keys=True) + "\n")
+            written += 1
+    return written
+
+
+def read_trace_jsonl(path) -> list[dict]:
+    """Parse a trace JSONL file back into its event dictionaries."""
+    events = []
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    return events
+
+
+def merge_traces(traces: Sequence[Sequence[Mapping]],
+                 cells: Sequence[Mapping[str, object]] | None = None) -> list[dict]:
+    """Merge per-cell span record lists into one campaign trace.
+
+    Every span record is stamped with its cell index (span ids stay
+    cell-local, so ``(cell, span)`` is the unique key of the merged
+    trace).  When ``cells`` provides per-cell metadata, a ``{"event":
+    "cell", "cell": i, ...}`` marker precedes each cell's spans — that is
+    how the executor labels which (setting, policy) a subtree came from.
+    """
+    if cells is not None and len(cells) != len(traces):
+        raise ValueError("cells metadata must parallel the traces")
+    merged: list[dict] = []
+    for index, records in enumerate(traces):
+        if cells is not None:
+            merged.append({"event": "cell", "cell": index, **cells[index]})
+        for record in records:
+            stamped = dict(record)
+            stamped["cell"] = index
+            merged.append(stamped)
+    return merged
+
+
+# --------------------------------------------------------------------------- #
+# rollup
+# --------------------------------------------------------------------------- #
+def rollup(records: Sequence[Mapping]) -> dict[str, dict[str, float]]:
+    """Aggregate span records by name: count, total and self seconds.
+
+    Works on a single tracer's records or a merged campaign trace (cell
+    markers and other non-span events are ignored).  Self time is each
+    span's duration minus its direct children's durations, re-derived from
+    the parent links, so a rollup over a JSONL file read back from disk
+    matches the tracer's live aggregation.
+    """
+    spans = [r for r in records if "span" in r and "name" in r]
+    child_seconds: dict[tuple, float] = {}
+    for record in spans:
+        if record.get("parent") is None:
+            continue
+        key = (record.get("cell"), record.get("trace"), record["parent"])
+        duration = record["end"] - record["start"]
+        child_seconds[key] = child_seconds.get(key, 0.0) + duration
+    report: dict[str, dict[str, float]] = {}
+    for record in spans:
+        duration = record["end"] - record["start"]
+        key = (record.get("cell"), record.get("trace"), record["span"])
+        entry = report.setdefault(record["name"],
+                                  {"count": 0, "total_seconds": 0.0,
+                                   "self_seconds": 0.0})
+        entry["count"] += 1
+        entry["total_seconds"] += duration
+        entry["self_seconds"] += duration - child_seconds.get(key, 0.0)
+    return report
+
+
+__all__ = ["Span", "Tracer", "NullTracer", "NULL_TRACER", "current_tracer",
+           "use_tracer", "write_trace_jsonl", "read_trace_jsonl",
+           "merge_traces", "rollup"]

@@ -17,9 +17,11 @@ choice of shortest-path backend is orthogonal to the cost definitions.
 from __future__ import annotations
 
 import math
+import time
 from collections.abc import Sequence
 
 from repro.network.distance_oracle import DistanceOracle
+from repro.obs.trace import current_tracer
 from repro.orders.batch import Batch
 from repro.orders.order import Order
 from repro.orders.route_plan import (
@@ -75,6 +77,11 @@ class CostModel:
         self._planner = planner
         self._vectorized = vectorized
         self._sdt_cache: dict[int, float] = {}
+        #: Route-planner invocations over the model's lifetime.  A bare int
+        #: (not a registry counter) because the increment sits on the per-
+        #: candidate-edge hot path; the engine folds per-run deltas into the
+        #: run telemetry alongside the oracle counters.
+        self.plan_calls = 0
 
     @property
     def oracle(self) -> DistanceOracle:
@@ -110,7 +117,30 @@ class CostModel:
 
     def _plan(self, new_orders: Sequence[Order], start_node: int, start_time: float,
               onboard_orders: Sequence[Order] = ()) -> RoutePlan:
-        """Compute a quickest route plan with the configured planner."""
+        """Compute a quickest route plan with the configured planner.
+
+        Route planning runs once per candidate FoodGraph edge — tens of
+        thousands of calls per simulated hour, far too hot for per-call span
+        records, and hot enough that even two clock reads per call cost a
+        few percent of the whole run.  Summary mode therefore only counts
+        invocations (:attr:`plan_calls`, folded into the run telemetry);
+        the per-call latency histogram (``cost.route_plan``) is recorded in
+        trace mode only, where the deep-dive is worth the measurement tax.
+        """
+        self.plan_calls += 1
+        tracer = current_tracer()
+        if not tracer.keep_records:
+            return self._plan_impl(new_orders, start_node, start_time,
+                                   onboard_orders)
+        start = time.perf_counter()
+        plan = self._plan_impl(new_orders, start_node, start_time,
+                               onboard_orders)
+        tracer.observe("cost.route_plan", time.perf_counter() - start)
+        return plan
+
+    def _plan_impl(self, new_orders: Sequence[Order], start_node: int,
+                   start_time: float,
+                   onboard_orders: Sequence[Order] = ()) -> RoutePlan:
         stop_count = 2 * len(new_orders) + len(onboard_orders)
         nodes = [start_node]
         for order in new_orders:

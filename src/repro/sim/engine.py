@@ -56,13 +56,15 @@ on such scenarios (golden-tested).
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from collections.abc import Sequence
 
 from repro.core.policy import Assignment, AssignmentPolicy
 from repro.fleet.controller import FleetController
 from repro.network.geometry import haversine_distance
+from repro.obs import tracer_for_run
+from repro.obs.telemetry import Telemetry
+from repro.obs.trace import use_tracer
 from repro.orders.costs import CostModel
 from repro.sim.advance import PathWalker
 from repro.sim.clock import EventClock
@@ -125,11 +127,19 @@ class Simulator:
     def __init__(self, scenario: Scenario, policy: AssignmentPolicy,
                  cost_model: CostModel, config: SimulationConfig | None = None,
                  traffic: TrafficController | None = None,
-                 fleet: FleetController | None = None) -> None:
+                 fleet: FleetController | None = None,
+                 tracer=None) -> None:
         self.scenario = scenario
         self.policy = policy
         self.cost_model = cost_model
         self.config = config or SimulationConfig()
+        if tracer is None:
+            # Honours the session-wide --obs mode: the no-op singleton by
+            # default, a recording tracer when the run opted in.
+            tracer = tracer_for_run(
+                f"{scenario.name}/{policy.name}",
+                meta={"scenario": scenario.name, "policy": policy.name})
+        self._tracer = tracer
         if traffic is None:
             timeline = getattr(scenario, "traffic", None)
             if timeline:
@@ -173,27 +183,48 @@ class Simulator:
     def run(self) -> SimulationResult:
         """Run the whole simulation and return the collected metrics."""
         cfg = self.config
+        tracer = self._tracer
         cache_info_before = self.cost_model.oracle.cache_info()
-        window_start = cfg.start
-        while window_start < cfg.end:
-            window_end = min(window_start + cfg.delta, cfg.end)
-            self._window_declines = 0
-            self._window_handoffs = 0
-            self._apply_controllers(window_start)
-            if self._clock is not None:
-                self._drain_subwindow_events(window_start, window_end)
-            self._advance_all_vehicles(window_end)
-            self._ingest_orders(window_end)
-            self._reject_stale_orders(window_end)
-            if self.policy.reshuffle:
-                self._release_unpicked_orders(window_end)
-            self._run_window(window_start, window_end)
-            if self.fleet is not None:
-                # Idle drivers drift toward demand during the *next* window.
-                self.fleet.plan_repositioning(self.vehicles, window_end)
-            window_start = window_end
-        self._drain(cfg.end + cfg.drain_seconds)
-        self._reject_stale_orders(cfg.end + cfg.drain_seconds, final=True)
+        counters_before = ((self._oracle_counters() | self._cost_counters())
+                           if tracer.enabled else None)
+        # The tracer is installed as the ambient current tracer so the
+        # instrumented layers below the engine (policy pipeline, cost model,
+        # oracle, hub labels) report into this run's span tree without any
+        # signature changes.
+        with use_tracer(tracer):
+            window_start = cfg.start
+            while window_start < cfg.end:
+                window_end = min(window_start + cfg.delta, cfg.end)
+                with tracer.span("engine.window"):
+                    self._window_declines = 0
+                    self._window_handoffs = 0
+                    with tracer.span("engine.controllers"):
+                        self._apply_controllers(window_start)
+                    if self._clock is not None:
+                        with tracer.span("engine.event_drain"):
+                            self._drain_subwindow_events(window_start, window_end)
+                    with tracer.span("engine.advance"):
+                        self._advance_all_vehicles(window_end)
+                    with tracer.span("engine.ingest"):
+                        self._ingest_orders(window_end)
+                    self._reject_stale_orders(window_end)
+                    if self.policy.reshuffle:
+                        with tracer.span("engine.reshuffle"):
+                            self._release_unpicked_orders(window_end)
+                    self._run_window(window_start, window_end)
+                    if self.fleet is not None:
+                        # Idle drivers drift toward demand during the *next*
+                        # window.
+                        with tracer.span("engine.reposition"):
+                            self.fleet.plan_repositioning(self.vehicles,
+                                                          window_end)
+                window_start = window_end
+            with tracer.span("engine.drain"):
+                self._drain(cfg.end + cfg.drain_seconds)
+                self._reject_stale_orders(cfg.end + cfg.drain_seconds, final=True)
+        cache_stats = self._cache_stats_since(cache_info_before)
+        telemetry = (self._collect_telemetry(counters_before, cache_stats)
+                     if tracer.enabled else None)
         return SimulationResult(
             policy_name=self.policy.name,
             city_name=self.scenario.name,
@@ -203,8 +234,58 @@ class Simulator:
             vehicles=self.vehicles,
             omega=cfg.omega,
             simulated_seconds=cfg.end - cfg.start,
-            cache_stats=self._cache_stats_since(cache_info_before),
+            cache_stats=cache_stats,
+            telemetry=telemetry,
         )
+
+    def _oracle_counters(self) -> dict[str, int]:
+        """Cumulative oracle work counters (snapshotted like the caches)."""
+        oracle = self.cost_model.oracle
+        return {"queries": oracle.query_count,
+                "batch_queries": getattr(oracle, "batch_query_count", 0),
+                "sssp_runs": getattr(oracle, "sssp_runs", 0)}
+
+    def _cost_counters(self) -> dict[str, int]:
+        """Cumulative cost-model work counters (snapshotted like the caches)."""
+        return {"route_plans": getattr(self.cost_model, "plan_calls", 0)}
+
+    def _collect_telemetry(self, counters_before: dict[str, int],
+                           cache_stats: dict[str, dict[str, int]]) -> Telemetry:
+        """Fold run-scoped counters into the registry and capture the tracer.
+
+        Oracle counters are cumulative across runs (experiment harnesses
+        share cached oracles), so like :meth:`_cache_stats_since` this
+        attributes only the deltas since run start to this simulation.
+        Traffic/fleet controller logs are per-controller and controllers are
+        per-run, so their totals fold in directly.
+        """
+        registry = self._tracer.registry
+        for name, value in self._oracle_counters().items():
+            registry.counter(f"oracle.{name}").inc(value - counters_before[name])
+        for name, value in self._cost_counters().items():
+            registry.counter(f"cost.{name}").inc(value - counters_before[name])
+        for cache, info in cache_stats.items():
+            if cache == "hub_labels":
+                for key, value in info.items():
+                    registry.gauge(f"oracle.index.{key}").set(value)
+                continue
+            registry.counter("oracle.cache.hits", cache=cache).inc(info["hits"])
+            registry.counter("oracle.cache.misses", cache=cache).inc(info["misses"])
+            registry.gauge("oracle.cache.size", cache=cache).set(info["size"])
+        if self.traffic is not None:
+            log = self.traffic.log
+            for name in ("advances", "changed_edges", "repairs", "rebuilds",
+                         "severed_edges", "disconnected_nodes"):
+                registry.counter(f"traffic.{name}").inc(getattr(log, name))
+        if self.fleet is not None:
+            log = self.fleet.log
+            for name in ("advances", "offers", "declines", "handoff_orders",
+                         "repositions"):
+                registry.counter(f"fleet.{name}").inc(getattr(log, name))
+        return Telemetry.from_tracer(self._tracer, meta={
+            "windows": len(self._windows),
+            "event_resolution": self.config.event_resolution,
+        })
 
     def _cache_stats_since(self, before: dict[str, dict[str, int]],
                            ) -> dict[str, dict[str, int]]:
@@ -385,9 +466,13 @@ class Simulator:
         """Invoke the policy on the current pool and apply its assignments."""
         pool_orders = sorted(self._pool.values(), key=lambda o: (o.placed_at, o.order_id))
         on_duty = [v for v in self.vehicles if self._on_duty(v, window_end)]
-        decision_start = time.perf_counter()
-        assignments = self.policy.assign(pool_orders, on_duty, window_end)
-        decision_seconds = time.perf_counter() - decision_start
+        tracer = self._tracer
+        # The stopwatch measures in every mode (the disabled tracer hands out
+        # a timing-only singleton): decision_seconds is a simulation metric
+        # (the overflow figures), not just telemetry.
+        with tracer.stopwatch("engine.decide") as decide:
+            assignments = self.policy.assign(pool_orders, on_duty, window_end)
+        decision_seconds = decide.duration
         # Optionally charge the measured computation time into the simulated
         # clock: assignments made in this window only take effect that much
         # later, which is how slow policies hurt delivery times in the paper
@@ -395,7 +480,8 @@ class Simulator:
         effective_time = window_end
         if self.config.charge_decision_time:
             effective_time = window_end + decision_seconds
-        assigned_count = self._apply_assignments(assignments, effective_time)
+        with tracer.span("engine.apply"):
+            assigned_count = self._apply_assignments(assignments, effective_time)
         self._windows.append(WindowRecord(
             start=window_start,
             end=window_end,

@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from collections.abc import Iterable
 
 from repro.network.graph import time_slot
+from repro.obs.telemetry import Telemetry
 from repro.orders.order import Order
 from repro.orders.vehicle import Vehicle
 
@@ -122,6 +123,10 @@ class SimulationResult:
     #: :meth:`DistanceOracle.cache_info
     #: <repro.network.distance_oracle.DistanceOracle.cache_info>`
     cache_stats: dict[str, dict[str, int]] = field(default_factory=dict)
+    #: per-phase latency profile, span records and folded counters captured
+    #: when observability is enabled (``--obs summary|trace``); ``None`` on
+    #: default runs — see :class:`repro.obs.telemetry.Telemetry`
+    telemetry: Telemetry | None = None
 
     # ------------------------------------------------------------------ #
     # order-level metrics

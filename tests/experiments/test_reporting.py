@@ -1,0 +1,113 @@
+"""Plain-text report rendering: cache, telemetry and trace-rollup tables."""
+
+from __future__ import annotations
+
+from repro.experiments.reporting import (
+    format_cache_report,
+    format_table,
+    format_telemetry_report,
+    format_trace_rollup,
+)
+from repro.obs.telemetry import Telemetry
+from repro.obs.trace import Tracer, rollup
+
+
+class TestFormatCacheReport:
+    def test_renders_hit_rates_and_occupancy(self):
+        report = format_cache_report({
+            "point": {"hits": 75, "misses": 25, "size": 90, "capacity": 128},
+        })
+        assert "0.7500" in report
+        assert "90/128" in report
+
+    def test_zero_query_cache_renders_dash_not_zero(self):
+        # A cache that served no lookups has no meaningful hit rate; the
+        # report must render "-" rather than divide by zero or print 0.0000.
+        report = format_cache_report({
+            "sssp": {"hits": 0, "misses": 0, "size": 0, "capacity": 1024},
+        })
+        row = next(line for line in report.splitlines()
+                   if line.startswith("sssp"))
+        assert "-" in row
+        assert "0.0000" not in row
+
+    def test_hub_label_footprint_renders_as_summary_line(self):
+        report = format_cache_report({
+            "point": {"hits": 1, "misses": 1, "size": 2, "capacity": 4},
+            "hub_labels": {"entries": 2820, "bytes": 45_000_000},
+        })
+        assert "hub labels: 2,820 entries, 45.0 MB resident" in report
+        assert "hub_labels" not in report.splitlines()[1]  # not a table row
+
+
+def _telemetry() -> Telemetry:
+    tracer = Tracer(trace_id="CityA/foodmatch", keep_records=True)
+    for _ in range(3):
+        with tracer.span("engine.window"):
+            with tracer.span("engine.decide"):
+                pass
+    telemetry = Telemetry.from_tracer(tracer)
+    telemetry.counters.update({"oracle.queries": 1500.0,
+                               "oracle.batch_queries": 40.0,
+                               "oracle.sssp_runs": 6.0,
+                               "cost.route_plans": 900.0})
+    return telemetry
+
+
+class TestFormatTelemetryReport:
+    def test_table_has_phase_rows_and_quantile_columns(self):
+        report = format_telemetry_report(_telemetry())
+        header = report.splitlines()[1]
+        for column in ("phase", "count", "total_s", "self_s", "p50_ms",
+                       "p99_ms", "%window"):
+            assert column in header
+        assert "engine.window" in report
+        assert "engine.decide" in report
+        assert "CityA/foodmatch" in report.splitlines()[0]
+
+    def test_window_share_uses_window_span_as_reference(self):
+        report = format_telemetry_report(_telemetry())
+        window_row = next(line for line in report.splitlines()
+                          if line.startswith("engine.window"))
+        assert "%" in window_row
+
+    def test_no_window_span_renders_dash_share(self):
+        tracer = Tracer()
+        with tracer.span("policy.batching"):
+            pass
+        report = format_telemetry_report(Telemetry.from_tracer(tracer))
+        row = next(line for line in report.splitlines()
+                   if line.startswith("policy.batching"))
+        assert row.rstrip().endswith("-")
+
+    def test_footer_reports_oracle_and_cost_counters(self):
+        report = format_telemetry_report(_telemetry())
+        assert "oracle: 1,500 distance queries" in report
+        assert "(40 batched calls, 6 SSSP runs)" in report
+        assert "cost model: 900 route plans evaluated" in report
+
+    def test_counterless_telemetry_has_no_footer(self):
+        tracer = Tracer()
+        with tracer.span("engine.window"):
+            pass
+        report = format_telemetry_report(Telemetry.from_tracer(tracer))
+        assert "oracle:" not in report
+        assert "cost model:" not in report
+
+
+class TestFormatTraceRollup:
+    def test_rows_sorted_by_self_time(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                for _ in range(10_000):
+                    pass
+        report = format_trace_rollup(rollup(tracer.export_records()))
+        lines = report.splitlines()
+        assert lines[0] == "trace rollup (self time)"
+        assert lines[3].startswith("inner")  # busiest self time first
+
+    def test_format_table_pads_columns(self):
+        table = format_table(["a", "bb"], [["x", 1.5], ["longer", 2.0]])
+        widths = {len(line) for line in table.splitlines()}
+        assert len(widths) == 1  # every row padded to the same width

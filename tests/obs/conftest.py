@@ -1,0 +1,21 @@
+"""Observability tests share one invariant: the session mode is global.
+
+Every test leaves the process back in ``"off"`` mode with the null tracer
+active, so obs tests cannot leak instrumentation into the rest of the
+suite (or into each other).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.obs.trace import _ACTIVE, NULL_TRACER
+
+
+@pytest.fixture(autouse=True)
+def _reset_obs_state():
+    yield
+    obs.set_mode("off")
+    del _ACTIVE[1:]
+    assert _ACTIVE == [NULL_TRACER]

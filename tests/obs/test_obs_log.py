@@ -1,0 +1,50 @@
+"""Structured logging wiring: silent by default, one handler, level names."""
+
+from __future__ import annotations
+
+import logging
+
+import pytest
+
+from repro.obs.log import configure_logging, get_logger
+
+
+class TestGetLogger:
+    def test_names_root_under_repro(self):
+        assert get_logger("experiments.executor").name == \
+            "repro.experiments.executor"
+
+    def test_repro_prefixed_names_pass_through(self):
+        assert get_logger("repro.sim").name == "repro.sim"
+
+    def test_silent_by_default(self):
+        # The library must never print on import: the "repro" root carries a
+        # NullHandler, so records propagate nowhere noisy by default.
+        root = logging.getLogger("repro")
+        assert any(isinstance(h, logging.NullHandler) for h in root.handlers)
+
+
+class TestConfigureLogging:
+    def test_accepts_level_names_case_insensitively(self):
+        root = configure_logging("DEBUG")
+        assert root.level == logging.DEBUG
+        assert configure_logging("warning").level == logging.WARNING
+
+    def test_accepts_numeric_levels(self):
+        assert configure_logging(logging.ERROR).level == logging.ERROR
+
+    def test_rejects_unknown_level_names(self):
+        with pytest.raises(ValueError):
+            configure_logging("chatty")
+
+    def test_repeat_calls_do_not_stack_handlers(self):
+        configure_logging("INFO")
+        before = len(logging.getLogger("repro").handlers)
+        configure_logging("DEBUG")
+        assert len(logging.getLogger("repro").handlers) == before
+
+    def test_records_flow_through_configured_handler(self, caplog):
+        configure_logging("DEBUG")
+        with caplog.at_level(logging.DEBUG, logger="repro"):
+            get_logger("obs.test").debug("probe %d", 7)
+        assert "probe 7" in caplog.text

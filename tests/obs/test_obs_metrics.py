@@ -1,0 +1,165 @@
+"""Metrics registry: histogram quantile math, labels, snapshots."""
+
+from __future__ import annotations
+
+import math
+import pickle
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.metrics import (
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestHistogramBuckets:
+    def test_bucket_index_partitions_the_range(self):
+        hist = Histogram(low=1e-3, high=1e3, buckets_per_decade=5)
+        assert hist.bucket_index(1e-4) == 0  # underflow
+        assert hist.bucket_index(1e4) == len(hist.counts) - 1  # overflow
+        for value in (1e-3, 0.02, 1.0, 37.5, 999.0):
+            index = hist.bucket_index(value)
+            lo, hi = hist.bucket_bounds(index)
+            assert lo <= value < hi
+
+    def test_bucket_bounds_are_contiguous(self):
+        hist = Histogram(low=1e-2, high=1e2, buckets_per_decade=4)
+        previous_hi = hist.bucket_bounds(1)[0]
+        for index in range(1, len(hist.counts) - 1):
+            lo, hi = hist.bucket_bounds(index)
+            assert lo == pytest.approx(previous_hi)
+            previous_hi = hi
+
+    def test_invalid_construction_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram(low=0.0, high=1.0)
+        with pytest.raises(ValueError):
+            Histogram(low=2.0, high=1.0)
+        with pytest.raises(ValueError):
+            Histogram(buckets_per_decade=0)
+
+
+class TestHistogramQuantiles:
+    def test_empty_histogram_answers_zero(self):
+        hist = Histogram()
+        assert hist.quantile(0.5) == 0.0
+        assert hist.summary()["count"] == 0
+
+    def test_quantile_range_validated(self):
+        hist = Histogram()
+        hist.record(1.0)
+        with pytest.raises(ValueError):
+            hist.quantile(1.5)
+
+    def test_single_sample_is_every_quantile(self):
+        hist = Histogram()
+        hist.record(0.125)
+        for q in (0.0, 0.5, 0.99, 1.0):
+            assert hist.quantile(q) == pytest.approx(0.125, rel=0.3)
+        # Clamping to the observed range makes a 1-sample answer exact.
+        assert hist.quantile(0.5) == 0.125
+
+    def test_memory_is_constant_in_samples(self):
+        hist = Histogram()
+        buckets = len(hist.counts)
+        for i in range(10_000):
+            hist.record(1e-5 * (1 + i % 997))
+        assert len(hist.counts) == buckets
+        assert hist.count == 10_000
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.floats(min_value=1e-6, max_value=9e4,
+                              allow_nan=False, allow_infinity=False),
+                    min_size=1, max_size=200),
+           st.sampled_from([0.5, 0.9, 0.99]))
+    def test_quantile_within_one_bucket_of_numpy(self, samples, q):
+        """Streamed quantiles land in the same log bucket as numpy's.
+
+        The histogram implements inverted-CDF quantiles at bucket
+        resolution, so its answer and ``np.percentile(...,
+        method="inverted_cdf")`` must agree to within one bucket width
+        (a factor of ``10**(1/buckets_per_decade)`` either way), with
+        clamping to the observed min/max sharpening the extremes.
+        """
+        hist = Histogram()
+        for value in samples:
+            hist.record(value)
+        ours = hist.quantile(q)
+        exact = float(np.percentile(samples, q * 100, method="inverted_cdf"))
+        width = 10.0 ** (1.0 / hist.buckets_per_decade)
+        assert exact / width <= ours <= exact * width
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.floats(min_value=1e-6, max_value=9e4,
+                              allow_nan=False, allow_infinity=False),
+                    min_size=1, max_size=100))
+    def test_summary_totals_are_exact(self, samples):
+        """Counts, sums and extremes do not pay the bucket quantisation."""
+        hist = Histogram()
+        for value in samples:
+            hist.record(value)
+        summary = hist.summary()
+        assert summary["count"] == len(samples)
+        assert summary["sum"] == pytest.approx(math.fsum(samples))
+        assert summary["min"] == min(samples)
+        assert summary["max"] == max(samples)
+
+    def test_out_of_range_samples_use_observed_extremes(self):
+        hist = Histogram(low=1e-3, high=1e3)
+        hist.record(1e-9)   # underflow
+        hist.record(1e9)    # overflow
+        assert hist.quantile(0.0) == 1e-9
+        assert hist.quantile(1.0) == 1e9
+
+
+class TestRegistry:
+    def test_counter_and_gauge_semantics(self):
+        registry = MetricsRegistry()
+        registry.counter("orders").inc()
+        registry.counter("orders").inc(4)
+        registry.gauge("fleet.size").set(36)
+        registry.gauge("fleet.size").set(35)
+        snap = registry.snapshot()
+        assert snap["counters"]["orders"] == 5.0
+        assert snap["gauges"]["fleet.size"] == 35.0
+
+    def test_labels_address_distinct_instruments(self):
+        registry = MetricsRegistry()
+        registry.counter("cache.hits", cache="point").inc(7)
+        registry.counter("cache.hits", cache="path").inc(2)
+        snap = registry.snapshot()["counters"]
+        assert snap["cache.hits{cache=point}"] == 7.0
+        assert snap["cache.hits{cache=path}"] == 2.0
+
+    def test_label_order_does_not_matter(self):
+        registry = MetricsRegistry()
+        a = registry.counter("m", x=1, y=2)
+        b = registry.counter("m", y=2, x=1)
+        assert a is b
+
+    def test_histogram_snapshot_is_picklable(self):
+        registry = MetricsRegistry()
+        registry.histogram("latency").record(0.01)
+        snap = registry.snapshot()
+        assert pickle.loads(pickle.dumps(snap)) == snap
+        assert snap["histograms"]["latency"]["count"] == 1
+
+    def test_null_registry_stores_nothing(self):
+        NULL_REGISTRY.counter("x").inc()
+        NULL_REGISTRY.gauge("y").set(3)
+        NULL_REGISTRY.histogram("z").record(1.0)
+        assert NULL_REGISTRY.snapshot() == {
+            "counters": {}, "gauges": {}, "histograms": {}}
+        # One shared instrument for every name: nothing allocated per call.
+        assert NULL_REGISTRY.counter("a") is NULL_REGISTRY.counter("b")
+
+    def test_plain_instruments_expose_names(self):
+        assert Counter("a").name == "a"
+        assert Gauge("b").name == "b"

@@ -1,0 +1,230 @@
+"""Tracing core: span nesting, self time, JSONL round-trips, merge, rollup."""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+from repro.obs.trace import (
+    NULL_TRACER,
+    Tracer,
+    current_tracer,
+    merge_traces,
+    read_trace_jsonl,
+    rollup,
+    use_tracer,
+    write_trace_jsonl,
+)
+
+
+def _spin(seconds: float) -> None:
+    """Busy-wait so span durations are strictly positive and ordered."""
+    deadline = time.perf_counter() + seconds
+    while time.perf_counter() < deadline:
+        pass
+
+
+class TestSpanTree:
+    def test_nesting_assigns_parent_and_depth(self):
+        tracer = Tracer(trace_id="t")
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                with tracer.span("leaf") as leaf:
+                    pass
+        assert outer.parent_id is None and outer.depth == 0
+        assert inner.parent_id == outer.span_id and inner.depth == 1
+        assert leaf.parent_id == inner.span_id and leaf.depth == 2
+
+    def test_span_ids_are_allocation_ordered(self):
+        tracer = Tracer()
+        with tracer.span("a") as a:
+            pass
+        with tracer.span("b") as b:
+            with tracer.span("c") as c:
+                pass
+        assert [a.span_id, b.span_id, c.span_id] == [0, 1, 2]
+
+    def test_siblings_share_a_parent(self):
+        tracer = Tracer()
+        with tracer.span("parent") as parent:
+            with tracer.span("first") as first:
+                pass
+            with tracer.span("second") as second:
+                pass
+        assert first.parent_id == parent.span_id
+        assert second.parent_id == parent.span_id
+        assert first.depth == second.depth == 1
+
+    def test_records_are_in_completion_order(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        names = [r["name"] for r in tracer.export_records()]
+        assert names == ["inner", "outer"]  # children finish first
+
+    def test_self_time_excludes_children(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            _spin(0.004)
+            with tracer.span("inner") as inner:
+                _spin(0.004)
+        assert inner.duration > 0.0
+        assert outer.duration >= inner.duration
+        assert outer.self_seconds == pytest.approx(
+            outer.duration - inner.duration)
+
+    def test_observe_feeds_histogram_with_zero_self_time(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            tracer.observe("hot.call", 0.25)
+            tracer.observe("hot.call", 0.75)
+        stats = tracer.phase_stats()["hot.call"]
+        assert stats["count"] == 2
+        assert stats["total_seconds"] == pytest.approx(1.0)
+        # Observed durations happen inside an enclosing span; zero self time
+        # keeps rollups and %-of-window columns from double-booking them.
+        assert stats["self_seconds"] == 0.0
+        # ... and observe() creates no span records even in trace mode.
+        assert [r["name"] for r in tracer.export_records()] == ["outer"]
+
+    def test_phase_stats_aggregate_repeats(self):
+        tracer = Tracer()
+        for _ in range(5):
+            with tracer.span("window"):
+                pass
+        stats = tracer.phase_stats()["window"]
+        assert stats["count"] == 5
+        assert stats["total_seconds"] >= stats["self_seconds"] >= 0.0
+        assert stats["p50"] <= stats["p99"]
+
+    def test_summary_mode_keeps_no_records(self):
+        tracer = Tracer(keep_records=False)
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        assert tracer.export_records() == []
+        assert set(tracer.phase_stats()) == {"outer", "inner"}
+
+
+class TestNullPath:
+    def test_null_tracer_allocates_nothing(self):
+        first = NULL_TRACER.span("a")
+        second = NULL_TRACER.span("b", attrs={"k": 1})
+        assert first is second  # the shared singleton, not fresh objects
+
+    def test_null_span_is_reentrant(self):
+        span = NULL_TRACER.span("x")
+        with span, span:
+            pass
+        assert span.duration == 0.0
+
+    def test_null_stopwatch_still_measures(self):
+        with NULL_TRACER.stopwatch("decide") as watch:
+            _spin(0.002)
+        assert watch.duration > 0.0
+
+    def test_current_tracer_defaults_to_null(self):
+        assert current_tracer() is NULL_TRACER
+
+    def test_use_tracer_restores_on_exit(self):
+        tracer = Tracer()
+        with use_tracer(tracer):
+            assert current_tracer() is tracer
+            with use_tracer(NULL_TRACER):
+                assert current_tracer() is NULL_TRACER
+            assert current_tracer() is tracer
+        assert current_tracer() is NULL_TRACER
+
+    def test_use_tracer_restores_after_exception(self):
+        with pytest.raises(RuntimeError):
+            with use_tracer(Tracer()):
+                raise RuntimeError("boom")
+        assert current_tracer() is NULL_TRACER
+
+
+class TestJsonl:
+    def test_round_trip_preserves_records(self, tmp_path):
+        tracer = Tracer(trace_id="run1")
+        with tracer.span("outer", attrs={"windows": 3}):
+            with tracer.span("inner"):
+                pass
+        path = tmp_path / "trace.jsonl"
+        count = write_trace_jsonl(path, tracer.export_records(),
+                                  header={"run_id": "run1"})
+        assert count == 3  # header + two spans
+        events = read_trace_jsonl(path)
+        assert events[0] == {"event": "trace_header", "run_id": "run1"}
+        assert events[1:] == tracer.export_records()
+
+    def test_each_line_is_valid_json(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        path = tmp_path / "trace.jsonl"
+        write_trace_jsonl(path, tracer.export_records())
+        for line in path.read_text().splitlines():
+            json.loads(line)  # raises on any malformed line
+
+
+class TestMergeAndRollup:
+    def _trace(self, names):
+        tracer = Tracer(trace_id="cell")
+        with tracer.span(names[0]):
+            for name in names[1:]:
+                with tracer.span(name):
+                    pass
+        return tracer.export_records()
+
+    def test_merge_stamps_cell_indices(self):
+        merged = merge_traces([self._trace(["a"]), self._trace(["b"])])
+        assert [r["cell"] for r in merged] == [0, 1]
+
+    def test_merge_emits_cell_markers(self):
+        merged = merge_traces([self._trace(["a"])],
+                              cells=[{"policy": "foodmatch"}])
+        assert merged[0] == {"event": "cell", "cell": 0, "policy": "foodmatch"}
+
+    def test_merge_rejects_mismatched_metadata(self):
+        with pytest.raises(ValueError):
+            merge_traces([self._trace(["a"])], cells=[{}, {}])
+
+    def test_merged_key_is_unique(self):
+        # Two cells reuse span ids 0..n; (cell, trace, span) disambiguates.
+        merged = merge_traces([self._trace(["a", "b"]),
+                               self._trace(["a", "b"])])
+        keys = {(r["cell"], r["trace"], r["span"]) for r in merged}
+        assert len(keys) == len(merged)
+
+    def test_rollup_matches_live_phase_stats(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            _spin(0.002)
+            with tracer.span("inner"):
+                _spin(0.002)
+        live = tracer.phase_stats()
+        replayed = rollup(tracer.export_records())
+        for name in live:
+            assert replayed[name]["count"] == live[name]["count"]
+            assert replayed[name]["total_seconds"] == pytest.approx(
+                live[name]["total_seconds"])
+            assert replayed[name]["self_seconds"] == pytest.approx(
+                live[name]["self_seconds"])
+
+    def test_rollup_ignores_non_span_events(self):
+        merged = merge_traces([self._trace(["a"])], cells=[{"policy": "p"}])
+        report = rollup(merged)
+        assert set(report) == {"a"}
+
+    def test_rollup_keeps_cells_separate(self):
+        # Identical span ids in different cells must not steal each other's
+        # child time: each cell's "outer" has one "inner" child.
+        merged = merge_traces([self._trace(["outer", "inner"]),
+                               self._trace(["outer", "inner"])])
+        report = rollup(merged)
+        assert report["outer"]["count"] == 2
+        total = report["outer"]["total_seconds"]
+        inner = report["inner"]["total_seconds"]
+        assert report["outer"]["self_seconds"] == pytest.approx(total - inner)

@@ -4,7 +4,19 @@ import json
 
 import pytest
 
+from repro import obs
 from repro.cli import build_parser, main
+from repro.experiments.executor import set_default_jobs
+from repro.obs.trace import read_trace_jsonl
+
+
+@pytest.fixture(autouse=True)
+def _reset_session_state():
+    # main() installs the session-wide --obs mode and default job count; put
+    # the defaults back so one CLI test cannot leak state into the next.
+    yield
+    obs.set_mode("off")
+    set_default_jobs(1)
 
 
 class TestParser:
@@ -88,6 +100,67 @@ class TestSimulateCommand:
         payload = json.loads(json_path.read_text(encoding="utf-8"))
         assert payload["policy"] == "km"
         assert csv_path.read_text(encoding="utf-8").startswith("order_id,")
+
+
+class TestObservabilityFlags:
+    def test_obs_defaults_off(self):
+        assert build_parser().parse_args(["simulate"]).obs == "off"
+        assert build_parser().parse_args(["compare"]).obs == "off"
+
+    def test_rejects_unknown_obs_mode(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--obs", "verbose"])
+
+    def test_trace_out_requires_trace_mode(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["simulate", "--scale", "0.1", "--obs", "summary",
+                  "--trace-out", str(tmp_path / "t.jsonl")])
+
+    def test_rejects_unknown_log_level(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", "--scale", "0.1", "--log-level", "chatty"])
+
+    def test_obs_summary_prints_phase_table(self, capsys):
+        code = main(["simulate", "--city", "CityA", "--policy", "km",
+                     "--scale", "0.1", "--start-hour", "12", "--end-hour", "13",
+                     "--seed", "1", "--obs", "summary"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "per-phase latency profile" in captured.out
+        assert "engine.window" in captured.out
+        assert "p99_ms" in captured.out
+
+    def test_obs_off_prints_no_phase_table(self, capsys):
+        main(["simulate", "--city", "CityA", "--policy", "km",
+              "--scale", "0.1", "--start-hour", "12", "--end-hour", "13",
+              "--seed", "1"])
+        assert "per-phase latency profile" not in capsys.readouterr().out
+
+    def test_obs_trace_writes_parseable_jsonl(self, capsys, tmp_path):
+        trace_path = tmp_path / "trace.jsonl"
+        code = main(["simulate", "--city", "CityA", "--policy", "km",
+                     "--scale", "0.1", "--start-hour", "12", "--end-hour", "13",
+                     "--seed", "1", "--obs", "trace",
+                     "--trace-out", str(trace_path)])
+        assert code == 0
+        events = read_trace_jsonl(trace_path)
+        assert events[0]["event"] == "trace_header"
+        names = {e.get("name") for e in events}
+        assert {"engine.window", "engine.decide"} <= names
+
+    def test_compare_merges_cells_into_campaign_trace(self, capsys, tmp_path):
+        trace_path = tmp_path / "campaign.jsonl"
+        code = main(["compare", "--city", "CityA", "--policies", "km", "greedy",
+                     "--scale", "0.1", "--start-hour", "12", "--end-hour", "13",
+                     "--seed", "1", "--jobs", "2", "--obs", "trace",
+                     "--trace-out", str(trace_path)])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "campaign trace rollup" in captured.out
+        events = read_trace_jsonl(trace_path)
+        markers = [e for e in events if e.get("event") == "cell"]
+        assert {m["cell"] for m in markers} == {0, 1}
+        assert all("cell" in e for e in events[1:])
 
 
 class TestCompareCommand:
