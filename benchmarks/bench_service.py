@@ -1,0 +1,228 @@
+"""Microbenchmark for the PR 8 dispatch service (``repro.service``).
+
+Measures the always-on service hosting the batch engine, on the 300-node
+smoke city:
+
+* **service_replay** — sustained ingest throughput (orders/sec over the
+  recorded stream, best of N replays) and per-window decision latency
+  p50/p99 from the service's metrics registry;
+* **checkpoint_restore** — time to snapshot mid-horizon, plus the
+  recovery time (load + rebuild a resumable service from the JSON
+  document); and
+* **backpressure** — the defer/shed counters under a deliberately tiny
+  ingest queue: capacity-1 deferral must stay lossless (identical
+  fingerprint), the shed policy must actually drop.
+
+Before any timing, the simulated-clock service replay must be
+``result_fingerprint``-**identical** to batch ``Simulator.run()`` on the
+same scenario/policy/config, and the checkpoint-restored resume must be
+identical to the uninterrupted run — so the benchmark cannot silently
+time a service that diverged from the engine it claims to host.
+
+Results go to ``BENCH_PR8.json`` (repo root by default).  Run::
+
+    PYTHONPATH=src python benchmarks/bench_service.py          # full
+    PYTHONPATH=src python benchmarks/bench_service.py --smoke  # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import pathlib
+import time
+
+from _bench_utils import REPO_ROOT, write_bench_json
+
+from repro.experiments.executor import result_fingerprint
+from repro.experiments.runner import build_policy
+from repro.network.distance_oracle import DistanceOracle
+from repro.network.generators import random_geometric_city
+from repro.orders.costs import CostModel
+from repro.service import (
+    BackpressureConfig,
+    DispatchService,
+    serve_recorded,
+)
+from repro.sim.engine import SimulationConfig, Simulator
+from repro.workload.city import CityProfile
+from repro.workload.generator import generate_scenario
+
+DEFAULT_OUT = REPO_ROOT / "BENCH_PR8.json"
+
+#: The 300-node smoke city the acceptance gates run on.
+BENCH_PROFILE = CityProfile(
+    name="Bench300",
+    network_factory=lambda: random_geometric_city(num_nodes=300, seed=17),
+    num_restaurants=30,
+    num_vehicles=36,
+    orders_per_day=900,
+    mean_prep_minutes=9.0,
+    accumulation_window=120.0,
+)
+
+
+def build_workload(smoke: bool):
+    start_hour, end_hour = (12, 13) if smoke else (11, 14)
+    scenario = generate_scenario(BENCH_PROFILE, seed=11,
+                                 start_hour=start_hour, end_hour=end_hour)
+    config = SimulationConfig(
+        delta=BENCH_PROFILE.accumulation_window,
+        start=start_hour * 3600, end=end_hour * 3600)
+    oracle = DistanceOracle(scenario.network)
+    return scenario, config, oracle
+
+
+def batch_reference(scenario, config, oracle):
+    cost_model = CostModel(oracle)
+    policy = build_policy("foodmatch", cost_model)
+    sim = Simulator(scenario, policy, cost_model, config)
+    return result_fingerprint(sim.run())
+
+
+def make_service(scenario, config, oracle, **kwargs):
+    return DispatchService(scenario, "foodmatch", config=config,
+                          oracle=oracle, **kwargs)
+
+
+def bench_service_replay(scenario, config, oracle, batch_fp, repeats):
+    """Sustained throughput + decision latency of the recorded replay."""
+    elapsed = []
+    stats = None
+    for _ in range(repeats):
+        service = make_service(scenario, config, oracle)
+        t0 = time.perf_counter()
+        result = asyncio.run(serve_recorded(service))
+        elapsed.append(time.perf_counter() - t0)
+        fp = result_fingerprint(result)
+        assert fp == batch_fp, (
+            "IDENTITY GATE: simulated-clock service replay diverged from "
+            f"batch Simulator.run() ({fp} != {batch_fp})")
+        stats = service.stats()
+    counters = stats["backpressure"]
+    decide = stats["decide_seconds"]
+    best = min(elapsed)
+    return {
+        "workload": f"{scenario.name}, {stats['windows']} windows, "
+                    f"{counters['admitted']} orders, foodmatch",
+        "identical_fingerprint": True,
+        "orders": counters["admitted"],
+        "windows": stats["windows"],
+        "best_wall_seconds": best,
+        "orders_per_second": counters["admitted"] / best,
+        "windows_per_second": stats["windows"] / best,
+        "decide_p50_seconds": decide["p50"],
+        "decide_p99_seconds": decide["p99"],
+        "deferred": counters["deferred"],
+        "shed": counters["shed"],
+    }
+
+
+def bench_checkpoint_restore(scenario, config, oracle, batch_fp, repeats):
+    """Snapshot cost and recovery-from-checkpoint time, identity-gated."""
+    total_windows = int((config.end - config.start) // config.delta)
+    pause_at = max(1, total_windows // 2)
+
+    service = make_service(scenario, config, oracle)
+    paused = asyncio.run(serve_recorded(service, max_windows=pause_at))
+    assert paused is None, "service ran past its pause point"
+
+    snapshot_times, restore_times = [], []
+    document = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        snapshot = service.checkpoint()
+        snapshot_times.append(time.perf_counter() - t0)
+        document = json.dumps(snapshot)
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        restored = DispatchService.from_checkpoint(json.loads(document))
+        restore_times.append(time.perf_counter() - t0)
+
+    # Identity gate: the last restored service, run to the horizon, must
+    # match the uninterrupted batch fingerprint bit for bit.
+    result = asyncio.run(serve_recorded(restored))
+    fp = result_fingerprint(result)
+    assert fp == batch_fp, (
+        "IDENTITY GATE: checkpoint-restored run diverged from the "
+        f"uninterrupted run ({fp} != {batch_fp})")
+    return {
+        "workload": f"{scenario.name}, paused after {pause_at}/"
+                    f"{total_windows} windows, foodmatch",
+        "identical_fingerprint": True,
+        "checkpoint_bytes": len(document),
+        "snapshot_seconds": min(snapshot_times),
+        "recovery_seconds": min(restore_times),
+    }
+
+
+def bench_backpressure(scenario, config, oracle, batch_fp):
+    """Defer stays lossless; shed actually drops — both visibly counted."""
+    defer = make_service(scenario, config, oracle,
+                         backpressure=BackpressureConfig(queue_capacity=1))
+    result = asyncio.run(serve_recorded(defer))
+    fp = result_fingerprint(result)
+    assert fp == batch_fp, (
+        "IDENTITY GATE: capacity-1 deferral dropped orders "
+        f"({fp} != {batch_fp})")
+    defer_counters = defer.stats()["backpressure"]
+    assert defer_counters["admitted"] == defer_counters["submitted"]
+
+    shed = make_service(
+        scenario, config, oracle,
+        backpressure=BackpressureConfig(queue_capacity=4, high_water=1,
+                                        policy="shed"))
+    asyncio.run(serve_recorded(shed))
+    shed_counters = shed.stats()["backpressure"]
+    assert shed_counters["shed"] > 0, \
+        "shed policy with high_water=1 shed nothing"
+    return {
+        "workload": f"{scenario.name}, queue capacity 1 (defer) / "
+                    "high water 1 (shed), foodmatch",
+        "defer_lossless_fingerprint": True,
+        "defer": {k: defer_counters[k]
+                  for k in ("submitted", "admitted", "deferred", "shed")},
+        "shed": {k: shed_counters[k]
+                 for k in ("submitted", "admitted", "deferred", "shed")},
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized run: one lunch hour, fewer repeats")
+    parser.add_argument("--out", type=pathlib.Path, default=DEFAULT_OUT)
+    args = parser.parse_args()
+
+    repeats = 3 if args.smoke else 5
+    scenario, config, oracle = build_workload(args.smoke)
+    batch_fp = batch_reference(scenario, config, oracle)
+    print(f"batch reference fingerprint: {batch_fp}")
+
+    kernels = {
+        "service_replay": bench_service_replay(
+            scenario, config, oracle, batch_fp, repeats),
+        "checkpoint_restore": bench_checkpoint_restore(
+            scenario, config, oracle, batch_fp, repeats),
+        "backpressure": bench_backpressure(scenario, config, oracle, batch_fp),
+    }
+
+    replay = kernels["service_replay"]
+    ckpt = kernels["checkpoint_restore"]
+    print(f"service_replay: {replay['orders_per_second']:.1f} orders/sec "
+          f"sustained, decide p50/p99 {replay['decide_p50_seconds']:.4f}/"
+          f"{replay['decide_p99_seconds']:.4f}s")
+    print(f"checkpoint_restore: snapshot {ckpt['snapshot_seconds']:.3f}s, "
+          f"recovery {ckpt['recovery_seconds']:.3f}s "
+          f"({ckpt['checkpoint_bytes']} bytes)")
+    print(f"backpressure: defer {kernels['backpressure']['defer']}, "
+          f"shed {kernels['backpressure']['shed']}")
+
+    write_bench_json(args.out, "repro.service dispatch service", args.smoke,
+                     kernels, network=scenario.network)
+    print(f"wrote {args.out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -19,6 +19,9 @@ public API is organised by layer:
   idle repositioning).
 * :mod:`repro.experiments` — runners, parameter sweeps and per-figure
   reproduction harnesses.
+* :mod:`repro.service` — the engine rehosted as an always-on asyncio
+  dispatch service: clock drivers, checkpoint/restore, multi-city shard
+  pool and backpressure.
 
 Quickstart::
 
@@ -48,7 +51,7 @@ from repro.fleet import (
     ShiftSchedule,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 
 def quickstart(seed: int = 0):

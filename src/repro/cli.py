@@ -1,6 +1,6 @@
 """Command-line interface for the FoodMatch reproduction.
 
-Three subcommands cover the common workflows without writing any Python:
+Five subcommands cover the common workflows without writing any Python:
 
 ``python -m repro simulate``
     Run one policy on one city profile and print (optionally save) the
@@ -9,6 +9,15 @@ Three subcommands cover the common workflows without writing any Python:
     Run several policies on the same workload and print a comparison table.
 ``python -m repro figure``
     Regenerate one of the paper's tables/figures by name and print its data.
+``python -m repro serve``
+    Host one city's dispatch engine as an always-on asyncio service
+    (:mod:`repro.service`): deterministic simulated-clock replay or
+    wall-clock pacing, with checkpoint (``--checkpoint-out``) and resume
+    (``--restore``).
+``python -m repro loadgen``
+    Drive a simulated-clock service over the recorded order stream as fast
+    as possible and report sustained orders/sec, decide p50/p99 and the
+    backpressure counters.
 
 Examples::
 
@@ -18,10 +27,18 @@ Examples::
     python -m repro compare --city CityB --policies foodmatch greedy km \
         --scale 0.1 --vehicle-fraction 0.4 --jobs 4
     python -m repro figure --name fig8abc_eta_sweep --jobs 4
+    python -m repro serve --city CityA --scale 0.1 --stop-after-windows 4 \
+        --checkpoint-out /tmp/ckpt.json
+    python -m repro serve --restore /tmp/ckpt.json
+    python -m repro loadgen --city CityA --scale 0.1 --json /tmp/load.json
 
 ``--jobs N`` fans the independent cells of a comparison / figure / sweep
 out across N worker processes (see :mod:`repro.experiments.executor`); the
 output is bit-identical to the serial default.
+
+``simulate``, ``compare``, ``serve`` and ``loadgen`` convert SIGINT/SIGTERM
+into a clean shutdown: a one-line summary on stderr, any ``--trace-out``
+file flushed as valid (header-only) trace JSONL, exit code ``128+signum``.
 """
 
 from __future__ import annotations
@@ -74,6 +91,48 @@ _FIGURE_FUNCTIONS = {
 
 _COMPARE_METRICS = ("xdt_hours_per_day", "orders_per_km", "waiting_hours_per_day",
                     "rejection_rate", "mean_decision_seconds", "overflow_pct")
+
+#: Subcommands that trade the default KeyboardInterrupt for a clean shutdown.
+_SIGNAL_COMMANDS = frozenset({"simulate", "compare", "serve", "loadgen"})
+
+
+class GracefulExit(Exception):
+    """Raised by the SIGINT/SIGTERM handler to unwind the command cleanly."""
+
+    def __init__(self, signum: int) -> None:
+        super().__init__(signum)
+        self.signum = signum
+
+
+def _install_signal_handlers() -> None:
+    import signal
+
+    def _handler(signum: int, frame: object) -> None:
+        raise GracefulExit(signum)
+
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        signal.signal(sig, _handler)
+
+
+def _graceful_exit(args: argparse.Namespace, exc: GracefulExit) -> int:
+    """Shut the interrupted command down: flush traces, summarise, exit nonzero."""
+    import signal
+
+    name = signal.Signals(exc.signum).name
+    trace_out = getattr(args, "trace_out", None)
+    if trace_out:
+        try:
+            count = write_trace_jsonl(
+                trace_out, [],
+                header={"command": args.command, "interrupted_by": name})
+            print(f"flushed trace JSONL ({count} events) to {trace_out}",
+                  file=sys.stderr)
+        except OSError as io_exc:
+            print(f"could not flush trace JSONL to {trace_out}: {io_exc}",
+                  file=sys.stderr)
+    print(f"repro {args.command}: interrupted by {name}; "
+          "stopped cleanly before completion", file=sys.stderr)
+    return 128 + int(exc.signum)
 
 
 def _traffic_level(text: str):
@@ -174,6 +233,61 @@ def build_parser() -> argparse.ArgumentParser:
     figure.add_argument("--name", choices=sorted(_FIGURE_FUNCTIONS), required=True)
     figure.add_argument("--list", action="store_true", help="list available figures and exit")
 
+    def add_backpressure_arguments(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--queue-capacity", type=int, default=1024, metavar="N",
+                         help="bound of the ingest queue (default: 1024)")
+        sub.add_argument("--high-water", type=int, default=None, metavar="N",
+                         help="queue depth at which admission defers/sheds "
+                              "(default: 80%% of capacity)")
+        sub.add_argument("--p99-budget", type=float, default=None, metavar="SECONDS",
+                         help="rolling decide-latency p99 budget; exceeding it "
+                              "trips backpressure (default: disabled)")
+        sub.add_argument("--backpressure-policy", choices=("defer", "shed"),
+                         default="defer",
+                         help="defer = lossless (producers park on the queue), "
+                              "shed = lossy rejection; shedding breaks the "
+                              "fingerprint-identity contract (default: defer)")
+
+    serve = subparsers.add_parser(
+        "serve", help="host one city's dispatch engine as an asyncio service")
+    add_setting_arguments(serve)
+    add_jobs_argument(serve)
+    add_backpressure_arguments(serve)
+    serve.add_argument("--policy", choices=available_policies(),
+                       default="foodmatch")
+    serve.add_argument("--clock", choices=("simulated", "wall"),
+                       default="simulated",
+                       help="simulated = watermark-gated deterministic replay, "
+                            "fingerprint-identical to batch mode; wall = "
+                            "windows paced against real time (default: "
+                            "simulated)")
+    serve.add_argument("--rate", type=float, default=60.0, metavar="X",
+                       help="wall-clock speed-up: simulated seconds per real "
+                            "second (default: 60)")
+    serve.add_argument("--stop-after-windows", type=int, default=None,
+                       metavar="N",
+                       help="pause the loop once N total windows have been "
+                            "stepped instead of running to the horizon "
+                            "(checkpoint-and-resume)")
+    serve.add_argument("--checkpoint-out", default=None, metavar="PATH",
+                       help="write a checkpoint JSON when the loop pauses "
+                            "before the horizon")
+    serve.add_argument("--restore", default=None, metavar="PATH",
+                       help="resume from a checkpoint file; the workload "
+                            "flags are ignored (the scenario, policy and "
+                            "engine state are embedded)")
+
+    loadgen = subparsers.add_parser(
+        "loadgen", help="drive a simulated-clock service as fast as possible "
+                        "and report sustained throughput")
+    add_setting_arguments(loadgen)
+    add_jobs_argument(loadgen)
+    add_backpressure_arguments(loadgen)
+    loadgen.add_argument("--policy", choices=available_policies(),
+                         default="foodmatch")
+    loadgen.add_argument("--json", default=None, metavar="PATH",
+                         help="write the loadgen report as JSON")
+
     return parser
 
 
@@ -257,6 +371,150 @@ def _command_figure(args: argparse.Namespace) -> int:
     return 0
 
 
+def _backpressure_from_args(args: argparse.Namespace):
+    from repro.service import BackpressureConfig
+
+    try:
+        return BackpressureConfig(
+            queue_capacity=args.queue_capacity,
+            high_water=args.high_water,
+            decide_p99_budget=args.p99_budget,
+            policy=args.backpressure_policy)
+    except ValueError as exc:
+        print(f"repro {args.command}: {exc}", file=sys.stderr)
+        raise SystemExit(2) from None
+
+
+def _print_service_stats(stats: dict) -> None:
+    backpressure = stats["backpressure"]
+    print(f"  windows stepped          {stats['windows']}")
+    print(f"  orders seen              {stats['orders_seen']}")
+    print(f"  admitted/deferred/shed   {backpressure['admitted']}"
+          f"/{backpressure['deferred']}/{backpressure['shed']}")
+    print(f"  late rejections          {stats['late_rejections']}")
+    decide = stats["decide_seconds"]
+    if decide["count"]:
+        print(f"  decide p50/p99 (s)       "
+              f"{decide['p50']:.4f}/{decide['p99']:.4f}")
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.experiments.executor import result_fingerprint
+    from repro.experiments.runner import materialize
+    from repro.service import (
+        DispatchService,
+        WallClock,
+        recorded_stream,
+        remaining_orders,
+        replay_orders_wall,
+        serve_recorded,
+        setting_config,
+    )
+
+    backpressure = _backpressure_from_args(args)
+    if args.restore:
+        service = DispatchService.from_checkpoint(
+            args.restore, backpressure=backpressure)
+        origin = f"checkpoint {args.restore}"
+    else:
+        setting = _setting_from_args(args)
+        scenario, oracle = materialize(setting)
+        # The cached oracle may carry a repair_fraction override from an
+        # earlier run_setting in this process; serve never sets one.
+        oracle.__dict__.pop("repair_fraction", None)
+        service = DispatchService(
+            scenario, args.policy, config=setting_config(setting),
+            oracle=oracle, backpressure=backpressure)
+        origin = f"{args.city} scale {args.scale}"
+    config = service.engine.config
+    if args.clock == "wall":
+        service.set_clock(WallClock(config.start, rate=args.rate))
+
+    async def _serve():
+        if args.clock == "wall":
+            stream = remaining_orders(
+                service, recorded_stream(service.engine.scenario, config))
+            feeder = asyncio.create_task(replay_orders_wall(service, stream))
+            try:
+                return await service.run(max_windows=args.stop_after_windows)
+            finally:
+                feeder.cancel()
+                try:
+                    await feeder
+                except asyncio.CancelledError:
+                    pass
+        return await serve_recorded(service,
+                                    max_windows=args.stop_after_windows)
+
+    result = asyncio.run(_serve())
+    print(f"repro serve: {origin}, policy {service.engine.policy.name}, "
+          f"{args.clock} clock")
+    _print_service_stats(service.stats())
+    if result is not None:
+        print(f"  result fingerprint       {result_fingerprint(result)}")
+        for key, value in result.summary().items():
+            print(f"  {key:<24} {value:.4f}")
+    else:
+        print("  paused before the horizon completed")
+        if args.checkpoint_out:
+            service.checkpoint(args.checkpoint_out)
+            print(f"  wrote checkpoint to {args.checkpoint_out}")
+    return 0
+
+
+def _command_loadgen(args: argparse.Namespace) -> int:
+    import asyncio
+    import json
+    import pathlib
+    import time
+
+    from repro.experiments.executor import result_fingerprint
+    from repro.experiments.runner import materialize
+    from repro.service import DispatchService, serve_recorded, setting_config
+
+    backpressure = _backpressure_from_args(args)
+    setting = _setting_from_args(args)
+    scenario, oracle = materialize(setting)
+    oracle.__dict__.pop("repair_fraction", None)
+    service = DispatchService(
+        scenario, args.policy, config=setting_config(setting), oracle=oracle,
+        backpressure=backpressure)
+    started = time.perf_counter()
+    result = asyncio.run(serve_recorded(service))
+    elapsed = time.perf_counter() - started
+    stats = service.stats()
+    counters = stats["backpressure"]
+    rate = counters["admitted"] / elapsed if elapsed > 0 else float("inf")
+    report = {
+        "city": args.city,
+        "policy": args.policy,
+        "scale": args.scale,
+        "orders_submitted": counters["submitted"],
+        "orders_admitted": counters["admitted"],
+        "deferred": counters["deferred"],
+        "shed": counters["shed"],
+        "late_rejections": stats["late_rejections"],
+        "windows": stats["windows"],
+        "elapsed_seconds": elapsed,
+        "orders_per_second": rate,
+        "decide_seconds": stats["decide_seconds"],
+        "fingerprint": (result_fingerprint(result)
+                        if result is not None else None),
+    }
+    print(f"repro loadgen: {counters['admitted']} orders in {elapsed:.2f}s "
+          f"-> {rate:.1f} orders/sec sustained")
+    _print_service_stats(stats)
+    if report["fingerprint"] is not None:
+        print(f"  result fingerprint       {report['fingerprint']}")
+    if args.json:
+        pathlib.Path(args.json).write_text(json.dumps(report, indent=2) + "\n",
+                                           encoding="utf-8")
+        print(f"wrote loadgen report to {args.json}")
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
@@ -273,12 +531,21 @@ def main(argv: Sequence[str] | None = None) -> int:
     if getattr(args, "trace_out", None) and obs_mode != "trace":
         parser.error("--trace-out requires --obs trace")
     obs.set_mode(obs_mode)
-    if args.command == "simulate":
-        return _command_simulate(args)
-    if args.command == "compare":
-        return _command_compare(args)
-    if args.command == "figure":
-        return _command_figure(args)
+    if args.command in _SIGNAL_COMMANDS:
+        _install_signal_handlers()
+    try:
+        if args.command == "simulate":
+            return _command_simulate(args)
+        if args.command == "compare":
+            return _command_compare(args)
+        if args.command == "figure":
+            return _command_figure(args)
+        if args.command == "serve":
+            return _command_serve(args)
+        if args.command == "loadgen":
+            return _command_loadgen(args)
+    except GracefulExit as exc:
+        return _graceful_exit(args, exc)
     parser.error(f"unknown command {args.command!r}")
     return 2
 

@@ -358,13 +358,22 @@ def _pack_shared_networks(cells: Sequence[ExperimentCell]):
     return packs, registry
 
 
-def _pool_context():
+def pool_context():
     """Prefer ``fork`` (cheap inheritance of registered profiles and any
-    already-built scenarios); fall back to the platform default elsewhere."""
+    already-built scenarios); fall back to the platform default elsewhere.
+
+    Public because the dispatch service's resident shard pool
+    (:mod:`repro.service.shards`) spawns its long-lived per-city workers
+    through the same context the sweep executor uses.
+    """
     try:
         return multiprocessing.get_context("fork")
     except ValueError:  # pragma: no cover - non-POSIX platforms
         return multiprocessing.get_context()
+
+
+#: Backwards-compatible private alias.
+_pool_context = pool_context
 
 
 # --------------------------------------------------------------------------- #
@@ -437,6 +446,7 @@ __all__ = [
     "set_default_jobs",
     "resolve_jobs",
     "replicate_cells",
+    "pool_context",
     "run_cells",
     "merge_cell_traces",
     "result_fingerprint",

@@ -122,12 +122,21 @@ class Vehicle:
         return released
 
     def onboard_orders(self) -> list[Order]:
-        """Orders already picked up and awaiting drop-off."""
-        return [self.assigned[oid] for oid in self.picked_up if oid in self.assigned]
+        """Orders already picked up and awaiting drop-off, by order id.
+
+        The sort makes the list a pure function of the vehicle's *content*
+        rather than of its container history: ``picked_up`` is a set whose
+        iteration order depends on past inserts and discards, and this list
+        seeds the route-permutation enumeration in the cost model, so a
+        checkpoint-restored vehicle must produce it identically.
+        """
+        return [self.assigned[oid] for oid in sorted(self.picked_up)
+                if oid in self.assigned]
 
     def pending_orders(self) -> list[Order]:
-        """Orders assigned to the vehicle but not yet picked up."""
-        return [order for oid, order in self.assigned.items() if oid not in self.picked_up]
+        """Orders assigned but not yet picked up, by order id (see above)."""
+        return [self.assigned[oid] for oid in sorted(self.assigned)
+                if oid not in self.picked_up]
 
     def mark_picked_up(self, order_id: int) -> None:
         if order_id not in self.assigned:

@@ -1,0 +1,158 @@
+"""Admission control for the dispatch service's ingest path.
+
+Two signals gate admission:
+
+* **queue depth** — the bounded ingest queue's occupancy against a
+  high-water mark, and
+* **decision latency** — the exact p99 of ``engine.decide`` over a rolling
+  window of recent decision epochs against a configurable budget (the
+  paper's real-time criterion: a window whose assignment computation
+  exceeds Δ has *overflown*).
+
+What happens when a signal trips depends on the policy:
+
+``"defer"`` (default)
+    Admission is *deferred*, never refused: the submit call parks on the
+    bounded queue until capacity frees, which slows the producer to the
+    service's pace.  Lossless — the deterministic-replay contract holds,
+    because every order still reaches the engine before its window fires.
+
+``"shed"``
+    Over the high-water mark (or over the latency budget) orders are
+    rejected outright.  Lossy by design: a shed order never existed as far
+    as the engine is concerned.  Replay under shedding is *not*
+    fingerprint-comparable to batch mode, which is why the golden tests
+    and the benchmark's identity gate run with shedding off.
+
+Either way every decision is counted — ``submitted`` / ``admitted`` /
+``deferred`` / ``shed`` ride in :meth:`DispatchService.stats
+<repro.service.loop.DispatchService.stats>` — so falling behind is visible
+rather than silent.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass
+
+#: The recognised admission policies.
+BACKPRESSURE_POLICIES = ("defer", "shed")
+
+
+@dataclass(frozen=True)
+class BackpressureConfig:
+    """Knobs of the admission controller.
+
+    Attributes
+    ----------
+    queue_capacity:
+        Hard bound of the asyncio ingest queue.  A full queue always blocks
+        (defer) or rejects (shed); the high-water mark trips earlier.
+    high_water:
+        Queue depth at which admission starts deferring/shedding; ``None``
+        defaults to 80% of capacity.
+    decide_p99_budget:
+        Budget in seconds for the rolling p99 of per-window decision
+        latency; ``None`` disables the latency gate.
+    latency_window:
+        Number of recent windows the rolling p99 is computed over.
+    policy:
+        ``"defer"`` (lossless, default) or ``"shed"`` (lossy).
+    """
+
+    queue_capacity: int = 1024
+    high_water: int | None = None
+    decide_p99_budget: float | None = None
+    latency_window: int = 64
+    policy: str = "defer"
+
+    def __post_init__(self) -> None:
+        if self.queue_capacity < 1:
+            raise ValueError("queue_capacity must be at least 1")
+        if self.high_water is not None and not (
+                0 < self.high_water <= self.queue_capacity):
+            raise ValueError(
+                f"high_water must be in (0, queue_capacity={self.queue_capacity}]")
+        if self.decide_p99_budget is not None and self.decide_p99_budget <= 0:
+            raise ValueError("decide_p99_budget must be positive")
+        if self.latency_window < 1:
+            raise ValueError("latency_window must be at least 1")
+        if self.policy not in BACKPRESSURE_POLICIES:
+            raise ValueError(f"unknown backpressure policy {self.policy!r}; "
+                             f"known: {BACKPRESSURE_POLICIES}")
+
+    def resolved_high_water(self) -> int:
+        if self.high_water is not None:
+            return self.high_water
+        return max(1, (self.queue_capacity * 4) // 5)
+
+
+class BackpressureController:
+    """Counts admissions and evaluates the two backpressure signals."""
+
+    def __init__(self, config: BackpressureConfig | None = None) -> None:
+        self.config = config or BackpressureConfig()
+        self.submitted = 0
+        self.admitted = 0
+        self.deferred = 0
+        self.shed = 0
+        self._recent: deque[float] = deque(maxlen=self.config.latency_window)
+
+    # ------------------------------------------------------------------ #
+    # latency signal
+    # ------------------------------------------------------------------ #
+    def record_decision(self, seconds: float) -> None:
+        """Feed one window's measured ``engine.decide`` latency."""
+        self._recent.append(seconds)
+
+    def decide_p99(self) -> float | None:
+        """Exact p99 over the rolling window (``None`` before any window).
+
+        Inverted-CDF semantics over the exact samples — the controller
+        keeps at most ``latency_window`` floats, so no histogram
+        approximation is needed where the admission decision is made.
+        """
+        if not self._recent:
+            return None
+        ordered = sorted(self._recent)
+        rank = max(1, math.ceil(0.99 * len(ordered)))
+        return ordered[rank - 1]
+
+    def over_budget(self) -> bool:
+        budget = self.config.decide_p99_budget
+        if budget is None:
+            return False
+        p99 = self.decide_p99()
+        return p99 is not None and p99 > budget
+
+    # ------------------------------------------------------------------ #
+    # admission decision
+    # ------------------------------------------------------------------ #
+    def pressured(self, queue_depth: int) -> bool:
+        """Whether either signal (depth or latency) is tripped."""
+        return queue_depth >= self.config.resolved_high_water() or self.over_budget()
+
+    def should_shed(self, queue_depth: int) -> bool:
+        return self.config.policy == "shed" and self.pressured(queue_depth)
+
+    # ------------------------------------------------------------------ #
+    # reporting
+    # ------------------------------------------------------------------ #
+    def snapshot(self) -> dict[str, float | int | None]:
+        """Picklable counter/signal digest for ``stats()``."""
+        return {
+            "policy": self.config.policy,
+            "queue_capacity": self.config.queue_capacity,
+            "high_water": self.config.resolved_high_water(),
+            "decide_p99_budget": self.config.decide_p99_budget,
+            "submitted": self.submitted,
+            "admitted": self.admitted,
+            "deferred": self.deferred,
+            "shed": self.shed,
+            "rolling_decide_p99": self.decide_p99(),
+        }
+
+
+__all__ = ["BACKPRESSURE_POLICIES", "BackpressureConfig",
+           "BackpressureController"]

@@ -1,0 +1,161 @@
+"""Clock drivers: when does the next decision epoch fire?
+
+The dispatch service separates *what* a window does (the engine's
+:meth:`~repro.sim.engine.Simulator.step_window`, shared with batch mode)
+from *when* it runs.  A :class:`ClockDriver` answers the second question:
+
+:class:`SimulatedClock`
+    Deterministic replay.  A window may fire only once the client's
+    **watermark** has passed its end — the client promises that every order
+    placed strictly before ``t`` has been submitted before it advances the
+    watermark to ``t`` (the stream-processing watermark contract).  Under
+    this contract the service ingests exactly the orders the batch engine's
+    scenario stream would, so the run is ``result_fingerprint``-identical
+    to ``Simulator.run()`` on the same scenario.  No wall-clock waiting is
+    involved: replay runs as fast as the machine can step windows.
+
+:class:`WallClock`
+    Real-time pacing.  Window ``[s, e)`` fires when the wall clock reaches
+    ``origin + (e - sim_start) / rate``; ``rate`` is the time-compression
+    multiplier (``rate=60`` replays an hour of simulated time in a minute).
+
+Both drivers support :meth:`~ClockDriver.stop`: pending and future waits
+return ``False`` immediately, which is how the service shuts down cleanly
+mid-horizon (SIGINT, checkpoint-and-exit).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+
+
+class ClockDriver:
+    """Base class: decide when each decision epoch may fire."""
+
+    def __init__(self) -> None:
+        self._stopped = False
+
+    @property
+    def stopped(self) -> bool:
+        return self._stopped
+
+    def stop(self) -> None:
+        """Wake every waiter; all pending/future waits return ``False``."""
+        self._stopped = True
+
+    async def wait_for_window(self, window_end: float) -> bool:
+        """Block until the window ending at ``window_end`` may fire.
+
+        Returns ``True`` when the window should run, ``False`` when the
+        driver was stopped and the service should wind down instead.
+        """
+        raise NotImplementedError
+
+    def now(self) -> float:
+        """Best-known current simulated time (for stats reporting only)."""
+        raise NotImplementedError
+
+
+class SimulatedClock(ClockDriver):
+    """Watermark-gated deterministic replay clock.
+
+    The client drives time: :meth:`advance_watermark` declares that every
+    order placed strictly before the new watermark has already been
+    submitted.  ``wait_for_window(e)`` returns as soon as the watermark
+    reaches ``e`` — the service then knows its ingest view of ``[.., e)``
+    is complete and the window's decision is reproducible.
+    """
+
+    def __init__(self, start: float = -math.inf) -> None:
+        super().__init__()
+        self._watermark = start
+        self._wakeup: asyncio.Event | None = None
+
+    @property
+    def watermark(self) -> float:
+        return self._watermark
+
+    def _event(self) -> asyncio.Event:
+        # Created lazily so the clock can be constructed outside a loop.
+        if self._wakeup is None:
+            self._wakeup = asyncio.Event()
+        return self._wakeup
+
+    def advance_watermark(self, t: float) -> None:
+        """Promise that all orders placed before ``t`` are submitted."""
+        if t < self._watermark:
+            raise ValueError(
+                f"watermark may not regress: {t} < {self._watermark}")
+        self._watermark = t
+        event = self._wakeup
+        if event is not None:
+            event.set()
+
+    def stop(self) -> None:
+        super().stop()
+        event = self._wakeup
+        if event is not None:
+            event.set()
+
+    async def wait_for_window(self, window_end: float) -> bool:
+        while not self._stopped and self._watermark < window_end:
+            event = self._event()
+            event.clear()
+            # Re-check after clearing: single-threaded asyncio means no
+            # advance can sneak in between the check and the wait.
+            if self._stopped or self._watermark >= window_end:
+                break
+            await event.wait()
+        return not self._stopped and self._watermark >= window_end
+
+    def now(self) -> float:
+        return self._watermark
+
+
+class WallClock(ClockDriver):
+    """Real-time pacing: one simulated second per ``1 / rate`` wall seconds."""
+
+    def __init__(self, sim_start: float, rate: float = 1.0) -> None:
+        super().__init__()
+        if not (rate > 0 and math.isfinite(rate)):
+            raise ValueError(f"rate must be a positive finite number, got {rate}")
+        self.sim_start = sim_start
+        self.rate = rate
+        self._origin: float | None = None
+        self._stop_event: asyncio.Event | None = None
+
+    def _ensure_started(self) -> None:
+        if self._origin is None:
+            self._origin = asyncio.get_running_loop().time()
+            self._stop_event = asyncio.Event()
+
+    def stop(self) -> None:
+        super().stop()
+        if self._stop_event is not None:
+            self._stop_event.set()
+
+    async def wait_for_window(self, window_end: float) -> bool:
+        self._ensure_started()
+        assert self._origin is not None and self._stop_event is not None
+        loop = asyncio.get_running_loop()
+        deadline = self._origin + (window_end - self.sim_start) / self.rate
+        while not self._stopped:
+            remaining = deadline - loop.time()
+            if remaining <= 0:
+                return True
+            try:
+                await asyncio.wait_for(self._stop_event.wait(),
+                                       timeout=remaining)
+            except asyncio.TimeoutError:
+                return not self._stopped
+        return False
+
+    def now(self) -> float:
+        if self._origin is None:
+            return self.sim_start
+        elapsed = asyncio.get_event_loop().time() - self._origin
+        return self.sim_start + elapsed * self.rate
+
+
+__all__ = ["ClockDriver", "SimulatedClock", "WallClock"]

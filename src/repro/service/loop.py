@@ -1,0 +1,402 @@
+"""The always-on dispatch service: the batch engine behind an async API.
+
+:class:`DispatchService` hosts one city's :class:`~repro.sim.engine.Simulator`
+(in ``order_source="external"`` mode) inside a long-lived asyncio loop:
+
+* clients ``await submit_order(order)`` into a **bounded ingest queue**; a
+  pump task drains it into the engine's arrival heap continuously, so
+  ingestion never waits on window cadence,
+* a :class:`~repro.service.clock_driver.ClockDriver` decides when each
+  accumulation window fires — watermark-gated for deterministic replay
+  (:class:`SimulatedClock`), paced against real time (:class:`WallClock`),
+* the window body is the *same* :meth:`Simulator.step_window` batch mode
+  runs, which is what makes a simulated-clock service run over a scenario's
+  recorded order stream ``result_fingerprint``-identical to
+  ``Simulator.run()`` (golden-tested),
+* :meth:`checkpoint` freezes the world between windows;
+  :meth:`from_checkpoint` resumes it bit-identically, and
+* admission is governed by a :class:`BackpressureController` — defer
+  (lossless) or shed (lossy) with visible counters.
+
+Concurrency model: everything happens on one event loop, and
+``step_window`` is synchronous — it blocks the loop for the duration of a
+decision epoch.  That is a *feature* for determinism: ``stats()``,
+``order_status()`` and ``checkpoint()`` can only ever observe
+window-boundary states, never a half-stepped world, without any locking.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import pathlib
+from collections.abc import Mapping, Sequence
+
+from repro.experiments.runner import build_policy
+from repro.network.distance_oracle import DistanceOracle
+from repro.obs.metrics import MetricsRegistry
+from repro.orders.costs import CostModel
+from repro.orders.order import Order
+from repro.service.api import Admission, OrderStatus, ServiceClosed, ServiceError
+from repro.service.backpressure import BackpressureConfig, BackpressureController
+from repro.service.checkpoint import (
+    load_checkpoint,
+    policy_spec_from_checkpoint,
+    restore_simulator,
+    save_checkpoint,
+    snapshot_simulator,
+)
+from repro.service.clock_driver import ClockDriver, SimulatedClock
+from repro.sim.engine import SimulationConfig, Simulator
+from repro.sim.metrics import SimulationResult
+from repro.workload.generator import Scenario
+
+
+class DispatchService:
+    """One city's dispatch engine as a resident asyncio service."""
+
+    def __init__(self, scenario: Scenario, policy: str = "foodmatch",
+                 policy_options: Mapping[str, object] | None = None, *,
+                 config: SimulationConfig | None = None,
+                 clock: ClockDriver | None = None,
+                 backpressure: BackpressureConfig | None = None,
+                 oracle: DistanceOracle | None = None,
+                 registry: MetricsRegistry | None = None,
+                 tracer=None) -> None:
+        if oracle is None:
+            oracle = DistanceOracle(scenario.network)
+        elif getattr(scenario, "traffic", None):
+            # A reused (cached) oracle may carry residual traffic overrides
+            # from an earlier run; the engine's controller assumes the
+            # pristine pre-traffic state.
+            oracle.reset_traffic_state()
+        cost_model = CostModel(oracle)
+        options = dict(policy_options or {})
+        policy_obj = build_policy(policy, cost_model, **options)
+        engine = Simulator(scenario, policy_obj, cost_model, config,
+                           tracer=tracer, order_source="external")
+        self._policy_name = policy
+        self._policy_options = tuple(sorted(options.items()))
+        self._finish_init(engine, clock, backpressure, registry)
+
+    def _finish_init(self, engine: Simulator, clock: ClockDriver | None,
+                     backpressure: BackpressureConfig | None,
+                     registry: MetricsRegistry | None) -> None:
+        self._engine = engine
+        self._clock = clock or SimulatedClock()
+        self._backpressure = BackpressureController(backpressure)
+        self._registry = registry or MetricsRegistry()
+        self._queue: asyncio.Queue[Order] = asyncio.Queue(
+            maxsize=self._backpressure.config.queue_capacity)
+        self._admitted_ids: set[int] = set()
+        self._late_rejections = 0
+        self._running = False
+        self._result: SimulationResult | None = None
+
+    @classmethod
+    def from_checkpoint(cls, source: Mapping | str | pathlib.Path, *,
+                        clock: ClockDriver | None = None,
+                        backpressure: BackpressureConfig | None = None,
+                        oracle: DistanceOracle | None = None,
+                        registry: MetricsRegistry | None = None,
+                        tracer=None) -> DispatchService:
+        """Resume a service from a :meth:`checkpoint` document or file.
+
+        The restored service continues from the checkpoint's next window
+        boundary; run to the horizon it is fingerprint-identical to the
+        uninterrupted run (provided the client replays the not-yet-ingested
+        tail of the order stream — see :func:`remaining_orders`).
+        """
+        payload = (source if isinstance(source, Mapping)
+                   else load_checkpoint(source))
+        engine = restore_simulator(payload, oracle=oracle, tracer=tracer)
+        name, options = policy_spec_from_checkpoint(payload)
+        service = object.__new__(cls)
+        service._policy_name = name
+        service._policy_options = tuple(sorted(options.items()))
+        service._finish_init(engine, clock, backpressure, registry)
+        return service
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def engine(self) -> Simulator:
+        return self._engine
+
+    @property
+    def clock(self) -> ClockDriver:
+        return self._clock
+
+    @property
+    def registry(self) -> MetricsRegistry:
+        return self._registry
+
+    @property
+    def result(self) -> SimulationResult | None:
+        """The final metrics, once the horizon completed (else ``None``)."""
+        return self._result
+
+    # ------------------------------------------------------------------ #
+    # async client API
+    # ------------------------------------------------------------------ #
+    async def submit_order(self, order: Order) -> Admission:
+        """Admit one order; returns the admission receipt.
+
+        Lossless path: the call parks on the bounded queue when full, which
+        *is* the backpressure — a producer awaiting its receipts is slowed
+        to the service's pace.  Under the ``"shed"`` policy a tripped
+        signal rejects instead (receipt status ``"shed"``).
+        """
+        if self._engine.finalized or self._clock.stopped:
+            raise ServiceClosed(
+                "the dispatch service has stopped and accepts no more orders")
+        controller = self._backpressure
+        controller.submitted += 1
+        depth = self._queue.qsize()
+        if controller.should_shed(depth):
+            controller.shed += 1
+            self._registry.counter("service.shed").inc()
+            return Admission(order.order_id, "shed", depth)
+        status = "accepted"
+        if self._queue.full() or controller.pressured(depth):
+            status = "deferred"
+            controller.deferred += 1
+            self._registry.counter("service.deferred").inc()
+        await self._queue.put(order)
+        controller.admitted += 1
+        self._admitted_ids.add(order.order_id)
+        return Admission(order.order_id, status, self._queue.qsize())
+
+    def order_status(self, order_id: int) -> OrderStatus:
+        """Lifecycle view of one order (``state="unknown"`` if never seen)."""
+        outcome = self._engine.outcome_for(order_id)
+        if outcome is not None:
+            self._admitted_ids.discard(order_id)
+            return OrderStatus.from_outcome(outcome)
+        if order_id in self._admitted_ids:
+            return OrderStatus(order_id=order_id, state="submitted")
+        return OrderStatus(order_id=order_id, state="unknown")
+
+    def stats(self) -> dict:
+        """Point-in-time service digest (window-boundary consistent)."""
+        engine = self._engine
+        decide = self._registry.histogram("service.decide_seconds").summary()
+        return {
+            "scenario": engine.scenario.name,
+            "policy": engine.policy.name,
+            "clock": type(self._clock).__name__,
+            "now": self._clock.now(),
+            "next_window_start": engine.next_window_start,
+            "windows": len(engine.window_records),
+            "horizon_complete": engine.horizon_complete,
+            "finalized": engine.finalized,
+            "orders_seen": len(engine._outcomes),
+            "pool_size": engine.pool_size,
+            "pending_ingest": engine.pending_external_count,
+            "queue_depth": self._queue.qsize(),
+            "late_rejections": self._late_rejections,
+            "decide_seconds": decide,
+            "backpressure": self._backpressure.snapshot(),
+        }
+
+    def checkpoint(self, path: str | pathlib.Path | None = None) -> dict:
+        """Freeze the service's world at the current window boundary.
+
+        Queued-but-not-yet-pumped orders are drained into the engine's
+        arrival heap first, so the snapshot loses nothing in flight.
+        Optionally written to ``path`` as JSON.
+        """
+        self._drain_queue()
+        snapshot = snapshot_simulator(self._engine, self._policy_name,
+                                      self._policy_options)
+        if path is not None:
+            save_checkpoint(snapshot, path)
+        return snapshot
+
+    def request_stop(self) -> None:
+        """Ask the run loop to wind down at the next wait point."""
+        self._clock.stop()
+
+    def set_clock(self, clock: ClockDriver) -> None:
+        """Swap the clock driver (only while the loop is not running)."""
+        if self._running:
+            raise ServiceError("cannot swap the clock of a running service")
+        self._clock = clock
+
+    # ------------------------------------------------------------------ #
+    # the resident loop
+    # ------------------------------------------------------------------ #
+    async def run(self, max_windows: int | None = None,
+                  ) -> SimulationResult | None:
+        """Serve windows until the horizon completes or the clock stops.
+
+        Returns the final :class:`SimulationResult` when the horizon ran to
+        completion, ``None`` when stopped early — by the clock driver or by
+        ``max_windows`` (total windows stepped, across resumes), after
+        which the caller may :meth:`checkpoint` and resume later.  Only one
+        ``run`` may be active at a time.
+        """
+        if self._running:
+            raise ServiceError("DispatchService.run() is already running")
+        if self._engine.finalized:
+            raise ServiceError("the service's horizon already finalized")
+        self._running = True
+        engine = self._engine
+        cfg = engine.config
+        pump = asyncio.create_task(self._pump())
+        try:
+            while not engine.horizon_complete:
+                if (max_windows is not None
+                        and len(engine.window_records) >= max_windows):
+                    return None
+                window_start = engine.next_window_start
+                window_end = min(window_start + cfg.delta, cfg.end)
+                proceed = await self._clock.wait_for_window(window_end)
+                if not proceed:
+                    return None
+                # Anything still queued was admitted before the watermark /
+                # deadline passed; fold it in before the window decides.
+                self._drain_queue()
+                record = engine.step_window(window_start, window_end)
+                self._backpressure.record_decision(record.decision_seconds)
+                self._registry.counter("service.windows").inc()
+                self._registry.histogram("service.decide_seconds").record(
+                    record.decision_seconds)
+                self._registry.gauge("service.pool_size").set(engine.pool_size)
+            self._drain_queue()
+            self._result = engine.finalize()
+            return self._result
+        finally:
+            self._running = False
+            pump.cancel()
+            try:
+                await pump
+            except asyncio.CancelledError:
+                pass
+
+    async def _pump(self) -> None:
+        """Move admitted orders from the queue into the engine, forever."""
+        while True:
+            order = await self._queue.get()
+            self._submit_to_engine(order)
+
+    def _drain_queue(self) -> None:
+        while not self._queue.empty():
+            self._submit_to_engine(self._queue.get_nowait())
+
+    def _submit_to_engine(self, order: Order) -> None:
+        try:
+            self._engine.submit([order])
+        except ValueError:
+            # Late arrival (wall-clock mode): ingestion already passed the
+            # order's placement time, so deterministic replay cannot admit
+            # it.  Counted, never silent.
+            self._late_rejections += 1
+            self._registry.counter("service.late_rejections").inc()
+
+
+# --------------------------------------------------------------------------- #
+# recorded-stream replay helpers
+# --------------------------------------------------------------------------- #
+def recorded_stream(scenario: Scenario, config: SimulationConfig) -> list[Order]:
+    """The scenario's order stream exactly as batch mode would iterate it."""
+    return sorted((o for o in scenario.orders
+                   if config.start <= o.placed_at < config.end),
+                  key=lambda o: (o.placed_at, o.order_id))
+
+
+def remaining_orders(service: DispatchService,
+                     orders: Sequence[Order]) -> list[Order]:
+    """The tail of ``orders`` a restored service has not yet seen.
+
+    Filters out orders already ingested (placed before the restored
+    ingestion boundary) and orders still pending in the restored arrival
+    heap — resubmitting either would dupe or violate the late-arrival rule.
+    """
+    engine = service.engine
+    pending = {order_id for _, order_id, _ in engine._external}
+    boundary = engine._ingested_until
+    return [o for o in orders
+            if o.placed_at >= boundary and o.order_id not in pending]
+
+
+async def replay_orders(service: DispatchService,
+                        orders: Sequence[Order]) -> int:
+    """Feed a recorded stream under the watermark contract; returns #admitted.
+
+    For every remaining window boundary, submits (and awaits admission of)
+    all orders placed strictly before it, then advances the watermark —
+    which is exactly the promise :class:`SimulatedClock` gates windows on.
+    """
+    clock = service.clock
+    if not isinstance(clock, SimulatedClock):
+        raise ServiceError("replay_orders requires a SimulatedClock service")
+    cfg = service.engine.config
+    window_start = service.engine.next_window_start
+    index = 0
+    admitted = 0
+    while window_start < cfg.end and not clock.stopped:
+        window_end = min(window_start + cfg.delta, cfg.end)
+        while index < len(orders) and orders[index].placed_at < window_end:
+            receipt = await service.submit_order(orders[index])
+            if receipt.admitted:
+                admitted += 1
+            index += 1
+        clock.advance_watermark(window_end)
+        window_start = window_end
+    return admitted
+
+
+async def replay_orders_wall(service: DispatchService,
+                             orders: Sequence[Order]) -> int:
+    """Feed a recorded stream paced against a :class:`WallClock`.
+
+    Sleeps until each order's placement time comes due on the service's
+    clock, then submits it.  Returns the number admitted (stops early when
+    the clock is stopped).
+    """
+    clock = service.clock
+    admitted = 0
+    for order in orders:
+        while not clock.stopped:
+            lag = order.placed_at - clock.now()
+            if lag <= 0:
+                break
+            rate = getattr(clock, "rate", 1.0)
+            await asyncio.sleep(min(lag / rate, 0.2))
+        if clock.stopped:
+            break
+        receipt = await service.submit_order(order)
+        if receipt.admitted:
+            admitted += 1
+    return admitted
+
+
+async def serve_recorded(service: DispatchService,
+                         max_windows: int | None = None,
+                         ) -> SimulationResult | None:
+    """Run a simulated-clock service over its scenario's recorded stream.
+
+    The deterministic-replay entry point: the returned result is
+    ``result_fingerprint``-identical to ``Simulator.run()`` on the same
+    scenario/policy/config.  Works on fresh *and* checkpoint-restored
+    services (the already-seen prefix is filtered out).  With
+    ``max_windows`` the run pauses (returns ``None``) once that many total
+    windows have been stepped — checkpoint-and-resume territory.
+    """
+    stream = remaining_orders(
+        service, recorded_stream(service.engine.scenario,
+                                 service.engine.config))
+    feeder = asyncio.create_task(replay_orders(service, stream))
+    try:
+        return await service.run(max_windows=max_windows)
+    finally:
+        feeder.cancel()
+        try:
+            await feeder
+        except asyncio.CancelledError:
+            pass
+
+
+__all__ = ["DispatchService", "recorded_stream", "remaining_orders",
+           "replay_orders", "replay_orders_wall", "serve_recorded"]

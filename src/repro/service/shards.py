@@ -1,0 +1,273 @@
+"""Multi-city sharding: a resident dispatch worker pool, one shard per city.
+
+Where :func:`repro.experiments.executor.run_cells` spins a pool up per grid
+and tears it down after, the dispatch service keeps a **resident** pool:
+one long-lived worker process per city shard, each holding its city's
+materialised scenario/oracle warm across however many serve tasks it is
+handed over its lifetime.  The pieces deliberately reuse the executor's
+machinery — workers fork through the same :func:`pool_context`, resolve
+city profiles by name against the same :data:`PROFILE_REGISTRY`, and reset
+a traffic-mutated cached oracle before every task — so a shard's result is
+the same pure function of ``(setting, policy)`` the batch executor
+computes, fingerprints included.
+
+Each worker runs its tasks through a simulated-clock
+:class:`~repro.service.loop.DispatchService` over the scenario's recorded
+order stream (:func:`~repro.service.loop.serve_recorded`), and reports the
+``result_fingerprint``, the result summary, the service stats and a
+worker-lifetime :class:`~repro.obs.metrics.MetricsRegistry` snapshot.
+:func:`fleet_report` folds the per-shard snapshots into one fleet view via
+:func:`~repro.obs.metrics.merge_snapshots`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+import traceback
+from dataclasses import dataclass, fields
+from collections.abc import Mapping, Sequence
+
+from repro.experiments.executor import (
+    PROFILE_REGISTRY,
+    pool_context,
+    register_profile,
+    result_fingerprint,
+)
+from repro.experiments.runner import ExperimentSetting, materialize
+from repro.network.graph import SECONDS_PER_HOUR
+from repro.obs import get_mode, set_mode
+from repro.obs.metrics import MetricsRegistry, merge_snapshots
+from repro.sim.engine import SimulationConfig
+
+
+@dataclass(frozen=True)
+class ShardTask:
+    """One serve request for a shard: replay its city under a policy.
+
+    ``options`` uses the :class:`~repro.experiments.runner.PolicySpec`
+    convention — a tuple of ``(key, value)`` pairs, hashable and picklable.
+    """
+
+    task_id: int
+    policy: str = "foodmatch"
+    options: tuple = ()
+
+
+@dataclass(frozen=True)
+class ShardReport:
+    """What a shard worker sends back for one task (or its traceback)."""
+
+    shard: str
+    task_id: int
+    ok: bool
+    error: str | None = None
+    fingerprint: str | None = None
+    summary: dict | None = None
+    stats: dict | None = None
+    metrics: dict | None = None
+    elapsed_seconds: float = 0.0
+
+
+def setting_config(setting: ExperimentSetting) -> SimulationConfig:
+    """The :class:`SimulationConfig` batch ``run_setting`` derives from a setting."""
+    return SimulationConfig(
+        delta=setting.resolved_delta(),
+        start=setting.start_hour * SECONDS_PER_HOUR,
+        end=setting.end_hour * SECONDS_PER_HOUR,
+        event_resolution=setting.event_resolution,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# worker side
+# --------------------------------------------------------------------------- #
+def _serve_task(setting: ExperimentSetting, task: ShardTask,
+                registry: MetricsRegistry, shard: str,
+                started: float) -> ShardReport:
+    # Imported here so fork'd workers pay the service import once, lazily,
+    # and the module stays importable without asyncio running.
+    from repro.service.loop import DispatchService, serve_recorded
+
+    scenario, oracle = materialize(setting)
+    if setting.repair_fraction is not None:
+        oracle.repair_fraction = setting.repair_fraction
+    else:
+        oracle.__dict__.pop("repair_fraction", None)
+    service = DispatchService(scenario, task.policy, dict(task.options),
+                              config=setting_config(setting), oracle=oracle,
+                              registry=registry)
+    result = asyncio.run(serve_recorded(service))
+    assert result is not None  # nothing stops a recorded replay
+    return ShardReport(
+        shard=shard,
+        task_id=task.task_id,
+        ok=True,
+        fingerprint=result_fingerprint(result),
+        summary=result.summary(),
+        stats=service.stats(),
+        metrics=registry.snapshot(),
+        elapsed_seconds=time.perf_counter() - started,
+    )
+
+
+def _shard_worker(shard: str, profile_name: str,
+                  setting_kwargs: dict[str, object], obs_mode: str,
+                  task_queue, report_queue) -> None:
+    """Resident worker loop: serve tasks until the ``None`` sentinel.
+
+    The worker's scenario cache (via :func:`materialize`) and its metrics
+    registry live for the whole process, so repeat tasks on the same shard
+    reuse the city's heavy artifacts instead of rebuilding them.
+    """
+    set_mode(obs_mode)
+    registry = MetricsRegistry()
+    while True:
+        task = task_queue.get()
+        if task is None:
+            break
+        started = time.perf_counter()
+        try:
+            profile = PROFILE_REGISTRY.get(profile_name)
+            if profile is None:
+                raise KeyError(
+                    f"city profile {profile_name!r} is not registered in "
+                    f"this shard worker (known: {sorted(PROFILE_REGISTRY)})")
+            setting = ExperimentSetting(profile=profile, **setting_kwargs)
+            report = _serve_task(setting, task, registry, shard, started)
+        except Exception:
+            report = ShardReport(
+                shard=shard, task_id=task.task_id, ok=False,
+                error=traceback.format_exc(),
+                elapsed_seconds=time.perf_counter() - started)
+        report_queue.put(report)
+
+
+# --------------------------------------------------------------------------- #
+# driver side
+# --------------------------------------------------------------------------- #
+class ShardPool:
+    """One resident dispatch worker per city shard.
+
+    >>> with ShardPool({"cityA": setting_a, "cityB": setting_b}) as pool:
+    ...     pool.submit("cityA", ShardTask(0))
+    ...     pool.submit("cityB", ShardTask(1))
+    ...     reports = pool.collect()
+    ...     fleet = fleet_report(reports)
+
+    Tasks on different shards run concurrently; tasks on the same shard
+    queue FIFO on that shard's persistent task queue.  ``close()`` (or the
+    context manager exit) sends each worker the shutdown sentinel and
+    joins it.
+    """
+
+    def __init__(self, shards: Mapping[str, ExperimentSetting]) -> None:
+        if not shards:
+            raise ValueError("ShardPool needs at least one shard")
+        self._shards = dict(shards)
+        self._context = pool_context()
+        self._report_queue = self._context.Queue()
+        self._task_queues: dict[str, object] = {}
+        self._processes: dict[str, object] = {}
+        self._outstanding = 0
+        self._started = False
+        self._closed = False
+
+    def __enter__(self) -> ShardPool:
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    @property
+    def shard_names(self) -> list[str]:
+        return sorted(self._shards)
+
+    def start(self) -> None:
+        """Fork one resident worker per shard (idempotent)."""
+        if self._started:
+            return
+        self._started = True
+        for name in self.shard_names:
+            setting = self._shards[name]
+            # Fork'd children inherit the registration, like executor pools.
+            register_profile(setting.profile)
+            setting_kwargs = {
+                f.name: getattr(setting, f.name)
+                for f in fields(ExperimentSetting) if f.name != "profile"}
+            task_queue = self._context.Queue()
+            process = self._context.Process(
+                target=_shard_worker,
+                args=(name, setting.profile.name, setting_kwargs, get_mode(),
+                      task_queue, self._report_queue),
+                daemon=True)
+            process.start()
+            self._task_queues[name] = task_queue
+            self._processes[name] = process
+
+    def submit(self, shard: str, task: ShardTask) -> None:
+        """Queue a task on a shard's persistent queue."""
+        if self._closed:
+            raise RuntimeError("ShardPool is closed")
+        if shard not in self._shards:
+            raise KeyError(f"unknown shard {shard!r}; "
+                           f"known: {self.shard_names}")
+        self.start()
+        self._task_queues[shard].put(task)
+        self._outstanding += 1
+
+    def collect(self, count: int | None = None) -> list[ShardReport]:
+        """Block until ``count`` (default: all outstanding) reports arrive."""
+        if count is None:
+            count = self._outstanding
+        if count > self._outstanding:
+            raise ValueError(
+                f"cannot collect {count} reports with only "
+                f"{self._outstanding} outstanding")
+        reports = []
+        for _ in range(count):
+            reports.append(self._report_queue.get())
+            self._outstanding -= 1
+        return reports
+
+    def close(self) -> None:
+        """Send every worker the shutdown sentinel and join it."""
+        if self._closed:
+            return
+        self._closed = True
+        for name in self._task_queues:
+            self._task_queues[name].put(None)
+        for process in self._processes.values():
+            process.join()
+
+
+def fleet_report(reports: Sequence[ShardReport]) -> dict:
+    """Fold per-shard reports into one fleet-wide view.
+
+    Per-task rows (fingerprint, summary, timing, error) ride alongside the
+    :func:`~repro.obs.metrics.merge_snapshots` fold of every successful
+    worker's registry snapshot.
+    """
+    ordered = sorted(reports, key=lambda r: (r.shard, r.task_id))
+    succeeded = [r for r in ordered if r.ok]
+    return {
+        "tasks": [{
+            "shard": r.shard,
+            "task_id": r.task_id,
+            "ok": r.ok,
+            "fingerprint": r.fingerprint,
+            "elapsed_seconds": r.elapsed_seconds,
+            "summary": r.summary,
+            "error": r.error,
+        } for r in ordered],
+        "ok": len(succeeded) == len(ordered),
+        "shards": sorted({r.shard for r in ordered}),
+        "failures": len(ordered) - len(succeeded),
+        "metrics": merge_snapshots([r.metrics for r in succeeded
+                                    if r.metrics is not None]),
+    }
+
+
+__all__ = ["ShardTask", "ShardReport", "ShardPool", "setting_config",
+           "fleet_report"]

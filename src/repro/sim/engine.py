@@ -56,8 +56,9 @@ on such scenarios (golden-tested).
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
-from collections.abc import Sequence
+from collections.abc import Iterable, Sequence
 
 from repro.core.policy import Assignment, AssignmentPolicy
 from repro.fleet.controller import FleetController
@@ -76,6 +77,12 @@ from repro.workload.generator import Scenario
 
 #: The recognised event-resolution modes of :class:`SimulationConfig`.
 EVENT_RESOLUTIONS = ("window", "continuous")
+
+#: Where a :class:`Simulator` takes its order stream from: ``"scenario"``
+#: iterates the scenario's recorded orders (batch mode), ``"external"``
+#: accepts orders only through :meth:`Simulator.submit` (the dispatch
+#: service's live-ingest mode).
+ORDER_SOURCES = ("scenario", "external")
 
 
 @dataclass(frozen=True)
@@ -128,7 +135,11 @@ class Simulator:
                  cost_model: CostModel, config: SimulationConfig | None = None,
                  traffic: TrafficController | None = None,
                  fleet: FleetController | None = None,
-                 tracer=None) -> None:
+                 tracer=None, order_source: str = "scenario") -> None:
+        if order_source not in ORDER_SOURCES:
+            raise ValueError(f"unknown order_source {order_source!r}; "
+                             f"known: {ORDER_SOURCES}")
+        self.order_source = order_source
         self.scenario = scenario
         self.policy = policy
         self.cost_model = cost_model
@@ -171,59 +182,193 @@ class Simulator:
         self._outcomes: dict[int, OrderOutcome] = {}
         self._windows: list[WindowRecord] = []
         self._pool: dict[int, Order] = {}
+        stream = scenario.orders if order_source == "scenario" else ()
         self._order_iter = iter(sorted(
-            (o for o in scenario.orders
+            (o for o in stream
              if self.config.start <= o.placed_at < self.config.end),
             key=lambda o: (o.placed_at, o.order_id)))
         self._next_order: Order | None = next(self._order_iter, None)
+        #: externally submitted orders awaiting ingestion (the dispatch
+        #: service's ingest buffer): a heap keyed (placed_at, order_id) so
+        #: ingestion pops in exactly the order the batch stream iterator
+        #: yields — the heart of the service/batch fingerprint identity.
+        self._external: list[tuple[float, int, Order]] = []
+        #: scenario-stream orders already pulled from the iterator; a restored
+        #: simulator fast-forwards the rebuilt iterator by this count.
+        self._consumed_orders = 0
+        #: boundary up to which ingestion has run; a submitted order placed
+        #: before it arrives too late to be replayed deterministically.
+        self._ingested_until = self.config.start
+        #: every epoch at which the traffic controller advanced, in call
+        #: order.  Hub-label repair is sequence-dependent (repaired labels
+        #: differ from a fresh build in the last ULP), so checkpoint/restore
+        #: replays this exact sequence on a fresh oracle instead of trying to
+        #: snapshot label state.
+        self._traffic_epochs: list[float] = []
+        self._started = False
+        self._finalized = False
+        self._next_window_start = self.config.start
+        self._cache_info_before: dict[str, dict[str, int]] | None = None
+        self._counters_before: dict[str, int] | None = None
 
     # ------------------------------------------------------------------ #
-    # public entry point
+    # public entry points
     # ------------------------------------------------------------------ #
+    @property
+    def next_window_start(self) -> float:
+        """Start of the next accumulation window (``config.start`` initially)."""
+        return self._next_window_start
+
+    @property
+    def started(self) -> bool:
+        """Whether any window (or the drain) has run."""
+        return self._started
+
+    @property
+    def finalized(self) -> bool:
+        """Whether :meth:`finalize` has produced the result."""
+        return self._finalized
+
+    @property
+    def horizon_complete(self) -> bool:
+        """Whether every accumulation window of the horizon has run."""
+        return self._next_window_start >= self.config.end
+
+    @property
+    def window_records(self) -> list[WindowRecord]:
+        """The per-window bookkeeping so far (read-only by convention)."""
+        return self._windows
+
+    @property
+    def pool_size(self) -> int:
+        """Number of orders currently waiting unassigned in the pool."""
+        return len(self._pool)
+
+    @property
+    def pending_external_count(self) -> int:
+        """Submitted-but-not-yet-ingested external orders."""
+        return len(self._external)
+
+    def outcome_for(self, order_id: int) -> OrderOutcome | None:
+        """The outcome record of an ingested order (``None`` if unknown)."""
+        return self._outcomes.get(order_id)
+
+    def submit(self, orders: Iterable[Order]) -> int:
+        """Queue externally arriving orders for ingestion (service mode).
+
+        Orders are buffered on a heap keyed ``(placed_at, order_id)`` and
+        ingested by the first window whose end lies past their placement
+        time — byte-for-byte the treatment the batch scenario stream gets,
+        which is what makes a :class:`Simulator` fed its scenario's own
+        recorded stream through here fingerprint-identical to ``run()``.
+
+        Raises :class:`ValueError` for an order placed before a boundary
+        that ingestion already passed: admitting it would rewrite history.
+        """
+        if self._finalized:
+            raise RuntimeError("cannot submit orders to a finalized Simulator")
+        count = 0
+        for order in orders:
+            if order.placed_at < self._ingested_until:
+                raise ValueError(
+                    f"late arrival: order {order.order_id} was placed at "
+                    f"t={order.placed_at:.3f} but ingestion has already "
+                    f"passed t={self._ingested_until:.3f}; deterministic "
+                    "replay requires orders to arrive before the window "
+                    "that would ingest them fires")
+            heapq.heappush(self._external, (order.placed_at, order.order_id, order))
+            count += 1
+        return count
+
     def run(self) -> SimulationResult:
         """Run the whole simulation and return the collected metrics."""
+        if self._started:
+            raise RuntimeError(
+                "Simulator.run() called twice: the first run mutated the "
+                "vehicle, pool and outcome state in place, so a second run "
+                "would silently replay a corrupted world; construct a fresh "
+                "Simulator (or restore a checkpoint) instead")
+        return self.resume()
+
+    def resume(self) -> SimulationResult:
+        """Run every remaining window to the horizon and finalize.
+
+        Unlike :meth:`run` this does not require a pristine simulator: a
+        checkpoint-restored engine (or one that already stepped part of the
+        horizon via :meth:`step_window`) continues from its next window
+        boundary on the same Δ grid.
+        """
         cfg = self.config
+        while self._next_window_start < cfg.end:
+            window_start = self._next_window_start
+            self.step_window(window_start, min(window_start + cfg.delta, cfg.end))
+        return self.finalize()
+
+    def step_window(self, window_start: float, window_end: float) -> WindowRecord:
+        """Run one accumulation window — the body of the Fig. 5 loop.
+
+        This is the single code path shared by batch :meth:`run` and the
+        dispatch service's clock-driven loop: controllers advance to the
+        boundary, sub-window events drain (continuous mode), vehicles move,
+        orders ingest, stale orders reject, the policy assigns, and the
+        fleet plans repositioning.  Returns the window's record.
+        """
+        cfg = self.config
+        if self._finalized:
+            raise RuntimeError("cannot step a finalized Simulator")
+        if not window_start < window_end <= cfg.end:
+            raise ValueError(
+                f"invalid window [{window_start}, {window_end}) for a "
+                f"horizon ending at {cfg.end}")
+        self._begin()
         tracer = self._tracer
-        cache_info_before = self.cost_model.oracle.cache_info()
-        counters_before = ((self._oracle_counters() | self._cost_counters())
-                           if tracer.enabled else None)
         # The tracer is installed as the ambient current tracer so the
         # instrumented layers below the engine (policy pipeline, cost model,
         # oracle, hub labels) report into this run's span tree without any
         # signature changes.
         with use_tracer(tracer):
-            window_start = cfg.start
-            while window_start < cfg.end:
-                window_end = min(window_start + cfg.delta, cfg.end)
-                with tracer.span("engine.window"):
-                    self._window_declines = 0
-                    self._window_handoffs = 0
-                    with tracer.span("engine.controllers"):
-                        self._apply_controllers(window_start)
-                    if self._clock is not None:
-                        with tracer.span("engine.event_drain"):
-                            self._drain_subwindow_events(window_start, window_end)
-                    with tracer.span("engine.advance"):
-                        self._advance_all_vehicles(window_end)
-                    with tracer.span("engine.ingest"):
-                        self._ingest_orders(window_end)
-                    self._reject_stale_orders(window_end)
-                    if self.policy.reshuffle:
-                        with tracer.span("engine.reshuffle"):
-                            self._release_unpicked_orders(window_end)
-                    self._run_window(window_start, window_end)
-                    if self.fleet is not None:
-                        # Idle drivers drift toward demand during the *next*
-                        # window.
-                        with tracer.span("engine.reposition"):
-                            self.fleet.plan_repositioning(self.vehicles,
-                                                          window_end)
-                window_start = window_end
+            with tracer.span("engine.window"):
+                self._window_declines = 0
+                self._window_handoffs = 0
+                with tracer.span("engine.controllers"):
+                    self._apply_controllers(window_start)
+                if self._clock is not None:
+                    with tracer.span("engine.event_drain"):
+                        self._drain_subwindow_events(window_start, window_end)
+                with tracer.span("engine.advance"):
+                    self._advance_all_vehicles(window_end)
+                with tracer.span("engine.ingest"):
+                    self._ingest_orders(window_end)
+                self._reject_stale_orders(window_end)
+                if self.policy.reshuffle:
+                    with tracer.span("engine.reshuffle"):
+                        self._release_unpicked_orders(window_end)
+                self._run_window(window_start, window_end)
+                if self.fleet is not None:
+                    # Idle drivers drift toward demand during the *next*
+                    # window.
+                    with tracer.span("engine.reposition"):
+                        self.fleet.plan_repositioning(self.vehicles,
+                                                      window_end)
+        self._next_window_start = window_end
+        return self._windows[-1]
+
+    def finalize(self) -> SimulationResult:
+        """Drain in-flight route plans and return the collected metrics."""
+        if self._finalized:
+            raise RuntimeError(
+                "Simulator.finalize() called twice; the result was already "
+                "returned")
+        self._begin()
+        cfg = self.config
+        tracer = self._tracer
+        with use_tracer(tracer):
             with tracer.span("engine.drain"):
                 self._drain(cfg.end + cfg.drain_seconds)
                 self._reject_stale_orders(cfg.end + cfg.drain_seconds, final=True)
-        cache_stats = self._cache_stats_since(cache_info_before)
-        telemetry = (self._collect_telemetry(counters_before, cache_stats)
+        self._finalized = True
+        cache_stats = self._cache_stats_since(self._cache_info_before or {})
+        telemetry = (self._collect_telemetry(self._counters_before, cache_stats)
                      if tracer.enabled else None)
         return SimulationResult(
             policy_name=self.policy.name,
@@ -237,6 +382,15 @@ class Simulator:
             cache_stats=cache_stats,
             telemetry=telemetry,
         )
+
+    def _begin(self) -> None:
+        """First-touch snapshots of the shared oracle/cost-model counters."""
+        if self._started:
+            return
+        self._started = True
+        self._cache_info_before = self.cost_model.oracle.cache_info()
+        self._counters_before = ((self._oracle_counters() | self._cost_counters())
+                                 if self._tracer.enabled else None)
 
     def _oracle_counters(self) -> dict[str, int]:
         """Cumulative oracle work counters (snapshotted like the caches)."""
@@ -333,8 +487,11 @@ class Simulator:
         """
         if self.traffic is not None and (sources is None or "traffic" in sources):
             # Weights from this epoch onward reflect the events active at it;
-            # vehicles and the policy both see the updated network.
+            # vehicles and the policy both see the updated network.  The
+            # epoch is recorded so checkpoint/restore can replay the exact
+            # oracle mutation sequence (hub-label repair is path-dependent).
             self.traffic.advance(now)
+            self._traffic_epochs.append(now)
         if self.fleet is not None and (sources is None or "fleet" in sources):
             # Drivers that logged out since the last advance hand their
             # pending orders back to the pool before anything else moves or
@@ -375,7 +532,16 @@ class Simulator:
         arrived: list[Order] = []
         while self._next_order is not None and self._next_order.placed_at < until:
             arrived.append(self._next_order)
+            self._consumed_orders += 1
             self._next_order = next(self._order_iter, None)
+        if self._external and self._external[0][0] < until:
+            # Externally submitted orders (service mode) pop in global
+            # (placed_at, order_id) order; merging with any scenario-stream
+            # arrivals restores the canonical total order.
+            while self._external and self._external[0][0] < until:
+                arrived.append(heapq.heappop(self._external)[2])
+            arrived.sort(key=lambda o: (o.placed_at, o.order_id))
+        self._ingested_until = max(self._ingested_until, until)
         if not arrived:
             return
         if self.config.vectorized:
@@ -660,4 +826,5 @@ def simulate(scenario: Scenario, policy: AssignmentPolicy, cost_model: CostModel
                      fleet=fleet).run()
 
 
-__all__ = ["SimulationConfig", "Simulator", "simulate"]
+__all__ = ["EVENT_RESOLUTIONS", "ORDER_SOURCES", "SimulationConfig",
+           "Simulator", "simulate"]

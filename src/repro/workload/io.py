@@ -68,7 +68,15 @@ def scenario_to_dict(scenario: Scenario) -> dict:
         "network": {
             "profile_multipliers": list(network.profile.multipliers),
             "nodes": [[node, *network.coord(node)] for node in network.nodes],
-            "edges": [[u, v, w] for u, v, w in network.edges()],
+            # Edge rows carry the static per-edge congestion multiplier as
+            # an optional 4th element (omitted when 1.0): dropping it would
+            # change effective weights *and* the Eq. 8 normalisation bound
+            # on load, breaking round-trip fingerprint identity.
+            "edges": [
+                [u, v, w] if network.edge_multiplier(u, v) == 1.0
+                else [u, v, w, network.edge_multiplier(u, v)]
+                for u, v, w in network.edges()
+            ],
         },
         "restaurants": [
             {
@@ -203,8 +211,10 @@ def scenario_from_dict(payload: dict) -> Scenario:
     network = RoadNetwork(TimeProfile(tuple(network_data["profile_multipliers"])))
     for node, lat, lon in network_data["nodes"]:
         network.add_node(int(node), float(lat), float(lon))
-    for u, v, w in network_data["edges"]:
-        network.add_edge(int(u), int(v), float(w))
+    for row in network_data["edges"]:
+        u, v, w = row[0], row[1], row[2]
+        multiplier = float(row[3]) if len(row) > 3 else 1.0
+        network.add_edge(int(u), int(v), float(w), multiplier)
 
     restaurants = [
         Restaurant(

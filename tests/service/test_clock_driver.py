@@ -1,0 +1,110 @@
+"""Tests for the service clock drivers (watermark replay, wall pacing)."""
+
+import asyncio
+import math
+
+import pytest
+
+from repro.service.clock_driver import SimulatedClock, WallClock
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestSimulatedClock:
+    def test_wait_returns_once_watermark_passes(self):
+        async def scenario():
+            clock = SimulatedClock()
+            clock.advance_watermark(100.0)
+            assert await clock.wait_for_window(50.0) is True
+            assert await clock.wait_for_window(100.0) is True
+            return clock.now()
+
+        assert run(scenario()) == 100.0
+
+    def test_wait_blocks_until_advanced(self):
+        async def scenario():
+            clock = SimulatedClock()
+            order = []
+
+            async def waiter():
+                order.append("wait-start")
+                ok = await clock.wait_for_window(10.0)
+                order.append("wait-done")
+                return ok
+
+            task = asyncio.create_task(waiter())
+            await asyncio.sleep(0)  # let the waiter park
+            order.append("advance")
+            clock.advance_watermark(10.0)
+            assert await task is True
+            return order
+
+        assert run(scenario()) == ["wait-start", "advance", "wait-done"]
+
+    def test_watermark_may_not_regress(self):
+        clock = SimulatedClock()
+        clock.advance_watermark(10.0)
+        with pytest.raises(ValueError, match="regress"):
+            clock.advance_watermark(5.0)
+        # Re-asserting the same watermark is fine (idempotent boundaries).
+        clock.advance_watermark(10.0)
+
+    def test_stop_wakes_waiters_with_false(self):
+        async def scenario():
+            clock = SimulatedClock()
+            task = asyncio.create_task(clock.wait_for_window(10.0))
+            await asyncio.sleep(0)
+            clock.stop()
+            return await task
+
+        assert run(scenario()) is False
+
+    def test_stopped_clock_never_proceeds(self):
+        async def scenario():
+            clock = SimulatedClock()
+            clock.advance_watermark(100.0)
+            clock.stop()
+            return await clock.wait_for_window(10.0)
+
+        assert run(scenario()) is False
+
+    def test_starts_at_negative_infinity(self):
+        assert SimulatedClock().watermark == -math.inf
+
+
+class TestWallClock:
+    def test_rejects_bad_rate(self):
+        for rate in (0.0, -1.0, math.inf, math.nan):
+            with pytest.raises(ValueError, match="rate"):
+                WallClock(0.0, rate=rate)
+
+    def test_fires_past_deadlines_immediately(self):
+        async def scenario():
+            # 1000 simulated seconds per wall second: deadlines for the
+            # first few windows are microseconds away.
+            clock = WallClock(0.0, rate=100_000.0)
+            assert await clock.wait_for_window(60.0) is True
+            assert await clock.wait_for_window(120.0) is True
+            return clock.now()
+
+        assert run(scenario()) >= 120.0
+
+    def test_stop_interrupts_wait(self):
+        async def scenario():
+            clock = WallClock(0.0, rate=0.001)  # a distant deadline
+
+            async def stopper():
+                await asyncio.sleep(0.01)
+                clock.stop()
+
+            task = asyncio.create_task(stopper())
+            ok = await clock.wait_for_window(3600.0)
+            await task
+            return ok
+
+        assert run(scenario()) is False
+
+    def test_now_before_start_is_sim_start(self):
+        assert WallClock(43200.0).now() == 43200.0

@@ -1,0 +1,105 @@
+"""Tests for the multi-city shard pool.
+
+Resident workers must stay warm across tasks (repeat tasks on one shard
+reuse its materialised scenario), every shard's result must match the
+batch executor's fingerprint for the same (setting, policy), and one
+failing task must come back as an error report, not a hung pool.
+"""
+
+import pytest
+
+from repro.experiments.executor import result_fingerprint
+from repro.experiments.runner import ExperimentSetting, PolicySpec, run_setting
+from repro.service import ShardPool, ShardTask, fleet_report
+from repro.workload.city import CITY_PROFILES
+
+SHARDS = {
+    "cityA": ExperimentSetting(profile=CITY_PROFILES["CityA"], scale=0.1,
+                               start_hour=12, end_hour=13, seed=3),
+    "cityB": ExperimentSetting(profile=CITY_PROFILES["CityB"], scale=0.1,
+                               start_hour=12, end_hour=13, seed=3),
+}
+
+
+@pytest.fixture(scope="module")
+def reports():
+    with ShardPool(SHARDS) as pool:
+        pool.submit("cityA", ShardTask(0))
+        pool.submit("cityB", ShardTask(1))
+        pool.submit("cityA", ShardTask(2, policy="greedy"))
+        pool.submit("cityA", ShardTask(3, policy="no-such-policy"))
+        collected = pool.collect()
+    return {(r.shard, r.task_id): r for r in collected}
+
+
+class TestShardPool:
+    def test_all_reports_arrive(self, reports):
+        assert set(reports) == {("cityA", 0), ("cityB", 1),
+                                ("cityA", 2), ("cityA", 3)}
+
+    def test_fingerprints_match_batch(self, reports):
+        for (shard, _task_id), report in sorted(reports.items()):
+            if not report.ok:
+                continue
+            setting = SHARDS[shard]
+            spec = PolicySpec(report_policy(report), ())
+            expected = result_fingerprint(run_setting(setting, spec))
+            assert report.fingerprint == expected, (shard, report.task_id)
+
+    def test_warm_shard_reuses_scenario(self, reports):
+        # Tasks 0 and 2 ran on the same resident worker; both succeeded and
+        # their stats carry the same scenario name.
+        first, second = reports[("cityA", 0)], reports[("cityA", 2)]
+        assert first.ok and second.ok
+        assert first.stats["scenario"] == second.stats["scenario"]
+
+    def test_failed_task_reports_traceback(self, reports):
+        failed = reports[("cityA", 3)]
+        assert not failed.ok
+        assert "no-such-policy" in failed.error
+        assert failed.fingerprint is None
+
+    def test_fleet_report_merges_metrics(self, reports):
+        fleet = fleet_report(list(reports.values()))
+        assert fleet["shards"] == ["cityA", "cityB"]
+        assert fleet["failures"] == 1
+        assert fleet["ok"] is False
+        merged = fleet["metrics"]["counters"]
+        windows = sum(v for k, v in merged.items()
+                      if k.startswith("service.windows"))
+        per_task = [r.metrics for r in reports.values() if r.ok]
+        assert windows > 0
+        assert len(per_task) == 3
+
+    def test_fleet_report_rows_are_sorted(self, reports):
+        fleet = fleet_report(list(reports.values()))
+        keys = [(row["shard"], row["task_id"]) for row in fleet["tasks"]]
+        assert keys == sorted(keys)
+
+
+class TestPoolLifecycle:
+    def test_rejects_empty_shard_map(self):
+        with pytest.raises(ValueError, match="at least one shard"):
+            ShardPool({})
+
+    def test_rejects_unknown_shard(self):
+        pool = ShardPool(SHARDS)
+        with pytest.raises(KeyError, match="unknown shard"):
+            pool.submit("atlantis", ShardTask(0))
+        pool.close()
+
+    def test_rejects_submit_after_close(self):
+        pool = ShardPool(SHARDS)
+        pool.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            pool.submit("cityA", ShardTask(0))
+
+    def test_collect_caps_at_outstanding(self):
+        pool = ShardPool(SHARDS)
+        with pytest.raises(ValueError, match="outstanding"):
+            pool.collect(1)
+        pool.close()
+
+
+def report_policy(report):
+    return {0: "foodmatch", 1: "foodmatch", 2: "greedy"}[report.task_id]

@@ -1,0 +1,107 @@
+"""Tests for the engine's service-facing surface.
+
+``order_source="external"``, ``submit``, ``step_window``/``resume``/
+``finalize`` and the run-twice guard — the API the dispatch service is
+built on, exercised directly against batch ``run()`` for identity.
+"""
+
+import pytest
+
+from repro.experiments.executor import result_fingerprint
+from repro.experiments.runner import (
+    ExperimentSetting,
+    PolicySpec,
+    build_policy,
+    materialize,
+    run_setting,
+)
+from repro.network.distance_oracle import DistanceOracle
+from repro.orders.costs import CostModel
+from repro.sim.engine import ORDER_SOURCES, SimulationConfig, Simulator
+from repro.workload.city import CITY_PROFILES
+
+SMALL = ExperimentSetting(profile=CITY_PROFILES["CityA"], scale=0.1,
+                          start_hour=12, end_hour=13, seed=3)
+
+
+def make_simulator(order_source="scenario"):
+    scenario, _oracle = materialize(SMALL)
+    oracle = DistanceOracle(scenario.network)
+    cost_model = CostModel(oracle)
+    policy = build_policy("foodmatch", cost_model)
+    config = SimulationConfig(delta=SMALL.resolved_delta(),
+                              start=SMALL.start_hour * 3600,
+                              end=SMALL.end_hour * 3600)
+    return Simulator(scenario, policy, cost_model, config,
+                     order_source=order_source)
+
+
+class TestRunGuard:
+    def test_run_called_twice_raises(self):
+        sim = make_simulator()
+        sim.run()
+        with pytest.raises(RuntimeError, match="called twice"):
+            sim.run()
+
+    def test_run_after_step_window_raises(self):
+        sim = make_simulator()
+        start = sim.config.start
+        sim.step_window(start, start + sim.config.delta)
+        with pytest.raises(RuntimeError, match="called twice"):
+            sim.run()
+        # resume() is the sanctioned way to continue a stepped simulator.
+        sim.resume()
+
+    def test_finalize_called_twice_raises(self):
+        sim = make_simulator()
+        sim.run()
+        with pytest.raises(RuntimeError, match="already"):
+            sim.finalize()
+
+
+class TestExternalSource:
+    def test_rejects_unknown_source(self):
+        with pytest.raises(ValueError, match="order_source"):
+            make_simulator(order_source="carrier-pigeon")
+        assert ORDER_SOURCES == ("scenario", "external")
+
+    def test_submitted_stream_matches_scenario_stream(self):
+        batch = result_fingerprint(run_setting(SMALL, PolicySpec("foodmatch", ())))
+        sim = make_simulator(order_source="external")
+        config = sim.config
+        orders = sorted((o for o in sim.scenario.orders
+                         if config.start <= o.placed_at < config.end),
+                        key=lambda o: (o.placed_at, o.order_id))
+        assert sim.submit(orders) == len(orders)
+        assert sim.pending_external_count == len(orders)
+        result = sim.run()
+        assert result_fingerprint(result) == batch
+
+    def test_late_submission_raises_value_error(self):
+        sim = make_simulator(order_source="external")
+        start = sim.config.start
+        sim.step_window(start, start + sim.config.delta)
+        stale = next(iter(sim.scenario.orders))
+        stale = type(stale)(order_id=stale.order_id,
+                            restaurant_node=stale.restaurant_node,
+                            customer_node=stale.customer_node,
+                            placed_at=float(start), items=stale.items,
+                            prep_time=stale.prep_time)
+        with pytest.raises(ValueError, match="late arrival"):
+            sim.submit([stale])
+
+    def test_submit_after_finalize_raises(self):
+        sim = make_simulator(order_source="external")
+        sim.run()
+        with pytest.raises(RuntimeError, match="finalized"):
+            sim.submit([next(iter(sim.scenario.orders))])
+
+    def test_stepwise_equals_run(self):
+        batch = result_fingerprint(run_setting(SMALL, PolicySpec("foodmatch", ())))
+        sim = make_simulator()
+        config = sim.config
+        while not sim.horizon_complete:
+            start = sim.next_window_start
+            sim.step_window(start, min(start + config.delta, config.end))
+        result = sim.finalize()
+        assert result_fingerprint(result) == batch

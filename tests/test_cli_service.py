@@ -1,0 +1,141 @@
+"""Tests for the ``repro serve`` / ``repro loadgen`` CLI and signal handling."""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro import obs
+from repro.cli import GracefulExit, _graceful_exit, build_parser, main
+from repro.experiments.executor import set_default_jobs
+from repro.obs.trace import read_trace_jsonl
+
+SERVE_ARGS = ["serve", "--city", "CityA", "--scale", "0.1", "--seed", "3"]
+
+
+@pytest.fixture(autouse=True)
+def _reset_session_state():
+    yield
+    obs.set_mode("off")
+    set_default_jobs(1)
+
+
+class TestParser:
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.clock == "simulated"
+        assert args.policy == "foodmatch"
+        assert args.queue_capacity == 1024
+        assert args.backpressure_policy == "defer"
+        assert args.restore is None
+        assert args.stop_after_windows is None
+
+    def test_loadgen_defaults(self):
+        args = build_parser().parse_args(["loadgen"])
+        assert args.policy == "foodmatch"
+        assert args.json is None
+
+    def test_serve_rejects_unknown_clock(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--clock", "sundial"])
+
+    def test_serve_rejects_unknown_backpressure_policy(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["serve", "--backpressure-policy", "drop-everything"])
+
+    def test_invalid_backpressure_config_exits_nonzero(self):
+        with pytest.raises(SystemExit):
+            main(SERVE_ARGS + ["--queue-capacity", "0"])
+
+
+class TestServeCommand:
+    def test_simulated_replay_prints_fingerprint(self, capsys):
+        assert main(SERVE_ARGS) == 0
+        out = capsys.readouterr().out
+        assert "result fingerprint" in out
+        assert "simulated clock" in out
+
+    def test_checkpoint_pause_then_restore(self, capsys, tmp_path):
+        ckpt = tmp_path / "ckpt.json"
+        assert main(SERVE_ARGS + ["--stop-after-windows", "3",
+                                  "--checkpoint-out", str(ckpt)]) == 0
+        paused = capsys.readouterr().out
+        assert "paused before the horizon completed" in paused
+        assert ckpt.exists()
+
+        assert main(["serve", "--restore", str(ckpt)]) == 0
+        resumed = capsys.readouterr().out
+        assert "result fingerprint" in resumed
+        # The resumed fingerprint equals the uninterrupted run's.
+        assert main(SERVE_ARGS) == 0
+        uninterrupted = capsys.readouterr().out
+        fingerprint = lambda text: [l for l in text.splitlines()  # noqa: E731
+                                    if "fingerprint" in l][0].split()[-1]
+        assert fingerprint(resumed) == fingerprint(uninterrupted)
+
+
+class TestLoadgenCommand:
+    def test_reports_throughput_and_json(self, capsys, tmp_path):
+        out_path = tmp_path / "load.json"
+        assert main(["loadgen", "--city", "CityA", "--scale", "0.1",
+                     "--seed", "3", "--json", str(out_path)]) == 0
+        out = capsys.readouterr().out
+        assert "orders/sec sustained" in out
+        report = json.loads(out_path.read_text(encoding="utf-8"))
+        assert report["orders_admitted"] == report["orders_submitted"]
+        assert report["shed"] == 0
+        assert report["orders_per_second"] > 0
+        assert report["fingerprint"]
+        assert report["decide_seconds"]["count"] == report["windows"]
+
+
+class TestGracefulExit:
+    def test_exit_code_and_summary(self, capsys):
+        args = build_parser().parse_args(SERVE_ARGS)
+        code = _graceful_exit(args, GracefulExit(signal.SIGINT))
+        assert code == 128 + signal.SIGINT
+        err = capsys.readouterr().err
+        assert "interrupted by SIGINT" in err
+        assert "repro serve" in err
+
+    def test_flushes_trace_jsonl(self, capsys, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        args = build_parser().parse_args(
+            ["simulate", "--obs", "trace", "--trace-out", str(trace)])
+        code = _graceful_exit(args, GracefulExit(signal.SIGTERM))
+        assert code == 128 + signal.SIGTERM
+        events = read_trace_jsonl(trace)
+        assert len(events) == 1
+        assert events[0]["event"] == "trace_header"
+        assert events[0]["interrupted_by"] == "SIGTERM"
+
+
+class TestSigintSubprocess:
+    def test_sigint_mid_serve_exits_130_with_summary(self, tmp_path):
+        # A wall-clock serve paces the horizon over minutes; SIGINT midway
+        # must produce the one-line summary and exit 128+SIGINT.
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            filter(None, [os.path.abspath("src"),
+                          env.get("PYTHONPATH", "")]))
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--city", "CityA",
+             "--scale", "0.1", "--seed", "3", "--clock", "wall",
+             "--rate", "30"],
+            env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+            text=True)
+        try:
+            time.sleep(6)  # let imports finish and the loop start pacing
+            proc.send_signal(signal.SIGINT)
+            _out, err = proc.communicate(timeout=60)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+        assert proc.returncode == 128 + signal.SIGINT
+        assert "interrupted by SIGINT" in err
+        assert "stopped cleanly" in err
