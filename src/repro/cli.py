@@ -64,6 +64,8 @@ from repro.experiments.runner import (
     run_policy_comparison,
     run_setting,
 )
+from repro.core.matching import MATCHING_RUNGS
+from repro.network.approx_paths import PATH_RUNGS
 from repro.obs.trace import merge_traces, rollup, write_trace_jsonl
 from repro.sim.engine import EVENT_RESOLUTIONS
 from repro.workload.city import CITY_PROFILES
@@ -87,6 +89,7 @@ _FIGURE_FUNCTIONS = {
     "traffic_robustness": figures.traffic_robustness,
     "event_density": figures.event_density,
     "fleet_robustness": figures.fleet_robustness,
+    "degradation_ladder": figures.degradation_ladder,
 }
 
 _COMPARE_METRICS = ("xdt_hours_per_day", "orders_per_km", "waiting_hours_per_day",
@@ -210,6 +213,26 @@ def build_parser() -> argparse.ArgumentParser:
                               "onboarding, zonal drains, stochastic offer "
                               "rejection, kitchen delays and idle repositioning "
                               "(default: none)")
+        sub.add_argument("--matching-backend", choices=list(MATCHING_RUNGS),
+                         default=None,
+                         help="pin the matching ladder's starting rung "
+                              "(default: top rung; plain kernels when no "
+                              "resilience flag is set)")
+        sub.add_argument("--path-backend", choices=list(PATH_RUNGS),
+                         default=None,
+                         help="pin the shortest-path ladder's starting rung "
+                              "(default: top rung)")
+        sub.add_argument("--latency-budget", type=float, default=None,
+                         metavar="SECONDS",
+                         help="per-window decision-latency budget; enables "
+                              "the degradation controller, which demotes "
+                              "backends after repeated blown windows and "
+                              "recovers with hysteresis (default: disabled)")
+        sub.add_argument("--faults", default=None, metavar="PLAN",
+                         help="fault-injection plan: JSON text or a path to a "
+                              "JSON file of fault specs (kernel slowdowns, "
+                              "backend errors, worker kills); seeded and "
+                              "deterministic (default: none)")
 
     simulate = subparsers.add_parser("simulate", help="run one policy on one city")
     add_setting_arguments(simulate)
@@ -303,6 +326,10 @@ def _setting_from_args(args: argparse.Namespace) -> ExperimentSetting:
         traffic=args.traffic,
         fleet=args.fleet,
         event_resolution=args.event_resolution,
+        matching_backend=args.matching_backend,
+        path_backend=args.path_backend,
+        latency_budget=args.latency_budget,
+        faults=args.faults,
     )
 
 
@@ -315,6 +342,8 @@ def _command_simulate(args: argparse.Namespace) -> int:
         print(f"  {key:<26} {value:.4f}")
     if result.cache_stats:
         print(format_cache_report(result.cache_stats))
+    if result.resilience is not None:
+        _print_resilience(result.resilience, indent="  ")
     if result.telemetry is not None:
         print(format_telemetry_report(result.telemetry))
     if args.trace_out:
@@ -385,17 +414,64 @@ def _backpressure_from_args(args: argparse.Namespace):
         raise SystemExit(2) from None
 
 
+def _resilience_from_args(args: argparse.Namespace):
+    from repro.resilience import build_resilience
+
+    try:
+        return build_resilience(
+            matching_backend=args.matching_backend,
+            path_backend=args.path_backend,
+            latency_budget=args.latency_budget,
+            faults=args.faults,
+            seed=args.seed)
+    except (ValueError, OSError) as exc:
+        print(f"repro {args.command}: {exc}", file=sys.stderr)
+        raise SystemExit(2) from None
+
+
+def _print_resilience(snapshot: dict, indent: str = "  ") -> None:
+    """Render a ResilienceManager snapshot as stats lines."""
+    matching = snapshot["matching"]
+    path = snapshot["path"]
+    quality = snapshot["quality"]
+    print(f"{indent}ladder rungs             "
+          f"matching={matching['current']} path={path['current']}")
+    print(f"{indent}demotions/recoveries     "
+          f"{matching['demotions'] + path['demotions']}"
+          f"/{matching['recoveries'] + path['recoveries']}")
+    if quality["matching_samples"] or quality["path_samples"]:
+        print(f"{indent}quality given up         "
+              f"matching {quality['matching_delta_pct']:+.2f}% objective, "
+              f"path stretch {quality['path_mean_stretch']:.3f}x")
+    controller = snapshot.get("controller")
+    if controller and controller.get("enabled"):
+        print(f"{indent}controller               "
+              f"budget {controller['latency_budget']}s, "
+              f"{len(controller.get('events', []))} events")
+    faults = snapshot.get("faults")
+    if faults is not None:
+        print(f"{indent}faults                   "
+              f"{faults['declared']} declared, {faults['trips']} trips, "
+              f"{len(faults['active'])} active")
+
+
 def _print_service_stats(stats: dict) -> None:
     backpressure = stats["backpressure"]
     print(f"  windows stepped          {stats['windows']}")
     print(f"  orders seen              {stats['orders_seen']}")
     print(f"  admitted/deferred/shed   {backpressure['admitted']}"
           f"/{backpressure['deferred']}/{backpressure['shed']}")
+    if backpressure.get("degradation_holds"):
+        print(f"  degradation holds        "
+              f"{backpressure['degradation_holds']}")
     print(f"  late rejections          {stats['late_rejections']}")
     decide = stats["decide_seconds"]
     if decide["count"]:
         print(f"  decide p50/p99 (s)       "
               f"{decide['p50']:.4f}/{decide['p99']:.4f}")
+    resilience = stats.get("resilience")
+    if resilience is not None:
+        _print_resilience(resilience)
 
 
 def _command_serve(args: argparse.Namespace) -> int:
@@ -414,9 +490,10 @@ def _command_serve(args: argparse.Namespace) -> int:
     )
 
     backpressure = _backpressure_from_args(args)
+    resilience = _resilience_from_args(args)
     if args.restore:
         service = DispatchService.from_checkpoint(
-            args.restore, backpressure=backpressure)
+            args.restore, backpressure=backpressure, resilience=resilience)
         origin = f"checkpoint {args.restore}"
     else:
         setting = _setting_from_args(args)
@@ -426,7 +503,7 @@ def _command_serve(args: argparse.Namespace) -> int:
         oracle.__dict__.pop("repair_fraction", None)
         service = DispatchService(
             scenario, args.policy, config=setting_config(setting),
-            oracle=oracle, backpressure=backpressure)
+            oracle=oracle, backpressure=backpressure, resilience=resilience)
         origin = f"{args.city} scale {args.scale}"
     config = service.engine.config
     if args.clock == "wall":
@@ -480,7 +557,7 @@ def _command_loadgen(args: argparse.Namespace) -> int:
     oracle.__dict__.pop("repair_fraction", None)
     service = DispatchService(
         scenario, args.policy, config=setting_config(setting), oracle=oracle,
-        backpressure=backpressure)
+        backpressure=backpressure, resilience=_resilience_from_args(args))
     started = time.perf_counter()
     result = asyncio.run(serve_recorded(service))
     elapsed = time.perf_counter() - started

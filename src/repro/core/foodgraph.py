@@ -32,6 +32,7 @@ from repro.core.angular import (
 )
 from repro.core.matching import sparse_minimum_weight_matching
 from repro.network.shortest_path import BestFirstExplorer
+from repro.resilience.context import current_ladders
 from repro.orders.batch import Batch
 from repro.orders.costs import CostModel
 from repro.orders.route_plan import RoutePlan
@@ -281,12 +282,22 @@ def solve_matching(graph: FoodGraph) -> list[tuple[int, int, RoutePlan, float]]:
     sparsified FoodGraph with degree bound ``k`` this avoids materialising
     the dense Ω-filled ``|B| x |V|`` matrix entirely, while provably
     producing a matching with the same total cost.
+
+    When a resilience ladder registry is active (``use_ladders``), the solve
+    goes through it instead: the registry picks the backend rung, honours
+    injected faults, and degrades-and-retries on backend failure.
     """
     if not graph.batches or not graph.vehicles:
         return []
     finite = {key: weight for key, (weight, _) in graph.edges.items()}
-    pairs = sparse_minimum_weight_matching(len(graph.batches), len(graph.vehicles),
-                                           finite, graph.omega)
+    ladders = current_ladders()
+    if ladders is not None:
+        pairs = ladders.solve_matching(len(graph.batches), len(graph.vehicles),
+                                       finite, graph.omega)
+    else:
+        pairs = sparse_minimum_weight_matching(len(graph.batches),
+                                               len(graph.vehicles),
+                                               finite, graph.omega)
     assignments: list[tuple[int, int, RoutePlan, float]] = []
     for b_idx, v_idx in pairs:
         plan = graph.plan(b_idx, v_idx)

@@ -41,6 +41,8 @@ from repro.experiments.runner import (
     run_setting,
 )
 from repro.experiments.sweeps import (
+    DEGRADATION_RUNGS,
+    sweep_degradation,
     sweep_delta,
     sweep_eta,
     sweep_event_density,
@@ -644,6 +646,49 @@ def fleet_robustness(setting: ExperimentSetting | None = None,
                         data, text)
 
 
+def degradation_ladder(setting: ExperimentSetting | None = None,
+                       policy: str = "foodmatch",
+                       rungs: Sequence[tuple[str, str]] = DEGRADATION_RUNGS,
+                       ) -> FigureResult:
+    """Quality across the backend ladder: what each demotion rung costs.
+
+    Replays the same lunch-peak workload with the matching and path ladders
+    pinned one rung further down each time (exact ``scipy``/``hub_labels``
+    first, cheapest ``greedy_approx``/``bounded_hop_approx`` last) and
+    reports delivery quality per rung alongside the resilience layer's own
+    quality accounting — the greedy matching's shadow-sampled objective
+    delta against the exact solve, and the approximate path estimator's
+    mean stretch.  This is the price list the degradation controller shops
+    from when a latency budget forces it down the ladder.
+    """
+    setting = setting or ExperimentSetting(profile=CITY_A, scale=0.3,
+                                           start_hour=12, end_hour=13,
+                                           vehicle_fraction=0.6)
+    labels = [f"{matching}+{path}" for matching, path in rungs]
+    data: dict[str, object] = {"rungs": labels, "policy": policy}
+    sweep = sweep_degradation(setting, PolicySpec.of(policy), rungs=rungs)
+    series: dict[str, list[float]] = {
+        f"{policy} xdt_hours": sweep.series("xdt_hours_per_day"),
+        f"{policy} rejections": [100.0 * v
+                                 for v in sweep.series("rejection_rate")],
+    }
+    quality_delta = []
+    path_stretch = []
+    for value in sweep.values:
+        resilience = sweep.results[value].resilience or {}
+        quality = resilience.get("quality", {})
+        quality_delta.append(quality.get("matching_delta_pct", 0.0))
+        path_stretch.append(quality.get("path_mean_stretch", 1.0))
+    series["matching delta %"] = quality_delta
+    series["path stretch"] = path_stretch
+    text = format_series(series, "rung", labels,
+                         title="Degradation ladder — quality per backend rung")
+    data["series"] = series
+    return FigureResult("Degradation",
+                        "Quality across the backend degradation ladder",
+                        data, text)
+
+
 __all__ = [
     "FigureResult",
     "default_settings",
@@ -664,4 +709,5 @@ __all__ = [
     "traffic_robustness",
     "event_density",
     "fleet_robustness",
+    "degradation_ladder",
 ]

@@ -135,6 +135,18 @@ def format_telemetry_report(telemetry,
     plans = telemetry.counters.get("cost.route_plans")
     if plans:
         report += f"\ncost model: {plans:,.0f} route plans evaluated"
+    resilience = telemetry.meta.get("resilience")
+    if resilience is not None:
+        report += (
+            f"\nladders: matching={resilience.get('matching_rung')} "
+            f"path={resilience.get('path_rung')} "
+            f"({resilience.get('demotions', 0)} demotions, "
+            f"{resilience.get('recoveries', 0)} recoveries)")
+        delta = resilience.get("matching_quality_delta_pct") or 0.0
+        stretch = resilience.get("path_mean_stretch") or 1.0
+        if delta or stretch != 1.0:
+            report += (f"\nquality given up: matching {delta:+.2f}% "
+                       f"objective, path stretch {stretch:.3f}x")
     return report
 
 

@@ -22,6 +22,7 @@ from repro.network.distance_oracle import DistanceOracle
 from repro.network.graph import SECONDS_PER_HOUR
 from repro.obs.log import get_logger
 from repro.orders.costs import CostModel
+from repro.resilience.manager import build_resilience
 from repro.sim.engine import SimulationConfig, simulate
 from repro.sim.metrics import SimulationResult
 from repro.workload.city import CityProfile
@@ -91,6 +92,17 @@ class ExperimentSetting:
         ``"window"`` (default) applies traffic/fleet events at window
         boundaries only; ``"continuous"`` drains them at their exact
         timestamps through the event clock (:mod:`repro.sim.clock`).
+    matching_backend, path_backend:
+        Pin the resilience ladders' starting rung (``None`` = top rung,
+        plain un-laddered kernels when every resilience knob is unset) —
+        see :mod:`repro.resilience`.
+    latency_budget:
+        Per-window decision-latency budget in seconds; enables the
+        degradation controller.  ``None`` disables it.
+    faults:
+        Fault plan for :class:`~repro.resilience.FaultInjector` as JSON
+        text or a file path (kept as a string so the setting stays
+        hashable and picklable for shard workers).
     """
 
     profile: CityProfile
@@ -104,6 +116,10 @@ class ExperimentSetting:
     fleet: str = "none"
     repair_fraction: float | None = None
     event_resolution: str = "window"
+    matching_backend: str | None = None
+    path_backend: str | None = None
+    latency_budget: float | None = None
+    faults: str | None = None
 
     def resolved_delta(self) -> float:
         return self.delta if self.delta is not None else self.profile.accumulation_window
@@ -158,6 +174,10 @@ _ATTACH_REGISTRY: dict[str, str] = {}
 
 
 def _setting_key(setting: ExperimentSetting) -> tuple:
+    # Deliberately excludes the run-time knobs (repair_fraction,
+    # event_resolution, and the resilience fields) — they change how a run
+    # executes, not which scenario/oracle pair it executes against, so
+    # settings differing only in those share one cached materialisation.
     return (setting.profile.name, round(setting.scale, 6), setting.start_hour,
             setting.end_hour, round(setting.vehicle_fraction, 6), setting.seed,
             setting.traffic, setting.fleet)
@@ -235,7 +255,15 @@ def run_setting(setting: ExperimentSetting, policy_spec: PolicySpec,
         end=setting.end_hour * SECONDS_PER_HOUR,
         event_resolution=setting.event_resolution,
     )
-    return simulate(scenario, policy, cost_model, config)
+    resilience = build_resilience(
+        matching_backend=setting.matching_backend,
+        path_backend=setting.path_backend,
+        latency_budget=setting.latency_budget,
+        faults=setting.faults,
+        seed=setting.seed,
+    )
+    return simulate(scenario, policy, cost_model, config,
+                    resilience=resilience)
 
 
 def run_averaged(setting: ExperimentSetting, policy_spec: PolicySpec,

@@ -170,6 +170,37 @@ def sweep_fleet(setting: ExperimentSetting, policy: PolicySpec,
                       jobs, labels=modes)
 
 
+#: The (matching, path) rung pairs :func:`sweep_degradation` steps through —
+#: the backend ladders' rungs walked in lockstep, exact to cheapest.
+DEGRADATION_RUNGS = (
+    ("scipy", "hub_labels"),
+    ("hungarian", "dijkstra"),
+    ("greedy_approx", "bounded_hop_approx"),
+)
+
+
+def sweep_degradation(setting: ExperimentSetting, policy: PolicySpec,
+                      rungs: Sequence[tuple[str, str]] = DEGRADATION_RUNGS,
+                      jobs: int | None = None) -> SweepResult:
+    """Quality across the degradation ladder: pin each rung pair and rerun.
+
+    The same workload is replayed with the matching and path ladders pinned
+    one rung further down each time (``scipy``/``hub_labels`` first — the
+    exact baseline every other rung's quality delta is measured against).
+    Categorical like :func:`sweep_traffic`: the sweep parameter is the rung
+    pair's index and :attr:`SweepResult.labels` keeps
+    ``"matching+path"``-style names.  This is the quality-vs-load curve's
+    quality axis; ``benchmarks/bench_resilience.py`` adds the load axis.
+    """
+    labels = [f"{matching}+{path}" for matching, path in rungs]
+    return _run_sweep("degradation",
+                      [(float(position),
+                        replace(setting, matching_backend=matching,
+                                path_backend=path), policy)
+                       for position, (matching, path) in enumerate(rungs)],
+                      jobs, labels=labels)
+
+
 def sweep_gamma(setting: ExperimentSetting, gammas: Sequence[float] = (0.1, 0.3, 0.5, 0.7, 0.9),
                 base_options: dict[str, object] | None = None,
                 jobs: int | None = None) -> SweepResult:
@@ -206,4 +237,6 @@ __all__ = [
     "sweep_traffic",
     "sweep_event_density",
     "sweep_fleet",
+    "sweep_degradation",
+    "DEGRADATION_RUNGS",
 ]

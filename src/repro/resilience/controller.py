@@ -1,0 +1,135 @@
+"""The latency-budget degradation controller.
+
+Watches the per-window decision latency against a configurable budget and
+moves the backend ladders with hysteresis:
+
+* **Demote** after ``demote_after`` *consecutive* windows over budget —
+  matching first (it dominates the decide phase), then paths.
+* **Recover** after ``recover_after`` consecutive windows comfortably under
+  budget (at or below ``budget * recovery_margin``) — paths first, then
+  matching, i.e. the reverse order, so the cheapest quality give-back is
+  restored first and the last rung demoted is the first recovered.
+* Windows in the band between the two thresholds reset *both* streaks, and
+  ``cooldown_windows`` must pass after any move before the next one — the
+  two mechanisms that keep the ladder from flapping at the budget boundary.
+
+The controller never touches the code path when no budget is configured
+(:attr:`DegradationController.enabled` is false), which keeps unbudgeted
+runs bit-pristine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.resilience.ladder import LadderRegistry
+
+
+@dataclass(frozen=True)
+class DegradationConfig:
+    """Knobs for :class:`DegradationController`.
+
+    ``latency_budget`` is the per-window decision budget in seconds
+    (``None`` disables the controller).  ``recovery_margin`` scales the
+    budget down to the "comfortably under" threshold that recovery windows
+    must clear.
+    """
+
+    latency_budget: float | None = None
+    demote_after: int = 3
+    recover_after: int = 5
+    recovery_margin: float = 0.5
+    cooldown_windows: int = 2
+
+    def __post_init__(self) -> None:
+        if self.latency_budget is not None and self.latency_budget <= 0.0:
+            raise ValueError("latency budget must be positive")
+        if self.demote_after < 1 or self.recover_after < 1:
+            raise ValueError("hysteresis window counts must be >= 1")
+        if not 0.0 < self.recovery_margin <= 1.0:
+            raise ValueError("recovery margin must be in (0, 1]")
+
+
+class DegradationController:
+    """Moves the ladders' positions from per-window latency observations."""
+
+    def __init__(self, config: DegradationConfig,
+                 ladders: LadderRegistry) -> None:
+        self.config = config
+        self.ladders = ladders
+        self.windows_observed = 0
+        self.over_streak = 0
+        self.healthy_streak = 0
+        self._cooldown = 0
+        #: ``{"window": int, "kind": "demote"|"recover", "ladder": str,
+        #:  "to": rung}`` for every move, for tests and BENCH_PR9.
+        self.events: list[dict] = []
+
+    @property
+    def enabled(self) -> bool:
+        return self.config.latency_budget is not None
+
+    def has_headroom(self) -> bool:
+        """Whether any ladder can still demote (degrade-before-defer probe)."""
+        matching = self.ladders.matching
+        path = self.ladders.path
+        return (matching.position + 1 < len(matching.rungs)
+                or path.position + 1 < len(path.rungs))
+
+    def observe_window(self, decision_seconds: float) -> None:
+        """Feed one window's decision latency; may move a ladder."""
+        if not self.enabled:
+            return
+        self.windows_observed += 1
+        budget = self.config.latency_budget
+        if decision_seconds > budget:
+            self.over_streak += 1
+            self.healthy_streak = 0
+        elif decision_seconds <= budget * self.config.recovery_margin:
+            self.healthy_streak += 1
+            self.over_streak = 0
+        else:
+            # The ambiguous band: neither blown nor comfortably healthy.
+            self.over_streak = 0
+            self.healthy_streak = 0
+        if self._cooldown > 0:
+            self._cooldown -= 1
+            return
+        if self.over_streak >= self.config.demote_after:
+            self._demote()
+        elif self.healthy_streak >= self.config.recover_after:
+            self._recover()
+
+    def _record(self, kind: str, ladder) -> None:
+        self.events.append({"window": self.windows_observed, "kind": kind,
+                            "ladder": ladder.name,
+                            "to": ladder.rungs[ladder.position]})
+        self.over_streak = 0
+        self.healthy_streak = 0
+        self._cooldown = self.config.cooldown_windows
+
+    def _demote(self) -> None:
+        for ladder in (self.ladders.matching, self.ladders.path):
+            if ladder.step_down():
+                self._record("demote", ladder)
+                return
+
+    def _recover(self) -> None:
+        for ladder in (self.ladders.path, self.ladders.matching):
+            if ladder.step_up():
+                self._record("recover", ladder)
+                return
+
+    def snapshot(self) -> dict:
+        return {
+            "enabled": self.enabled,
+            "latency_budget": self.config.latency_budget,
+            "windows_observed": self.windows_observed,
+            "over_streak": self.over_streak,
+            "healthy_streak": self.healthy_streak,
+            "cooldown": self._cooldown,
+            "events": list(self.events),
+        }
+
+
+__all__ = ["DegradationConfig", "DegradationController"]

@@ -98,6 +98,20 @@ class BackpressureController:
         self.deferred = 0
         self.shed = 0
         self._recent: deque[float] = deque(maxlen=self.config.latency_window)
+        self._degradation_probe = None
+        self.degradation_holds = 0
+
+    def attach_degradation_probe(self, probe) -> None:
+        """Register a zero-arg callable reporting remaining ladder headroom.
+
+        The composition rule with the resilience layer is *degrade, then
+        defer, then shed*: while the degradation controller still has a
+        cheaper rung to fall to, the latency signal must not trip admission
+        control — quality is given up before latency, and latency before
+        work.  Queue-depth pressure is unaffected; a full queue is a memory
+        bound, not a latency symptom.
+        """
+        self._degradation_probe = probe
 
     # ------------------------------------------------------------------ #
     # latency signal
@@ -124,7 +138,15 @@ class BackpressureController:
         if budget is None:
             return False
         p99 = self.decide_p99()
-        return p99 is not None and p99 > budget
+        if p99 is None or p99 <= budget:
+            return False
+        if self._degradation_probe is not None and self._degradation_probe():
+            # Degrade-then-defer-then-shed: the ladder still has headroom,
+            # so let the degradation controller buy the latency back before
+            # admission control starts deferring or shedding.
+            self.degradation_holds += 1
+            return False
+        return True
 
     # ------------------------------------------------------------------ #
     # admission decision
@@ -150,6 +172,7 @@ class BackpressureController:
             "admitted": self.admitted,
             "deferred": self.deferred,
             "shed": self.shed,
+            "degradation_holds": self.degradation_holds,
             "rolling_decide_p99": self.decide_p99(),
         }
 

@@ -61,7 +61,7 @@ class DispatchService:
                  backpressure: BackpressureConfig | None = None,
                  oracle: DistanceOracle | None = None,
                  registry: MetricsRegistry | None = None,
-                 tracer=None) -> None:
+                 tracer=None, resilience=None) -> None:
         if oracle is None:
             oracle = DistanceOracle(scenario.network)
         elif getattr(scenario, "traffic", None):
@@ -73,7 +73,8 @@ class DispatchService:
         options = dict(policy_options or {})
         policy_obj = build_policy(policy, cost_model, **options)
         engine = Simulator(scenario, policy_obj, cost_model, config,
-                           tracer=tracer, order_source="external")
+                           tracer=tracer, order_source="external",
+                           resilience=resilience)
         self._policy_name = policy
         self._policy_options = tuple(sorted(options.items()))
         self._finish_init(engine, clock, backpressure, registry)
@@ -91,6 +92,12 @@ class DispatchService:
         self._late_rejections = 0
         self._running = False
         self._result: SimulationResult | None = None
+        manager = engine.resilience
+        if manager is not None:
+            # Degrade-then-defer-then-shed: while the ladder has headroom
+            # the latency signal must not trip admission control.
+            self._backpressure.attach_degradation_probe(
+                manager.degradation_headroom)
 
     @classmethod
     def from_checkpoint(cls, source: Mapping | str | pathlib.Path, *,
@@ -98,7 +105,7 @@ class DispatchService:
                         backpressure: BackpressureConfig | None = None,
                         oracle: DistanceOracle | None = None,
                         registry: MetricsRegistry | None = None,
-                        tracer=None) -> DispatchService:
+                        tracer=None, resilience=None) -> DispatchService:
         """Resume a service from a :meth:`checkpoint` document or file.
 
         The restored service continues from the checkpoint's next window
@@ -109,6 +116,11 @@ class DispatchService:
         payload = (source if isinstance(source, Mapping)
                    else load_checkpoint(source))
         engine = restore_simulator(payload, oracle=oracle, tracer=tracer)
+        if resilience is not None:
+            # Ladder state is runtime posture, not world state: a restored
+            # service starts back at the configured rungs and re-degrades
+            # if the conditions that forced a demotion still hold.
+            engine.resilience = resilience
         name, options = policy_spec_from_checkpoint(payload)
         service = object.__new__(cls)
         service._policy_name = name
@@ -181,7 +193,7 @@ class DispatchService:
         """Point-in-time service digest (window-boundary consistent)."""
         engine = self._engine
         decide = self._registry.histogram("service.decide_seconds").summary()
-        return {
+        stats = {
             "scenario": engine.scenario.name,
             "policy": engine.policy.name,
             "clock": type(self._clock).__name__,
@@ -198,6 +210,9 @@ class DispatchService:
             "decide_seconds": decide,
             "backpressure": self._backpressure.snapshot(),
         }
+        if engine.resilience is not None:
+            stats["resilience"] = engine.resilience.snapshot()
+        return stats
 
     def checkpoint(self, path: str | pathlib.Path | None = None) -> dict:
         """Freeze the service's world at the current window boundary.

@@ -23,8 +23,10 @@ worker-lifetime :class:`~repro.obs.metrics.MetricsRegistry` snapshot.
 from __future__ import annotations
 
 import asyncio
+import queue as queue_module
 import time
 import traceback
+from collections import deque
 from dataclasses import dataclass, fields
 from collections.abc import Mapping, Sequence
 
@@ -159,9 +161,23 @@ class ShardPool:
     queue FIFO on that shard's persistent task queue.  ``close()`` (or the
     context manager exit) sends each worker the shutdown sentinel and
     joins it.
+
+    **Dead-worker recovery.**  Every submitted task stays on its shard's
+    pending deque until its report comes back, so a worker that dies
+    mid-task (OOM-killed, segfaulted, or :meth:`kill_worker`-injected)
+    loses nothing: :meth:`collect` polls rather than blocking forever,
+    notices the corpse, restarts the worker under bounded exponential
+    backoff, and re-queues the shard's pending tasks in order.  A worker
+    that managed to report before dying produces a duplicate report for
+    the re-queued task; duplicates (reports whose task is no longer
+    pending) are counted and dropped.  More than ``restart_limit``
+    restarts of one shard raises — a crash-looping city is an error, not
+    a retry loop.
     """
 
-    def __init__(self, shards: Mapping[str, ExperimentSetting]) -> None:
+    def __init__(self, shards: Mapping[str, ExperimentSetting], *,
+                 restart_limit: int = 3, backoff_base: float = 0.25,
+                 backoff_cap: float = 4.0, poll_interval: float = 0.2) -> None:
         if not shards:
             raise ValueError("ShardPool needs at least one shard")
         self._shards = dict(shards)
@@ -169,6 +185,14 @@ class ShardPool:
         self._report_queue = self._context.Queue()
         self._task_queues: dict[str, object] = {}
         self._processes: dict[str, object] = {}
+        self._pending: dict[str, deque[ShardTask]] = {}
+        self._restarts: dict[str, int] = {}
+        self._restart_limit = restart_limit
+        self._backoff_base = backoff_base
+        self._backoff_cap = backoff_cap
+        self._poll_interval = poll_interval
+        self.restarts_total = 0
+        self.duplicate_reports = 0
         self._outstanding = 0
         self._started = False
         self._closed = False
@@ -190,21 +214,26 @@ class ShardPool:
             return
         self._started = True
         for name in self.shard_names:
-            setting = self._shards[name]
-            # Fork'd children inherit the registration, like executor pools.
-            register_profile(setting.profile)
-            setting_kwargs = {
-                f.name: getattr(setting, f.name)
-                for f in fields(ExperimentSetting) if f.name != "profile"}
-            task_queue = self._context.Queue()
-            process = self._context.Process(
-                target=_shard_worker,
-                args=(name, setting.profile.name, setting_kwargs, get_mode(),
-                      task_queue, self._report_queue),
-                daemon=True)
-            process.start()
-            self._task_queues[name] = task_queue
-            self._processes[name] = process
+            self._pending.setdefault(name, deque())
+            self._restarts.setdefault(name, 0)
+            self._spawn_worker(name)
+
+    def _spawn_worker(self, name: str) -> None:
+        setting = self._shards[name]
+        # Fork'd children inherit the registration, like executor pools.
+        register_profile(setting.profile)
+        setting_kwargs = {
+            f.name: getattr(setting, f.name)
+            for f in fields(ExperimentSetting) if f.name != "profile"}
+        task_queue = self._context.Queue()
+        process = self._context.Process(
+            target=_shard_worker,
+            args=(name, setting.profile.name, setting_kwargs, get_mode(),
+                  task_queue, self._report_queue),
+            daemon=True)
+        process.start()
+        self._task_queues[name] = task_queue
+        self._processes[name] = process
 
     def submit(self, shard: str, task: ShardTask) -> None:
         """Queue a task on a shard's persistent queue."""
@@ -214,11 +243,66 @@ class ShardPool:
             raise KeyError(f"unknown shard {shard!r}; "
                            f"known: {self.shard_names}")
         self.start()
+        self._pending[shard].append(task)
         self._task_queues[shard].put(task)
         self._outstanding += 1
 
+    def kill_worker(self, shard: str) -> None:
+        """Kill a shard's worker process outright (fault-injection hook).
+
+        The shard's pending tasks stay pending; the next :meth:`collect`
+        notices the dead worker and restarts it losslessly.
+        """
+        process = self._processes.get(shard)
+        if process is None:
+            raise KeyError(f"shard {shard!r} has no running worker")
+        process.terminate()
+        process.join()
+
+    def apply_faults(self, injector) -> list[str]:
+        """Drain an injector's pending worker kills against this pool.
+
+        Unknown shard names in the plan are ignored (a plan may be shared
+        across pools of different cities); returns the shards killed.
+        """
+        killed = []
+        for shard in injector.pending_worker_kills():
+            if shard in self._processes:
+                self.kill_worker(shard)
+                killed.append(shard)
+        return killed
+
+    def _restart_worker(self, name: str) -> None:
+        """Replace a dead worker and re-queue its pending tasks in order."""
+        self._restarts[name] += 1
+        self.restarts_total += 1
+        if self._restarts[name] > self._restart_limit:
+            raise RuntimeError(
+                f"shard {name!r} worker died {self._restarts[name]} times "
+                f"(restart_limit={self._restart_limit}); giving up")
+        backoff = min(self._backoff_cap,
+                      self._backoff_base * 2 ** (self._restarts[name] - 1))
+        time.sleep(backoff)
+        self._processes[name].join()
+        # The dead worker's task queue may hold undelivered tasks and is in
+        # an unknowable state; a fresh queue plus the pending deque is the
+        # authoritative re-queue.
+        self._spawn_worker(name)
+        for task in self._pending[name]:
+            self._task_queues[name].put(task)
+
+    def _check_workers(self) -> None:
+        """Restart any dead worker that still owes reports."""
+        for name, process in self._processes.items():
+            if self._pending[name] and not process.is_alive():
+                self._restart_worker(name)
+
     def collect(self, count: int | None = None) -> list[ShardReport]:
-        """Block until ``count`` (default: all outstanding) reports arrive."""
+        """Block until ``count`` (default: all outstanding) reports arrive.
+
+        Polls the report queue so a dead worker is noticed (and restarted,
+        its pending tasks re-queued) instead of blocking forever.
+        """
         if count is None:
             count = self._outstanding
         if count > self._outstanding:
@@ -226,20 +310,43 @@ class ShardPool:
                 f"cannot collect {count} reports with only "
                 f"{self._outstanding} outstanding")
         reports = []
-        for _ in range(count):
-            reports.append(self._report_queue.get())
+        while len(reports) < count:
+            try:
+                report = self._report_queue.get(timeout=self._poll_interval)
+            except queue_module.Empty:
+                self._check_workers()
+                continue
+            pending = self._pending.get(report.shard)
+            match = next((t for t in pending or ()
+                          if t.task_id == report.task_id), None)
+            if match is None:
+                # The original worker reported, died, and the re-queued
+                # copy reported again — first answer won, drop this one.
+                self.duplicate_reports += 1
+                continue
+            pending.remove(match)
+            reports.append(report)
             self._outstanding -= 1
         return reports
 
     def close(self) -> None:
-        """Send every worker the shutdown sentinel and join it."""
+        """Send every worker the shutdown sentinel and join it.
+
+        Robust against dead workers: a corpse is joined directly (its
+        queue has no reader, so no sentinel is sent), and workers that
+        ignore the sentinel are terminated after a grace period.
+        """
         if self._closed:
             return
         self._closed = True
-        for name in self._task_queues:
-            self._task_queues[name].put(None)
+        for name, process in self._processes.items():
+            if process.is_alive():
+                self._task_queues[name].put(None)
         for process in self._processes.values():
-            process.join()
+            process.join(timeout=10.0)
+            if process.is_alive():
+                process.terminate()
+                process.join()
 
 
 def fleet_report(reports: Sequence[ShardReport]) -> dict:

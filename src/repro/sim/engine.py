@@ -57,6 +57,7 @@ on such scenarios (golden-tested).
 from __future__ import annotations
 
 import heapq
+from contextlib import nullcontext
 from dataclasses import dataclass
 from collections.abc import Iterable, Sequence
 
@@ -66,6 +67,7 @@ from repro.network.geometry import haversine_distance
 from repro.obs import tracer_for_run
 from repro.obs.telemetry import Telemetry
 from repro.obs.trace import use_tracer
+from repro.resilience.context import use_ladders
 from repro.orders.costs import CostModel
 from repro.sim.advance import PathWalker
 from repro.sim.clock import EventClock
@@ -135,11 +137,16 @@ class Simulator:
                  cost_model: CostModel, config: SimulationConfig | None = None,
                  traffic: TrafficController | None = None,
                  fleet: FleetController | None = None,
-                 tracer=None, order_source: str = "scenario") -> None:
+                 tracer=None, order_source: str = "scenario",
+                 resilience=None) -> None:
         if order_source not in ORDER_SOURCES:
             raise ValueError(f"unknown order_source {order_source!r}; "
                              f"known: {ORDER_SOURCES}")
         self.order_source = order_source
+        #: Optional :class:`repro.resilience.ResilienceManager`.  ``None``
+        #: (the default) installs no backend ladders at all — every window
+        #: runs the exact pre-resilience code paths, bit-identically.
+        self.resilience = resilience
         self.scenario = scenario
         self.policy = policy
         self.cost_model = cost_model
@@ -322,11 +329,20 @@ class Simulator:
                 f"horizon ending at {cfg.end}")
         self._begin()
         tracer = self._tracer
+        manager = self.resilience
+        if manager is not None:
+            # Fault windows are declared in simulated time; trip them before
+            # anything in this window runs.
+            manager.begin_window(window_start)
         # The tracer is installed as the ambient current tracer so the
         # instrumented layers below the engine (policy pipeline, cost model,
         # oracle, hub labels) report into this run's span tree without any
-        # signature changes.
-        with use_tracer(tracer):
+        # signature changes.  The ladder registry rides the same idiom: with
+        # no manager, current_ladders() stays None and every kernel keeps
+        # its exact single-backend path.
+        ladders = (use_ladders(manager.ladders) if manager is not None
+                   else nullcontext())
+        with use_tracer(tracer), ladders:
             with tracer.span("engine.window"):
                 self._window_declines = 0
                 self._window_handoffs = 0
@@ -351,7 +367,12 @@ class Simulator:
                         self.fleet.plan_repositioning(self.vehicles,
                                                       window_end)
         self._next_window_start = window_end
-        return self._windows[-1]
+        record = self._windows[-1]
+        if manager is not None:
+            # The controller sees every window's decision latency (the
+            # stopwatch measures in all obs modes) and may move a ladder.
+            manager.end_window(record.decision_seconds)
+        return record
 
     def finalize(self) -> SimulationResult:
         """Drain in-flight route plans and return the collected metrics."""
@@ -381,6 +402,8 @@ class Simulator:
             simulated_seconds=cfg.end - cfg.start,
             cache_stats=cache_stats,
             telemetry=telemetry,
+            resilience=(self.resilience.snapshot()
+                        if self.resilience is not None else None),
         )
 
     def _begin(self) -> None:
@@ -436,10 +459,17 @@ class Simulator:
             for name in ("advances", "offers", "declines", "handoff_orders",
                          "repositions"):
                 registry.counter(f"fleet.{name}").inc(getattr(log, name))
-        return Telemetry.from_tracer(self._tracer, meta={
+        meta = {
             "windows": len(self._windows),
             "event_resolution": self.config.event_resolution,
-        })
+        }
+        if self.resilience is not None:
+            # Ladder state lands twice, deliberately: full per-rung counters
+            # for metrics consumers, and a compact meta summary the report
+            # footer can render without decoding counter label syntax.
+            self.resilience.fold_into(registry)
+            meta["resilience"] = self.resilience.telemetry_meta()
+        return Telemetry.from_tracer(self._tracer, meta=meta)
 
     def _cache_stats_since(self, before: dict[str, dict[str, int]],
                            ) -> dict[str, dict[str, int]]:
@@ -815,15 +845,18 @@ class Simulator:
 def simulate(scenario: Scenario, policy: AssignmentPolicy, cost_model: CostModel,
              config: SimulationConfig | None = None,
              traffic: TrafficController | None = None,
-             fleet: FleetController | None = None) -> SimulationResult:
+             fleet: FleetController | None = None,
+             resilience=None) -> SimulationResult:
     """Convenience wrapper: build a :class:`Simulator` and run it.
 
     ``traffic`` / ``fleet`` may supply explicit controllers; by default the
     scenario's own traffic timeline and fleet plan (if any) are attached
-    automatically.
+    automatically.  ``resilience`` optionally attaches a
+    :class:`repro.resilience.ResilienceManager` (backend ladders, latency-
+    budget degradation, fault injection).
     """
     return Simulator(scenario, policy, cost_model, config, traffic=traffic,
-                     fleet=fleet).run()
+                     fleet=fleet, resilience=resilience).run()
 
 
 __all__ = ["EVENT_RESOLUTIONS", "ORDER_SOURCES", "SimulationConfig",

@@ -127,6 +127,11 @@ class SimulationResult:
     #: when observability is enabled (``--obs summary|trace``); ``None`` on
     #: default runs — see :class:`repro.obs.telemetry.Telemetry`
     telemetry: Telemetry | None = None
+    #: backend-ladder / degradation-controller / fault-injector snapshot when
+    #: a resilience manager was attached (``--matching-backend``,
+    #: ``--latency-budget``, ``--faults``); ``None`` on default runs.  Like
+    #: ``telemetry`` and ``cache_stats``, never part of the fingerprint.
+    resilience: dict | None = None
 
     # ------------------------------------------------------------------ #
     # order-level metrics

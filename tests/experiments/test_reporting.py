@@ -94,6 +94,35 @@ class TestFormatTelemetryReport:
         assert "oracle:" not in report
         assert "cost model:" not in report
 
+    def test_ladder_footer_renders_rungs_and_quality(self):
+        telemetry = _telemetry()
+        telemetry.meta["resilience"] = {
+            "matching_rung": "greedy_approx", "path_rung": "dijkstra",
+            "demotions": 3, "recoveries": 1,
+            "matching_quality_delta_pct": 4.2317,
+            "path_mean_stretch": 1.08,
+        }
+        report = format_telemetry_report(telemetry)
+        assert "ladders: matching=greedy_approx path=dijkstra" in report
+        assert "(3 demotions, 1 recoveries)" in report
+        assert "quality given up: matching +4.23% objective" in report
+        assert "path stretch 1.080x" in report
+
+    def test_ladder_footer_omits_quality_when_exact(self):
+        telemetry = _telemetry()
+        telemetry.meta["resilience"] = {
+            "matching_rung": "scipy", "path_rung": "hub_labels",
+            "demotions": 0, "recoveries": 0,
+            "matching_quality_delta_pct": 0.0, "path_mean_stretch": 1.0,
+        }
+        report = format_telemetry_report(telemetry)
+        assert "ladders: matching=scipy path=hub_labels" in report
+        assert "quality given up" not in report
+
+    def test_no_resilience_meta_no_ladder_footer(self):
+        report = format_telemetry_report(_telemetry())
+        assert "ladders:" not in report
+
 
 class TestFormatTraceRollup:
     def test_rows_sorted_by_self_time(self):

@@ -1,0 +1,121 @@
+"""Tests for the latency-budget degradation controller's hysteresis."""
+
+import pytest
+
+from repro.resilience.controller import DegradationConfig, DegradationController
+from repro.resilience.ladder import LadderRegistry
+
+
+def make_controller(budget=1.0, demote_after=3, recover_after=5,
+                    recovery_margin=0.5, cooldown_windows=0,
+                    **registry_kwargs):
+    ladders = LadderRegistry(**registry_kwargs)
+    config = DegradationConfig(latency_budget=budget,
+                               demote_after=demote_after,
+                               recover_after=recover_after,
+                               recovery_margin=recovery_margin,
+                               cooldown_windows=cooldown_windows)
+    return DegradationController(config, ladders), ladders
+
+
+class TestConfigValidation:
+    def test_budget_must_be_positive(self):
+        with pytest.raises(ValueError, match="budget"):
+            DegradationConfig(latency_budget=0.0)
+
+    def test_margin_bounds(self):
+        with pytest.raises(ValueError, match="margin"):
+            DegradationConfig(recovery_margin=1.5)
+
+
+class TestHysteresis:
+    def test_disabled_without_budget(self):
+        ladders = LadderRegistry()
+        controller = DegradationController(DegradationConfig(), ladders)
+        assert not controller.enabled
+        for _ in range(20):
+            controller.observe_window(99.0)
+        assert ladders.matching.position == 0
+        assert controller.events == []
+
+    def test_demotes_after_k_blown_windows(self):
+        controller, ladders = make_controller(demote_after=3)
+        controller.observe_window(2.0)
+        controller.observe_window(2.0)
+        assert ladders.matching.position == 0  # streak not complete
+        controller.observe_window(2.0)
+        assert ladders.matching.position == 1  # matching demoted first
+        assert controller.events[-1] == {"window": 3, "kind": "demote",
+                                         "ladder": "matching",
+                                         "to": "hungarian"}
+
+    def test_second_demotion_moves_matching_again_then_path(self):
+        controller, ladders = make_controller(demote_after=1)
+        controller.observe_window(2.0)
+        controller.observe_window(2.0)
+        assert ladders.matching.position == 2
+        controller.observe_window(2.0)
+        assert ladders.path.position == 1  # matching exhausted, path next
+
+    def test_healthy_band_resets_over_streak(self):
+        controller, ladders = make_controller(demote_after=3)
+        controller.observe_window(2.0)
+        controller.observe_window(2.0)
+        controller.observe_window(0.1)  # comfortably under budget
+        controller.observe_window(2.0)
+        controller.observe_window(2.0)
+        assert ladders.matching.position == 0  # never 3 in a row
+
+    def test_middle_band_resets_both_streaks(self):
+        controller, ladders = make_controller(recover_after=2, demote_after=1)
+        controller.observe_window(2.0)  # demote
+        assert ladders.matching.position == 1
+        controller.observe_window(0.1)
+        controller.observe_window(0.8)  # between margin*budget and budget
+        controller.observe_window(0.1)
+        assert ladders.matching.position == 1  # recovery streak was broken
+        controller.observe_window(0.1)
+        assert ladders.matching.position == 0
+
+    def test_recovery_reverses_demotion_order(self):
+        controller, ladders = make_controller(demote_after=1, recover_after=1)
+        controller.observe_window(2.0)  # matching down
+        controller.observe_window(2.0)  # matching down again
+        controller.observe_window(2.0)  # path down
+        assert (ladders.matching.position, ladders.path.position) == (2, 1)
+        controller.observe_window(0.1)  # path back up first
+        assert (ladders.matching.position, ladders.path.position) == (2, 0)
+        controller.observe_window(0.1)
+        controller.observe_window(0.1)
+        assert (ladders.matching.position, ladders.path.position) == (0, 0)
+        kinds = [e["kind"] for e in controller.events]
+        assert kinds == ["demote", "demote", "demote",
+                         "recover", "recover", "recover"]
+
+    def test_cooldown_blocks_consecutive_moves(self):
+        controller, ladders = make_controller(demote_after=1,
+                                              cooldown_windows=2)
+        controller.observe_window(2.0)  # demote, cooldown starts
+        controller.observe_window(2.0)  # cooling
+        controller.observe_window(2.0)  # cooling
+        assert ladders.matching.position == 1
+        controller.observe_window(2.0)  # streak complete again
+        assert ladders.matching.position == 2
+
+    def test_headroom_probe(self):
+        controller, ladders = make_controller(demote_after=1)
+        assert controller.has_headroom()
+        while ladders.matching.step_down():
+            pass
+        while ladders.path.step_down():
+            pass
+        assert not controller.has_headroom()
+
+    def test_snapshot_counts_windows(self):
+        controller, _ = make_controller()
+        controller.observe_window(0.1)
+        controller.observe_window(2.0)
+        snap = controller.snapshot()
+        assert snap["windows_observed"] == 2
+        assert snap["over_streak"] == 1
+        assert snap["enabled"] is True

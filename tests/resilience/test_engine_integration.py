@@ -1,0 +1,148 @@
+"""End-to-end resilience: identity when idle, degradation under fault.
+
+Two properties anchor the whole PR:
+
+* **Identity** — attaching an inert manager (budget never blown, top rungs
+  pinned, no faults) leaves the simulation bit-identical to a run without
+  any manager at all.
+* **Degradation** — a rung-scoped slowdown plus a tight latency budget
+  demotes the matching ladder within ``demote_after`` windows, and the
+  controller climbs back up once the fault window closes.
+"""
+
+import pytest
+
+import repro.core.matching as matching
+from repro.core.foodmatch import FoodMatchPolicy
+from repro.experiments.executor import result_fingerprint
+from repro.resilience.manager import build_resilience
+from repro.sim.engine import SimulationConfig, simulate
+
+START = 12 * 3600.0
+END = 13 * 3600.0
+
+#: Fault plans scoped to the scipy rung only bite when that rung is the
+#: one actually running (the CI no-scipy job starts on hungarian).
+requires_scipy = pytest.mark.skipif(
+    matching._linear_sum_assignment is None,
+    reason="needs the scipy rung importable")
+
+
+@pytest.fixture(scope="module")
+def config():
+    return SimulationConfig(delta=60.0, start=START, end=END)
+
+
+def run(tools, config, resilience=None):
+    scenario, _oracle, model = tools
+    return simulate(scenario, FoodMatchPolicy(model), model, config,
+                    resilience=resilience)
+
+
+class TestGoldenIdentity:
+    def test_inert_manager_is_bit_identical(self, tiny_scenario_tools,
+                                            config):
+        plain = run(tiny_scenario_tools, config)
+        inert = run(tiny_scenario_tools, config,
+                    resilience=build_resilience(latency_budget=1e9))
+        assert plain.resilience is None
+        assert inert.resilience is not None
+        assert result_fingerprint(plain) == result_fingerprint(inert)
+
+    def test_pinned_top_rungs_are_bit_identical(self, tiny_scenario_tools,
+                                                config):
+        plain = run(tiny_scenario_tools, config)
+        pinned = run(tiny_scenario_tools, config,
+                     resilience=build_resilience(matching_backend="scipy",
+                                                 path_backend="hub_labels"))
+        assert result_fingerprint(plain) == result_fingerprint(pinned)
+
+    def test_resilience_excluded_from_fingerprint(self, tiny_scenario_tools,
+                                                  config):
+        # A degraded run changes the fingerprint only through the decisions
+        # it makes, never through the snapshot payload itself: two identical
+        # degraded runs agree even though their timing telemetry differs.
+        manager = lambda: build_resilience(matching_backend="hungarian")  # noqa: E731
+        a = run(tiny_scenario_tools, config, resilience=manager())
+        b = run(tiny_scenario_tools, config, resilience=manager())
+        assert result_fingerprint(a) == result_fingerprint(b)
+
+
+class TestDegradedRuns:
+    def test_pinned_greedy_run_completes(self, tiny_scenario_tools, config):
+        manager = build_resilience(matching_backend="greedy_approx",
+                                   path_backend="bounded_hop_approx",
+                                   quality_sample_every=4)
+        result = run(tiny_scenario_tools, config, resilience=manager)
+        assert result.resilience["matching"]["current"] == "greedy_approx"
+        assert result.resilience["path"]["current"] == "bounded_hop_approx"
+        assert result.resilience["matching"]["calls"]["greedy_approx"] > 0
+        # Orders still get delivered on the bottom rungs.
+        assert any(o.delivered for o in result.outcomes.values())
+
+    def test_quality_delta_is_measured(self, tiny_scenario_tools, config):
+        manager = build_resilience(matching_backend="greedy_approx",
+                                   quality_sample_every=1)
+        result = run(tiny_scenario_tools, config, resilience=manager)
+        quality = result.resilience["quality"]
+        assert quality["matching_samples"] > 0
+        # Greedy never beats the exact objective.
+        assert quality["matching_delta_pct"] >= 0.0
+
+    def test_telemetry_carries_resilience_meta(self, tiny_scenario_tools,
+                                               config):
+        from repro import obs
+        obs.set_mode("summary")
+        try:
+            manager = build_resilience(matching_backend="hungarian")
+            result = run(tiny_scenario_tools, config, resilience=manager)
+        finally:
+            obs.set_mode("off")
+        meta = result.telemetry.meta["resilience"]
+        assert meta["matching_rung"] == "hungarian"
+        assert meta["path_rung"] == "hub_labels"
+        # The ladder counters landed in the metrics registry as well.
+        assert result.telemetry.counters[
+            'resilience.calls{ladder=matching,rung=hungarian}'] > 0
+
+
+class TestDegradationUnderFault:
+    @requires_scipy
+    def test_fault_demotes_then_recovers(self, tiny_scenario_tools, config):
+        # A scipy-scoped slowdown blows the budget; demoting escapes it.
+        fault_end = START + 1200.0
+        faults = [{"kind": "slowdown", "target": "matching", "rung": "scipy",
+                   "seconds": 0.05, "start": START, "end": fault_end}]
+        manager = build_resilience(latency_budget=0.02, faults=faults,
+                                   demote_after=2, recover_after=2,
+                                   cooldown_windows=0)
+        result = run(tiny_scenario_tools, config, resilience=manager)
+        snap = result.resilience
+        events = snap["controller"]["events"]
+        kinds = [e["kind"] for e in events]
+        assert "demote" in kinds
+        assert "recover" in kinds
+        # The first demotion lands while the fault is active (the first
+        # windows of the run carry no orders, so the budget is only blown
+        # once matching actually runs under the slowdown).
+        first = next(e for e in events if e["kind"] == "demote")
+        assert first["window"] <= (fault_end - START) / config.delta
+        assert first["ladder"] == "matching"
+        # Once the fault window closes the controller climbs home.
+        assert snap["matching"]["current"] == "scipy"
+        assert snap["matching"]["position"] == "scipy"
+        assert snap["faults"]["declared"] == 1
+        assert snap["faults"]["trips"] > 0
+
+    @requires_scipy
+    def test_import_fault_walks_the_ladder(self, tiny_scenario_tools,
+                                           config):
+        faults = [{"kind": "backend_error", "target": "matching",
+                   "rung": "scipy", "start": START, "end": START + 600.0}]
+        manager = build_resilience(faults=faults)
+        result = run(tiny_scenario_tools, config, resilience=manager)
+        snap = result.resilience
+        assert snap["matching"]["calls"]["hungarian"] > 0
+        assert snap["matching"]["demotions"] >= 1
+        assert snap["matching"]["recoveries"] >= 1
+        assert snap["matching"]["current"] == "scipy"
