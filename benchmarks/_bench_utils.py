@@ -34,13 +34,22 @@ def git_revision() -> str | None:
 
 
 def environment_info() -> dict[str, object]:
-    """Provenance block stamped into every benchmark JSON."""
+    """Provenance block stamped into every benchmark JSON.
+
+    Includes the resolved graph-kernel backend and the numba version (or
+    null when numba is absent) so the perf trajectory across archived
+    bench JSONs is attributable to the interpreter *and* the kernel tier.
+    """
+    from repro.network import kernels
+
     return {
         "git_sha": git_revision(),
         "python": sys.version.split()[0],
         "implementation": platform.python_implementation(),
         "platform": platform.platform(),
         "cpu_count": os.cpu_count(),
+        "kernel_backend": kernels.kernel_backend(),
+        "numba": kernels.numba_version(),
     }
 
 

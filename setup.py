@@ -1,9 +1,27 @@
-"""Setuptools shim so the package installs in offline environments.
+"""Setuptools configuration for the reproduction package.
 
-The canonical build configuration lives in pyproject.toml; this file only
-exists so that ``python setup.py develop`` / legacy editable installs work on
-machines without the ``wheel`` package or network access.
+Kept deliberately minimal so ``pip install -e .`` works in offline
+environments without ``wheel`` or network access.  The only optional
+dependency group is ``[speed]``, which pulls in numba for the compiled
+kernel tier (``repro.network.kernels``); without it the package runs
+entirely on the pure-python/numpy kernels and logs a single obs.log
+notice the first time the compiled backend is requested but unavailable.
 """
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-dispatch",
+    version="1.6.0",
+    description=("Reproduction of a food-delivery dispatch paper: batching, "
+                 "matching, and city-scale routing infrastructure"),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy"],
+    extras_require={
+        # Optional compiled kernel tier.  The floor matches
+        # repro.network.kernels.NUMBA_FLOOR: 0.57 is the first numba with
+        # reliable on-disk caching (njit(cache=True)) on python 3.10+.
+        "speed": ["numba>=0.57"],
+    },
+)

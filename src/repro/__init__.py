@@ -51,7 +51,7 @@ from repro.fleet import (
     ShiftSchedule,
 )
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 
 def quickstart(seed: int = 0):

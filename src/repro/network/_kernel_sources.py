@@ -1,0 +1,722 @@
+"""Self-contained numpy kernel sources for the compiled tier.
+
+Every function here is written against the restrictions of
+``numba.njit(cache=True)``: module level, self-contained (no calls into
+other repo functions, no closures — the binary-heap primitives are
+inlined into each kernel rather than shared through helpers, because a
+cross-function call would either force eager jitting or break on-disk
+caching), plain numpy arrays and scalars in and out.
+:mod:`repro.network.kernels` compiles these lazily when numba is
+importable and otherwise leaves them as ordinary python functions — the
+equivalence suite executes the *same* source both interpreted and
+compiled, so the compiled tier cannot drift from the reference
+semantics without a test catching it.
+
+Backend equivalence is bit-exact by construction, not by tolerance:
+
+* every heap orders entries by ``(distance, node)`` lexicographically —
+  exactly the order :mod:`heapq` gives the reference implementations'
+  ``(float, int)`` tuples;
+* every push strictly improves a node's tentative distance, so no two
+  live heap entries are ever equal and the pop sequence — hence settle
+  order, label append order, and every float sum — is a unique total
+  order shared by any correct heap implementation;
+* merge joins and label scans add and compare the same floats in the
+  same order as the python references they were extracted from.
+
+``KERNELS`` names every compilable entry point; anything outside it is
+internal layout documentation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Entry points :func:`repro.network.kernels._compile` jits, in one place
+#: so the compile step and the equivalence suite cannot fall out of sync.
+KERNELS = (
+    "sssp_kernel",
+    "p2p_kernel",
+    "path_kernel",
+    "explorer_next_kernel",
+    "witness_kernel",
+    "pruned_labeling_kernel",
+    "select_label_kernel",
+    "merge_join_kernel",
+    "query_pairs_kernel",
+    "query_block_kernel",
+)
+
+
+def sssp_kernel(indptr, indices, weights, n, src, cutoff):
+    """Full/cutoff SSSP over CSR; returns settle-ordered ``(count, nodes, dists)``.
+
+    ``cutoff`` is ``np.inf`` for an unbounded search.  Neighbours already
+    past the cutoff are never pushed (the PR 10 heap-churn fix); a severed
+    edge (``inf`` weight) never relaxes because ``inf`` distances lose the
+    strict-improvement check.
+    """
+    inf = np.inf
+    dist = np.full(n, inf)
+    seen = np.zeros(n, np.bool_)
+    order_nodes = np.empty(n, np.int64)
+    order_dists = np.empty(n, np.float64)
+    count = 0
+    heap_d = np.empty(len(indices) + 2, np.float64)
+    heap_n = np.empty(len(indices) + 2, np.int64)
+    dist[src] = 0.0
+    heap_d[0] = 0.0
+    heap_n[0] = src
+    hs = 1
+    while hs > 0:
+        # binary-heap pop of the (dist, node) minimum
+        d = heap_d[0]
+        node = heap_n[0]
+        hs -= 1
+        if hs > 0:
+            td = heap_d[hs]
+            tn = heap_n[hs]
+            i = 0
+            while True:
+                c = 2 * i + 1
+                if c >= hs:
+                    break
+                r = c + 1
+                if r < hs and (heap_d[r] < heap_d[c]
+                               or (heap_d[r] == heap_d[c] and heap_n[r] < heap_n[c])):
+                    c = r
+                if heap_d[c] < td or (heap_d[c] == td and heap_n[c] < tn):
+                    heap_d[i] = heap_d[c]
+                    heap_n[i] = heap_n[c]
+                    i = c
+                else:
+                    break
+            heap_d[i] = td
+            heap_n[i] = tn
+        if seen[node]:
+            continue
+        if d > cutoff:
+            break
+        seen[node] = True
+        order_nodes[count] = node
+        order_dists[count] = d
+        count += 1
+        for j in range(indptr[node], indptr[node + 1]):
+            nbr = indices[j]
+            nd = d + weights[j]
+            if nd > cutoff:
+                continue
+            if nd < dist[nbr]:
+                dist[nbr] = nd
+                # binary-heap push of (nd, nbr)
+                i = hs
+                hs += 1
+                while i > 0:
+                    p = (i - 1) >> 1
+                    if heap_d[p] < nd or (heap_d[p] == nd and heap_n[p] <= nbr):
+                        break
+                    heap_d[i] = heap_d[p]
+                    heap_n[i] = heap_n[p]
+                    i = p
+                heap_d[i] = nd
+                heap_n[i] = nbr
+    return count, order_nodes, order_dists
+
+
+def p2p_kernel(indptr, indices, weights, n, src, dst):
+    """Point-to-point Dijkstra over CSR; returns the distance (``inf`` if cut)."""
+    inf = np.inf
+    dist = np.full(n, inf)
+    heap_d = np.empty(len(indices) + 2, np.float64)
+    heap_n = np.empty(len(indices) + 2, np.int64)
+    dist[src] = 0.0
+    heap_d[0] = 0.0
+    heap_n[0] = src
+    hs = 1
+    while hs > 0:
+        d = heap_d[0]
+        node = heap_n[0]
+        hs -= 1
+        if hs > 0:
+            td = heap_d[hs]
+            tn = heap_n[hs]
+            i = 0
+            while True:
+                c = 2 * i + 1
+                if c >= hs:
+                    break
+                r = c + 1
+                if r < hs and (heap_d[r] < heap_d[c]
+                               or (heap_d[r] == heap_d[c] and heap_n[r] < heap_n[c])):
+                    c = r
+                if heap_d[c] < td or (heap_d[c] == td and heap_n[c] < tn):
+                    heap_d[i] = heap_d[c]
+                    heap_n[i] = heap_n[c]
+                    i = c
+                else:
+                    break
+            heap_d[i] = td
+            heap_n[i] = tn
+        if d > dist[node]:
+            continue
+        if node == dst:
+            return d
+        for j in range(indptr[node], indptr[node + 1]):
+            nbr = indices[j]
+            nd = d + weights[j]
+            if nd < dist[nbr]:
+                dist[nbr] = nd
+                i = hs
+                hs += 1
+                while i > 0:
+                    p = (i - 1) >> 1
+                    if heap_d[p] < nd or (heap_d[p] == nd and heap_n[p] <= nbr):
+                        break
+                    heap_d[i] = heap_d[p]
+                    heap_n[i] = heap_n[p]
+                    i = p
+                heap_d[i] = nd
+                heap_n[i] = nbr
+    return inf
+
+
+def path_kernel(indptr, indices, weights, n, src, dst):
+    """Dijkstra with parent tracking; returns ``(dist_to_dst, parent)``.
+
+    ``parent[v]`` is the predecessor on the best known path (``-1`` for
+    untouched nodes); the caller walks it back from ``dst`` when the
+    returned distance is finite.
+    """
+    inf = np.inf
+    dist = np.full(n, inf)
+    parent = np.full(n, -1, np.int64)
+    heap_d = np.empty(len(indices) + 2, np.float64)
+    heap_n = np.empty(len(indices) + 2, np.int64)
+    dist[src] = 0.0
+    heap_d[0] = 0.0
+    heap_n[0] = src
+    hs = 1
+    while hs > 0:
+        d = heap_d[0]
+        node = heap_n[0]
+        hs -= 1
+        if hs > 0:
+            td = heap_d[hs]
+            tn = heap_n[hs]
+            i = 0
+            while True:
+                c = 2 * i + 1
+                if c >= hs:
+                    break
+                r = c + 1
+                if r < hs and (heap_d[r] < heap_d[c]
+                               or (heap_d[r] == heap_d[c] and heap_n[r] < heap_n[c])):
+                    c = r
+                if heap_d[c] < td or (heap_d[c] == td and heap_n[c] < tn):
+                    heap_d[i] = heap_d[c]
+                    heap_n[i] = heap_n[c]
+                    i = c
+                else:
+                    break
+            heap_d[i] = td
+            heap_n[i] = tn
+        if d > dist[node]:
+            continue
+        if node == dst:
+            break
+        for j in range(indptr[node], indptr[node + 1]):
+            nbr = indices[j]
+            nd = d + weights[j]
+            if nd < dist[nbr]:
+                dist[nbr] = nd
+                parent[nbr] = node
+                i = hs
+                hs += 1
+                while i > 0:
+                    p = (i - 1) >> 1
+                    if heap_d[p] < nd or (heap_d[p] == nd and heap_n[p] <= nbr):
+                        break
+                    heap_d[i] = heap_d[p]
+                    heap_n[i] = heap_n[p]
+                    i = p
+                heap_d[i] = nd
+                heap_n[i] = nbr
+    return dist[dst], parent
+
+
+def explorer_next_kernel(indptr, indices, weights, dist, settled, heap_d, heap_n,
+                         state):
+    """One settle step of the incremental best-first explorer.
+
+    All state (distances, settled flags, heap arrays, ``state[0]`` = live
+    heap size) persists in the caller's workspace between calls.  Returns
+    ``(node, dist)``, or ``(-1, 0.0)`` when the frontier is exhausted.
+    """
+    hs = state[0]
+    while hs > 0:
+        d = heap_d[0]
+        node = heap_n[0]
+        hs -= 1
+        if hs > 0:
+            td = heap_d[hs]
+            tn = heap_n[hs]
+            i = 0
+            while True:
+                c = 2 * i + 1
+                if c >= hs:
+                    break
+                r = c + 1
+                if r < hs and (heap_d[r] < heap_d[c]
+                               or (heap_d[r] == heap_d[c] and heap_n[r] < heap_n[c])):
+                    c = r
+                if heap_d[c] < td or (heap_d[c] == td and heap_n[c] < tn):
+                    heap_d[i] = heap_d[c]
+                    heap_n[i] = heap_n[c]
+                    i = c
+                else:
+                    break
+            heap_d[i] = td
+            heap_n[i] = tn
+        if settled[node]:
+            continue
+        settled[node] = True
+        for j in range(indptr[node], indptr[node + 1]):
+            nbr = indices[j]
+            nd = d + weights[j]
+            if nd < dist[nbr]:
+                dist[nbr] = nd
+                i = hs
+                hs += 1
+                while i > 0:
+                    p = (i - 1) >> 1
+                    if heap_d[p] < nd or (heap_d[p] == nd and heap_n[p] <= nbr):
+                        break
+                    heap_d[i] = heap_d[p]
+                    heap_n[i] = heap_n[p]
+                    i = p
+                heap_d[i] = nd
+                heap_n[i] = nbr
+        state[0] = hs
+        return node, d
+    state[0] = 0
+    return -1, 0.0
+
+
+def witness_kernel(head, eto, ewt, enext, source, banned, tgt_nodes, tgt_vias,
+                   cutoff, settle_cap, dist, dstamp, sstamp, sid, tpos, tstamp,
+                   heap_d, heap_n, found):
+    """Bounded witness Dijkstra over the contraction core's linked-chain
+    out-adjacency, avoiding ``banned`` (the node being contracted).
+
+    ``found[i]`` is set when a witness path to ``tgt_nodes[i]`` no longer
+    than ``tgt_vias[i] + 1e-12`` is certified; unfound targets need a
+    shortcut.  Distance/seen/target state is stamp-versioned with ``sid``
+    so the caller's workspace arrays reset in O(1) per call, and the
+    search aborts after ``settle_cap`` settles exactly like the python
+    reference (an aborted search only adds redundant-but-sound shortcuts).
+    """
+    k = len(tgt_nodes)
+    remaining = k
+    for i in range(k):
+        tpos[tgt_nodes[i]] = i
+        tstamp[tgt_nodes[i]] = sid
+        found[i] = False
+    dist[source] = 0.0
+    dstamp[source] = sid
+    heap_d[0] = 0.0
+    heap_n[0] = source
+    hs = 1
+    budget = settle_cap
+    while hs > 0 and remaining > 0 and budget > 0:
+        d = heap_d[0]
+        x = heap_n[0]
+        hs -= 1
+        if hs > 0:
+            td = heap_d[hs]
+            tn = heap_n[hs]
+            i = 0
+            while True:
+                c = 2 * i + 1
+                if c >= hs:
+                    break
+                r = c + 1
+                if r < hs and (heap_d[r] < heap_d[c]
+                               or (heap_d[r] == heap_d[c] and heap_n[r] < heap_n[c])):
+                    c = r
+                if heap_d[c] < td or (heap_d[c] == td and heap_n[c] < tn):
+                    heap_d[i] = heap_d[c]
+                    heap_n[i] = heap_n[c]
+                    i = c
+                else:
+                    break
+            heap_d[i] = td
+            heap_n[i] = tn
+        if sstamp[x] == sid:
+            continue
+        sstamp[x] = sid
+        budget -= 1
+        if d > cutoff:
+            break
+        if tstamp[x] == sid:
+            i = tpos[x]
+            if not found[i] and d <= tgt_vias[i] + 1e-12:
+                found[i] = True
+                remaining -= 1
+                if remaining == 0:
+                    break
+        j = head[x]
+        while j != -1:
+            y = eto[j]
+            if y != banned and sstamp[y] != sid:
+                nd = d + ewt[j]
+                if nd <= cutoff and (dstamp[y] != sid or nd < dist[y]):
+                    dist[y] = nd
+                    dstamp[y] = sid
+                    i = hs
+                    hs += 1
+                    while i > 0:
+                        p = (i - 1) >> 1
+                        if heap_d[p] < nd or (heap_d[p] == nd and heap_n[p] <= y):
+                            break
+                        heap_d[i] = heap_d[p]
+                        heap_n[i] = heap_n[p]
+                        i = p
+                    heap_d[i] = nd
+                    heap_n[i] = y
+            j = enext[j]
+
+
+def pruned_labeling_kernel(indptr, indices, weights, rindptr, rindices, rweights,
+                           n, order_idx, pool_cap):
+    """Whole-build pruned landmark labeling (Akiba et al.) over CSR pairs.
+
+    One forward and one backward pruned Dijkstra per hub in rank order.
+    Labels accumulate as per-node chains into one growable pool; on pool
+    overflow the kernel returns ``(False, …empty…)`` and the caller
+    retries with a doubled ``pool_cap``.  Returns the same six flat
+    arrays :meth:`HubLabelIndex._flatten` used to produce (indptr with
+    the sentinel slot, concatenated ranks and distances, out then in).
+    """
+    inf = np.inf
+    out_head = np.full(n, -1, np.int64)
+    out_tail = np.full(n, -1, np.int64)
+    in_head = np.full(n, -1, np.int64)
+    in_tail = np.full(n, -1, np.int64)
+    pool_rank = np.empty(pool_cap, np.int64)
+    pool_dist = np.empty(pool_cap, np.float64)
+    pool_next = np.empty(pool_cap, np.int64)
+    used = 0
+    dist = np.empty(n, np.float64)
+    dstamp = np.full(n, -1, np.int64)
+    settled = np.full(n, -1, np.int64)
+    scratch = np.full(n, inf)
+    heap_len = max(len(indices), len(rindices)) + 2
+    heap_d = np.empty(heap_len, np.float64)
+    heap_n = np.empty(heap_len, np.int64)
+    empty_i = np.empty(0, np.int64)
+    empty_d = np.empty(0, np.float64)
+    for rank in range(len(order_idx)):
+        hub = order_idx[rank]
+        for side in range(2):
+            if side == 0:
+                s_indptr, s_indices, s_weights = indptr, indices, weights
+                hub_head = out_head
+                ext_head = in_head
+                ext_tail = in_tail
+            else:
+                s_indptr, s_indices, s_weights = rindptr, rindices, rweights
+                hub_head = in_head
+                ext_head = out_head
+                ext_tail = out_tail
+            sid = 2 * rank + side
+            # Scatter the hub's pruning-side label into the dense scratch.
+            j = hub_head[hub]
+            while j != -1:
+                scratch[pool_rank[j]] = pool_dist[j]
+                j = pool_next[j]
+            dist[hub] = 0.0
+            dstamp[hub] = sid
+            heap_d[0] = 0.0
+            heap_n[0] = hub
+            hs = 1
+            while hs > 0:
+                d = heap_d[0]
+                node = heap_n[0]
+                hs -= 1
+                if hs > 0:
+                    td = heap_d[hs]
+                    tn = heap_n[hs]
+                    i = 0
+                    while True:
+                        c = 2 * i + 1
+                        if c >= hs:
+                            break
+                        r = c + 1
+                        if r < hs and (heap_d[r] < heap_d[c]
+                                       or (heap_d[r] == heap_d[c]
+                                           and heap_n[r] < heap_n[c])):
+                            c = r
+                        if heap_d[c] < td or (heap_d[c] == td and heap_n[c] < tn):
+                            heap_d[i] = heap_d[c]
+                            heap_n[i] = heap_n[c]
+                            i = c
+                        else:
+                            break
+                    heap_d[i] = td
+                    heap_n[i] = tn
+                if settled[node] == sid:
+                    continue
+                settled[node] = sid
+                if node != hub:
+                    # query(hub, node) via the labels built so far: prune
+                    # when an earlier hub already certifies a distance <= d.
+                    best = inf
+                    k = ext_head[node]
+                    while k != -1:
+                        cand = scratch[pool_rank[k]] + pool_dist[k]
+                        if cand < best:
+                            best = cand
+                        k = pool_next[k]
+                    if best <= d:
+                        continue
+                if used >= pool_cap:
+                    return (False, empty_i.copy(), empty_i.copy(), empty_d.copy(),
+                            empty_i.copy(), empty_i.copy(), empty_d.copy())
+                pool_rank[used] = rank
+                pool_dist[used] = d
+                pool_next[used] = -1
+                if ext_tail[node] == -1:
+                    ext_head[node] = used
+                else:
+                    pool_next[ext_tail[node]] = used
+                ext_tail[node] = used
+                used += 1
+                for j in range(s_indptr[node], s_indptr[node + 1]):
+                    nbr = s_indices[j]
+                    if settled[nbr] == sid:
+                        continue
+                    nd = d + s_weights[j]
+                    if nd == inf:
+                        continue
+                    if dstamp[nbr] != sid or nd < dist[nbr]:
+                        dist[nbr] = nd
+                        dstamp[nbr] = sid
+                        i = hs
+                        hs += 1
+                        while i > 0:
+                            p = (i - 1) >> 1
+                            if heap_d[p] < nd or (heap_d[p] == nd
+                                                  and heap_n[p] <= nbr):
+                                break
+                            heap_d[i] = heap_d[p]
+                            heap_n[i] = heap_n[p]
+                            i = p
+                        heap_d[i] = nd
+                        heap_n[i] = nbr
+            # Reset the scratch entries the scatter touched (the chain may
+            # have grown by the hub's own self entry; resetting extra slots
+            # to inf is harmless and mirrors the python reference).
+            j = hub_head[hub]
+            while j != -1:
+                scratch[pool_rank[j]] = inf
+                j = pool_next[j]
+    # Flatten chains (append order == rank order, so labels are born sorted).
+    out_indptr = np.zeros(n + 2, np.int64)
+    in_indptr = np.zeros(n + 2, np.int64)
+    for v in range(n):
+        c = 0
+        j = out_head[v]
+        while j != -1:
+            c += 1
+            j = pool_next[j]
+        out_indptr[v + 1] = out_indptr[v] + c
+        c = 0
+        j = in_head[v]
+        while j != -1:
+            c += 1
+            j = pool_next[j]
+        in_indptr[v + 1] = in_indptr[v] + c
+    out_indptr[n + 1] = out_indptr[n]
+    in_indptr[n + 1] = in_indptr[n]
+    out_ranks = np.empty(out_indptr[n], np.int64)
+    out_dists = np.empty(out_indptr[n], np.float64)
+    in_ranks = np.empty(in_indptr[n], np.int64)
+    in_dists = np.empty(in_indptr[n], np.float64)
+    for v in range(n):
+        p = out_indptr[v]
+        j = out_head[v]
+        while j != -1:
+            out_ranks[p] = pool_rank[j]
+            out_dists[p] = pool_dist[j]
+            p += 1
+            j = pool_next[j]
+        p = in_indptr[v]
+        j = in_head[v]
+        while j != -1:
+            in_ranks[p] = pool_rank[j]
+            in_dists[p] = pool_dist[j]
+            p += 1
+            j = pool_next[j]
+    return True, out_indptr, out_ranks, out_dists, in_indptr, in_ranks, in_dists
+
+
+def select_label_kernel(cand_ranks, cand_dists, cand_rows, fresh_indptr,
+                        fresh_ranks, fresh_dists, opp_indptr, opp_ranks,
+                        opp_dists, cand_nodes, scratch):
+    """Pruned label re-selection for one repaired node (rank-sorted candidates).
+
+    Mirror of :meth:`HubLabelIndex._pruned_label`: a candidate hub at
+    distance ``d`` is pruned when some already-kept hub certifies
+    ``kept_dist + d(kept, cand) <= d + 1e-12``.  For candidates whose own
+    stored label is stale (``cand_rows[c] >= 0``) the certificate distance
+    comes from their fresh SSSP, packed rank-sorted per row into
+    ``fresh_indptr``/``fresh_ranks``/``fresh_dists`` (binary search; an
+    absent rank means unreachable, i.e. no certificate — exactly the
+    reference's ``dict.get() is None``).  Otherwise it is read from the
+    candidate's opposite-side flat label, early-exiting at the candidate's
+    own rank.  ``scratch`` densely holds kept distances and is reset
+    before returning.
+    """
+    inf = np.inf
+    k = len(cand_ranks)
+    keep_r = np.empty(k, np.int64)
+    keep_d = np.empty(k, np.float64)
+    kept = 0
+    for c in range(k):
+        rank = cand_ranks[c]
+        d = cand_dists[c]
+        if kept == 0:
+            keep_r[0] = rank
+            keep_d[0] = d
+            scratch[rank] = d
+            kept = 1
+            continue
+        pruned = False
+        cutoff = d + 1e-12
+        row = cand_rows[c]
+        if row >= 0:
+            lo = fresh_indptr[row]
+            hi = fresh_indptr[row + 1]
+            for t in range(kept):
+                r = keep_r[t]
+                a = lo
+                b = hi
+                while a < b:
+                    mid = (a + b) >> 1
+                    if fresh_ranks[mid] < r:
+                        a = mid + 1
+                    else:
+                        b = mid
+                if a < hi and fresh_ranks[a] == r:
+                    if keep_d[t] + fresh_dists[a] <= cutoff:
+                        pruned = True
+                        break
+        else:
+            node = cand_nodes[c]
+            for j in range(opp_indptr[node], opp_indptr[node + 1]):
+                r = opp_ranks[j]
+                if r >= rank:
+                    break
+                if scratch[r] + opp_dists[j] <= cutoff:
+                    pruned = True
+                    break
+        if pruned:
+            continue
+        keep_r[kept] = rank
+        keep_d[kept] = d
+        scratch[rank] = d
+        kept += 1
+    for t in range(kept):
+        scratch[keep_r[t]] = inf
+    return kept, keep_r, keep_d
+
+
+def merge_join_kernel(a_ranks, a_dists, b_ranks, b_dists):
+    """Scalar hub-label query: min of ``a + b`` over common ranks."""
+    inf = np.inf
+    i = 0
+    j = 0
+    la = len(a_ranks)
+    lb = len(b_ranks)
+    best = inf
+    while i < la and j < lb:
+        ra = a_ranks[i]
+        rb = b_ranks[j]
+        if ra == rb:
+            cand = a_dists[i] + b_dists[j]
+            if cand < best:
+                best = cand
+            i += 1
+            j += 1
+        elif ra < rb:
+            i += 1
+        else:
+            j += 1
+    return best
+
+
+def query_pairs_kernel(o_indptr, o_ranks, o_dists, i_indptr, i_ranks, i_dists,
+                       src, tgt):
+    """Paired hub-label queries: one merge join per ``(src[p], tgt[p])``."""
+    inf = np.inf
+    kq = len(src)
+    res = np.full(kq, inf)
+    for p in range(kq):
+        s = src[p]
+        t = tgt[p]
+        i = o_indptr[s]
+        ahi = o_indptr[s + 1]
+        j = i_indptr[t]
+        bhi = i_indptr[t + 1]
+        best = inf
+        while i < ahi and j < bhi:
+            ra = o_ranks[i]
+            rb = i_ranks[j]
+            if ra == rb:
+                cand = o_dists[i] + i_dists[j]
+                if cand < best:
+                    best = cand
+                i += 1
+                j += 1
+            elif ra < rb:
+                i += 1
+            else:
+                j += 1
+        res[p] = best
+    return res
+
+
+def query_block_kernel(o_indptr, o_ranks, o_dists, i_indptr, i_ranks, i_dists,
+                       src, tgt):
+    """Cross-product hub-label queries: merge join per (source, target) cell."""
+    inf = np.inf
+    num_s = len(src)
+    num_t = len(tgt)
+    out = np.full((num_s, num_t), inf)
+    for a in range(num_s):
+        s = src[a]
+        alo = o_indptr[s]
+        ahi = o_indptr[s + 1]
+        if ahi == alo:
+            continue
+        for b in range(num_t):
+            t = tgt[b]
+            i = alo
+            j = i_indptr[t]
+            bhi = i_indptr[t + 1]
+            best = inf
+            while i < ahi and j < bhi:
+                ra = o_ranks[i]
+                rb = i_ranks[j]
+                if ra == rb:
+                    cand = o_dists[i] + i_dists[j]
+                    if cand < best:
+                        best = cand
+                    i += 1
+                    j += 1
+                elif ra < rb:
+                    i += 1
+                else:
+                    j += 1
+            out[a, b] = best
+    return out

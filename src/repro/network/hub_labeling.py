@@ -77,6 +77,7 @@ from collections.abc import Iterable, Sequence
 
 import numpy as np
 
+from repro.network import kernels as _kernels
 from repro.network.graph import RoadNetwork
 from repro.network.shortest_path import _csr_dijkstra_all as _csr_sssp
 from repro.obs.trace import current_tracer
@@ -209,6 +210,11 @@ class HubLabelIndex:
                 if old is None or w < old:
                     adj_out[u][v] = w
                     adj_in[v][u] = w
+        # Reusable witness-search state (stamped buffers; on the numba
+        # backend also a linked-chain mirror of the out-adjacency that the
+        # compiled bounded-Dijkstra kernel traverses).  The dicts above stay
+        # authoritative for the priority bookkeeping either way.
+        workspace = _kernels.contraction_workspace(n, adj_out)
         deleted = [0] * n
         level = [0] * n
 
@@ -235,38 +241,24 @@ class HubLabelIndex:
                             pairs.add((a, b) if a < b else (b, a))
                 return _EDGE_DIFF_WEIGHT * (len(pairs) - deg) + base, shortcuts
             for a, wa in in_nbrs:
-                targets = {b: wa + wb for b, wb in out_nbrs if b != a}
-                if not targets:
+                tgt_nodes: list[int] = []
+                tgt_vias: list[float] = []
+                for b, wb in out_nbrs:
+                    if b != a:
+                        tgt_nodes.append(b)
+                        tgt_vias.append(wa + wb)
+                if not tgt_nodes:
                     continue
-                cutoff = max(targets.values()) + 1e-12
-                # Witness Dijkstra from `a` avoiding `u`.
-                dist = {a: 0.0}
-                seen: set[int] = set()
-                heap = [(0.0, a)]
-                budget = _WITNESS_SETTLE_CAP
-                while heap and targets and budget:
-                    d, x = heapq.heappop(heap)
-                    if x in seen:
-                        continue
-                    seen.add(x)
-                    budget -= 1
-                    if d > cutoff:
-                        break
-                    via = targets.get(x)
-                    if via is not None and d <= via + 1e-12:
-                        del targets[x]
-                        if not targets:
-                            break
-                    for y, w in adj_out[x].items():
-                        if y == u or y in seen:
-                            continue
-                        nd = d + w
-                        if nd <= cutoff and nd < dist.get(y, INFINITY):
-                            dist[y] = nd
-                            heapq.heappush(heap, (nd, y))
-                for b, via in targets.items():
-                    shortcuts.append((a, b, via))
-                    pairs.add((a, b) if a < b else (b, a))
+                cutoff = max(tgt_vias) + 1e-12
+                # Witness Dijkstra from `a` avoiding `u` (bounded-Dijkstra
+                # kernel over the shared workspace; pop order and float
+                # sums match the historical per-call dict search exactly).
+                found = workspace.witness(a, u, tgt_nodes, tgt_vias, cutoff,
+                                          _WITNESS_SETTLE_CAP)
+                for i, b in enumerate(tgt_nodes):
+                    if not found[i]:
+                        shortcuts.append((a, b, tgt_vias[i]))
+                        pairs.add((a, b) if a < b else (b, a))
             return _EDGE_DIFF_WEIGHT * (len(pairs) - deg) + base, shortcuts
 
         heap: list[tuple[int, int]] = []
@@ -299,6 +291,7 @@ class HubLabelIndex:
                 if old is None or w < old:
                     adj_out[a][b] = w
                     adj_in[b][a] = w
+                    workspace.update_edge(a, b, w)
             up_out[u] = sorted(adj_out[u].items())
             up_in[u] = sorted(adj_in[u].items())
             for v in adj_in[u].keys() | adj_out[u].keys():
@@ -309,8 +302,10 @@ class HubLabelIndex:
                 del adj_in[v][u]
             for v in adj_in[u]:
                 del adj_out[v][u]
+                workspace.remove_edge(v, u)
             adj_out[u].clear()
             adj_in[u].clear()
+            workspace.clear_node(u)
             contracted[u] = True
             order_rev.append(u)
         return list(reversed(order_rev)), up_out, up_in
@@ -373,118 +368,23 @@ class HubLabelIndex:
     # construction
     # ------------------------------------------------------------------ #
     def _build(self, csr, rcsr) -> None:
-        n = self._num_nodes
+        """Pruned-Dijkstra build (betweenness / explicit orders).
+
+        The sweep itself — one forward and one backward pruned search per
+        hub plus the flatten — lives in :func:`repro.network.kernels
+        .pruned_labeling`, which runs the extracted python reference or
+        its compiled twin depending on the session's kernel backend (the
+        label arrays are bit-identical either way).
+        """
         index_of = self._index_of
-        out_ranks: list[list[int]] = [[] for _ in range(n)]
-        out_dists: list[list[float]] = [[] for _ in range(n)]
-        in_ranks: list[list[int]] = [[] for _ in range(n)]
-        in_dists: list[list[float]] = [[] for _ in range(n)]
-        # Preallocated buffers shared by all pruned searches; `stamp` makes
-        # resets O(1) per search instead of O(n).
-        dist = [INFINITY] * n
-        stamp = [-1] * n
-        settled = [-1] * n
-        scratch = [INFINITY] * n  # dense hub-label scratch, indexed by rank
-        for rank, hub_id in enumerate(self._order):
-            hub = index_of[hub_id]
-            self._pruned_search(csr, hub, rank, 2 * rank,
-                                out_ranks[hub], out_dists[hub],
-                                in_ranks, in_dists,
-                                dist, stamp, settled, scratch)
-            self._pruned_search(rcsr, hub, rank, 2 * rank + 1,
-                                in_ranks[hub], in_dists[hub],
-                                out_ranks, out_dists,
-                                dist, stamp, settled, scratch)
-        self._out_indptr, self._out_rank_arr, self._out_dist_arr = \
-            self._flatten(out_ranks, out_dists)
-        self._in_indptr, self._in_rank_arr, self._in_dist_arr = \
-            self._flatten(in_ranks, in_dists)
+        order_idx = [index_of[hub_id] for hub_id in self._order]
+        (self._out_indptr, self._out_rank_arr, self._out_dist_arr,
+         self._in_indptr, self._in_rank_arr, self._in_dist_arr) = \
+            _kernels.pruned_labeling(csr, rcsr, order_idx)
         self._patches_out: dict[int, tuple[list[int], list[float]]] = {}
         self._patches_in: dict[int, tuple[list[int], list[float]]] = {}
         self._dirty = False
         self._arange_buf = np.empty(0, dtype=np.int64)
-
-    @staticmethod
-    def _pruned_search(csr, hub: int, rank: int, search_id: int,
-                       hub_ranks: list[int], hub_dists: list[float],
-                       label_ranks: list[list[int]], label_dists: list[list[float]],
-                       dist: list[float], stamp: list[int], settled: list[int],
-                       scratch: list[float]) -> None:
-        """One pruned Dijkstra from ``hub`` over ``csr``.
-
-        On the forward pass (``csr`` = out-edges) the settled nodes extend
-        their *in*-labels and pruning consults the hub's *out*-label; the
-        backward pass is symmetric.  ``hub_ranks``/``hub_dists`` is the hub's
-        own already-built label on the pruning side, scattered into the dense
-        ``scratch`` array for O(1) lookups.
-        """
-        for r, d in zip(hub_ranks, hub_dists, strict=True):
-            scratch[r] = d
-        indptr = csr.indptr_list
-        indices = csr.indices_list
-        weights = csr.weights_list
-        dist[hub] = 0.0
-        stamp[hub] = search_id
-        heap: list[tuple[float, int]] = [(0.0, hub)]
-        push = heapq.heappush
-        pop = heapq.heappop
-        while heap:
-            d, node = pop(heap)
-            if settled[node] == search_id:
-                continue
-            settled[node] = search_id
-            if node != hub:
-                # query(hub, node) via the labels built so far: prune when an
-                # earlier hub already certifies a distance <= d.
-                best = INFINITY
-                for r, dv in zip(label_ranks[node], label_dists[node], strict=True):
-                    cand = scratch[r] + dv
-                    if cand < best:
-                        best = cand
-                if best <= d:
-                    continue
-            label_ranks[node].append(rank)
-            label_dists[node].append(d)
-            for j in range(indptr[node], indptr[node + 1]):
-                nbr = indices[j]
-                if settled[nbr] == search_id:
-                    continue
-                nd = d + weights[j]
-                if nd == INFINITY:
-                    # Severed edge (infinite weight): the neighbour is not
-                    # reachable this way; pushing it would only be popped and
-                    # pruned later, so skip it outright.
-                    continue
-                if stamp[nbr] != search_id or nd < dist[nbr]:
-                    dist[nbr] = nd
-                    stamp[nbr] = search_id
-                    push(heap, (nd, nbr))
-        for r in hub_ranks:
-            scratch[r] = INFINITY
-
-    @staticmethod
-    def _flatten(ranks: list[list[int]], dists: list[list[float]]):
-        """Flatten per-node lists into CSR-style arrays.
-
-        The returned indptr carries one extra slot past ``num_nodes``: it
-        backs the "unknown node" sentinel index, whose empty label range
-        makes batched queries touching it resolve to infinity like the
-        scalar path.
-        """
-        n = len(ranks)
-        indptr = np.zeros(n + 2, dtype=np.int64)
-        np.cumsum([len(lst) for lst in ranks], out=indptr[1:n + 1])
-        indptr[n + 1] = indptr[n]
-        total = int(indptr[n])
-        flat_ranks = np.empty(total, dtype=np.int64)
-        flat_dists = np.empty(total, dtype=np.float64)
-        pos = 0
-        for r_list, d_list in zip(ranks, dists, strict=True):
-            nxt = pos + len(r_list)
-            flat_ranks[pos:nxt] = r_list
-            flat_dists[pos:nxt] = d_list
-            pos = nxt
-        return indptr, flat_ranks, flat_dists
 
     def _build_from_hierarchy(self, order_idx: list[int],
                               up_out: list[list[tuple[int, float]]],
@@ -791,12 +691,15 @@ class HubLabelIndex:
         if not self.can_repair:
             raise ValueError("repair requires a complete hub order; rebuild instead")
         with current_tracer().span("hub_labels.repair"):
+            # Merge any overlays from an earlier repair first: the label
+            # values read below are identical either way (overlay contents
+            # equal their merged slices), but it makes the flat arrays
+            # authoritative — which the compiled selection kernel reads
+            # directly — and keeps both backends on the same data.
+            self._ensure_arrays()
             csr = self._network.csr()
             rcsr = self._network.csr(reverse=True)
             rank_of = self._rank_of
-            idx_of_rank = [0] * self._num_nodes
-            for i, r in rank_of.items():
-                idx_of_rank[r] = i
             affected_out_idx = [idx for node in affected_out
                                 if (idx := self._index_of.get(node)) is not None]
             affected_in_idx = [idx for node in affected_in
@@ -806,19 +709,98 @@ class HubLabelIndex:
             # fresh search.
             fwd = {idx: _csr_sssp(csr, idx) for idx in affected_out_idx}
             rev = {idx: _csr_sssp(rcsr, idx) for idx in affected_in_idx}
-            scratch = [INFINITY] * self._num_nodes
-            repaired = 0
-            for idx in affected_out_idx:
-                self._patches_out[idx] = self._pruned_label(
-                    fwd[idx], rank_of, self._in_label, rev, idx_of_rank, scratch)
-                repaired += 1
-            for idx in affected_in_idx:
-                self._patches_in[idx] = self._pruned_label(
-                    rev[idx], rank_of, self._out_label, fwd, idx_of_rank, scratch)
-                repaired += 1
+            if _kernels.kernel_backend() == "numba":
+                repaired = self._repair_select_kernel(
+                    affected_out_idx, affected_in_idx, fwd, rev, rank_of)
+            else:
+                idx_of_rank = [0] * self._num_nodes
+                for i, r in rank_of.items():
+                    idx_of_rank[r] = i
+                scratch = [INFINITY] * self._num_nodes
+                repaired = 0
+                for idx in affected_out_idx:
+                    self._patches_out[idx] = self._pruned_label(
+                        fwd[idx], rank_of, self._in_label, rev, idx_of_rank,
+                        scratch)
+                    repaired += 1
+                for idx in affected_in_idx:
+                    self._patches_in[idx] = self._pruned_label(
+                        rev[idx], rank_of, self._out_label, fwd, idx_of_rank,
+                        scratch)
+                    repaired += 1
             if repaired:
                 self._dirty = True
             return repaired
+
+    def _repair_select_kernel(self, affected_out_idx: list[int],
+                              affected_in_idx: list[int],
+                              fwd: dict[int, dict[int, float]],
+                              rev: dict[int, dict[int, float]],
+                              rank_of: dict[int, int]) -> int:
+        """Numba-backend label re-selection (same pruning as ``_pruned_label``).
+
+        Each fresh SSSP is packed once into rank-sorted CSR rows; the
+        selection kernel reads certificate distances for stale candidates
+        from those rows by binary search (absent rank = unreachable = no
+        certificate, the reference's ``dict.get() is None``) and for fresh
+        candidates from the flat opposite-side label arrays.  Candidate
+        order, prune decisions, and stored floats are identical to the
+        python path.
+        """
+        n = self._num_nodes
+        rank_arr = np.empty(n, dtype=np.int64)
+        for i, r in rank_of.items():
+            rank_arr[i] = r
+        scratch = np.full(n, INFINITY)
+
+        def pack(sssps, members):
+            rmap: dict[int, int] = {}
+            indptr = np.zeros(len(members) + 1, dtype=np.int64)
+            parts = []
+            for row, idx in enumerate(members):
+                rmap[idx] = row
+                settled = sssps[idx]
+                nodes = np.fromiter(settled.keys(), np.int64, count=len(settled))
+                dvals = np.fromiter(settled.values(), np.float64,
+                                    count=len(settled))
+                ranks = rank_arr[nodes]
+                order = np.argsort(ranks)
+                parts.append((ranks[order], dvals[order], nodes[order]))
+                indptr[row + 1] = indptr[row] + len(ranks)
+            if parts:
+                flat_r = np.concatenate([p[0] for p in parts])
+                flat_d = np.concatenate([p[1] for p in parts])
+            else:
+                flat_r = np.empty(0, dtype=np.int64)
+                flat_d = np.empty(0, dtype=np.float64)
+            return rmap, indptr, flat_r, flat_d, parts
+
+        fwd_rmap, fwd_indptr, fwd_ranks, fwd_dists, fwd_parts = \
+            pack(fwd, affected_out_idx)
+        rev_rmap, rev_indptr, rev_ranks, rev_dists, rev_parts = \
+            pack(rev, affected_in_idx)
+        repaired = 0
+        for row, idx in enumerate(affected_out_idx):
+            cand_ranks, cand_dists, cand_nodes = fwd_parts[row]
+            cand_rows = np.fromiter(
+                (rev_rmap.get(int(i), -1) for i in cand_nodes),
+                np.int64, count=len(cand_nodes))
+            self._patches_out[idx] = _kernels.select_pruned_label(
+                cand_ranks, cand_dists, cand_rows, rev_indptr, rev_ranks,
+                rev_dists, self._in_indptr, self._in_rank_arr,
+                self._in_dist_arr, cand_nodes, scratch)
+            repaired += 1
+        for row, idx in enumerate(affected_in_idx):
+            cand_ranks, cand_dists, cand_nodes = rev_parts[row]
+            cand_rows = np.fromiter(
+                (fwd_rmap.get(int(i), -1) for i in cand_nodes),
+                np.int64, count=len(cand_nodes))
+            self._patches_in[idx] = _kernels.select_pruned_label(
+                cand_ranks, cand_dists, cand_rows, fwd_indptr, fwd_ranks,
+                fwd_dists, self._out_indptr, self._out_rank_arr,
+                self._out_dist_arr, cand_nodes, scratch)
+            repaired += 1
+        return repaired
 
     @staticmethod
     def _pruned_label(sssp: dict[int, float], rank_of: dict[int, int],
@@ -923,6 +905,14 @@ class HubLabelIndex:
         t = self._index_of.get(target)
         if s is None or t is None:
             return INFINITY
+        if (_kernels.kernel_backend() == "numba"
+                and self._patches_out.get(s) is None
+                and self._patches_in.get(t) is None):
+            lo, hi = self._out_indptr[s], self._out_indptr[s + 1]
+            jlo, jhi = self._in_indptr[t], self._in_indptr[t + 1]
+            return float(_kernels.merge_join(
+                self._out_rank_arr[lo:hi], self._out_dist_arr[lo:hi],
+                self._in_rank_arr[jlo:jhi], self._in_dist_arr[jlo:jhi]))
         a_r, a_d = self._out_label(s)
         b_r, b_d = self._in_label(t)
         i = j = 0
@@ -982,6 +972,13 @@ class HubLabelIndex:
                                                                  dtype=np.int64)
         src = self._to_indices(sources)
         tgt = self._to_indices(targets)
+        if _kernels.kernel_backend() == "numba":
+            res = _kernels.query_pairs(
+                self._out_indptr, self._out_rank_arr, self._out_dist_arr,
+                self._in_indptr, self._in_rank_arr, self._in_dist_arr,
+                src, tgt)
+            res[same] = 0.0
+            return res
         if k > 1 and np.any(src[1:] < src[:-1]):
             order = np.argsort(src, kind="stable")
             src_s, tgt_s = src[order], tgt[order]
@@ -1025,16 +1022,23 @@ class HubLabelIndex:
         src = self._to_indices(sources)
         tgt = self._to_indices(targets)
         num_s, num_t = len(src), len(tgt)
-        out = np.full((num_s, num_t), INFINITY)
         if num_s == 0 or num_t == 0:
-            return out
-        n = self._num_nodes
-        # Chunk the target dimension so the dense (rank, target) scatter
-        # matrix never exceeds ~_DENSE_BLOCK_ENTRIES floats on large cities.
-        t_chunk = max(1, self._DENSE_BLOCK_ENTRIES // max(1, n))
-        for t_lo in range(0, num_t, t_chunk):
-            self._query_block_chunk(src, tgt[t_lo:t_lo + t_chunk],
-                                    out[:, t_lo:t_lo + t_chunk])
+            return np.full((num_s, num_t), INFINITY)
+        if _kernels.kernel_backend() == "numba":
+            out = _kernels.query_block(
+                self._out_indptr, self._out_rank_arr, self._out_dist_arr,
+                self._in_indptr, self._in_rank_arr, self._in_dist_arr,
+                src, tgt)
+        else:
+            out = np.full((num_s, num_t), INFINITY)
+            n = self._num_nodes
+            # Chunk the target dimension so the dense (rank, target) scatter
+            # matrix never exceeds ~_DENSE_BLOCK_ENTRIES floats on large
+            # cities.
+            t_chunk = max(1, self._DENSE_BLOCK_ENTRIES // max(1, n))
+            for t_lo in range(0, num_t, t_chunk):
+                self._query_block_chunk(src, tgt[t_lo:t_lo + t_chunk],
+                                        out[:, t_lo:t_lo + t_chunk])
         # Self-pairs by original id (unknown nodes share a sentinel index).
         orig_src = np.asarray(sources, dtype=np.int64)
         orig_tgt = np.asarray(targets, dtype=np.int64)

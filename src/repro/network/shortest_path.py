@@ -38,6 +38,7 @@ import heapq
 import math
 from collections.abc import Callable, Iterator
 
+from repro.network import kernels as _kernels
 from repro.network.graph import RoadNetwork
 
 INFINITY = math.inf
@@ -52,91 +53,31 @@ def _edge_weight_fn(network: RoadNetwork, t: float) -> WeightFunction:
 
 # --------------------------------------------------------------------------- #
 # array kernels (CSR, static weights, uniform time-slot scaling)
+#
+# Since PR 10 the loop bodies live in repro.network.kernels, which serves
+# them from the extracted python references or their numba-compiled twins
+# depending on the session's kernel backend; these wrappers keep the
+# historical names and signatures every caller imports.
 # --------------------------------------------------------------------------- #
 def _csr_dijkstra_to_target(csr, src: int, dst: int) -> float:
     """Static-weight point-to-point Dijkstra on flat CSR arrays."""
-    indptr = csr.indptr_list
-    indices = csr.indices_list
-    weights = csr.weights_list
-    dist = [INFINITY] * csr.num_nodes
-    dist[src] = 0.0
-    heap: list[tuple[float, int]] = [(0.0, src)]
-    push = heapq.heappush
-    pop = heapq.heappop
-    while heap:
-        d, node = pop(heap)
-        if d > dist[node]:
-            continue
-        if node == dst:
-            return d
-        for j in range(indptr[node], indptr[node + 1]):
-            nbr = indices[j]
-            nd = d + weights[j]
-            if nd < dist[nbr]:
-                dist[nbr] = nd
-                push(heap, (nd, nbr))
-    return INFINITY
+    return _kernels.point_to_point(csr, src, dst)
 
 
 def _csr_dijkstra_all(csr, src: int, cutoff: float | None = None) -> dict[int, float]:
-    """Static-weight SSSP on flat CSR arrays; returns ``{node_index: dist}``."""
-    indptr = csr.indptr_list
-    indices = csr.indices_list
-    weights = csr.weights_list
-    dist = [INFINITY] * csr.num_nodes
-    dist[src] = 0.0
-    settled: dict[int, float] = {}
-    heap: list[tuple[float, int]] = [(0.0, src)]
-    push = heapq.heappush
-    pop = heapq.heappop
-    while heap:
-        d, node = pop(heap)
-        if node in settled:
-            continue
-        if cutoff is not None and d > cutoff:
-            break
-        settled[node] = d
-        for j in range(indptr[node], indptr[node + 1]):
-            nbr = indices[j]
-            nd = d + weights[j]
-            if nd < dist[nbr]:
-                dist[nbr] = nd
-                push(heap, (nd, nbr))
-    return settled
+    """Static-weight SSSP on flat CSR arrays; returns ``{node_index: dist}``.
+
+    The mapping preserves settle order (the kernel emits settled pairs in
+    pop order and dicts keep insertion order), exactly like the historical
+    inline dict construction.
+    """
+    nodes, dists = _kernels.sssp_settled(csr, src, cutoff)
+    return dict(zip(nodes, dists, strict=True))
 
 
 def _csr_shortest_path(csr, src: int, dst: int) -> list[int] | None:
     """Static-weight Dijkstra with parent tracking; returns index path or None."""
-    indptr = csr.indptr_list
-    indices = csr.indices_list
-    weights = csr.weights_list
-    n = csr.num_nodes
-    dist = [INFINITY] * n
-    parent = [-1] * n
-    dist[src] = 0.0
-    heap: list[tuple[float, int]] = [(0.0, src)]
-    push = heapq.heappush
-    pop = heapq.heappop
-    while heap:
-        d, node = pop(heap)
-        if d > dist[node]:
-            continue
-        if node == dst:
-            break
-        for j in range(indptr[node], indptr[node + 1]):
-            nbr = indices[j]
-            nd = d + weights[j]
-            if nd < dist[nbr]:
-                dist[nbr] = nd
-                parent[nbr] = node
-                push(heap, (nd, nbr))
-    if dist[dst] == INFINITY:
-        return None
-    path = [dst]
-    while path[-1] != src:
-        path.append(parent[path[-1]])
-    path.reverse()
-    return path
+    return _kernels.shortest_path_indices(csr, src, dst)
 
 
 # --------------------------------------------------------------------------- #
@@ -309,11 +250,18 @@ class BestFirstExplorer:
             csr = network.csr()
             self._csr = csr
             self._multiplier = network.profile.multiplier(t)
-            self._dist_arr = [INFINITY] * csr.num_nodes
             src = csr.index_of[source]
-            self._dist_arr[src] = 0.0
-            self._heap: list[tuple[float, int]] = [(0.0, src)]
-            self._settled = [False] * csr.num_nodes
+            if _kernels.kernel_backend() == "numba":
+                # Compiled settle steps over a persistent array workspace;
+                # expansion order and costs are bit-identical to the list
+                # path (see repro.network.kernels).
+                self._kernel_ws = _kernels.explorer_workspace(csr, src)
+            else:
+                self._kernel_ws = None
+                self._dist_arr = [INFINITY] * csr.num_nodes
+                self._dist_arr[src] = 0.0
+                self._heap: list[tuple[float, int]] = [(0.0, src)]
+                self._settled = [False] * csr.num_nodes
         else:
             self._csr = None
             self._weight = weight
@@ -332,6 +280,12 @@ class BestFirstExplorer:
 
     def _next_csr(self) -> tuple[int, float]:
         csr = self._csr
+        if self._kernel_ws is not None:
+            node, d = _kernels.explorer_next(self._kernel_ws)
+            if node < 0:
+                raise StopIteration
+            self._visited_count += 1
+            return csr.node_ids[node], d * self._multiplier
         indptr = csr.indptr_list
         indices = csr.indices_list
         weights = csr.weights_list

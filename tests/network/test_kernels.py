@@ -1,0 +1,387 @@
+"""PR 10 kernel-tier tests: backend selection and python==numba equivalence.
+
+Two layers of proof:
+
+* The numba kernel *sources* (:mod:`repro.network._kernel_sources`) run
+  **interpreted** against the python references on every environment —
+  no numba needed — by stubbing the compiled-function table with the
+  undecorated sources.  Every dispatcher and every rewired call path
+  (build, witness, repair, queries, explorer) must be bit-identical
+  (``repr`` equality, not approx) across backends.
+* On environments that have numba, the same assertions run against the
+  actually-compiled kernels (``skipif`` guarded otherwise).
+
+Random graphs include inf-weight severed edges and fully disconnected
+nodes; distances compare by ``repr`` so float sums must match to the
+last bit, which is the ``result_fingerprint`` stability contract.
+"""
+
+import importlib.util
+import itertools
+import logging
+import math
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network import _kernel_sources as _sources
+from repro.network import kernels
+from repro.network.graph import RoadNetwork, TimeProfile
+from repro.network.hub_labeling import HubLabelIndex
+from repro.network.shortest_path import BestFirstExplorer, _csr_dijkstra_all
+
+_HAS_NUMBA = importlib.util.find_spec("numba") is not None
+
+INFINITY = math.inf
+
+
+@pytest.fixture(autouse=True)
+def _restore_backend():
+    """Kernel backend selection is session-global; leave it as we found it."""
+    prev = kernels.kernel_backend_setting()
+    yield
+    kernels.set_kernel_backend(prev)
+
+
+def _force_interpreted_numba():
+    """Route the 'numba' backend through the *interpreted* kernel sources.
+
+    This exercises the exact code the JIT compiles — same loops, same
+    float sums — without requiring numba, so the equivalence suite runs
+    everywhere.
+    """
+    kernels._resolved = "numba"
+    kernels._compiled = {name: getattr(_sources, name)
+                         for name in _sources.KERNELS}
+
+
+def _on_backends(fn):
+    """Run ``fn`` under the python and interpreted-numba backends; return both."""
+    kernels.set_kernel_backend("python")
+    ref = fn()
+    _force_interpreted_numba()
+    try:
+        got = fn()
+    finally:
+        kernels.set_kernel_backend("python")
+    return ref, got
+
+
+def random_network(seed: int, max_nodes: int = 24) -> RoadNetwork:
+    """Random directed graph with severed (inf) edges and isolated nodes."""
+    rng = random.Random(seed)
+    n = rng.randint(2, max_nodes)
+    net = RoadNetwork(TimeProfile.flat())
+    for i in range(n):
+        net.add_node(i, rng.uniform(-0.05, 0.05), rng.uniform(-0.05, 0.05))
+    for _ in range(rng.randint(0, 4 * n)):
+        u, v = rng.randrange(n), rng.randrange(n)
+        if u != v:
+            net.add_edge(u, v, rng.uniform(0.5, 200.0))
+    edges = [(u, v) for u, v, _ in net.edges()]
+    for u, v in rng.sample(edges, min(len(edges), rng.randint(0, 3))):
+        net.set_edge_override(u, v, math.inf)
+    return net
+
+
+class TestBackendSelection:
+    def test_unknown_backend_is_rejected(self):
+        with pytest.raises(ValueError, match="unknown kernel backend"):
+            kernels.set_kernel_backend("cython")
+
+    def test_explicit_python_selection(self):
+        assert kernels.set_kernel_backend("python") == "python"
+        assert kernels.kernel_backend_setting() == "python"
+        assert kernels.kernel_backend() == "python"
+
+    def test_auto_matches_numba_availability(self):
+        # The default CI job asserts the python half of this: a numba-less
+        # environment must silently select the python backend.
+        expected = "numba" if _HAS_NUMBA else "python"
+        assert kernels.set_kernel_backend("auto") == expected
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv(kernels.ENV_VAR, "python")
+        assert kernels.set_kernel_backend(None) == "python"
+        assert kernels.kernel_backend_setting() == "python"
+        monkeypatch.setenv(kernels.ENV_VAR, "not-a-backend")
+        assert kernels.set_kernel_backend(None) == \
+            ("numba" if _HAS_NUMBA else "python")  # invalid env -> auto
+
+    @pytest.mark.skipif(_HAS_NUMBA, reason="requires a numba-less environment")
+    def test_numba_request_falls_back_with_one_log(self, caplog):
+        kernels._fallback_logged = False
+        with caplog.at_level(logging.WARNING, logger="repro.network.kernels"):
+            assert kernels.set_kernel_backend("numba") == "python"
+            assert kernels.set_kernel_backend("numba") == "python"
+        fallbacks = [r for r in caplog.records if "falling back" in r.message]
+        assert len(fallbacks) == 1  # logged once, like the scipy fallback
+
+    def test_kernel_info_shape(self):
+        info = kernels.kernel_info()
+        assert set(info) == {"kernel_backend", "kernel_backend_setting",
+                             "numba"}
+        assert info["kernel_backend"] in ("python", "numba")
+        assert (info["numba"] is None) == (not _HAS_NUMBA)
+
+    def test_numba_version_without_numba(self):
+        version = kernels.numba_version()
+        assert (version is None) == (not _HAS_NUMBA)
+
+
+class TestInterpretedKernelEquivalence:
+    """python backend == interpreted numba sources, bit for bit."""
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_sssp_p2p_and_path(self, seed):
+        net = random_network(seed)
+        csr = net.csr()
+        rng = random.Random(seed + 1)
+        src = rng.randrange(csr.num_nodes)
+        dst = rng.randrange(csr.num_nodes)
+        cutoff = rng.choice([None, rng.uniform(0.0, 500.0)])
+
+        def run():
+            return repr((kernels.sssp_settled(csr, src),
+                         kernels.sssp_settled(csr, src, cutoff),
+                         kernels.point_to_point(csr, src, dst),
+                         kernels.shortest_path_indices(csr, src, dst)))
+
+        ref, got = _on_backends(run)
+        assert ref == got
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_explorer_settle_stream(self, seed):
+        net = random_network(seed)
+        src = random.Random(seed + 2).randrange(net.num_nodes)
+        ref, got = _on_backends(lambda: repr(list(BestFirstExplorer(net, src))))
+        assert ref == got
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_witness_searches(self, seed):
+        net = random_network(seed)
+        csr = net.csr()
+        n = csr.num_nodes
+        indptr, indices = csr.indptr_list, csr.indices_list
+        weights = csr.weights_list
+        adj_out: list[dict[int, float]] = [{} for _ in range(n)]
+        adj_in: list[dict[int, float]] = [{} for _ in range(n)]
+        for u in range(n):
+            for j in range(indptr[u], indptr[u + 1]):
+                v, w = indices[j], weights[j]
+                if v != u and w != INFINITY:
+                    adj_out[u][v] = min(w, adj_out[u].get(v, INFINITY))
+                    adj_in[v][u] = adj_out[u][v]
+        calls = []
+        for u in range(n):
+            in_nbrs = sorted(adj_in[u].items())
+            out_nbrs = sorted(adj_out[u].items())
+            for a, wa in in_nbrs[:2]:
+                tgts = [(b, wa + wb) for b, wb in out_nbrs if b != a]
+                if tgts:
+                    nodes_, vias = zip(*tgts)
+                    calls.append((a, u, list(nodes_), list(vias),
+                                  max(vias) + 1e-12))
+
+        def run():
+            ws = kernels.contraction_workspace(n, adj_out)
+            out = [ws.witness(a, u, tgts, vias, cutoff, 100)
+                   for a, u, tgts, vias, cutoff in calls]
+            # Exercise the mirror mutators mid-stream too.  As in
+            # ``_contract``, the dicts stay authoritative: every mirror
+            # mutation is paired with the dict mutation it shadows.
+            if calls:
+                a, u, tgts, vias, cutoff = calls[0]
+                adj_out[a][tgts[0]] = vias[0] / 2
+                ws.update_edge(a, tgts[0], vias[0] / 2)
+                out.append(ws.witness(a, u, tgts, vias, cutoff, 100))
+                adj_out[a].pop(tgts[0], None)
+                ws.remove_edge(a, tgts[0])
+                out.append(ws.witness(a, u, tgts, vias, cutoff, 100))
+            return repr(out)
+
+        saved = [dict(d) for d in adj_out]
+        kernels.set_kernel_backend("python")
+        mutated = run()
+        for u in range(n):
+            adj_out[u] = dict(saved[u])
+        _force_interpreted_numba()
+        try:
+            mutated_interp = run()
+        finally:
+            kernels.set_kernel_backend("python")
+        assert mutated == mutated_interp
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_index_build_queries_and_repair(self, seed):
+        """End-to-end pin: pruned_labeling, merge joins, select kernel.
+
+        The python repair path runs the dict-based ``_pruned_label``; the
+        numba path runs ``select_label_kernel`` over packed arrays — so
+        repr-equal post-repair queries pin all label-selection
+        implementations to each other.
+        """
+        rng = random.Random(seed + 3)
+
+        def run():
+            net = random_network(seed, max_nodes=18)
+            index = HubLabelIndex(net)
+            nodes = net.nodes
+            r = random.Random(seed + 4)
+            srcs = [r.choice(nodes) for _ in range(20)]
+            tgts = [r.choice(nodes) for _ in range(20)]
+            out = [index.total_label_entries,
+                   [[index.query(s, t) for t in nodes] for s in nodes],
+                   index.query_many(srcs, tgts).tolist(),
+                   index.query_block(srcs[:6], tgts[:6]).tolist()]
+            edges = [(u, v) for u, v, _ in net.edges()]
+            if edges and index.can_repair:
+                for u, v in r.sample(edges, min(3, len(edges))):
+                    net.set_edge_override(u, v, r.choice([0.5, 2.0, math.inf]))
+                index.repair(set(nodes), set(nodes))
+                out.append([[index.query(s, t) for t in nodes] for s in nodes])
+                out.append(index.query_block(srcs[:6], tgts[:6]).tolist())
+                index.repair(set(nodes), set(nodes))  # repair-after-repair
+                out.append(index.query_many(srcs, tgts).tolist())
+            return repr(out)
+
+        del rng
+        ref, got = _on_backends(run)
+        assert ref == got
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_select_label_python_twin_matches_kernel(self, seed):
+        """Direct 2-way pin of the array-layout selection implementations."""
+        rng = random.Random(seed)
+        n_ranks = rng.randint(1, 30)
+        n = n_ranks + 1
+        cand = sorted(rng.sample(range(n_ranks), rng.randint(1, n_ranks)))
+        cand_ranks = np.array(cand, dtype=np.int64)
+        cand_dists = np.array([rng.uniform(0.1, 50.0) for _ in cand])
+        cand_nodes = np.array([rng.randrange(n) for _ in cand], dtype=np.int64)
+        # A couple of candidates read certificates from packed fresh rows.
+        num_rows = rng.randint(0, 3)
+        rows, flat_r, flat_d = [0], [], []
+        for _ in range(num_rows):
+            row_ranks = sorted(rng.sample(range(n_ranks),
+                                          rng.randint(0, n_ranks)))
+            flat_r.extend(row_ranks)
+            flat_d.extend(rng.uniform(0.1, 50.0) for _ in row_ranks)
+            rows.append(len(flat_r))
+        fresh_indptr = np.array(rows, dtype=np.int64)
+        fresh_ranks = np.array(flat_r, dtype=np.int64)
+        fresh_dists = np.array(flat_d, dtype=np.float64)
+        cand_rows = np.array([rng.randrange(-1, num_rows) for _ in cand],
+                             dtype=np.int64)
+        # Opposite-side flat labels for the rest.
+        o_indptr, o_flat_r, o_flat_d = [0], [], []
+        for _node in range(n + 1):
+            lbl = sorted(rng.sample(range(n_ranks),
+                                    rng.randint(0, min(4, n_ranks))))
+            o_flat_r.extend(lbl)
+            o_flat_d.extend(rng.uniform(0.1, 50.0) for _ in lbl)
+            o_indptr.append(len(o_flat_r))
+        opp_indptr = np.array(o_indptr, dtype=np.int64)
+        opp_ranks = np.array(o_flat_r, dtype=np.int64)
+        opp_dists = np.array(o_flat_d, dtype=np.float64)
+        scratch = np.full(n_ranks, INFINITY)
+
+        ref, got = _on_backends(lambda: repr(kernels.select_pruned_label(
+            cand_ranks, cand_dists, cand_rows, fresh_indptr, fresh_ranks,
+            fresh_dists, opp_indptr, opp_ranks, opp_dists, cand_nodes,
+            scratch)))
+        assert ref == got
+        assert np.all(scratch == INFINITY)  # both backends restore scratch
+
+
+class TestCutoffPushSkip:
+    """The PR 10 cutoff fix: identical results, fewer heap pushes."""
+
+    @staticmethod
+    def _reference_push_all(csr, src, cutoff):
+        """The pre-fix loop: beyond-cutoff neighbours were pushed anyway."""
+        n = csr.num_nodes
+        indptr, indices = csr.indptr_list, csr.indices_list
+        weights = csr.weights_list
+        import heapq
+        dist = [INFINITY] * n
+        dist[src] = 0.0
+        seen = [False] * n
+        result = {}
+        heap = [(0.0, src)]
+        while heap:
+            d, node = heapq.heappop(heap)
+            if seen[node]:
+                continue
+            if d > cutoff:
+                break
+            seen[node] = True
+            result[node] = d
+            for j in range(indptr[node], indptr[node + 1]):
+                nbr = indices[j]
+                nd = d + weights[j]
+                if nd < dist[nbr]:
+                    dist[nbr] = nd
+                    heapq.heappush(heap, (nd, nbr))
+        return result
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_cutoff_results_match_push_all_reference(self, seed):
+        net = random_network(seed)
+        csr = net.csr()
+        rng = random.Random(seed + 5)
+        src = rng.randrange(csr.num_nodes)
+        cutoff = rng.uniform(0.0, 400.0)
+        got = _csr_dijkstra_all(csr, src, cutoff)
+        assert repr(got) == repr(self._reference_push_all(csr, src, cutoff))
+        # And the cutoff run is exactly the full run truncated at cutoff.
+        full = _csr_dijkstra_all(csr, src)
+        expect = {k: v for k, v in full.items() if v <= cutoff}
+        assert repr(got) == repr(expect)
+
+
+@pytest.mark.skipif(not _HAS_NUMBA, reason="numba not installed")
+class TestCompiledNumba:
+    """Same equivalence pins against the actually-compiled kernels."""
+
+    def test_auto_selects_numba(self):
+        assert kernels.set_kernel_backend("auto") == "numba"
+        assert kernels.kernel_info()["numba"] is not None
+
+    @pytest.mark.parametrize("seed", [0, 7, 1234])
+    def test_compiled_matches_python_end_to_end(self, seed):
+        def run():
+            net = random_network(seed, max_nodes=18)
+            index = HubLabelIndex(net)
+            nodes = net.nodes
+            r = random.Random(seed)
+            srcs = [r.choice(nodes) for _ in range(20)]
+            tgts = [r.choice(nodes) for _ in range(20)]
+            out = [index.total_label_entries,
+                   [[index.query(s, t) for t in nodes] for s in nodes],
+                   index.query_many(srcs, tgts).tolist(),
+                   index.query_block(srcs[:6], tgts[:6]).tolist(),
+                   list(itertools.islice(BestFirstExplorer(net, nodes[0]),
+                                         30))]
+            edges = [(u, v) for u, v, _ in net.edges()]
+            if edges and index.can_repair:
+                for u, v in r.sample(edges, min(3, len(edges))):
+                    net.set_edge_override(u, v, r.choice([0.5, 2.0, math.inf]))
+                index.repair(set(nodes), set(nodes))
+                out.append(index.query_many(srcs, tgts).tolist())
+            return repr(out)
+
+        kernels.set_kernel_backend("python")
+        ref = run()
+        assert kernels.set_kernel_backend("numba") == "numba"
+        got = run()
+        assert ref == got
